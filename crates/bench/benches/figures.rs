@@ -1,0 +1,20 @@
+//! Benchmarks the experiment generators themselves: how long each paper
+//! artifact takes to regenerate end-to-end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    // The cheap generators run in-loop; the expensive ones (thermal/DSE
+    // based) are covered once per bench run to keep wall time sane.
+    for name in ["fig8", "fig14", "fig4", "fig7"] {
+        group.bench_function(name, |b| {
+            b.iter(|| std::hint::black_box(ena_bench::experiments::run(name).expect("known")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Benchmarks the HSA runtime scheduler and the CPU interval models.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ena_cpu::core::CoreModel;
+use ena_cpu::program::CpuProgram;
+use ena_cpu::window::{simulate, WindowConfig};
+use ena_hsa::runtime::{Runtime, RuntimeConfig};
+use ena_hsa::task::{TaskCost, TaskGraph};
+use ena_model::units::Megahertz;
+
+fn wide_graph(tasks: usize) -> TaskGraph {
+    let mut g = TaskGraph::new();
+    let pre = g.add("pre", TaskCost::cpu(5.0), &[]).unwrap();
+    for i in 0..tasks {
+        g.add(format!("k{i}"), TaskCost::either(20.0, 10.0), &[pre])
+            .unwrap();
+    }
+    g
+}
+
+fn bench(c: &mut Criterion) {
+    let g = wide_graph(500);
+    c.bench_function("hsa/schedule_500_tasks", |b| {
+        b.iter(|| std::hint::black_box(Runtime::new(RuntimeConfig::hsa()).execute(&g)))
+    });
+
+    let program = CpuProgram::synthesize(1_000_000, 10.0, 2);
+    let core = CoreModel::default();
+    c.bench_function("cpu/leading_loads_analytic", |b| {
+        b.iter(|| std::hint::black_box(core.run(&program, Megahertz::new(2500.0))))
+    });
+
+    let small = CpuProgram::synthesize(100_000, 10.0, 2);
+    c.bench_function("cpu/window_sim_100k_instructions", |b| {
+        b.iter(|| std::hint::black_box(simulate(&WindowConfig::default(), &small)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

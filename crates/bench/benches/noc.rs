@@ -1,0 +1,33 @@
+//! Benchmarks the packet-level NoC simulator (Fig. 7's engine).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ena_noc::sim::NocSim;
+use ena_noc::topology::Topology;
+use ena_noc::traffic::WorkloadTraffic;
+use ena_workloads::profile_for;
+
+fn bench_noc(c: &mut Criterion) {
+    let profile = profile_for("SNAP").unwrap();
+    let traffic = WorkloadTraffic::from_profile(&profile, 42);
+
+    for (name, topo) in [
+        ("noc/ehp_2k_requests", Topology::ehp(8, 8)),
+        ("noc/monolithic_2k_requests", Topology::monolithic(8, 8)),
+    ] {
+        let packets = traffic.generate(&topo, 2000);
+        c.bench_function(name, |b| {
+            b.iter(|| {
+                let mut sim = NocSim::new(&topo);
+                std::hint::black_box(sim.run(&packets))
+            })
+        });
+    }
+
+    c.bench_function("noc/route_table", |b| {
+        let topo = Topology::ehp(8, 8);
+        b.iter(|| std::hint::black_box(topo.route_table()))
+    });
+}
+
+criterion_group!(benches, bench_noc);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Benchmarks the analytic performance model and full node evaluation —
+//! the inner loop of the design-space exploration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ena_core::node::{EvalOptions, NodeSimulator};
+use ena_core::perf::PerfModel;
+use ena_model::config::EhpConfig;
+use ena_workloads::profile_for;
+
+fn bench_perf(c: &mut Criterion) {
+    let config = EhpConfig::paper_baseline();
+    let profile = profile_for("LULESH").unwrap();
+    let model = PerfModel::default();
+    c.bench_function("perf_model/evaluate", |b| {
+        b.iter(|| std::hint::black_box(model.evaluate(&config, &profile, 0.15)))
+    });
+
+    let sim = NodeSimulator::new();
+    let options = EvalOptions::with_miss_fraction(0.15);
+    c.bench_function("node/evaluate", |b| {
+        b.iter(|| std::hint::black_box(sim.evaluate(&config, &profile, &options)))
+    });
+
+    let optimized = EvalOptions::fully_optimized();
+    c.bench_function("node/evaluate_optimized", |b| {
+        b.iter(|| std::hint::black_box(sim.evaluate(&config, &profile, &optimized)))
+    });
+}
+
+criterion_group!(benches, bench_perf);
+criterion_main!(benches);

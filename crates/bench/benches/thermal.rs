@@ -1,0 +1,23 @@
+//! Benchmarks the compact thermal solver (Figs. 10-11's engine).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ena_thermal::ehp::{ChipletPower, ChipletThermalModel};
+
+fn bench_thermal(c: &mut Criterion) {
+    let model = ChipletThermalModel::new(ChipletPower {
+        cu_dynamic_w: 9.0,
+        cu_static_w: 2.0,
+        dram_dynamic_w: 2.5,
+        dram_static_w: 0.6,
+        interposer_w: 1.5,
+    });
+    let mut group = c.benchmark_group("thermal");
+    group.sample_size(10);
+    group.bench_function("chiplet_stack_solve", |b| {
+        b.iter(|| std::hint::black_box(model.solve().expect("converges")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_thermal);
+criterion_main!(benches);

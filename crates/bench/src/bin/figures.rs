@@ -1,0 +1,75 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! Usage: `figures <experiment>|all [--out DIR] [--list]` where experiment
+//! is one of table1, fig4..fig14, table2, ablations, validation,
+//! extensions, substrates. With `--out DIR` each report is also written to
+//! `DIR/<experiment>.txt`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn emit(name: &str, out_dir: Option<&PathBuf>, body: &str) -> std::io::Result<()> {
+    if let Some(dir) = out_dir {
+        std::fs::create_dir_all(dir)?;
+        std::fs::write(dir.join(format!("{name}.txt")), body)?;
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let names = ena_bench::experiments::ALL_EXPERIMENTS;
+
+    let out_dir = match args.iter().position(|a| a == "--out") {
+        Some(i) if i + 1 < args.len() => {
+            let dir = PathBuf::from(args.remove(i + 1));
+            args.remove(i);
+            Some(dir)
+        }
+        Some(_) => {
+            eprintln!("--out requires a directory");
+            return ExitCode::FAILURE;
+        }
+        None => None,
+    };
+
+    match args.first().map(String::as_str) {
+        Some("--list") => {
+            for n in names {
+                println!("{n}");
+            }
+            ExitCode::SUCCESS
+        }
+        Some("all") => {
+            for n in names {
+                println!("================ {n} ================");
+                let out = ena_bench::experiments::run(n).expect("known experiment");
+                println!("{out}");
+                if let Err(e) = emit(n, out_dir.as_ref(), &out) {
+                    eprintln!("failed writing {n}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        Some(name) => match ena_bench::experiments::run(name) {
+            Some(out) => {
+                println!("{out}");
+                if let Err(e) = emit(name, out_dir.as_ref(), &out) {
+                    eprintln!("failed writing {name}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!("unknown experiment '{name}'; use --list");
+                ExitCode::FAILURE
+            }
+        },
+        None => {
+            eprintln!("usage: figures <experiment>|all [--out DIR] | --list");
+            eprintln!("experiments: {}", names.join(", "));
+            ExitCode::FAILURE
+        }
+    }
+}

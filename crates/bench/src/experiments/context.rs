@@ -1,0 +1,64 @@
+//! Shared experiment context: simulator, design space, best-mean config.
+
+use ena_core::dse::{ConfigPoint, DesignSpace, DseResult, Explorer};
+use ena_core::node::NodeSimulator;
+use ena_workloads::paper_profiles;
+
+/// The miss fraction assumed for the design-space studies: the
+/// software-managed multi-level memory keeps the hot working set largely
+/// resident (Section II-B.3); the capacity-limited 46-89 % figures are the
+/// Fig. 8/9 regime.
+pub const DSE_MISS_FRACTION: f64 = 0.15;
+
+/// The node simulator used by all experiments.
+pub fn simulator() -> NodeSimulator {
+    NodeSimulator::new()
+}
+
+/// The design space used by the experiment harness. The coarse 100 MHz
+/// grid keeps every figure reproducible in seconds; `DesignSpace::paper()`
+/// is the full >1000-point sweep.
+pub fn space() -> DesignSpace {
+    DesignSpace::coarse()
+}
+
+/// Runs the baseline (no power optimizations) exploration.
+pub fn explore_baseline() -> DseResult {
+    Explorer::default().explore(&space(), &paper_profiles())
+}
+
+/// Runs the exploration with all Section V-E power optimizations enabled.
+pub fn explore_optimized() -> DseResult {
+    let mut options = ena_core::node::EvalOptions::with_miss_fraction(DSE_MISS_FRACTION);
+    options.optimizations = ena_power::opts::PowerOptimization::ALL.to_vec();
+    let explorer = Explorer {
+        options,
+        ..Explorer::default()
+    };
+    explorer.explore(&space(), &paper_profiles())
+}
+
+/// The best-mean configuration of the baseline exploration.
+pub fn best_mean() -> ConfigPoint {
+    explore_baseline().best_mean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn best_mean_is_in_the_papers_neighborhood() {
+        let p = best_mean();
+        assert!((288..=384).contains(&p.cus));
+        let tbps = p.bandwidth.terabytes_per_sec();
+        assert!((2.0..=4.0).contains(&tbps), "bw = {tbps}");
+    }
+
+    #[test]
+    fn optimizations_expand_the_feasible_set() {
+        let base = explore_baseline();
+        let opt = explore_optimized();
+        assert!(opt.feasible >= base.feasible);
+    }
+}

@@ -1,0 +1,154 @@
+//! Extension studies built on the paper's "important research directions"
+//! (Section VI): dynamic resource reconfiguration as an actual runtime
+//! (not just the Table II oracle bound), and the resiliency interactions
+//! of Section II-A.5 / VI (ECC, RMT, NTC's voltage-reliability coupling).
+
+use ena_core::dse::DesignSpace;
+use ena_core::node::NodeSimulator;
+use ena_core::reconfig::{run_phases, OraclePolicy, Phase, ReactivePolicy, StaticPolicy};
+use ena_core::resilience::{checkpoint_efficiency, Protection, ResilienceModel};
+use ena_core::Explorer;
+use ena_model::config::{EhpConfig, SYSTEM_NODE_COUNT};
+use ena_model::units::Seconds;
+use ena_workloads::{paper_profiles, profile_for};
+
+use crate::TextTable;
+
+/// A phased workload: runs of compute-heavy CoMD interleaved with
+/// memory-heavy LULESH and latency-bound XSBench.
+fn phased_workload() -> Vec<Phase> {
+    let mut phases = Vec::new();
+    for (name, work, repeats) in [
+        ("CoMD", 80_000.0, 3),
+        ("LULESH", 12_000.0, 3),
+        ("CoMD", 80_000.0, 3),
+        ("XSBench", 2_000.0, 3),
+    ] {
+        let profile = profile_for(name).expect("suite app");
+        for _ in 0..repeats {
+            phases.push(Phase {
+                profile: profile.clone(),
+                work_gflop: work,
+            });
+        }
+    }
+    phases
+}
+
+/// Runs the reconfiguration-policy comparison.
+pub fn reconfiguration() -> Vec<(String, f64, f64, u32)> {
+    let sim = NodeSimulator::new();
+    let explorer = Explorer::default();
+    let space = DesignSpace::coarse();
+    let profiles = paper_profiles();
+    let phases = phased_workload();
+    let penalty = Seconds::new(2e-3);
+    let mean = explorer.explore(&space, &profiles).best_mean;
+
+    let mut static_p = StaticPolicy(mean);
+    let mut reactive_p = ReactivePolicy::new(&explorer, &space, &profiles);
+    let mut oracle_p = OraclePolicy::new(&explorer, &space, &profiles);
+    let mut out = Vec::new();
+    let policies: [&mut dyn ena_core::reconfig::ReconfigPolicy; 3] =
+        [&mut static_p, &mut reactive_p, &mut oracle_p];
+    for policy in policies {
+        let r = run_phases(&sim, policy, &phases, &explorer.options, penalty);
+        out.push((
+            r.policy.to_string(),
+            r.time.value(),
+            r.energy.value(),
+            r.switches,
+        ));
+    }
+    out
+}
+
+/// Runs the RAS assessment: protection schemes x voltage modes.
+pub fn resilience() -> Vec<(String, f64, f64, f64)> {
+    let model = ResilienceModel::default();
+    let config = EhpConfig::paper_baseline();
+    let comd = profile_for("CoMD").expect("suite app");
+    let mut out = Vec::new();
+    for (label, voltage, protection) in [
+        ("ECC only, nominal V", 1.0, Protection::ecc_only()),
+        ("ECC+RMT, nominal V", 1.0, Protection::ecc_and_rmt()),
+        ("ECC only, NTC V", 0.75, Protection::ecc_only()),
+        ("ECC+RMT, NTC V", 0.75, Protection::ecc_and_rmt()),
+    ] {
+        let r = model.assess(&config, &comd, voltage, protection);
+        let mttf = r.system_mttf_hours(SYSTEM_NODE_COUNT);
+        out.push((
+            label.to_string(),
+            mttf,
+            checkpoint_efficiency(mttf, 2.0),
+            r.rmt_slowdown,
+        ));
+    }
+    out
+}
+
+/// Regenerates the extension report.
+pub fn run() -> String {
+    let mut out = String::from("Extensions (paper Section VI research directions)\n\n");
+
+    out.push_str("1. Dynamic reconfiguration runtime on a phased workload\n");
+    let mut t = TextTable::new(["policy", "time (s)", "energy (kJ)", "switches"]);
+    let rows = reconfiguration();
+    let baseline = rows[0].1;
+    for (policy, time, energy, switches) in &rows {
+        t.row([
+            format!("{policy} ({:+.1}%)", 100.0 * (time / baseline - 1.0)),
+            format!("{time:.2}"),
+            format!("{:.1}", energy / 1000.0),
+            format!("{switches}"),
+        ]);
+    }
+    out.push_str(&t.render());
+
+    out.push_str("\n2. Resiliency: protection schemes x voltage (100,000 nodes, CoMD)\n");
+    let mut t = TextTable::new([
+        "scheme",
+        "system MTTF (h)",
+        "checkpoint efficiency",
+        "RMT slowdown",
+    ]);
+    for (label, mttf, eff, slow) in resilience() {
+        t.row([
+            label,
+            format!("{mttf:.2}"),
+            format!("{eff:.3}"),
+            format!("{slow:.2}"),
+        ]);
+    }
+    out.push_str(&t.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oracle_reconfiguration_is_fastest() {
+        let rows = reconfiguration();
+        let time = |name: &str| rows.iter().find(|r| r.0 == name).unwrap().1;
+        assert!(time("oracle") <= time("reactive") + 1e-9);
+        assert!(time("oracle") < time("static"));
+    }
+
+    #[test]
+    fn rmt_and_ecc_buy_mttf_while_ntc_spends_it() {
+        let rows = resilience();
+        let mttf = |name: &str| rows.iter().find(|r| r.0.starts_with(name)).unwrap().1;
+        assert!(mttf("ECC+RMT, nominal") > mttf("ECC only, nominal"));
+        assert!(mttf("ECC only, NTC") < mttf("ECC only, nominal"));
+        assert!(mttf("ECC+RMT, NTC") > mttf("ECC only, NTC"));
+    }
+
+    #[test]
+    fn report_has_both_sections() {
+        let out = run();
+        assert!(out.contains("Dynamic reconfiguration"));
+        assert!(out.contains("Resiliency"));
+    }
+}

@@ -1,0 +1,80 @@
+//! Fig. 11: heat map of the bottom-most in-package DRAM die for SNAP,
+//! best-mean configuration vs SNAP's own oracle configuration.
+
+use ena_core::node::EvalOptions;
+use ena_workloads::profile_for;
+
+use super::context::{explore_baseline, simulator, DSE_MISS_FRACTION};
+
+/// The two heat maps plus their labels and peak temperatures.
+pub struct HeatMaps {
+    /// (config label, rendered ASCII map, peak DRAM temperature in degC).
+    pub best_mean: (String, String, f64),
+    /// Same for SNAP's oracle configuration.
+    pub per_app: (String, String, f64),
+}
+
+/// Computes the SNAP heat maps.
+pub fn heat_maps() -> HeatMaps {
+    let sim = simulator();
+    let dse = explore_baseline();
+    let snap = profile_for("SNAP").expect("SNAP is in the suite");
+    let options = EvalOptions::with_miss_fraction(DSE_MISS_FRACTION);
+
+    let solve = |point: ena_core::dse::ConfigPoint| {
+        let config = point.to_config();
+        let eval = sim.evaluate(&config, &snap, &options);
+        let t = sim.thermal(&config, &eval).expect("thermal solve converges");
+        (point.label(), t.render_bottom_dram(), t.peak_dram().value())
+    };
+
+    let snap_best = dse
+        .per_app
+        .iter()
+        .find(|a| a.app == "SNAP")
+        .expect("SNAP explored")
+        .point;
+
+    HeatMaps {
+        best_mean: solve(dse.best_mean),
+        per_app: solve(snap_best),
+    }
+}
+
+/// Regenerates Fig. 11.
+pub fn run() -> String {
+    let maps = heat_maps();
+    format!(
+        "Fig. 11: bottom in-package DRAM die heat map for SNAP\n\
+         (' ' coolest ... '@' hottest; hot columns = GPU shader engines below)\n\n\
+         Best-mean configuration ({}), peak {:.1} degC:\n{}\n\
+         Best SNAP-specific configuration ({}), peak {:.1} degC:\n{}",
+        maps.best_mean.0,
+        maps.best_mean.2,
+        maps.best_mean.1,
+        maps.per_app.0,
+        maps.per_app.2,
+        maps.per_app.1,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_maps_render_with_structure() {
+        let maps = heat_maps();
+        for (label, art, peak) in [&maps.best_mean, &maps.per_app] {
+            assert_eq!(art.lines().count(), 16, "{label}");
+            assert!(art.contains('@'), "{label} has no hottest cell");
+            assert!(*peak > 50.0 && *peak < 85.0, "{label}: peak {peak}");
+        }
+    }
+
+    #[test]
+    fn the_two_configurations_differ() {
+        let maps = heat_maps();
+        assert_ne!(maps.best_mean.0, maps.per_app.0);
+    }
+}

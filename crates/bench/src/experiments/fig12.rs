@@ -1,0 +1,97 @@
+//! Fig. 12: node-power savings from each Section V-E optimization,
+//! individually and combined, per application.
+
+use ena_core::node::{EvalOptions, NodeSimulator};
+use ena_power::opts::PowerOptimization;
+use ena_workloads::paper_profiles;
+
+use super::context::{best_mean, DSE_MISS_FRACTION};
+use crate::TextTable;
+
+/// Savings per app: `(app, [per-optimization %...], all-combined %)`.
+pub fn savings() -> Vec<(String, Vec<f64>, f64)> {
+    let sim = NodeSimulator::new();
+    let config = best_mean().to_config();
+    paper_profiles()
+        .iter()
+        .map(|p| {
+            let base = sim
+                .evaluate(&config, p, &EvalOptions::with_miss_fraction(DSE_MISS_FRACTION))
+                .node_power()
+                .value();
+            let with = |opts: &[PowerOptimization]| {
+                let mut options = EvalOptions::with_miss_fraction(DSE_MISS_FRACTION);
+                options.optimizations = opts.to_vec();
+                let p_opt = sim.evaluate(&config, p, &options).node_power().value();
+                100.0 * (1.0 - p_opt / base)
+            };
+            let per: Vec<f64> = PowerOptimization::ALL.iter().map(|o| with(&[*o])).collect();
+            let all = with(&PowerOptimization::ALL);
+            (p.name.clone(), per, all)
+        })
+        .collect()
+}
+
+/// Regenerates Fig. 12.
+pub fn run() -> String {
+    let mut header = vec!["app".to_string()];
+    header.extend(PowerOptimization::ALL.iter().map(|o| o.label().to_string()));
+    header.push("All".into());
+    let mut t = TextTable::new(header);
+    for (app, per, all) in savings() {
+        let mut row = vec![app];
+        row.extend(per.iter().map(|v| format!("{v:.1}%")));
+        row.push(format!("{all:.1}%"));
+        t.row(row);
+    }
+    format!(
+        "Fig. 12: power savings from optimizations (relative to no optimization)\n\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn combined_savings_span_the_papers_band() {
+        // Paper: 13-27 % across applications with all techniques.
+        let all: Vec<f64> = savings().iter().map(|(_, _, a)| *a).collect();
+        let min = all.iter().copied().fold(f64::MAX, f64::min);
+        let max = all.iter().copied().fold(f64::MIN, f64::max);
+        assert!(min > 9.0, "min combined {min}");
+        assert!(max < 30.0, "max combined {max}");
+        assert!(max - min > 2.0, "no app-to-app variation: {all:?}");
+    }
+
+    #[test]
+    fn ntc_dominates_the_individual_techniques() {
+        // Paper averages: NTC 14 % >> async CUs 4.3 % > routers 3.0 % >
+        // links 1.6 % ~ compression 1.7 %.
+        let rows = savings();
+        let n = rows.len() as f64;
+        let avg = |i: usize| rows.iter().map(|(_, per, _)| per[i]).sum::<f64>() / n;
+        let ntc = avg(0);
+        assert!((7.0..20.0).contains(&ntc), "NTC avg {ntc}");
+        for i in 1..5 {
+            assert!(ntc > avg(i), "NTC should dominate technique {i}");
+        }
+        let async_cus = avg(1);
+        assert!((1.2..7.0).contains(&async_cus), "async CUs avg {async_cus}");
+    }
+
+    #[test]
+    fn memory_intensive_apps_benefit_most_from_compression() {
+        // Paper: LULESH benefits the most from compression.
+        let rows = savings();
+        let comp = |name: &str| {
+            rows.iter()
+                .find(|(app, _, _)| app == name)
+                .map(|(_, per, _)| per[4])
+                .unwrap()
+        };
+        assert!(comp("LULESH") > comp("MaxFlops"));
+        assert!(comp("LULESH") > comp("CoMD"));
+    }
+}

@@ -1,0 +1,87 @@
+//! Fig. 14: MaxFlops system performance and power vs CU count.
+//!
+//! Sweeps the CU count at 1 GHz / 1 TB/s and projects to the 100,000-node
+//! machine: exaflops (left panel) and megawatts (right panel).
+
+use ena_core::node::EvalOptions;
+use ena_core::system::{project_paper_system, SystemProjection};
+use ena_model::config::EhpConfig;
+use ena_model::units::{GigabytesPerSec, Megahertz};
+use ena_workloads::profile_for;
+
+use super::context::simulator;
+use crate::TextTable;
+
+/// The paper's CU sweep.
+pub const CU_COUNTS: [u32; 5] = [192, 224, 256, 288, 320];
+
+/// Projects the system for each CU count.
+pub fn projections() -> Vec<(u32, SystemProjection)> {
+    let sim = simulator();
+    let maxflops = profile_for("MaxFlops").expect("MaxFlops is in the suite");
+    CU_COUNTS
+        .iter()
+        .map(|&cus| {
+            let config = EhpConfig::builder()
+                .total_cus(cus)
+                .gpu_clock(Megahertz::new(1000.0))
+                .hbm_bandwidth(GigabytesPerSec::from_terabytes_per_sec(1.0))
+                .build()
+                .expect("sweep point is valid");
+            let p = project_paper_system(
+                &sim,
+                &config,
+                &maxflops,
+                &EvalOptions::with_miss_fraction(0.0),
+            );
+            (cus, p)
+        })
+        .collect()
+}
+
+/// Regenerates Fig. 14.
+pub fn run() -> String {
+    let mut t = TextTable::new(["CUs per node", "node TF", "system EF", "system MW"]);
+    for (cus, p) in projections() {
+        t.row([
+            format!("{cus}"),
+            format!("{:.1}", p.node_teraflops),
+            format!("{:.2}", p.exaflops),
+            format!("{:.1}", p.power_mw),
+        ]);
+    }
+    format!(
+        "Fig. 14: MaxFlops performance and power (100,000 nodes, 1 GHz, 1 TB/s)\n\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_sweep_crosses_an_exaflop_within_budget() {
+        let ps = projections();
+        let (_, at320) = ps.last().unwrap();
+        // Paper: up to 18.6 TF/node -> 1.86 EF at 11.1 MW.
+        assert!(at320.exaflops > 1.5, "EF = {}", at320.exaflops);
+        assert!(at320.power_mw < 20.0, "MW = {}", at320.power_mw);
+    }
+
+    #[test]
+    fn performance_is_linear_in_cus() {
+        let ps = projections();
+        let slope0 = ps[1].1.exaflops - ps[0].1.exaflops;
+        let slope_last = ps[4].1.exaflops - ps[3].1.exaflops;
+        assert!((slope0 - slope_last).abs() / slope0 < 0.05);
+    }
+
+    #[test]
+    fn power_is_increasing_in_cus() {
+        let ps = projections();
+        for w in ps.windows(2) {
+            assert!(w[1].1.power_mw > w[0].1.power_mw);
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Figs. 4-6: per-kernel performance as bandwidth and (a) CU frequency or
+//! (b) CU count vary.
+//!
+//! The x-axis is hardware ops-per-byte (`CU-count x GHz / GB/s`); each
+//! series is one in-package bandwidth. Performance is normalized to the
+//! kernel's throughput at the best-mean configuration, exactly as the
+//! paper plots it. Fig. 4 = MaxFlops, Fig. 5 = CoMD, Fig. 6 = LULESH.
+
+use ena_core::node::{EvalOptions, NodeSimulator};
+use ena_model::config::EhpConfig;
+use ena_model::units::{GigabytesPerSec, Megahertz};
+use ena_workloads::profile_for;
+
+use super::context::{best_mean, simulator, DSE_MISS_FRACTION};
+use crate::TextTable;
+
+/// The bandwidth series the paper sweeps (TB/s).
+pub const BANDWIDTHS_TBPS: [f64; 6] = [1.0, 3.0, 4.0, 5.0, 6.0, 7.0];
+
+/// One sweep point.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SweepPoint {
+    /// Hardware ops-per-byte (CU-count x GHz / GB/s).
+    pub ops_per_byte: f64,
+    /// Throughput normalized to the best-mean configuration.
+    pub normalized_perf: f64,
+}
+
+/// The full two-panel sweep for one application.
+#[derive(Clone, Debug)]
+pub struct Sweep {
+    /// Application name.
+    pub app: String,
+    /// Panel (a): per bandwidth, points swept over CU *frequency*.
+    pub by_frequency: Vec<(f64, Vec<SweepPoint>)>,
+    /// Panel (b): per bandwidth, points swept over CU *count*.
+    pub by_cu_count: Vec<(f64, Vec<SweepPoint>)>,
+}
+
+fn eval(sim: &NodeSimulator, app: &str, cus: u32, mhz: f64, tbps: f64) -> f64 {
+    let profile = profile_for(app).unwrap_or_else(|| panic!("unknown app {app}"));
+    let config = EhpConfig::builder()
+        .total_cus(cus)
+        .gpu_clock(Megahertz::new(mhz))
+        .hbm_bandwidth(GigabytesPerSec::from_terabytes_per_sec(tbps))
+        .build()
+        .expect("sweep point is valid");
+    sim.evaluate(
+        &config,
+        &profile,
+        &EvalOptions::with_miss_fraction(DSE_MISS_FRACTION),
+    )
+    .perf
+    .throughput
+    .value()
+}
+
+/// Runs the sweep for one application.
+pub fn sweep(app: &str) -> Sweep {
+    let sim = simulator();
+    let mean = best_mean();
+    let reference = eval(
+        &sim,
+        app,
+        mean.cus,
+        mean.clock.value(),
+        mean.bandwidth.terabytes_per_sec(),
+    );
+
+    let by_frequency = BANDWIDTHS_TBPS
+        .iter()
+        .map(|&tbps| {
+            let points = (600..=1500)
+                .step_by(100)
+                .map(|mhz| SweepPoint {
+                    ops_per_byte: 320.0 * f64::from(mhz) / 1000.0 / (tbps * 1000.0),
+                    normalized_perf: eval(&sim, app, 320, f64::from(mhz), tbps) / reference,
+                })
+                .collect();
+            (tbps, points)
+        })
+        .collect();
+
+    let by_cu_count = BANDWIDTHS_TBPS
+        .iter()
+        .map(|&tbps| {
+            let points = (192..=384)
+                .step_by(32)
+                .map(|cus| SweepPoint {
+                    ops_per_byte: f64::from(cus) / (tbps * 1000.0),
+                    normalized_perf: eval(&sim, app, cus, 1000.0, tbps) / reference,
+                })
+                .collect();
+            (tbps, points)
+        })
+        .collect();
+
+    Sweep {
+        app: app.to_owned(),
+        by_frequency,
+        by_cu_count,
+    }
+}
+
+fn render_panel(title: &str, series: &[(f64, Vec<SweepPoint>)]) -> String {
+    let mut t = TextTable::new(["TB/s", "ops/byte", "norm. perf"]);
+    for (tbps, points) in series {
+        for p in points {
+            t.row([
+                format!("{tbps}"),
+                format!("{:.4}", p.ops_per_byte),
+                format!("{:.3}", p.normalized_perf),
+            ]);
+        }
+    }
+    format!("{title}\n{}", t.render())
+}
+
+/// Regenerates the figure for one application.
+pub fn run(app: &str) -> String {
+    let s = sweep(app);
+    let fig = match app {
+        "MaxFlops" => "Fig. 4",
+        "CoMD" => "Fig. 5",
+        "LULESH" => "Fig. 6",
+        _ => "Fig. 4-6 (extra)",
+    };
+    format!(
+        "{fig}: {} performance vs bandwidth and compute\n\n{}\n{}",
+        s.app,
+        render_panel("(a) sweeping CU frequency at 320 CUs", &s.by_frequency),
+        render_panel("(b) sweeping CU count at 1000 MHz", &s.by_cu_count),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn last_first_ratio(points: &[SweepPoint]) -> f64 {
+        points.last().unwrap().normalized_perf / points.first().unwrap().normalized_perf
+    }
+
+    #[test]
+    fn fig4_maxflops_curves_overlap_across_bandwidths() {
+        let s = sweep("MaxFlops");
+        // At the same frequency, all bandwidth series give the same perf.
+        let at_1tb = &s.by_frequency[0].1;
+        let at_7tb = &s.by_frequency[5].1;
+        for (a, b) in at_1tb.iter().zip(at_7tb) {
+            assert!((a.normalized_perf - b.normalized_perf).abs() < 0.02);
+        }
+        // And frequency scaling is linear (2.5x from 600 to 1500 MHz).
+        assert!((last_first_ratio(at_1tb) - 2.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn fig5_comd_gains_more_from_compute_on_high_bandwidth() {
+        let s = sweep("CoMD");
+        let lo = last_first_ratio(&s.by_frequency[0].1); // 1 TB/s
+        let hi = last_first_ratio(&s.by_frequency[5].1); // 7 TB/s
+        assert!(hi > lo, "lo {lo}, hi {hi}");
+    }
+
+    #[test]
+    fn fig6_lulesh_declines_on_the_low_bandwidth_curve() {
+        let s = sweep("LULESH");
+        let curve = &s.by_frequency[0].1; // 1 TB/s
+        let peak = curve
+            .iter()
+            .map(|p| p.normalized_perf)
+            .fold(f64::MIN, f64::max);
+        let last = curve.last().unwrap().normalized_perf;
+        assert!(last < peak, "no decline: peak {peak}, last {last}");
+    }
+
+    #[test]
+    fn normalization_hits_one_at_the_best_mean_point() {
+        let mean = best_mean();
+        let s = sweep("CoMD");
+        // The by-cu panel at the mean's bandwidth and 1000 MHz contains a
+        // point close to the mean config; its normalized perf is ~1 when
+        // the mean clock is 1000 MHz, and within a sane band otherwise.
+        let mean_bw = mean.bandwidth.terabytes_per_sec();
+        let series = s
+            .by_cu_count
+            .iter()
+            .find(|(t, _)| (*t - mean_bw).abs() < 1e-9);
+        if let Some((_, points)) = series {
+            assert!(points.iter().any(|p| (p.normalized_perf - 1.0).abs() < 0.25));
+        }
+    }
+
+    #[test]
+    fn output_mentions_both_panels() {
+        let out = run("MaxFlops");
+        assert!(out.contains("(a) sweeping CU frequency"));
+        assert!(out.contains("(b) sweeping CU count"));
+    }
+}

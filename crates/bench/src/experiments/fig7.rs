@@ -1,0 +1,96 @@
+//! Fig. 7: out-of-chiplet traffic and the chiplet organization's
+//! performance cost relative to a monolithic EHP.
+//!
+//! Drives workload-shaped traffic through the packet-level NoC simulator
+//! on both topologies (Section V-A). The paper shows XSBench, SNAP, and
+//! CoMD; we run the full suite and report the paper's three first.
+
+use ena_core::chiplet::{chiplet_study, ChipletStudy};
+use ena_model::config::EhpConfig;
+use ena_workloads::paper_profiles;
+
+use crate::TextTable;
+
+/// The workloads the paper's Fig. 7 shows.
+pub const PAPER_APPS: [&str; 3] = ["XSBench", "SNAP", "CoMD"];
+
+/// Requests injected per chiplet per study.
+const REQUESTS_PER_CHIPLET: u32 = 3000;
+
+/// Runs the study for every workload in the suite.
+pub fn studies() -> Vec<ChipletStudy> {
+    let config = EhpConfig::paper_baseline();
+    let mut all: Vec<ChipletStudy> = paper_profiles()
+        .iter()
+        .map(|p| chiplet_study(&config, p, REQUESTS_PER_CHIPLET, 0xF167))
+        .collect();
+    // Paper order: the three shown first, then the rest.
+    all.sort_by_key(|s| {
+        PAPER_APPS
+            .iter()
+            .position(|&n| n == s.app)
+            .unwrap_or(usize::MAX)
+    });
+    all
+}
+
+/// Regenerates Fig. 7.
+pub fn run() -> String {
+    let mut t = TextTable::new([
+        "app",
+        "out-of-chiplet traffic %",
+        "perf vs monolithic %",
+        "chiplet lat (cyc)",
+        "monolithic lat (cyc)",
+    ]);
+    for s in studies() {
+        t.row([
+            s.app.clone(),
+            format!("{:.1}", 100.0 * s.out_of_chiplet_fraction),
+            format!("{:.1}", 100.0 * s.perf_relative_to_monolithic),
+            format!("{:.1}", s.chiplet_latency_cycles),
+            format!("{:.1}", s.monolithic_latency_cycles),
+        ]);
+    }
+    format!(
+        "Fig. 7: out-of-chiplet traffic and impact on performance\n\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traffic_and_impact_match_the_papers_findings() {
+        let all = studies();
+        for s in &all {
+            // Finding 1: 60-95 % out-of-chiplet traffic.
+            assert!(
+                (0.55..=0.97).contains(&s.out_of_chiplet_fraction),
+                "{}: {}",
+                s.app,
+                s.out_of_chiplet_fraction
+            );
+            // Finding 2: worst degradation ~13 %.
+            assert!(
+                s.perf_relative_to_monolithic >= 0.85,
+                "{}: {}",
+                s.app,
+                s.perf_relative_to_monolithic
+            );
+        }
+        // Some kernels are nearly unaffected (SNAP in the paper).
+        assert!(all.iter().any(|s| s.perf_relative_to_monolithic > 0.97));
+    }
+
+    #[test]
+    fn report_lists_the_papers_three_apps_first() {
+        let out = run();
+        let xs = out.find("XSBench").unwrap();
+        let snap = out.find("SNAP").unwrap();
+        let comd = out.find("CoMD").unwrap();
+        assert!(xs < snap && snap < comd, "{out}");
+    }
+}

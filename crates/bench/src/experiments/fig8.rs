@@ -1,0 +1,98 @@
+//! Fig. 8: performance impact of in-package DRAM miss rates.
+//!
+//! Artificially varies the fraction of memory requests serviced by
+//! external memory (0-100 %) and reports throughput normalized to the
+//! no-miss case, per application (Section V-B).
+
+use ena_core::node::{EvalOptions, NodeSimulator};
+use ena_model::config::EhpConfig;
+use ena_workloads::paper_profiles;
+
+use crate::TextTable;
+
+/// The paper's miss-rate sweep.
+pub const MISS_RATES: [f64; 6] = [0.0, 0.2, 0.4, 0.6, 0.8, 1.0];
+
+/// Per-app normalized-performance series.
+pub fn series() -> Vec<(String, Vec<f64>)> {
+    let sim = NodeSimulator::new();
+    let config = EhpConfig::paper_baseline();
+    paper_profiles()
+        .iter()
+        .map(|p| {
+            let clean = sim
+                .evaluate(&config, p, &EvalOptions::with_miss_fraction(0.0))
+                .perf
+                .throughput
+                .value();
+            let points = MISS_RATES
+                .iter()
+                .map(|&m| {
+                    sim.evaluate(&config, p, &EvalOptions::with_miss_fraction(m))
+                        .perf
+                        .throughput
+                        .value()
+                        / clean
+                })
+                .collect();
+            (p.name.clone(), points)
+        })
+        .collect()
+}
+
+/// Regenerates Fig. 8.
+pub fn run() -> String {
+    let mut header = vec!["app".to_string()];
+    header.extend(MISS_RATES.iter().map(|m| format!("{:.0}%", m * 100.0)));
+    let mut t = TextTable::new(header);
+    for (app, points) in series() {
+        let mut row = vec![app];
+        row.extend(points.iter().map(|v| format!("{v:.3}")));
+        t.row(row);
+    }
+    format!(
+        "Fig. 8: performance vs in-package DRAM miss rate (normalized to no misses)\n\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degradation_band_matches_the_paper() {
+        // Paper: MaxFlops flat; others degrade 7-75 % at high miss rates.
+        for (app, points) in series() {
+            let at_full = *points.last().unwrap();
+            if app == "MaxFlops" {
+                assert!((at_full - 1.0).abs() < 0.02, "MaxFlops moved: {at_full}");
+            } else {
+                let degradation = 1.0 - at_full;
+                assert!(
+                    (0.02..=0.85).contains(&degradation),
+                    "{app}: degradation {degradation}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn performance_is_monotone_in_miss_rate() {
+        for (app, points) in series() {
+            for pair in points.windows(2) {
+                assert!(
+                    pair[1] <= pair[0] + 1e-9,
+                    "{app}: non-monotone {pair:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_miss_normalizes_to_one() {
+        for (_, points) in series() {
+            assert!((points[0] - 1.0).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Substrate studies: the HSA runtime (Section II-A.1) and the chiplet
+//! cost argument (Section II-A.2), both quantified.
+
+use ena_hsa::runtime::{Runtime, RuntimeConfig};
+use ena_hsa::sync::SyncModel;
+use ena_hsa::task::{TaskCost, TaskGraph};
+use ena_model::cost::{chiplet_package, monolithic_package, AssemblyCost, ProcessCost};
+use ena_model::units::SquareMillimeters;
+
+use crate::TextTable;
+
+/// Offload-granularity sweep: the same 40 ms of GPU work split into `k`
+/// independent kernels, executed under HSA user-mode dispatch and under a
+/// legacy driver path. Returns `(k, hsa_ms, legacy_ms)`.
+pub fn granularity_sweep() -> Vec<(u32, f64, f64)> {
+    const TOTAL_US: f64 = 40_000.0;
+    [1u32, 8, 64, 512, 4096]
+        .iter()
+        .map(|&k| {
+            let mut g = TaskGraph::new();
+            let pre = g.add("pre", TaskCost::cpu(10.0), &[]).expect("valid");
+            let kernels: Vec<_> = (0..k)
+                .map(|i| {
+                    g.add(format!("k{i}"), TaskCost::gpu(TOTAL_US / f64::from(k)), &[pre])
+                        .expect("valid")
+                })
+                .collect();
+            g.add("post", TaskCost::cpu(10.0), &kernels).expect("valid");
+
+            let hsa = Runtime::new(RuntimeConfig::hsa()).execute(&g).makespan_us;
+            let legacy = Runtime::new(RuntimeConfig::legacy_driver())
+                .execute(&g)
+                .makespan_us;
+            (k, hsa / 1000.0, legacy / 1000.0)
+        })
+        .collect()
+}
+
+/// CPU-GPU ping-pong under the two memory models. Returns
+/// `(model name, makespan_us, sync_overhead_us)`.
+pub fn sync_comparison() -> Vec<(&'static str, f64, f64)> {
+    let mut g = TaskGraph::new();
+    let mut prev = g.add("c", TaskCost::cpu(3.0), &[]).expect("valid");
+    for i in 0..200 {
+        let cost = if i % 2 == 0 {
+            TaskCost::gpu(3.0)
+        } else {
+            TaskCost::cpu(3.0)
+        };
+        prev = g.add(format!("t{i}"), cost, &[prev]).expect("valid");
+    }
+    [SyncModel::conventional(), SyncModel::quick_release()]
+        .into_iter()
+        .map(|sync| {
+            let cfg = RuntimeConfig {
+                sync,
+                ..RuntimeConfig::hsa()
+            };
+            let s = Runtime::new(cfg).execute(&g);
+            (sync.name, s.makespan_us, s.sync_overhead_us)
+        })
+        .collect()
+}
+
+/// The EHP package cost vs equivalent monoliths. Returns rows of
+/// `(label, silicon $, total $ per good package)`.
+pub fn package_costs() -> Vec<(String, f64, f64)> {
+    let compute = ProcessCost::leading_edge();
+    let interposer = ProcessCost::mature_node();
+    let assembly = AssemblyCost::default();
+    let mm2 = SquareMillimeters::new;
+
+    let mut rows = Vec::new();
+    let ehp = chiplet_package(
+        &compute,
+        &interposer,
+        &assembly,
+        &[(8, mm2(100.0)), (8, mm2(70.0))],
+        mm2(800.0),
+    );
+    rows.push(("EHP: 16 chiplets + interposer".to_string(), ehp.silicon, ehp.total()));
+
+    for area in [400.0, 680.0, 830.0, 1360.0] {
+        let mono = monolithic_package(&compute, &assembly, mm2(area));
+        rows.push((format!("monolithic {area:.0} mm2"), mono.silicon, mono.total()));
+    }
+    rows
+}
+
+/// Regenerates the substrate-study report.
+pub fn run() -> String {
+    let mut out = String::from("Substrate studies (Sections II-A.1 and II-A.2)\n\n");
+
+    out.push_str("1. Offload granularity: 40 ms of GPU work in k kernels\n");
+    let mut t = TextTable::new(["kernels", "HSA dispatch (ms)", "legacy driver (ms)"]);
+    for (k, hsa, legacy) in granularity_sweep() {
+        t.row([format!("{k}"), format!("{hsa:.2}"), format!("{legacy:.2}")]);
+    }
+    out.push_str(&t.render());
+
+    out.push_str("\n2. CPU-GPU ping-pong (200 tasks) under the two memory models\n");
+    let mut t = TextTable::new(["memory model", "makespan (us)", "sync overhead (us)"]);
+    for (name, makespan, sync) in sync_comparison() {
+        t.row([name.to_string(), format!("{makespan:.1}"), format!("{sync:.1}")]);
+    }
+    out.push_str(&t.render());
+
+    out.push_str("\n3. Package cost: chiplets + interposer vs monolithic\n");
+    let mut t = TextTable::new(["package", "silicon ($)", "per good package ($)"]);
+    for (label, silicon, total) in package_costs() {
+        let fmt = |v: f64| {
+            if v.is_finite() {
+                format!("{v:.0}")
+            } else {
+                "unbuildable".to_string()
+            }
+        };
+        t.row([label, fmt(silicon), fmt(total)]);
+    }
+    out.push_str(&t.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hsa_wins_and_wins_more_at_fine_granularity() {
+        let sweep = granularity_sweep();
+        for &(k, hsa, legacy) in &sweep {
+            assert!(hsa <= legacy + 1e-9, "k={k}: hsa {hsa} > legacy {legacy}");
+        }
+        let coarse_gap = sweep[0].2 / sweep[0].1;
+        let fine_gap = sweep.last().unwrap().2 / sweep.last().unwrap().1;
+        assert!(fine_gap > coarse_gap, "coarse {coarse_gap}, fine {fine_gap}");
+    }
+
+    #[test]
+    fn quick_release_beats_conventional_on_pingpong() {
+        let rows = sync_comparison();
+        let conv = rows.iter().find(|r| r.0 == "conventional").unwrap();
+        let qr = rows.iter().find(|r| r.0 == "quick-release").unwrap();
+        assert!(qr.1 < conv.1, "makespan {} vs {}", qr.1, conv.1);
+        assert!(qr.2 < conv.2 / 2.0, "sync {} vs {}", qr.2, conv.2);
+    }
+
+    #[test]
+    fn the_monolithic_ehp_is_unbuildable_but_chiplets_are_cheap() {
+        let rows = package_costs();
+        let ehp = &rows[0];
+        assert!(ehp.2.is_finite());
+        let full_mono = rows.iter().find(|r| r.0.contains("1360")).unwrap();
+        assert!(full_mono.2.is_infinite());
+        // And even the largest buildable monolith costs more than the
+        // chiplet package of comparable compute area.
+        let reticle_mono = rows.iter().find(|r| r.0.contains("830")).unwrap();
+        assert!(reticle_mono.2 > ehp.2 * 0.5);
+    }
+}

@@ -1,0 +1,85 @@
+//! The paper's evaluation artifacts, one module per table/figure.
+
+pub mod ablations;
+pub mod context;
+pub mod extensions;
+pub mod fig10;
+pub mod hsa_cost;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig4_6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod table1;
+pub mod table2;
+pub mod validation;
+
+/// Every experiment name the `figures` binary accepts, in paper order.
+pub const ALL_EXPERIMENTS: [&str; 17] = [
+    "table1",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "table2",
+    "ablations",
+    "validation",
+    "extensions",
+    "substrates",
+];
+
+/// Runs one experiment by name, returning its printed report.
+///
+/// Returns `None` for unknown names.
+pub fn run(name: &str) -> Option<String> {
+    Some(match name {
+        "table1" => table1::run(),
+        "fig4" => fig4_6::run("MaxFlops"),
+        "fig5" => fig4_6::run("CoMD"),
+        "fig6" => fig4_6::run("LULESH"),
+        "fig7" => fig7::run(),
+        "fig8" => fig8::run(),
+        "fig9" => fig9::run(),
+        "fig10" => fig10::run(),
+        "fig11" => fig11::run(),
+        "fig12" => fig12::run(),
+        "fig13" => fig13::run(),
+        "fig14" => fig14::run(),
+        "table2" => table2::run(),
+        "ablations" => ablations::run(),
+        "validation" => validation::run(),
+        "extensions" => extensions::run(),
+        "substrates" => hsa_cost::run(),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_experiment_is_rejected() {
+        assert!(run("fig99").is_none());
+    }
+
+    #[test]
+    fn experiment_list_is_dispatchable() {
+        // Spot-check the cheap ones end-to-end; the expensive ones have
+        // their own module tests.
+        for name in ["table1", "fig14"] {
+            let out = run(name).unwrap();
+            assert!(!out.is_empty(), "{name}");
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Table I: application descriptions and categories, with measured
+//! characteristics from the executable mini-kernels appended.
+
+use ena_workloads::app::RunConfig;
+use ena_workloads::apps::all_apps;
+use ena_workloads::Characterization;
+
+use crate::TextTable;
+
+/// Regenerates Table I, extended with measured per-kernel statistics.
+pub fn run() -> String {
+    let mut t = TextTable::new([
+        "Category",
+        "Application",
+        "Description",
+        "measured flop/byte",
+        "write frac",
+        "seq frac",
+    ]);
+    let cfg = RunConfig::small();
+    for app in all_apps() {
+        let c = Characterization::measure(app.as_ref(), &cfg);
+        t.row([
+            app.category().to_string(),
+            app.name().to_string(),
+            app.description().to_string(),
+            format!("{:.3}", c.ops_per_byte),
+            format!("{:.2}", c.write_fraction),
+            format!("{:.2}", c.sequential_fraction),
+        ]);
+    }
+    format!("Table I: application descriptions\n\n{}", t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn table1_lists_all_eight_workloads() {
+        let out = super::run();
+        for name in [
+            "MaxFlops", "CoMD", "CoMD-LJ", "HPGMG", "LULESH", "MiniAMR", "XSBench", "SNAP",
+        ] {
+            assert!(out.contains(name), "missing {name}:\n{out}");
+        }
+        assert!(out.contains("memory-intensive"));
+        assert!(out.contains("balanced"));
+    }
+}

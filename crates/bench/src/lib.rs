@@ -1,0 +1,110 @@
+//! Experiment harness regenerating every table and figure of the paper.
+//!
+//! Each submodule of [`experiments`] reproduces one evaluation artifact:
+//!
+//! | Module | Paper artifact |
+//! |---|---|
+//! | [`experiments::table1`] | Table I — application descriptions |
+//! | [`experiments::fig4_6`] | Figs. 4-6 — per-category scaling sweeps |
+//! | [`experiments::fig7`] | Fig. 7 — chiplet vs monolithic |
+//! | [`experiments::fig8`] | Fig. 8 — in-package miss-rate sensitivity |
+//! | [`experiments::fig9`] | Fig. 9 — external-memory power breakdown |
+//! | [`experiments::fig10`] | Fig. 10 — peak in-package DRAM temperature |
+//! | [`experiments::fig11`] | Fig. 11 — bottom DRAM die heat map (SNAP) |
+//! | [`experiments::fig12`] | Fig. 12 — power-optimization savings |
+//! | [`experiments::fig13`] | Fig. 13 — perf-per-watt improvement |
+//! | [`experiments::fig14`] | Fig. 14 — MaxFlops exaflops and megawatts |
+//! | [`experiments::table2`] | Table II — per-app oracle configurations |
+//! | [`experiments::ablations`] | beyond-paper design-knob ablations |
+//!
+//! The `figures` binary dispatches to these: `figures fig8`, `figures all`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+
+/// A minimal fixed-width text table builder for experiment output.
+#[derive(Clone, Debug, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Starts a table with the given column headers.
+    pub fn new<S: Into<String>>(header: impl IntoIterator<Item = S>) -> Self {
+        Self {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header width).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Self {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.header.len(), "row width mismatch");
+        self.rows.push(row);
+        self
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = h.chars().count();
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.chars().count());
+            }
+        }
+        let fmt_line = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<w$}", c, w = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+                .trim_end()
+                .to_string()
+        };
+        let mut out = fmt_line(&self.header);
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_line(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let mut t = TextTable::new(["app", "value"]);
+        t.row(["LULESH", "1.0"]);
+        t.row(["X", "12345.6"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("app"));
+        assert!(lines[2].starts_with("LULESH"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn mismatched_rows_are_rejected() {
+        TextTable::new(["a", "b"]).row(["only-one"]);
+    }
+}

@@ -1,0 +1,18 @@
+//! The `ena` command-line tool. See `ena help`.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match ena_cli::parse(args).and_then(ena_cli::execute) {
+        Ok(report) => {
+            println!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!("{}", ena_cli::USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}

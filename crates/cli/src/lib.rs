@@ -1,0 +1,420 @@
+//! Command-line interface logic for the ENA toolkit.
+//!
+//! The `ena` binary wraps the node simulator for interactive use:
+//!
+//! ```text
+//! ena evaluate --app LULESH --cus 320 --mhz 1000 --tbps 3 [--miss 0.15] [--optimized]
+//! ena suite    [--cus N --mhz F --tbps B]       # all eight workloads
+//! ena dse      [--budget 160] [--fine]          # design-space exploration
+//! ena chiplet  --app SNAP                       # chiplet-vs-monolithic study
+//! ```
+//!
+//! Parsing and rendering live in this library so they are unit-testable;
+//! the binary is a thin wrapper.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use ena_core::chiplet::chiplet_study;
+use ena_core::dse::{DesignSpace, Explorer};
+use ena_core::node::{EvalOptions, NodeSimulator};
+use ena_model::config::EhpConfig;
+use ena_model::units::{GigabytesPerSec, Megahertz, Watts};
+use ena_power::opts::PowerOptimization;
+use ena_workloads::{paper_profiles, profile_for};
+
+/// A parsed command.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    /// Evaluate one app on one configuration.
+    Evaluate {
+        /// Application name (Table I).
+        app: String,
+        /// Configuration knobs.
+        point: Point,
+        /// Explicit miss fraction (None = the app's own).
+        miss: Option<f64>,
+        /// Apply the Section V-E power optimizations.
+        optimized: bool,
+    },
+    /// Evaluate the whole suite on one configuration.
+    Suite {
+        /// Configuration knobs.
+        point: Point,
+    },
+    /// Run the design-space exploration.
+    Dse {
+        /// Package power budget in watts.
+        budget: f64,
+        /// Use the full >1000-point sweep instead of the coarse grid.
+        fine: bool,
+    },
+    /// Run the chiplet-vs-monolithic study for one app.
+    Chiplet {
+        /// Application name.
+        app: String,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// CU count / clock / bandwidth triple.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Point {
+    /// Total CU count.
+    pub cus: u32,
+    /// GPU clock in MHz.
+    pub mhz: f64,
+    /// In-package bandwidth in TB/s.
+    pub tbps: f64,
+}
+
+impl Default for Point {
+    fn default() -> Self {
+        Self {
+            cus: 320,
+            mhz: 1000.0,
+            tbps: 3.0,
+        }
+    }
+}
+
+impl Point {
+    fn to_config(self) -> Result<EhpConfig, String> {
+        EhpConfig::builder()
+            .total_cus(self.cus)
+            .gpu_clock(Megahertz::new(self.mhz))
+            .hbm_bandwidth(GigabytesPerSec::from_terabytes_per_sec(self.tbps))
+            .build()
+            .map_err(|e| e.to_string())
+    }
+}
+
+/// Extracts `--name value` from `args`, removing both tokens.
+fn take_value(args: &mut Vec<String>, name: &str) -> Result<Option<String>, String> {
+    match args.iter().position(|a| a == name) {
+        Some(i) if i + 1 < args.len() => {
+            let v = args.remove(i + 1);
+            args.remove(i);
+            Ok(Some(v))
+        }
+        Some(_) => Err(format!("{name} requires a value")),
+        None => Ok(None),
+    }
+}
+
+/// Extracts a boolean `--flag`.
+fn take_flag(args: &mut Vec<String>, name: &str) -> bool {
+    match args.iter().position(|a| a == name) {
+        Some(i) => {
+            args.remove(i);
+            true
+        }
+        None => false,
+    }
+}
+
+fn parse_point(args: &mut Vec<String>) -> Result<Point, String> {
+    let mut p = Point::default();
+    if let Some(v) = take_value(args, "--cus")? {
+        p.cus = v.parse().map_err(|_| format!("bad --cus: {v}"))?;
+    }
+    if let Some(v) = take_value(args, "--mhz")? {
+        p.mhz = v.parse().map_err(|_| format!("bad --mhz: {v}"))?;
+    }
+    if let Some(v) = take_value(args, "--tbps")? {
+        p.tbps = v.parse().map_err(|_| format!("bad --tbps: {v}"))?;
+    }
+    Ok(p)
+}
+
+fn require_app(args: &mut Vec<String>) -> Result<String, String> {
+    let app = take_value(args, "--app")?.ok_or("--app is required")?;
+    if profile_for(&app).is_none() {
+        let names: Vec<String> = paper_profiles().iter().map(|p| p.name.clone()).collect();
+        return Err(format!("unknown app '{app}'; known: {}", names.join(", ")));
+    }
+    Ok(app)
+}
+
+/// Parses a full argument vector (without the program name).
+///
+/// # Errors
+///
+/// Returns a human-readable message for malformed input.
+pub fn parse(mut args: Vec<String>) -> Result<Command, String> {
+    let Some(cmd) = args.first().cloned() else {
+        return Ok(Command::Help);
+    };
+    args.remove(0);
+    let command = match cmd.as_str() {
+        "evaluate" => {
+            let app = require_app(&mut args)?;
+            let point = parse_point(&mut args)?;
+            let miss = take_value(&mut args, "--miss")?
+                .map(|v| v.parse::<f64>().map_err(|_| format!("bad --miss: {v}")))
+                .transpose()?;
+            if let Some(m) = miss {
+                if !(0.0..=1.0).contains(&m) {
+                    return Err(format!("--miss must be in [0,1], got {m}"));
+                }
+            }
+            let optimized = take_flag(&mut args, "--optimized");
+            Command::Evaluate {
+                app,
+                point,
+                miss,
+                optimized,
+            }
+        }
+        "suite" => Command::Suite {
+            point: parse_point(&mut args)?,
+        },
+        "dse" => {
+            let budget = take_value(&mut args, "--budget")?
+                .map(|v| v.parse::<f64>().map_err(|_| format!("bad --budget: {v}")))
+                .transpose()?
+                .unwrap_or(160.0);
+            let fine = take_flag(&mut args, "--fine");
+            Command::Dse { budget, fine }
+        }
+        "chiplet" => Command::Chiplet {
+            app: require_app(&mut args)?,
+        },
+        "help" | "--help" | "-h" => Command::Help,
+        other => return Err(format!("unknown command '{other}'; try 'ena help'")),
+    };
+    if let Some(stray) = args.first() {
+        return Err(format!("unrecognized argument '{stray}'"));
+    }
+    Ok(command)
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+ena — Exascale Node Architecture modeling toolkit
+
+commands:
+  evaluate --app NAME [--cus N] [--mhz F] [--tbps B] [--miss M] [--optimized]
+  suite    [--cus N] [--mhz F] [--tbps B]
+  dse      [--budget W] [--fine]
+  chiplet  --app NAME
+  help
+
+apps: MaxFlops, CoMD, CoMD-LJ, HPGMG, LULESH, MiniAMR, XSBench, SNAP
+defaults: 320 CUs / 1000 MHz / 3 TB/s (the paper baseline)";
+
+/// Executes a parsed command, returning the report text.
+///
+/// # Errors
+///
+/// Returns a message if the configuration is invalid.
+pub fn execute(command: Command) -> Result<String, String> {
+    let sim = NodeSimulator::new();
+    match command {
+        Command::Help => Ok(USAGE.to_string()),
+        Command::Evaluate {
+            app,
+            point,
+            miss,
+            optimized,
+        } => {
+            let config = point.to_config()?;
+            let profile = profile_for(&app).expect("validated in parse");
+            let mut options = match miss {
+                Some(m) => EvalOptions::with_miss_fraction(m),
+                None => EvalOptions::default(),
+            };
+            if optimized {
+                options.optimizations = PowerOptimization::ALL.to_vec();
+            }
+            let eval = sim.evaluate(&config, &profile, &options);
+            let t = sim.thermal(&config, &eval).map_err(|e| e.to_string())?;
+            Ok(format!(
+                "{app} on {} CUs / {} / {:.1} TB/s\n\
+                 throughput:    {:.2} TF ({:.1}% of peak)\n\
+                 package power: {:.1} W\n\
+                 node power:    {:.1} W ({:.1} GF/W)\n\
+                 peak DRAM:     {:.1} (limit 85 degC)",
+                config.gpu.total_cus(),
+                config.gpu.clock,
+                config.hbm.total_bandwidth().terabytes_per_sec(),
+                eval.perf.throughput.teraflops(),
+                100.0 * eval.perf.throughput.value() / config.peak_throughput().value(),
+                eval.package_power().value(),
+                eval.node_power().value(),
+                eval.efficiency(),
+                t.peak_dram(),
+            ))
+        }
+        Command::Suite { point } => {
+            let config = point.to_config()?;
+            let mut out = format!(
+                "suite on {} CUs / {} / {:.1} TB/s\n{:<10} {:>8} {:>10} {:>9}\n",
+                config.gpu.total_cus(),
+                config.gpu.clock,
+                config.hbm.total_bandwidth().terabytes_per_sec(),
+                "app",
+                "TF",
+                "package W",
+                "GF/W"
+            );
+            for profile in paper_profiles() {
+                let eval = sim.evaluate(&config, &profile, &EvalOptions::default());
+                out.push_str(&format!(
+                    "{:<10} {:>8.2} {:>10.1} {:>9.1}\n",
+                    profile.name,
+                    eval.perf.throughput.teraflops(),
+                    eval.package_power().value(),
+                    eval.efficiency(),
+                ));
+            }
+            Ok(out)
+        }
+        Command::Dse { budget, fine } => {
+            let explorer = Explorer {
+                budget: Watts::new(budget),
+                ..Explorer::default()
+            };
+            let space = if fine {
+                DesignSpace::paper()
+            } else {
+                DesignSpace::coarse()
+            };
+            let result = explorer.explore(&space, &paper_profiles());
+            let mut out = format!(
+                "swept {} configurations, {} feasible under {budget} W\n\
+                 best-mean: {}\n\nper-app oracle:\n",
+                result.evaluated,
+                result.feasible,
+                result.best_mean.label()
+            );
+            for a in &result.per_app {
+                out.push_str(&format!(
+                    "  {:<10} {:<18} {:+.1}%\n",
+                    a.app,
+                    a.point.label(),
+                    a.benefit_over_mean_pct
+                ));
+            }
+            Ok(out)
+        }
+        Command::Chiplet { app } => {
+            let profile = profile_for(&app).expect("validated in parse");
+            let study = chiplet_study(&EhpConfig::paper_baseline(), &profile, 3000, 7);
+            Ok(format!(
+                "{app}: out-of-chiplet traffic {:.1}%, perf vs monolithic {:.1}%\n\
+                 latency: chiplet {:.1} cyc, monolithic {:.1} cyc",
+                100.0 * study.out_of_chiplet_fraction,
+                100.0 * study.perf_relative_to_monolithic,
+                study.chiplet_latency_cycles,
+                study.monolithic_latency_cycles,
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_str(s: &str) -> Result<Command, String> {
+        parse(s.split_whitespace().map(String::from).collect())
+    }
+
+    #[test]
+    fn evaluate_parses_all_knobs() {
+        let c = parse_str("evaluate --app LULESH --cus 256 --mhz 1100 --tbps 4 --miss 0.2 --optimized")
+            .unwrap();
+        assert_eq!(
+            c,
+            Command::Evaluate {
+                app: "LULESH".into(),
+                point: Point {
+                    cus: 256,
+                    mhz: 1100.0,
+                    tbps: 4.0
+                },
+                miss: Some(0.2),
+                optimized: true,
+            }
+        );
+    }
+
+    #[test]
+    fn defaults_are_the_paper_baseline() {
+        let c = parse_str("suite").unwrap();
+        assert_eq!(
+            c,
+            Command::Suite {
+                point: Point::default()
+            }
+        );
+    }
+
+    #[test]
+    fn bad_input_is_reported() {
+        assert!(parse_str("evaluate").unwrap_err().contains("--app"));
+        assert!(parse_str("evaluate --app NotAnApp").unwrap_err().contains("unknown app"));
+        assert!(parse_str("evaluate --app CoMD --miss 1.5").unwrap_err().contains("--miss"));
+        assert!(parse_str("explode").unwrap_err().contains("unknown command"));
+        assert!(parse_str("suite --what").unwrap_err().contains("unrecognized"));
+    }
+
+    #[test]
+    fn empty_args_mean_help() {
+        assert_eq!(parse(Vec::new()).unwrap(), Command::Help);
+        assert!(execute(Command::Help).unwrap().contains("commands:"));
+    }
+
+    #[test]
+    fn evaluate_executes_end_to_end() {
+        let out = execute(parse_str("evaluate --app CoMD").unwrap()).unwrap();
+        assert!(out.contains("CoMD"));
+        assert!(out.contains("package power"));
+        assert!(out.contains("peak DRAM"));
+    }
+
+    #[test]
+    fn suite_lists_all_apps() {
+        let out = execute(parse_str("suite --cus 256").unwrap()).unwrap();
+        for app in ["MaxFlops", "XSBench", "SNAP"] {
+            assert!(out.contains(app), "{out}");
+        }
+    }
+
+    #[test]
+    fn dse_reports_a_best_mean() {
+        let out = execute(parse_str("dse --budget 150").unwrap()).unwrap();
+        assert!(out.contains("best-mean"));
+        assert!(out.contains("per-app oracle"));
+    }
+
+    #[test]
+    fn chiplet_reports_the_fig7_quantities() {
+        let out = execute(parse_str("chiplet --app SNAP").unwrap()).unwrap();
+        assert!(out.contains("out-of-chiplet traffic"));
+        assert!(out.contains("perf vs monolithic"));
+    }
+
+    #[test]
+    fn optimized_evaluation_reports_lower_power() {
+        let base = execute(parse_str("evaluate --app LULESH").unwrap()).unwrap();
+        let opt = execute(parse_str("evaluate --app LULESH --optimized").unwrap()).unwrap();
+        let node_w = |report: &str| -> f64 {
+            report
+                .lines()
+                .find(|l| l.starts_with("node power"))
+                .and_then(|l| l.split_whitespace().nth(2))
+                .and_then(|v| v.parse().ok())
+                .expect("node power line")
+        };
+        assert!(node_w(&opt) < node_w(&base));
+    }
+
+    #[test]
+    fn invalid_config_surfaces_cleanly() {
+        let err = execute(parse_str("evaluate --app CoMD --cus 416").unwrap()).unwrap_err();
+        assert!(err.contains("area budget"), "{err}");
+    }
+}

@@ -1,0 +1,34 @@
+//! Calibration probe used while tuning the power/performance coefficients:
+//! prints the worst-case package power at key design points and the
+//! coarse design-space exploration result.
+//!
+//! Run with `cargo run -p ena-core --release --example calibrate`.
+
+use ena_core::dse::{DesignSpace, Explorer};
+use ena_core::node::{EvalOptions, NodeSimulator};
+use ena_model::config::EhpConfig;
+use ena_model::units::{GigabytesPerSec, Megahertz};
+use ena_workloads::paper_profiles;
+
+fn main() {
+    let sim = NodeSimulator::new();
+    let profiles = paper_profiles();
+    println!("=== package power at key configs (miss=0.05) ===");
+    for (c, f, b) in [(320u32, 1000.0, 3.0), (320, 1000.0, 4.0), (352, 1000.0, 3.0), (320, 1100.0, 3.0), (192, 1500.0, 6.0), (384, 925.0, 1.0), (256, 1100.0, 4.0)] {
+        let cfg = EhpConfig::builder().total_cus(c).gpu_clock(Megahertz::new(f))
+            .hbm_bandwidth(GigabytesPerSec::from_terabytes_per_sec(b)).build().unwrap();
+        let mut worst: (String, f64) = ("".into(), 0.0);
+        for p in &profiles {
+            let e = sim.evaluate(&cfg, p, &EvalOptions::with_miss_fraction(0.05));
+            if e.package_power().value() > worst.1 { worst = (p.name.clone(), e.package_power().value()); }
+        }
+        println!("{c}/{f}/{b}: worst {} {:.1} W", worst.0, worst.1);
+    }
+    println!("=== DSE (coarse) ===");
+    let r = Explorer::default().explore(&DesignSpace::coarse(), &profiles);
+    println!("feasible {}/{}", r.feasible, r.evaluated);
+    println!("best mean: {}", r.best_mean.label());
+    for a in &r.per_app {
+        println!("{:10} best {:18} +{:.1}%", a.app, a.point.label(), a.benefit_over_mean_pct);
+    }
+}

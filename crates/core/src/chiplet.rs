@@ -1,0 +1,148 @@
+//! The chiplet-vs-monolithic study (paper Section V-A, Fig. 7).
+//!
+//! Drives workload-shaped traffic through the packet-level NoC simulator
+//! on both the chiplet EHP topology and the hypothetical monolithic
+//! baseline, measures the out-of-chiplet traffic fraction and the average
+//! memory-latency difference, and converts the latter into a performance
+//! ratio through the analytic model's latency term.
+
+use ena_model::config::EhpConfig;
+use ena_model::kernel::KernelProfile;
+use ena_noc::sim::NocSim;
+use ena_noc::topology::Topology;
+use ena_noc::traffic::WorkloadTraffic;
+
+use crate::perf::{LatencyModel, PerfModel};
+
+/// Result of the chiplet study for one workload.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChipletStudy {
+    /// Workload name.
+    pub app: String,
+    /// Fraction of NoC traffic leaving the source chiplet (Fig. 7 bars).
+    pub out_of_chiplet_fraction: f64,
+    /// Mean packet latency on the chiplet topology (cycles).
+    pub chiplet_latency_cycles: f64,
+    /// Mean packet latency on the monolithic baseline (cycles).
+    pub monolithic_latency_cycles: f64,
+    /// Chiplet performance relative to the monolithic EHP (Fig. 7 line).
+    pub perf_relative_to_monolithic: f64,
+}
+
+/// Runs the Fig. 7 experiment for one workload profile.
+///
+/// `requests_per_chiplet` controls the simulated traffic volume; a few
+/// thousand is enough for stable averages.
+pub fn chiplet_study(
+    config: &EhpConfig,
+    profile: &KernelProfile,
+    requests_per_chiplet: u32,
+    seed: u64,
+) -> ChipletStudy {
+    let gpu_chiplets = config.gpu.chiplets;
+    let cpu_chiplets = config.cpu.chiplets;
+    let traffic = WorkloadTraffic::from_profile(profile, seed);
+
+    let chiplet_topo = Topology::ehp(gpu_chiplets, cpu_chiplets);
+    let chiplet_stats = NocSim::new(&chiplet_topo)
+        .run(&traffic.generate(&chiplet_topo, requests_per_chiplet));
+
+    let mono_topo = Topology::monolithic(gpu_chiplets, cpu_chiplets);
+    let mono_stats =
+        NocSim::new(&mono_topo).run(&traffic.generate(&mono_topo, requests_per_chiplet));
+
+    let chiplet_latency = chiplet_stats.avg_latency_cycles();
+    let mono_latency = mono_stats.avg_latency_cycles();
+    let extra = (chiplet_latency - mono_latency).max(0.0);
+
+    // Feed the measured latency difference into the analytic model.
+    let chiplet_model = PerfModel {
+        latency: LatencyModel {
+            chiplet_extra_cycles: extra,
+            ..LatencyModel::default()
+        },
+    };
+    let mono_model = PerfModel {
+        latency: LatencyModel {
+            chiplet_extra_cycles: 0.0,
+            ..LatencyModel::default()
+        },
+    };
+    let chiplet_perf = chiplet_model.evaluate(config, profile, 0.0).throughput.value();
+    let mono_perf = mono_model.evaluate(config, profile, 0.0).throughput.value();
+
+    ChipletStudy {
+        app: profile.name.clone(),
+        out_of_chiplet_fraction: chiplet_stats.out_of_chiplet_fraction(),
+        chiplet_latency_cycles: chiplet_latency,
+        monolithic_latency_cycles: mono_latency,
+        perf_relative_to_monolithic: chiplet_perf / mono_perf,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ena_workloads::profile_for;
+
+    fn study(name: &str) -> ChipletStudy {
+        chiplet_study(
+            &EhpConfig::paper_baseline(),
+            &profile_for(name).unwrap(),
+            2000,
+            42,
+        )
+    }
+
+    #[test]
+    fn out_of_chiplet_traffic_dominates() {
+        // Paper Finding 1: 60-95 % across kernels.
+        for name in ["XSBench", "SNAP", "CoMD"] {
+            let s = study(name);
+            assert!(
+                (0.55..=0.97).contains(&s.out_of_chiplet_fraction),
+                "{name}: {}",
+                s.out_of_chiplet_fraction
+            );
+        }
+    }
+
+    #[test]
+    fn perf_impact_is_small_despite_remote_traffic() {
+        // Paper Finding 2: worst degradation ~13 %, some negligible.
+        for name in ["XSBench", "SNAP", "CoMD"] {
+            let s = study(name);
+            assert!(
+                s.perf_relative_to_monolithic > 0.85,
+                "{name}: {}",
+                s.perf_relative_to_monolithic
+            );
+            assert!(s.perf_relative_to_monolithic <= 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn latency_sensitive_kernels_lose_the_most() {
+        let xs = study("XSBench");
+        let snap = study("SNAP");
+        assert!(
+            xs.perf_relative_to_monolithic < snap.perf_relative_to_monolithic,
+            "XSBench {} vs SNAP {}",
+            xs.perf_relative_to_monolithic,
+            snap.perf_relative_to_monolithic
+        );
+        // SNAP's abundant parallelism hides nearly everything.
+        assert!(snap.perf_relative_to_monolithic > 0.97);
+    }
+
+    #[test]
+    fn chiplet_topology_has_higher_latency() {
+        let s = study("CoMD");
+        assert!(s.chiplet_latency_cycles > s.monolithic_latency_cycles);
+    }
+
+    #[test]
+    fn study_is_deterministic() {
+        assert_eq!(study("SNAP"), study("SNAP"));
+    }
+}

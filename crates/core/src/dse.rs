@@ -1,0 +1,346 @@
+//! Design-space exploration (paper Sections V and VI).
+//!
+//! The paper sweeps "over a thousand" hardware configurations — CU count,
+//! GPU frequency, in-package bandwidth — and reports the configuration
+//! with the best mean performance under the 160 W package budget
+//! (320 CUs / 1 GHz / 3 TB/s), plus the per-application oracle
+//! configurations of Table II.
+
+use ena_model::config::{EhpConfig, MAX_CUS, NODE_POWER_BUDGET};
+use ena_model::kernel::KernelProfile;
+use ena_model::units::{GigabytesPerSec, Megahertz, Watts};
+
+use crate::node::{EvalOptions, NodeEvaluation, NodeSimulator};
+
+/// One point in the hardware design space.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ConfigPoint {
+    /// Total CU count.
+    pub cus: u32,
+    /// GPU clock.
+    pub clock: Megahertz,
+    /// Aggregate in-package bandwidth.
+    pub bandwidth: GigabytesPerSec,
+}
+
+impl ConfigPoint {
+    /// Materializes the point as a full configuration.
+    pub fn to_config(self) -> EhpConfig {
+        EhpConfig::builder()
+            .total_cus(self.cus)
+            .gpu_clock(self.clock)
+            .hbm_bandwidth(self.bandwidth)
+            .build()
+            .expect("design-space points are valid")
+    }
+
+    /// `CUs / MHz / TB/s` display form used by Table II.
+    pub fn label(&self) -> String {
+        format!(
+            "{} / {} / {}",
+            self.cus,
+            self.clock.value() as u32,
+            self.bandwidth.terabytes_per_sec()
+        )
+    }
+}
+
+/// The swept design space.
+#[derive(Clone, Debug)]
+pub struct DesignSpace {
+    /// CU counts to sweep.
+    pub cu_counts: Vec<u32>,
+    /// GPU clocks to sweep.
+    pub clocks: Vec<Megahertz>,
+    /// In-package bandwidths to sweep.
+    pub bandwidths: Vec<GigabytesPerSec>,
+}
+
+impl DesignSpace {
+    /// The paper's sweep: 192-384 CUs in chiplet-sized steps, 600-1500 MHz
+    /// in 25 MHz steps, 1-7 TB/s — over a thousand configurations.
+    pub fn paper() -> Self {
+        Self {
+            cu_counts: (192..=MAX_CUS).step_by(32).collect(),
+            clocks: (600..=1500).step_by(25).map(|f| Megahertz::new(f64::from(f))).collect(),
+            bandwidths: (1..=7)
+                .map(|t| GigabytesPerSec::from_terabytes_per_sec(f64::from(t)))
+                .collect(),
+        }
+    }
+
+    /// A coarser sweep for fast tests (100 MHz steps).
+    pub fn coarse() -> Self {
+        Self {
+            clocks: (600..=1500).step_by(100).map(|f| Megahertz::new(f64::from(f))).collect(),
+            ..Self::paper()
+        }
+    }
+
+    /// All points in the space.
+    pub fn points(&self) -> Vec<ConfigPoint> {
+        let mut v = Vec::with_capacity(self.len());
+        for &cus in &self.cu_counts {
+            for &clock in &self.clocks {
+                for &bandwidth in &self.bandwidths {
+                    v.push(ConfigPoint {
+                        cus,
+                        clock,
+                        bandwidth,
+                    });
+                }
+            }
+        }
+        v
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.cu_counts.len() * self.clocks.len() * self.bandwidths.len()
+    }
+
+    /// True if the space is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The best configuration found for one application.
+#[derive(Clone, Debug)]
+pub struct AppBest {
+    /// Application name.
+    pub app: String,
+    /// Winning configuration.
+    pub point: ConfigPoint,
+    /// Throughput at the winning point (GFLOP/s).
+    pub throughput: f64,
+    /// Percent improvement over the best-mean configuration.
+    pub benefit_over_mean_pct: f64,
+}
+
+/// Full exploration result.
+#[derive(Clone, Debug)]
+pub struct DseResult {
+    /// The best-mean configuration.
+    pub best_mean: ConfigPoint,
+    /// Per-application evaluations at the best-mean point.
+    pub mean_config_throughput: Vec<(String, f64)>,
+    /// Per-application oracle configurations (Table II).
+    pub per_app: Vec<AppBest>,
+    /// Points swept.
+    pub evaluated: usize,
+    /// Points feasible under the budget for every application.
+    pub feasible: usize,
+}
+
+/// The design-space explorer.
+#[derive(Clone, Debug)]
+pub struct Explorer {
+    /// Node simulator used for evaluations.
+    pub sim: NodeSimulator,
+    /// Package power budget (paper: 160 W).
+    pub budget: Watts,
+    /// Evaluation options (miss model, power optimizations).
+    pub options: EvalOptions,
+}
+
+impl Default for Explorer {
+    fn default() -> Self {
+        Self {
+            sim: NodeSimulator::new(),
+            budget: NODE_POWER_BUDGET,
+            options: EvalOptions::with_miss_fraction(0.15),
+        }
+    }
+}
+
+impl Explorer {
+    /// Evaluates every profile at `point`, or `None` if any application
+    /// busts the package budget there.
+    fn evaluate_point(
+        &self,
+        point: ConfigPoint,
+        profiles: &[KernelProfile],
+    ) -> Option<Vec<NodeEvaluation>> {
+        let config = point.to_config();
+        let evals: Vec<NodeEvaluation> = profiles
+            .iter()
+            .map(|p| self.sim.evaluate(&config, p, &self.options))
+            .collect();
+        if evals.iter().all(|e| e.package_power().value() <= self.budget.value()) {
+            Some(evals)
+        } else {
+            None
+        }
+    }
+
+    /// Sweeps the space and returns the best-mean and per-app results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `space` or `profiles` is empty, or no point is feasible.
+    pub fn explore(&self, space: &DesignSpace, profiles: &[KernelProfile]) -> DseResult {
+        assert!(!space.is_empty(), "empty design space");
+        assert!(!profiles.is_empty(), "no profiles to evaluate");
+
+        let points = space.points();
+        // Feasible evaluations per point.
+        let mut feasible: Vec<(ConfigPoint, Vec<NodeEvaluation>)> = Vec::new();
+        for &point in &points {
+            if let Some(evals) = self.evaluate_point(point, profiles) {
+                feasible.push((point, evals));
+            }
+        }
+        assert!(!feasible.is_empty(), "no feasible configuration under the budget");
+
+        // Per-app maxima across feasible points, for normalization.
+        let mut app_max = vec![0.0f64; profiles.len()];
+        for (_, evals) in &feasible {
+            for (i, e) in evals.iter().enumerate() {
+                app_max[i] = app_max[i].max(e.perf.throughput.value());
+            }
+        }
+
+        // Best mean: geometric mean of normalized per-app throughput.
+        let mut best_mean = feasible[0].0;
+        let mut best_score = f64::MIN;
+        let mut best_evals: Option<&Vec<NodeEvaluation>> = None;
+        for (point, evals) in &feasible {
+            let score: f64 = evals
+                .iter()
+                .enumerate()
+                .map(|(i, e)| (e.perf.throughput.value() / app_max[i]).max(1e-12).ln())
+                .sum::<f64>()
+                / evals.len() as f64;
+            if score > best_score {
+                best_score = score;
+                best_mean = *point;
+                best_evals = Some(evals);
+            }
+        }
+        let best_evals = best_evals.expect("at least one feasible point");
+        let mean_config_throughput: Vec<(String, f64)> = profiles
+            .iter()
+            .zip(best_evals)
+            .map(|(p, e)| (p.name.clone(), e.perf.throughput.value()))
+            .collect();
+
+        // Per-app oracle: each app may pick any point feasible *for it*
+        // (Table II's dynamic-reconfiguration bound).
+        let mut per_app = Vec::with_capacity(profiles.len());
+        for (i, profile) in profiles.iter().enumerate() {
+            let mut best_point = best_mean;
+            let mut best_tp = 0.0f64;
+            for &point in &points {
+                let config = point.to_config();
+                let eval = self.sim.evaluate(&config, profile, &self.options);
+                if eval.package_power().value() <= self.budget.value()
+                    && eval.perf.throughput.value() > best_tp
+                {
+                    best_tp = eval.perf.throughput.value();
+                    best_point = point;
+                }
+            }
+            let mean_tp = mean_config_throughput[i].1;
+            per_app.push(AppBest {
+                app: profile.name.clone(),
+                point: best_point,
+                throughput: best_tp,
+                benefit_over_mean_pct: 100.0 * (best_tp / mean_tp - 1.0),
+            });
+        }
+
+        DseResult {
+            best_mean,
+            mean_config_throughput,
+            per_app,
+            evaluated: points.len(),
+            feasible: feasible.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ena_workloads::paper_profiles;
+
+    #[test]
+    fn paper_space_has_over_a_thousand_points() {
+        let space = DesignSpace::paper();
+        assert!(space.len() > 1000, "{} points", space.len());
+    }
+
+    #[test]
+    fn explorer_finds_the_papers_best_mean_region() {
+        let result = Explorer::default().explore(&DesignSpace::coarse(), &paper_profiles());
+        // Paper: 320 CUs / 1000 MHz / 3 TB/s. Accept the immediate
+        // neighborhood — the models are calibrated, not fitted.
+        let p = result.best_mean;
+        assert!(
+            (288..=384).contains(&p.cus),
+            "best-mean CUs = {}",
+            p.cus
+        );
+        assert!(
+            (900.0..=1200.0).contains(&p.clock.value()),
+            "best-mean clock = {}",
+            p.clock
+        );
+        let tbps = p.bandwidth.terabytes_per_sec();
+        assert!((2.0..=4.0).contains(&tbps), "best-mean bandwidth = {tbps}");
+    }
+
+    #[test]
+    fn per_app_bests_follow_table_ii_structure() {
+        let result = Explorer::default().explore(&DesignSpace::coarse(), &paper_profiles());
+        let best = |name: &str| {
+            result
+                .per_app
+                .iter()
+                .find(|a| a.app == name)
+                .unwrap_or_else(|| panic!("missing {name}"))
+        };
+        // MaxFlops: near-max CUs, minimal bandwidth (paper: 384/925/1).
+        let mf = best("MaxFlops");
+        assert!(mf.point.cus >= 352, "MaxFlops CUs = {}", mf.point.cus);
+        assert!(mf.point.bandwidth.terabytes_per_sec() <= 2.0);
+        // Memory-intensive apps provision more bandwidth than the mean
+        // config's 3 TB/s.
+        for name in ["LULESH", "MiniAMR", "XSBench"] {
+            let b = best(name);
+            assert!(
+                b.point.bandwidth.terabytes_per_sec() >= 3.0,
+                "{name}: {}",
+                b.point.label()
+            );
+        }
+        // Every oracle config beats (or at worst ties) the mean config.
+        for a in &result.per_app {
+            assert!(a.benefit_over_mean_pct >= -1e-9, "{}: {}", a.app, a.benefit_over_mean_pct);
+        }
+        // And some app gains double digits (Table II: 10.7-47.3 %).
+        assert!(result.per_app.iter().any(|a| a.benefit_over_mean_pct > 10.0));
+    }
+
+    #[test]
+    fn budget_prunes_the_space() {
+        let result = Explorer::default().explore(&DesignSpace::coarse(), &paper_profiles());
+        assert!(result.feasible < result.evaluated);
+        assert!(result.feasible > 0);
+    }
+
+    #[test]
+    fn tighter_budgets_pick_smaller_configs() {
+        let space = DesignSpace::coarse();
+        let profiles = paper_profiles();
+        let normal = Explorer::default().explore(&space, &profiles);
+        let tight = Explorer {
+            budget: Watts::new(110.0),
+            ..Explorer::default()
+        }
+        .explore(&space, &profiles);
+        let score = |p: &ConfigPoint| f64::from(p.cus) * p.clock.value();
+        assert!(score(&tight.best_mean) < score(&normal.best_mean));
+    }
+}

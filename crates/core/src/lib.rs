@@ -1,0 +1,45 @@
+//! The ENA node simulator: the core of the exascale-APU reproduction.
+//!
+//! Ties together the substrate crates into the paper's evaluation flow:
+//!
+//! - [`perf`] — the extended-roofline kernel performance model
+//!   (Figs. 4-6, 8).
+//! - [`node`] — whole-node evaluation joining performance, power, and
+//!   thermals ([`NodeSimulator`](node::NodeSimulator) re-exported at the crate root).
+//! - [`chiplet`] — the chiplet-vs-monolithic NoC study (Fig. 7).
+//! - [`dse`] — design-space exploration: the best-mean configuration and
+//!   Table II's per-application oracle (see [`dse::Explorer`]).
+//! - [`reconfig`] — the Section VI dynamic-reconfiguration runtime
+//!   (static / reactive / oracle policies over phased workloads).
+//! - [`resilience`] — Section II-A.5 RAS modeling: FIT rates, ECC/RMT,
+//!   system MTTF, and checkpoint efficiency.
+//! - [`system`] — scaling to the 100,000-node machine (Fig. 14).
+//!
+//! # Example
+//!
+//! ```
+//! use ena_core::node::{EvalOptions, NodeSimulator};
+//! use ena_model::config::EhpConfig;
+//! use ena_workloads::profile_for;
+//!
+//! let sim = NodeSimulator::new();
+//! let config = EhpConfig::paper_baseline();
+//! let lulesh = profile_for("LULESH").expect("LULESH is in the suite");
+//! let eval = sim.evaluate(&config, &lulesh, &EvalOptions::default());
+//! assert!(eval.package_power().value() <= 160.0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod chiplet;
+pub mod dse;
+pub mod node;
+pub mod perf;
+pub mod reconfig;
+pub mod resilience;
+pub mod system;
+
+pub use dse::{DesignSpace, Explorer};
+pub use node::{EvalOptions, NodeEvaluation, NodeSimulator};
+pub use perf::{PerfEstimate, PerfModel};

@@ -1,0 +1,342 @@
+//! Dynamic resource reconfiguration (paper Section VI).
+//!
+//! Table II bounds what an *oracle* reconfigurer could gain by retuning
+//! CU count, frequency, and bandwidth per kernel. This module makes that
+//! concrete: a workload is a sequence of phases, and a
+//! [`ReconfigPolicy`] chooses the hardware operating point for each one —
+//! statically, reactively (using the previous phase's behaviour, as a real
+//! runtime would), or with oracle knowledge. Reconfiguration pays a
+//! switching penalty (DVFS relock, power-gate wake-up).
+
+use ena_model::kernel::KernelProfile;
+use ena_model::units::{Joules, Seconds};
+
+use crate::dse::{ConfigPoint, DesignSpace, Explorer};
+use crate::node::{EvalOptions, NodeSimulator};
+
+/// One phase of a phased workload.
+#[derive(Clone, Debug)]
+pub struct Phase {
+    /// The kernel running in this phase.
+    pub profile: KernelProfile,
+    /// Work in the phase, in GFLOPs.
+    pub work_gflop: f64,
+}
+
+/// How the runtime picks the operating point for the next phase.
+pub trait ReconfigPolicy {
+    /// Chooses the configuration for the upcoming phase. `previous` is the
+    /// profile of the phase that just finished (`None` before the first),
+    /// which is all a reactive runtime can observe; `upcoming` is the true
+    /// next profile, which only an oracle may use.
+    fn configure(
+        &mut self,
+        previous: Option<&KernelProfile>,
+        upcoming: &KernelProfile,
+    ) -> ConfigPoint;
+
+    /// Policy name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Runs every phase at one fixed configuration.
+#[derive(Clone, Debug)]
+pub struct StaticPolicy(pub ConfigPoint);
+
+impl ReconfigPolicy for StaticPolicy {
+    fn configure(&mut self, _: Option<&KernelProfile>, _: &KernelProfile) -> ConfigPoint {
+        self.0
+    }
+
+    fn name(&self) -> &'static str {
+        "static"
+    }
+}
+
+/// Per-phase selector backed by a precomputed best-config table.
+#[derive(Clone, Debug)]
+struct BestTable {
+    by_app: Vec<(String, ConfigPoint)>,
+    fallback: ConfigPoint,
+}
+
+impl BestTable {
+    fn build(explorer: &Explorer, space: &DesignSpace, profiles: &[KernelProfile]) -> Self {
+        let result = explorer.explore(space, profiles);
+        Self {
+            by_app: result
+                .per_app
+                .iter()
+                .map(|a| (a.app.clone(), a.point))
+                .collect(),
+            fallback: result.best_mean,
+        }
+    }
+
+    fn lookup(&self, profile: &KernelProfile) -> ConfigPoint {
+        self.by_app
+            .iter()
+            .find(|(name, _)| *name == profile.name)
+            .map(|&(_, p)| p)
+            .unwrap_or(self.fallback)
+    }
+}
+
+/// Oracle: retunes to each phase's true best configuration.
+#[derive(Clone, Debug)]
+pub struct OraclePolicy {
+    table: BestTable,
+}
+
+impl OraclePolicy {
+    /// Precomputes the per-kernel best configurations.
+    pub fn new(explorer: &Explorer, space: &DesignSpace, profiles: &[KernelProfile]) -> Self {
+        Self {
+            table: BestTable::build(explorer, space, profiles),
+        }
+    }
+}
+
+impl ReconfigPolicy for OraclePolicy {
+    fn configure(&mut self, _: Option<&KernelProfile>, upcoming: &KernelProfile) -> ConfigPoint {
+        self.table.lookup(upcoming)
+    }
+
+    fn name(&self) -> &'static str {
+        "oracle"
+    }
+}
+
+/// Reactive runtime: tunes to the *previous* phase's kernel — right when
+/// phases repeat, one phase behind when they change.
+#[derive(Clone, Debug)]
+pub struct ReactivePolicy {
+    table: BestTable,
+}
+
+impl ReactivePolicy {
+    /// Precomputes the per-kernel best configurations.
+    pub fn new(explorer: &Explorer, space: &DesignSpace, profiles: &[KernelProfile]) -> Self {
+        Self {
+            table: BestTable::build(explorer, space, profiles),
+        }
+    }
+}
+
+impl ReconfigPolicy for ReactivePolicy {
+    fn configure(&mut self, previous: Option<&KernelProfile>, _: &KernelProfile) -> ConfigPoint {
+        match previous {
+            Some(p) => self.table.lookup(p),
+            None => self.table.fallback,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "reactive"
+    }
+}
+
+/// Result of executing a phased workload under a policy.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ReconfigReport {
+    /// Policy name.
+    pub policy: &'static str,
+    /// Total execution time.
+    pub time: Seconds,
+    /// Total node energy.
+    pub energy: Joules,
+    /// Configuration switches performed.
+    pub switches: u32,
+    /// Per-phase `(config label, phase time in seconds)`.
+    pub phases: Vec<(String, f64)>,
+}
+
+impl ReconfigReport {
+    /// Mean power over the run.
+    pub fn avg_power_w(&self) -> f64 {
+        if self.time.value() == 0.0 {
+            0.0
+        } else {
+            self.energy.value() / self.time.value()
+        }
+    }
+}
+
+/// Executes `phases` under `policy`, charging `switch_penalty` per
+/// configuration change.
+pub fn run_phases(
+    sim: &NodeSimulator,
+    policy: &mut dyn ReconfigPolicy,
+    phases: &[Phase],
+    options: &EvalOptions,
+    switch_penalty: Seconds,
+) -> ReconfigReport {
+    let mut time = Seconds::ZERO;
+    let mut energy = Joules::new(0.0);
+    let mut switches = 0;
+    let mut current: Option<ConfigPoint> = None;
+    let mut previous_profile: Option<KernelProfile> = None;
+    let mut per_phase = Vec::with_capacity(phases.len());
+
+    for phase in phases {
+        let point = policy.configure(previous_profile.as_ref(), &phase.profile);
+        if current.is_some_and(|c| c != point) {
+            switches += 1;
+            time += switch_penalty;
+        }
+        current = Some(point);
+
+        let config = point.to_config();
+        let eval = sim.evaluate(&config, &phase.profile, options);
+        let seconds = phase.work_gflop / eval.perf.throughput.value().max(1e-9);
+        time += Seconds::new(seconds);
+        energy += eval.node_power().energy_over(Seconds::new(seconds));
+        per_phase.push((point.label(), seconds));
+        previous_profile = Some(phase.profile.clone());
+    }
+
+    ReconfigReport {
+        policy: policy.name(),
+        time,
+        energy,
+        switches,
+        phases: per_phase,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ena_workloads::{paper_profiles, profile_for};
+
+    fn phased_workload() -> Vec<Phase> {
+        // Runs of compute- and memory-dominated phases, as the paper's
+        // "application phases" discussion envisions. Runs of three keep a
+        // reactive (one-phase-behind) runtime right most of the time.
+        let comd = profile_for("CoMD").unwrap();
+        let lulesh = profile_for("LULESH").unwrap();
+        let mut phases = Vec::new();
+        for _ in 0..3 {
+            for _ in 0..3 {
+                phases.push(Phase {
+                    profile: comd.clone(),
+                    work_gflop: 50_000.0,
+                });
+            }
+            for _ in 0..3 {
+                phases.push(Phase {
+                    profile: lulesh.clone(),
+                    work_gflop: 10_000.0,
+                });
+            }
+        }
+        phases
+    }
+
+    fn setup() -> (NodeSimulator, Explorer, DesignSpace, Vec<KernelProfile>) {
+        (
+            NodeSimulator::new(),
+            Explorer::default(),
+            DesignSpace::coarse(),
+            paper_profiles(),
+        )
+    }
+
+    #[test]
+    fn oracle_beats_static_beats_nothing() {
+        let (sim, explorer, space, profiles) = setup();
+        let phases = phased_workload();
+        let options = explorer.options.clone();
+        let mean = explorer.explore(&space, &profiles).best_mean;
+
+        let static_r = run_phases(
+            &sim,
+            &mut StaticPolicy(mean),
+            &phases,
+            &options,
+            Seconds::new(1e-3),
+        );
+        let oracle_r = run_phases(
+            &sim,
+            &mut OraclePolicy::new(&explorer, &space, &profiles),
+            &phases,
+            &options,
+            Seconds::new(1e-3),
+        );
+        assert!(
+            oracle_r.time.value() < static_r.time.value(),
+            "oracle {} vs static {}",
+            oracle_r.time,
+            static_r.time
+        );
+        assert_eq!(static_r.switches, 0);
+        assert!(oracle_r.switches > 0);
+    }
+
+    #[test]
+    fn reactive_sits_between_static_and_oracle() {
+        let (sim, explorer, space, profiles) = setup();
+        let phases = phased_workload();
+        let options = explorer.options.clone();
+        let mean = explorer.explore(&space, &profiles).best_mean;
+
+        let t = |r: &ReconfigReport| r.time.value();
+        let static_r = run_phases(&sim, &mut StaticPolicy(mean), &phases, &options, Seconds::ZERO);
+        let reactive_r = run_phases(
+            &sim,
+            &mut ReactivePolicy::new(&explorer, &space, &profiles),
+            &phases,
+            &options,
+            Seconds::ZERO,
+        );
+        let oracle_r = run_phases(
+            &sim,
+            &mut OraclePolicy::new(&explorer, &space, &profiles),
+            &phases,
+            &options,
+            Seconds::ZERO,
+        );
+        assert!(t(&oracle_r) <= t(&reactive_r) + 1e-12);
+        assert!(t(&reactive_r) < t(&static_r) * 1.05, "reactive should roughly track");
+    }
+
+    #[test]
+    fn switch_penalties_erode_the_benefit() {
+        let (sim, explorer, space, profiles) = setup();
+        let phases = phased_workload();
+        let options = explorer.options.clone();
+        let cheap = run_phases(
+            &sim,
+            &mut OraclePolicy::new(&explorer, &space, &profiles),
+            &phases,
+            &options,
+            Seconds::new(1e-6),
+        );
+        let expensive = run_phases(
+            &sim,
+            &mut OraclePolicy::new(&explorer, &space, &profiles),
+            &phases,
+            &options,
+            Seconds::new(10.0),
+        );
+        assert!(expensive.time.value() > cheap.time.value());
+        assert_eq!(expensive.switches, cheap.switches);
+    }
+
+    #[test]
+    fn report_accounting_is_consistent() {
+        let (sim, explorer, space, profiles) = setup();
+        let phases = phased_workload();
+        let r = run_phases(
+            &sim,
+            &mut OraclePolicy::new(&explorer, &space, &profiles),
+            &phases,
+            &explorer.options,
+            Seconds::ZERO,
+        );
+        assert_eq!(r.phases.len(), phases.len());
+        let phase_sum: f64 = r.phases.iter().map(|(_, t)| t).sum();
+        assert!((phase_sum - r.time.value()).abs() < 1e-9);
+        assert!(r.avg_power_w() > 50.0 && r.avg_power_w() < 400.0);
+    }
+}

@@ -1,0 +1,360 @@
+//! Resiliency, availability, and serviceability modeling (Section II-A.5).
+//!
+//! The exascale targets demand that "user intervention due to hardware or
+//! system faults \[be\] limited to the order of a week or more on average"
+//! across 100,000 nodes — a brutal per-node reliability requirement. This
+//! module models:
+//!
+//! - per-component transient-fault rates (FIT = failures per 10^9 hours),
+//!   scaled by supply voltage (the paper notes NTC's aggressive voltage
+//!   reduction "potentially increases error rates");
+//! - ECC on the memory arrays, and software redundant multithreading (RMT)
+//!   on the GPU, which exploits idle CUs and therefore costs more on
+//!   well-utilized kernels;
+//! - the resulting system MTTF and the checkpoint/restart efficiency via
+//!   the Young/Daly model.
+
+use ena_model::config::EhpConfig;
+use ena_model::kernel::KernelProfile;
+
+/// Transient-fault rates per component, in FIT.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FitRates {
+    /// Logic faults per CU at nominal voltage.
+    pub per_cu: f64,
+    /// Faults per CPU core.
+    pub per_cpu_core: f64,
+    /// Faults per GB of in-package DRAM (pre-ECC).
+    pub per_hbm_gb: f64,
+    /// Faults per GB of external memory (pre-ECC).
+    pub per_ext_gb: f64,
+    /// Uncore/interposer faults per chiplet.
+    pub per_chiplet: f64,
+    /// Exponent of the voltage sensitivity: FIT scales by
+    /// `(V_nom / V)^voltage_exponent` (lower voltage, higher rate).
+    pub voltage_exponent: f64,
+}
+
+impl Default for FitRates {
+    fn default() -> Self {
+        Self {
+            per_cu: 10.0,
+            per_cpu_core: 20.0,
+            per_hbm_gb: 30.0,
+            per_ext_gb: 25.0,
+            per_chiplet: 50.0,
+            voltage_exponent: 3.0,
+        }
+    }
+}
+
+/// Error-protection scheme in force.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Protection {
+    /// ECC on DRAM/SRAM arrays: fraction of memory faults corrected.
+    pub ecc_coverage: f64,
+    /// Redundant multithreading on the GPU: fraction of CU logic faults
+    /// detected (paper ref 25); `None` disables RMT.
+    pub rmt_coverage: Option<f64>,
+}
+
+impl Protection {
+    /// ECC only (the conventional baseline).
+    pub fn ecc_only() -> Self {
+        Self {
+            ecc_coverage: 0.99,
+            rmt_coverage: None,
+        }
+    }
+
+    /// ECC plus software RMT on the GPU.
+    pub fn ecc_and_rmt() -> Self {
+        Self {
+            ecc_coverage: 0.99,
+            rmt_coverage: Some(0.95),
+        }
+    }
+}
+
+/// The node reliability model.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ResilienceModel {
+    /// Fault-rate coefficients.
+    pub rates: FitRates,
+}
+
+/// A node-level reliability assessment.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NodeReliability {
+    /// Unprotected node fault rate (FIT).
+    pub raw_fit: f64,
+    /// Residual *uncorrected/undetected* fault rate after protection (FIT).
+    pub silent_fit: f64,
+    /// Throughput multiplier RMT imposes (1.0 when disabled or free).
+    pub rmt_slowdown: f64,
+}
+
+impl NodeReliability {
+    /// Mean time to silent failure for one node, in hours.
+    pub fn node_mttf_hours(&self) -> f64 {
+        1e9 / self.silent_fit.max(1e-12)
+    }
+
+    /// Mean time to silent failure for an `n`-node machine, in hours.
+    pub fn system_mttf_hours(&self, nodes: u64) -> f64 {
+        self.node_mttf_hours() / nodes as f64
+    }
+}
+
+impl ResilienceModel {
+    /// Assesses `config` running `profile` at relative supply voltage
+    /// `voltage_scale` (1.0 = nominal; NTC pushes it below 1).
+    pub fn assess(
+        &self,
+        config: &EhpConfig,
+        profile: &KernelProfile,
+        voltage_scale: f64,
+        protection: Protection,
+    ) -> NodeReliability {
+        let v_factor = (1.0 / voltage_scale.clamp(0.3, 2.0)).powf(self.rates.voltage_exponent);
+
+        let cu_fit = f64::from(config.gpu.total_cus()) * self.rates.per_cu * v_factor;
+        let cpu_fit = f64::from(config.cpu.total_cores()) * self.rates.per_cpu_core;
+        let hbm_fit = config.hbm.total_capacity().value() * self.rates.per_hbm_gb;
+        let ext_fit = config.external.total_capacity().value() * self.rates.per_ext_gb;
+        let uncore_fit = f64::from(config.gpu.chiplets + config.cpu.chiplets)
+            * self.rates.per_chiplet
+            * v_factor;
+        let raw_fit = cu_fit + cpu_fit + hbm_fit + ext_fit + uncore_fit;
+
+        // ECC covers the memory arrays; RMT covers CU logic.
+        let memory_residual = (hbm_fit + ext_fit) * (1.0 - protection.ecc_coverage);
+        let cu_residual = match protection.rmt_coverage {
+            Some(c) => cu_fit * (1.0 - c),
+            None => cu_fit,
+        };
+        let silent_fit = memory_residual + cu_residual + cpu_fit * 0.05 + uncore_fit * 0.5;
+
+        // RMT runs redundant wavefronts on otherwise-idle CUs: free while
+        // utilization is low, but it halves throughput at full utilization.
+        let rmt_slowdown = match protection.rmt_coverage {
+            Some(_) => {
+                let idle = 1.0 - profile.utilization;
+                if idle >= profile.utilization {
+                    1.0
+                } else {
+                    1.0 / (1.0 - (profile.utilization - idle)).max(0.5)
+                }
+            }
+            None => 1.0,
+        };
+
+        NodeReliability {
+            raw_fit,
+            silent_fit,
+            rmt_slowdown,
+        }
+    }
+}
+
+/// Young/Daly checkpoint-efficiency model: the fraction of machine time
+/// doing useful work given a system MTTF and a checkpoint cost.
+///
+/// Uses the optimal checkpoint interval `tau = sqrt(2 * delta * M)`.
+/// Returns a value in `(0, 1]`; zero when checkpointing cannot keep up.
+pub fn checkpoint_efficiency(system_mttf_hours: f64, checkpoint_minutes: f64) -> f64 {
+    let m = system_mttf_hours.max(1e-9);
+    let delta = checkpoint_minutes / 60.0;
+    if delta <= 0.0 {
+        return 1.0;
+    }
+    let tau = (2.0 * delta * m).sqrt();
+    let efficiency = 1.0 - delta / tau - tau / (2.0 * m);
+    efficiency.clamp(0.0, 1.0)
+}
+
+/// A Monte Carlo checkpoint/restart campaign: simulates exponential
+/// failure arrivals against periodic checkpoints and measures the achieved
+/// useful-work fraction — the mechanistic check on
+/// [`checkpoint_efficiency`]'s closed form.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultCampaign {
+    /// System MTTF in hours.
+    pub mttf_hours: f64,
+    /// Checkpoint cost in hours.
+    pub checkpoint_hours: f64,
+    /// Checkpoint interval in hours (use Daly's optimum via
+    /// [`FaultCampaign::with_optimal_interval`]).
+    pub interval_hours: f64,
+    /// Restart (reload + replay-setup) cost in hours.
+    pub restart_hours: f64,
+}
+
+impl FaultCampaign {
+    /// A campaign using the Young/Daly optimal interval.
+    pub fn with_optimal_interval(mttf_hours: f64, checkpoint_hours: f64) -> Self {
+        Self {
+            mttf_hours,
+            checkpoint_hours,
+            interval_hours: (2.0 * checkpoint_hours * mttf_hours).sqrt(),
+            restart_hours: checkpoint_hours,
+        }
+    }
+
+    /// Simulates `total_hours` of machine time with failures drawn from an
+    /// exponential distribution (deterministic from `seed`), returning the
+    /// measured useful-work fraction.
+    pub fn simulate(&self, total_hours: f64, seed: u64) -> f64 {
+        let mut state = seed | 1;
+        let mut next_unit = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64).max(1e-18)
+        };
+        let mut draw_failure = move || -self.mttf_hours * next_unit().ln();
+
+        let mut clock = 0.0f64;
+        let mut useful = 0.0f64;
+        let mut next_failure = draw_failure();
+        // Work accumulated since the last durable checkpoint.
+        let mut uncheckpointed = 0.0f64;
+
+        while clock < total_hours {
+            // One segment: compute for `interval`, then checkpoint.
+            let segment_end = clock + self.interval_hours + self.checkpoint_hours;
+            if next_failure >= segment_end {
+                clock = segment_end;
+                useful += self.interval_hours;
+                uncheckpointed = 0.0;
+            } else {
+                // Failure mid-segment: lose everything since the last
+                // checkpoint, pay the restart.
+                let _ = uncheckpointed;
+                clock = next_failure + self.restart_hours;
+                uncheckpointed = 0.0;
+                next_failure = clock + draw_failure();
+            }
+        }
+        useful / total_hours
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ena_model::config::SYSTEM_NODE_COUNT;
+    use ena_workloads::profile_for;
+
+    fn assess(voltage: f64, protection: Protection, app: &str) -> NodeReliability {
+        ResilienceModel::default().assess(
+            &EhpConfig::paper_baseline(),
+            &profile_for(app).unwrap(),
+            voltage,
+            protection,
+        )
+    }
+
+    #[test]
+    fn protection_suppresses_most_faults() {
+        let r = assess(1.0, Protection::ecc_and_rmt(), "CoMD");
+        assert!(r.silent_fit < r.raw_fit * 0.2, "{r:?}");
+    }
+
+    #[test]
+    fn system_mttf_scales_inversely_with_node_count() {
+        let r = assess(1.0, Protection::ecc_and_rmt(), "CoMD");
+        let one = r.system_mttf_hours(1);
+        let all = r.system_mttf_hours(SYSTEM_NODE_COUNT);
+        assert!((one / all - SYSTEM_NODE_COUNT as f64).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ntc_voltage_reduction_raises_fault_rates() {
+        // The paper flags this interaction explicitly (Section VI).
+        let nominal = assess(1.0, Protection::ecc_only(), "CoMD");
+        let ntc = assess(0.75, Protection::ecc_only(), "CoMD");
+        // Logic rates scale steeply; memory rates are voltage-independent,
+        // so the raw total moves less than the silent (logic-dominated)
+        // residual.
+        assert!(ntc.raw_fit > 1.1 * nominal.raw_fit);
+        assert!(ntc.silent_fit > 1.5 * nominal.silent_fit);
+    }
+
+    #[test]
+    fn rmt_is_cheap_for_memory_bound_kernels() {
+        // RMT uses idle CUs (paper [25]): XSBench (utilization 0.40) has
+        // idle slack; MaxFlops (0.91) pays nearly 2x.
+        let xs = assess(1.0, Protection::ecc_and_rmt(), "XSBench");
+        let mf = assess(1.0, Protection::ecc_and_rmt(), "MaxFlops");
+        assert!((xs.rmt_slowdown - 1.0).abs() < 1e-9, "{}", xs.rmt_slowdown);
+        assert!(mf.rmt_slowdown > 1.5, "{}", mf.rmt_slowdown);
+    }
+
+    #[test]
+    fn rmt_buys_reliability_for_its_cost() {
+        let without = assess(1.0, Protection::ecc_only(), "CoMD");
+        let with = assess(1.0, Protection::ecc_and_rmt(), "CoMD");
+        assert!(with.silent_fit < without.silent_fit);
+        assert!(with.rmt_slowdown >= 1.0);
+    }
+
+    #[test]
+    fn checkpointing_efficiency_behaves() {
+        // More MTTF, more efficiency; costlier checkpoints, less.
+        let a = checkpoint_efficiency(24.0, 5.0);
+        let b = checkpoint_efficiency(4.0, 5.0);
+        let c = checkpoint_efficiency(24.0, 20.0);
+        assert!(a > b);
+        assert!(a > c);
+        assert!((0.0..=1.0).contains(&a));
+        assert!(checkpoint_efficiency(1000.0, 0.0) == 1.0);
+    }
+
+    #[test]
+    fn the_fault_campaign_validates_the_daly_formula() {
+        // Analytic efficiency and measured efficiency agree within a few
+        // points across MTTF regimes.
+        for mttf in [4.0, 12.0, 48.0] {
+            let ckpt_minutes = 3.0;
+            let analytic = checkpoint_efficiency(mttf, ckpt_minutes);
+            let campaign = FaultCampaign::with_optimal_interval(mttf, ckpt_minutes / 60.0);
+            let measured = campaign.simulate(20_000.0, 0xFA17);
+            assert!(
+                (analytic - measured).abs() < 0.06,
+                "mttf {mttf}: analytic {analytic:.3}, measured {measured:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn shorter_intervals_waste_checkpoints_longer_lose_work() {
+        let mttf = 8.0;
+        let ckpt = 0.05;
+        let optimal = FaultCampaign::with_optimal_interval(mttf, ckpt);
+        let short = FaultCampaign {
+            interval_hours: optimal.interval_hours / 8.0,
+            ..optimal
+        };
+        let long = FaultCampaign {
+            interval_hours: optimal.interval_hours * 8.0,
+            ..optimal
+        };
+        let e_opt = optimal.simulate(20_000.0, 1);
+        let e_short = short.simulate(20_000.0, 1);
+        let e_long = long.simulate(20_000.0, 1);
+        assert!(e_opt > e_short, "opt {e_opt} vs short {e_short}");
+        assert!(e_opt > e_long, "opt {e_opt} vs long {e_long}");
+    }
+
+    #[test]
+    fn protected_system_reaches_useful_mttf() {
+        // With ECC+RMT the 100k-node machine should sustain hours between
+        // silent failures — enough for efficient checkpointing.
+        let r = assess(1.0, Protection::ecc_and_rmt(), "CoMD");
+        let mttf = r.system_mttf_hours(SYSTEM_NODE_COUNT);
+        assert!(mttf > 0.5, "system MTTF {mttf} h");
+        let eff = checkpoint_efficiency(mttf, 2.0);
+        assert!(eff > 0.5, "efficiency {eff}");
+    }
+}

@@ -1,0 +1,156 @@
+//! System-level scaling to the full exascale machine (Section V-F).
+//!
+//! The paper multiplies node-level results by the 100,000-node system size
+//! and checks them against the exascale targets: >= 1 exaflop within a
+//! 20 MW envelope. Fig. 14 sweeps MaxFlops performance and power against
+//! the CU count.
+
+use ena_model::config::{EhpConfig, SYSTEM_NODE_COUNT};
+use ena_model::kernel::KernelProfile;
+use ena_model::units::Watts;
+
+use crate::node::{EvalOptions, NodeSimulator};
+
+/// The exascale machine's system-level targets.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ExascaleTargets {
+    /// Required system throughput in exaflops.
+    pub exaflops: f64,
+    /// System power envelope in megawatts.
+    pub power_mw: f64,
+}
+
+impl Default for ExascaleTargets {
+    fn default() -> Self {
+        Self {
+            exaflops: 1.0,
+            power_mw: 20.0,
+        }
+    }
+}
+
+/// System-level projection of one node evaluation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SystemProjection {
+    /// Nodes in the machine.
+    pub nodes: u64,
+    /// Achieved system throughput in exaflops.
+    pub exaflops: f64,
+    /// Total compute power in megawatts (node power x nodes).
+    pub power_mw: f64,
+    /// Node throughput in teraflops.
+    pub node_teraflops: f64,
+    /// Node power.
+    pub node_power: Watts,
+}
+
+impl SystemProjection {
+    /// True if the projection meets `targets`.
+    pub fn meets(&self, targets: &ExascaleTargets) -> bool {
+        self.exaflops >= targets.exaflops && self.power_mw <= targets.power_mw
+    }
+}
+
+/// Projects one kernel on one node configuration to the full machine.
+pub fn project_system(
+    sim: &NodeSimulator,
+    config: &EhpConfig,
+    profile: &KernelProfile,
+    options: &EvalOptions,
+    nodes: u64,
+) -> SystemProjection {
+    let eval = sim.evaluate(config, profile, options);
+    let node_tf = eval.perf.throughput.teraflops();
+    let node_power = eval.node_power();
+    SystemProjection {
+        nodes,
+        exaflops: node_tf * nodes as f64 / 1e6,
+        power_mw: node_power.value() * nodes as f64 / 1e6,
+        node_teraflops: node_tf,
+        node_power,
+    }
+}
+
+/// Projects with the paper's 100,000-node machine.
+pub fn project_paper_system(
+    sim: &NodeSimulator,
+    config: &EhpConfig,
+    profile: &KernelProfile,
+    options: &EvalOptions,
+) -> SystemProjection {
+    project_system(sim, config, profile, options, SYSTEM_NODE_COUNT)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ena_model::units::{GigabytesPerSec, Megahertz};
+    use ena_workloads::profile_for;
+
+    fn maxflops_projection(cus: u32) -> SystemProjection {
+        // Fig. 14's sweep point: 1 GHz, 1 TB/s.
+        let config = EhpConfig::builder()
+            .total_cus(cus)
+            .gpu_clock(Megahertz::new(1000.0))
+            .hbm_bandwidth(GigabytesPerSec::from_terabytes_per_sec(1.0))
+            .build()
+            .unwrap();
+        project_paper_system(
+            &NodeSimulator::new(),
+            &config,
+            &profile_for("MaxFlops").unwrap(),
+            &EvalOptions::with_miss_fraction(0.0),
+        )
+    }
+
+    #[test]
+    fn the_machine_exceeds_an_exaflop_at_320_cus() {
+        // Paper: 18.6 TF/node -> 1.86 EF at 11.1 MW.
+        let p = maxflops_projection(320);
+        assert!(
+            (17.0..20.0).contains(&p.node_teraflops),
+            "node TF = {}",
+            p.node_teraflops
+        );
+        assert!(p.exaflops > 1.5, "system EF = {}", p.exaflops);
+        assert!(
+            (8.0..18.0).contains(&p.power_mw),
+            "system MW = {}",
+            p.power_mw
+        );
+        assert!(p.meets(&ExascaleTargets {
+            exaflops: 1.0,
+            power_mw: 20.0
+        }));
+    }
+
+    #[test]
+    fn performance_scales_linearly_with_cu_count() {
+        // Fig. 14's left panel.
+        let lo = maxflops_projection(192);
+        let hi = maxflops_projection(320);
+        let ratio = hi.exaflops / lo.exaflops;
+        assert!((ratio - 320.0 / 192.0).abs() < 0.01, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn power_grows_with_cu_count_but_sublinearly() {
+        // Fig. 14's right panel: fixed components flatten the slope.
+        let lo = maxflops_projection(192);
+        let hi = maxflops_projection(320);
+        let ratio = hi.power_mw / lo.power_mw;
+        assert!(ratio > 1.1 && ratio < 320.0 / 192.0, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn targets_reject_overweight_machines() {
+        let p = SystemProjection {
+            nodes: 100_000,
+            exaflops: 1.5,
+            power_mw: 25.0,
+            node_teraflops: 15.0,
+            node_power: Watts::new(250.0),
+        };
+        assert!(!p.meets(&ExascaleTargets::default()));
+    }
+}

@@ -1,0 +1,191 @@
+//! The leading-loads CPU performance model (paper ref \[39\]).
+//!
+//! Execution time splits into a frequency-scaled compute part and a
+//! frequency-*independent* memory part:
+//!
+//! `T(f) = compute_cycles / f + leading_loads x memory_latency`
+//!
+//! Measuring a program once (at any frequency) yields both terms, after
+//! which performance at *any* DVFS state — or any memory latency, e.g.
+//! behind the chiplet NoC — is predicted analytically. This is how the
+//! paper's methodology scales measured CPU behaviour to future hardware.
+
+use ena_model::units::{Megahertz, Seconds};
+
+use crate::program::{CpuProgram, Interval};
+
+/// Microarchitectural parameters of one core.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CoreModel {
+    /// Sustained instructions per cycle when not memory-stalled.
+    pub issue_ipc: f64,
+    /// Average memory round-trip time for a demand miss.
+    pub memory_latency: Seconds,
+}
+
+impl Default for CoreModel {
+    fn default() -> Self {
+        Self {
+            issue_ipc: 3.0,
+            // ~80 ns to in-package DRAM through the interposer.
+            memory_latency: Seconds::new(80e-9),
+        }
+    }
+}
+
+/// A measured/predicted execution summary.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CpuEstimate {
+    /// Total execution time.
+    pub time: Seconds,
+    /// The frequency-scaled portion (compute).
+    pub compute_time: Seconds,
+    /// The frequency-independent portion (leading-load stalls).
+    pub memory_time: Seconds,
+    /// Instructions retired.
+    pub instructions: u64,
+}
+
+impl CpuEstimate {
+    /// Achieved instructions per second.
+    pub fn ips(&self) -> f64 {
+        if self.time.value() == 0.0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.time.value()
+        }
+    }
+
+    /// Memory-stall share of execution time.
+    pub fn memory_fraction(&self) -> f64 {
+        if self.time.value() == 0.0 {
+            0.0
+        } else {
+            self.memory_time.value() / self.time.value()
+        }
+    }
+}
+
+impl CoreModel {
+    /// Executes `program` at `frequency` under the interval model.
+    pub fn run(&self, program: &CpuProgram, frequency: Megahertz) -> CpuEstimate {
+        let mut compute_cycles = 0.0f64;
+        let mut stalls = 0u64;
+        let mut instructions = 0u64;
+        for iv in program.intervals() {
+            match *iv {
+                Interval::Compute {
+                    instructions: n,
+                } => {
+                    compute_cycles += n as f64 / self.issue_ipc;
+                    instructions += n;
+                }
+                Interval::LeadingLoad { overlapped } => {
+                    stalls += 1;
+                    instructions += 1 + u64::from(overlapped);
+                }
+            }
+        }
+        let compute_time = Seconds::new(compute_cycles / frequency.hertz());
+        let memory_time = self.memory_latency * stalls as f64;
+        CpuEstimate {
+            time: compute_time + memory_time,
+            compute_time,
+            memory_time,
+            instructions,
+        }
+    }
+
+    /// The leading-loads DVFS predictor: from one measurement at
+    /// `measured_at`, predict the execution time at `target` frequency
+    /// without re-running the program.
+    pub fn predict_time(
+        &self,
+        measured: &CpuEstimate,
+        measured_at: Megahertz,
+        target: Megahertz,
+    ) -> Seconds {
+        let scale = measured_at.hertz() / target.hertz();
+        measured.compute_time * scale + measured.memory_time
+    }
+
+    /// Predicts the execution time if the average memory latency changed
+    /// (e.g. remote-chiplet traffic or external-memory misses).
+    pub fn predict_with_latency(
+        &self,
+        measured: &CpuEstimate,
+        new_latency: Seconds,
+    ) -> Seconds {
+        let stalls = if self.memory_latency.value() == 0.0 {
+            0.0
+        } else {
+            measured.memory_time.value() / self.memory_latency.value()
+        };
+        measured.compute_time + new_latency * stalls
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn program(mpki: f64) -> CpuProgram {
+        CpuProgram::synthesize(1_000_000, mpki, 2)
+    }
+
+    #[test]
+    fn compute_bound_code_scales_linearly_with_frequency() {
+        let core = CoreModel::default();
+        let p = program(0.0);
+        let slow = core.run(&p, Megahertz::new(1250.0));
+        let fast = core.run(&p, Megahertz::new(2500.0));
+        let ratio = slow.time.value() / fast.time.value();
+        assert!((ratio - 2.0).abs() < 1e-9, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn memory_bound_code_barely_responds_to_frequency() {
+        let core = CoreModel::default();
+        let p = program(40.0);
+        let slow = core.run(&p, Megahertz::new(1250.0));
+        let fast = core.run(&p, Megahertz::new(2500.0));
+        let speedup = slow.time.value() / fast.time.value();
+        assert!(speedup < 1.3, "speedup = {speedup}");
+        assert!(slow.memory_fraction() > 0.5);
+    }
+
+    #[test]
+    fn the_predictor_is_exact_under_the_interval_model() {
+        // Measure at 2.5 GHz, predict 1.5 GHz, compare to a real run.
+        let core = CoreModel::default();
+        for mpki in [0.0, 2.0, 10.0, 40.0] {
+            let p = program(mpki);
+            let measured = core.run(&p, Megahertz::new(2500.0));
+            let predicted =
+                core.predict_time(&measured, Megahertz::new(2500.0), Megahertz::new(1500.0));
+            let actual = core.run(&p, Megahertz::new(1500.0)).time;
+            let err = (predicted.value() - actual.value()).abs() / actual.value();
+            assert!(err < 1e-9, "mpki {mpki}: err {err}");
+        }
+    }
+
+    #[test]
+    fn latency_prediction_tracks_memory_boundness() {
+        let core = CoreModel::default();
+        let p = program(20.0);
+        let measured = core.run(&p, Megahertz::new(2500.0));
+        // Double the memory latency: memory time doubles, compute fixed.
+        let predicted = core.predict_with_latency(&measured, Seconds::new(160e-9));
+        let expect = measured.compute_time.value() + 2.0 * measured.memory_time.value();
+        assert!((predicted.value() - expect).abs() < 1e-15);
+    }
+
+    #[test]
+    fn ips_reflects_issue_rate_for_clean_code() {
+        let core = CoreModel::default();
+        let p = program(0.0);
+        let e = core.run(&p, Megahertz::new(2500.0));
+        let ipc = e.ips() / 2.5e9;
+        assert!((ipc - 3.0).abs() < 1e-9, "ipc = {ipc}");
+    }
+}

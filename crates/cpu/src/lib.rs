@@ -1,0 +1,45 @@
+//! CPU-side performance and power modeling for the ENA toolkit.
+//!
+//! The EHP's 32 CPU cores exist for "serial or irregular code sections and
+//! legacy applications" (paper Section II-A.1), and the paper's
+//! methodology scales *measured* CPU behaviour to future hardware with two
+//! published models that this crate implements:
+//!
+//! - [`core`] — the leading-loads performance predictor (paper ref \[39\]):
+//!   decompose execution into frequency-scaled compute and
+//!   frequency-independent memory stalls, then predict any DVFS state or
+//!   memory latency from one measurement.
+//! - [`power`] — PPEP-style DVFS power/energy prediction (paper ref \[40\]).
+//! - [`window`] — a small out-of-order-window timing simulator that
+//!   validates the leading-loads decomposition mechanistically.
+//! - [`program`] — the interval-model execution traces both views share.
+//!
+//! # Example
+//!
+//! ```
+//! use ena_cpu::core::CoreModel;
+//! use ena_cpu::program::CpuProgram;
+//! use ena_model::units::Megahertz;
+//!
+//! let core = CoreModel::default();
+//! let program = CpuProgram::synthesize(1_000_000, 10.0, 2);
+//!
+//! // Measure once at 2.5 GHz...
+//! let measured = core.run(&program, Megahertz::new(2500.0));
+//! // ...predict 1.2 GHz without re-running.
+//! let predicted = core.predict_time(&measured, Megahertz::new(2500.0), Megahertz::new(1200.0));
+//! let actual = core.run(&program, Megahertz::new(1200.0)).time;
+//! assert!((predicted.value() - actual.value()).abs() < 1e-12);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod core;
+pub mod power;
+pub mod program;
+pub mod window;
+
+pub use crate::core::{CoreModel, CpuEstimate};
+pub use power::{CpuPowerModel, PState};
+pub use program::{CpuProgram, Interval};

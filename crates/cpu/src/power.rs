@@ -1,0 +1,201 @@
+//! PPEP-style CPU DVFS power/energy prediction (paper ref \[40\]).
+//!
+//! From one measurement of a program (time + activity) at one
+//! voltage/frequency state, predict power, execution time, and energy at
+//! every other state — the basis for choosing DVFS points and for the
+//! race-to-idle-vs-crawl energy question.
+
+use ena_model::units::{Joules, Megahertz, Seconds, Volts, Watts};
+
+use crate::core::{CoreModel, CpuEstimate};
+
+/// A CPU DVFS state.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PState {
+    /// Core frequency.
+    pub frequency: Megahertz,
+    /// Supply voltage.
+    pub voltage: Volts,
+}
+
+/// The paper-era CPU DVFS table (per core-pair/module).
+pub fn default_pstates() -> Vec<PState> {
+    vec![
+        PState {
+            frequency: Megahertz::new(1200.0),
+            voltage: Volts::new(0.80),
+        },
+        PState {
+            frequency: Megahertz::new(1800.0),
+            voltage: Volts::new(0.90),
+        },
+        PState {
+            frequency: Megahertz::new(2500.0),
+            voltage: Volts::new(1.00),
+        },
+        PState {
+            frequency: Megahertz::new(3200.0),
+            voltage: Volts::new(1.15),
+        },
+    ]
+}
+
+/// Per-core power coefficients.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CpuPowerModel {
+    /// Switched energy per instruction at 1.0 V, joules.
+    pub energy_per_instruction: f64,
+    /// Leakage at 1.0 V, watts.
+    pub leakage_w: f64,
+    /// Idle (clock-gated) power floor, watts.
+    pub idle_w: f64,
+}
+
+impl Default for CpuPowerModel {
+    fn default() -> Self {
+        Self {
+            energy_per_instruction: 0.12e-9,
+            leakage_w: 0.25,
+            idle_w: 0.05,
+        }
+    }
+}
+
+/// Predicted execution at one P-state.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PStatePrediction {
+    /// The state predicted.
+    pub state: PState,
+    /// Predicted execution time.
+    pub time: Seconds,
+    /// Predicted average power while running.
+    pub power: Watts,
+    /// Predicted energy to completion.
+    pub energy: Joules,
+}
+
+impl CpuPowerModel {
+    /// Average power for a run with `estimate` timing at `state`.
+    pub fn power(&self, estimate: &CpuEstimate, state: PState) -> Watts {
+        let v2 = (state.voltage.value() / 1.0).powi(2);
+        let dynamic = if estimate.time.value() > 0.0 {
+            self.energy_per_instruction * v2 * estimate.instructions as f64
+                / estimate.time.value()
+        } else {
+            0.0
+        };
+        Watts::new(dynamic + self.leakage_w * state.voltage.value() + self.idle_w)
+    }
+
+    /// Predicts time/power/energy at every P-state from one measurement.
+    pub fn sweep(
+        &self,
+        core: &CoreModel,
+        measured: &CpuEstimate,
+        measured_at: Megahertz,
+        states: &[PState],
+    ) -> Vec<PStatePrediction> {
+        states
+            .iter()
+            .map(|&state| {
+                let time = core.predict_time(measured, measured_at, state.frequency);
+                let scaled = CpuEstimate {
+                    time,
+                    compute_time: measured.compute_time
+                        * (measured_at.hertz() / state.frequency.hertz()),
+                    memory_time: measured.memory_time,
+                    instructions: measured.instructions,
+                };
+                let power = self.power(&scaled, state);
+                PStatePrediction {
+                    state,
+                    time,
+                    power,
+                    energy: power.energy_over(time),
+                }
+            })
+            .collect()
+    }
+
+    /// The minimum-energy P-state for a measured program.
+    pub fn energy_optimal(
+        &self,
+        core: &CoreModel,
+        measured: &CpuEstimate,
+        measured_at: Megahertz,
+        states: &[PState],
+    ) -> PStatePrediction {
+        self.sweep(core, measured, measured_at, states)
+            .into_iter()
+            .min_by(|a, b| a.energy.value().partial_cmp(&b.energy.value()).expect("finite"))
+            .expect("non-empty state table")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::CpuProgram;
+
+    fn measure(mpki: f64) -> (CoreModel, CpuEstimate) {
+        let core = CoreModel::default();
+        let p = CpuProgram::synthesize(1_000_000, mpki, 2);
+        let e = core.run(&p, Megahertz::new(2500.0));
+        (core, e)
+    }
+
+    #[test]
+    fn power_rises_with_voltage_and_frequency() {
+        let (core, e) = measure(2.0);
+        let model = CpuPowerModel::default();
+        let sweep = model.sweep(&core, &e, Megahertz::new(2500.0), &default_pstates());
+        for pair in sweep.windows(2) {
+            assert!(pair[1].power.value() > pair[0].power.value());
+            assert!(pair[1].time.value() < pair[0].time.value());
+        }
+    }
+
+    #[test]
+    fn compute_bound_code_prefers_low_voltage_for_energy() {
+        // Energy = P x T: with V^2 dynamic scaling and time ~ 1/f, the
+        // lowest-voltage state wins for compute-bound code.
+        let (core, e) = measure(0.0);
+        let model = CpuPowerModel::default();
+        let best = model.energy_optimal(&core, &e, Megahertz::new(2500.0), &default_pstates());
+        assert_eq!(best.state.frequency, Megahertz::new(1200.0));
+    }
+
+    #[test]
+    fn boosting_frequency_pays_off_only_for_compute_bound_code() {
+        let model = CpuPowerModel::default();
+        let states = default_pstates();
+        let study = |mpki: f64| {
+            let (core, e) = measure(mpki);
+            let sweep = model.sweep(&core, &e, Megahertz::new(2500.0), &states);
+            let speedup = sweep[0].time.value() / sweep.last().unwrap().time.value();
+            let energy_cost =
+                sweep.last().unwrap().energy.value() / sweep[0].energy.value();
+            (speedup, energy_cost)
+        };
+        let (speedup_c, cost_c) = study(0.0);
+        let (speedup_m, cost_m) = study(40.0);
+        // Compute-bound: the top state is 2.67x faster for a modest energy
+        // premium. Memory-bound: barely faster, comparable premium.
+        assert!(speedup_c > 2.0, "compute speedup {speedup_c}");
+        assert!(speedup_m < 1.3, "memory speedup {speedup_m}");
+        assert!((1.0..2.0).contains(&cost_c), "compute cost {cost_c}");
+        assert!((1.0..2.0).contains(&cost_m), "memory cost {cost_m}");
+        // Energy per unit speedup is far better for compute-bound code.
+        assert!(cost_c / speedup_c < cost_m / speedup_m);
+    }
+
+    #[test]
+    fn energy_is_power_times_time() {
+        let (core, e) = measure(5.0);
+        let model = CpuPowerModel::default();
+        for p in model.sweep(&core, &e, Megahertz::new(2500.0), &default_pstates()) {
+            let expect = p.power.value() * p.time.value();
+            assert!((p.energy.value() - expect).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! CPU execution traces at the interval-model granularity.
+//!
+//! The leading-loads methodology (paper ref \[39\]) observes that an
+//! out-of-order core's execution time decomposes into compute intervals —
+//! whose length is frequency-dependent — and *leading load* stalls: the
+//! first demand miss of each miss cluster, whose duration is set by the
+//! memory, not the core. A [`CpuProgram`] is exactly that decomposition.
+
+/// One execution interval.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Interval {
+    /// `instructions` retired back-to-back at the core's issue rate.
+    Compute {
+        /// Instructions retired.
+        instructions: u64,
+    },
+    /// A leading load: the core stalls for one memory round trip.
+    /// `overlapped` trailing misses ride in its shadow for free.
+    LeadingLoad {
+        /// Misses hidden behind this one (memory-level parallelism).
+        overlapped: u32,
+    },
+}
+
+/// A CPU program as a sequence of intervals.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CpuProgram {
+    intervals: Vec<Interval>,
+}
+
+impl CpuProgram {
+    /// An empty program.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an interval (builder style).
+    pub fn push(mut self, interval: Interval) -> Self {
+        self.intervals.push(interval);
+        self
+    }
+
+    /// The intervals.
+    pub fn intervals(&self) -> &[Interval] {
+        &self.intervals
+    }
+
+    /// Total instructions retired (loads count one instruction each).
+    pub fn instructions(&self) -> u64 {
+        self.intervals
+            .iter()
+            .map(|iv| match iv {
+                Interval::Compute { instructions } => *instructions,
+                Interval::LeadingLoad { overlapped } => 1 + u64::from(*overlapped),
+            })
+            .sum()
+    }
+
+    /// Number of leading (non-overlapped) loads.
+    pub fn leading_loads(&self) -> u64 {
+        self.intervals
+            .iter()
+            .filter(|iv| matches!(iv, Interval::LeadingLoad { .. }))
+            .count() as u64
+    }
+
+    /// Synthesizes a program: `misses_per_kilo_instruction` demand misses
+    /// per 1000 instructions, clustered with the given memory-level
+    /// parallelism, deterministic from the structure alone.
+    pub fn synthesize(total_instructions: u64, misses_per_kilo_instruction: f64, mlp: u32) -> Self {
+        let mut p = CpuProgram::new();
+        if misses_per_kilo_instruction <= 0.0 {
+            return p.push(Interval::Compute {
+                instructions: total_instructions,
+            });
+        }
+        let cluster = u64::from(mlp.max(1));
+        // Instructions between miss clusters.
+        let gap = ((1000.0 / misses_per_kilo_instruction) * cluster as f64) as u64;
+        let mut remaining = total_instructions;
+        while remaining > 0 {
+            let chunk = remaining.min(gap.max(1));
+            p = p.push(Interval::Compute {
+                instructions: chunk,
+            });
+            remaining -= chunk;
+            if remaining > 0 {
+                p = p.push(Interval::LeadingLoad {
+                    overlapped: mlp.saturating_sub(1),
+                });
+                remaining = remaining.saturating_sub(cluster);
+            }
+        }
+        p
+    }
+}
+
+impl FromIterator<Interval> for CpuProgram {
+    fn from_iter<I: IntoIterator<Item = Interval>>(iter: I) -> Self {
+        Self {
+            intervals: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accounting_sums_intervals() {
+        let p = CpuProgram::new()
+            .push(Interval::Compute { instructions: 100 })
+            .push(Interval::LeadingLoad { overlapped: 3 })
+            .push(Interval::Compute { instructions: 50 });
+        assert_eq!(p.instructions(), 154);
+        assert_eq!(p.leading_loads(), 1);
+    }
+
+    #[test]
+    fn synthesis_hits_the_requested_miss_rate() {
+        let p = CpuProgram::synthesize(1_000_000, 5.0, 2);
+        let mpki = p.leading_loads() as f64 * 2.0 / (p.instructions() as f64 / 1000.0);
+        assert!((mpki - 5.0).abs() < 0.5, "mpki = {mpki}");
+    }
+
+    #[test]
+    fn compute_only_synthesis_has_no_stalls() {
+        let p = CpuProgram::synthesize(10_000, 0.0, 4);
+        assert_eq!(p.leading_loads(), 0);
+        assert_eq!(p.instructions(), 10_000);
+    }
+}

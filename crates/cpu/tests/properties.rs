@@ -1,0 +1,76 @@
+//! Property-based tests for the CPU models.
+
+use ena_cpu::core::CoreModel;
+use ena_cpu::power::{default_pstates, CpuPowerModel};
+use ena_cpu::program::CpuProgram;
+use ena_cpu::window::{simulate, WindowConfig};
+use ena_model::units::Megahertz;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn the_dvfs_predictor_is_exact_for_any_program(
+        instructions in 1_000u64..500_000,
+        mpki in 0.0f64..50.0,
+        mlp in 1u32..8,
+        measured_mhz in 1000.0f64..3500.0,
+        target_mhz in 1000.0f64..3500.0,
+    ) {
+        let core = CoreModel::default();
+        let p = CpuProgram::synthesize(instructions, mpki, mlp);
+        let measured = core.run(&p, Megahertz::new(measured_mhz));
+        let predicted = core.predict_time(
+            &measured,
+            Megahertz::new(measured_mhz),
+            Megahertz::new(target_mhz),
+        );
+        let actual = core.run(&p, Megahertz::new(target_mhz)).time;
+        let err = (predicted.value() - actual.value()).abs() / actual.value().max(1e-12);
+        prop_assert!(err < 1e-9, "err {err}");
+    }
+
+    #[test]
+    fn time_decomposition_is_consistent(
+        instructions in 1_000u64..200_000,
+        mpki in 0.0f64..50.0,
+        mlp in 1u32..8,
+    ) {
+        let core = CoreModel::default();
+        let p = CpuProgram::synthesize(instructions, mpki, mlp);
+        let e = core.run(&p, Megahertz::new(2500.0));
+        prop_assert!((e.time.value() - e.compute_time.value() - e.memory_time.value()).abs() < 1e-15);
+        let frac = e.memory_fraction();
+        prop_assert!((0.0..=1.0).contains(&frac));
+        prop_assert_eq!(e.instructions, p.instructions());
+    }
+
+    #[test]
+    fn window_ipc_never_exceeds_width(
+        instructions in 1_000u64..50_000,
+        mpki in 0.0f64..40.0,
+        mlp in 1u32..6,
+    ) {
+        let cfg = WindowConfig::default();
+        let p = CpuProgram::synthesize(instructions, mpki, mlp);
+        let r = simulate(&cfg, &p);
+        prop_assert!(r.ipc() <= cfg.width + 1e-9, "ipc {}", r.ipc());
+        prop_assert_eq!(r.instructions, p.instructions());
+    }
+
+    #[test]
+    fn energy_sweep_is_well_formed(
+        mpki in 0.0f64..40.0,
+    ) {
+        let core = CoreModel::default();
+        let p = CpuProgram::synthesize(100_000, mpki, 2);
+        let measured = core.run(&p, Megahertz::new(2500.0));
+        let model = CpuPowerModel::default();
+        let sweep = model.sweep(&core, &measured, Megahertz::new(2500.0), &default_pstates());
+        prop_assert_eq!(sweep.len(), 4);
+        for pred in &sweep {
+            prop_assert!(pred.time.value() > 0.0);
+            prop_assert!(pred.power.value() > 0.0);
+            prop_assert!((pred.energy.value() - pred.power.value() * pred.time.value()).abs() < 1e-12);
+        }
+    }
+}

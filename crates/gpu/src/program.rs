@@ -1,0 +1,123 @@
+//! Wavefront programs: the instruction streams the timing model executes.
+//!
+//! A [`WavefrontProgram`] is a compact schedule of what one wavefront does:
+//! issue compute for some cycles, issue memory requests, or wait for
+//! outstanding requests to drain. Programs are either synthesized from a
+//! [`KernelProfile`](ena_model::KernelProfile) ([`crate::synth`]) or built
+//! by hand for microbenchmark-style tests.
+
+/// One operation in a wavefront's instruction stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// Occupy the SIMD for `cycles`, retiring `flops` double-precision
+    /// operations.
+    Compute {
+        /// Issue cycles consumed.
+        cycles: u32,
+        /// DP FLOPs retired.
+        flops: u32,
+    },
+    /// Issue a non-blocking memory request for the line at `addr`.
+    Load {
+        /// Logical byte address.
+        addr: u64,
+    },
+    /// Issue a non-blocking store for the line at `addr`.
+    Store {
+        /// Logical byte address.
+        addr: u64,
+    },
+    /// Stall until at most `max_outstanding` requests remain in flight.
+    Wait {
+        /// Allowed in-flight requests after the wait.
+        max_outstanding: u32,
+    },
+}
+
+/// The instruction stream of one wavefront.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct WavefrontProgram {
+    ops: Vec<Op>,
+}
+
+impl WavefrontProgram {
+    /// An empty program.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an op (builder style).
+    pub fn push(mut self, op: Op) -> Self {
+        self.ops.push(op);
+        self
+    }
+
+    /// The operations.
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// Total DP FLOPs the program retires.
+    pub fn total_flops(&self) -> u64 {
+        self.ops
+            .iter()
+            .map(|op| match op {
+                Op::Compute { flops, .. } => u64::from(*flops),
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Total memory requests the program issues.
+    pub fn total_requests(&self) -> u64 {
+        self.ops
+            .iter()
+            .filter(|op| matches!(op, Op::Load { .. } | Op::Store { .. }))
+            .count() as u64
+    }
+
+    /// Minimum issue cycles if memory were infinitely fast.
+    pub fn compute_cycles(&self) -> u64 {
+        self.ops
+            .iter()
+            .map(|op| match op {
+                Op::Compute { cycles, .. } => u64::from(*cycles),
+                Op::Load { .. } | Op::Store { .. } => 1,
+                Op::Wait { .. } => 0,
+            })
+            .sum()
+    }
+}
+
+impl FromIterator<Op> for WavefrontProgram {
+    fn from_iter<I: IntoIterator<Item = Op>>(iter: I) -> Self {
+        Self {
+            ops: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accounting_sums_ops() {
+        let p = WavefrontProgram::new()
+            .push(Op::Compute { cycles: 4, flops: 128 })
+            .push(Op::Load { addr: 0 })
+            .push(Op::Load { addr: 64 })
+            .push(Op::Wait { max_outstanding: 0 })
+            .push(Op::Compute { cycles: 2, flops: 64 });
+        assert_eq!(p.total_flops(), 192);
+        assert_eq!(p.total_requests(), 2);
+        assert_eq!(p.compute_cycles(), 4 + 1 + 1 + 2);
+        assert_eq!(p.ops().len(), 5);
+    }
+
+    #[test]
+    fn collects_from_iterator() {
+        let p: WavefrontProgram = (0..3).map(|i| Op::Load { addr: i * 64 }).collect();
+        assert_eq!(p.total_requests(), 3);
+    }
+}

@@ -1,0 +1,358 @@
+//! The wavefront-level timing simulator.
+//!
+//! Models one or more compute units, each multiplexing a set of wavefront
+//! contexts over its SIMD issue slots. Wavefronts hide memory latency by
+//! switching: while one waits on outstanding requests, others issue. This
+//! is the mechanism behind the paper's Finding that "the GPU's massive
+//! parallelism is effective at latency hiding" (Section V-A), and the
+//! cycle-level complement to the analytic model's `parallelism` /
+//! `latency_sensitivity` parameters.
+
+use crate::backend::MemoryBackend;
+use crate::program::{Op, WavefrontProgram};
+
+/// Configuration of one simulated compute unit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CuConfig {
+    /// Ops issued per cycle across ready wavefronts (SIMD scheduler width).
+    pub issue_width: u32,
+    /// Maximum in-flight memory requests per wavefront.
+    pub max_outstanding: u32,
+    /// Shared compute pipelines: a `Compute` op occupies one for its full
+    /// duration. One pipe at 64 FLOPs/cycle models a whole CU's vector
+    /// throughput.
+    pub compute_pipes: u32,
+}
+
+impl Default for CuConfig {
+    fn default() -> Self {
+        Self {
+            issue_width: 4,
+            max_outstanding: 8,
+            compute_pipes: 1,
+        }
+    }
+}
+
+/// One wavefront's execution state.
+#[derive(Clone, Debug)]
+struct WavefrontState {
+    program: WavefrontProgram,
+    pc: usize,
+    /// The SIMD is occupied by this wavefront's compute until this cycle.
+    busy_until: u64,
+    /// Completion cycles of in-flight requests (unsorted).
+    outstanding: Vec<u64>,
+    flops: u64,
+}
+
+impl WavefrontState {
+    fn new(program: WavefrontProgram) -> Self {
+        Self {
+            program,
+            pc: 0,
+            busy_until: 0,
+            outstanding: Vec::new(),
+            flops: 0,
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.pc >= self.program.ops().len()
+    }
+
+    fn drain(&mut self, now: u64) {
+        self.outstanding.retain(|&c| c > now);
+    }
+
+    /// The earliest cycle at which this wavefront could make progress, or
+    /// `None` if it is finished.
+    fn next_event(&self, now: u64, cfg: &CuConfig) -> Option<u64> {
+        if self.done() {
+            return None;
+        }
+        let mut earliest = self.busy_until.max(now);
+        match self.program.ops()[self.pc] {
+            Op::Wait { max_outstanding } => {
+                if self.outstanding.len() > max_outstanding as usize {
+                    // Must wait for enough completions.
+                    let mut c: Vec<u64> = self.outstanding.clone();
+                    c.sort_unstable();
+                    let need = self.outstanding.len() - max_outstanding as usize;
+                    earliest = earliest.max(c[need - 1]);
+                }
+            }
+            Op::Load { .. } | Op::Store { .. } => {
+                if self.outstanding.len() >= cfg.max_outstanding as usize {
+                    let min = *self.outstanding.iter().min().expect("non-empty");
+                    earliest = earliest.max(min);
+                }
+            }
+            Op::Compute { .. } => {}
+        }
+        Some(earliest)
+    }
+}
+
+/// Aggregate results of a timing simulation.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct TimingStats {
+    /// Total cycles until the last wavefront finished.
+    pub cycles: u64,
+    /// DP FLOPs retired.
+    pub flops: u64,
+    /// Memory requests issued.
+    pub requests: u64,
+    /// Issue slots actually used.
+    pub issued_ops: u64,
+    /// Issue slots available (`cycles x issue_width x CUs`).
+    pub issue_slots: u64,
+}
+
+impl TimingStats {
+    /// Achieved FLOPs per cycle.
+    pub fn flops_per_cycle(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.flops as f64 / self.cycles as f64
+        }
+    }
+
+    /// Fraction of issue slots used.
+    pub fn issue_utilization(&self) -> f64 {
+        if self.issue_slots == 0 {
+            0.0
+        } else {
+            self.issued_ops as f64 / self.issue_slots as f64
+        }
+    }
+}
+
+/// The timing simulator for one CU cluster sharing a memory backend.
+pub struct GpuSim<'a, B: MemoryBackend> {
+    config: CuConfig,
+    backend: &'a mut B,
+}
+
+impl<'a, B: MemoryBackend> GpuSim<'a, B> {
+    /// Creates a simulator over `backend`.
+    pub fn new(config: CuConfig, backend: &'a mut B) -> Self {
+        Self { config, backend }
+    }
+
+    /// Runs the given wavefronts to completion, returning timing stats.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wavefronts` is empty.
+    pub fn run(&mut self, wavefronts: Vec<WavefrontProgram>) -> TimingStats {
+        assert!(!wavefronts.is_empty(), "no wavefronts to run");
+        let mut waves: Vec<WavefrontState> =
+            wavefronts.into_iter().map(WavefrontState::new).collect();
+        let mut now = 0u64;
+        let mut stats = TimingStats::default();
+        let mut rr = 0usize; // round-robin pointer
+        let mut pipe_free = vec![0u64; self.config.compute_pipes.max(1) as usize];
+
+        while waves.iter().any(|w| !w.done()) {
+            for w in waves.iter_mut() {
+                w.drain(now);
+            }
+
+            // Issue up to issue_width ops this cycle, round-robin.
+            let mut issued = 0u32;
+            let n = waves.len();
+            for k in 0..n {
+                if issued >= self.config.issue_width {
+                    break;
+                }
+                let idx = (rr + k) % n;
+                let cfg = self.config;
+                let w = &mut waves[idx];
+                if w.done() || w.busy_until > now {
+                    continue;
+                }
+                match w.program.ops()[w.pc] {
+                    Op::Compute { cycles, flops } => {
+                        // Needs a free shared compute pipe.
+                        let Some(pipe) = pipe_free.iter_mut().find(|f| **f <= now) else {
+                            continue;
+                        };
+                        *pipe = now + u64::from(cycles);
+                        w.busy_until = now + u64::from(cycles);
+                        w.flops += u64::from(flops);
+                        stats.flops += u64::from(flops);
+                        w.pc += 1;
+                        issued += 1;
+                    }
+                    Op::Load { addr } | Op::Store { addr }
+                        if w.outstanding.len() < cfg.max_outstanding as usize =>
+                    {
+                        let is_write = matches!(w.program.ops()[w.pc], Op::Store { .. });
+                        let complete = self.backend.request(addr, is_write, now);
+                        w.outstanding.push(complete);
+                        stats.requests += 1;
+                        w.pc += 1;
+                        issued += 1;
+                    }
+                    Op::Wait { max_outstanding }
+                        if w.outstanding.len() <= max_outstanding as usize =>
+                    {
+                        // Waits retire for free once satisfied.
+                        w.pc += 1;
+                    }
+                    _ => {}
+                }
+            }
+            rr = (rr + 1) % n;
+            stats.issued_ops += u64::from(issued);
+
+            // Advance time: next cycle, or jump to the next event if the
+            // machine is fully stalled.
+            if issued == 0 {
+                let next = waves
+                    .iter()
+                    .filter_map(|w| w.next_event(now + 1, &self.config))
+                    .min()
+                    .map(|e| {
+                        // A compute-ready wavefront may be gated on a pipe.
+                        let pipe = pipe_free.iter().copied().min().unwrap_or(0);
+                        if e <= now + 1 && pipe > now { e.max(pipe) } else { e }
+                    });
+                now = next.unwrap_or(now + 1).max(now + 1);
+            } else {
+                now += 1;
+            }
+        }
+
+        // The makespan runs to the last completion, not the last issue:
+        // in-flight compute and memory must drain.
+        let drain = waves
+            .iter()
+            .map(|w| {
+                w.busy_until
+                    .max(w.outstanding.iter().copied().max().unwrap_or(0))
+            })
+            .max()
+            .unwrap_or(0);
+        stats.cycles = now.max(drain).max(1);
+        stats.issue_slots = stats.cycles * u64::from(self.config.issue_width);
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::FixedLatency;
+
+    fn compute_only(iters: u32) -> WavefrontProgram {
+        (0..iters)
+            .map(|_| Op::Compute { cycles: 1, flops: 64 })
+            .collect()
+    }
+
+    fn streaming(iters: u32, mlp: u32) -> WavefrontProgram {
+        let mut p = WavefrontProgram::new();
+        for i in 0..iters {
+            for j in 0..mlp {
+                p = p.push(Op::Load {
+                    addr: u64::from(i * mlp + j) * 64,
+                });
+            }
+            p = p.push(Op::Wait { max_outstanding: 0 });
+            p = p.push(Op::Compute { cycles: 1, flops: 64 });
+        }
+        p
+    }
+
+    #[test]
+    fn compute_bound_wavefronts_saturate_the_pipes() {
+        let mut mem = FixedLatency::new(100, 1);
+        let cfg = CuConfig {
+            compute_pipes: 4,
+            ..CuConfig::default()
+        };
+        let mut sim = GpuSim::new(cfg, &mut mem);
+        let stats = sim.run(vec![compute_only(100); 8]);
+        // 8 wavefronts x 100 ops / 4 pipes = 200 cycles minimum.
+        assert!(stats.cycles >= 200);
+        assert!(stats.cycles < 230, "cycles = {}", stats.cycles);
+        assert!(stats.issue_utilization() > 0.85);
+        assert_eq!(stats.flops, 8 * 100 * 64);
+    }
+
+    #[test]
+    fn a_single_pipe_serializes_compute() {
+        let mut mem = FixedLatency::new(100, 1);
+        let mut sim = GpuSim::new(CuConfig::default(), &mut mem);
+        let stats = sim.run(vec![compute_only(100); 8]);
+        // One shared pipe: 800 one-cycle compute ops serialize.
+        assert!(stats.cycles >= 800, "cycles = {}", stats.cycles);
+        // The pipe itself stays fully busy: 64 FLOPs every cycle.
+        assert!(stats.flops_per_cycle() > 60.0);
+    }
+
+    #[test]
+    fn a_single_memory_wavefront_is_latency_bound() {
+        let mut mem = FixedLatency::new(200, 1);
+        let mut sim = GpuSim::new(CuConfig::default(), &mut mem);
+        let stats = sim.run(vec![streaming(20, 1)]);
+        // Each iteration serializes one 200-cycle round trip.
+        assert!(stats.cycles >= 20 * 200, "cycles = {}", stats.cycles);
+        assert!(stats.issue_utilization() < 0.05);
+    }
+
+    #[test]
+    fn more_wavefronts_hide_memory_latency() {
+        let run = |count: usize| {
+            let mut mem = FixedLatency::new(200, 2);
+            let mut sim = GpuSim::new(CuConfig::default(), &mut mem);
+            sim.run(vec![streaming(20, 4); count]).flops_per_cycle()
+        };
+        let one = run(1);
+        let eight = run(8);
+        let sixteen = run(16);
+        assert!(eight > 3.0 * one, "1: {one}, 8: {eight}");
+        assert!(sixteen >= eight * 0.95, "8: {eight}, 16: {sixteen}");
+    }
+
+    #[test]
+    fn bandwidth_limits_cap_wavefront_scaling() {
+        // With a 4-cycle service interval the pipe sustains 0.25 req/cycle;
+        // piling on wavefronts cannot exceed it.
+        let run = |count: usize| {
+            let mut mem = FixedLatency::new(100, 4);
+            let mut sim = GpuSim::new(CuConfig::default(), &mut mem);
+            let s = sim.run(vec![streaming(50, 4); count]);
+            s.requests as f64 / s.cycles as f64
+        };
+        let heavy = run(32);
+        assert!(heavy <= 0.26, "requests/cycle = {heavy}");
+    }
+
+    #[test]
+    fn mlp_improves_latency_bound_throughput() {
+        let run = |mlp: u32| {
+            let mut mem = FixedLatency::new(200, 1);
+            let mut sim = GpuSim::new(CuConfig::default(), &mut mem);
+            // Same total loads regardless of mlp.
+            sim.run(vec![streaming(24 / mlp, mlp); 2]).cycles
+        };
+        assert!(run(4) < run(1), "mlp 4: {}, mlp 1: {}", run(4), run(1));
+    }
+
+    #[test]
+    fn stats_are_internally_consistent() {
+        let mut mem = FixedLatency::new(50, 2);
+        let mut sim = GpuSim::new(CuConfig::default(), &mut mem);
+        let wf = streaming(10, 2);
+        let expect_flops = wf.total_flops() * 3;
+        let expect_reqs = wf.total_requests() * 3;
+        let stats = sim.run(vec![wf; 3]);
+        assert_eq!(stats.flops, expect_flops);
+        assert_eq!(stats.requests, expect_reqs);
+        assert!(stats.issued_ops <= stats.issue_slots);
+    }
+}

@@ -1,0 +1,65 @@
+//! Property-based tests for the GPU timing simulator.
+
+use ena_gpu::backend::FixedLatency;
+use ena_gpu::program::{Op, WavefrontProgram};
+use ena_gpu::sim::{CuConfig, GpuSim};
+use proptest::prelude::*;
+
+fn arbitrary_program() -> impl Strategy<Value = WavefrontProgram> {
+    proptest::collection::vec(
+        prop_oneof![
+            (1u32..8, 1u32..512).prop_map(|(cycles, flops)| Op::Compute { cycles, flops }),
+            (0u64..1 << 20).prop_map(|line| Op::Load { addr: line * 64 }),
+            (0u64..1 << 20).prop_map(|line| Op::Store { addr: line * 64 }),
+            (0u32..4).prop_map(|m| Op::Wait { max_outstanding: m }),
+        ],
+        1..60,
+    )
+    .prop_map(|ops| ops.into_iter().collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn all_work_is_retired_exactly_once(
+        program in arbitrary_program(),
+        copies in 1usize..6,
+    ) {
+        let mut mem = FixedLatency::new(100, 2);
+        let stats = GpuSim::new(CuConfig::default(), &mut mem).run(vec![program.clone(); copies]);
+        prop_assert_eq!(stats.flops, program.total_flops() * copies as u64);
+        prop_assert_eq!(stats.requests, program.total_requests() * copies as u64);
+        prop_assert!(stats.cycles >= 1);
+        prop_assert!(stats.issued_ops <= stats.issue_slots);
+    }
+
+    #[test]
+    fn makespan_never_beats_the_compute_lower_bound(program in arbitrary_program()) {
+        let mut mem = FixedLatency::new(50, 1);
+        let stats = GpuSim::new(CuConfig::default(), &mut mem).run(vec![program.clone()]);
+        // A single wavefront cannot finish faster than its issue cycles.
+        prop_assert!(stats.cycles + 1 >= program.compute_cycles());
+    }
+
+    #[test]
+    fn slower_memory_never_speeds_things_up(
+        program in arbitrary_program(),
+        extra in 1u64..400,
+    ) {
+        let run = |latency: u64| {
+            let mut mem = FixedLatency::new(latency, 2);
+            GpuSim::new(CuConfig::default(), &mut mem).run(vec![program.clone(); 2]).cycles
+        };
+        prop_assert!(run(100 + extra) >= run(100));
+    }
+
+    #[test]
+    fn the_simulator_is_deterministic(program in arbitrary_program()) {
+        let run = || {
+            let mut mem = FixedLatency::new(120, 3);
+            GpuSim::new(CuConfig::default(), &mut mem).run(vec![program.clone(); 3])
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,126 @@
+//! Scoped-synchronization cost models (HRF \[15\] and QuickRelease \[14\]).
+//!
+//! HSA systems synchronize producer/consumer pairs with release/acquire
+//! operations. Heterogeneous-race-free (HRF) memory models let software
+//! name a *scope* — wave, workgroup, agent, or system — so a
+//! synchronization only pays for the visibility it needs. QuickRelease
+//! further decouples release completion from full cache flushes with a
+//! FIFO of pending writes, cutting the cost of the expensive scopes.
+
+/// HRF synchronization scopes, smallest to largest.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SyncScope {
+    /// Within one wavefront (free in practice).
+    Wave,
+    /// Within one workgroup (shared L1/LDS).
+    Workgroup,
+    /// Within one agent (e.g. the whole GPU: flush to L2).
+    Agent,
+    /// System-wide (visible to CPU and other agents: flush past the LLC).
+    System,
+}
+
+/// A release/acquire cost model, in microseconds per operation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SyncModel {
+    /// Cost of a release at each scope (wave, workgroup, agent, system).
+    pub release_us: [f64; 4],
+    /// Cost of an acquire at each scope.
+    pub acquire_us: [f64; 4],
+    /// Model name for reports.
+    pub name: &'static str,
+}
+
+impl SyncModel {
+    /// A conventional GPU memory model: every cross-agent synchronization
+    /// is a full-cache-flush system release.
+    pub fn conventional() -> Self {
+        Self {
+            release_us: [0.0, 0.05, 1.0, 6.0],
+            acquire_us: [0.0, 0.02, 0.4, 1.5],
+            name: "conventional",
+        }
+    }
+
+    /// QuickRelease: writes drain through a FIFO, so releases complete
+    /// without a full flush (paper \[14\]: "throughput-oriented release
+    /// consistency").
+    pub fn quick_release() -> Self {
+        Self {
+            release_us: [0.0, 0.02, 0.25, 1.2],
+            acquire_us: [0.0, 0.02, 0.3, 1.0],
+            name: "quick-release",
+        }
+    }
+
+    fn idx(scope: SyncScope) -> usize {
+        match scope {
+            SyncScope::Wave => 0,
+            SyncScope::Workgroup => 1,
+            SyncScope::Agent => 2,
+            SyncScope::System => 3,
+        }
+    }
+
+    /// Cost of one release at `scope`.
+    pub fn release(&self, scope: SyncScope) -> f64 {
+        self.release_us[Self::idx(scope)]
+    }
+
+    /// Cost of one acquire at `scope`.
+    pub fn acquire(&self, scope: SyncScope) -> f64 {
+        self.acquire_us[Self::idx(scope)]
+    }
+
+    /// The cost a dependency edge pays: the producer releases and the
+    /// consumer acquires at the scope their placement requires —
+    /// [`SyncScope::System`] across agents, [`SyncScope::Agent`] within.
+    pub fn edge_cost(&self, cross_agent: bool) -> f64 {
+        let scope = if cross_agent {
+            SyncScope::System
+        } else {
+            SyncScope::Agent
+        };
+        self.release(scope) + self.acquire(scope)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scopes_cost_monotonically_more() {
+        for model in [SyncModel::conventional(), SyncModel::quick_release()] {
+            let scopes = [
+                SyncScope::Wave,
+                SyncScope::Workgroup,
+                SyncScope::Agent,
+                SyncScope::System,
+            ];
+            for pair in scopes.windows(2) {
+                assert!(
+                    model.release(pair[0]) <= model.release(pair[1]),
+                    "{}",
+                    model.name
+                );
+                assert!(model.acquire(pair[0]) <= model.acquire(pair[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn quick_release_is_cheaper_where_it_matters() {
+        let conv = SyncModel::conventional();
+        let qr = SyncModel::quick_release();
+        assert!(qr.edge_cost(true) < conv.edge_cost(true) / 2.0);
+        assert!(qr.edge_cost(false) < conv.edge_cost(false));
+    }
+
+    #[test]
+    fn cross_agent_edges_cost_more_than_local_ones() {
+        for model in [SyncModel::conventional(), SyncModel::quick_release()] {
+            assert!(model.edge_cost(true) > model.edge_cost(false));
+        }
+    }
+}

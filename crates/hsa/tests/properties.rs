@@ -1,0 +1,102 @@
+//! Property-based tests for the HSA runtime.
+
+use ena_hsa::runtime::{Runtime, RuntimeConfig};
+use ena_hsa::task::{TaskCost, TaskGraph};
+use proptest::prelude::*;
+
+/// Builds a random DAG: each task depends on a subset of earlier tasks.
+fn arbitrary_graph() -> impl Strategy<Value = TaskGraph> {
+    proptest::collection::vec(
+        (
+            1.0f64..100.0,           // cpu cost
+            1.0f64..100.0,           // gpu cost
+            0u8..3,                  // kind: cpu/gpu/either
+            proptest::collection::vec(any::<proptest::sample::Index>(), 0..3),
+        ),
+        1..40,
+    )
+    .prop_map(|specs| {
+        let mut g = TaskGraph::new();
+        for (i, (cpu, gpu, kind, dep_picks)) in specs.into_iter().enumerate() {
+            let cost = match kind {
+                0 => TaskCost::cpu(cpu),
+                1 => TaskCost::gpu(gpu),
+                _ => TaskCost::either(cpu, gpu),
+            };
+            let mut deps: Vec<usize> = if i == 0 {
+                Vec::new()
+            } else {
+                dep_picks.iter().map(|p| p.index(i)).collect()
+            };
+            deps.sort_unstable();
+            deps.dedup();
+            g.add(format!("t{i}"), cost, &deps).expect("backward edges only");
+        }
+        g
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn schedules_respect_dependencies(graph in arbitrary_graph()) {
+        let schedule = Runtime::new(RuntimeConfig::hsa()).execute(&graph);
+        prop_assert_eq!(schedule.spans.len(), graph.len());
+        for span in &schedule.spans {
+            for &dep in &graph.tasks()[span.task].deps {
+                let producer = schedule.span_of(dep).expect("dep scheduled");
+                prop_assert!(
+                    span.start_us >= producer.end_us - 1e-9,
+                    "task {} started before dep {}",
+                    span.task,
+                    dep
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn makespan_is_bounded_below_by_the_critical_path(graph in arbitrary_graph()) {
+        let schedule = Runtime::new(RuntimeConfig::hsa()).execute(&graph);
+        prop_assert!(schedule.makespan_us >= graph.critical_path_us() - 1e-9);
+    }
+
+    #[test]
+    fn overhead_accounting_is_sane(graph in arbitrary_graph()) {
+        let cfg = RuntimeConfig::hsa();
+        let schedule = Runtime::new(cfg).execute(&graph);
+        let expected_dispatch = cfg.dispatch_overhead_us * graph.len() as f64;
+        prop_assert!((schedule.dispatch_overhead_us - expected_dispatch).abs() < 1e-9);
+        prop_assert!(schedule.sync_overhead_us >= 0.0);
+        for kind in [ena_hsa::AgentKind::CpuCore, ena_hsa::AgentKind::GpuQueue] {
+            let agents = match kind {
+                ena_hsa::AgentKind::CpuCore => cfg.cpu_cores,
+                ena_hsa::AgentKind::GpuQueue => cfg.gpu_queues,
+            };
+            let u = schedule.utilization(kind, agents);
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&u), "{u}");
+        }
+    }
+
+    #[test]
+    fn agents_never_run_two_tasks_at_once(graph in arbitrary_graph()) {
+        let schedule = Runtime::new(RuntimeConfig::hsa()).execute(&graph);
+        let mut spans = schedule.spans.clone();
+        spans.sort_by(|a, b| {
+            (a.agent as u8, a.agent_index, a.start_us)
+                .partial_cmp(&(b.agent as u8, b.agent_index, b.start_us))
+                .expect("finite")
+        });
+        for pair in spans.windows(2) {
+            if pair[0].agent == pair[1].agent && pair[0].agent_index == pair[1].agent_index {
+                prop_assert!(
+                    pair[1].start_us >= pair[0].end_us - 1e-9,
+                    "overlap on {:?}[{}]",
+                    pair[0].agent,
+                    pair[0].agent_index
+                );
+            }
+        }
+    }
+}

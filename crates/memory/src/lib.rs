@@ -1,0 +1,45 @@
+//! Multi-level memory system simulation for the ENA toolkit.
+//!
+//! The ENA pairs 256 GB of in-package 3D DRAM with a network of external
+//! memory modules (paper Section II-B). This crate models every level:
+//!
+//! - [`hbm`] — in-package stack timing/energy (channels, banks, open rows).
+//! - [`extnet`] — the external memory network: chains of DRAM/NVM modules
+//!   over SerDes links, with failure injection and redundant routing.
+//! - [`interleave`] — the physical address map across stacks and tiers.
+//! - [`policy`] — multi-level management: software-managed hot-page
+//!   migration, hardware-cache mode, and static placement.
+//! - [`system`] — the assembled [`MemorySystem`](system::MemorySystem).
+//!
+//! # Example
+//!
+//! ```
+//! use ena_memory::policy::StaticPlacement;
+//! use ena_memory::system::MemorySystem;
+//! use ena_model::config::EhpConfig;
+//!
+//! let mut memory = MemorySystem::new(
+//!     &EhpConfig::paper_baseline(),
+//!     Box::new(StaticPlacement::new(0.8)),
+//!     u64::MAX,
+//! );
+//! for page in 0..1000u64 {
+//!     memory.access(page * 4096, 64, false).expect("healthy links");
+//! }
+//! assert!(memory.stats().in_package_fraction() > 0.7);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod extnet;
+pub mod hbm;
+pub mod interleave;
+pub mod policy;
+pub mod system;
+
+pub use extnet::ExternalNetwork;
+pub use hbm::HbmStack;
+pub use interleave::{AddressMap, Tier};
+pub use policy::{HardwareCache, PlacementPolicy, SetAssociativeCache, SoftwareManaged, StaticPlacement};
+pub use system::MemorySystem;

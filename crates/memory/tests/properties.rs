@@ -1,0 +1,84 @@
+//! Property-based tests for the multi-level memory system.
+
+use ena_memory::extnet::ExternalNetwork;
+use ena_memory::hbm::{Direction, HbmStack};
+use ena_memory::interleave::{AddressMap, Tier};
+use ena_memory::policy::{run_policy, PlacementPolicy, SoftwareManaged, StaticPlacement};
+use ena_model::config::ExternalMemoryConfig;
+use ena_model::units::Gigabytes;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn interleave_round_trips(addr in 0u64..(256u64 << 30)) {
+        let map = AddressMap::new(8, 32 << 30, 4096);
+        match map.locate(addr) {
+            Tier::InPackage { stack, offset } => {
+                prop_assert!(stack < 8);
+                prop_assert!(offset < 32 << 30);
+                prop_assert_eq!(map.in_package_address(stack, offset), addr);
+            }
+            Tier::External { .. } => prop_assert!(addr >= map.in_package_bytes()),
+        }
+    }
+
+    #[test]
+    fn interleave_is_injective(a in 0u64..(256u64 << 30), b in 0u64..(256u64 << 30)) {
+        let map = AddressMap::new(8, 32 << 30, 4096);
+        if a != b {
+            prop_assert_ne!(map.locate(a), map.locate(b));
+        }
+    }
+
+    #[test]
+    fn static_policy_is_consistent_per_page(addr in 0u64..1u64 << 40, f in 0.0f64..=1.0) {
+        let mut p = StaticPlacement::new(f);
+        let first = p.access(addr, false);
+        let again = p.access(addr, true);
+        prop_assert_eq!(first, again);
+    }
+
+    #[test]
+    fn policy_stats_are_conserved(
+        pages in proptest::collection::vec(0u64..10_000, 1..500),
+        epoch in 1u64..200,
+    ) {
+        let mut policy = SoftwareManaged::new(64 * 4096);
+        let accesses: Vec<(u64, bool)> =
+            pages.iter().map(|&p| (p * 4096, p % 2 == 0)).collect();
+        let n = accesses.len() as u64;
+        let stats = run_policy(&mut policy, accesses, epoch);
+        prop_assert_eq!(stats.accesses, n);
+        prop_assert!(stats.in_package <= stats.accesses);
+        let f = stats.in_package_fraction();
+        prop_assert!((0.0..=1.0).contains(&f));
+        prop_assert!((f + stats.miss_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn external_locate_is_total_over_capacity(frac in 0.0f64..1.0) {
+        let net = ExternalNetwork::new(ExternalMemoryConfig::dram_only(4, Gigabytes::new(768.0)));
+        let cap = (net.config().total_capacity().value() * 1e9) as u64;
+        let addr = (frac * (cap - 1) as f64) as u64;
+        let (module, _) = net.locate(addr).expect("within capacity");
+        prop_assert!(module.interface < 8);
+        prop_assert!((module.depth as usize) < net.config().modules_per_chain());
+    }
+
+    #[test]
+    fn hbm_latency_and_energy_are_positive(
+        addrs in proptest::collection::vec(0u64..(1u64 << 26), 1..200),
+    ) {
+        let mut stack = HbmStack::with_defaults();
+        let mut clock = 0u64;
+        for addr in addrs {
+            clock += 1;
+            let r = stack.service(addr, 64, Direction::Read, clock);
+            prop_assert!(r.complete_cycle > clock);
+            prop_assert!(r.energy.value() > 0.0);
+        }
+        let s = stack.stats();
+        prop_assert!(s.row_hit_rate() >= 0.0 && s.row_hit_rate() <= 1.0);
+        prop_assert_eq!(s.bytes, s.accesses * 64);
+    }
+}

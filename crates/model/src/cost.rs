@@ -1,0 +1,260 @@
+//! Die-yield and cost modeling (paper Section II-A.2).
+//!
+//! The paper's first argument for chiplets is *die yield*: "building a
+//! single monolithic SOC ... would result in an impractically large chip
+//! with prohibitive costs. Smaller chiplets have higher yield rates due to
+//! their size, and when combined with known-good-die (KGD) testing
+//! techniques, can be assembled into larger systems at reasonable cost."
+//! This module quantifies that argument with the standard negative-binomial
+//! yield model and a wafer-cost accounting, so the monolithic-vs-chiplet
+//! trade-off becomes a number instead of an assertion.
+
+use crate::units::SquareMillimeters;
+
+/// Process and wafer parameters for yield/cost estimation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ProcessCost {
+    /// Defect density in defects per square centimeter.
+    pub defect_density_per_cm2: f64,
+    /// Defect clustering parameter (negative-binomial alpha; ~2-3 for
+    /// modern logic processes).
+    pub clustering_alpha: f64,
+    /// Wafer diameter in millimeters (300 for the leading edge).
+    pub wafer_diameter_mm: f64,
+    /// Processed-wafer cost in dollars.
+    pub wafer_cost: f64,
+    /// Maximum manufacturable die area (reticle limit), mm^2.
+    pub reticle_limit_mm2: f64,
+}
+
+impl ProcessCost {
+    /// A leading-edge logic process of the paper's 2022-2023 timeframe.
+    pub fn leading_edge() -> Self {
+        Self {
+            defect_density_per_cm2: 0.1,
+            clustering_alpha: 2.5,
+            wafer_diameter_mm: 300.0,
+            wafer_cost: 12_000.0,
+            reticle_limit_mm2: 830.0,
+        }
+    }
+
+    /// A mature (cheaper, cleaner) node for interposers and I/O silicon.
+    pub fn mature_node() -> Self {
+        Self {
+            defect_density_per_cm2: 0.05,
+            clustering_alpha: 2.5,
+            wafer_diameter_mm: 300.0,
+            wafer_cost: 4_000.0,
+            reticle_limit_mm2: 830.0,
+        }
+    }
+
+    /// Negative-binomial die yield for a die of `area`.
+    ///
+    /// `Y = (1 + D0 * A / alpha)^(-alpha)`, the Seeds/Murphy family model.
+    pub fn die_yield(&self, area: SquareMillimeters) -> f64 {
+        let a_cm2 = area.value() / 100.0;
+        (1.0 + self.defect_density_per_cm2 * a_cm2 / self.clustering_alpha)
+            .powf(-self.clustering_alpha)
+    }
+
+    /// Gross dies per wafer (area term minus edge loss).
+    pub fn dies_per_wafer(&self, area: SquareMillimeters) -> f64 {
+        let d = self.wafer_diameter_mm;
+        let a = area.value();
+        let gross = std::f64::consts::PI * (d / 2.0) * (d / 2.0) / a
+            - std::f64::consts::PI * d / (2.0 * a).sqrt();
+        gross.max(0.0)
+    }
+
+    /// Cost per *good* die of `area`.
+    ///
+    /// Returns `f64::INFINITY` if the die exceeds the reticle limit or no
+    /// dies fit on the wafer.
+    pub fn cost_per_good_die(&self, area: SquareMillimeters) -> f64 {
+        if area.value() > self.reticle_limit_mm2 {
+            return f64::INFINITY;
+        }
+        let good = self.dies_per_wafer(area) * self.die_yield(area);
+        if good <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.wafer_cost / good
+        }
+    }
+}
+
+/// Assembly parameters for multi-die packages.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AssemblyCost {
+    /// Known-good-die test cost per die, dollars.
+    pub kgd_test_per_die: f64,
+    /// Probability one die survives bonding onto the interposer.
+    pub bond_yield: f64,
+    /// Fixed packaging/substrate cost, dollars.
+    pub package_base: f64,
+}
+
+impl Default for AssemblyCost {
+    fn default() -> Self {
+        Self {
+            kgd_test_per_die: 5.0,
+            bond_yield: 0.99,
+            package_base: 50.0,
+        }
+    }
+}
+
+/// Cost estimate of one assembled package.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PackageCost {
+    /// Silicon cost (good dies + interposers), dollars.
+    pub silicon: f64,
+    /// Test + bonding + packaging cost, dollars.
+    pub assembly: f64,
+    /// Overall package yield after bonding.
+    pub package_yield: f64,
+}
+
+impl PackageCost {
+    /// Total cost per *good package*.
+    pub fn total(&self) -> f64 {
+        (self.silicon + self.assembly) / self.package_yield.max(1e-9)
+    }
+}
+
+/// Costs a chiplet-based package: `dies` pairs of `(count, area)` on the
+/// compute process plus `interposer_area` on the mature node.
+pub fn chiplet_package(
+    compute: &ProcessCost,
+    interposer: &ProcessCost,
+    assembly: &AssemblyCost,
+    dies: &[(u32, SquareMillimeters)],
+    interposer_area: SquareMillimeters,
+) -> PackageCost {
+    let mut silicon = 0.0;
+    let mut die_count = 0u32;
+    for &(count, area) in dies {
+        silicon += f64::from(count) * compute.cost_per_good_die(area);
+        die_count += count;
+    }
+    // Interposers are large but on a cheap, clean node.
+    silicon += interposer.cost_per_good_die(interposer_area);
+    die_count += 1;
+
+    let assembly_cost = f64::from(die_count) * assembly.kgd_test_per_die + assembly.package_base;
+    let package_yield = assembly.bond_yield.powi(die_count as i32);
+    PackageCost {
+        silicon,
+        assembly: assembly_cost,
+        package_yield,
+    }
+}
+
+/// Costs the hypothetical monolithic die of the same total area (no KGD
+/// benefit, single process, reticle-limited).
+pub fn monolithic_package(
+    compute: &ProcessCost,
+    assembly: &AssemblyCost,
+    total_area: SquareMillimeters,
+) -> PackageCost {
+    PackageCost {
+        silicon: compute.cost_per_good_die(total_area),
+        assembly: assembly.kgd_test_per_die + assembly.package_base,
+        package_yield: assembly.bond_yield,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mm2(v: f64) -> SquareMillimeters {
+        SquareMillimeters::new(v)
+    }
+
+    #[test]
+    fn yield_decreases_with_area() {
+        let p = ProcessCost::leading_edge();
+        let small = p.die_yield(mm2(50.0));
+        let big = p.die_yield(mm2(600.0));
+        assert!(small > 0.9, "small-die yield {small}");
+        assert!(big < small);
+        assert!((0.3..0.8).contains(&big), "600mm2 yield {big}");
+    }
+
+    #[test]
+    fn cost_per_good_die_grows_superlinearly() {
+        let p = ProcessCost::leading_edge();
+        let c100 = p.cost_per_good_die(mm2(100.0));
+        let c600 = p.cost_per_good_die(mm2(600.0));
+        // 6x the area should cost much more than 6x per good die.
+        assert!(c600 > 8.0 * c100, "100mm2 ${c100:.0}, 600mm2 ${c600:.0}");
+    }
+
+    #[test]
+    fn reticle_limit_is_a_wall() {
+        let p = ProcessCost::leading_edge();
+        assert!(p.cost_per_good_die(mm2(900.0)).is_infinite());
+    }
+
+    #[test]
+    fn chiplets_beat_the_equivalent_monolith() {
+        // The EHP: 8 GPU chiplets (~100 mm2) + 8 CPU chiplets (~70 mm2).
+        let compute = ProcessCost::leading_edge();
+        let interposer = ProcessCost::mature_node();
+        let assembly = AssemblyCost::default();
+        let chiplet = chiplet_package(
+            &compute,
+            &interposer,
+            &assembly,
+            &[(8, mm2(100.0)), (8, mm2(70.0))],
+            mm2(800.0),
+        );
+        let total_area = mm2(8.0 * 100.0 + 8.0 * 70.0);
+        let mono = monolithic_package(&compute, &assembly, total_area);
+        // 1360 mm2 is beyond the reticle: the monolith is unbuildable;
+        // the chiplet package has a finite cost.
+        assert!(chiplet.total().is_finite());
+        assert!(mono.total().is_infinite());
+    }
+
+    #[test]
+    fn even_a_buildable_monolith_costs_more_per_good_package() {
+        // Halve the design so the monolith fits the reticle.
+        let compute = ProcessCost::leading_edge();
+        let interposer = ProcessCost::mature_node();
+        let assembly = AssemblyCost::default();
+        let chiplet = chiplet_package(
+            &compute,
+            &interposer,
+            &assembly,
+            &[(4, mm2(100.0)), (4, mm2(70.0))],
+            mm2(500.0),
+        );
+        let mono = monolithic_package(&compute, &assembly, mm2(680.0));
+        assert!(
+            chiplet.total() < mono.total(),
+            "chiplet ${:.0} vs mono ${:.0}",
+            chiplet.total(),
+            mono.total()
+        );
+    }
+
+    #[test]
+    fn interposer_on_a_mature_node_is_cheap_despite_its_size() {
+        let mature = ProcessCost::mature_node();
+        let leading = ProcessCost::leading_edge();
+        let area = mm2(800.0);
+        assert!(mature.cost_per_good_die(area) < 0.4 * leading.cost_per_good_die(area));
+    }
+
+    #[test]
+    fn dies_per_wafer_is_sane() {
+        let p = ProcessCost::leading_edge();
+        let n = p.dies_per_wafer(mm2(100.0));
+        // A 300 mm wafer holds roughly 600 x 100 mm2 dies gross.
+        assert!((500.0..700.0).contains(&n), "dies {n}");
+    }
+}

@@ -1,0 +1,89 @@
+//! Error types shared across the ENA toolkit.
+
+use core::fmt;
+
+/// Error produced when validating an [`crate::config::EhpConfig`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// The requested CU count exceeds the package area budget.
+    AreaBudgetExceeded {
+        /// Requested total CU count.
+        cus: u32,
+        /// Maximum CU count the package can host.
+        max: u32,
+    },
+    /// A structural component count (chiplets, cores, stacks) was zero.
+    ZeroComponent(&'static str),
+    /// A rate or capacity was zero, negative, or non-finite.
+    NonPositive(&'static str),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::AreaBudgetExceeded { cus, max } => {
+                write!(f, "{cus} CUs exceed the package area budget of {max}")
+            }
+            ConfigError::ZeroComponent(name) => {
+                write!(f, "configuration has zero {name}")
+            }
+            ConfigError::NonPositive(name) => {
+                write!(f, "{name} must be positive and finite")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Error produced when validating a [`crate::kernel::KernelProfile`].
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum ProfileError {
+    /// A field value fell outside its documented domain.
+    OutOfRange {
+        /// Name of the offending field.
+        field: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// The profile name was empty.
+    EmptyName,
+}
+
+impl fmt::Display for ProfileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProfileError::OutOfRange { field, value } => {
+                write!(f, "profile field {field} out of range: {value}")
+            }
+            ProfileError::EmptyName => f.write_str("profile name is empty"),
+        }
+    }
+}
+
+impl std::error::Error for ProfileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = ConfigError::AreaBudgetExceeded { cus: 400, max: 384 };
+        assert_eq!(e.to_string(), "400 CUs exceed the package area budget of 384");
+        let e = ConfigError::ZeroComponent("HBM stacks");
+        assert!(e.to_string().contains("HBM stacks"));
+        let e = ProfileError::OutOfRange { field: "utilization", value: 2.0 };
+        assert!(e.to_string().contains("utilization"));
+        assert!(!ProfileError::EmptyName.to_string().is_empty());
+    }
+
+    #[test]
+    fn errors_are_std_errors_and_send_sync() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<ConfigError>();
+        assert_err::<ProfileError>();
+    }
+}

@@ -1,0 +1,235 @@
+//! Application-kernel characterization (paper Section IV).
+//!
+//! The paper drives its design-space exploration with per-kernel scaling
+//! behaviour measured on real hardware. We capture the same behaviour in a
+//! [`KernelProfile`]: a small set of dimensionless parameters that the
+//! performance and power models in `ena-core` consume. Profiles for the
+//! seven proxy applications are produced by the `ena-workloads` crate by
+//! running its mini-kernels and measuring their op counts and traces.
+
+use crate::error::ProfileError;
+
+/// Paper Section IV's three kernel categories.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum KernelCategory {
+    /// Bound by compute throughput; insensitive to memory bandwidth
+    /// (MaxFlops).
+    ComputeIntensive,
+    /// Stresses both compute and memory; performance plateaus when either
+    /// resource saturates (CoMD, CoMD-LJ, HPGMG).
+    Balanced,
+    /// Bound by the memory system; excess compute resources *degrade*
+    /// performance through contention (LULESH, MiniAMR, XSBench, SNAP).
+    MemoryIntensive,
+}
+
+impl KernelCategory {
+    /// All categories, in the paper's presentation order.
+    pub const ALL: [KernelCategory; 3] = [
+        KernelCategory::ComputeIntensive,
+        KernelCategory::Balanced,
+        KernelCategory::MemoryIntensive,
+    ];
+}
+
+impl core::fmt::Display for KernelCategory {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = match self {
+            KernelCategory::ComputeIntensive => "compute-intensive",
+            KernelCategory::Balanced => "balanced",
+            KernelCategory::MemoryIntensive => "memory-intensive",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Dimensionless characterization of one application kernel.
+///
+/// All fraction-valued fields live in `[0, 1]`; [`KernelProfile::validate`]
+/// enforces this. The fields parameterize the extended-roofline performance
+/// model (see `ena-core::perf`):
+///
+/// ```
+/// use ena_model::kernel::{KernelCategory, KernelProfile};
+///
+/// # fn main() -> Result<(), ena_model::error::ProfileError> {
+/// let profile = KernelProfile {
+///     name: "my-kernel".into(),
+///     category: KernelCategory::Balanced,
+///     ops_per_byte: 4.0,
+///     utilization: 0.6,
+///     parallelism: 0.8,
+///     latency_sensitivity: 0.3,
+///     contention_sensitivity: 0.2,
+///     write_fraction: 0.3,
+///     ext_traffic_fraction: 0.5,
+///     out_of_chiplet_fraction: 0.85,
+///     serial_fraction: 0.02,
+/// };
+/// profile.validate()?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct KernelProfile {
+    /// Human-readable kernel name (e.g. `"LULESH"`).
+    pub name: String,
+    /// Paper Section IV category.
+    pub category: KernelCategory,
+    /// Arithmetic intensity: double-precision FLOPs per byte of
+    /// first-level-DRAM traffic.
+    pub ops_per_byte: f64,
+    /// Fraction of peak compute throughput the kernel can achieve when not
+    /// memory bound (issue efficiency, divergence, etc.).
+    pub utilization: f64,
+    /// Latency-hiding ability from thread-level parallelism, in `[0, 1]`;
+    /// 1 means memory latency is fully overlapped.
+    pub parallelism: f64,
+    /// How strongly exposed memory latency reduces throughput, in `[0, 1]`.
+    /// Irregular kernels (LULESH, XSBench) have high values.
+    pub latency_sensitivity: f64,
+    /// Slope of the contention penalty once the offered memory traffic
+    /// exceeds the sustainable bandwidth: cache thrashing plus queueing
+    /// (Section IV-C). Zero for compute-intensive kernels.
+    pub contention_sensitivity: f64,
+    /// Fraction of memory traffic that is writes.
+    pub write_fraction: f64,
+    /// Fraction of DRAM traffic serviced by *external* memory under the
+    /// software-managed multi-level policy (paper: 46-89 % for capacity
+    /// reasons; ~0 for footprints that fit in-package).
+    pub ext_traffic_fraction: f64,
+    /// Fraction of NoC traffic that leaves the source chiplet
+    /// (paper Fig. 7: 60-95 %).
+    pub out_of_chiplet_fraction: f64,
+    /// Amdahl serial fraction executed on the CPU complex.
+    pub serial_fraction: f64,
+}
+
+impl KernelProfile {
+    /// Checks every field against its documented domain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProfileError`] naming the first out-of-range field.
+    pub fn validate(&self) -> Result<(), ProfileError> {
+        if !(self.ops_per_byte.is_finite() && self.ops_per_byte >= 0.0) {
+            return Err(ProfileError::OutOfRange {
+                field: "ops_per_byte",
+                value: self.ops_per_byte,
+            });
+        }
+        for (field, value) in [
+            ("utilization", self.utilization),
+            ("parallelism", self.parallelism),
+            ("latency_sensitivity", self.latency_sensitivity),
+            ("write_fraction", self.write_fraction),
+            ("ext_traffic_fraction", self.ext_traffic_fraction),
+            ("out_of_chiplet_fraction", self.out_of_chiplet_fraction),
+            ("serial_fraction", self.serial_fraction),
+        ] {
+            if !(0.0..=1.0).contains(&value) || !value.is_finite() {
+                return Err(ProfileError::OutOfRange { field, value });
+            }
+        }
+        if !(self.contention_sensitivity.is_finite() && self.contention_sensitivity >= 0.0) {
+            return Err(ProfileError::OutOfRange {
+                field: "contention_sensitivity",
+                value: self.contention_sensitivity,
+            });
+        }
+        if self.name.is_empty() {
+            return Err(ProfileError::EmptyName);
+        }
+        Ok(())
+    }
+
+    /// Classifies arithmetic intensity against a machine balance point,
+    /// mirroring how Section IV buckets kernels: intensities comfortably
+    /// above the balance are compute-intensive, comfortably below are
+    /// memory-intensive, and the band in between is balanced.
+    pub fn categorize(ops_per_byte: f64, machine_balance: f64) -> KernelCategory {
+        if ops_per_byte >= 4.0 * machine_balance {
+            KernelCategory::ComputeIntensive
+        } else if ops_per_byte >= machine_balance {
+            KernelCategory::Balanced
+        } else {
+            KernelCategory::MemoryIntensive
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn valid() -> KernelProfile {
+        KernelProfile {
+            name: "test".into(),
+            category: KernelCategory::Balanced,
+            ops_per_byte: 2.0,
+            utilization: 0.5,
+            parallelism: 0.8,
+            latency_sensitivity: 0.2,
+            contention_sensitivity: 0.1,
+            write_fraction: 0.3,
+            ext_traffic_fraction: 0.6,
+            out_of_chiplet_fraction: 0.9,
+            serial_fraction: 0.05,
+        }
+    }
+
+    #[test]
+    fn valid_profile_passes() {
+        valid().validate().unwrap();
+    }
+
+    #[test]
+    fn out_of_range_fraction_is_rejected() {
+        let mut p = valid();
+        p.parallelism = 1.5;
+        let err = p.validate().unwrap_err();
+        assert!(matches!(err, ProfileError::OutOfRange { field: "parallelism", .. }));
+    }
+
+    #[test]
+    fn nan_is_rejected() {
+        let mut p = valid();
+        p.ops_per_byte = f64::NAN;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn negative_contention_is_rejected() {
+        let mut p = valid();
+        p.contention_sensitivity = -0.1;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn empty_name_is_rejected() {
+        let mut p = valid();
+        p.name.clear();
+        assert!(matches!(p.validate().unwrap_err(), ProfileError::EmptyName));
+    }
+
+    #[test]
+    fn categorize_buckets_match_section_iv() {
+        // Machine balance of the paper baseline: ~6.8 flop/byte.
+        let balance = 6.8;
+        assert_eq!(
+            KernelProfile::categorize(100.0, balance),
+            KernelCategory::ComputeIntensive
+        );
+        assert_eq!(KernelProfile::categorize(10.0, balance), KernelCategory::Balanced);
+        assert_eq!(
+            KernelProfile::categorize(0.5, balance),
+            KernelCategory::MemoryIntensive
+        );
+    }
+
+    #[test]
+    fn category_display() {
+        assert_eq!(KernelCategory::MemoryIntensive.to_string(), "memory-intensive");
+        assert_eq!(KernelCategory::ALL.len(), 3);
+    }
+}

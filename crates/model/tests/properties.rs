@@ -1,0 +1,89 @@
+//! Property-based tests for the shared vocabulary types.
+
+use ena_model::config::{EhpConfig, MAX_CUS};
+use ena_model::kernel::{KernelCategory, KernelProfile};
+use ena_model::units::{GigabytesPerSec, Joules, Megahertz, Seconds, Watts};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn unit_addition_commutes(a in -1e12f64..1e12, b in -1e12f64..1e12) {
+        prop_assert_eq!(Watts::new(a) + Watts::new(b), Watts::new(b) + Watts::new(a));
+    }
+
+    #[test]
+    fn energy_power_time_round_trip(p in 1e-3f64..1e6, t in 1e-3f64..1e6) {
+        let e: Joules = Watts::new(p) * Seconds::new(t);
+        let back = e / Seconds::new(t);
+        prop_assert!((back.value() - p).abs() <= p * 1e-12);
+    }
+
+    #[test]
+    fn clamp_stays_in_bounds(v in -1e6f64..1e6, lo in -100.0f64..0.0, hi in 0.0f64..100.0) {
+        let c = Watts::new(v).clamp(Watts::new(lo), Watts::new(hi));
+        prop_assert!(c.value() >= lo && c.value() <= hi);
+    }
+
+    #[test]
+    fn any_in_range_config_builds(
+        cus_per_chiplet in 1u32..=MAX_CUS / 8,
+        mhz in 100.0f64..3000.0,
+        tbps in 0.1f64..20.0,
+    ) {
+        let cfg = EhpConfig::builder()
+            .total_cus(cus_per_chiplet * 8)
+            .gpu_clock(Megahertz::new(mhz))
+            .hbm_bandwidth(GigabytesPerSec::from_terabytes_per_sec(tbps))
+            .build();
+        let cfg = cfg.expect("in-range config must build");
+        prop_assert_eq!(cfg.gpu.total_cus(), cus_per_chiplet * 8);
+        prop_assert!(cfg.ops_per_byte() > 0.0);
+        prop_assert!(cfg.peak_throughput().value() > 0.0);
+    }
+
+    #[test]
+    fn categorize_is_monotone_in_intensity(
+        a in 0.0f64..1e4,
+        b in 0.0f64..1e4,
+        balance in 0.1f64..100.0,
+    ) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let rank = |c: KernelCategory| match c {
+            KernelCategory::MemoryIntensive => 0,
+            KernelCategory::Balanced => 1,
+            KernelCategory::ComputeIntensive => 2,
+        };
+        prop_assert!(
+            rank(KernelProfile::categorize(lo, balance))
+                <= rank(KernelProfile::categorize(hi, balance))
+        );
+    }
+
+    #[test]
+    fn profile_validation_accepts_the_unit_cube(
+        u in 0.0f64..=1.0,
+        par in 0.0f64..=1.0,
+        lat in 0.0f64..=1.0,
+        cont in 0.0f64..10.0,
+        wf in 0.0f64..=1.0,
+        ext in 0.0f64..=1.0,
+        ooc in 0.0f64..=1.0,
+        ser in 0.0f64..=1.0,
+        opb in 0.0f64..1e6,
+    ) {
+        let p = KernelProfile {
+            name: "prop".into(),
+            category: KernelCategory::Balanced,
+            ops_per_byte: opb,
+            utilization: u,
+            parallelism: par,
+            latency_sensitivity: lat,
+            contention_sensitivity: cont,
+            write_fraction: wf,
+            ext_traffic_fraction: ext,
+            out_of_chiplet_fraction: ooc,
+            serial_fraction: ser,
+        };
+        prop_assert!(p.validate().is_ok());
+    }
+}

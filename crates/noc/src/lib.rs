@@ -1,0 +1,43 @@
+//! Chiplet/interposer network-on-chip simulation for the ENA toolkit.
+//!
+//! The EHP decomposes the processor into GPU and CPU chiplets stacked on
+//! active interposers (paper Section II-A). This crate models the
+//! resulting interconnect:
+//!
+//! - [`topology`] — the package graphs: the chiplet EHP
+//!   ([`Topology::ehp`](topology::Topology::ehp)) and the monolithic
+//!   baseline ([`Topology::monolithic`](topology::Topology::monolithic)).
+//! - [`sim`] — packet-level simulation with per-link serialization and
+//!   queueing ([`NocSim`](sim::NocSim)).
+//! - [`traffic`] — workload-driven synthetic traffic and trace replay.
+//! - [`energy`] — distance-based interconnect energy accounting.
+//!
+//! # Example
+//!
+//! ```
+//! use ena_noc::sim::{NocSim, Packet};
+//! use ena_noc::topology::{NodeKind, Topology};
+//!
+//! let topo = Topology::ehp(8, 8);
+//! let src = topo.find(NodeKind::GpuChiplet(0)).expect("chiplet 0 exists");
+//! let dst = topo.find(NodeKind::HbmStack(5)).expect("stack 5 exists");
+//! let stats = NocSim::new(&topo).run(&[Packet {
+//!     src,
+//!     dst,
+//!     bytes: 64,
+//!     inject_cycle: 0,
+//! }]);
+//! assert_eq!(stats.remote_packets, 1); // crossed chiplets
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod energy;
+pub mod sim;
+pub mod topology;
+pub mod traffic;
+
+pub use sim::{NocSim, NocStats, Packet};
+pub use topology::{NodeKind, Topology};
+pub use traffic::WorkloadTraffic;

@@ -1,0 +1,225 @@
+//! Per-component power breakdown (the stacks of the paper's Fig. 9).
+
+use core::fmt;
+use ena_model::units::Watts;
+
+/// Node power components.
+///
+/// The first variants match the categories of the paper's Fig. 9:
+/// SerDes and external memory split into static/dynamic, CU dynamic, and
+/// everything else folded into `Other` for display. The full enum keeps the
+/// finer-grained components so optimizations can target them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Component {
+    /// GPU compute-unit dynamic power.
+    CuDynamic,
+    /// GPU compute-unit leakage.
+    CuStatic,
+    /// CPU complex power.
+    Cpu,
+    /// NoC router switching power.
+    NocRouters,
+    /// NoC link power.
+    NocLinks,
+    /// In-package DRAM access power.
+    HbmDynamic,
+    /// In-package DRAM background/refresh power.
+    HbmStatic,
+    /// External memory module access power.
+    ExtDynamic,
+    /// External memory background/refresh power.
+    ExtStatic,
+    /// SerDes transfer power.
+    SerdesDynamic,
+    /// SerDes background power.
+    SerdesStatic,
+    /// Everything else (system management, I/O, misc).
+    Other,
+}
+
+impl Component {
+    /// All components, in a stable display order.
+    pub const ALL: [Component; 12] = [
+        Component::CuDynamic,
+        Component::CuStatic,
+        Component::Cpu,
+        Component::NocRouters,
+        Component::NocLinks,
+        Component::HbmDynamic,
+        Component::HbmStatic,
+        Component::ExtDynamic,
+        Component::ExtStatic,
+        Component::SerdesDynamic,
+        Component::SerdesStatic,
+        Component::Other,
+    ];
+
+    fn index(self) -> usize {
+        Component::ALL.iter().position(|&c| c == self).expect("component in ALL")
+    }
+}
+
+impl fmt::Display for Component {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Component::CuDynamic => "CUs (D)",
+            Component::CuStatic => "CUs (S)",
+            Component::Cpu => "CPU",
+            Component::NocRouters => "NoC routers",
+            Component::NocLinks => "NoC links",
+            Component::HbmDynamic => "In-package DRAM (D)",
+            Component::HbmStatic => "In-package DRAM (S)",
+            Component::ExtDynamic => "External memory (D)",
+            Component::ExtStatic => "External memory (S)",
+            Component::SerdesDynamic => "SerDes (D)",
+            Component::SerdesStatic => "SerDes (S)",
+            Component::Other => "Other",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A per-component power vector.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PowerBreakdown {
+    values: [f64; 12],
+}
+
+impl PowerBreakdown {
+    /// An all-zero breakdown.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Power of one component.
+    pub fn get(&self, c: Component) -> Watts {
+        Watts::new(self.values[c.index()])
+    }
+
+    /// Sets one component's power.
+    pub fn set(&mut self, c: Component, w: Watts) {
+        self.values[c.index()] = w.value();
+    }
+
+    /// Adds to one component's power.
+    pub fn add(&mut self, c: Component, w: Watts) {
+        self.values[c.index()] += w.value();
+    }
+
+    /// Multiplies one component by `factor` (used by optimizations).
+    pub fn scale(&mut self, c: Component, factor: f64) {
+        self.values[c.index()] *= factor;
+    }
+
+    /// Total node power.
+    pub fn total(&self) -> Watts {
+        Watts::new(self.values.iter().sum())
+    }
+
+    /// Sum of the EHP package components (excludes external memory and
+    /// SerDes) — the quantity constrained by the 160 W node budget.
+    pub fn package_total(&self) -> Watts {
+        Component::ALL
+            .iter()
+            .filter(|c| {
+                !matches!(
+                    c,
+                    Component::ExtDynamic
+                        | Component::ExtStatic
+                        | Component::SerdesDynamic
+                        | Component::SerdesStatic
+                )
+            })
+            .map(|&c| self.get(c))
+            .sum()
+    }
+
+    /// Sum of external memory + SerDes power (static and dynamic).
+    pub fn external_total(&self) -> Watts {
+        self.get(Component::ExtDynamic)
+            + self.get(Component::ExtStatic)
+            + self.get(Component::SerdesDynamic)
+            + self.get(Component::SerdesStatic)
+    }
+
+    /// Collapses into the paper's Fig. 9 display categories:
+    /// `(SerDes S, Ext S, SerDes D, Ext D, CUs D, Other)`.
+    pub fn fig9_categories(&self) -> [(String, Watts); 6] {
+        let other: Watts = [
+            Component::CuStatic,
+            Component::Cpu,
+            Component::NocRouters,
+            Component::NocLinks,
+            Component::HbmDynamic,
+            Component::HbmStatic,
+            Component::Other,
+        ]
+        .iter()
+        .map(|&c| self.get(c))
+        .sum();
+        [
+            ("SerDes (S)".into(), self.get(Component::SerdesStatic)),
+            ("External memory (S)".into(), self.get(Component::ExtStatic)),
+            ("SerDes (D)".into(), self.get(Component::SerdesDynamic)),
+            ("External memory (D)".into(), self.get(Component::ExtDynamic)),
+            ("CUs (D)".into(), self.get(Component::CuDynamic)),
+            ("Other".into(), other),
+        ]
+    }
+}
+
+impl fmt::Display for PowerBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for c in Component::ALL {
+            writeln!(f, "{c:<22} {:8.2}", self.get(c))?;
+        }
+        write!(f, "{:<22} {:8.2}", "Total", self.total())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_sum_components() {
+        let mut b = PowerBreakdown::new();
+        b.set(Component::CuDynamic, Watts::new(80.0));
+        b.set(Component::ExtStatic, Watts::new(27.0));
+        b.set(Component::SerdesStatic, Watts::new(10.0));
+        b.add(Component::CuDynamic, Watts::new(5.0));
+        assert_eq!(b.total(), Watts::new(122.0));
+        assert_eq!(b.package_total(), Watts::new(85.0));
+        assert_eq!(b.external_total(), Watts::new(37.0));
+    }
+
+    #[test]
+    fn scaling_targets_one_component() {
+        let mut b = PowerBreakdown::new();
+        b.set(Component::NocRouters, Watts::new(10.0));
+        b.set(Component::NocLinks, Watts::new(8.0));
+        b.scale(Component::NocRouters, 0.5);
+        assert_eq!(b.get(Component::NocRouters), Watts::new(5.0));
+        assert_eq!(b.get(Component::NocLinks), Watts::new(8.0));
+    }
+
+    #[test]
+    fn fig9_categories_cover_the_total() {
+        let mut b = PowerBreakdown::new();
+        for (i, c) in Component::ALL.iter().enumerate() {
+            b.set(*c, Watts::new(i as f64 + 1.0));
+        }
+        let cats = b.fig9_categories();
+        let sum: Watts = cats.iter().map(|(_, w)| *w).sum();
+        assert!((sum.value() - b.total().value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_lists_every_component() {
+        let b = PowerBreakdown::new();
+        let s = b.to_string();
+        assert!(s.contains("CUs (D)"));
+        assert!(s.contains("Total"));
+        assert_eq!(s.lines().count(), 13);
+    }
+}

@@ -1,0 +1,178 @@
+//! Voltage-frequency scaling (DVFS).
+//!
+//! The paper's methodology uses in-house voltage-frequency curves to scale
+//! power across operating points (Section III). We model the curve as
+//! piecewise-linear voltage in frequency between a minimum and maximum
+//! point, with dynamic power scaling as `f * V^2` and leakage as `V`.
+
+use ena_model::units::{Megahertz, Volts};
+
+/// A voltage-frequency curve, piecewise linear around a nominal knee.
+///
+/// Real V-f curves flatten at low frequency (the supply approaches the
+/// stable minimum) and steepen above nominal; the knee captures that.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct VfCurve {
+    /// Lowest supported operating frequency.
+    pub f_min: Megahertz,
+    /// Voltage at `f_min`.
+    pub v_min: Volts,
+    /// The nominal operating point (knee of the curve).
+    pub f_knee: Megahertz,
+    /// Voltage at the knee.
+    pub v_knee: Volts,
+    /// Highest supported operating frequency.
+    pub f_max: Megahertz,
+    /// Voltage at `f_max`.
+    pub v_max: Volts,
+}
+
+impl VfCurve {
+    /// The GPU CU curve used throughout the experiments: a shallow segment
+    /// from 600 MHz at 0.80 V to the nominal 1 GHz at 0.85 V, then a steep
+    /// segment up to 1500 MHz at 1.10 V.
+    pub fn gpu_default() -> Self {
+        Self {
+            f_min: Megahertz::new(600.0),
+            v_min: Volts::new(0.80),
+            f_knee: Megahertz::new(1000.0),
+            v_knee: Volts::new(0.85),
+            f_max: Megahertz::new(1500.0),
+            v_max: Volts::new(1.10),
+        }
+    }
+
+    /// The supply voltage required for `freq`, clamped to the curve's
+    /// endpoints.
+    pub fn voltage(&self, freq: Megahertz) -> Volts {
+        let f = freq.value().clamp(self.f_min.value(), self.f_max.value());
+        let (f0, v0, f1, v1) = if f <= self.f_knee.value() {
+            (self.f_min.value(), self.v_min.value(), self.f_knee.value(), self.v_knee.value())
+        } else {
+            (self.f_knee.value(), self.v_knee.value(), self.f_max.value(), self.v_max.value())
+        };
+        let t = (f - f0) / (f1 - f0);
+        Volts::new(v0 + t * (v1 - v0))
+    }
+
+    /// Nominal voltage (at the knee).
+    pub fn nominal_voltage(&self) -> Volts {
+        self.v_knee
+    }
+
+    /// Dynamic-power scale factor of operating `freq` relative to nominal
+    /// 1 GHz: `(f/f_nom) * (V/V_nom)^2`.
+    pub fn dynamic_scale(&self, freq: Megahertz) -> f64 {
+        let v = self.voltage(freq).value();
+        let vn = self.nominal_voltage().value();
+        (freq.value() / 1000.0) * (v / vn).powi(2)
+    }
+
+    /// Leakage scale factor relative to nominal: `V / V_nom`.
+    pub fn leakage_scale(&self, freq: Megahertz) -> f64 {
+        self.voltage(freq).value() / self.nominal_voltage().value()
+    }
+
+    /// Near-threshold variant of this curve: the same frequency range
+    /// achieved at reduced voltage (paper Section V-E: NTC sustains up to
+    /// 1 GHz near threshold). `depth` in `[0, 1]` scales how far toward
+    /// threshold the voltage drops; frequencies above 1 GHz keep the
+    /// original voltage requirement.
+    pub fn with_near_threshold(&self, depth: f64) -> NtcCurve {
+        NtcCurve {
+            base: *self,
+            depth: depth.clamp(0.0, 1.0),
+        }
+    }
+}
+
+/// A [`VfCurve`] with near-threshold operation below 1 GHz.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NtcCurve {
+    base: VfCurve,
+    depth: f64,
+}
+
+impl NtcCurve {
+    /// Voltage at `freq` with NTC applied.
+    ///
+    /// The achievable voltage reduction is full up to 1 GHz (the paper's
+    /// demonstrated NTC operating range) and fades linearly to zero by
+    /// 1.3 GHz, where the required voltage leaves the near-threshold
+    /// region entirely.
+    pub fn voltage(&self, freq: Megahertz) -> Volts {
+        let v = self.base.voltage(freq);
+        let feasibility = ((1300.0 - freq.value()) / 300.0).clamp(0.0, 1.0);
+        let effective = self.depth * feasibility;
+        // Pull the voltage toward the threshold region (~0.45 V).
+        let threshold = 0.45;
+        Volts::new(v.value() - effective * (v.value() - threshold) * 0.45)
+    }
+
+    /// Dynamic-power scale relative to the *base* curve's nominal point.
+    pub fn dynamic_scale(&self, freq: Megahertz) -> f64 {
+        let v = self.voltage(freq).value();
+        let vn = self.base.nominal_voltage().value();
+        (freq.value() / 1000.0) * (v / vn).powi(2)
+    }
+
+    /// Leakage scale relative to the base curve's nominal point.
+    pub fn leakage_scale(&self, freq: Megahertz) -> f64 {
+        self.voltage(freq).value() / self.base.nominal_voltage().value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_curve_hits_documented_points() {
+        let c = VfCurve::gpu_default();
+        assert!((c.voltage(Megahertz::new(600.0)).value() - 0.80).abs() < 1e-12);
+        assert!((c.voltage(Megahertz::new(1500.0)).value() - 1.10).abs() < 1e-12);
+        assert!((c.voltage(Megahertz::new(1000.0)).value() - 0.85).abs() < 1e-9);
+        // The segment below the knee is much shallower than above it.
+        let below = c.voltage(Megahertz::new(1000.0)).value() - c.voltage(Megahertz::new(800.0)).value();
+        let above = c.voltage(Megahertz::new(1200.0)).value() - c.voltage(Megahertz::new(1000.0)).value();
+        assert!(above > 3.0 * below);
+    }
+
+    #[test]
+    fn voltage_clamps_outside_the_range() {
+        let c = VfCurve::gpu_default();
+        assert_eq!(c.voltage(Megahertz::new(100.0)), c.voltage(c.f_min));
+        assert_eq!(c.voltage(Megahertz::new(2000.0)), c.voltage(c.f_max));
+    }
+
+    #[test]
+    fn dynamic_power_grows_superlinearly_with_frequency() {
+        let c = VfCurve::gpu_default();
+        let s1 = c.dynamic_scale(Megahertz::new(1000.0));
+        let s15 = c.dynamic_scale(Megahertz::new(1500.0));
+        assert!((s1 - 1.0).abs() < 1e-9);
+        // 1.5x frequency should cost much more than 1.5x power.
+        assert!(s15 > 2.0, "scale at 1.5 GHz = {s15}");
+    }
+
+    #[test]
+    fn ntc_cuts_power_below_one_gigahertz_only() {
+        let base = VfCurve::gpu_default();
+        let ntc = base.with_near_threshold(1.0);
+        let f = Megahertz::new(900.0);
+        assert!(ntc.dynamic_scale(f) < base.dynamic_scale(f));
+        assert!(ntc.leakage_scale(f) < base.leakage_scale(f));
+        let high = Megahertz::new(1400.0);
+        assert!((ntc.dynamic_scale(high) - base.dynamic_scale(high)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ntc_depth_zero_matches_base() {
+        let base = VfCurve::gpu_default();
+        let ntc = base.with_near_threshold(0.0);
+        for f in [600.0, 800.0, 1000.0, 1200.0] {
+            let f = Megahertz::new(f);
+            assert!((ntc.voltage(f).value() - base.voltage(f).value()).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,261 @@
+//! The paper's five power-optimization techniques (Section V-E).
+//!
+//! Each optimization targets specific components of the
+//! [`PowerBreakdown`]; per-application total savings therefore *emerge*
+//! from each application's component mix, reproducing the app-to-app
+//! variation of Fig. 12. The paper's reported averages — NTC 14 %, async
+//! CUs 4.3 %, async routers 3.0 %, low-power links 1.6 %, compression
+//! 1.7 %, all together 13-27 % — calibrate the per-component factors here.
+
+use ena_model::units::Megahertz;
+
+use crate::breakdown::{Component, PowerBreakdown};
+use crate::dvfs::VfCurve;
+
+/// Context an optimization needs about the operating point.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OptimizationContext {
+    /// GPU operating frequency.
+    pub gpu_clock: Megahertz,
+    /// The GPU voltage-frequency curve.
+    pub curve: VfCurve,
+}
+
+impl OptimizationContext {
+    /// Context for an EHP configuration with the default curve.
+    pub fn new(gpu_clock: Megahertz) -> Self {
+        Self {
+            gpu_clock,
+            curve: VfCurve::gpu_default(),
+        }
+    }
+}
+
+/// One of the paper's power-saving techniques.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PowerOptimization {
+    /// Near-threshold computing on the CUs (full benefit up to 1 GHz,
+    /// fading above as the required voltage rises).
+    NearThreshold,
+    /// Asynchronous ALUs and crossbars in the GPU SIMD units.
+    AsyncCus,
+    /// Asynchronous interconnect routers.
+    AsyncRouters,
+    /// Low-power interconnect link operating modes.
+    LowPowerLinks,
+    /// DRAM-traffic compression between the LLC and in-package memory.
+    Compression,
+}
+
+impl PowerOptimization {
+    /// All techniques, in the paper's Fig. 12 order.
+    pub const ALL: [PowerOptimization; 5] = [
+        PowerOptimization::NearThreshold,
+        PowerOptimization::AsyncCus,
+        PowerOptimization::AsyncRouters,
+        PowerOptimization::LowPowerLinks,
+        PowerOptimization::Compression,
+    ];
+
+    /// The paper's label for the technique.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PowerOptimization::NearThreshold => "NTC",
+            PowerOptimization::AsyncCus => "Async. CUs",
+            PowerOptimization::AsyncRouters => "Async. routers",
+            PowerOptimization::LowPowerLinks => "Low-power links",
+            PowerOptimization::Compression => "Compression",
+        }
+    }
+
+    /// Applies the optimization's component scaling to `b`.
+    pub fn apply(&self, b: &mut PowerBreakdown, ctx: &OptimizationContext) {
+        match self {
+            PowerOptimization::NearThreshold => {
+                // The curve itself fades the achievable reduction to zero
+                // above the demonstrated NTC frequency range.
+                let ntc = ctx.curve.with_near_threshold(1.0);
+                let base_dyn = ctx.curve.dynamic_scale(ctx.gpu_clock);
+                let base_leak = ctx.curve.leakage_scale(ctx.gpu_clock);
+                if base_dyn > 0.0 {
+                    b.scale(Component::CuDynamic, ntc.dynamic_scale(ctx.gpu_clock) / base_dyn);
+                }
+                if base_leak > 0.0 {
+                    b.scale(Component::CuStatic, ntc.leakage_scale(ctx.gpu_clock) / base_leak);
+                }
+            }
+            PowerOptimization::AsyncCus => {
+                // ALUs + crossbars are ~35 % of CU dynamic power; async
+                // implementation saves ~30 % of that.
+                b.scale(Component::CuDynamic, 1.0 - 0.35 * 0.30);
+            }
+            PowerOptimization::AsyncRouters => {
+                b.scale(Component::NocRouters, 0.45);
+            }
+            PowerOptimization::LowPowerLinks => {
+                b.scale(Component::NocLinks, 0.60);
+            }
+            PowerOptimization::Compression => {
+                // Compressed LLC<->DRAM transfers shrink the data moved on
+                // the long-distance interconnect and the DRAM interface.
+                b.scale(Component::HbmDynamic, 0.82);
+                b.scale(Component::NocLinks, 0.92);
+            }
+        }
+    }
+}
+
+/// Workload-aware CU power gating (paper ref \[24\]): gates the leakage of
+/// idle CUs. `idle_fraction` is the share of CUs with no work;
+/// `gating_efficiency` is how much of a gated CU's leakage is actually cut
+/// (header devices leak a little).
+pub fn apply_power_gating(
+    base: &PowerBreakdown,
+    idle_fraction: f64,
+    gating_efficiency: f64,
+) -> PowerBreakdown {
+    let mut b = *base;
+    let cut = idle_fraction.clamp(0.0, 1.0) * gating_efficiency.clamp(0.0, 1.0);
+    b.scale(Component::CuStatic, 1.0 - cut);
+    b
+}
+
+/// Applies a set of optimizations, returning the optimized breakdown.
+pub fn apply_optimizations(
+    base: &PowerBreakdown,
+    ctx: &OptimizationContext,
+    opts: &[PowerOptimization],
+) -> PowerBreakdown {
+    let mut b = *base;
+    for o in opts {
+        o.apply(&mut b, ctx);
+    }
+    b
+}
+
+/// Fractional total-power savings of `opts` relative to `base`.
+pub fn savings_fraction(
+    base: &PowerBreakdown,
+    ctx: &OptimizationContext,
+    opts: &[PowerOptimization],
+) -> f64 {
+    let before = base.total().value();
+    if before == 0.0 {
+        return 0.0;
+    }
+    let after = apply_optimizations(base, ctx, opts).total().value();
+    1.0 - after / before
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ena_model::units::Watts;
+
+    /// A representative baseline mix for the mean configuration.
+    fn typical() -> PowerBreakdown {
+        let mut b = PowerBreakdown::new();
+        b.set(Component::CuDynamic, Watts::new(60.0));
+        b.set(Component::CuStatic, Watts::new(16.0));
+        b.set(Component::Cpu, Watts::new(10.0));
+        b.set(Component::NocRouters, Watts::new(9.0));
+        b.set(Component::NocLinks, Watts::new(7.0));
+        b.set(Component::HbmDynamic, Watts::new(14.0));
+        b.set(Component::HbmStatic, Watts::new(27.0));
+        b.set(Component::Other, Watts::new(8.0));
+        b
+    }
+
+    fn ctx() -> OptimizationContext {
+        OptimizationContext::new(Megahertz::new(1000.0))
+    }
+
+    #[test]
+    fn individual_savings_match_paper_averages() {
+        let b = typical();
+        let c = ctx();
+        let pct = |o: PowerOptimization| 100.0 * savings_fraction(&b, &c, &[o]);
+        // Paper: NTC 14 %, async CUs 4.3 %, routers 3.0 %, links 1.6 %,
+        // compression 1.7 % (averages across apps; allow tolerance).
+        let ntc = pct(PowerOptimization::NearThreshold);
+        assert!((10.0..20.0).contains(&ntc), "NTC = {ntc}%");
+        let cus = pct(PowerOptimization::AsyncCus);
+        assert!((2.5..6.5).contains(&cus), "async CUs = {cus}%");
+        let routers = pct(PowerOptimization::AsyncRouters);
+        assert!((1.5..5.0).contains(&routers), "routers = {routers}%");
+        let links = pct(PowerOptimization::LowPowerLinks);
+        assert!((0.8..3.5).contains(&links), "links = {links}%");
+        let comp = pct(PowerOptimization::Compression);
+        assert!((0.8..3.5).contains(&comp), "compression = {comp}%");
+    }
+
+    #[test]
+    fn combined_savings_land_in_the_fig12_band() {
+        let total = 100.0 * savings_fraction(&typical(), &ctx(), &PowerOptimization::ALL);
+        assert!((13.0..27.0).contains(&total), "all = {total}%");
+    }
+
+    #[test]
+    fn ntc_benefit_fades_at_high_frequency() {
+        let b = typical();
+        let low = savings_fraction(
+            &b,
+            &OptimizationContext::new(Megahertz::new(900.0)),
+            &[PowerOptimization::NearThreshold],
+        );
+        let mid = savings_fraction(
+            &b,
+            &OptimizationContext::new(Megahertz::new(1150.0)),
+            &[PowerOptimization::NearThreshold],
+        );
+        let high = savings_fraction(
+            &b,
+            &OptimizationContext::new(Megahertz::new(1400.0)),
+            &[PowerOptimization::NearThreshold],
+        );
+        assert!(low > mid);
+        assert!(mid > high);
+        assert!(high.abs() < 1e-9);
+    }
+
+    #[test]
+    fn optimizations_never_increase_power() {
+        let b = typical();
+        let c = ctx();
+        for o in PowerOptimization::ALL {
+            assert!(savings_fraction(&b, &c, &[o]) >= 0.0, "{}", o.label());
+        }
+    }
+
+    #[test]
+    fn memory_heavy_mix_benefits_more_from_compression() {
+        let c = ctx();
+        let mut memory_heavy = typical();
+        memory_heavy.set(Component::HbmDynamic, Watts::new(35.0));
+        memory_heavy.set(Component::CuDynamic, Watts::new(30.0));
+        let lean = savings_fraction(&typical(), &c, &[PowerOptimization::Compression]);
+        let heavy = savings_fraction(&memory_heavy, &c, &[PowerOptimization::Compression]);
+        assert!(heavy > lean);
+    }
+
+    #[test]
+    fn power_gating_cuts_leakage_in_proportion_to_idleness() {
+        let b = typical();
+        let gated = apply_power_gating(&b, 0.5, 0.9);
+        let expect = 16.0 * (1.0 - 0.45);
+        assert!((gated.get(Component::CuStatic).value() - expect).abs() < 1e-9);
+        // Nothing else moves.
+        assert_eq!(gated.get(Component::CuDynamic), b.get(Component::CuDynamic));
+        // Fully busy machines gain nothing.
+        let busy = apply_power_gating(&b, 0.0, 0.9);
+        assert_eq!(busy.get(Component::CuStatic), b.get(Component::CuStatic));
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let mut labels: Vec<_> = PowerOptimization::ALL.iter().map(|o| o.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), 5);
+    }
+}

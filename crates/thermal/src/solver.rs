@@ -1,0 +1,412 @@
+//! Steady-state compact thermal solver (HotSpot methodology \[47\]).
+//!
+//! The die stack is discretized into a 3D grid of thermal cells joined by
+//! lateral (within-layer) and vertical (between-layer) conduction
+//! resistances; the top layer couples to ambient through the heat-sink
+//! resistance. Steady-state temperatures solve the linear system
+//! `sum_j (T_j - T_i)/R_ij + P_i = 0`, which we iterate with
+//! Gauss-Seidel + successive over-relaxation.
+
+use ena_model::units::Celsius;
+
+/// Material/geometry description of one layer in the stack.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LayerSpec {
+    /// Layer name (for reporting).
+    pub name: &'static str,
+    /// Thickness in millimeters.
+    pub thickness_mm: f64,
+    /// Thermal conductivity in W/(m K).
+    pub conductivity: f64,
+}
+
+impl LayerSpec {
+    /// Bulk silicon.
+    pub fn silicon(name: &'static str, thickness_mm: f64) -> Self {
+        Self {
+            name,
+            thickness_mm,
+            conductivity: 120.0,
+        }
+    }
+
+    /// Thermal interface material.
+    pub fn tim(name: &'static str, thickness_mm: f64) -> Self {
+        Self {
+            name,
+            thickness_mm,
+            conductivity: 5.0,
+        }
+    }
+}
+
+/// A 3D thermal grid over a uniform `nx x ny` footprint.
+#[derive(Clone, Debug)]
+pub struct ThermalGrid {
+    layers: Vec<LayerSpec>,
+    nx: usize,
+    ny: usize,
+    /// Footprint edge lengths in millimeters.
+    width_mm: f64,
+    height_mm: f64,
+    /// Power injected per cell, `power[layer][y * nx + x]`, in watts.
+    power: Vec<Vec<f64>>,
+    /// Total sink-to-ambient resistance in K/W (spread over top cells).
+    pub sink_resistance: f64,
+    /// Ambient temperature.
+    pub ambient: Celsius,
+}
+
+/// Error from a thermal solve.
+#[derive(Clone, Copy, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum TemperatureError {
+    /// The iteration hit the cap before reaching the tolerance.
+    DidNotConverge {
+        /// Final maximum per-cell update, in degrees.
+        residual: f64,
+    },
+}
+
+impl core::fmt::Display for TemperatureError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            TemperatureError::DidNotConverge { residual } => {
+                write!(f, "thermal solve did not converge (residual {residual:.2e} degC)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TemperatureError {}
+
+/// Solved steady-state temperatures.
+#[derive(Clone, Debug)]
+pub struct Temperatures {
+    nx: usize,
+    /// `t[layer][y * nx + x]` in degrees Celsius.
+    t: Vec<Vec<f64>>,
+    /// Gauss-Seidel iterations used.
+    pub iterations: u32,
+    /// Final maximum per-cell update, in degrees.
+    pub residual: f64,
+}
+
+impl Temperatures {
+    /// Temperature of one cell.
+    pub fn at(&self, layer: usize, x: usize, y: usize) -> Celsius {
+        Celsius::new(self.t[layer][y * self.nx + x])
+    }
+
+    /// Peak temperature within one layer.
+    pub fn layer_peak(&self, layer: usize) -> Celsius {
+        Celsius::new(self.t[layer].iter().copied().fold(f64::MIN, f64::max))
+    }
+
+    /// Mean temperature within one layer.
+    pub fn layer_mean(&self, layer: usize) -> Celsius {
+        Celsius::new(self.t[layer].iter().sum::<f64>() / self.t[layer].len() as f64)
+    }
+
+    /// The full cell map of one layer, row-major.
+    pub fn layer_map(&self, layer: usize) -> &[f64] {
+        &self.t[layer]
+    }
+}
+
+impl ThermalGrid {
+    /// Creates a grid with the given stack (bottom layer first; the last
+    /// layer faces the heat sink) over a `width_mm x height_mm` footprint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is empty or the grid dimensions are zero.
+    pub fn new(
+        layers: Vec<LayerSpec>,
+        nx: usize,
+        ny: usize,
+        width_mm: f64,
+        height_mm: f64,
+    ) -> Self {
+        assert!(!layers.is_empty(), "stack needs at least one layer");
+        assert!(nx > 0 && ny > 0, "grid must be non-empty");
+        let cells = nx * ny;
+        let power = vec![vec![0.0; cells]; layers.len()];
+        Self {
+            layers,
+            nx,
+            ny,
+            width_mm,
+            height_mm,
+            power,
+            sink_resistance: 0.25,
+            ambient: Celsius::new(50.0),
+        }
+    }
+
+    /// Number of layers.
+    pub fn layer_count(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Grid dimensions `(nx, ny)`.
+    pub fn dimensions(&self) -> (usize, usize) {
+        (self.nx, self.ny)
+    }
+
+    /// Adds `watts` uniformly over a rectangular region of `layer`, given
+    /// in fractional footprint coordinates (`0.0..1.0`).
+    pub fn add_power_rect(
+        &mut self,
+        layer: usize,
+        x0: f64,
+        y0: f64,
+        x1: f64,
+        y1: f64,
+        watts: f64,
+    ) {
+        let cx0 = ((x0 * self.nx as f64) as usize).min(self.nx - 1);
+        let cx1 = ((x1 * self.nx as f64).ceil() as usize).clamp(cx0 + 1, self.nx);
+        let cy0 = ((y0 * self.ny as f64) as usize).min(self.ny - 1);
+        let cy1 = ((y1 * self.ny as f64).ceil() as usize).clamp(cy0 + 1, self.ny);
+        let cells = ((cx1 - cx0) * (cy1 - cy0)) as f64;
+        for y in cy0..cy1 {
+            for x in cx0..cx1 {
+                self.power[layer][y * self.nx + x] += watts / cells;
+            }
+        }
+    }
+
+    /// Total injected power in watts.
+    pub fn total_power(&self) -> f64 {
+        self.power.iter().flatten().sum()
+    }
+
+    /// Solves for steady-state temperatures, failing if the iteration did
+    /// not reach `tolerance` within `max_iterations`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TemperatureError::DidNotConverge`] when the residual stays
+    /// above the tolerance.
+    pub fn solve_checked(
+        &self,
+        tolerance: f64,
+        max_iterations: u32,
+    ) -> Result<Temperatures, TemperatureError> {
+        let t = self.solve(tolerance, max_iterations);
+        if t.residual > tolerance {
+            Err(TemperatureError::DidNotConverge {
+                residual: t.residual,
+            })
+        } else {
+            Ok(t)
+        }
+    }
+
+    /// Solves for steady-state temperatures.
+    ///
+    /// Iterates SOR until the maximum update falls below `tolerance`
+    /// degrees or `max_iterations` is reached.
+    pub fn solve(&self, tolerance: f64, max_iterations: u32) -> Temperatures {
+        let (nx, ny) = (self.nx, self.ny);
+        let cells = nx * ny;
+        let nl = self.layers.len();
+        let dx = self.width_mm / nx as f64 * 1e-3; // meters
+        let dy = self.height_mm / ny as f64 * 1e-3;
+
+        // Conductances (1/R) in W/K.
+        // Lateral within layer l: k * (t * dy) / dx  (x direction).
+        let mut gx = vec![0.0; nl];
+        let mut gy = vec![0.0; nl];
+        for (l, spec) in self.layers.iter().enumerate() {
+            let t = spec.thickness_mm * 1e-3;
+            gx[l] = spec.conductivity * t * dy / dx;
+            gy[l] = spec.conductivity * t * dx / dy;
+        }
+        // Vertical between layer l and l+1 (series of half-thicknesses).
+        let area = dx * dy;
+        let gz: Vec<f64> = self
+            .layers
+            .windows(2)
+            .map(|pair| {
+                let r = (pair[0].thickness_mm * 1e-3 / 2.0) / (pair[0].conductivity * area)
+                    + (pair[1].thickness_mm * 1e-3 / 2.0) / (pair[1].conductivity * area);
+                1.0 / r
+            })
+            .collect();
+        // Sink conductance per top cell.
+        let g_sink = 1.0 / (self.sink_resistance * cells as f64);
+
+        let ambient = self.ambient.value();
+        let mut t = vec![vec![ambient; cells]; nl];
+        let omega = 1.5; // SOR factor
+        let mut iterations = 0;
+        let mut residual = f64::MAX;
+
+        for iter in 0..max_iterations {
+            let mut max_delta = 0.0f64;
+            for l in 0..nl {
+                for y in 0..ny {
+                    for x in 0..nx {
+                        let i = y * nx + x;
+                        let mut num = self.power[l][i];
+                        let mut den = 0.0;
+                        if x > 0 {
+                            num += gx[l] * t[l][i - 1];
+                            den += gx[l];
+                        }
+                        if x + 1 < nx {
+                            num += gx[l] * t[l][i + 1];
+                            den += gx[l];
+                        }
+                        if y > 0 {
+                            num += gy[l] * t[l][i - nx];
+                            den += gy[l];
+                        }
+                        if y + 1 < ny {
+                            num += gy[l] * t[l][i + nx];
+                            den += gy[l];
+                        }
+                        if l > 0 {
+                            num += gz[l - 1] * t[l - 1][i];
+                            den += gz[l - 1];
+                        }
+                        if l + 1 < nl {
+                            num += gz[l] * t[l + 1][i];
+                            den += gz[l];
+                        } else {
+                            num += g_sink * ambient;
+                            den += g_sink;
+                        }
+                        let fresh = num / den;
+                        let updated = t[l][i] + omega * (fresh - t[l][i]);
+                        max_delta = max_delta.max((updated - t[l][i]).abs());
+                        t[l][i] = updated;
+                    }
+                }
+            }
+            iterations = iter + 1;
+            residual = max_delta;
+            if max_delta < tolerance {
+                break;
+            }
+        }
+
+        Temperatures {
+            nx,
+            t,
+            iterations,
+            residual,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_layer_grid() -> ThermalGrid {
+        ThermalGrid::new(
+            vec![
+                LayerSpec::silicon("die", 0.2),
+                LayerSpec::silicon("spreader", 1.0),
+            ],
+            8,
+            8,
+            10.0,
+            10.0,
+        )
+    }
+
+    #[test]
+    fn zero_power_settles_at_ambient() {
+        let g = two_layer_grid();
+        let t = g.solve(1e-6, 10_000);
+        for l in 0..2 {
+            assert!((t.layer_peak(l).value() - 50.0).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn steady_state_rise_matches_sink_resistance() {
+        // All heat must flow through the sink: mean top-layer rise over
+        // ambient ~ P x R_sink.
+        let mut g = two_layer_grid();
+        g.sink_resistance = 0.5;
+        g.add_power_rect(0, 0.0, 0.0, 1.0, 1.0, 20.0);
+        let t = g.solve(1e-7, 50_000);
+        let rise = t.layer_mean(1).value() - 50.0;
+        assert!((rise - 10.0).abs() < 0.5, "rise = {rise}");
+    }
+
+    #[test]
+    fn hotspots_form_over_power_sources() {
+        let mut g = two_layer_grid();
+        g.add_power_rect(0, 0.0, 0.0, 0.25, 0.25, 10.0);
+        let t = g.solve(1e-6, 50_000);
+        // The heated corner is hotter than the far corner.
+        assert!(t.at(0, 0, 0).value() > t.at(0, 7, 7).value() + 1.0);
+        // And the peak sits in the heated layer, not above.
+        assert!(t.layer_peak(0).value() >= t.layer_peak(1).value());
+    }
+
+    #[test]
+    fn more_power_means_monotonically_higher_peak() {
+        let mut last = 0.0;
+        for p in [5.0, 10.0, 20.0] {
+            let mut g = two_layer_grid();
+            g.add_power_rect(0, 0.2, 0.2, 0.8, 0.8, p);
+            let peak = g.solve(1e-6, 50_000).layer_peak(0).value();
+            assert!(peak > last);
+            last = peak;
+        }
+    }
+
+    #[test]
+    fn energy_is_conserved_through_the_sink() {
+        // Total heat flow into ambient equals injected power.
+        let mut g = two_layer_grid();
+        g.sink_resistance = 0.25;
+        g.add_power_rect(0, 0.0, 0.0, 1.0, 1.0, 16.0);
+        let t = g.solve(1e-8, 100_000);
+        let cells = 64.0;
+        let g_sink = 1.0 / (0.25 * cells);
+        let outflow: f64 = (0..8)
+            .flat_map(|y| (0..8).map(move |x| (x, y)))
+            .map(|(x, y)| g_sink * (t.at(1, x, y).value() - 50.0))
+            .sum();
+        assert!((outflow - 16.0).abs() < 0.05, "outflow = {outflow}");
+    }
+
+    #[test]
+    fn tim_layers_insulate() {
+        // Same stack but with a TIM between die and spreader: die runs
+        // hotter for the same power.
+        let mut plain = two_layer_grid();
+        plain.add_power_rect(0, 0.3, 0.3, 0.7, 0.7, 15.0);
+        let mut with_tim = ThermalGrid::new(
+            vec![
+                LayerSpec::silicon("die", 0.2),
+                LayerSpec::tim("tim", 0.1),
+                LayerSpec::silicon("spreader", 1.0),
+            ],
+            8,
+            8,
+            10.0,
+            10.0,
+        );
+        with_tim.add_power_rect(0, 0.3, 0.3, 0.7, 0.7, 15.0);
+        let a = plain.solve(1e-6, 50_000).layer_peak(0).value();
+        let b = with_tim.solve(1e-6, 50_000).layer_peak(0).value();
+        assert!(b > a, "tim peak {b} <= plain peak {a}");
+    }
+
+    #[test]
+    fn power_rect_accounts_all_watts() {
+        let mut g = two_layer_grid();
+        g.add_power_rect(0, 0.1, 0.1, 0.6, 0.9, 12.5);
+        g.add_power_rect(1, 0.0, 0.0, 1.0, 1.0, 2.5);
+        assert!((g.total_power() - 15.0).abs() < 1e-9);
+    }
+}

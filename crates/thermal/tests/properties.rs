@@ -1,0 +1,58 @@
+//! Property-based tests for the thermal solver.
+
+use ena_thermal::solver::{LayerSpec, ThermalGrid};
+use proptest::prelude::*;
+
+fn grid() -> ThermalGrid {
+    ThermalGrid::new(
+        vec![LayerSpec::silicon("die", 0.2), LayerSpec::silicon("spreader", 1.0)],
+        6,
+        6,
+        8.0,
+        8.0,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn temperatures_never_drop_below_ambient(
+        x0 in 0.0f64..0.8, y0 in 0.0f64..0.8, w in 1.0f64..20.0,
+    ) {
+        let mut g = grid();
+        g.add_power_rect(0, x0, y0, (x0 + 0.2).min(1.0), (y0 + 0.2).min(1.0), w);
+        let t = g.solve(1e-5, 100_000);
+        for layer in 0..2 {
+            for y in 0..6 {
+                for x in 0..6 {
+                    prop_assert!(t.at(layer, x, y).value() >= 50.0 - 1e-6);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn peak_is_monotone_in_power(w in 1.0f64..20.0, extra in 0.5f64..10.0) {
+        let solve = |watts: f64| {
+            let mut g = grid();
+            g.add_power_rect(0, 0.2, 0.2, 0.8, 0.8, watts);
+            g.solve(1e-6, 100_000).layer_peak(0).value()
+        };
+        prop_assert!(solve(w + extra) > solve(w));
+    }
+
+    #[test]
+    fn heat_conservation_holds(w in 1.0f64..30.0) {
+        let mut g = grid();
+        g.sink_resistance = 0.4;
+        g.add_power_rect(0, 0.0, 0.0, 1.0, 1.0, w);
+        let t = g.solve(1e-8, 400_000);
+        let g_sink = 1.0 / (0.4 * 36.0);
+        let outflow: f64 = (0..6)
+            .flat_map(|y| (0..6).map(move |x| (x, y)))
+            .map(|(x, y)| g_sink * (t.at(1, x, y).value() - 50.0))
+            .sum();
+        prop_assert!((outflow - w).abs() < w * 0.01 + 0.01, "outflow {outflow} vs {w}");
+    }
+}

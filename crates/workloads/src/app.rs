@@ -1,0 +1,119 @@
+//! The proxy-application abstraction.
+//!
+//! Every paper workload (Table I) is a [`ProxyApp`]: a scaled-down but
+//! *real* computation that executes deterministically from a seed, counts
+//! its floating-point work, and records its memory trace through a
+//! [`Tracer`](crate::trace::Tracer). The measured run
+//! ([`KernelRun`]) feeds both the trace-driven simulators and the analytic
+//! characterization in [`crate::characterize`].
+
+use ena_model::kernel::KernelCategory;
+
+use crate::trace::{MemoryTrace, OpCounters};
+
+/// Parameters for one proxy-app execution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RunConfig {
+    /// Linear problem-size knob. Each app documents how it scales its data
+    /// set from this (typically a grid dimension or particle-cell count).
+    pub problem_size: u32,
+    /// RNG seed; equal seeds give bit-identical runs.
+    pub seed: u64,
+    /// Optional cap on stored trace entries (statistics keep counting).
+    pub trace_cap: Option<usize>,
+}
+
+impl RunConfig {
+    /// A small configuration suitable for unit tests.
+    pub fn small() -> Self {
+        Self {
+            problem_size: 8,
+            seed: 0x5EED,
+            trace_cap: Some(200_000),
+        }
+    }
+
+    /// The reference configuration used for characterization runs.
+    pub fn reference() -> Self {
+        Self {
+            problem_size: 16,
+            seed: 0x5EED,
+            trace_cap: Some(2_000_000),
+        }
+    }
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        Self::reference()
+    }
+}
+
+/// The result of executing a proxy app once.
+#[derive(Clone, Debug)]
+pub struct KernelRun {
+    /// Recorded DRAM-level memory trace.
+    pub trace: MemoryTrace,
+    /// Operation counters.
+    pub counters: OpCounters,
+    /// A floating-point digest of the computed result; used to verify
+    /// determinism and to keep the computation observable.
+    pub checksum: f64,
+}
+
+impl KernelRun {
+    /// Measured arithmetic intensity: DP FLOPs per byte of traced traffic.
+    ///
+    /// Returns `f64::INFINITY` for kernels that generated no traffic.
+    pub fn ops_per_byte(&self) -> f64 {
+        let bytes = self.trace.total_bytes();
+        if bytes == 0 {
+            f64::INFINITY
+        } else {
+            self.counters.dp_flops as f64 / bytes as f64
+        }
+    }
+}
+
+/// A proxy application from the paper's Table I.
+///
+/// Implementations are stateless descriptions; all run state lives inside
+/// [`ProxyApp::run`]. The trait is object-safe so workload suites can be
+/// held as `Vec<Box<dyn ProxyApp>>`.
+pub trait ProxyApp {
+    /// The paper's name for the application (e.g. `"LULESH"`).
+    fn name(&self) -> &'static str;
+
+    /// Table I description.
+    fn description(&self) -> &'static str;
+
+    /// Paper Section IV category.
+    fn category(&self) -> KernelCategory;
+
+    /// Executes the dominant kernel once and returns its measurements.
+    fn run(&self, cfg: &RunConfig) -> KernelRun;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ops_per_byte_handles_no_traffic() {
+        let run = KernelRun {
+            trace: MemoryTrace::new(),
+            counters: OpCounters {
+                dp_flops: 100,
+                int_ops: 0,
+            },
+            checksum: 0.0,
+        };
+        assert!(run.ops_per_byte().is_infinite());
+    }
+
+    #[test]
+    fn run_config_constructors() {
+        assert!(RunConfig::small().problem_size < RunConfig::reference().problem_size);
+        assert_eq!(RunConfig::default(), RunConfig::reference());
+    }
+}

@@ -1,0 +1,253 @@
+//! CoMD: molecular-dynamics force kernels (EAM and Lennard-Jones).
+//!
+//! CoMD is the DOE co-design proxy for classical molecular dynamics. The
+//! dominant kernel computes short-range interatomic forces using a cell
+//! list: atoms live in cells of roughly the cutoff radius, and each atom
+//! interacts with atoms in its own and neighboring cells.
+//!
+//! Two variants mirror the paper's Table I:
+//! - [`CoMd`] — Embedded Atom Method (EAM): a pairwise pass, an embedding
+//!   pass through a tabulated function, and a second pairwise pass; more
+//!   memory traffic per interaction.
+//! - [`CoMdLj`] — Lennard-Jones: a single pairwise pass with more math per
+//!   visited pair.
+//!
+//! Both are *balanced* kernels: they stress compute and memory together.
+
+use ena_model::kernel::KernelCategory;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::app::{KernelRun, ProxyApp, RunConfig};
+use crate::apps::array_base;
+use crate::trace::Tracer;
+
+/// Atoms per cell (CoMD's default FCC lattice gives 4 atoms/unit cell).
+const ATOMS_PER_CELL: usize = 4;
+/// Interaction cutoff, in units of the cell edge.
+const CUTOFF: f64 = 1.0;
+
+/// Logical base addresses of the kernel's data arrays.
+const POS_BASE: u64 = array_base(0);
+const FORCE_BASE: u64 = array_base(1);
+const EMBED_BASE: u64 = array_base(2);
+const TABLE_BASE: u64 = array_base(3);
+
+struct Lattice {
+    dim: usize,
+    positions: Vec<[f64; 3]>,
+}
+
+impl Lattice {
+    fn build(dim: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = dim * dim * dim * ATOMS_PER_CELL;
+        let mut positions = Vec::with_capacity(n);
+        for cz in 0..dim {
+            for cy in 0..dim {
+                for cx in 0..dim {
+                    for _ in 0..ATOMS_PER_CELL {
+                        positions.push([
+                            cx as f64 + rng.random_range(0.0..1.0),
+                            cy as f64 + rng.random_range(0.0..1.0),
+                            cz as f64 + rng.random_range(0.0..1.0),
+                        ]);
+                    }
+                }
+            }
+        }
+        Self { dim, positions }
+    }
+
+    fn cell_atoms(&self, cx: usize, cy: usize, cz: usize) -> std::ops::Range<usize> {
+        let cell = (cz * self.dim + cy) * self.dim + cx;
+        cell * ATOMS_PER_CELL..(cell + 1) * ATOMS_PER_CELL
+    }
+
+    /// Periodic neighbor coordinates (including the cell itself).
+    fn neighbors(&self, c: usize) -> [usize; 3] {
+        let d = self.dim;
+        [(c + d - 1) % d, c, (c + 1) % d]
+    }
+}
+
+/// Runs one cell-list force pass. `flops_per_pair` is the arithmetic cost
+/// charged per in-cutoff pair; `extra_bytes_per_atom` models per-atom
+/// auxiliary state read alongside positions (EAM's embedding density).
+fn force_pass(
+    lat: &Lattice,
+    tracer: &mut Tracer,
+    flops_per_pair: u64,
+    extra_bytes_per_atom: u32,
+) -> f64 {
+    let mut energy = 0.0f64;
+    let d = lat.dim;
+    for cz in 0..d {
+        for cy in 0..d {
+            for cx in 0..d {
+                for i in lat.cell_atoms(cx, cy, cz) {
+                    tracer.read(POS_BASE + (i * 24) as u64, 24);
+                    if extra_bytes_per_atom > 0 {
+                        tracer.read(EMBED_BASE + (i * 8) as u64, extra_bytes_per_atom);
+                    }
+                    let pi = lat.positions[i];
+                    let mut f = [0.0f64; 3];
+                    for nz in lat.neighbors(cz) {
+                        for ny in lat.neighbors(cy) {
+                            for nx in lat.neighbors(cx) {
+                                for j in lat.cell_atoms(nx, ny, nz) {
+                                    if i == j {
+                                        continue;
+                                    }
+                                    tracer.read(POS_BASE + (j * 24) as u64, 24);
+                                    let pj = lat.positions[j];
+                                    let dx = pi[0] - pj[0];
+                                    let dy = pi[1] - pj[1];
+                                    let dz = pi[2] - pj[2];
+                                    let r2 = dx * dx + dy * dy + dz * dz;
+                                    tracer.flops(8);
+                                    if r2 < CUTOFF * CUTOFF && r2 > 1e-12 {
+                                        // Inverse-power interaction core:
+                                        // stands in for LJ 6-12 / EAM pair term.
+                                        let inv_r2 = 1.0 / r2;
+                                        let inv_r6 = inv_r2 * inv_r2 * inv_r2;
+                                        let scalar = inv_r6 * (inv_r6 - 0.5) * inv_r2;
+                                        f[0] += scalar * dx;
+                                        f[1] += scalar * dy;
+                                        f[2] += scalar * dz;
+                                        energy += inv_r6 * (inv_r6 - 1.0);
+                                        tracer.flops(flops_per_pair);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    tracer.write(FORCE_BASE + (i * 24) as u64, 24);
+                    std::hint::black_box(f);
+                }
+            }
+        }
+    }
+    energy
+}
+
+fn run_comd(cfg: &RunConfig, eam: bool) -> KernelRun {
+    let mut tracer = Tracer::for_config(cfg);
+    let dim = cfg.problem_size.max(3) as usize;
+    let lat = Lattice::build(dim, cfg.seed);
+
+    let mut checksum;
+    if eam {
+        // Pass 1: pair density accumulation.
+        checksum = force_pass(&lat, &mut tracer, 12, 8);
+        // Embedding pass: per-atom table interpolation (memory heavy).
+        let natoms = lat.positions.len();
+        for i in 0..natoms {
+            tracer.read(EMBED_BASE + (i * 8) as u64, 8);
+            let rho = lat.positions[i][0].abs() + 0.1;
+            let idx = ((rho * 37.0) as usize % 4096) * 16;
+            tracer.read(TABLE_BASE + idx as u64, 16);
+            checksum += rho.sqrt() * 0.01;
+            tracer.flops(6);
+            tracer.write(EMBED_BASE + (i * 8) as u64, 8);
+        }
+        // Pass 2: embedding-force pair pass.
+        checksum += force_pass(&lat, &mut tracer, 10, 8);
+    } else {
+        // Single Lennard-Jones pass with the full 6-12 arithmetic.
+        checksum = force_pass(&lat, &mut tracer, 24, 0);
+    }
+
+    let (trace, counters) = tracer.into_parts();
+    KernelRun {
+        trace,
+        counters,
+        checksum: std::hint::black_box(checksum),
+    }
+}
+
+/// CoMD with the Embedded Atom Method potential (Table I: "CoMD").
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CoMd;
+
+impl ProxyApp for CoMd {
+    fn name(&self) -> &'static str {
+        "CoMD"
+    }
+
+    fn description(&self) -> &'static str {
+        "Molecular-dynamics algorithms (Embedded Atom)"
+    }
+
+    fn category(&self) -> KernelCategory {
+        KernelCategory::Balanced
+    }
+
+    fn run(&self, cfg: &RunConfig) -> KernelRun {
+        run_comd(cfg, true)
+    }
+}
+
+/// CoMD with the Lennard-Jones potential (Table I: "CoMD-LJ").
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CoMdLj;
+
+impl ProxyApp for CoMdLj {
+    fn name(&self) -> &'static str {
+        "CoMD-LJ"
+    }
+
+    fn description(&self) -> &'static str {
+        "Molecular-dynamics algorithms (Lennard-Jones)"
+    }
+
+    fn category(&self) -> KernelCategory {
+        KernelCategory::Balanced
+    }
+
+    fn run(&self, cfg: &RunConfig) -> KernelRun {
+        run_comd(cfg, false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_variants_are_balanced_intensity() {
+        let cfg = RunConfig::small();
+        for run in [CoMd.run(&cfg), CoMdLj.run(&cfg)] {
+            let opb = run.ops_per_byte();
+            // Neither extreme: well above stream kernels, far below MaxFlops.
+            assert!(opb > 1.0 && opb < 500.0, "ops/byte = {opb}");
+        }
+    }
+
+    #[test]
+    fn eam_moves_more_memory_than_lj() {
+        let cfg = RunConfig::small();
+        let eam = CoMd.run(&cfg);
+        let lj = CoMdLj.run(&cfg);
+        assert!(eam.trace.total_bytes() > lj.trace.total_bytes());
+    }
+
+    #[test]
+    fn work_scales_with_lattice_volume() {
+        let mut cfg = RunConfig::small();
+        cfg.problem_size = 4;
+        let small = CoMdLj.run(&cfg);
+        cfg.problem_size = 8;
+        let big = CoMdLj.run(&cfg);
+        let ratio = big.counters.dp_flops as f64 / small.counters.dp_flops as f64;
+        // Volume grows 8x; pairwise work should track it.
+        assert!(ratio > 6.0 && ratio < 10.0, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn forces_have_reuse_from_the_cell_list() {
+        // EAM's multi-pass structure revisits lines even at DRAM level.
+        let run = CoMd.run(&RunConfig::small());
+        assert!(run.trace.reuse_factor() > 2.0);
+    }
+}

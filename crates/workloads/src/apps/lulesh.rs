@@ -1,0 +1,223 @@
+//! LULESH: unstructured shock hydrodynamics.
+//!
+//! The Livermore Unstructured Lagrangian Explicit Shock Hydrodynamics proxy
+//! operates on a hexahedral mesh. Its dominant kernel (`CalcVolumeForce`)
+//! gathers the eight corner nodes of every element through an indirection
+//! array, computes element volumes/gradients, and scatters force
+//! contributions back to the nodes.
+//!
+//! The paper classifies LULESH as memory-intensive with *irregular* access
+//! patterns that make it latency- rather than bandwidth-sensitive
+//! (Section V-B). We reproduce the irregularity by renumbering nodes with a
+//! deterministic permutation, as happens in practice with general
+//! unstructured meshes.
+
+use ena_model::kernel::KernelCategory;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::app::{KernelRun, ProxyApp, RunConfig};
+use crate::apps::array_base;
+use crate::trace::Tracer;
+
+const COORD_BASE: u64 = array_base(0);
+const FORCE_BASE: u64 = array_base(1);
+const ELEM_BASE: u64 = array_base(2);
+const CONN_BASE: u64 = array_base(3);
+
+/// A hexahedral mesh: `n^3` elements over `(n+1)^3` nodes with permuted
+/// (irregular) node numbering.
+struct HexMesh {
+    /// Element -> 8 node ids.
+    connectivity: Vec<[u32; 8]>,
+    /// Node coordinates, indexed by the permuted node id.
+    coords: Vec<[f64; 3]>,
+}
+
+impl HexMesh {
+    fn build(n: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let nn = n + 1;
+        let node_count = nn * nn * nn;
+
+        // Permute node ids to reproduce unstructured-mesh irregularity.
+        let mut perm: Vec<u32> = (0..node_count as u32).collect();
+        perm.shuffle(&mut rng);
+
+        let mut coords = vec![[0.0f64; 3]; node_count];
+        for z in 0..nn {
+            for y in 0..nn {
+                for x in 0..nn {
+                    let structured = (z * nn + y) * nn + x;
+                    let id = perm[structured] as usize;
+                    coords[id] = [
+                        x as f64 + rng.random_range(-0.05..0.05),
+                        y as f64 + rng.random_range(-0.05..0.05),
+                        z as f64 + rng.random_range(-0.05..0.05),
+                    ];
+                }
+            }
+        }
+
+        let mut connectivity = Vec::with_capacity(n * n * n);
+        for z in 0..n {
+            for y in 0..n {
+                for x in 0..n {
+                    let corner = |dx: usize, dy: usize, dz: usize| {
+                        perm[((z + dz) * nn + (y + dy)) * nn + (x + dx)]
+                    };
+                    connectivity.push([
+                        corner(0, 0, 0),
+                        corner(1, 0, 0),
+                        corner(1, 1, 0),
+                        corner(0, 1, 0),
+                        corner(0, 0, 1),
+                        corner(1, 0, 1),
+                        corner(1, 1, 1),
+                        corner(0, 1, 1),
+                    ]);
+                }
+            }
+        }
+        Self {
+            connectivity,
+            coords,
+        }
+    }
+}
+
+/// Volume of a hexahedron via the triple-product formula used by LULESH
+/// (simplified to the parallelepiped spanned by three edge vectors).
+fn hex_volume(c: &[[f64; 3]; 8]) -> f64 {
+    let e = |a: usize, b: usize, k: usize| c[b][k] - c[a][k];
+    let ux = [e(0, 1, 0), e(0, 1, 1), e(0, 1, 2)];
+    let vy = [e(0, 3, 0), e(0, 3, 1), e(0, 3, 2)];
+    let wz = [e(0, 4, 0), e(0, 4, 1), e(0, 4, 2)];
+    ux[0] * (vy[1] * wz[2] - vy[2] * wz[1]) - ux[1] * (vy[0] * wz[2] - vy[2] * wz[0])
+        + ux[2] * (vy[0] * wz[1] - vy[1] * wz[0])
+}
+
+/// The LULESH hydrodynamics proxy.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Lulesh;
+
+impl ProxyApp for Lulesh {
+    fn name(&self) -> &'static str {
+        "LULESH"
+    }
+
+    fn description(&self) -> &'static str {
+        "Hydrodynamic simulation"
+    }
+
+    fn category(&self) -> KernelCategory {
+        KernelCategory::MemoryIntensive
+    }
+
+    fn run(&self, cfg: &RunConfig) -> KernelRun {
+        let mut tracer = Tracer::for_config(cfg);
+        let n = cfg.problem_size.max(4) as usize;
+        let mesh = HexMesh::build(n, cfg.seed);
+
+        let mut checksum = 0.0f64;
+        for (e, conn) in mesh.connectivity.iter().enumerate() {
+            // Read the connectivity row (8 x u32).
+            tracer.read(CONN_BASE + (e * 32) as u64, 32);
+            // Gather corner coordinates through the indirection: the
+            // permuted ids make these effectively random reads.
+            let mut corners = [[0.0f64; 3]; 8];
+            for (k, &node) in conn.iter().enumerate() {
+                tracer.read(COORD_BASE + u64::from(node) * 24, 24);
+                corners[k] = mesh.coords[node as usize];
+            }
+            let vol = hex_volume(&corners);
+            tracer.flops(35);
+
+            // Element-centered state update (pressure/energy EOS step).
+            tracer.read(ELEM_BASE + (e * 48) as u64, 48);
+            let p = (vol.abs() + 1e-6).ln() * 0.4;
+            let q = vol * vol * 1e-3;
+            checksum += p + q;
+            tracer.flops(40);
+            tracer.write(ELEM_BASE + (e * 48) as u64, 48);
+
+            // Scatter nodal forces: read-modify-write per corner node.
+            for &node in conn {
+                tracer.read(FORCE_BASE + u64::from(node) * 24, 24);
+                tracer.flops(9);
+                tracer.write(FORCE_BASE + u64::from(node) * 24, 24);
+            }
+        }
+
+        let (trace, counters) = tracer.into_parts();
+        KernelRun {
+            trace,
+            counters,
+            checksum: std::hint::black_box(checksum),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intensity_is_memory_bound() {
+        let run = Lulesh.run(&RunConfig::small());
+        let opb = run.ops_per_byte();
+        assert!(opb < 1.0, "ops/byte = {opb}");
+    }
+
+    #[test]
+    fn accesses_are_irregular() {
+        let run = Lulesh.run(&RunConfig::small());
+        // Node permutation destroys streaming behaviour.
+        assert!(run.trace.sequential_fraction() < 0.3);
+    }
+
+    #[test]
+    fn hex_volume_of_unit_cube_is_one() {
+        let c = [
+            [0.0, 0.0, 0.0],
+            [1.0, 0.0, 0.0],
+            [1.0, 1.0, 0.0],
+            [0.0, 1.0, 0.0],
+            [0.0, 0.0, 1.0],
+            [1.0, 0.0, 1.0],
+            [1.0, 1.0, 1.0],
+            [0.0, 1.0, 1.0],
+        ];
+        assert!((hex_volume(&c) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mesh_connectivity_is_consistent() {
+        let mesh = HexMesh::build(4, 7);
+        assert_eq!(mesh.connectivity.len(), 64);
+        assert_eq!(mesh.coords.len(), 125);
+        // Every referenced node exists and corners of an element are distinct.
+        for conn in &mesh.connectivity {
+            let mut ids = conn.to_vec();
+            ids.sort_unstable();
+            ids.dedup();
+            assert_eq!(ids.len(), 8);
+            assert!(ids.iter().all(|&i| (i as usize) < mesh.coords.len()));
+        }
+    }
+
+    #[test]
+    fn element_volumes_are_near_unit() {
+        // The jittered mesh still has volumes near 1.
+        let mesh = HexMesh::build(4, 42);
+        for conn in &mesh.connectivity {
+            let mut corners = [[0.0f64; 3]; 8];
+            for (k, &node) in conn.iter().enumerate() {
+                corners[k] = mesh.coords[node as usize];
+            }
+            let v = hex_volume(&corners);
+            assert!((0.5..1.5).contains(&v), "volume = {v}");
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! MaxFlops: the peak-floating-point-throughput microbenchmark.
+//!
+//! Mirrors the SHOC `MaxFlops` workload the paper uses to measure maximum
+//! achievable DP throughput: long chains of independent fused multiply-adds
+//! on register-resident accumulators, with essentially no memory traffic
+//! beyond loading and storing the small accumulator block once.
+
+use ena_model::kernel::KernelCategory;
+
+use crate::app::{KernelRun, ProxyApp, RunConfig};
+use crate::apps::array_base;
+use crate::trace::Tracer;
+
+/// Number of independent accumulator lanes (emulates SIMD breadth).
+const LANES: usize = 64;
+
+/// FMA iterations per lane per unit of problem size.
+const ITERS_PER_SIZE: u64 = 4096;
+
+/// The compute-intensive peak-throughput kernel.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MaxFlops;
+
+impl ProxyApp for MaxFlops {
+    fn name(&self) -> &'static str {
+        "MaxFlops"
+    }
+
+    fn description(&self) -> &'static str {
+        "Measures maximum FP throughput"
+    }
+
+    fn category(&self) -> KernelCategory {
+        KernelCategory::ComputeIntensive
+    }
+
+    fn run(&self, cfg: &RunConfig) -> KernelRun {
+        let mut tracer = Tracer::for_config(cfg);
+
+        let base = array_base(0);
+        let mut acc = [0.0f64; LANES];
+        // Seed-dependent multiplier keeps the chain from folding to a
+        // compile-time constant.
+        let mul = 1.000000001 + (cfg.seed % 7) as f64 * 1e-12;
+
+        // Load the accumulator block once.
+        for (i, a) in acc.iter_mut().enumerate() {
+            *a = 0.5 + i as f64 * 1e-3;
+            tracer.read(base + (i * 8) as u64, 8);
+        }
+
+        let iters = ITERS_PER_SIZE * u64::from(cfg.problem_size);
+        for _ in 0..iters {
+            for a in &mut acc {
+                // One FMA: 2 FLOPs.
+                *a = a.mul_add(mul, 1e-9);
+            }
+        }
+        tracer.flops(iters * LANES as u64 * 2);
+
+        // Store the block once.
+        for i in 0..LANES {
+            tracer.write(base + (i * 8) as u64, 8);
+        }
+
+        let checksum = std::hint::black_box(acc.iter().sum());
+        let (trace, counters) = tracer.into_parts();
+        KernelRun {
+            trace,
+            counters,
+            checksum,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_intensity_is_extreme() {
+        let run = MaxFlops.run(&RunConfig::small());
+        // Thousands of FLOPs per byte: firmly compute-intensive.
+        assert!(run.ops_per_byte() > 1000.0);
+    }
+
+    #[test]
+    fn flops_scale_linearly_with_problem_size() {
+        let mut cfg = RunConfig::small();
+        let f1 = MaxFlops.run(&cfg).counters.dp_flops;
+        cfg.problem_size *= 2;
+        let f2 = MaxFlops.run(&cfg).counters.dp_flops;
+        assert_eq!(f2, f1 * 2);
+    }
+
+    #[test]
+    fn memory_footprint_is_tiny_and_size_independent() {
+        let mut cfg = RunConfig::small();
+        let a = MaxFlops.run(&cfg).trace.total_bytes();
+        cfg.problem_size *= 4;
+        let b = MaxFlops.run(&cfg).trace.total_bytes();
+        assert_eq!(a, b);
+        assert!(a <= 64 * 64);
+    }
+
+    #[test]
+    fn different_seeds_change_the_result() {
+        let mut cfg = RunConfig::small();
+        let a = MaxFlops.run(&cfg).checksum;
+        cfg.seed += 1;
+        let b = MaxFlops.run(&cfg).checksum;
+        assert_ne!(a.to_bits(), b.to_bits());
+    }
+}

@@ -1,0 +1,97 @@
+//! The seven proxy applications of the paper's Table I.
+//!
+//! | Category | Application | Kernel implemented here |
+//! |---|---|---|
+//! | Compute-intensive | [`MaxFlops`] | register-resident FMA chains |
+//! | Balanced | [`CoMd`] | cell-list EAM force kernel |
+//! | Balanced | [`CoMdLj`] | cell-list Lennard-Jones force kernel |
+//! | Balanced | [`Hpgmg`] | geometric multigrid V-cycle |
+//! | Memory-intensive | [`Lulesh`] | indirect hex-mesh hydrodynamics step |
+//! | Memory-intensive | [`MiniAmr`] | 7-point stencil over refined blocks |
+//! | Memory-intensive | [`XsBench`] | Monte Carlo cross-section lookups |
+//! | Memory-intensive | [`Snap`] | discrete-ordinates transport sweep |
+
+mod comd;
+mod hpgmg;
+mod lulesh;
+mod maxflops;
+mod miniamr;
+mod snap;
+mod xsbench;
+
+pub use comd::{CoMd, CoMdLj};
+pub use hpgmg::Hpgmg;
+pub use lulesh::Lulesh;
+pub use maxflops::MaxFlops;
+pub use miniamr::MiniAmr;
+pub use snap::Snap;
+pub use xsbench::XsBench;
+
+use crate::app::ProxyApp;
+
+/// Logical base address of the `i`-th data array of an application.
+///
+/// Arrays are spaced 1 GiB apart in the app's flat logical address space so
+/// traces never alias across arrays.
+pub(crate) const fn array_base(i: u64) -> u64 {
+    i << 30
+}
+
+/// All proxy applications in the paper's Table I order.
+pub fn all_apps() -> Vec<Box<dyn ProxyApp>> {
+    vec![
+        Box::new(MaxFlops),
+        Box::new(CoMd),
+        Box::new(CoMdLj),
+        Box::new(Hpgmg),
+        Box::new(Lulesh),
+        Box::new(MiniAmr),
+        Box::new(XsBench),
+        Box::new(Snap),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::RunConfig;
+
+    #[test]
+    fn suite_has_eight_workloads_with_unique_names() {
+        let apps = all_apps();
+        assert_eq!(apps.len(), 8);
+        let mut names: Vec<_> = apps.iter().map(|a| a.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 8);
+    }
+
+    #[test]
+    fn every_app_is_deterministic_across_runs() {
+        let cfg = RunConfig::small();
+        for app in all_apps() {
+            let a = app.run(&cfg);
+            let b = app.run(&cfg);
+            assert_eq!(a.checksum.to_bits(), b.checksum.to_bits(), "{}", app.name());
+            assert_eq!(a.trace.len(), b.trace.len(), "{}", app.name());
+            assert_eq!(a.counters, b.counters, "{}", app.name());
+        }
+    }
+
+    #[test]
+    fn every_app_does_real_floating_point_work() {
+        let cfg = RunConfig::small();
+        for app in all_apps() {
+            let run = app.run(&cfg);
+            assert!(run.counters.dp_flops > 0, "{}", app.name());
+            assert!(run.checksum.is_finite(), "{}", app.name());
+        }
+    }
+
+    #[test]
+    fn array_bases_do_not_alias() {
+        assert_eq!(array_base(0), 0);
+        assert_eq!(array_base(1), 1 << 30);
+        assert!(array_base(2) - array_base(1) >= 1 << 30);
+    }
+}

@@ -1,0 +1,39 @@
+//! Proxy-application workloads for the ENA toolkit (paper Table I).
+//!
+//! The HPCA 2017 exascale-APU study characterizes seven open-source proxy
+//! applications plus a peak-FLOPS microbenchmark, then drives every
+//! experiment from their measured scaling behaviour. This crate provides:
+//!
+//! - [`apps`] — executable mini-kernel implementations of all eight
+//!   workloads. Each runs a real (scaled-down) computation deterministically
+//!   from a seed while recording a DRAM-level memory trace.
+//! - [`trace`] — the tracing infrastructure ([`Tracer`](trace::Tracer),
+//!   [`MemoryTrace`](trace::MemoryTrace)).
+//! - [`characterize`] — Section IV-style summary statistics from a run.
+//! - [`profiles`] — calibrated [`KernelProfile`](ena_model::KernelProfile)s
+//!   consumed by the analytic models in `ena-core`.
+//!
+//! # Example
+//!
+//! ```
+//! use ena_workloads::app::{ProxyApp, RunConfig};
+//! use ena_workloads::apps::Lulesh;
+//! use ena_workloads::characterize::Characterization;
+//!
+//! let run = Lulesh.run(&RunConfig::small());
+//! let stats = Characterization::from_run("LULESH", &run);
+//! assert!(stats.ops_per_byte < 1.0); // memory-intensive
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod app;
+pub mod apps;
+pub mod characterize;
+pub mod profiles;
+pub mod trace;
+
+pub use app::{KernelRun, ProxyApp, RunConfig};
+pub use characterize::Characterization;
+pub use profiles::{paper_profiles, profile_for};

@@ -1,0 +1,41 @@
+//! Reproduces the paper's Section V/VI design-space exploration: sweep
+//! >1000 configurations, find the best-mean point under the 160 W budget,
+//! > and print the Table II per-application oracle.
+//!
+//! Run with `cargo run --release --example design_space_exploration`.
+
+use ena::core::dse::{DesignSpace, Explorer};
+use ena::workloads::paper_profiles;
+
+fn main() {
+    let space = DesignSpace::paper();
+    println!(
+        "sweeping {} configurations ({} CU counts x {} clocks x {} bandwidths)...",
+        space.len(),
+        space.cu_counts.len(),
+        space.clocks.len(),
+        space.bandwidths.len()
+    );
+
+    let explorer = Explorer::default();
+    let result = explorer.explore(&space, &paper_profiles());
+
+    println!(
+        "feasible under {}: {} of {}",
+        explorer.budget, result.feasible, result.evaluated
+    );
+    println!("best-mean configuration: {}\n", result.best_mean.label());
+
+    println!(
+        "{:<10} {:>22} {:>14}",
+        "app", "best config", "benefit vs mean"
+    );
+    for a in &result.per_app {
+        println!(
+            "{:<10} {:>22} {:>13.1}%",
+            a.app,
+            a.point.label(),
+            a.benefit_over_mean_pct
+        );
+    }
+}

@@ -1,0 +1,53 @@
+//! A molecular-dynamics timestep as an HSA task DAG on the EHP: CPU
+//! neighbor-list maintenance, a fan of GPU force kernels, GPU integration,
+//! and a CPU I/O/reduction tail — the programming model of the paper's
+//! Section II-A.1 in action.
+//!
+//! Run with `cargo run --release --example heterogeneous_dag`.
+
+use ena::hsa::runtime::{AgentKind, Runtime, RuntimeConfig};
+use ena::hsa::task::{TaskCost, TaskGraph};
+
+fn md_timestep(force_kernels: u32) -> TaskGraph {
+    let mut g = TaskGraph::new();
+    let neigh = g.add("neighbor-list", TaskCost::cpu(120.0), &[]).unwrap();
+    let forces: Vec<_> = (0..force_kernels)
+        .map(|i| {
+            g.add(
+                format!("force[{i}]"),
+                TaskCost::gpu(900.0 / f64::from(force_kernels)),
+                &[neigh],
+            )
+            .unwrap()
+        })
+        .collect();
+    let integrate = g.add("integrate", TaskCost::gpu(60.0), &forces).unwrap();
+    g.add("reduce+io", TaskCost::either(80.0, 150.0), &[integrate])
+        .unwrap();
+    g
+}
+
+fn main() {
+    println!("MD timestep DAG on the EHP (8 GPU queues, 32 CPU cores)\n");
+    println!(
+        "{:>8} {:>12} {:>12} {:>10} {:>10}",
+        "kernels", "HSA (us)", "legacy (us)", "GPU util", "sync (us)"
+    );
+    for k in [1, 2, 4, 8, 16, 64] {
+        let g = md_timestep(k);
+        let hsa = Runtime::new(RuntimeConfig::hsa()).execute(&g);
+        let legacy = Runtime::new(RuntimeConfig::legacy_driver()).execute(&g);
+        println!(
+            "{:>8} {:>12.1} {:>12.1} {:>10.2} {:>10.1}",
+            k,
+            hsa.makespan_us,
+            legacy.makespan_us,
+            hsa.utilization(AgentKind::GpuQueue, 8),
+            hsa.sync_overhead_us,
+        );
+    }
+    println!(
+        "\nthe fan-out sweet spot balances queue-level parallelism against\n\
+         per-dispatch overhead; the legacy driver path pushes it coarser."
+    );
+}

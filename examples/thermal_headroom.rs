@@ -1,0 +1,53 @@
+//! Explores the thermal feasibility of aggressive die stacking (paper
+//! Section V-D): how much CU power fits under the 85 degC DRAM limit for
+//! different cooling assumptions, and what the bottom DRAM die sees.
+//!
+//! Run with `cargo run --release --example thermal_headroom`.
+
+use ena::thermal::ehp::{ChipletPower, ChipletThermalModel};
+use ena::thermal::DRAM_TEMP_LIMIT;
+
+fn peak_at(cu_dynamic_w: f64, sink_scale: f64) -> f64 {
+    let mut model = ChipletThermalModel::new(ChipletPower {
+        cu_dynamic_w,
+        cu_static_w: 2.0,
+        dram_dynamic_w: 2.5,
+        dram_static_w: 0.6,
+        interposer_w: 1.5,
+    });
+    model.grid_mut().sink_resistance *= sink_scale;
+    model
+        .solve()
+        .expect("thermal solve converges")
+        .peak_dram()
+        .value()
+}
+
+fn main() {
+    println!("peak DRAM temperature (degC) vs per-chiplet CU power and cooling\n");
+    println!(
+        "{:>10} {:>12} {:>12} {:>12}",
+        "CU W", "liquid-ish", "high-end air", "budget air"
+    );
+    for cu_w in [4.0, 8.0, 12.0, 16.0, 20.0] {
+        println!(
+            "{:>10.1} {:>12.1} {:>12.1} {:>12.1}",
+            cu_w,
+            peak_at(cu_w, 0.5),
+            peak_at(cu_w, 1.0),
+            peak_at(cu_w, 1.5),
+        );
+    }
+
+    // Find the CU-power headroom under the default cooling.
+    let mut w = 4.0;
+    while peak_at(w, 1.0) < DRAM_TEMP_LIMIT.value() && w < 60.0 {
+        w += 0.5;
+    }
+    println!(
+        "\nwith high-end air cooling, the DRAM limit ({}) binds at ~{:.1} W of CU power per chiplet",
+        DRAM_TEMP_LIMIT.value(),
+        w
+    );
+    println!("(the paper-baseline best-mean configuration uses ~8-11 W per chiplet)");
+}

@@ -1,0 +1,115 @@
+//! Cross-crate integration: real workload traces driven through the
+//! trace-level substrates (NoC, memory system), and consistency between
+//! the analytic and trace-driven views.
+
+use ena::memory::policy::SoftwareManaged;
+use ena::memory::system::MemorySystem;
+use ena::model::config::EhpConfig;
+use ena::noc::sim::NocSim;
+use ena::noc::topology::Topology;
+use ena::noc::traffic::trace_packets;
+use ena::workloads::app::{ProxyApp, RunConfig};
+use ena::workloads::apps::{all_apps, Snap, XsBench};
+use ena::workloads::trace::AccessKind;
+
+/// A recorded XSBench trace replayed through the chiplet NoC reaches all
+/// stacks and shows the interleaving-induced remote-traffic fraction.
+#[test]
+fn trace_replay_through_the_noc() {
+    let run = XsBench.run(&RunConfig::small());
+    let topo = Topology::ehp(8, 8);
+    let addresses: Vec<u64> = run.trace.accesses().iter().take(5000).map(|a| a.addr).collect();
+    let packets = trace_packets(&topo, 0, addresses, 4, 4096);
+    let stats = NocSim::new(&topo).run(&packets);
+    assert_eq!(stats.delivered, 10_000); // request + response per access
+    // Uniform page interleave from one chiplet: ~7/8 remote.
+    let remote = stats.out_of_chiplet_fraction();
+    assert!((0.8..0.95).contains(&remote), "remote = {remote}");
+    assert!(stats.avg_latency_cycles() > 0.0);
+}
+
+/// A recorded trace replayed through the full multi-level memory system
+/// under software management services most accesses in-package once the
+/// hot set migrates.
+#[test]
+fn trace_replay_through_the_memory_system() {
+    let run = Snap.run(&RunConfig::small());
+    let accesses: Vec<(u64, bool)> = run
+        .trace
+        .accesses()
+        .iter()
+        .map(|a| (a.addr, a.kind == AccessKind::Write))
+        .collect();
+    // Capacity sized to half the footprint: the policy must choose.
+    let capacity = run.trace.footprint_bytes() / 2;
+    let mut system = MemorySystem::new(
+        &EhpConfig::paper_baseline(),
+        Box::new(SoftwareManaged::new(capacity)),
+        2000,
+    );
+    let stats = system.replay(accesses);
+    assert!(stats.accesses > 1000);
+    assert!(
+        stats.in_package_fraction() > 0.3,
+        "in-package = {}",
+        stats.in_package_fraction()
+    );
+    assert!(stats.energy.value() > 0.0);
+    // The external tier was exercised too.
+    assert!(system.external_stats().accesses > 0);
+}
+
+/// The measured intensity ordering of the mini-kernels agrees with the
+/// calibrated profiles' categories: every memory-intensive profile measures
+/// a lower trace-level flop/byte than every balanced profile.
+#[test]
+fn measured_and_calibrated_views_agree() {
+    use ena::model::KernelCategory;
+    let cfg = RunConfig::small();
+    let mut balanced_min = f64::MAX;
+    let mut memory_max = f64::MIN;
+    for app in all_apps() {
+        let run = app.run(&cfg);
+        let opb = run.counters.dp_flops as f64 / run.trace.total_bytes() as f64;
+        match app.category() {
+            KernelCategory::Balanced => balanced_min = balanced_min.min(opb),
+            KernelCategory::MemoryIntensive => memory_max = memory_max.max(opb),
+            KernelCategory::ComputeIntensive => assert!(opb > 100.0, "{}", app.name()),
+        }
+    }
+    assert!(
+        balanced_min > memory_max,
+        "balanced min {balanced_min} <= memory max {memory_max}"
+    );
+}
+
+/// Every experiment of the `figures` harness runs and produces output.
+#[test]
+fn all_figures_regenerate() {
+    for name in ena_bench::experiments::ALL_EXPERIMENTS {
+        let out = ena_bench::experiments::run(name)
+            .unwrap_or_else(|| panic!("{name} missing"));
+        assert!(out.len() > 100, "{name} output suspiciously short");
+    }
+}
+
+/// Everything in the stack is deterministic: two full evaluations agree
+/// bit-for-bit.
+#[test]
+fn the_stack_is_deterministic() {
+    let sim = ena::core::node::NodeSimulator::new();
+    let config = EhpConfig::paper_baseline();
+    let options = ena::core::node::EvalOptions::default();
+    for p in ena::workloads::paper_profiles() {
+        let a = sim.evaluate(&config, &p, &options);
+        let b = sim.evaluate(&config, &p, &options);
+        assert_eq!(
+            a.perf.throughput.value().to_bits(),
+            b.perf.throughput.value().to_bits()
+        );
+        assert_eq!(
+            a.node_power().value().to_bits(),
+            b.node_power().value().to_bits()
+        );
+    }
+}

@@ -1,0 +1,110 @@
+//! Integration tests for the paper's headline quantitative claims,
+//! exercised end-to-end across the workspace crates.
+
+use ena::core::dse::{DesignSpace, Explorer};
+use ena::core::node::{EvalOptions, NodeSimulator};
+use ena::core::system::{project_paper_system, ExascaleTargets};
+use ena::model::config::EhpConfig;
+use ena::model::units::{GigabytesPerSec, Megahertz};
+use ena::power::opts::PowerOptimization;
+use ena::workloads::{paper_profiles, profile_for};
+
+/// Section V-F: 320 CUs at 1 GHz reach ~18.6 TF/node, 1.86 EF system-wide,
+/// at ~11 MW — comfortably inside the 20 MW envelope.
+#[test]
+fn exascale_target_is_met() {
+    let config = EhpConfig::builder()
+        .total_cus(320)
+        .gpu_clock(Megahertz::new(1000.0))
+        .hbm_bandwidth(GigabytesPerSec::from_terabytes_per_sec(1.0))
+        .build()
+        .unwrap();
+    let projection = project_paper_system(
+        &NodeSimulator::new(),
+        &config,
+        &profile_for("MaxFlops").unwrap(),
+        &EvalOptions::with_miss_fraction(0.0),
+    );
+    assert!(projection.meets(&ExascaleTargets::default()), "{projection:?}");
+    assert!(
+        (16.0..21.0).contains(&projection.node_teraflops),
+        "node TF = {}",
+        projection.node_teraflops
+    );
+}
+
+/// Section V: the best-mean configuration exists in the paper's
+/// neighborhood and every workload fits the 160 W package budget there.
+#[test]
+fn best_mean_configuration_is_feasible_for_the_whole_suite() {
+    let explorer = Explorer::default();
+    let result = explorer.explore(&DesignSpace::coarse(), &paper_profiles());
+    let config = result.best_mean.to_config();
+    let sim = NodeSimulator::new();
+    for p in paper_profiles() {
+        let eval = sim.evaluate(&config, &p, &explorer.options);
+        assert!(
+            eval.package_power().value() <= 160.0,
+            "{} busts the budget at the best-mean point",
+            p.name
+        );
+    }
+}
+
+/// Section V-A: chiplet organization costs at most ~13 % performance
+/// despite 60-95 % out-of-chiplet traffic.
+#[test]
+fn chiplet_overhead_is_small() {
+    let config = EhpConfig::paper_baseline();
+    for p in paper_profiles() {
+        let study = ena::core::chiplet::chiplet_study(&config, &p, 2000, 7);
+        assert!(
+            study.perf_relative_to_monolithic >= 0.85,
+            "{}: {:.3}",
+            p.name,
+            study.perf_relative_to_monolithic
+        );
+    }
+}
+
+/// Section V-E: all optimizations together save 13-27 % of node power, and
+/// the optimized machine is strictly more efficient on every workload.
+#[test]
+fn power_optimizations_meet_the_savings_band() {
+    let sim = NodeSimulator::new();
+    let config = EhpConfig::paper_baseline();
+    for p in paper_profiles() {
+        let plain = sim
+            .evaluate(&config, &p, &EvalOptions::with_miss_fraction(0.15))
+            .node_power()
+            .value();
+        let mut options = EvalOptions::with_miss_fraction(0.15);
+        options.optimizations = PowerOptimization::ALL.to_vec();
+        let optimized = sim.evaluate(&config, &p, &options).node_power().value();
+        let saved = 100.0 * (1.0 - optimized / plain);
+        assert!((8.0..30.0).contains(&saved), "{}: saved {saved:.1}%", p.name);
+    }
+}
+
+/// Section V-D: at the baseline, every workload's in-package DRAM stays
+/// below the 85 degC refresh limit with air cooling.
+#[test]
+fn thermals_are_feasible_across_the_suite() {
+    let sim = NodeSimulator::new();
+    let config = EhpConfig::paper_baseline();
+    for p in paper_profiles() {
+        let eval = sim.evaluate(&config, &p, &EvalOptions::default());
+        let t = sim.thermal(&config, &eval).unwrap();
+        assert!(t.dram_within_limit(), "{}: {:.1}", p.name, t.peak_dram().value());
+    }
+}
+
+/// The node provides >= 1 TB of memory with >= 3 TB/s of in-package
+/// bandwidth (exascale node targets from the introduction).
+#[test]
+fn node_memory_targets_are_met() {
+    let config = EhpConfig::paper_baseline();
+    assert!(config.total_memory_capacity().value() >= 1000.0);
+    assert!(config.hbm.total_bandwidth().terabytes_per_sec() >= 3.0);
+    assert_eq!(config.hbm.total_capacity().value(), 256.0);
+}

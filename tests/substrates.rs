@@ -1,0 +1,99 @@
+//! Integration tests across the substrate crates: the GPU timing model,
+//! the HSA runtime, and the CPU models working together with the workload
+//! suite and the analytic node model.
+
+use ena::cpu::core::CoreModel;
+use ena::cpu::program::CpuProgram;
+use ena::gpu::backend::HbmBackend;
+use ena::gpu::sim::{CuConfig, GpuSim};
+use ena::gpu::synth::wavefronts_for;
+use ena::hsa::runtime::{Runtime, RuntimeConfig};
+use ena::hsa::task::{TaskCost, TaskGraph};
+use ena::model::units::{Megahertz, Seconds};
+use ena::workloads::{paper_profiles, profile_for};
+
+/// Profile-synthesized wavefronts on the banked-HBM backend show the same
+/// compute-vs-memory split the analytic categories claim.
+#[test]
+fn timing_sim_on_real_hbm_matches_categories() {
+    let run = |name: &str| {
+        let profile = profile_for(name).unwrap();
+        let wavefronts = wavefronts_for(&profile, 16, 5);
+        let mut backend = HbmBackend::new(8);
+        let stats = GpuSim::new(CuConfig::default(), &mut backend).run(wavefronts);
+        stats.flops_per_cycle() / 64.0
+    };
+    let maxflops = run("MaxFlops");
+    let comd = run("CoMD");
+    let xsbench = run("XSBench");
+    assert!(maxflops > 0.8, "MaxFlops eff {maxflops}");
+    assert!(comd < maxflops + 1e-9);
+    assert!(xsbench < 0.5 * maxflops, "XSBench {xsbench} vs MaxFlops {maxflops}");
+}
+
+/// An end-to-end heterogeneous pipeline: CPU serial stage timed by the
+/// leading-loads model feeds a GPU stage scheduled by the HSA runtime.
+#[test]
+fn cpu_model_feeds_the_hsa_runtime() {
+    // Time the serial stage with the CPU model.
+    let core = CoreModel::default();
+    let serial = CpuProgram::synthesize(2_000_000, 5.0, 2);
+    let serial_us = core.run(&serial, Megahertz::new(2500.0)).time.value() * 1e6;
+    assert!(serial_us > 100.0);
+
+    // Build a DAG: that serial stage, then a fan of GPU kernels.
+    let mut g = TaskGraph::new();
+    let pre = g.add("serial", TaskCost::cpu(serial_us), &[]).unwrap();
+    let kernels: Vec<_> = (0..16)
+        .map(|i| g.add(format!("k{i}"), TaskCost::gpu(300.0), &[pre]).unwrap())
+        .collect();
+    g.add("post", TaskCost::cpu(50.0), &kernels).unwrap();
+
+    let schedule = Runtime::new(RuntimeConfig::hsa()).execute(&g);
+    // The serial stage dominates; the GPU fan adds ~2 rounds over 8 queues.
+    assert!(schedule.makespan_us > serial_us);
+    assert!(
+        schedule.makespan_us < serial_us + 1000.0,
+        "makespan {} vs serial {serial_us}",
+        schedule.makespan_us
+    );
+}
+
+/// The CLI wraps the same models: its suite report agrees with direct
+/// evaluation.
+#[test]
+fn cli_agrees_with_the_library() {
+    let out = ena_cli::execute(ena_cli::parse(vec!["suite".into()]).unwrap()).unwrap();
+    let sim = ena::core::node::NodeSimulator::new();
+    let config = ena::model::config::EhpConfig::paper_baseline();
+    for profile in paper_profiles() {
+        let eval = sim.evaluate(&config, &profile, &ena::core::node::EvalOptions::default());
+        let tf = format!("{:.2}", eval.perf.throughput.teraflops());
+        assert!(
+            out.contains(&tf),
+            "CLI output missing {} = {tf} TF:\n{out}",
+            profile.name
+        );
+    }
+}
+
+/// Serial fractions measured by the CPU model stay consistent under DVFS:
+/// the same program, predicted vs re-run, across the whole P-state table.
+#[test]
+fn dvfs_predictions_hold_across_the_table() {
+    let core = CoreModel::default();
+    for mpki in [0.0, 8.0, 30.0] {
+        let p = CpuProgram::synthesize(500_000, mpki, 4);
+        let measured = core.run(&p, Megahertz::new(3200.0));
+        for mhz in [1200.0, 1800.0, 2500.0] {
+            let predicted = core.predict_time(&measured, Megahertz::new(3200.0), Megahertz::new(mhz));
+            let actual = core.run(&p, Megahertz::new(mhz)).time;
+            assert!((predicted.value() - actual.value()).abs() < 1e-12);
+        }
+    }
+    // And latency re-prediction is self-consistent.
+    let p = CpuProgram::synthesize(100_000, 10.0, 2);
+    let m = core.run(&p, Megahertz::new(2500.0));
+    let same = core.predict_with_latency(&m, Seconds::new(80e-9));
+    assert!((same.value() - m.time.value()).abs() < 1e-12);
+}

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Tier-1 verification, fully offline: the workspace has no external
+# dependencies (dev- or otherwise), so this must pass with an empty cargo
+# registry cache and no network.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+export CARGO_NET_OFFLINE=true
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "ci.sh: all checks passed"

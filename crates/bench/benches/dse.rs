@@ -1,18 +1,16 @@
 //! Benchmarks the design-space exploration (Section V/VI's engine).
+//!
+//! Run with `cargo bench -p ena-bench --features timing`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use ena_core::dse::{DesignSpace, Explorer};
+use ena_testkit::timing::Harness;
 use ena_workloads::paper_profiles;
 
-fn bench_dse(c: &mut Criterion) {
+fn main() {
     let profiles = paper_profiles();
-    let mut group = c.benchmark_group("dse");
-    group.sample_size(10);
-    group.bench_function("coarse_explore_490_points", |b| {
-        b.iter(|| std::hint::black_box(Explorer::default().explore(&DesignSpace::coarse(), &profiles)))
+    let mut h = Harness::new("dse");
+    h.sample_size(10);
+    h.bench("coarse_explore_490_points", || {
+        std::hint::black_box(Explorer::default().explore(&DesignSpace::coarse(), &profiles))
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_dse);
-criterion_main!(benches);

@@ -1,20 +1,19 @@
 //! Benchmarks the experiment generators themselves: how long each paper
 //! artifact takes to regenerate end-to-end.
+//!
+//! Run with `cargo bench -p ena-bench --features timing`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ena_testkit::timing::Harness;
 
-fn bench_figures(c: &mut Criterion) {
-    let mut group = c.benchmark_group("figures");
-    group.sample_size(10);
+fn main() {
+    let mut h = Harness::new("figures");
+    h.sample_size(10);
     // The cheap generators run in-loop; the expensive ones (thermal/DSE
-    // based) are covered once per bench run to keep wall time sane.
+    // based) are covered by the golden-regression tests instead, to keep
+    // bench wall time sane.
     for name in ["fig8", "fig14", "fig4", "fig7"] {
-        group.bench_function(name, |b| {
-            b.iter(|| std::hint::black_box(ena_bench::experiments::run(name).expect("known")))
+        h.bench(name, || {
+            std::hint::black_box(ena_bench::experiments::run(name).expect("known"))
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_figures);
-criterion_main!(benches);

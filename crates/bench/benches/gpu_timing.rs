@@ -1,29 +1,25 @@
 //! Benchmarks the wavefront timing simulator.
+//!
+//! Run with `cargo bench -p ena-bench --features timing`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use ena_gpu::backend::{FixedLatency, HbmBackend};
 use ena_gpu::sim::{CuConfig, GpuSim};
 use ena_gpu::synth::wavefronts_for;
+use ena_testkit::timing::Harness;
 use ena_workloads::profile_for;
 
-fn bench_gpu(c: &mut Criterion) {
+fn main() {
     let profile = profile_for("LULESH").unwrap();
     let wavefronts = wavefronts_for(&profile, 24, 7);
+    let mut h = Harness::new("gpu_timing");
 
-    c.bench_function("gpu_timing/fixed_latency", |b| {
-        b.iter(|| {
-            let mut mem = FixedLatency::new(170, 7);
-            std::hint::black_box(GpuSim::new(CuConfig::default(), &mut mem).run(wavefronts.clone()))
-        })
+    h.bench("fixed_latency", || {
+        let mut mem = FixedLatency::new(170, 7);
+        std::hint::black_box(GpuSim::new(CuConfig::default(), &mut mem).run(wavefronts.clone()))
     });
 
-    c.bench_function("gpu_timing/hbm_backend", |b| {
-        b.iter(|| {
-            let mut mem = HbmBackend::new(8);
-            std::hint::black_box(GpuSim::new(CuConfig::default(), &mut mem).run(wavefronts.clone()))
-        })
+    h.bench("hbm_backend", || {
+        let mut mem = HbmBackend::new(8);
+        std::hint::black_box(GpuSim::new(CuConfig::default(), &mut mem).run(wavefronts.clone()))
     });
 }
-
-criterion_group!(benches, bench_gpu);
-criterion_main!(benches);

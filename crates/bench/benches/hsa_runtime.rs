@@ -1,12 +1,14 @@
 //! Benchmarks the HSA runtime scheduler and the CPU interval models.
+//!
+//! Run with `cargo bench -p ena-bench --features timing`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use ena_cpu::core::CoreModel;
 use ena_cpu::program::CpuProgram;
 use ena_cpu::window::{simulate, WindowConfig};
 use ena_hsa::runtime::{Runtime, RuntimeConfig};
 use ena_hsa::task::{TaskCost, TaskGraph};
 use ena_model::units::Megahertz;
+use ena_testkit::timing::Harness;
 
 fn wide_graph(tasks: usize) -> TaskGraph {
     let mut g = TaskGraph::new();
@@ -18,23 +20,21 @@ fn wide_graph(tasks: usize) -> TaskGraph {
     g
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
+    let mut h = Harness::new("substrates");
     let g = wide_graph(500);
-    c.bench_function("hsa/schedule_500_tasks", |b| {
-        b.iter(|| std::hint::black_box(Runtime::new(RuntimeConfig::hsa()).execute(&g)))
+    h.bench("hsa/schedule_500_tasks", || {
+        std::hint::black_box(Runtime::new(RuntimeConfig::hsa()).execute(&g))
     });
 
     let program = CpuProgram::synthesize(1_000_000, 10.0, 2);
     let core = CoreModel::default();
-    c.bench_function("cpu/leading_loads_analytic", |b| {
-        b.iter(|| std::hint::black_box(core.run(&program, Megahertz::new(2500.0))))
+    h.bench("cpu/leading_loads_analytic", || {
+        std::hint::black_box(core.run(&program, Megahertz::new(2500.0)))
     });
 
     let small = CpuProgram::synthesize(100_000, 10.0, 2);
-    c.bench_function("cpu/window_sim_100k_instructions", |b| {
-        b.iter(|| std::hint::black_box(simulate(&WindowConfig::default(), &small)))
+    h.bench("cpu/window_sim_100k_instructions", || {
+        std::hint::black_box(simulate(&WindowConfig::default(), &small))
     });
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

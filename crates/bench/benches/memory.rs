@@ -1,33 +1,29 @@
 //! Benchmarks the trace-driven memory system.
+//!
+//! Run with `cargo bench -p ena-bench --features timing`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use ena_memory::hbm::{Direction, HbmStack};
 use ena_memory::policy::StaticPlacement;
 use ena_memory::system::MemorySystem;
 use ena_model::config::EhpConfig;
+use ena_testkit::timing::Harness;
 
-fn bench_memory(c: &mut Criterion) {
-    c.bench_function("hbm/service_10k", |b| {
-        b.iter(|| {
-            let mut stack = HbmStack::with_defaults();
-            for i in 0..10_000u64 {
-                std::hint::black_box(stack.service(i * 64 % (1 << 24), 64, Direction::Read, i));
-            }
-        })
+fn main() {
+    let mut h = Harness::new("memory");
+
+    h.bench("hbm/service_10k", || {
+        let mut stack = HbmStack::with_defaults();
+        for i in 0..10_000u64 {
+            std::hint::black_box(stack.service(i * 64 % (1 << 24), 64, Direction::Read, i));
+        }
     });
 
     let config = EhpConfig::paper_baseline();
-    c.bench_function("memory_system/replay_10k", |b| {
-        b.iter(|| {
-            let mut system =
-                MemorySystem::new(&config, Box::new(StaticPlacement::new(0.8)), u64::MAX);
-            for page in 0..10_000u64 {
-                let _ = system.access(page * 4096, 64, page % 3 == 0);
-            }
-            std::hint::black_box(system.stats().avg_latency_cycles())
-        })
+    h.bench("memory_system/replay_10k", || {
+        let mut system = MemorySystem::new(&config, Box::new(StaticPlacement::new(0.8)), u64::MAX);
+        for page in 0..10_000u64 {
+            let _ = system.access(page * 4096, 64, page % 3 == 0);
+        }
+        std::hint::black_box(system.stats().avg_latency_cycles())
     });
 }
-
-criterion_group!(benches, bench_memory);
-criterion_main!(benches);

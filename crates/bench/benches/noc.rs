@@ -1,33 +1,29 @@
 //! Benchmarks the packet-level NoC simulator (Fig. 7's engine).
+//!
+//! Run with `cargo bench -p ena-bench --features timing`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use ena_noc::sim::NocSim;
 use ena_noc::topology::Topology;
 use ena_noc::traffic::WorkloadTraffic;
+use ena_testkit::timing::Harness;
 use ena_workloads::profile_for;
 
-fn bench_noc(c: &mut Criterion) {
+fn main() {
     let profile = profile_for("SNAP").unwrap();
     let traffic = WorkloadTraffic::from_profile(&profile, 42);
+    let mut h = Harness::new("noc");
 
     for (name, topo) in [
-        ("noc/ehp_2k_requests", Topology::ehp(8, 8)),
-        ("noc/monolithic_2k_requests", Topology::monolithic(8, 8)),
+        ("ehp_2k_requests", Topology::ehp(8, 8)),
+        ("monolithic_2k_requests", Topology::monolithic(8, 8)),
     ] {
         let packets = traffic.generate(&topo, 2000);
-        c.bench_function(name, |b| {
-            b.iter(|| {
-                let mut sim = NocSim::new(&topo);
-                std::hint::black_box(sim.run(&packets))
-            })
+        h.bench(name, || {
+            let mut sim = NocSim::new(&topo);
+            std::hint::black_box(sim.run(&packets))
         });
     }
 
-    c.bench_function("noc/route_table", |b| {
-        let topo = Topology::ehp(8, 8);
-        b.iter(|| std::hint::black_box(topo.route_table()))
-    });
+    let topo = Topology::ehp(8, 8);
+    h.bench("route_table", || std::hint::black_box(topo.route_table()));
 }
-
-criterion_group!(benches, bench_noc);
-criterion_main!(benches);

@@ -1,31 +1,32 @@
 //! Benchmarks the analytic performance model and full node evaluation —
 //! the inner loop of the design-space exploration.
+//!
+//! Run with `cargo bench -p ena-bench --features timing`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use ena_core::node::{EvalOptions, NodeSimulator};
 use ena_core::perf::PerfModel;
 use ena_model::config::EhpConfig;
+use ena_testkit::timing::Harness;
 use ena_workloads::profile_for;
 
-fn bench_perf(c: &mut Criterion) {
+fn main() {
     let config = EhpConfig::paper_baseline();
     let profile = profile_for("LULESH").unwrap();
     let model = PerfModel::default();
-    c.bench_function("perf_model/evaluate", |b| {
-        b.iter(|| std::hint::black_box(model.evaluate(&config, &profile, 0.15)))
+    let mut h = Harness::new("perf");
+
+    h.bench("perf_model/evaluate", || {
+        std::hint::black_box(model.evaluate(&config, &profile, 0.15))
     });
 
     let sim = NodeSimulator::new();
     let options = EvalOptions::with_miss_fraction(0.15);
-    c.bench_function("node/evaluate", |b| {
-        b.iter(|| std::hint::black_box(sim.evaluate(&config, &profile, &options)))
+    h.bench("node/evaluate", || {
+        std::hint::black_box(sim.evaluate(&config, &profile, &options))
     });
 
     let optimized = EvalOptions::fully_optimized();
-    c.bench_function("node/evaluate_optimized", |b| {
-        b.iter(|| std::hint::black_box(sim.evaluate(&config, &profile, &optimized)))
+    h.bench("node/evaluate_optimized", || {
+        std::hint::black_box(sim.evaluate(&config, &profile, &optimized))
     });
 }
-
-criterion_group!(benches, bench_perf);
-criterion_main!(benches);

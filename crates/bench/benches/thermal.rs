@@ -1,9 +1,11 @@
 //! Benchmarks the compact thermal solver (Figs. 10-11's engine).
+//!
+//! Run with `cargo bench -p ena-bench --features timing`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ena_testkit::timing::Harness;
 use ena_thermal::ehp::{ChipletPower, ChipletThermalModel};
 
-fn bench_thermal(c: &mut Criterion) {
+fn main() {
     let model = ChipletThermalModel::new(ChipletPower {
         cu_dynamic_w: 9.0,
         cu_static_w: 2.0,
@@ -11,13 +13,9 @@ fn bench_thermal(c: &mut Criterion) {
         dram_static_w: 0.6,
         interposer_w: 1.5,
     });
-    let mut group = c.benchmark_group("thermal");
-    group.sample_size(10);
-    group.bench_function("chiplet_stack_solve", |b| {
-        b.iter(|| std::hint::black_box(model.solve().expect("converges")))
+    let mut h = Harness::new("thermal");
+    h.sample_size(10);
+    h.bench("chiplet_stack_solve", || {
+        std::hint::black_box(model.solve().expect("converges"))
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_thermal);
-criterion_main!(benches);

@@ -1,20 +1,16 @@
 //! Benchmarks the proxy-application mini-kernels (trace generation rate).
+//!
+//! Run with `cargo bench -p ena-bench --features timing`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ena_testkit::timing::Harness;
 use ena_workloads::app::RunConfig;
 use ena_workloads::apps::all_apps;
 
-fn bench_apps(c: &mut Criterion) {
-    let mut group = c.benchmark_group("workloads");
-    group.sample_size(10);
+fn main() {
+    let mut h = Harness::new("workloads");
+    h.sample_size(10);
     let cfg = RunConfig::small();
     for app in all_apps() {
-        group.bench_function(app.name(), |b| {
-            b.iter(|| std::hint::black_box(app.run(&cfg)))
-        });
+        h.bench(app.name(), || std::hint::black_box(app.run(&cfg)));
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_apps);
-criterion_main!(benches);

@@ -108,7 +108,12 @@ mod tests {
     #[test]
     fn temperatures_are_meaningfully_above_ambient() {
         for r in rows() {
-            assert!(r.best_mean.value() > 55.0, "{}: {:.1}", r.app, r.best_mean.value());
+            assert!(
+                r.best_mean.value() > 55.0,
+                "{}: {:.1}",
+                r.app,
+                r.best_mean.value()
+            );
         }
     }
 

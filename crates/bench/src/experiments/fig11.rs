@@ -24,7 +24,9 @@ pub fn heat_maps() -> HeatMaps {
     let solve = |point: ena_core::dse::ConfigPoint| {
         let config = point.to_config();
         let eval = sim.evaluate(&config, &snap, &options);
-        let t = sim.thermal(&config, &eval).expect("thermal solve converges");
+        let t = sim
+            .thermal(&config, &eval)
+            .expect("thermal solve converges");
         (point.label(), t.render_bottom_dram(), t.peak_dram().value())
     };
 

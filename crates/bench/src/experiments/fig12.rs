@@ -16,7 +16,11 @@ pub fn savings() -> Vec<(String, Vec<f64>, f64)> {
         .iter()
         .map(|p| {
             let base = sim
-                .evaluate(&config, p, &EvalOptions::with_miss_fraction(DSE_MISS_FRACTION))
+                .evaluate(
+                    &config,
+                    p,
+                    &EvalOptions::with_miss_fraction(DSE_MISS_FRACTION),
+                )
                 .node_power()
                 .value();
             let with = |opts: &[PowerOptimization]| {

@@ -187,7 +187,9 @@ mod tests {
             .iter()
             .find(|(t, _)| (*t - mean_bw).abs() < 1e-9);
         if let Some((_, points)) = series {
-            assert!(points.iter().any(|p| (p.normalized_perf - 1.0).abs() < 0.25));
+            assert!(points
+                .iter()
+                .any(|p| (p.normalized_perf - 1.0).abs() < 0.25));
         }
     }
 

@@ -81,10 +81,7 @@ mod tests {
     fn performance_is_monotone_in_miss_rate() {
         for (app, points) in series() {
             for pair in points.windows(2) {
-                assert!(
-                    pair[1] <= pair[0] + 1e-9,
-                    "{app}: non-monotone {pair:?}"
-                );
+                assert!(pair[1] <= pair[0] + 1e-9, "{app}: non-monotone {pair:?}");
             }
         }
     }

@@ -39,9 +39,7 @@ pub fn breakdowns() -> Vec<(String, ExternalVariant, PowerBreakdown)> {
     for variant in [ExternalVariant::DramOnly, ExternalVariant::Hybrid] {
         let mut config = EhpConfig::paper_baseline();
         config.external = match variant {
-            ExternalVariant::DramOnly => {
-                ExternalMemoryConfig::dram_only(4, Gigabytes::new(768.0))
-            }
+            ExternalVariant::DramOnly => ExternalMemoryConfig::dram_only(4, Gigabytes::new(768.0)),
             ExternalVariant::Hybrid => ExternalMemoryConfig::hybrid(4, Gigabytes::new(768.0)),
         };
         for p in &paper_profiles() {
@@ -83,9 +81,7 @@ pub fn run() -> String {
 mod tests {
     use super::*;
 
-    fn by_app(
-        variant: ExternalVariant,
-    ) -> std::collections::HashMap<String, PowerBreakdown> {
+    fn by_app(variant: ExternalVariant) -> std::collections::HashMap<String, PowerBreakdown> {
         breakdowns()
             .into_iter()
             .filter(|(_, v, _)| *v == variant)

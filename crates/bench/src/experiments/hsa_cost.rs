@@ -21,8 +21,12 @@ pub fn granularity_sweep() -> Vec<(u32, f64, f64)> {
             let pre = g.add("pre", TaskCost::cpu(10.0), &[]).expect("valid");
             let kernels: Vec<_> = (0..k)
                 .map(|i| {
-                    g.add(format!("k{i}"), TaskCost::gpu(TOTAL_US / f64::from(k)), &[pre])
-                        .expect("valid")
+                    g.add(
+                        format!("k{i}"),
+                        TaskCost::gpu(TOTAL_US / f64::from(k)),
+                        &[pre],
+                    )
+                    .expect("valid")
                 })
                 .collect();
             g.add("post", TaskCost::cpu(10.0), &kernels).expect("valid");
@@ -78,11 +82,19 @@ pub fn package_costs() -> Vec<(String, f64, f64)> {
         &[(8, mm2(100.0)), (8, mm2(70.0))],
         mm2(800.0),
     );
-    rows.push(("EHP: 16 chiplets + interposer".to_string(), ehp.silicon, ehp.total()));
+    rows.push((
+        "EHP: 16 chiplets + interposer".to_string(),
+        ehp.silicon,
+        ehp.total(),
+    ));
 
     for area in [400.0, 680.0, 830.0, 1360.0] {
         let mono = monolithic_package(&compute, &assembly, mm2(area));
-        rows.push((format!("monolithic {area:.0} mm2"), mono.silicon, mono.total()));
+        rows.push((
+            format!("monolithic {area:.0} mm2"),
+            mono.silicon,
+            mono.total(),
+        ));
     }
     rows
 }
@@ -101,7 +113,11 @@ pub fn run() -> String {
     out.push_str("\n2. CPU-GPU ping-pong (200 tasks) under the two memory models\n");
     let mut t = TextTable::new(["memory model", "makespan (us)", "sync overhead (us)"]);
     for (name, makespan, sync) in sync_comparison() {
-        t.row([name.to_string(), format!("{makespan:.1}"), format!("{sync:.1}")]);
+        t.row([
+            name.to_string(),
+            format!("{makespan:.1}"),
+            format!("{sync:.1}"),
+        ]);
     }
     out.push_str(&t.render());
 
@@ -133,7 +149,10 @@ mod tests {
         }
         let coarse_gap = sweep[0].2 / sweep[0].1;
         let fine_gap = sweep.last().unwrap().2 / sweep.last().unwrap().1;
-        assert!(fine_gap > coarse_gap, "coarse {coarse_gap}, fine {fine_gap}");
+        assert!(
+            fine_gap > coarse_gap,
+            "coarse {coarse_gap}, fine {fine_gap}"
+        );
     }
 
     #[test]

@@ -4,7 +4,6 @@ pub mod ablations;
 pub mod context;
 pub mod extensions;
 pub mod fig10;
-pub mod hsa_cost;
 pub mod fig11;
 pub mod fig12;
 pub mod fig13;
@@ -13,6 +12,7 @@ pub mod fig4_6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod hsa_cost;
 pub mod table1;
 pub mod table2;
 pub mod validation;

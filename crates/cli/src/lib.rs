@@ -324,8 +324,9 @@ mod tests {
 
     #[test]
     fn evaluate_parses_all_knobs() {
-        let c = parse_str("evaluate --app LULESH --cus 256 --mhz 1100 --tbps 4 --miss 0.2 --optimized")
-            .unwrap();
+        let c =
+            parse_str("evaluate --app LULESH --cus 256 --mhz 1100 --tbps 4 --miss 0.2 --optimized")
+                .unwrap();
         assert_eq!(
             c,
             Command::Evaluate {
@@ -355,10 +356,18 @@ mod tests {
     #[test]
     fn bad_input_is_reported() {
         assert!(parse_str("evaluate").unwrap_err().contains("--app"));
-        assert!(parse_str("evaluate --app NotAnApp").unwrap_err().contains("unknown app"));
-        assert!(parse_str("evaluate --app CoMD --miss 1.5").unwrap_err().contains("--miss"));
-        assert!(parse_str("explode").unwrap_err().contains("unknown command"));
-        assert!(parse_str("suite --what").unwrap_err().contains("unrecognized"));
+        assert!(parse_str("evaluate --app NotAnApp")
+            .unwrap_err()
+            .contains("unknown app"));
+        assert!(parse_str("evaluate --app CoMD --miss 1.5")
+            .unwrap_err()
+            .contains("--miss"));
+        assert!(parse_str("explode")
+            .unwrap_err()
+            .contains("unknown command"));
+        assert!(parse_str("suite --what")
+            .unwrap_err()
+            .contains("unrecognized"));
     }
 
     #[test]

@@ -14,13 +14,27 @@ fn main() {
     let sim = NodeSimulator::new();
     let profiles = paper_profiles();
     println!("=== package power at key configs (miss=0.05) ===");
-    for (c, f, b) in [(320u32, 1000.0, 3.0), (320, 1000.0, 4.0), (352, 1000.0, 3.0), (320, 1100.0, 3.0), (192, 1500.0, 6.0), (384, 925.0, 1.0), (256, 1100.0, 4.0)] {
-        let cfg = EhpConfig::builder().total_cus(c).gpu_clock(Megahertz::new(f))
-            .hbm_bandwidth(GigabytesPerSec::from_terabytes_per_sec(b)).build().unwrap();
+    for (c, f, b) in [
+        (320u32, 1000.0, 3.0),
+        (320, 1000.0, 4.0),
+        (352, 1000.0, 3.0),
+        (320, 1100.0, 3.0),
+        (192, 1500.0, 6.0),
+        (384, 925.0, 1.0),
+        (256, 1100.0, 4.0),
+    ] {
+        let cfg = EhpConfig::builder()
+            .total_cus(c)
+            .gpu_clock(Megahertz::new(f))
+            .hbm_bandwidth(GigabytesPerSec::from_terabytes_per_sec(b))
+            .build()
+            .unwrap();
         let mut worst: (String, f64) = ("".into(), 0.0);
         for p in &profiles {
             let e = sim.evaluate(&cfg, p, &EvalOptions::with_miss_fraction(0.05));
-            if e.package_power().value() > worst.1 { worst = (p.name.clone(), e.package_power().value()); }
+            if e.package_power().value() > worst.1 {
+                worst = (p.name.clone(), e.package_power().value());
+            }
         }
         println!("{c}/{f}/{b}: worst {} {:.1} W", worst.0, worst.1);
     }
@@ -29,6 +43,11 @@ fn main() {
     println!("feasible {}/{}", r.feasible, r.evaluated);
     println!("best mean: {}", r.best_mean.label());
     for a in &r.per_app {
-        println!("{:10} best {:18} +{:.1}%", a.app, a.point.label(), a.benefit_over_mean_pct);
+        println!(
+            "{:10} best {:18} +{:.1}%",
+            a.app,
+            a.point.label(),
+            a.benefit_over_mean_pct
+        );
     }
 }

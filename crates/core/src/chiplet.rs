@@ -44,8 +44,8 @@ pub fn chiplet_study(
     let traffic = WorkloadTraffic::from_profile(profile, seed);
 
     let chiplet_topo = Topology::ehp(gpu_chiplets, cpu_chiplets);
-    let chiplet_stats = NocSim::new(&chiplet_topo)
-        .run(&traffic.generate(&chiplet_topo, requests_per_chiplet));
+    let chiplet_stats =
+        NocSim::new(&chiplet_topo).run(&traffic.generate(&chiplet_topo, requests_per_chiplet));
 
     let mono_topo = Topology::monolithic(gpu_chiplets, cpu_chiplets);
     let mono_stats =
@@ -68,7 +68,10 @@ pub fn chiplet_study(
             ..LatencyModel::default()
         },
     };
-    let chiplet_perf = chiplet_model.evaluate(config, profile, 0.0).throughput.value();
+    let chiplet_perf = chiplet_model
+        .evaluate(config, profile, 0.0)
+        .throughput
+        .value();
     let mono_perf = mono_model.evaluate(config, profile, 0.0).throughput.value();
 
     ChipletStudy {

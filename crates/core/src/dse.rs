@@ -62,7 +62,10 @@ impl DesignSpace {
     pub fn paper() -> Self {
         Self {
             cu_counts: (192..=MAX_CUS).step_by(32).collect(),
-            clocks: (600..=1500).step_by(25).map(|f| Megahertz::new(f64::from(f))).collect(),
+            clocks: (600..=1500)
+                .step_by(25)
+                .map(|f| Megahertz::new(f64::from(f)))
+                .collect(),
             bandwidths: (1..=7)
                 .map(|t| GigabytesPerSec::from_terabytes_per_sec(f64::from(t)))
                 .collect(),
@@ -72,7 +75,10 @@ impl DesignSpace {
     /// A coarser sweep for fast tests (100 MHz steps).
     pub fn coarse() -> Self {
         Self {
-            clocks: (600..=1500).step_by(100).map(|f| Megahertz::new(f64::from(f))).collect(),
+            clocks: (600..=1500)
+                .step_by(100)
+                .map(|f| Megahertz::new(f64::from(f)))
+                .collect(),
             ..Self::paper()
         }
     }
@@ -167,7 +173,10 @@ impl Explorer {
             .iter()
             .map(|p| self.sim.evaluate(&config, p, &self.options))
             .collect();
-        if evals.iter().all(|e| e.package_power().value() <= self.budget.value()) {
+        if evals
+            .iter()
+            .all(|e| e.package_power().value() <= self.budget.value())
+        {
             Some(evals)
         } else {
             None
@@ -191,7 +200,10 @@ impl Explorer {
                 feasible.push((point, evals));
             }
         }
-        assert!(!feasible.is_empty(), "no feasible configuration under the budget");
+        assert!(
+            !feasible.is_empty(),
+            "no feasible configuration under the budget"
+        );
 
         // Per-app maxima across feasible points, for normalization.
         let mut app_max = vec![0.0f64; profiles.len()];
@@ -277,11 +289,7 @@ mod tests {
         // Paper: 320 CUs / 1000 MHz / 3 TB/s. Accept the immediate
         // neighborhood — the models are calibrated, not fitted.
         let p = result.best_mean;
-        assert!(
-            (288..=384).contains(&p.cus),
-            "best-mean CUs = {}",
-            p.cus
-        );
+        assert!((288..=384).contains(&p.cus), "best-mean CUs = {}", p.cus);
         assert!(
             (900.0..=1200.0).contains(&p.clock.value()),
             "best-mean clock = {}",
@@ -317,10 +325,18 @@ mod tests {
         }
         // Every oracle config beats (or at worst ties) the mean config.
         for a in &result.per_app {
-            assert!(a.benefit_over_mean_pct >= -1e-9, "{}: {}", a.app, a.benefit_over_mean_pct);
+            assert!(
+                a.benefit_over_mean_pct >= -1e-9,
+                "{}: {}",
+                a.app,
+                a.benefit_over_mean_pct
+            );
         }
         // And some app gains double digits (Table II: 10.7-47.3 %).
-        assert!(result.per_app.iter().any(|a| a.benefit_over_mean_pct > 10.0));
+        assert!(result
+            .per_app
+            .iter()
+            .any(|a| a.benefit_over_mean_pct > 10.0));
     }
 
     #[test]

@@ -193,7 +193,11 @@ mod tests {
             let eval = sim.evaluate(&cfg, &p, &EvalOptions::default());
             let pkg = eval.package_power().value();
             assert!(pkg <= 160.0, "{}: package = {pkg:.1} W", p.name);
-            assert!(pkg > 60.0, "{}: implausibly low package power {pkg:.1} W", p.name);
+            assert!(
+                pkg > 60.0,
+                "{}: implausibly low package power {pkg:.1} W",
+                p.name
+            );
         }
     }
 
@@ -241,7 +245,11 @@ mod tests {
                 p.name,
                 t.peak_dram()
             );
-            assert!(t.peak_dram().value() > 55.0, "{}: suspiciously cool", p.name);
+            assert!(
+                t.peak_dram().value() > 55.0,
+                "{}: suspiciously cool",
+                p.name
+            );
         }
     }
 

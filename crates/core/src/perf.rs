@@ -102,8 +102,7 @@ impl PerfModel {
 
         // Latency exposure: irregular kernels lose throughput as average
         // latency grows; parallelism hides the rest.
-        let avg_latency = (self.latency.hbm_cycles + self.latency.chiplet_extra_cycles)
-            * (1.0 - m)
+        let avg_latency = (self.latency.hbm_cycles + self.latency.chiplet_extra_cycles) * (1.0 - m)
             + self.latency.external_cycles * m;
         let reference = LatencyModel::default().hbm_cycles;
         let exposure = profile.latency_sensitivity * (1.0 - profile.parallelism);
@@ -173,10 +172,7 @@ mod tests {
         // Fig. 6 shape: LULESH on 1 TB/s peaks then *drops* as CU-GHz grow.
         let mid = perf("LULESH", 224, 800.0, 1.0);
         let max = perf("LULESH", 384, 1500.0, 1.0);
-        assert!(
-            max < mid,
-            "expected decline: mid {mid}, max {max}"
-        );
+        assert!(max < mid, "expected decline: mid {mid}, max {max}");
         // And bandwidth helps: same compute, more bandwidth, more perf.
         assert!(perf("LULESH", 224, 800.0, 4.0) > mid);
     }

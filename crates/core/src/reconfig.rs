@@ -281,7 +281,13 @@ mod tests {
         let mean = explorer.explore(&space, &profiles).best_mean;
 
         let t = |r: &ReconfigReport| r.time.value();
-        let static_r = run_phases(&sim, &mut StaticPolicy(mean), &phases, &options, Seconds::ZERO);
+        let static_r = run_phases(
+            &sim,
+            &mut StaticPolicy(mean),
+            &phases,
+            &options,
+            Seconds::ZERO,
+        );
         let reactive_r = run_phases(
             &sim,
             &mut ReactivePolicy::new(&explorer, &space, &profiles),
@@ -297,7 +303,10 @@ mod tests {
             Seconds::ZERO,
         );
         assert!(t(&oracle_r) <= t(&reactive_r) + 1e-12);
-        assert!(t(&reactive_r) < t(&static_r) * 1.05, "reactive should roughly track");
+        assert!(
+            t(&reactive_r) < t(&static_r) * 1.05,
+            "reactive should roughly track"
+        );
     }
 
     #[test]

@@ -4,8 +4,8 @@ use ena_core::node::{EvalOptions, NodeSimulator};
 use ena_core::perf::PerfModel;
 use ena_model::config::EhpConfig;
 use ena_model::units::{GigabytesPerSec, Megahertz};
+use ena_testkit::prelude::*;
 use ena_workloads::paper_profiles;
-use proptest::prelude::*;
 
 fn arbitrary_config() -> impl Strategy<Value = EhpConfig> {
     (24u32..=48, 600.0f64..1500.0, 1.0f64..7.0).prop_map(|(cpc, mhz, tbps)| {

@@ -74,9 +74,7 @@ impl CoreModel {
         let mut instructions = 0u64;
         for iv in program.intervals() {
             match *iv {
-                Interval::Compute {
-                    instructions: n,
-                } => {
+                Interval::Compute { instructions: n } => {
                     compute_cycles += n as f64 / self.issue_ipc;
                     instructions += n;
                 }
@@ -111,11 +109,7 @@ impl CoreModel {
 
     /// Predicts the execution time if the average memory latency changed
     /// (e.g. remote-chiplet traffic or external-memory misses).
-    pub fn predict_with_latency(
-        &self,
-        measured: &CpuEstimate,
-        new_latency: Seconds,
-    ) -> Seconds {
+    pub fn predict_with_latency(&self, measured: &CpuEstimate, new_latency: Seconds) -> Seconds {
         let stalls = if self.memory_latency.value() == 0.0 {
             0.0
         } else {

@@ -79,8 +79,7 @@ impl CpuPowerModel {
     pub fn power(&self, estimate: &CpuEstimate, state: PState) -> Watts {
         let v2 = (state.voltage.value() / 1.0).powi(2);
         let dynamic = if estimate.time.value() > 0.0 {
-            self.energy_per_instruction * v2 * estimate.instructions as f64
-                / estimate.time.value()
+            self.energy_per_instruction * v2 * estimate.instructions as f64 / estimate.time.value()
         } else {
             0.0
         };
@@ -127,7 +126,12 @@ impl CpuPowerModel {
     ) -> PStatePrediction {
         self.sweep(core, measured, measured_at, states)
             .into_iter()
-            .min_by(|a, b| a.energy.value().partial_cmp(&b.energy.value()).expect("finite"))
+            .min_by(|a, b| {
+                a.energy
+                    .value()
+                    .partial_cmp(&b.energy.value())
+                    .expect("finite")
+            })
             .expect("non-empty state table")
     }
 }
@@ -173,8 +177,7 @@ mod tests {
             let (core, e) = measure(mpki);
             let sweep = model.sweep(&core, &e, Megahertz::new(2500.0), &states);
             let speedup = sweep[0].time.value() / sweep.last().unwrap().time.value();
-            let energy_cost =
-                sweep.last().unwrap().energy.value() / sweep[0].energy.value();
+            let energy_cost = sweep.last().unwrap().energy.value() / sweep[0].energy.value();
             (speedup, energy_cost)
         };
         let (speedup_c, cost_c) = study(0.0);

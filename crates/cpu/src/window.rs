@@ -60,23 +60,21 @@ pub fn simulate(config: &WindowConfig, program: &CpuProgram) -> WindowResult {
     let mut last_dispatch = 0.0f64;
     let mut last_retire = 0.0f64;
 
-    let mut step = |latency: f64,
-                    count: &mut u64,
-                    last_dispatch: &mut f64,
-                    last_retire: &mut f64| {
-        let slot = (*count as usize) % config.window;
-        // Dispatch: in order, limited by width and window occupancy (the
-        // instruction `window` places back must have retired).
-        let window_free = retire_ring[slot];
-        let dispatch = (*last_dispatch + 1.0 / config.width).max(window_free);
-        let complete = dispatch + latency;
-        // Retire: in order, at most `width` per cycle.
-        let retire = complete.max(*last_retire + 1.0 / config.width);
-        retire_ring[slot] = retire;
-        *last_dispatch = dispatch;
-        *last_retire = retire;
-        *count += 1;
-    };
+    let mut step =
+        |latency: f64, count: &mut u64, last_dispatch: &mut f64, last_retire: &mut f64| {
+            let slot = (*count as usize) % config.window;
+            // Dispatch: in order, limited by width and window occupancy (the
+            // instruction `window` places back must have retired).
+            let window_free = retire_ring[slot];
+            let dispatch = (*last_dispatch + 1.0 / config.width).max(window_free);
+            let complete = dispatch + latency;
+            // Retire: in order, at most `width` per cycle.
+            let retire = complete.max(*last_retire + 1.0 / config.width);
+            retire_ring[slot] = retire;
+            *last_dispatch = dispatch;
+            *last_retire = retire;
+            *count += 1;
+        };
 
     for iv in program.intervals() {
         match *iv {
@@ -157,7 +155,10 @@ mod tests {
             let sim_cycles = simulate(&cfg, &p).cycles;
             let analytic_cycles = core.run(&p, freq).time.value() * freq.hertz();
             let err = (sim_cycles - analytic_cycles).abs() / sim_cycles;
-            assert!(err < 0.1, "mpki {mpki}: sim {sim_cycles}, analytic {analytic_cycles}");
+            assert!(
+                err < 0.1,
+                "mpki {mpki}: sim {sim_cycles}, analytic {analytic_cycles}"
+            );
         }
         // Outside that domain the window overlaps *across* clusters and
         // the analytic decomposition turns pessimistic — a documented
@@ -165,7 +166,10 @@ mod tests {
         let dense = CpuProgram::synthesize(200_000, 40.0, 2);
         let sim = simulate(&cfg, &dense).cycles;
         let analytic = core.run(&dense, freq).time.value() * freq.hertz();
-        assert!(analytic > sim, "analytic should be pessimistic for dense misses");
+        assert!(
+            analytic > sim,
+            "analytic should be pessimistic for dense misses"
+        );
     }
 
     #[test]

@@ -5,7 +5,7 @@ use ena_cpu::power::{default_pstates, CpuPowerModel};
 use ena_cpu::program::CpuProgram;
 use ena_cpu::window::{simulate, WindowConfig};
 use ena_model::units::Megahertz;
-use proptest::prelude::*;
+use ena_testkit::prelude::*;
 
 proptest! {
     #[test]

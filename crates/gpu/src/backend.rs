@@ -80,7 +80,11 @@ impl MemoryBackend for HbmBackend {
         let Tier::InPackage { stack, offset } = self.map.locate(folded) else {
             unreachable!("folded address is in-package by construction")
         };
-        let dir = if is_write { Direction::Write } else { Direction::Read };
+        let dir = if is_write {
+            Direction::Write
+        } else {
+            Direction::Read
+        };
         let r = self.stacks[stack as usize].service(offset, 64, dir, cycle + self.noc_cycles);
         r.complete_cycle + self.noc_cycles
     }

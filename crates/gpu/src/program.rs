@@ -104,11 +104,17 @@ mod tests {
     #[test]
     fn accounting_sums_ops() {
         let p = WavefrontProgram::new()
-            .push(Op::Compute { cycles: 4, flops: 128 })
+            .push(Op::Compute {
+                cycles: 4,
+                flops: 128,
+            })
             .push(Op::Load { addr: 0 })
             .push(Op::Load { addr: 64 })
             .push(Op::Wait { max_outstanding: 0 })
-            .push(Op::Compute { cycles: 2, flops: 64 });
+            .push(Op::Compute {
+                cycles: 2,
+                flops: 64,
+            });
         assert_eq!(p.total_flops(), 192);
         assert_eq!(p.total_requests(), 2);
         assert_eq!(p.compute_cycles(), 4 + 1 + 1 + 2);

@@ -218,7 +218,11 @@ impl<'a, B: MemoryBackend> GpuSim<'a, B> {
                     .map(|e| {
                         // A compute-ready wavefront may be gated on a pipe.
                         let pipe = pipe_free.iter().copied().min().unwrap_or(0);
-                        if e <= now + 1 && pipe > now { e.max(pipe) } else { e }
+                        if e <= now + 1 && pipe > now {
+                            e.max(pipe)
+                        } else {
+                            e
+                        }
                     });
                 now = next.unwrap_or(now + 1).max(now + 1);
             } else {
@@ -249,7 +253,10 @@ mod tests {
 
     fn compute_only(iters: u32) -> WavefrontProgram {
         (0..iters)
-            .map(|_| Op::Compute { cycles: 1, flops: 64 })
+            .map(|_| Op::Compute {
+                cycles: 1,
+                flops: 64,
+            })
             .collect()
     }
 
@@ -262,7 +269,10 @@ mod tests {
                 });
             }
             p = p.push(Op::Wait { max_outstanding: 0 });
-            p = p.push(Op::Compute { cycles: 1, flops: 64 });
+            p = p.push(Op::Compute {
+                cycles: 1,
+                flops: 64,
+            });
         }
         p
     }

@@ -58,7 +58,11 @@ impl AddressGen {
 ///   cycles to honor the profile's ops-per-byte.
 /// - Address streams mix strided and random accesses; irregular
 ///   (latency-sensitive) kernels get more randomness.
-pub fn wavefronts_for(profile: &KernelProfile, iterations: u32, seed: u64) -> Vec<WavefrontProgram> {
+pub fn wavefronts_for(
+    profile: &KernelProfile,
+    iterations: u32,
+    seed: u64,
+) -> Vec<WavefrontProgram> {
     let count = (1.0 + profile.parallelism * 15.0).round() as usize;
     let mlp = (1.0 + profile.parallelism * 7.0).round() as u32;
     // Bytes per iteration: mlp lines.
@@ -73,8 +77,7 @@ pub fn wavefronts_for(profile: &KernelProfile, iterations: u32, seed: u64) -> Ve
             for _ in 0..iterations {
                 for _ in 0..mlp {
                     let addr = gen.next();
-                    if (gen.state >> 7) as f64 / (1u64 << 57) as f64 * 0.5
-                        < profile.write_fraction
+                    if (gen.state >> 7) as f64 / (1u64 << 57) as f64 * 0.5 < profile.write_fraction
                     {
                         p = p.push(Op::Store { addr });
                     } else {
@@ -131,8 +134,10 @@ mod tests {
 
     #[test]
     fn parallelism_scales_wavefront_count() {
-        assert!(wavefronts_for(&profile(2.0, 1.0, 0.2), 4, 1).len()
-            > 2 * wavefronts_for(&profile(2.0, 0.2, 0.2), 4, 1).len());
+        assert!(
+            wavefronts_for(&profile(2.0, 1.0, 0.2), 4, 1).len()
+                > 2 * wavefronts_for(&profile(2.0, 0.2, 0.2), 4, 1).len()
+        );
     }
 
     #[test]

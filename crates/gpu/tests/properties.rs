@@ -3,10 +3,10 @@
 use ena_gpu::backend::FixedLatency;
 use ena_gpu::program::{Op, WavefrontProgram};
 use ena_gpu::sim::{CuConfig, GpuSim};
-use proptest::prelude::*;
+use ena_testkit::prelude::*;
 
 fn arbitrary_program() -> impl Strategy<Value = WavefrontProgram> {
-    proptest::collection::vec(
+    ena_testkit::collection::vec(
         prop_oneof![
             (1u32..8, 1u32..512).prop_map(|(cycles, flops)| Op::Compute { cycles, flops }),
             (0u64..1 << 20).prop_map(|line| Op::Load { addr: line * 64 }),

@@ -134,8 +134,9 @@ impl Runtime {
         let mut signals = SignalPool::new();
         let completion: Vec<_> = (0..n).map(|_| signals.create(1)).collect();
         // One dispatch queue per GPU agent, exercised for real.
-        let mut queues: Vec<UserModeQueue> =
-            (0..cfg.gpu_queues).map(|_| UserModeQueue::new(64)).collect();
+        let mut queues: Vec<UserModeQueue> = (0..cfg.gpu_queues)
+            .map(|_| UserModeQueue::new(64))
+            .collect();
 
         let mut cpu_free = vec![0.0f64; cfg.cpu_cores];
         let mut gpu_free = vec![0.0f64; cfg.gpu_queues];
@@ -167,34 +168,35 @@ impl Runtime {
 
             // Candidate placements: earliest finish across compatible agents.
             let mut best: Option<(f64, f64, AgentKind, usize, f64)> = None; // (end, start, kind, idx, sync)
-            let consider = |kind: AgentKind,
-                                free: &[f64],
-                                cost: Option<f64>,
-                                best: &mut Option<(f64, f64, AgentKind, usize, f64)>| {
-                let Some(cost) = cost else { return };
-                let Some((idx, &agent_free)) = free
-                    .iter()
-                    .enumerate()
-                    .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
-                else {
-                    return;
+            let consider =
+                |kind: AgentKind,
+                 free: &[f64],
+                 cost: Option<f64>,
+                 best: &mut Option<(f64, f64, AgentKind, usize, f64)>| {
+                    let Some(cost) = cost else { return };
+                    let Some((idx, &agent_free)) = free
+                        .iter()
+                        .enumerate()
+                        .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                    else {
+                        return;
+                    };
+                    // Sync cost: each dependency edge pays release+acquire at
+                    // the scope its producer placement requires.
+                    let sync: f64 = task
+                        .deps
+                        .iter()
+                        .map(|&d| {
+                            let producer = placement[d].expect("dep placed");
+                            cfg.sync.edge_cost(producer.agent != kind)
+                        })
+                        .sum();
+                    let start = ready.max(agent_free) + cfg.dispatch_overhead_us + sync;
+                    let end = start + cost;
+                    if best.is_none_or(|(e, ..)| end < e) {
+                        *best = Some((end, start, kind, idx, sync));
+                    }
                 };
-                // Sync cost: each dependency edge pays release+acquire at
-                // the scope its producer placement requires.
-                let sync: f64 = task
-                    .deps
-                    .iter()
-                    .map(|&d| {
-                        let producer = placement[d].expect("dep placed");
-                        cfg.sync.edge_cost(producer.agent != kind)
-                    })
-                    .sum();
-                let start = ready.max(agent_free) + cfg.dispatch_overhead_us + sync;
-                let end = start + cost;
-                if best.is_none_or(|(e, ..)| end < e) {
-                    *best = Some((end, start, kind, idx, sync));
-                }
-            };
             consider(AgentKind::CpuCore, &cpu_free, task.cost.cpu_us, &mut best);
             consider(AgentKind::GpuQueue, &gpu_free, task.cost.gpu_us, &mut best);
             let (end, start, kind, idx, sync) = best.expect("validated tasks are runnable");

@@ -165,11 +165,7 @@ impl TaskGraph {
     pub fn critical_path_us(&self) -> f64 {
         let mut finish = vec![0.0f64; self.tasks.len()];
         for (i, t) in self.tasks.iter().enumerate() {
-            let ready = t
-                .deps
-                .iter()
-                .map(|&d| finish[d])
-                .fold(0.0f64, f64::max);
+            let ready = t.deps.iter().map(|&d| finish[d]).fold(0.0f64, f64::max);
             finish[i] = ready + t.cost.best();
         }
         finish.into_iter().fold(0.0, f64::max)

@@ -2,16 +2,16 @@
 
 use ena_hsa::runtime::{Runtime, RuntimeConfig};
 use ena_hsa::task::{TaskCost, TaskGraph};
-use proptest::prelude::*;
+use ena_testkit::prelude::*;
 
 /// Builds a random DAG: each task depends on a subset of earlier tasks.
 fn arbitrary_graph() -> impl Strategy<Value = TaskGraph> {
-    proptest::collection::vec(
+    ena_testkit::collection::vec(
         (
-            1.0f64..100.0,           // cpu cost
-            1.0f64..100.0,           // gpu cost
-            0u8..3,                  // kind: cpu/gpu/either
-            proptest::collection::vec(any::<proptest::sample::Index>(), 0..3),
+            1.0f64..100.0, // cpu cost
+            1.0f64..100.0, // gpu cost
+            0u8..3,        // kind: cpu/gpu/either
+            ena_testkit::collection::vec(any::<ena_testkit::sample::Index>(), 0..3),
         ),
         1..40,
     )
@@ -30,7 +30,8 @@ fn arbitrary_graph() -> impl Strategy<Value = TaskGraph> {
             };
             deps.sort_unstable();
             deps.dedup();
-            g.add(format!("t{i}"), cost, &deps).expect("backward edges only");
+            g.add(format!("t{i}"), cost, &deps)
+                .expect("backward edges only");
         }
         g
     })

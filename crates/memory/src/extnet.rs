@@ -356,7 +356,9 @@ mod tests {
     #[test]
     fn out_of_range_is_rejected() {
         let mut net = dram_net();
-        let err = net.service(900_000_000_000_000, 64, Direction::Read).unwrap_err();
+        let err = net
+            .service(900_000_000_000_000, 64, Direction::Read)
+            .unwrap_err();
         assert!(matches!(err, ExternalError::OutOfRange(_)));
     }
 

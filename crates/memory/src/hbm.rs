@@ -153,15 +153,19 @@ impl HbmStack {
 
     /// Creates a stack with default (HBM-class) parameters.
     pub fn with_defaults() -> Self {
-        Self::new(HbmGeometry::default(), DramTiming::default(), DramEnergy::default())
+        Self::new(
+            HbmGeometry::default(),
+            DramTiming::default(),
+            DramEnergy::default(),
+        )
     }
 
     /// Maps a stack-local byte address to (channel, bank, row).
     fn map(&self, addr: u64) -> (usize, usize, u64) {
         let row = addr / self.geometry.row_bytes;
         let channel = (row % u64::from(self.geometry.channels)) as usize;
-        let bank_in_channel =
-            ((row / u64::from(self.geometry.channels)) % u64::from(self.geometry.banks_per_channel)) as usize;
+        let bank_in_channel = ((row / u64::from(self.geometry.channels))
+            % u64::from(self.geometry.banks_per_channel)) as usize;
         let bank = channel * self.geometry.banks_per_channel as usize + bank_in_channel;
         (channel, bank, row)
     }

@@ -49,7 +49,10 @@ impl AddressMap {
     /// Panics if `granularity` is not a power of two, or any parameter is
     /// zero, or `stack_capacity` is not a multiple of `granularity`.
     pub fn new(stacks: u32, stack_capacity: u64, granularity: u64) -> Self {
-        assert!(granularity.is_power_of_two(), "granularity must be a power of two");
+        assert!(
+            granularity.is_power_of_two(),
+            "granularity must be a power of two"
+        );
         assert!(stacks > 0 && stack_capacity > 0, "empty memory");
         assert!(
             stack_capacity.is_multiple_of(granularity),

@@ -41,5 +41,7 @@ pub mod system;
 pub use extnet::ExternalNetwork;
 pub use hbm::HbmStack;
 pub use interleave::{AddressMap, Tier};
-pub use policy::{HardwareCache, PlacementPolicy, SetAssociativeCache, SoftwareManaged, StaticPlacement};
+pub use policy::{
+    HardwareCache, PlacementPolicy, SetAssociativeCache, SoftwareManaged, StaticPlacement,
+};
 pub use system::MemorySystem;

@@ -378,7 +378,11 @@ mod tests {
         let stats = run_policy(&mut policy, trace, epoch_len);
         // After the first epoch, hot pages are resident: roughly half of
         // all accesses (the hot half) hit in-package.
-        assert!(stats.in_package_fraction() > 0.4, "{}", stats.in_package_fraction());
+        assert!(
+            stats.in_package_fraction() > 0.4,
+            "{}",
+            stats.in_package_fraction()
+        );
         assert!(stats.migrations > 0);
     }
 

@@ -77,7 +77,9 @@ impl MemorySystem {
     /// Builds the memory system for an EHP configuration with the given
     /// placement policy and epoch length (accesses per epoch).
     pub fn new(config: &EhpConfig, policy: Box<dyn PlacementPolicy>, epoch_len: u64) -> Self {
-        let stacks = (0..config.hbm.stacks).map(|_| HbmStack::with_defaults()).collect();
+        let stacks = (0..config.hbm.stacks)
+            .map(|_| HbmStack::with_defaults())
+            .collect();
         let stack_capacity = (config.hbm.capacity_per_stack.value() * 1e9) as u64;
         // Align capacity down to the page size.
         let stack_capacity = stack_capacity / PAGE_BYTES * PAGE_BYTES;
@@ -102,13 +104,12 @@ impl MemorySystem {
     ///
     /// Returns the access latency in cycles, or an [`ExternalError`] if the
     /// external tier could not service it.
-    pub fn access(
-        &mut self,
-        addr: u64,
-        bytes: u32,
-        is_write: bool,
-    ) -> Result<u64, ExternalError> {
-        let dir = if is_write { Direction::Write } else { Direction::Read };
+    pub fn access(&mut self, addr: u64, bytes: u32, is_write: bool) -> Result<u64, ExternalError> {
+        let dir = if is_write {
+            Direction::Write
+        } else {
+            Direction::Read
+        };
         self.clock += 1;
 
         let placement = self.policy.access(addr, is_write);
@@ -125,14 +126,12 @@ impl MemorySystem {
                 let Tier::InPackage { stack, offset } = self.map.locate(folded) else {
                     unreachable!("folded address is in-package by construction")
                 };
-                let result =
-                    self.stacks[stack as usize].service(offset, bytes, dir, self.clock);
+                let result = self.stacks[stack as usize].service(offset, bytes, dir, self.clock);
                 self.stats.energy += result.energy;
                 result.complete_cycle.saturating_sub(self.clock)
             }
             Placement::External => {
-                let ext_capacity =
-                    (self.external.config().total_capacity().value() * 1e9) as u64;
+                let ext_capacity = (self.external.config().total_capacity().value() * 1e9) as u64;
                 let folded = addr % ext_capacity;
                 match self.external.service(folded, bytes, dir) {
                     Ok(access) => {

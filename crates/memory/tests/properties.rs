@@ -6,7 +6,7 @@ use ena_memory::interleave::{AddressMap, Tier};
 use ena_memory::policy::{run_policy, PlacementPolicy, SoftwareManaged, StaticPlacement};
 use ena_model::config::ExternalMemoryConfig;
 use ena_model::units::Gigabytes;
-use proptest::prelude::*;
+use ena_testkit::prelude::*;
 
 proptest! {
     #[test]
@@ -40,7 +40,7 @@ proptest! {
 
     #[test]
     fn policy_stats_are_conserved(
-        pages in proptest::collection::vec(0u64..10_000, 1..500),
+        pages in ena_testkit::collection::vec(0u64..10_000, 1..500),
         epoch in 1u64..200,
     ) {
         let mut policy = SoftwareManaged::new(64 * 4096);
@@ -67,7 +67,7 @@ proptest! {
 
     #[test]
     fn hbm_latency_and_energy_are_positive(
-        addrs in proptest::collection::vec(0u64..(1u64 << 26), 1..200),
+        addrs in ena_testkit::collection::vec(0u64..(1u64 << 26), 1..200),
     ) {
         let mut stack = HbmStack::with_defaults();
         let mut clock = 0u64;

@@ -179,7 +179,10 @@ impl ExternalMemoryConfig {
     ///
     /// Panics if `modules_per_chain` is zero.
     pub fn dram_only(modules_per_chain: u32, capacity: Gigabytes) -> Self {
-        assert!(modules_per_chain > 0, "chains must hold at least one module");
+        assert!(
+            modules_per_chain > 0,
+            "chains must hold at least one module"
+        );
         let interfaces = 8;
         let module_cap = capacity / f64::from(interfaces * modules_per_chain);
         Self {
@@ -202,8 +205,7 @@ impl ExternalMemoryConfig {
         let keep_dram = (modules_per_chain as usize).div_ceil(2);
         let displaced = modules_per_chain as usize - keep_dram;
         let displaced_capacity = base.dram_module_capacity * displaced as f64;
-        let nvm_modules =
-            ((displaced as f64 / Self::NVM_DENSITY_FACTOR).round() as usize).max(1);
+        let nvm_modules = ((displaced as f64 / Self::NVM_DENSITY_FACTOR).round() as usize).max(1);
         let mut chain = vec![ExternalModuleKind::Dram; keep_dram];
         chain.extend(std::iter::repeat_n(ExternalModuleKind::Nvm, nvm_modules));
         Self {
@@ -475,8 +477,14 @@ impl EhpConfigBuilder {
             ("CPU clock", self.cpu.clock.value()),
             ("HBM bandwidth", self.hbm.bandwidth_per_stack.value()),
             ("HBM capacity", self.hbm.capacity_per_stack.value()),
-            ("external bandwidth", self.external.interface_bandwidth.value()),
-            ("external capacity", self.external.dram_module_capacity.value()),
+            (
+                "external bandwidth",
+                self.external.interface_bandwidth.value(),
+            ),
+            (
+                "external capacity",
+                self.external.dram_module_capacity.value(),
+            ),
         ] {
             if !(v.is_finite() && v > 0.0) {
                 return Err(ConfigError::NonPositive(name));
@@ -534,7 +542,10 @@ mod tests {
     #[test]
     fn area_budget_is_enforced() {
         let err = EhpConfig::builder().total_cus(416).build().unwrap_err();
-        assert!(matches!(err, ConfigError::AreaBudgetExceeded { cus: 416, max: 384 }));
+        assert!(matches!(
+            err,
+            ConfigError::AreaBudgetExceeded { cus: 416, max: 384 }
+        ));
     }
 
     #[test]

@@ -72,10 +72,16 @@ mod tests {
     #[test]
     fn display_messages_are_lowercase_and_informative() {
         let e = ConfigError::AreaBudgetExceeded { cus: 400, max: 384 };
-        assert_eq!(e.to_string(), "400 CUs exceed the package area budget of 384");
+        assert_eq!(
+            e.to_string(),
+            "400 CUs exceed the package area budget of 384"
+        );
         let e = ConfigError::ZeroComponent("HBM stacks");
         assert!(e.to_string().contains("HBM stacks"));
-        let e = ProfileError::OutOfRange { field: "utilization", value: 2.0 };
+        let e = ProfileError::OutOfRange {
+            field: "utilization",
+            value: 2.0,
+        };
         assert!(e.to_string().contains("utilization"));
         assert!(!ProfileError::EmptyName.to_string().is_empty());
     }

@@ -188,7 +188,13 @@ mod tests {
         let mut p = valid();
         p.parallelism = 1.5;
         let err = p.validate().unwrap_err();
-        assert!(matches!(err, ProfileError::OutOfRange { field: "parallelism", .. }));
+        assert!(matches!(
+            err,
+            ProfileError::OutOfRange {
+                field: "parallelism",
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -220,7 +226,10 @@ mod tests {
             KernelProfile::categorize(100.0, balance),
             KernelCategory::ComputeIntensive
         );
-        assert_eq!(KernelProfile::categorize(10.0, balance), KernelCategory::Balanced);
+        assert_eq!(
+            KernelProfile::categorize(10.0, balance),
+            KernelCategory::Balanced
+        );
         assert_eq!(
             KernelProfile::categorize(0.5, balance),
             KernelCategory::MemoryIntensive
@@ -229,7 +238,10 @@ mod tests {
 
     #[test]
     fn category_display() {
-        assert_eq!(KernelCategory::MemoryIntensive.to_string(), "memory-intensive");
+        assert_eq!(
+            KernelCategory::MemoryIntensive.to_string(),
+            "memory-intensive"
+        );
         assert_eq!(KernelCategory::ALL.len(), 3);
     }
 }

@@ -3,7 +3,7 @@
 use ena_model::config::{EhpConfig, MAX_CUS};
 use ena_model::kernel::{KernelCategory, KernelProfile};
 use ena_model::units::{GigabytesPerSec, Joules, Megahertz, Seconds, Watts};
-use proptest::prelude::*;
+use ena_testkit::prelude::*;
 
 proptest! {
     #[test]

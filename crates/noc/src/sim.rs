@@ -128,7 +128,8 @@ impl<'a> NocSim<'a> {
                 self.link_free[li] = start + ser;
                 now = start + ser + u64::from(link.latency_cycles) + ROUTER_PIPELINE_CYCLES;
                 stats.link_bytes[li] += u64::from(p.bytes);
-                self.energy_model.charge_link(&mut stats.energy, link, p.bytes);
+                self.energy_model
+                    .charge_link(&mut stats.energy, link, p.bytes);
             }
             let latency = now - p.inject_cycle;
             stats.delivered += 1;
@@ -204,9 +205,24 @@ mod tests {
         let remote = topo.find(NodeKind::HbmStack(6)).unwrap();
         let mut sim = NocSim::new(&topo);
         let stats = sim.run(&[
-            Packet { src: gpu, dst: local, bytes: 64, inject_cycle: 0 },
-            Packet { src: gpu, dst: remote, bytes: 64, inject_cycle: 0 },
-            Packet { src: gpu, dst: remote, bytes: 64, inject_cycle: 1 },
+            Packet {
+                src: gpu,
+                dst: local,
+                bytes: 64,
+                inject_cycle: 0,
+            },
+            Packet {
+                src: gpu,
+                dst: remote,
+                bytes: 64,
+                inject_cycle: 0,
+            },
+            Packet {
+                src: gpu,
+                dst: remote,
+                bytes: 64,
+                inject_cycle: 1,
+            },
         ]);
         assert_eq!(stats.local_packets, 1);
         assert_eq!(stats.remote_packets, 2);
@@ -244,13 +260,28 @@ mod tests {
         let hbm = topo.find(NodeKind::HbmStack(5)).unwrap();
         let mut sim = NocSim::new(&topo);
         let one = sim
-            .run(&[Packet { src: gpu, dst: hbm, bytes: 64, inject_cycle: 0 }])
+            .run(&[Packet {
+                src: gpu,
+                dst: hbm,
+                bytes: 64,
+                inject_cycle: 0,
+            }])
             .energy
             .total();
         let two = sim
             .run(&[
-                Packet { src: gpu, dst: hbm, bytes: 64, inject_cycle: 0 },
-                Packet { src: gpu, dst: hbm, bytes: 64, inject_cycle: 100 },
+                Packet {
+                    src: gpu,
+                    dst: hbm,
+                    bytes: 64,
+                    inject_cycle: 0,
+                },
+                Packet {
+                    src: gpu,
+                    dst: hbm,
+                    bytes: 64,
+                    inject_cycle: 100,
+                },
             ])
             .energy
             .total();

@@ -173,7 +173,10 @@ impl Topology {
     ///
     /// Panics if `gpu_chiplets` is zero or odd.
     pub fn ehp(gpu_chiplets: u32, cpu_chiplets: u32) -> Self {
-        assert!(gpu_chiplets > 0 && gpu_chiplets.is_multiple_of(2), "GPU chiplets come in pairs");
+        assert!(
+            gpu_chiplets > 0 && gpu_chiplets.is_multiple_of(2),
+            "GPU chiplets come in pairs"
+        );
         let mut t = Topology::default();
 
         let gpu_clusters = gpu_chiplets / 2;
@@ -370,11 +373,18 @@ mod tests {
     #[test]
     fn ehp_has_the_papers_component_counts() {
         let t = Topology::ehp(8, 8);
-        assert_eq!(t.endpoints(|k| matches!(k, NodeKind::GpuChiplet(_))).len(), 8);
-        assert_eq!(t.endpoints(|k| matches!(k, NodeKind::CpuChiplet(_))).len(), 8);
+        assert_eq!(
+            t.endpoints(|k| matches!(k, NodeKind::GpuChiplet(_))).len(),
+            8
+        );
+        assert_eq!(
+            t.endpoints(|k| matches!(k, NodeKind::CpuChiplet(_))).len(),
+            8
+        );
         assert_eq!(t.endpoints(|k| matches!(k, NodeKind::HbmStack(_))).len(), 8);
         assert_eq!(
-            t.endpoints(|k| matches!(k, NodeKind::ExternalInterface(_))).len(),
+            t.endpoints(|k| matches!(k, NodeKind::ExternalInterface(_)))
+                .len(),
             8
         );
     }
@@ -387,7 +397,12 @@ mod tests {
             for &a in &eps {
                 for &b in &eps {
                     if a != b {
-                        assert!(table.get(a, b).is_some(), "{:?} -> {:?}", t.kind(a), t.kind(b));
+                        assert!(
+                            table.get(a, b).is_some(),
+                            "{:?} -> {:?}",
+                            t.kind(a),
+                            t.kind(b)
+                        );
                     }
                 }
             }
@@ -435,7 +450,9 @@ mod tests {
         let mono = Topology::monolithic(8, 8);
         let lat = |t: &Topology, a: NodeKind, b: NodeKind| -> u64 {
             let path = t.route(t.find(a).unwrap(), t.find(b).unwrap()).unwrap();
-            path.iter().map(|&li| u64::from(t.links()[li].latency_cycles)).sum()
+            path.iter()
+                .map(|&li| u64::from(t.links()[li].latency_cycles))
+                .sum()
         };
         let pairs = [
             (NodeKind::GpuChiplet(0), NodeKind::HbmStack(7)),
@@ -449,7 +466,10 @@ mod tests {
 
     #[test]
     fn chiplet_site_groups_stack_with_its_gpu() {
-        assert_eq!(NodeKind::GpuChiplet(3).chiplet_site(), NodeKind::HbmStack(3).chiplet_site());
+        assert_eq!(
+            NodeKind::GpuChiplet(3).chiplet_site(),
+            NodeKind::HbmStack(3).chiplet_site()
+        );
         assert_ne!(
             NodeKind::GpuChiplet(3).chiplet_site(),
             NodeKind::CpuChiplet(3).chiplet_site()
@@ -465,9 +485,16 @@ mod tests {
             let a = t.find(NodeKind::GpuChiplet(0)).unwrap();
             let b = t.find(NodeKind::HbmStack(7)).unwrap();
             let path = t.route(a, b).unwrap();
-            path.iter().map(|&li| u64::from(t.links()[li].latency_cycles)).sum::<u64>()
+            path.iter()
+                .map(|&li| u64::from(t.links()[li].latency_cycles))
+                .sum::<u64>()
         };
-        assert!(lat(&ring) < lat(&chain), "ring {} vs chain {}", lat(&ring), lat(&chain));
+        assert!(
+            lat(&ring) < lat(&chain),
+            "ring {} vs chain {}",
+            lat(&ring),
+            lat(&chain)
+        );
         // And the ring stays fully connected.
         let eps = ring.endpoints(|_| true);
         let table = ring.route_table();

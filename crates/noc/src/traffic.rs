@@ -103,7 +103,11 @@ impl WorkloadTraffic {
                     }
                     stacks[pick].1
                 } else {
-                    stacks.iter().find(|&&(i, _)| i == g).map(|&(_, id)| id).unwrap_or(stacks[0].1)
+                    stacks
+                        .iter()
+                        .find(|&&(i, _)| i == g)
+                        .map(|&(_, id)| id)
+                        .unwrap_or(stacks[0].1)
                 };
                 packets.push(Packet {
                     src: gpu,

@@ -2,7 +2,7 @@
 
 use ena_noc::sim::{NocSim, Packet};
 use ena_noc::topology::Topology;
-use proptest::prelude::*;
+use ena_testkit::prelude::*;
 
 fn arbitrary_endpoints() -> impl Strategy<Value = (usize, usize)> {
     let topo = Topology::ehp(8, 8);

@@ -55,7 +55,10 @@ impl Component {
     ];
 
     fn index(self) -> usize {
-        Component::ALL.iter().position(|&c| c == self).expect("component in ALL")
+        Component::ALL
+            .iter()
+            .position(|&c| c == self)
+            .expect("component in ALL")
     }
 }
 
@@ -161,7 +164,10 @@ impl PowerBreakdown {
             ("SerDes (S)".into(), self.get(Component::SerdesStatic)),
             ("External memory (S)".into(), self.get(Component::ExtStatic)),
             ("SerDes (D)".into(), self.get(Component::SerdesDynamic)),
-            ("External memory (D)".into(), self.get(Component::ExtDynamic)),
+            (
+                "External memory (D)".into(),
+                self.get(Component::ExtDynamic),
+            ),
             ("CUs (D)".into(), self.get(Component::CuDynamic)),
             ("Other".into(), other),
         ]

@@ -47,9 +47,19 @@ impl VfCurve {
     pub fn voltage(&self, freq: Megahertz) -> Volts {
         let f = freq.value().clamp(self.f_min.value(), self.f_max.value());
         let (f0, v0, f1, v1) = if f <= self.f_knee.value() {
-            (self.f_min.value(), self.v_min.value(), self.f_knee.value(), self.v_knee.value())
+            (
+                self.f_min.value(),
+                self.v_min.value(),
+                self.f_knee.value(),
+                self.v_knee.value(),
+            )
         } else {
-            (self.f_knee.value(), self.v_knee.value(), self.f_max.value(), self.v_max.value())
+            (
+                self.f_knee.value(),
+                self.v_knee.value(),
+                self.f_max.value(),
+                self.v_max.value(),
+            )
         };
         let t = (f - f0) / (f1 - f0);
         Volts::new(v0 + t * (v1 - v0))
@@ -133,8 +143,10 @@ mod tests {
         assert!((c.voltage(Megahertz::new(1500.0)).value() - 1.10).abs() < 1e-12);
         assert!((c.voltage(Megahertz::new(1000.0)).value() - 0.85).abs() < 1e-9);
         // The segment below the knee is much shallower than above it.
-        let below = c.voltage(Megahertz::new(1000.0)).value() - c.voltage(Megahertz::new(800.0)).value();
-        let above = c.voltage(Megahertz::new(1200.0)).value() - c.voltage(Megahertz::new(1000.0)).value();
+        let below =
+            c.voltage(Megahertz::new(1000.0)).value() - c.voltage(Megahertz::new(800.0)).value();
+        let above =
+            c.voltage(Megahertz::new(1200.0)).value() - c.voltage(Megahertz::new(1000.0)).value();
         assert!(above > 3.0 * below);
     }
 

@@ -198,7 +198,10 @@ impl NodePowerModel {
 
         // In-package DRAM.
         let hbm_bits = activity.hbm_traffic_gbps * 8e9;
-        b.set(Component::HbmDynamic, Watts::new(hbm_bits * k.hbm_pj_per_bit * 1e-12));
+        b.set(
+            Component::HbmDynamic,
+            Watts::new(hbm_bits * k.hbm_pj_per_bit * 1e-12),
+        );
         b.set(
             Component::HbmStatic,
             Watts::new(
@@ -301,7 +304,8 @@ mod tests {
         let idle = ActivityVector::idle();
         let b_dram = model.evaluate(&dram, &idle, VoltageMode::default());
         let b_hyb = model.evaluate(&hybrid, &idle, VoltageMode::default());
-        let s_dram = (b_dram.get(Component::ExtStatic) + b_dram.get(Component::SerdesStatic)).value();
+        let s_dram =
+            (b_dram.get(Component::ExtStatic) + b_dram.get(Component::SerdesStatic)).value();
         let s_hyb = (b_hyb.get(Component::ExtStatic) + b_hyb.get(Component::SerdesStatic)).value();
         let ratio = s_hyb / s_dram;
         assert!((0.35..0.65).contains(&ratio), "static ratio = {ratio}");
@@ -340,7 +344,10 @@ mod tests {
         assert!(ntc.get(Component::CuDynamic).value() < base.get(Component::CuDynamic).value());
         assert!(ntc.get(Component::CuStatic).value() < base.get(Component::CuStatic).value());
         // Non-CU components are untouched.
-        assert_eq!(ntc.get(Component::HbmStatic), base.get(Component::HbmStatic));
+        assert_eq!(
+            ntc.get(Component::HbmStatic),
+            base.get(Component::HbmStatic)
+        );
     }
 
     #[test]
@@ -355,8 +362,12 @@ mod tests {
             .hbm_bandwidth(GigabytesPerSec::from_terabytes_per_sec(7.0))
             .build()
             .unwrap();
-        let p_lo = model.evaluate(&lo, &idle, VoltageMode::default()).package_total();
-        let p_hi = model.evaluate(&hi, &idle, VoltageMode::default()).package_total();
+        let p_lo = model
+            .evaluate(&lo, &idle, VoltageMode::default())
+            .package_total();
+        let p_hi = model
+            .evaluate(&hi, &idle, VoltageMode::default())
+            .package_total();
         assert!(p_hi.value() - p_lo.value() > 30.0);
     }
 }

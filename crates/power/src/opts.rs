@@ -78,10 +78,16 @@ impl PowerOptimization {
                 let base_dyn = ctx.curve.dynamic_scale(ctx.gpu_clock);
                 let base_leak = ctx.curve.leakage_scale(ctx.gpu_clock);
                 if base_dyn > 0.0 {
-                    b.scale(Component::CuDynamic, ntc.dynamic_scale(ctx.gpu_clock) / base_dyn);
+                    b.scale(
+                        Component::CuDynamic,
+                        ntc.dynamic_scale(ctx.gpu_clock) / base_dyn,
+                    );
                 }
                 if base_leak > 0.0 {
-                    b.scale(Component::CuStatic, ntc.leakage_scale(ctx.gpu_clock) / base_leak);
+                    b.scale(
+                        Component::CuStatic,
+                        ntc.leakage_scale(ctx.gpu_clock) / base_leak,
+                    );
                 }
             }
             PowerOptimization::AsyncCus => {

@@ -6,7 +6,7 @@ use ena_power::breakdown::Component;
 use ena_power::dvfs::VfCurve;
 use ena_power::model::{ActivityVector, NodePowerModel, VoltageMode};
 use ena_power::opts::{apply_optimizations, OptimizationContext, PowerOptimization};
-use proptest::prelude::*;
+use ena_testkit::prelude::*;
 
 fn arbitrary_activity() -> impl Strategy<Value = ActivityVector> {
     (

@@ -1,0 +1,94 @@
+//! Collection strategies (`proptest::collection` lookalike).
+
+use crate::prop::Strategy;
+use crate::rng::StdRng;
+use std::ops::{Range, RangeInclusive};
+
+/// A length specification for [`vec`]: an exact size, `min..max`, or
+/// `min..=max`.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    min: usize,
+    /// Exclusive upper bound; always > `min`.
+    max_excl: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(exact: usize) -> Self {
+        Self {
+            min: exact,
+            max_excl: exact + 1,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range {r:?}");
+        Self {
+            min: r.start,
+            max_excl: r.end,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range {r:?}");
+        Self {
+            min: *r.start(),
+            max_excl: *r.end() + 1,
+        }
+    }
+}
+
+/// Generates `Vec`s whose length is drawn from `size` and whose elements
+/// come from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// The strategy returned by [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        let len =
+            self.size.min + rng.bounded_u64((self.size.max_excl - self.size.min) as u64) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lengths_respect_the_size_range() {
+        let strat = vec(0u32..10, 3..7);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng);
+            assert!((3..7).contains(&v.len()));
+            seen.insert(v.len());
+            assert!(v.iter().all(|&x| x < 10));
+        }
+        assert_eq!(seen.into_iter().collect::<Vec<_>>(), vec![3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn exact_size_is_exact() {
+        let strat = vec(0u32..10, 5);
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(strat.generate(&mut rng).len(), 5);
+    }
+}

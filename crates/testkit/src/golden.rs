@@ -1,0 +1,351 @@
+//! Golden-artifact regression: compare regenerated figure/table reports
+//! against the digitized paper data under `artifacts/`.
+//!
+//! Reports are plain text tables. Comparison is token-based: both sides
+//! are split into whitespace-separated tokens, numeric tokens must agree
+//! within a per-figure [`Tolerance`], and non-numeric tokens (labels,
+//! headers, units) must match verbatim. Mismatches come back as a
+//! readable expected-vs-modeled diff instead of a bare boolean.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Per-figure numeric tolerance: a value passes when
+/// `|actual - expected| <= abs + rel * |expected|`.
+#[derive(Clone, Copy, Debug)]
+pub struct Tolerance {
+    /// Relative tolerance (fraction of the expected magnitude).
+    pub rel: f64,
+    /// Absolute tolerance floor.
+    pub abs: f64,
+}
+
+impl Tolerance {
+    /// An exact match (still robust to `1` vs `1.000` formatting).
+    pub const EXACT: Tolerance = Tolerance { rel: 0.0, abs: 0.0 };
+
+    /// A tolerance of `rel` relative with a small absolute floor.
+    pub const fn relative(rel: f64) -> Self {
+        Self { rel, abs: 1e-9 }
+    }
+
+    fn accepts(&self, expected: f64, actual: f64) -> bool {
+        (actual - expected).abs() <= self.abs + self.rel * expected.abs()
+    }
+}
+
+/// One divergence between the golden and regenerated reports.
+#[derive(Clone, Debug)]
+pub enum Mismatch {
+    /// A numeric token outside tolerance.
+    Value {
+        /// 1-based line number in the golden file.
+        line: usize,
+        /// 1-based numeric-token position within the line.
+        column: usize,
+        /// Golden (digitized) value.
+        expected: f64,
+        /// Regenerated (modeled) value.
+        actual: f64,
+    },
+    /// A label/header token that differs, or a numeric/text token kind
+    /// conflict.
+    Token {
+        /// 1-based line number in the golden file.
+        line: usize,
+        /// Golden token.
+        expected: String,
+        /// Regenerated token.
+        actual: String,
+    },
+    /// The two reports have different numbers of data lines.
+    LineCount {
+        /// Data lines in the golden file.
+        expected: usize,
+        /// Data lines in the regenerated report.
+        actual: usize,
+    },
+}
+
+/// The outcome of a failed comparison; `Display` renders the diff.
+#[derive(Clone, Debug)]
+pub struct GoldenDiff {
+    name: String,
+    mismatches: Vec<Mismatch>,
+    checked_values: usize,
+}
+
+impl GoldenDiff {
+    /// All recorded mismatches.
+    pub fn mismatches(&self) -> &[Mismatch] {
+        &self.mismatches
+    }
+}
+
+impl fmt::Display for GoldenDiff {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "golden mismatch in `{}`: {} of {} checked values diverged",
+            self.name,
+            self.mismatches.len(),
+            self.checked_values
+        )?;
+        const SHOWN: usize = 20;
+        for m in self.mismatches.iter().take(SHOWN) {
+            match m {
+                Mismatch::Value {
+                    line,
+                    column,
+                    expected,
+                    actual,
+                } => {
+                    let rel = if *expected != 0.0 {
+                        format!(
+                            " (rel err {:.3}%)",
+                            100.0 * (actual - expected).abs() / expected.abs()
+                        )
+                    } else {
+                        String::new()
+                    };
+                    writeln!(
+                        f,
+                        "  line {line}, value #{column}: expected {expected}, modeled {actual}{rel}"
+                    )?;
+                }
+                Mismatch::Token {
+                    line,
+                    expected,
+                    actual,
+                } => {
+                    writeln!(
+                        f,
+                        "  line {line}: expected token `{expected}`, got `{actual}`"
+                    )?;
+                }
+                Mismatch::LineCount { expected, actual } => {
+                    writeln!(f, "  data line count: expected {expected}, got {actual}")?;
+                }
+            }
+        }
+        if self.mismatches.len() > SHOWN {
+            writeln!(f, "  ... and {} more", self.mismatches.len() - SHOWN)?;
+        }
+        Ok(())
+    }
+}
+
+/// A parsed report line: its verbatim tokens with numerics decoded.
+#[derive(Clone, Debug)]
+struct DataLine {
+    /// 1-based line number in the source text.
+    number: usize,
+    tokens: Vec<Token>,
+}
+
+#[derive(Clone, Debug)]
+enum Token {
+    Number(f64),
+    Text(String),
+}
+
+/// Splits a report into comparable data lines, dropping blank lines and
+/// `----` separator rules (which carry no data and whose width may shift
+/// with formatting).
+fn parse(text: &str) -> Vec<DataLine> {
+    text.lines()
+        .enumerate()
+        .filter_map(|(i, line)| {
+            let trimmed = line.trim();
+            if trimmed.is_empty() || trimmed.chars().all(|c| c == '-') {
+                return None;
+            }
+            let tokens = trimmed
+                .split_whitespace()
+                .map(|tok| match tok.parse::<f64>() {
+                    Ok(v) if v.is_finite() => Token::Number(v),
+                    _ => Token::Text(tok.to_string()),
+                })
+                .collect();
+            Some(DataLine {
+                number: i + 1,
+                tokens,
+            })
+        })
+        .collect()
+}
+
+/// Compares a regenerated report against its golden text.
+///
+/// `name` labels the diff (e.g. `"fig8"`). Returns `Ok(checked_values)`
+/// with the count of numeric comparisons performed, or the full diff.
+pub fn compare(
+    name: &str,
+    golden: &str,
+    actual: &str,
+    tolerance: Tolerance,
+) -> Result<usize, GoldenDiff> {
+    let golden_lines = parse(golden);
+    let actual_lines = parse(actual);
+    let mut mismatches = Vec::new();
+    let mut checked = 0usize;
+
+    if golden_lines.len() != actual_lines.len() {
+        mismatches.push(Mismatch::LineCount {
+            expected: golden_lines.len(),
+            actual: actual_lines.len(),
+        });
+    }
+
+    for (g, a) in golden_lines.iter().zip(&actual_lines) {
+        let mut col = 0usize;
+        let pairs = g.tokens.iter().zip(&a.tokens);
+        for (gt, at) in pairs {
+            match (gt, at) {
+                (Token::Number(e), Token::Number(v)) => {
+                    col += 1;
+                    checked += 1;
+                    if !tolerance.accepts(*e, *v) {
+                        mismatches.push(Mismatch::Value {
+                            line: g.number,
+                            column: col,
+                            expected: *e,
+                            actual: *v,
+                        });
+                    }
+                }
+                (Token::Text(e), Token::Text(v)) if e == v => {}
+                _ => {
+                    mismatches.push(Mismatch::Token {
+                        line: g.number,
+                        expected: render(gt),
+                        actual: render(at),
+                    });
+                }
+            }
+        }
+        if g.tokens.len() != a.tokens.len() {
+            mismatches.push(Mismatch::Token {
+                line: g.number,
+                expected: format!("{} tokens", g.tokens.len()),
+                actual: format!("{} tokens", a.tokens.len()),
+            });
+        }
+    }
+
+    if mismatches.is_empty() {
+        Ok(checked)
+    } else {
+        Err(GoldenDiff {
+            name: name.to_string(),
+            mismatches,
+            checked_values: checked,
+        })
+    }
+}
+
+fn render(t: &Token) -> String {
+    match t {
+        Token::Number(v) => v.to_string(),
+        Token::Text(s) => s.clone(),
+    }
+}
+
+/// Locates the repository's `artifacts/` directory.
+///
+/// Honors `ENA_ARTIFACTS_DIR`, then walks up from the current directory
+/// (tests run with the package root as cwd, so this finds the workspace
+/// root from any crate).
+///
+/// # Panics
+///
+/// Panics when no `artifacts/` directory exists on the ancestor path.
+pub fn artifacts_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("ENA_ARTIFACTS_DIR") {
+        return PathBuf::from(dir);
+    }
+    let start = std::env::current_dir().expect("current dir");
+    let mut cur: &Path = &start;
+    loop {
+        let candidate = cur.join("artifacts");
+        if candidate.is_dir() {
+            return candidate;
+        }
+        cur = cur
+            .parent()
+            .unwrap_or_else(|| panic!("no artifacts/ directory above {}", start.display()));
+    }
+}
+
+/// Loads a golden artifact by experiment name (`"fig8"` reads
+/// `artifacts/fig8.txt`).
+///
+/// # Panics
+///
+/// Panics when the file is missing or unreadable.
+pub fn load(name: &str) -> String {
+    let path = artifacts_dir().join(format!("{name}.txt"));
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read golden artifact {}: {e}", path.display()))
+}
+
+/// Asserts that `actual` matches the named golden artifact within
+/// `tolerance`, panicking with the readable diff otherwise.
+pub fn assert_matches(name: &str, actual: &str, tolerance: Tolerance) {
+    if let Err(diff) = compare(name, &load(name), actual, tolerance) {
+        panic!("{diff}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOLDEN: &str =
+        "Fig. X: demo\n\napp  a  b\n----------\nfoo  1.000  2.5\nbar  3.0    4.0\n";
+
+    #[test]
+    fn identical_reports_match_exactly() {
+        assert_eq!(
+            compare("demo", GOLDEN, GOLDEN, Tolerance::EXACT).unwrap(),
+            4
+        );
+    }
+
+    #[test]
+    fn formatting_differences_are_ignored() {
+        let actual = "Fig. X: demo\n\napp  a  b\n---\nfoo  1  2.50\nbar  3  4\n";
+        assert!(compare("demo", GOLDEN, actual, Tolerance::EXACT).is_ok());
+    }
+
+    #[test]
+    fn out_of_tolerance_values_produce_a_readable_diff() {
+        let actual = GOLDEN.replace("2.5", "2.9");
+        let err = compare("demo", GOLDEN, &actual, Tolerance::relative(0.01)).unwrap_err();
+        let rendered = err.to_string();
+        assert!(rendered.contains("expected 2.5, modeled 2.9"), "{rendered}");
+        assert_eq!(err.mismatches().len(), 1);
+        // ... and 16 % drift passes a 20 % tolerance.
+        assert!(compare("demo", GOLDEN, &actual, Tolerance::relative(0.2)).is_ok());
+    }
+
+    #[test]
+    fn label_changes_are_caught() {
+        let actual = GOLDEN.replace("bar", "baz");
+        let err = compare("demo", GOLDEN, &actual, Tolerance::relative(0.5)).unwrap_err();
+        assert!(err.to_string().contains("`bar`"), "{err}");
+    }
+
+    #[test]
+    fn missing_lines_are_caught() {
+        let actual = "Fig. X: demo\n\napp  a  b\n----------\nfoo  1.000  2.5\n";
+        let err = compare("demo", GOLDEN, actual, Tolerance::EXACT).unwrap_err();
+        assert!(matches!(
+            err.mismatches()[0],
+            Mismatch::LineCount {
+                expected: 4,
+                actual: 3
+            }
+        ));
+    }
+}

@@ -1,0 +1,12 @@
+//! One-stop import for property tests, mirroring `proptest::prelude`.
+//!
+//! ```
+//! use ena_testkit::prelude::*;
+//! ```
+
+pub use crate::prop::{
+    any, Any, Arbitrary, BoxedStrategy, Just, Map, ProptestConfig, Runner, Strategy, TestCaseError,
+    Union,
+};
+pub use crate::rng::{SplitMix64, StdRng};
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};

@@ -1,0 +1,398 @@
+//! A minimal property-testing harness with pinned seeds.
+//!
+//! Mirrors the slice of the `proptest` API the workspace's suites use —
+//! range strategies, tuples, [`crate::collection::vec`], `prop_map`,
+//! `prop_oneof!`, [`any`] — without shrinking trees or persistence files.
+//! Failure reporting is replay-based instead ("shrinking-lite"): every
+//! failure prints the base seed and the failing case's seed so the exact
+//! inputs can be regenerated with `ENA_TESTKIT_SEED`.
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+use crate::rng::{SplitMix64, StdRng};
+
+/// A failed property case; constructed by the `prop_assert*` macros.
+#[derive(Clone, Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Creates a failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+
+    /// The failure message.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+/// Harness configuration; the analogue of `proptest::ProptestConfig`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of cases generated per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// A generator of values of type [`Strategy::Value`].
+///
+/// Unlike proptest strategies there is no shrinking tree: a strategy is a
+/// pure function of the RNG state, which the runner pins per case.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy (needed by `prop_oneof!` arms, whose
+    /// closures otherwise have distinct types).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always generates a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+trait ErasedStrategy<T> {
+    fn generate_erased(&self, rng: &mut StdRng) -> T;
+}
+
+impl<S: Strategy> ErasedStrategy<S::Value> for S {
+    fn generate_erased(&self, rng: &mut StdRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A type-erased strategy, as returned by [`Strategy::boxed`].
+pub struct BoxedStrategy<T>(Box<dyn ErasedStrategy<T>>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        self.0.generate_erased(rng)
+    }
+}
+
+/// Uniform choice among boxed strategies; built by `prop_oneof!`.
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Creates a union over the given arms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arms` is empty.
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Self { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        let i = rng.bounded_u64(self.arms.len() as u64) as usize;
+        self.arms[i].generate(rng)
+    }
+}
+
+/// Types with a canonical uniform generator; the analogue of
+/// `proptest::arbitrary::Arbitrary`.
+pub trait Arbitrary {
+    /// Generates one value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy form of [`Arbitrary`]; returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T`: `any::<bool>()`, `any::<Index>()`, ...
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(f64, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($($s:ident => $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(S0 => 0);
+tuple_strategy!(S0 => 0, S1 => 1);
+tuple_strategy!(S0 => 0, S1 => 1, S2 => 2);
+tuple_strategy!(S0 => 0, S1 => 1, S2 => 2, S3 => 3);
+tuple_strategy!(S0 => 0, S1 => 1, S2 => 2, S3 => 3, S4 => 4);
+tuple_strategy!(S0 => 0, S1 => 1, S2 => 2, S3 => 3, S4 => 4, S5 => 5);
+tuple_strategy!(S0 => 0, S1 => 1, S2 => 2, S3 => 3, S4 => 4, S5 => 5, S6 => 6);
+tuple_strategy!(S0 => 0, S1 => 1, S2 => 2, S3 => 3, S4 => 4, S5 => 5, S6 => 6, S7 => 7);
+tuple_strategy!(S0 => 0, S1 => 1, S2 => 2, S3 => 3, S4 => 4, S5 => 5, S6 => 6, S7 => 7, S8 => 8);
+tuple_strategy!(S0 => 0, S1 => 1, S2 => 2, S3 => 3, S4 => 4, S5 => 5, S6 => 6, S7 => 7, S8 => 8, S9 => 9);
+tuple_strategy!(S0 => 0, S1 => 1, S2 => 2, S3 => 3, S4 => 4, S5 => 5, S6 => 6, S7 => 7, S8 => 8, S9 => 9, S10 => 10);
+tuple_strategy!(S0 => 0, S1 => 1, S2 => 2, S3 => 3, S4 => 4, S5 => 5, S6 => 6, S7 => 7, S8 => 8, S9 => 9, S10 => 10, S11 => 11);
+
+/// FNV-1a, used only to derive a stable per-test base seed from its name.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Drives one property: generates cases, pins seeds, reports failures.
+pub struct Runner {
+    config: ProptestConfig,
+    name: &'static str,
+    base_seed: u64,
+    seed_from_env: bool,
+}
+
+impl Runner {
+    /// Creates a runner for the property `name` (used in reports and as
+    /// the seed-derivation key). `ENA_TESTKIT_SEED` / `ENA_TESTKIT_CASES`
+    /// override the defaults.
+    pub fn new(mut config: ProptestConfig, name: &'static str) -> Self {
+        if let Some(cases) = env_u64("ENA_TESTKIT_CASES") {
+            config.cases = cases.min(u32::MAX as u64) as u32;
+        }
+        let (base_seed, seed_from_env) = match env_u64("ENA_TESTKIT_SEED") {
+            Some(s) => (s, true),
+            None => (fnv1a(name.as_bytes()), false),
+        };
+        Self {
+            config,
+            name,
+            base_seed,
+            seed_from_env,
+        }
+    }
+
+    /// Runs the property `f` over `config.cases` generated inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics (failing the enclosing `#[test]`) on the first case whose
+    /// property returns `Err` or panics, with replay instructions.
+    pub fn run<S, F>(&self, strategy: &S, f: F)
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> Result<(), TestCaseError>,
+    {
+        let mut stream = SplitMix64::new(self.base_seed);
+        for case in 0..self.config.cases {
+            let case_seed = stream.next_u64();
+            let mut rng = StdRng::seed_from_u64(case_seed);
+            let value = strategy.generate(&mut rng);
+            match catch_unwind(AssertUnwindSafe(|| f(value))) {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => {
+                    panic!("{}", self.report(case, case_seed, e.message()));
+                }
+                Err(panic) => {
+                    eprintln!("{}", self.report(case, case_seed, "(property panicked)"));
+                    resume_unwind(panic);
+                }
+            }
+        }
+    }
+
+    fn report(&self, case: u32, case_seed: u64, message: &str) -> String {
+        let source = if self.seed_from_env {
+            " (from ENA_TESTKIT_SEED)"
+        } else {
+            ""
+        };
+        format!(
+            "property `{}` failed at case {}/{} \n\
+             {}\n\
+             base seed: {:#018x}{} | case seed: {:#018x}\n\
+             replay: ENA_TESTKIT_SEED={} ENA_TESTKIT_CASES={} cargo test {}",
+            self.name,
+            case + 1,
+            self.config.cases,
+            message,
+            self.base_seed,
+            source,
+            case_seed,
+            self.base_seed,
+            case + 1,
+            self.name.rsplit("::").next().unwrap_or(self.name),
+        )
+    }
+}
+
+fn env_u64(key: &str) -> Option<u64> {
+    let raw = std::env::var(key).ok()?;
+    let raw = raw.trim();
+    let parsed = if let Some(hex) = raw.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16)
+    } else {
+        raw.parse()
+    };
+    match parsed {
+        Ok(v) => Some(v),
+        Err(_) => panic!("{key} must be an integer, got {raw:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strategies_are_deterministic_per_seed() {
+        let strat = (0.0f64..1.0, 1u32..100).prop_map(|(f, i)| (f, i * 2));
+        let mut a = StdRng::seed_from_u64(5);
+        let mut b = StdRng::seed_from_u64(5);
+        for _ in 0..100 {
+            assert_eq!(strat.generate(&mut a), strat.generate(&mut b));
+        }
+    }
+
+    #[test]
+    fn union_draws_from_every_arm() {
+        let u = Union::new(vec![
+            Just(1u32).boxed(),
+            Just(2u32).boxed(),
+            Just(3u32).boxed(),
+        ]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[u.generate(&mut rng) as usize] = true;
+        }
+        assert_eq!(seen, [false, true, true, true]);
+    }
+
+    #[test]
+    fn runner_passes_a_true_property() {
+        Runner::new(ProptestConfig::with_cases(64), "testkit::true_prop").run(
+            &(0u32..10,),
+            |(x,)| {
+                if x < 10 {
+                    Ok(())
+                } else {
+                    Err(TestCaseError::fail("out of range"))
+                }
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "replay: ENA_TESTKIT_SEED=")]
+    fn runner_reports_replay_seed_on_failure() {
+        Runner::new(ProptestConfig::with_cases(64), "testkit::false_prop").run(
+            &(0u32..10,),
+            |(x,)| {
+                if x < 5 {
+                    Ok(())
+                } else {
+                    Err(TestCaseError::fail("x too big"))
+                }
+            },
+        );
+    }
+}

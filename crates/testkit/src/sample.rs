@@ -1,0 +1,45 @@
+//! Sampling helpers (`proptest::sample` lookalike).
+
+use crate::prop::Arbitrary;
+use crate::rng::StdRng;
+
+/// A length-independent index into any collection, like
+/// `proptest::sample::Index`: generate once, project onto a concrete
+/// length later with [`Index::index`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Index(u64);
+
+impl Index {
+    /// Projects onto a collection of length `len`, uniformly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0`.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index on an empty collection");
+        ((self.0 as u128 * len as u128) >> 64) as usize
+    }
+}
+
+impl Arbitrary for Index {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        Index(rng.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prop::{any, Strategy};
+
+    #[test]
+    fn index_is_always_in_bounds() {
+        let strat = any::<Index>();
+        let mut rng = StdRng::seed_from_u64(4);
+        for len in [1usize, 2, 3, 17, 1000] {
+            for _ in 0..200 {
+                assert!(strat.generate(&mut rng).index(len) < len);
+            }
+        }
+    }
+}

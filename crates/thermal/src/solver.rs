@@ -72,7 +72,10 @@ impl core::fmt::Display for TemperatureError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             TemperatureError::DidNotConverge { residual } => {
-                write!(f, "thermal solve did not converge (residual {residual:.2e} degC)")
+                write!(
+                    f,
+                    "thermal solve did not converge (residual {residual:.2e} degC)"
+                )
             }
         }
     }
@@ -156,15 +159,7 @@ impl ThermalGrid {
 
     /// Adds `watts` uniformly over a rectangular region of `layer`, given
     /// in fractional footprint coordinates (`0.0..1.0`).
-    pub fn add_power_rect(
-        &mut self,
-        layer: usize,
-        x0: f64,
-        y0: f64,
-        x1: f64,
-        y1: f64,
-        watts: f64,
-    ) {
+    pub fn add_power_rect(&mut self, layer: usize, x0: f64, y0: f64, x1: f64, y1: f64, watts: f64) {
         let cx0 = ((x0 * self.nx as f64) as usize).min(self.nx - 1);
         let cx1 = ((x1 * self.nx as f64).ceil() as usize).clamp(cx0 + 1, self.nx);
         let cy0 = ((y0 * self.ny as f64) as usize).min(self.ny - 1);

@@ -1,11 +1,14 @@
 //! Property-based tests for the thermal solver.
 
+use ena_testkit::prelude::*;
 use ena_thermal::solver::{LayerSpec, ThermalGrid};
-use proptest::prelude::*;
 
 fn grid() -> ThermalGrid {
     ThermalGrid::new(
-        vec![LayerSpec::silicon("die", 0.2), LayerSpec::silicon("spreader", 1.0)],
+        vec![
+            LayerSpec::silicon("die", 0.2),
+            LayerSpec::silicon("spreader", 1.0),
+        ],
         6,
         6,
         8.0,

@@ -15,8 +15,7 @@
 //! Both are *balanced* kernels: they stress compute and memory together.
 
 use ena_model::kernel::KernelCategory;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ena_testkit::rng::StdRng;
 
 use crate::app::{KernelRun, ProxyApp, RunConfig};
 use crate::apps::array_base;

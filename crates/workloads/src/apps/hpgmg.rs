@@ -7,8 +7,7 @@
 //! neighbors from cache, but every sweep streams the full grid.
 
 use ena_model::kernel::KernelCategory;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ena_testkit::rng::StdRng;
 
 use crate::app::{KernelRun, ProxyApp, RunConfig};
 use crate::apps::array_base;
@@ -113,8 +112,8 @@ impl VCycle<'_> {
                     let fc = fine.idx(x * 2, y * 2, z * 2);
                     self.tracer.read(RES_BASE + lvl + (fc * 8) as u64, 16);
                     let c = coarse.idx(x, y, z);
-                    coarse.data[c] = 0.5 * fine.data[fc]
-                        + 0.25 * (fine.data[fc - 1] + fine.data[fc + 1]);
+                    coarse.data[c] =
+                        0.5 * fine.data[fc] + 0.25 * (fine.data[fc - 1] + fine.data[fc + 1]);
                     self.tracer.flops(4);
                     self.tracer.write(RHS_BASE + nxt + (c * 8) as u64, 8);
                 }

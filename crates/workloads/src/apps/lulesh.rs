@@ -13,9 +13,7 @@
 //! unstructured meshes.
 
 use ena_model::kernel::KernelCategory;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use ena_testkit::rng::StdRng;
 
 use crate::app::{KernelRun, ProxyApp, RunConfig};
 use crate::apps::array_base;
@@ -43,7 +41,7 @@ impl HexMesh {
 
         // Permute node ids to reproduce unstructured-mesh irregularity.
         let mut perm: Vec<u32> = (0..node_count as u32).collect();
-        perm.shuffle(&mut rng);
+        rng.shuffle(&mut perm);
 
         let mut coords = vec![[0.0f64; 3]; node_count];
         for z in 0..nn {

@@ -6,8 +6,7 @@
 //! extra traffic at coarse/fine boundaries for ghost exchange.
 
 use ena_model::kernel::KernelCategory;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ena_testkit::rng::StdRng;
 
 use crate::app::{KernelRun, ProxyApp, RunConfig};
 use crate::apps::array_base;
@@ -37,13 +36,17 @@ fn build_forest(root_dim: usize, seed: u64) -> Vec<Block> {
             for _ in 0..8 {
                 blocks.push(Block {
                     level: 1,
-                    cells: (0..BLOCK_CELLS).map(|_| rng.random_range(0.0..1.0)).collect(),
+                    cells: (0..BLOCK_CELLS)
+                        .map(|_| rng.random_range(0.0..1.0))
+                        .collect(),
                 });
             }
         } else {
             blocks.push(Block {
                 level: 0,
-                cells: (0..BLOCK_CELLS).map(|_| rng.random_range(0.0..1.0)).collect(),
+                cells: (0..BLOCK_CELLS)
+                    .map(|_| rng.random_range(0.0..1.0))
+                    .collect(),
             });
         }
     }
@@ -161,7 +164,11 @@ mod tests {
         let n = BLOCK_EDGE;
         let old = forest[0].cells.clone();
         let c = (3 * n + 3) * n + 3;
-        let avg = (old[c] + old[c - 1] + old[c + 1] + old[c - n] + old[c + n]
+        let avg = (old[c]
+            + old[c - 1]
+            + old[c + 1]
+            + old[c - n]
+            + old[c + n]
             + old[c - n * n]
             + old[c + n * n])
             / 7.0;

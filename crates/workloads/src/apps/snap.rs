@@ -8,8 +8,7 @@
 //! memory-intensive, but structured and prefetch-friendly.
 
 use ena_model::kernel::KernelCategory;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ena_testkit::rng::StdRng;
 
 use crate::app::{KernelRun, ProxyApp, RunConfig};
 use crate::apps::array_base;
@@ -49,8 +48,12 @@ impl ProxyApp for Snap {
 
         let cells = n * n * n;
         let mut flux = vec![0.0f64; cells * GROUPS];
-        let sigma: Vec<f64> = (0..cells * GROUPS).map(|_| rng.random_range(0.1..2.0)).collect();
-        let source: Vec<f64> = (0..cells * GROUPS).map(|_| rng.random_range(0.0..1.0)).collect();
+        let sigma: Vec<f64> = (0..cells * GROUPS)
+            .map(|_| rng.random_range(0.1..2.0))
+            .collect();
+        let source: Vec<f64> = (0..cells * GROUPS)
+            .map(|_| rng.random_range(0.0..1.0))
+            .collect();
 
         let idx = |x: usize, y: usize, z: usize| (z * n + y) * n + x;
         let cell_bytes = (GROUPS * 8) as u64;

@@ -8,8 +8,7 @@
 //! intensive workload (89 % external traffic).
 
 use ena_model::kernel::KernelCategory;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ena_testkit::rng::StdRng;
 
 use crate::app::{KernelRun, ProxyApp, RunConfig};
 use crate::apps::array_base;
@@ -48,8 +47,14 @@ impl NuclideData {
         // 12 materials with varying nuclide counts (fuel has many).
         let materials = (0..12)
             .map(|m| {
-                let count = if m == 0 { nuclides.min(32) } else { rng.random_range(2..8) };
-                (0..count).map(|_| rng.random_range(0..nuclides as u32)).collect()
+                let count = if m == 0 {
+                    nuclides.min(32)
+                } else {
+                    rng.random_range(2..8)
+                };
+                (0..count)
+                    .map(|_| rng.random_range(0..nuclides as u32))
+                    .collect()
             })
             .collect();
         Self {
@@ -112,7 +117,11 @@ impl ProxyApp for XsBench {
 
             // Gather and interpolate each nuclide of the material.
             let span = data.energies[idx + 1] - data.energies[idx];
-            let frac = if span > 0.0 { (e - data.energies[idx]) / span } else { 0.0 };
+            let frac = if span > 0.0 {
+                (e - data.energies[idx]) / span
+            } else {
+                0.0
+            };
             tracer.flops(3);
             let mats = data.materials[mat].clone();
             for nuc in mats {

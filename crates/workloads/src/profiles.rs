@@ -46,14 +46,80 @@ fn profile(
 pub fn paper_profiles() -> Vec<KernelProfile> {
     use KernelCategory::{Balanced, ComputeIntensive, MemoryIntensive};
     vec![
-        profile("MaxFlops", ComputeIntensive, 1.0e4, 0.91, 1.00, 0.00, 0.00, 0.02, 0.01, 0.60, 0.000),
-        profile("CoMD", Balanced, 11.0, 0.55, 0.92, 0.15, 0.06, 0.15, 0.46, 0.70, 0.010),
-        profile("CoMD-LJ", Balanced, 9.0, 0.60, 0.92, 0.15, 0.08, 0.12, 0.50, 0.75, 0.010),
-        profile("HPGMG", Balanced, 5.0, 0.50, 0.85, 0.25, 0.15, 0.25, 0.60, 0.80, 0.020),
-        profile("LULESH", MemoryIntensive, 2.5, 0.50, 0.70, 0.55, 0.20, 0.35, 0.70, 0.85, 0.020),
-        profile("MiniAMR", MemoryIntensive, 2.0, 0.50, 0.85, 0.25, 0.30, 0.30, 0.75, 0.80, 0.020),
-        profile("XSBench", MemoryIntensive, 0.9, 0.40, 0.60, 0.70, 0.30, 0.02, 0.89, 0.95, 0.010),
-        profile("SNAP", MemoryIntensive, 1.5, 0.45, 0.90, 0.20, 0.25, 0.35, 0.80, 0.90, 0.020),
+        profile(
+            "MaxFlops",
+            ComputeIntensive,
+            1.0e4,
+            0.91,
+            1.00,
+            0.00,
+            0.00,
+            0.02,
+            0.01,
+            0.60,
+            0.000,
+        ),
+        profile(
+            "CoMD", Balanced, 11.0, 0.55, 0.92, 0.15, 0.06, 0.15, 0.46, 0.70, 0.010,
+        ),
+        profile(
+            "CoMD-LJ", Balanced, 9.0, 0.60, 0.92, 0.15, 0.08, 0.12, 0.50, 0.75, 0.010,
+        ),
+        profile(
+            "HPGMG", Balanced, 5.0, 0.50, 0.85, 0.25, 0.15, 0.25, 0.60, 0.80, 0.020,
+        ),
+        profile(
+            "LULESH",
+            MemoryIntensive,
+            2.5,
+            0.50,
+            0.70,
+            0.55,
+            0.20,
+            0.35,
+            0.70,
+            0.85,
+            0.020,
+        ),
+        profile(
+            "MiniAMR",
+            MemoryIntensive,
+            2.0,
+            0.50,
+            0.85,
+            0.25,
+            0.30,
+            0.30,
+            0.75,
+            0.80,
+            0.020,
+        ),
+        profile(
+            "XSBench",
+            MemoryIntensive,
+            0.9,
+            0.40,
+            0.60,
+            0.70,
+            0.30,
+            0.02,
+            0.89,
+            0.95,
+            0.010,
+        ),
+        profile(
+            "SNAP",
+            MemoryIntensive,
+            1.5,
+            0.45,
+            0.90,
+            0.20,
+            0.25,
+            0.35,
+            0.80,
+            0.90,
+            0.020,
+        ),
     ]
 }
 
@@ -107,8 +173,14 @@ mod tests {
             .iter()
             .filter(|p| p.category != ena_model::KernelCategory::ComputeIntensive)
             .collect();
-        let min = non_compute.iter().map(|p| p.ext_traffic_fraction).fold(1.0, f64::min);
-        let max = non_compute.iter().map(|p| p.ext_traffic_fraction).fold(0.0, f64::max);
+        let min = non_compute
+            .iter()
+            .map(|p| p.ext_traffic_fraction)
+            .fold(1.0, f64::min);
+        let max = non_compute
+            .iter()
+            .map(|p| p.ext_traffic_fraction)
+            .fold(0.0, f64::max);
         assert!((min - 0.46).abs() < 1e-9, "min = {min}");
         assert!((max - 0.89).abs() < 1e-9, "max = {max}");
     }

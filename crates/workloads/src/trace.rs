@@ -84,7 +84,10 @@ impl MemoryTrace {
         }
         self.last_line = Some(line);
         self.touched_lines.insert(line);
-        if self.capacity_cap.is_none_or(|cap| self.accesses.len() < cap) {
+        if self
+            .capacity_cap
+            .is_none_or(|cap| self.accesses.len() < cap)
+        {
             self.accesses.push(access);
         }
     }
@@ -432,7 +435,9 @@ mod tests {
         let mut t = Tracer::new();
         let mut x = 12345u64;
         for _ in 0..1000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             t.read((x % 100_000) * LINE_BYTES, 8);
         }
         let (trace, _) = t.into_parts();

@@ -1,12 +1,12 @@
 //! Property-based tests for the tracing infrastructure.
 
+use ena_testkit::prelude::*;
 use ena_workloads::trace::{Tracer, LINE_BYTES};
-use proptest::prelude::*;
 
 proptest! {
     #[test]
     fn trace_statistics_are_internally_consistent(
-        ops in proptest::collection::vec((0u64..1u64 << 24, 1u32..256, any::<bool>()), 1..500),
+        ops in ena_testkit::collection::vec((0u64..1u64 << 24, 1u32..256, any::<bool>()), 1..500),
     ) {
         let mut t = Tracer::new();
         for &(addr, bytes, write) in &ops {
@@ -33,7 +33,7 @@ proptest! {
 
     #[test]
     fn filter_cache_only_removes_traffic(
-        ops in proptest::collection::vec((0u64..1u64 << 20, any::<bool>()), 1..500),
+        ops in ena_testkit::collection::vec((0u64..1u64 << 20, any::<bool>()), 1..500),
     ) {
         let mut raw = Tracer::new();
         let mut filtered = Tracer::new().with_filter_cache(128, 4);
@@ -60,7 +60,7 @@ proptest! {
 
     #[test]
     fn capacity_cap_never_loses_statistics(
-        ops in proptest::collection::vec(0u64..1u64 << 16, 1..300),
+        ops in ena_testkit::collection::vec(0u64..1u64 << 16, 1..300),
         cap in 1usize..50,
     ) {
         let mut unbounded = Tracer::new();

@@ -52,7 +52,10 @@ fn main() {
         Box::new(StaticPlacement::new(0.0)),
         u64::MAX,
     );
-    system.external_mut().fail_link(ModuleId { interface: 0, depth: 0 });
+    system.external_mut().fail_link(ModuleId {
+        interface: 0,
+        depth: 0,
+    });
     let mut failed = 0;
     for page in 0..64u64 {
         if system.access(page * 4096, 64, false).is_err() {

@@ -17,7 +17,10 @@ fn main() {
         config.hbm.total_bandwidth().value(),
         config.total_memory_capacity().value(),
     );
-    println!("peak: {:.1} DP teraflops\n", config.peak_throughput().teraflops());
+    println!(
+        "peak: {:.1} DP teraflops\n",
+        config.peak_throughput().teraflops()
+    );
 
     println!(
         "{:<10} {:>9} {:>11} {:>10} {:>10}",
@@ -36,9 +39,14 @@ fn main() {
     }
 
     // Thermal check for the hottest workload.
-    let maxflops = paper_profiles().into_iter().next().expect("suite is non-empty");
+    let maxflops = paper_profiles()
+        .into_iter()
+        .next()
+        .expect("suite is non-empty");
     let eval = sim.evaluate(&config, &maxflops, &EvalOptions::default());
-    let t = sim.thermal(&config, &eval).expect("thermal solve converges");
+    let t = sim
+        .thermal(&config, &eval)
+        .expect("thermal solve converges");
     println!(
         "\nMaxFlops peak in-package DRAM temperature: {:.1} (limit 85 degC)",
         t.peak_dram()

@@ -18,11 +18,17 @@ use ena::workloads::trace::AccessKind;
 fn trace_replay_through_the_noc() {
     let run = XsBench.run(&RunConfig::small());
     let topo = Topology::ehp(8, 8);
-    let addresses: Vec<u64> = run.trace.accesses().iter().take(5000).map(|a| a.addr).collect();
+    let addresses: Vec<u64> = run
+        .trace
+        .accesses()
+        .iter()
+        .take(5000)
+        .map(|a| a.addr)
+        .collect();
     let packets = trace_packets(&topo, 0, addresses, 4, 4096);
     let stats = NocSim::new(&topo).run(&packets);
     assert_eq!(stats.delivered, 10_000); // request + response per access
-    // Uniform page interleave from one chiplet: ~7/8 remote.
+                                         // Uniform page interleave from one chiplet: ~7/8 remote.
     let remote = stats.out_of_chiplet_fraction();
     assert!((0.8..0.95).contains(&remote), "remote = {remote}");
     assert!(stats.avg_latency_cycles() > 0.0);
@@ -87,10 +93,63 @@ fn measured_and_calibrated_views_agree() {
 #[test]
 fn all_figures_regenerate() {
     for name in ena_bench::experiments::ALL_EXPERIMENTS {
-        let out = ena_bench::experiments::run(name)
-            .unwrap_or_else(|| panic!("{name} missing"));
+        let out = ena_bench::experiments::run(name).unwrap_or_else(|| panic!("{name} missing"));
         assert!(out.len() > 100, "{name} output suspiciously short");
     }
+}
+
+/// Same seed, same bytes: the full end-to-end pipeline — PRNG-driven
+/// trace generation, NoC replay, memory-system replay, and the analytic
+/// node evaluation — produces byte-identical results across two
+/// independent runs.
+#[test]
+fn same_seed_runs_are_byte_identical() {
+    let run_once = || {
+        let cfg = RunConfig::small();
+        let run = XsBench.run(&cfg);
+
+        let topo = Topology::ehp(8, 8);
+        let addresses: Vec<u64> = run
+            .trace
+            .accesses()
+            .iter()
+            .take(2000)
+            .map(|a| a.addr)
+            .collect();
+        let noc_stats = NocSim::new(&topo).run(&trace_packets(&topo, 0, addresses, 4, 4096));
+
+        let accesses: Vec<(u64, bool)> = run
+            .trace
+            .accesses()
+            .iter()
+            .map(|a| (a.addr, a.kind == AccessKind::Write))
+            .collect();
+        let mut system = MemorySystem::new(
+            &EhpConfig::paper_baseline(),
+            Box::new(SoftwareManaged::new(run.trace.footprint_bytes() / 2)),
+            2000,
+        );
+        let mem_stats = system.replay(accesses);
+
+        let sim = ena::core::node::NodeSimulator::new();
+        let eval = sim.evaluate(
+            &EhpConfig::paper_baseline(),
+            &ena::workloads::profile_for("XSBench").unwrap(),
+            &ena::core::node::EvalOptions::default(),
+        );
+
+        // Render everything observable, floats via exact bit patterns, so
+        // the comparison is byte-level rather than approximate.
+        format!(
+            "{:?}|{:?}|{:?}|{:x}|{:x}",
+            run.trace.accesses(),
+            noc_stats,
+            mem_stats,
+            eval.perf.throughput.value().to_bits(),
+            eval.node_power().value().to_bits(),
+        )
+    };
+    assert_eq!(run_once(), run_once());
 }
 
 /// Everything in the stack is deterministic: two full evaluations agree

@@ -28,7 +28,10 @@ fn timing_sim_on_real_hbm_matches_categories() {
     let xsbench = run("XSBench");
     assert!(maxflops > 0.8, "MaxFlops eff {maxflops}");
     assert!(comd < maxflops + 1e-9);
-    assert!(xsbench < 0.5 * maxflops, "XSBench {xsbench} vs MaxFlops {maxflops}");
+    assert!(
+        xsbench < 0.5 * maxflops,
+        "XSBench {xsbench} vs MaxFlops {maxflops}"
+    );
 }
 
 /// An end-to-end heterogeneous pipeline: CPU serial stage timed by the
@@ -45,7 +48,10 @@ fn cpu_model_feeds_the_hsa_runtime() {
     let mut g = TaskGraph::new();
     let pre = g.add("serial", TaskCost::cpu(serial_us), &[]).unwrap();
     let kernels: Vec<_> = (0..16)
-        .map(|i| g.add(format!("k{i}"), TaskCost::gpu(300.0), &[pre]).unwrap())
+        .map(|i| {
+            g.add(format!("k{i}"), TaskCost::gpu(300.0), &[pre])
+                .unwrap()
+        })
         .collect();
     g.add("post", TaskCost::cpu(50.0), &kernels).unwrap();
 
@@ -86,7 +92,8 @@ fn dvfs_predictions_hold_across_the_table() {
         let p = CpuProgram::synthesize(500_000, mpki, 4);
         let measured = core.run(&p, Megahertz::new(3200.0));
         for mhz in [1200.0, 1800.0, 2500.0] {
-            let predicted = core.predict_time(&measured, Megahertz::new(3200.0), Megahertz::new(mhz));
+            let predicted =
+                core.predict_time(&measured, Megahertz::new(3200.0), Megahertz::new(mhz));
             let actual = core.run(&p, Megahertz::new(mhz)).time;
             assert!((predicted.value() - actual.value()).abs() < 1e-12);
         }

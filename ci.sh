@@ -16,6 +16,10 @@ cargo test -q
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
 
+echo "==> example smoke runs"
+cargo run --release --example resilient_reconfiguration
+cargo run --release --example fault_campaign
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

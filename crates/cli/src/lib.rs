@@ -7,6 +7,7 @@
 //! ena suite    [--cus N --mhz F --tbps B]       # all eight workloads
 //! ena dse      [--budget 160] [--fine]          # design-space exploration
 //! ena chiplet  --app SNAP                       # chiplet-vs-monolithic study
+//! ena faults   [--seed N] [--app CoMD]          # fault-injection campaign
 //! ```
 //!
 //! Parsing and rendering live in this library so they are unit-testable;
@@ -18,6 +19,7 @@
 use ena_core::chiplet::chiplet_study;
 use ena_core::dse::{DesignSpace, Explorer};
 use ena_core::node::{EvalOptions, NodeSimulator};
+use ena_faults::{run_campaign, CampaignSpec};
 use ena_model::config::EhpConfig;
 use ena_model::units::{GigabytesPerSec, Megahertz, Watts};
 use ena_power::opts::PowerOptimization;
@@ -52,6 +54,13 @@ pub enum Command {
     /// Run the chiplet-vs-monolithic study for one app.
     Chiplet {
         /// Application name.
+        app: String,
+    },
+    /// Run a seeded fault-injection campaign and print the report.
+    Faults {
+        /// Campaign seed.
+        seed: u64,
+        /// Application name driving the degraded-node models.
         app: String,
     },
     /// Print usage.
@@ -181,6 +190,26 @@ pub fn parse(mut args: Vec<String>) -> Result<Command, String> {
         "chiplet" => Command::Chiplet {
             app: require_app(&mut args)?,
         },
+        "faults" => {
+            let seed = take_value(&mut args, "--seed")?
+                .map(|v| {
+                    let digits = v.strip_prefix("0x").unwrap_or(&v);
+                    let radix = if digits.len() < v.len() { 16 } else { 10 };
+                    u64::from_str_radix(digits, radix).map_err(|_| format!("bad --seed: {v}"))
+                })
+                .transpose()?
+                .unwrap_or(0xC0FFEE);
+            let app = match take_value(&mut args, "--app")? {
+                Some(a) => {
+                    if profile_for(&a).is_none() {
+                        return Err(format!("unknown app '{a}'"));
+                    }
+                    a
+                }
+                None => "CoMD".to_string(),
+            };
+            Command::Faults { seed, app }
+        }
         "help" | "--help" | "-h" => Command::Help,
         other => return Err(format!("unknown command '{other}'; try 'ena help'")),
     };
@@ -199,6 +228,7 @@ commands:
   suite    [--cus N] [--mhz F] [--tbps B]
   dse      [--budget W] [--fine]
   chiplet  --app NAME
+  faults   [--seed N] [--app NAME]
   help
 
 apps: MaxFlops, CoMD, CoMD-LJ, HPGMG, LULESH, MiniAMR, XSBench, SNAP
@@ -298,6 +328,12 @@ pub fn execute(command: Command) -> Result<String, String> {
                 ));
             }
             Ok(out)
+        }
+        Command::Faults { seed, app } => {
+            let mut spec = CampaignSpec::standard(seed);
+            spec.workload = app;
+            let report = run_campaign(&spec).map_err(|e| e.to_string())?;
+            Ok(report.render())
         }
         Command::Chiplet { app } => {
             let profile = profile_for(&app).expect("validated in parse");
@@ -419,6 +455,38 @@ mod tests {
                 .expect("node power line")
         };
         assert!(node_w(&opt) < node_w(&base));
+    }
+
+    #[test]
+    fn faults_parses_hex_and_decimal_seeds() {
+        assert_eq!(
+            parse_str("faults --seed 0xBEEF --app SNAP").unwrap(),
+            Command::Faults {
+                seed: 0xBEEF,
+                app: "SNAP".into()
+            }
+        );
+        assert_eq!(
+            parse_str("faults --seed 42").unwrap(),
+            Command::Faults {
+                seed: 42,
+                app: "CoMD".into()
+            }
+        );
+        assert!(parse_str("faults --seed nope")
+            .unwrap_err()
+            .contains("--seed"));
+        assert!(parse_str("faults --app Nope")
+            .unwrap_err()
+            .contains("unknown app"));
+    }
+
+    #[test]
+    fn faults_renders_a_campaign_report() {
+        let out = execute(parse_str("faults --seed 7").unwrap()).unwrap();
+        assert!(out.contains("fault-injection campaign"), "{out}");
+        assert!(out.contains("healthy baseline"));
+        assert!(out.contains("availability"));
     }
 
     #[test]

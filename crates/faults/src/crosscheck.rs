@@ -1,0 +1,103 @@
+//! Cross-validation of the analytic availability model against injected
+//! fault campaigns.
+//!
+//! The resilience layer offers two independent estimates of machine
+//! availability: the closed-form Young/Daly checkpoint-efficiency model
+//! ([`ena_core::resilience::checkpoint_efficiency`]) and a Monte Carlo
+//! fault campaign ([`ena_core::resilience::FaultCampaign`]) that draws
+//! exponential failures and measures the useful-work fraction directly.
+//! [`crosscheck_availability`] computes both from the same FIT-derived
+//! MTTF so a degradation report can show the analytic and injected numbers
+//! side by side — a disagreement flags a modeling bug, not a hardware one.
+
+use ena_core::resilience::{checkpoint_efficiency, FaultCampaign, Protection, ResilienceModel};
+use ena_model::config::{EhpConfig, SYSTEM_NODE_COUNT};
+use ena_model::kernel::KernelProfile;
+
+/// Hours of machine time the Monte Carlo campaign simulates.
+const CAMPAIGN_HOURS: f64 = 20_000.0;
+
+/// The two availability estimates for one configuration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AvailabilityEstimate {
+    /// System (all-node) silent-failure MTTF in hours.
+    pub mttf_hours: f64,
+    /// Young/Daly closed-form useful-work fraction.
+    pub analytic: f64,
+    /// Monte Carlo injected-campaign useful-work fraction.
+    pub injected: f64,
+}
+
+impl AvailabilityEstimate {
+    /// Absolute disagreement between the two estimators.
+    pub fn gap(&self) -> f64 {
+        (self.analytic - self.injected).abs()
+    }
+}
+
+/// Assesses `config` running `profile` with ECC + RMT protection at
+/// nominal voltage, then estimates availability both ways from the
+/// resulting system MTTF.
+pub fn crosscheck_availability(
+    config: &EhpConfig,
+    profile: &KernelProfile,
+    checkpoint_minutes: f64,
+    seed: u64,
+) -> AvailabilityEstimate {
+    let reliability =
+        ResilienceModel::default().assess(config, profile, 1.0, Protection::ecc_and_rmt());
+    let mttf_hours = reliability.system_mttf_hours(SYSTEM_NODE_COUNT);
+    let analytic = checkpoint_efficiency(mttf_hours, checkpoint_minutes);
+    let injected = FaultCampaign::with_optimal_interval(mttf_hours, checkpoint_minutes / 60.0)
+        .simulate(CAMPAIGN_HOURS, seed);
+    AvailabilityEstimate {
+        mttf_hours,
+        analytic,
+        injected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ena_workloads::profile_for;
+
+    #[test]
+    fn the_two_estimators_agree_on_the_baseline() {
+        let cfg = EhpConfig::paper_baseline();
+        let profile = profile_for("CoMD").unwrap();
+        let est = crosscheck_availability(&cfg, &profile, 3.0, 0xC0FFEE);
+        assert!(est.analytic > 0.5 && est.analytic < 1.0);
+        assert!(est.injected > 0.5 && est.injected < 1.0);
+        assert!(
+            est.gap() < 0.06,
+            "analytic {} vs injected {} disagree",
+            est.analytic,
+            est.injected
+        );
+    }
+
+    #[test]
+    fn losing_hardware_raises_mttf_and_never_lowers_availability() {
+        // Fewer components mean fewer FITs: the degraded node fails less
+        // often, so its checkpointed availability cannot drop.
+        let profile = profile_for("CoMD").unwrap();
+        let healthy = EhpConfig::paper_baseline();
+        let mut degraded = healthy.clone();
+        degraded.gpu.chiplets = 6;
+        degraded.hbm.stacks = 6;
+        let h = crosscheck_availability(&healthy, &profile, 3.0, 9);
+        let d = crosscheck_availability(&degraded, &profile, 3.0, 9);
+        assert!(d.mttf_hours > h.mttf_hours);
+        assert!(d.analytic >= h.analytic);
+    }
+
+    #[test]
+    fn estimates_are_deterministic() {
+        let cfg = EhpConfig::paper_baseline();
+        let profile = profile_for("HPGMG").unwrap();
+        let a = crosscheck_availability(&cfg, &profile, 5.0, 11);
+        let b = crosscheck_availability(&cfg, &profile, 5.0, 11);
+        assert_eq!(a, b);
+    }
+}

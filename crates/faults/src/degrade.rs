@@ -1,0 +1,523 @@
+//! Graceful degradation: the [`Degradable`] trait and the cross-layer
+//! [`DegradedNode`] state machine.
+//!
+//! Each simulation layer absorbs the fault kinds it understands and
+//! ignores the rest, so the engine can broadcast every event to every
+//! layer:
+//!
+//! - [`Topology`] removes failed chiplets, stacks, and interposer
+//!   segments; routing works around the casualties.
+//! - [`MemorySystem`] re-interleaves around dead HBM stacks and fails
+//!   SerDes links in the external network.
+//! - [`DegradedNode`] composes the above with a *reconciliation cascade*:
+//!   after each fault, any live endpoint severed from the surviving
+//!   majority of the package is written off as collateral damage, and the
+//!   node's effective [`EhpConfig`] shrinks to match.
+
+use std::collections::BTreeSet;
+
+use ena_hsa::runtime::{AgentFault, AgentKind};
+use ena_memory::extnet::ModuleId;
+use ena_memory::system::MemorySystem;
+use ena_model::config::EhpConfig;
+use ena_model::error::DegradeError;
+use ena_model::units::Megahertz;
+use ena_noc::topology::{NodeId, NodeKind, Topology};
+
+use crate::plan::{FaultEvent, FaultKind};
+
+/// A model layer that can absorb injected component faults in place.
+///
+/// Implementations must never panic on a well-typed fault: kinds the layer
+/// does not model are silent no-ops, and invalid targets (out of range,
+/// already dead, last survivor) come back as [`DegradeError`] values.
+pub trait Degradable {
+    /// Applies one fault, mutating the layer in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DegradeError`] when the target does not exist, already
+    /// failed, or is the last survivor of its component class.
+    fn degrade(&mut self, fault: FaultKind) -> Result<(), DegradeError>;
+}
+
+/// Number of interposer routers in a topology.
+fn router_count(topo: &Topology) -> u32 {
+    (0..topo.node_count())
+        .filter(|&id| matches!(topo.kind(id), NodeKind::InterposerRouter(_)))
+        .count() as u32
+}
+
+impl Degradable for Topology {
+    fn degrade(&mut self, fault: FaultKind) -> Result<(), DegradeError> {
+        match fault {
+            FaultKind::GpuChiplet(i) => self.fail_kind(NodeKind::GpuChiplet(i)).map(|_| ()),
+            FaultKind::CpuChiplet(i) => self.fail_kind(NodeKind::CpuChiplet(i)).map(|_| ()),
+            FaultKind::HbmStack(i) => self.fail_kind(NodeKind::HbmStack(i)).map(|_| ()),
+            FaultKind::ExternalInterface(i) => {
+                self.fail_kind(NodeKind::ExternalInterface(i)).map(|_| ())
+            }
+            FaultKind::InterposerLink(s) => {
+                let n = router_count(self);
+                if s >= n {
+                    return Err(DegradeError::UnknownComponent {
+                        component: "interposer segment",
+                        index: u64::from(s),
+                    });
+                }
+                let a = self.find(NodeKind::InterposerRouter(s)).ok_or(
+                    DegradeError::UnknownComponent {
+                        component: "interposer router",
+                        index: u64::from(s),
+                    },
+                )?;
+                let b = self.find(NodeKind::InterposerRouter((s + 1) % n)).ok_or(
+                    DegradeError::UnknownComponent {
+                        component: "interposer router",
+                        index: u64::from((s + 1) % n),
+                    },
+                )?;
+                self.fail_link_between(a, b).map(|_| ())
+            }
+            // External-network and clock faults live in other layers.
+            FaultKind::SerdesLink { .. } | FaultKind::ThermalThrottle { .. } => Ok(()),
+        }
+    }
+}
+
+impl Degradable for MemorySystem {
+    fn degrade(&mut self, fault: FaultKind) -> Result<(), DegradeError> {
+        match fault {
+            FaultKind::HbmStack(i) => self.fail_stack(i),
+            FaultKind::SerdesLink { interface, depth } => {
+                let cfg = self.external_mut().config().clone();
+                if interface >= cfg.interfaces || depth as usize >= cfg.modules_per_chain() {
+                    return Err(DegradeError::UnknownComponent {
+                        component: "SerDes link",
+                        index: u64::from(interface) << 32 | u64::from(depth),
+                    });
+                }
+                self.external_mut().fail_link(ModuleId { interface, depth });
+                Ok(())
+            }
+            // Compute-side faults do not touch the memory system directly;
+            // stack losses arrive as HbmStack events from the cascade.
+            _ => Ok(()),
+        }
+    }
+}
+
+/// The cross-layer degradation state of one EHP node.
+///
+/// Owns the ring interconnect plus the ledger of everything lost so far
+/// (direct faults and cascade collateral), and derives the surviving
+/// hardware as an [`EhpConfig`] for the analytic models.
+#[derive(Clone, Debug)]
+pub struct DegradedNode {
+    base: EhpConfig,
+    topo: Topology,
+    /// Everything lost so far: `(time_us, casualty)`, direct + collateral,
+    /// in application order.
+    casualties: Vec<(f64, FaultKind)>,
+    lost_gpu: BTreeSet<u32>,
+    lost_cpu: BTreeSet<u32>,
+    lost_hbm: BTreeSet<u32>,
+    lost_ext: BTreeSet<u32>,
+    clock_scale: f64,
+    now_us: f64,
+}
+
+impl DegradedNode {
+    /// A healthy node in configuration `base`, on the ring interconnect
+    /// (the chain has no redundancy: any cut partitions it, which makes
+    /// every link fault fatal to half the package).
+    pub fn new(base: &EhpConfig) -> Self {
+        Self {
+            topo: Topology::ehp_ring(base.gpu.chiplets, base.cpu.chiplets),
+            base: base.clone(),
+            casualties: Vec::new(),
+            lost_gpu: BTreeSet::new(),
+            lost_cpu: BTreeSet::new(),
+            lost_hbm: BTreeSet::new(),
+            lost_ext: BTreeSet::new(),
+            clock_scale: 1.0,
+            now_us: 0.0,
+        }
+    }
+
+    /// The degraded interconnect.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Everything lost so far (direct faults and collateral), time-stamped.
+    pub fn casualties(&self) -> &[(f64, FaultKind)] {
+        &self.casualties
+    }
+
+    /// Current GPU clock multiplier from thermal throttling.
+    pub fn clock_scale(&self) -> f64 {
+        self.clock_scale
+    }
+
+    /// Applies one time-stamped fault and runs the reconciliation cascade,
+    /// returning the collateral casualties (components written off because
+    /// the fault severed them from the surviving majority).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DegradeError`] when the target is unknown or already
+    /// dead, or when the fault (including its cascade) would eliminate the
+    /// last survivor of a component class the node cannot run without.
+    pub fn apply(&mut self, event: FaultEvent) -> Result<Vec<FaultKind>, DegradeError> {
+        self.now_us = event.at_us.max(self.now_us);
+        match event.kind {
+            FaultKind::GpuChiplet(i) => {
+                self.guard_survivor(&self.lost_gpu, self.base.gpu.chiplets, "GPU chiplet")?;
+                self.topo.degrade(event.kind)?;
+                self.lost_gpu.insert(i);
+            }
+            FaultKind::CpuChiplet(i) => {
+                self.guard_survivor(&self.lost_cpu, self.base.cpu.chiplets, "CPU chiplet")?;
+                self.topo.degrade(event.kind)?;
+                self.lost_cpu.insert(i);
+            }
+            FaultKind::HbmStack(i) => {
+                self.guard_survivor(&self.lost_hbm, self.base.hbm.stacks, "HBM stack")?;
+                self.topo.degrade(event.kind)?;
+                self.lost_hbm.insert(i);
+            }
+            FaultKind::ExternalInterface(i) => {
+                self.guard_survivor(
+                    &self.lost_ext,
+                    self.base.external.interfaces,
+                    "external interface",
+                )?;
+                self.topo.degrade(event.kind)?;
+                self.lost_ext.insert(i);
+            }
+            FaultKind::InterposerLink(_) => {
+                self.topo.degrade(event.kind)?;
+            }
+            FaultKind::SerdesLink { interface, depth } => {
+                let cfg = &self.base.external;
+                if interface >= cfg.interfaces || depth as usize >= cfg.modules_per_chain() {
+                    return Err(DegradeError::UnknownComponent {
+                        component: "SerDes link",
+                        index: u64::from(interface) << 32 | u64::from(depth),
+                    });
+                }
+            }
+            FaultKind::ThermalThrottle { percent } => {
+                if percent >= 100 {
+                    return Err(DegradeError::UnknownComponent {
+                        component: "throttle percent",
+                        index: u64::from(percent),
+                    });
+                }
+                self.clock_scale *= 1.0 - f64::from(percent) / 100.0;
+            }
+        }
+        self.casualties.push((event.at_us, event.kind));
+        self.reconcile(event.at_us)
+    }
+
+    fn guard_survivor(
+        &self,
+        lost: &BTreeSet<u32>,
+        total: u32,
+        component: &'static str,
+    ) -> Result<(), DegradeError> {
+        if lost.len() as u32 + 1 >= total {
+            return Err(DegradeError::LastSurvivor(component));
+        }
+        Ok(())
+    }
+
+    /// Reconciliation cascade: endpoints severed from the surviving
+    /// majority component of the interconnect are written off. The
+    /// classic case is an HBM stack orphaned by its GPU chiplet (the
+    /// stack's only attachment is the chiplet's TSVs), or a whole cluster
+    /// isolated when a second ring cut partitions the interposer.
+    fn reconcile(&mut self, at_us: f64) -> Result<Vec<FaultKind>, DegradeError> {
+        let keep = self.majority_component();
+        let doomed: Vec<NodeId> = self
+            .topo
+            .endpoints(|_| true)
+            .into_iter()
+            .filter(|id| !keep.contains(id))
+            .collect();
+
+        let mut collateral = Vec::new();
+        for id in doomed {
+            let kind = match self.topo.kind(id) {
+                NodeKind::GpuChiplet(i) => {
+                    self.guard_survivor(&self.lost_gpu, self.base.gpu.chiplets, "GPU chiplet")?;
+                    self.lost_gpu.insert(i);
+                    FaultKind::GpuChiplet(i)
+                }
+                NodeKind::CpuChiplet(i) => {
+                    self.guard_survivor(&self.lost_cpu, self.base.cpu.chiplets, "CPU chiplet")?;
+                    self.lost_cpu.insert(i);
+                    FaultKind::CpuChiplet(i)
+                }
+                NodeKind::HbmStack(i) => {
+                    self.guard_survivor(&self.lost_hbm, self.base.hbm.stacks, "HBM stack")?;
+                    self.lost_hbm.insert(i);
+                    FaultKind::HbmStack(i)
+                }
+                NodeKind::ExternalInterface(i) => {
+                    self.guard_survivor(
+                        &self.lost_ext,
+                        self.base.external.interfaces,
+                        "external interface",
+                    )?;
+                    self.lost_ext.insert(i);
+                    FaultKind::ExternalInterface(i)
+                }
+                other => unreachable!("switch {other:?} classified as endpoint"),
+            };
+            self.topo.fail_node(id)?;
+            self.casualties.push((at_us, kind));
+            collateral.push(kind);
+        }
+        Ok(collateral)
+    }
+
+    /// The set of live endpoints in the largest connected component of the
+    /// degraded interconnect (ties broken toward the component holding the
+    /// smallest node id).
+    fn majority_component(&self) -> BTreeSet<NodeId> {
+        let live: Vec<NodeId> = self.topo.endpoints(|_| true);
+        let mut best: BTreeSet<NodeId> = BTreeSet::new();
+        let mut assigned: BTreeSet<NodeId> = BTreeSet::new();
+        for &seed in &live {
+            if assigned.contains(&seed) {
+                continue;
+            }
+            let component: BTreeSet<NodeId> = live
+                .iter()
+                .copied()
+                .filter(|&other| other == seed || self.topo.route(seed, other).is_ok())
+                .collect();
+            assigned.extend(component.iter().copied());
+            let better = component.len() > best.len()
+                || (component.len() == best.len() && component.iter().next() < best.iter().next());
+            if better {
+                best = component;
+            }
+        }
+        best
+    }
+
+    /// The configuration of the surviving hardware: lost chiplets, stacks,
+    /// and interfaces removed, the GPU clock scaled by any throttle.
+    pub fn effective_config(&self) -> EhpConfig {
+        let mut cfg = self.base.clone();
+        cfg.gpu.chiplets -= self.lost_gpu.len() as u32;
+        cfg.cpu.chiplets -= self.lost_cpu.len() as u32;
+        cfg.hbm.stacks -= self.lost_hbm.len() as u32;
+        cfg.external.interfaces -= self.lost_ext.len() as u32;
+        cfg.gpu.clock = Megahertz::new(self.base.gpu.clock.value() * self.clock_scale);
+        cfg
+    }
+
+    /// The node's casualties as runtime agent deaths: each dead GPU
+    /// chiplet takes its dispatch queue, each dead CPU chiplet its cores
+    /// (the campaign sizes the runtime one queue per chiplet).
+    pub fn agent_faults(&self) -> Vec<AgentFault> {
+        let cores_per_chiplet = self.base.cpu.cores_per_chiplet as usize;
+        let mut faults = Vec::new();
+        for &(at_us, kind) in &self.casualties {
+            match kind {
+                FaultKind::GpuChiplet(i) => faults.push(AgentFault {
+                    agent: AgentKind::GpuQueue,
+                    index: i as usize,
+                    at_us,
+                }),
+                FaultKind::CpuChiplet(i) => {
+                    for core in 0..cores_per_chiplet {
+                        faults.push(AgentFault {
+                            agent: AgentKind::CpuCore,
+                            index: i as usize * cores_per_chiplet + core,
+                            at_us,
+                        });
+                    }
+                }
+                _ => {}
+            }
+        }
+        faults
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::FaultPlan;
+    use ena_memory::policy::StaticPlacement;
+
+    fn node() -> DegradedNode {
+        DegradedNode::new(&EhpConfig::paper_baseline())
+    }
+
+    #[test]
+    fn a_gpu_chiplet_takes_its_stack_as_collateral() {
+        let mut n = node();
+        let collateral = n
+            .apply(FaultEvent {
+                at_us: 10.0,
+                kind: FaultKind::GpuChiplet(2),
+            })
+            .unwrap();
+        assert_eq!(collateral, vec![FaultKind::HbmStack(2)]);
+        let cfg = n.effective_config();
+        assert_eq!(cfg.gpu.chiplets, 7);
+        assert_eq!(cfg.hbm.stacks, 7);
+        assert_eq!(cfg.cpu.chiplets, 8);
+    }
+
+    #[test]
+    fn one_ring_cut_reroutes_without_casualties() {
+        let mut n = node();
+        let collateral = n
+            .apply(FaultEvent {
+                at_us: 5.0,
+                kind: FaultKind::InterposerLink(0),
+            })
+            .unwrap();
+        assert!(collateral.is_empty(), "{collateral:?}");
+        assert_eq!(n.effective_config(), EhpConfig::paper_baseline());
+    }
+
+    #[test]
+    fn a_second_ring_cut_partitions_and_cascades() {
+        let mut n = node();
+        n.apply(FaultEvent {
+            at_us: 5.0,
+            kind: FaultKind::InterposerLink(0),
+        })
+        .unwrap();
+        // Adjacent cut isolates router 1's whole cluster.
+        let collateral = n
+            .apply(FaultEvent {
+                at_us: 6.0,
+                kind: FaultKind::InterposerLink(1),
+            })
+            .unwrap();
+        assert!(!collateral.is_empty());
+        let cfg = n.effective_config();
+        let lost = (8 - cfg.gpu.chiplets) + (8 - cfg.cpu.chiplets);
+        assert!(lost > 0, "partition cost no chiplets");
+        // The majority of the package survives.
+        assert!(cfg.gpu.chiplets + cfg.cpu.chiplets >= 8);
+    }
+
+    #[test]
+    fn throttle_scales_the_effective_clock() {
+        let mut n = node();
+        n.apply(FaultEvent {
+            at_us: 1.0,
+            kind: FaultKind::ThermalThrottle { percent: 20 },
+        })
+        .unwrap();
+        let cfg = n.effective_config();
+        assert!((cfg.gpu.clock.value() - 800.0).abs() < 1e-9);
+        assert!(
+            cfg.peak_throughput().value() < EhpConfig::paper_baseline().peak_throughput().value()
+        );
+    }
+
+    #[test]
+    fn double_kill_and_unknown_targets_are_errors() {
+        let mut n = node();
+        n.apply(FaultEvent {
+            at_us: 1.0,
+            kind: FaultKind::GpuChiplet(0),
+        })
+        .unwrap();
+        assert!(n
+            .apply(FaultEvent {
+                at_us: 2.0,
+                kind: FaultKind::GpuChiplet(0),
+            })
+            .is_err());
+        assert!(n
+            .apply(FaultEvent {
+                at_us: 3.0,
+                kind: FaultKind::HbmStack(99),
+            })
+            .is_err());
+        assert!(n
+            .apply(FaultEvent {
+                at_us: 4.0,
+                kind: FaultKind::ThermalThrottle { percent: 100 },
+            })
+            .is_err());
+    }
+
+    #[test]
+    fn killing_every_gpu_chiplet_stops_at_the_last_survivor() {
+        let mut n = node();
+        for i in 0..7 {
+            n.apply(FaultEvent {
+                at_us: f64::from(i),
+                kind: FaultKind::GpuChiplet(i),
+            })
+            .unwrap();
+        }
+        let err = n
+            .apply(FaultEvent {
+                at_us: 8.0,
+                kind: FaultKind::GpuChiplet(7),
+            })
+            .unwrap_err();
+        assert_eq!(err, DegradeError::LastSurvivor("GPU chiplet"));
+        // The refused fault left no partial state behind.
+        assert_eq!(n.effective_config().gpu.chiplets, 1);
+    }
+
+    #[test]
+    fn standard_campaign_applies_cleanly_and_shrinks_the_node() {
+        let plan = FaultPlan::standard_campaign(0xC0FFEE);
+        let mut n = node();
+        for &e in plan.events() {
+            n.apply(e).unwrap();
+        }
+        let cfg = n.effective_config();
+        assert!(cfg.gpu.chiplets < 8);
+        assert!(cfg.hbm.stacks <= 6, "stacks = {}", cfg.hbm.stacks);
+        assert!(cfg.gpu.chiplets >= 1 && cfg.hbm.stacks >= 1);
+        // Survivors remain mutually reachable.
+        let eps = n.topology().endpoints(|_| true);
+        for &a in &eps {
+            for &b in &eps {
+                if a != b {
+                    assert!(n.topology().route(a, b).is_ok());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn memory_system_absorbs_stack_and_serdes_faults() {
+        let base = EhpConfig::paper_baseline();
+        let mut sys = MemorySystem::new(&base, Box::new(StaticPlacement::new(0.8)), u64::MAX);
+        sys.degrade(FaultKind::HbmStack(1)).unwrap();
+        assert_eq!(sys.live_stacks(), 7);
+        sys.degrade(FaultKind::SerdesLink {
+            interface: 0,
+            depth: 0,
+        })
+        .unwrap();
+        assert!(sys
+            .degrade(FaultKind::SerdesLink {
+                interface: 99,
+                depth: 0,
+            })
+            .is_err());
+        // Irrelevant kinds are no-ops.
+        sys.degrade(FaultKind::GpuChiplet(3)).unwrap();
+        assert_eq!(sys.live_stacks(), 7);
+    }
+}

@@ -1,0 +1,59 @@
+//! # ena-faults — cross-layer fault injection and graceful degradation
+//!
+//! The EHP node of the source paper (Vijayaraghavan et al., HPCA 2017) is
+//! built from many small dice — GPU chiplets, CPU chiplets, HBM stacks,
+//! interposer routers — precisely so that a single die failure does not
+//! have to kill the node. This crate makes that claim testable: it injects
+//! seeded component failures into every layer of the stack and measures
+//! what the surviving hardware can still deliver.
+//!
+//! ## Fault taxonomy
+//!
+//! [`FaultKind`](plan::FaultKind) enumerates the injectable failures:
+//!
+//! | fault | layer | degradation path |
+//! |---|---|---|
+//! | `GpuChiplet` | compute | chiplet leaves the package; its HBM stack is orphaned collateral (TSV-attached) |
+//! | `CpuChiplet` | compute | host cores shrink; tasks reschedule onto survivors |
+//! | `HbmStack` | memory | address space re-interleaves across surviving stacks; capacity and bandwidth drop |
+//! | `InterposerLink` | interconnect | ring segment cut; traffic reroutes the long way; a second cut partitions |
+//! | `ExternalInterface` | memory | an external chain is severed from the package |
+//! | `SerdesLink` | memory | one hop of an external chain dies; redundancy may cover it |
+//! | `ThermalThrottle` | power/thermal | GPU clock drops; throughput falls with no hardware loss |
+//!
+//! ## The `Degradable` trait
+//!
+//! [`Degradable`](degrade::Degradable) is the cross-layer contract: a
+//! component absorbs a fault and either reconfigures around it or returns
+//! a [`DegradeError`](ena_model::error::DegradeError) — never panics. The
+//! NoC topology, the memory system, and the [`DegradedNode`] wrapper all
+//! implement it, so one [`FaultPlan`] can be broadcast across the stack.
+//!
+//! ## Campaigns
+//!
+//! [`run_campaign`] replays a plan end to end and produces a
+//! [`DegradationReport`]: per-fault performance / power / thermal
+//! snapshots, rerouted-vs-severed NoC traffic, re-interleaved memory,
+//! re-queued runtime tasks, and an availability cross-check of the
+//! analytic Young/Daly model against an injected Monte Carlo campaign.
+//! Everything is seeded: the same plan renders a byte-identical report.
+//!
+//! ```
+//! use ena_faults::{run_campaign, CampaignSpec};
+//!
+//! let report = run_campaign(&CampaignSpec::standard(0xC0FFEE)).unwrap();
+//! assert!(report.throughput_retained() > 0.0);
+//! assert!(report.throughput_retained() < 1.0);
+//! ```
+
+pub mod campaign;
+pub mod crosscheck;
+pub mod degrade;
+pub mod plan;
+
+pub use campaign::{
+    run_campaign, CampaignSpec, CampaignStep, DegradationReport, MemoryOutcome, Snapshot,
+};
+pub use crosscheck::{crosscheck_availability, AvailabilityEstimate};
+pub use degrade::{Degradable, DegradedNode};
+pub use plan::{FaultEvent, FaultKind, FaultPlan};

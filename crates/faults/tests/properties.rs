@@ -1,0 +1,89 @@
+//! Property-based tests for the fault-injection engine.
+
+use ena_faults::degrade::DegradedNode;
+use ena_faults::plan::{FaultKind, FaultPlan};
+use ena_faults::{run_campaign, CampaignSpec};
+use ena_model::config::EhpConfig;
+use ena_testkit::prelude::*;
+
+/// Any single chiplet (GPU or CPU) on the ring package.
+fn arbitrary_chiplet() -> impl Strategy<Value = FaultKind> {
+    (0u32..16).prop_map(|i| {
+        if i < 8 {
+            FaultKind::GpuChiplet(i)
+        } else {
+            FaultKind::CpuChiplet(i - 8)
+        }
+    })
+}
+
+proptest! {
+    #[test]
+    fn single_chiplet_loss_keeps_survivors_mutually_reachable(
+        kind in arbitrary_chiplet(),
+    ) {
+        let base = EhpConfig::paper_baseline();
+        let mut node = DegradedNode::new(&base);
+        let mut plan = FaultPlan::new(0);
+        plan.push(10.0, kind);
+        for &event in plan.events() {
+            node.apply(event).expect("single chiplet loss is survivable");
+        }
+        let topo = node.topology();
+        let survivors = topo.endpoints(|_| true);
+        prop_assert!(!survivors.is_empty());
+        for &a in &survivors {
+            for &b in &survivors {
+                if a != b {
+                    prop_assert!(
+                        topo.route(a, b).is_ok(),
+                        "survivors {} and {} unreachable after {}",
+                        a, b, kind
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_ring_cut_never_strands_traffic(segment in 0u32..6) {
+        let base = EhpConfig::paper_baseline();
+        let mut node = DegradedNode::new(&base);
+        let mut plan = FaultPlan::new(0);
+        plan.push(5.0, FaultKind::InterposerLink(segment));
+        for &event in plan.events() {
+            let collateral = node.apply(event).expect("one cut ring stays connected");
+            prop_assert!(collateral.is_empty());
+        }
+        let topo = node.topology();
+        let survivors = topo.endpoints(|_| true);
+        for &a in &survivors {
+            for &b in &survivors {
+                if a != b {
+                    prop_assert!(topo.route(a, b).is_ok());
+                }
+            }
+        }
+    }
+
+}
+
+proptest! {
+    // Full campaigns run the node models and two Monte Carlo availability
+    // sweeps each; a handful of sampled seeds keeps the suite fast.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn every_standard_campaign_seed_completes_and_degrades(
+        seed in 0u64..1000,
+    ) {
+        let report = run_campaign(&CampaignSpec::standard(seed))
+            .expect("the standard campaign is always survivable");
+        let last = report.final_snapshot();
+        prop_assert!(last.gflops > 0.0);
+        prop_assert!(last.gflops < report.healthy.gflops);
+        prop_assert!(last.gpu_chiplets >= 1);
+        prop_assert!(last.cpu_chiplets >= 1);
+        prop_assert!(report.degraded_makespan_us >= report.healthy_makespan_us);
+    }
+}

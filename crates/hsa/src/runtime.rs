@@ -12,6 +12,7 @@ use crate::queue::{DispatchPacket, UserModeQueue};
 use crate::signal::SignalPool;
 use crate::sync::SyncModel;
 use crate::task::{TaskGraph, TaskId};
+use ena_model::error::DegradeError;
 
 /// The two agent classes of an APU node.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -84,6 +85,40 @@ pub struct Schedule {
     pub dispatch_overhead_us: f64,
     /// Total synchronization cost paid (us, summed over edges).
     pub sync_overhead_us: f64,
+    /// Tasks re-queued after an agent died under them (degraded runs).
+    pub retries: u64,
+    /// Compute lost to mid-flight agent failures (us, degraded runs).
+    pub lost_work_us: f64,
+}
+
+/// One scheduled agent death for [`Runtime::execute_degraded`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AgentFault {
+    /// Agent class that fails.
+    pub agent: AgentKind,
+    /// Agent index within its class.
+    pub index: usize,
+    /// Simulated time of death (us). Work in flight at this instant is
+    /// lost and re-queued.
+    pub at_us: f64,
+}
+
+/// Bounded retry/backoff policy for tasks orphaned by agent failures.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RetryPolicy {
+    /// Re-dispatch attempts allowed per task after its first failure.
+    pub max_retries: u32,
+    /// Backoff before re-dispatch, multiplied by the attempt number (us).
+    pub backoff_us: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 3,
+            backoff_us: 10.0,
+        }
+    }
 }
 
 impl Schedule {
@@ -241,7 +276,215 @@ impl Runtime {
             makespan_us: makespan,
             dispatch_overhead_us: dispatch_total,
             sync_overhead_us: sync_total,
+            retries: 0,
+            lost_work_us: 0.0,
         }
+    }
+
+    /// Executes `graph` while agents die at the times given in `faults`:
+    /// work in flight on a dying agent is lost, the task is re-queued with
+    /// bounded retry/backoff onto the survivors, and the dead agent never
+    /// receives another dispatch.
+    ///
+    /// The scheduler is fault-*unaware* at dispatch time: it only learns
+    /// of a death once it happens, so a task dispatched before the fault
+    /// genuinely wastes the partial work ([`Schedule::lost_work_us`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DegradeError::RetriesExhausted`] when a task dies more
+    /// than `retry.max_retries` times, or
+    /// [`DegradeError::NoCompatibleAgent`] when every agent a task could
+    /// run on is dead.
+    pub fn execute_degraded(
+        &self,
+        graph: &TaskGraph,
+        faults: &[AgentFault],
+        retry: RetryPolicy,
+    ) -> Result<Schedule, DegradeError> {
+        let cfg = &self.config;
+        let n = graph.len();
+        if n == 0 {
+            return Ok(Schedule {
+                spans: Vec::new(),
+                makespan_us: 0.0,
+                dispatch_overhead_us: 0.0,
+                sync_overhead_us: 0.0,
+                retries: 0,
+                lost_work_us: 0.0,
+            });
+        }
+
+        // Earliest scheduled death per agent, or infinity.
+        let fail_time = |kind: AgentKind, count: usize| -> Vec<f64> {
+            (0..count)
+                .map(|i| {
+                    faults
+                        .iter()
+                        .filter(|f| f.agent == kind && f.index == i)
+                        .map(|f| f.at_us)
+                        .fold(f64::INFINITY, f64::min)
+                })
+                .collect()
+        };
+        let cpu_fail = fail_time(AgentKind::CpuCore, cfg.cpu_cores);
+        let gpu_fail = fail_time(AgentKind::GpuQueue, cfg.gpu_queues);
+
+        let mut signals = SignalPool::new();
+        let completion: Vec<_> = (0..n).map(|_| signals.create(1)).collect();
+        let mut queues: Vec<UserModeQueue> = (0..cfg.gpu_queues)
+            .map(|_| UserModeQueue::new(64))
+            .collect();
+
+        let mut cpu_free = vec![0.0f64; cfg.cpu_cores];
+        let mut gpu_free = vec![0.0f64; cfg.gpu_queues];
+        let mut placement: Vec<Option<TaskSpan>> = vec![None; n];
+        let mut scheduled = vec![false; n];
+        let mut attempts = vec![0u32; n];
+        // Floor on a re-queued task's ready time (failure time + backoff).
+        let mut requeue_ready = vec![0.0f64; n];
+        let mut spans = Vec::with_capacity(n);
+        let mut dispatch_total = 0.0;
+        let mut sync_total = 0.0;
+        let mut retries = 0u64;
+        let mut lost_work = 0.0f64;
+        let mut remaining = n;
+
+        while remaining > 0 {
+            // Pick the unscheduled task with all deps placed whose ready
+            // time is earliest (deterministic tie-break by id).
+            let mut pick: Option<(f64, TaskId)> = None;
+            for (id, task) in graph.tasks().iter().enumerate() {
+                if scheduled[id] || !task.deps.iter().all(|&d| scheduled[d]) {
+                    continue;
+                }
+                let ready = task
+                    .deps
+                    .iter()
+                    .map(|&d| placement[d].expect("dep placed").end_us)
+                    .fold(requeue_ready[id], f64::max);
+                if pick.is_none_or(|(r, i)| (ready, id) < (r, i)) {
+                    pick = Some((ready, id));
+                }
+            }
+            let (ready, id) =
+                pick.expect("acyclic graph with unscheduled tasks always has a ready task");
+            let task = &graph.tasks()[id];
+
+            // Candidate placements over agents not yet known-dead at their
+            // candidate start time (the runtime observes deaths only as
+            // they happen).
+            let mut best: Option<(f64, f64, AgentKind, usize, f64)> = None;
+            let consider =
+                |kind: AgentKind,
+                 free: &[f64],
+                 fail: &[f64],
+                 cost: Option<f64>,
+                 best: &mut Option<(f64, f64, AgentKind, usize, f64)>| {
+                    let Some(cost) = cost else { return };
+                    let sync: f64 = task
+                        .deps
+                        .iter()
+                        .map(|&d| {
+                            let producer = placement[d].expect("dep placed");
+                            cfg.sync.edge_cost(producer.agent != kind)
+                        })
+                        .sum();
+                    for (idx, &agent_free) in free.iter().enumerate() {
+                        let start = ready.max(agent_free) + cfg.dispatch_overhead_us + sync;
+                        if fail[idx] <= start {
+                            continue; // known dead by dispatch time
+                        }
+                        let end = start + cost;
+                        if best.is_none_or(|(e, ..)| end < e) {
+                            *best = Some((end, start, kind, idx, sync));
+                        }
+                    }
+                };
+            consider(
+                AgentKind::CpuCore,
+                &cpu_free,
+                &cpu_fail,
+                task.cost.cpu_us,
+                &mut best,
+            );
+            consider(
+                AgentKind::GpuQueue,
+                &gpu_free,
+                &gpu_fail,
+                task.cost.gpu_us,
+                &mut best,
+            );
+            let Some((end, start, kind, idx, sync)) = best else {
+                return Err(DegradeError::NoCompatibleAgent { task: id });
+            };
+
+            let fail_at = match kind {
+                AgentKind::CpuCore => cpu_fail[idx],
+                AgentKind::GpuQueue => gpu_fail[idx],
+            };
+            if fail_at < end {
+                // The agent dies with this task in flight: the partial work
+                // is lost, the agent is retired, and the task re-queues
+                // after backoff.
+                attempts[id] += 1;
+                if attempts[id] > retry.max_retries {
+                    return Err(DegradeError::RetriesExhausted {
+                        task: id,
+                        attempts: attempts[id],
+                    });
+                }
+                retries += 1;
+                lost_work += (fail_at - start).max(0.0);
+                requeue_ready[id] = fail_at + retry.backoff_us * f64::from(attempts[id]);
+                match kind {
+                    AgentKind::CpuCore => cpu_free[idx] = f64::INFINITY,
+                    AgentKind::GpuQueue => gpu_free[idx] = f64::INFINITY,
+                }
+                continue;
+            }
+
+            match kind {
+                AgentKind::CpuCore => cpu_free[idx] = end,
+                AgentKind::GpuQueue => {
+                    gpu_free[idx] = end;
+                    queues[idx]
+                        .submit(DispatchPacket {
+                            task: id,
+                            completion: completion[id],
+                        })
+                        .expect("queue drained every dispatch");
+                    let pkt = queues[idx].consume().expect("just submitted");
+                    debug_assert_eq!(pkt.task, id);
+                }
+            }
+            signals.decrement(completion[id], end);
+
+            let span = TaskSpan {
+                task: id,
+                agent: kind,
+                agent_index: idx,
+                start_us: start,
+                end_us: end,
+            };
+            placement[id] = Some(span);
+            scheduled[id] = true;
+            remaining -= 1;
+            spans.push(span);
+            dispatch_total += cfg.dispatch_overhead_us;
+            sync_total += sync;
+        }
+
+        debug_assert!((0..n).all(|id| signals.satisfied(completion[id], 0)));
+        let makespan = spans.iter().map(|s| s.end_us).fold(0.0, f64::max);
+        Ok(Schedule {
+            spans,
+            makespan_us: makespan,
+            dispatch_overhead_us: dispatch_total,
+            sync_overhead_us: sync_total,
+            retries,
+            lost_work_us: lost_work,
+        })
     }
 }
 
@@ -337,6 +580,141 @@ mod tests {
         let conv = Runtime::new(conv_cfg).execute(&g);
         assert!(qr.sync_overhead_us < conv.sync_overhead_us / 2.0);
         assert!(qr.makespan_us < conv.makespan_us);
+    }
+
+    #[test]
+    fn no_faults_degraded_matches_healthy_execution() {
+        let g = fork_join(8, 100.0);
+        let rt = Runtime::new(RuntimeConfig::hsa());
+        let healthy = rt.execute(&g);
+        let degraded = rt
+            .execute_degraded(&g, &[], RetryPolicy::default())
+            .unwrap();
+        assert_eq!(degraded.retries, 0);
+        assert_eq!(degraded.lost_work_us, 0.0);
+        assert_eq!(degraded.makespan_us, healthy.makespan_us);
+        assert_eq!(degraded.spans.len(), healthy.spans.len());
+    }
+
+    #[test]
+    fn a_dying_queue_requeues_its_task_onto_survivors() {
+        let g = fork_join(8, 100.0);
+        let rt = Runtime::new(RuntimeConfig::hsa());
+        let healthy = rt.execute(&g);
+        // Queue 0 dies mid-kernel: whichever kernel it held re-queues.
+        let faults = [AgentFault {
+            agent: AgentKind::GpuQueue,
+            index: 0,
+            at_us: 50.0,
+        }];
+        let degraded = rt
+            .execute_degraded(&g, &faults, RetryPolicy::default())
+            .unwrap();
+        assert_eq!(degraded.retries, 1);
+        assert!(degraded.lost_work_us > 0.0);
+        assert!(degraded.makespan_us > healthy.makespan_us);
+        // Every task still completed, none on the dead queue after death.
+        assert_eq!(degraded.spans.len(), g.len());
+        for s in &degraded.spans {
+            if s.agent == AgentKind::GpuQueue && s.agent_index == 0 {
+                assert!(
+                    s.end_us <= 50.0,
+                    "dispatch to a dead queue at {}",
+                    s.start_us
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn losing_every_compatible_agent_is_an_error_not_a_hang() {
+        // GPU-only kernels with every queue dead before work starts being
+        // observable: the runtime reports the stranded task.
+        let mut g = TaskGraph::new();
+        g.add("k", TaskCost::gpu(100.0), &[]).unwrap();
+        let mut cfg = RuntimeConfig::hsa();
+        cfg.gpu_queues = 2;
+        let rt = Runtime::new(cfg);
+        let faults: Vec<AgentFault> = (0..2)
+            .map(|i| AgentFault {
+                agent: AgentKind::GpuQueue,
+                index: i,
+                at_us: 0.0,
+            })
+            .collect();
+        let err = rt
+            .execute_degraded(&g, &faults, RetryPolicy::default())
+            .unwrap_err();
+        assert_eq!(err, DegradeError::NoCompatibleAgent { task: 0 });
+    }
+
+    #[test]
+    fn retry_budget_is_bounded() {
+        // A long chain on a single queue that dies late: the one kernel in
+        // flight is lost once; with zero retries allowed that is fatal.
+        let mut g = TaskGraph::new();
+        g.add("k", TaskCost::gpu(100.0), &[]).unwrap();
+        let mut cfg = RuntimeConfig::hsa();
+        cfg.gpu_queues = 2;
+        let rt = Runtime::new(cfg);
+        let faults = [AgentFault {
+            agent: AgentKind::GpuQueue,
+            index: 0,
+            at_us: 50.0,
+        }];
+        let strict = RetryPolicy {
+            max_retries: 0,
+            backoff_us: 10.0,
+        };
+        let err = rt.execute_degraded(&g, &faults, strict).unwrap_err();
+        assert_eq!(
+            err,
+            DegradeError::RetriesExhausted {
+                task: 0,
+                attempts: 1
+            }
+        );
+        // With one retry the survivor picks it up after backoff.
+        let lenient = RetryPolicy {
+            max_retries: 1,
+            backoff_us: 10.0,
+        };
+        let ok = rt.execute_degraded(&g, &faults, lenient).unwrap();
+        assert_eq!(ok.retries, 1);
+        let span = ok.span_of(0).unwrap();
+        assert_eq!(span.agent_index, 1);
+        assert!(
+            span.start_us >= 60.0,
+            "backoff not honored: {}",
+            span.start_us
+        );
+    }
+
+    #[test]
+    fn degraded_execution_is_deterministic() {
+        let g = fork_join(16, 40.0);
+        let rt = Runtime::new(RuntimeConfig::hsa());
+        let faults = [
+            AgentFault {
+                agent: AgentKind::GpuQueue,
+                index: 3,
+                at_us: 30.0,
+            },
+            AgentFault {
+                agent: AgentKind::CpuCore,
+                index: 0,
+                at_us: 1.0,
+            },
+        ];
+        let a = rt
+            .execute_degraded(&g, &faults, RetryPolicy::default())
+            .unwrap();
+        let b = rt
+            .execute_degraded(&g, &faults, RetryPolicy::default())
+            .unwrap();
+        assert_eq!(a.spans, b.spans);
+        assert_eq!(a.makespan_us, b.makespan_us);
+        assert_eq!(a.retries, b.retries);
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! bandwidth model in `ena-core`.
 
 use ena_model::config::EhpConfig;
+use ena_model::error::DegradeError;
 use ena_model::units::Picojoules;
 
 use crate::extnet::{ExternalError, ExternalNetwork, ExternalStats};
@@ -56,6 +57,10 @@ pub struct MemorySystem {
     stacks: Vec<HbmStack>,
     external: ExternalNetwork,
     map: AddressMap,
+    /// Physical indices of the surviving stacks, in interleave order. The
+    /// address map spans `live.len()` logical stacks; logical stack `i`
+    /// is serviced by physical stack `live[i]`.
+    live: Vec<u32>,
     policy: Box<dyn PlacementPolicy>,
     epoch_len: u64,
     since_epoch: u64,
@@ -87,6 +92,7 @@ impl MemorySystem {
             stacks,
             external: ExternalNetwork::new(config.external.clone()),
             map: AddressMap::new(config.hbm.stacks, stack_capacity, PAGE_BYTES),
+            live: (0..config.hbm.stacks).collect(),
             policy,
             epoch_len,
             since_epoch: 0,
@@ -98,6 +104,48 @@ impl MemorySystem {
     /// Access the external network model directly (e.g. to inject faults).
     pub fn external_mut(&mut self) -> &mut ExternalNetwork {
         &mut self.external
+    }
+
+    /// Fails physical stack `stack`: the address space re-interleaves
+    /// across the survivors, shrinking in-package capacity and bandwidth.
+    /// Data on the dead stack is assumed restored from checkpoint into the
+    /// re-interleaved map; subsequent accesses fold into the smaller
+    /// region.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DegradeError::UnknownComponent`] if the stack does not
+    /// exist or already failed, or [`DegradeError::LastSurvivor`] when it
+    /// is the only stack left.
+    pub fn fail_stack(&mut self, stack: u32) -> Result<(), DegradeError> {
+        let pos =
+            self.live
+                .iter()
+                .position(|&s| s == stack)
+                .ok_or(DegradeError::UnknownComponent {
+                    component: "HBM stack",
+                    index: u64::from(stack),
+                })?;
+        if self.live.len() == 1 {
+            return Err(DegradeError::LastSurvivor("HBM stack"));
+        }
+        self.live.remove(pos);
+        self.map = AddressMap::new(
+            self.live.len() as u32,
+            self.map.stack_capacity,
+            self.map.granularity,
+        );
+        Ok(())
+    }
+
+    /// Number of surviving stacks.
+    pub fn live_stacks(&self) -> usize {
+        self.live.len()
+    }
+
+    /// In-package capacity across surviving stacks, in bytes.
+    pub fn in_package_bytes(&self) -> u64 {
+        self.map.in_package_bytes()
     }
 
     /// Services one logical access of `bytes` at `addr`.
@@ -126,7 +174,8 @@ impl MemorySystem {
                 let Tier::InPackage { stack, offset } = self.map.locate(folded) else {
                     unreachable!("folded address is in-package by construction")
                 };
-                let result = self.stacks[stack as usize].service(offset, bytes, dir, self.clock);
+                let physical = self.live[stack as usize];
+                let result = self.stacks[physical as usize].service(offset, bytes, dir, self.clock);
                 self.stats.energy += result.energy;
                 result.complete_cycle.saturating_sub(self.clock)
             }
@@ -248,6 +297,41 @@ mod tests {
         assert!(sys.stats().energy.value() > 0.0);
         assert!(sys.external_stats().accesses > 0);
         assert!(sys.stack_stats().iter().any(|s| s.accesses > 0));
+    }
+
+    #[test]
+    fn a_dead_stack_reinterleaves_with_capacity_loss() {
+        let mut sys = system(1.0);
+        let full = sys.in_package_bytes();
+        assert_eq!(sys.live_stacks(), 8);
+        sys.fail_stack(3).unwrap();
+        assert_eq!(sys.live_stacks(), 7);
+        assert_eq!(sys.in_package_bytes(), full / 8 * 7);
+        // Every access still lands on a survivor: the dead stack's service
+        // count stays frozen while traffic spreads over the other seven.
+        let before: u64 = sys.stack_stats()[3].accesses;
+        for i in 0..7000u64 {
+            sys.access(i * 4096, 64, false).unwrap();
+        }
+        let per_stack: Vec<u64> = sys.stack_stats().iter().map(|s| s.accesses).collect();
+        assert_eq!(per_stack[3], before, "dead stack serviced traffic");
+        for (i, &n) in per_stack.iter().enumerate() {
+            if i != 3 {
+                assert!(n >= 900, "stack {i} underused: {n} accesses");
+            }
+        }
+        // Double-failure and last-survivor guards are error values.
+        assert!(matches!(
+            sys.fail_stack(3),
+            Err(DegradeError::UnknownComponent { .. })
+        ));
+        for s in [0, 1, 2, 4, 5, 6] {
+            sys.fail_stack(s).unwrap();
+        }
+        assert_eq!(
+            sys.fail_stack(7),
+            Err(DegradeError::LastSurvivor("HBM stack"))
+        );
     }
 
     #[test]

@@ -65,6 +65,78 @@ impl fmt::Display for ProfileError {
 
 impl std::error::Error for ProfileError {}
 
+/// Error applying or propagating an injected component fault.
+///
+/// Shared by every layer the `ena-faults` engine degrades: the NoC reports
+/// malformed or severed routes, the memory system reports dead stacks, and
+/// the HSA runtime reports exhausted retries — all as values of this type,
+/// never as panics.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DegradeError {
+    /// A node id outside the topology (or already failed) was referenced.
+    UnknownNode(usize),
+    /// No route exists between two live nodes: degradation severed them.
+    Unreachable {
+        /// Route source node id.
+        src: usize,
+        /// Route destination node id.
+        dst: usize,
+    },
+    /// A named component index does not exist or has already failed.
+    UnknownComponent {
+        /// Component class (e.g. "HBM stack", "interposer link").
+        component: &'static str,
+        /// The rejected index.
+        index: u64,
+    },
+    /// Refusing to fail the last survivor of a component class.
+    LastSurvivor(&'static str),
+    /// A task exhausted its retry budget after repeated agent failures.
+    RetriesExhausted {
+        /// The task that could not complete.
+        task: usize,
+        /// Attempts consumed (including the first dispatch).
+        attempts: u32,
+    },
+    /// No live agent can run a task.
+    NoCompatibleAgent {
+        /// The stranded task.
+        task: usize,
+    },
+}
+
+impl fmt::Display for DegradeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DegradeError::UnknownNode(id) => write!(f, "unknown or failed node id {id}"),
+            DegradeError::Unreachable { src, dst } => {
+                write!(
+                    f,
+                    "no route from node {src} to node {dst} after degradation"
+                )
+            }
+            DegradeError::UnknownComponent { component, index } => {
+                write!(f, "{component} {index} does not exist or already failed")
+            }
+            DegradeError::LastSurvivor(component) => {
+                write!(f, "cannot fail the last surviving {component}")
+            }
+            DegradeError::RetriesExhausted { task, attempts } => {
+                write!(
+                    f,
+                    "task {task} exhausted its retry budget after {attempts} attempts"
+                )
+            }
+            DegradeError::NoCompatibleAgent { task } => {
+                write!(f, "no surviving agent can run task {task}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DegradeError {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -87,9 +159,30 @@ mod tests {
     }
 
     #[test]
+    fn degrade_errors_name_the_component() {
+        let e = DegradeError::UnknownComponent {
+            component: "HBM stack",
+            index: 9,
+        };
+        assert!(e.to_string().contains("HBM stack 9"));
+        let e = DegradeError::Unreachable { src: 3, dst: 17 };
+        assert!(e.to_string().contains("3"));
+        assert!(e.to_string().contains("17"));
+        let e = DegradeError::RetriesExhausted {
+            task: 4,
+            attempts: 3,
+        };
+        assert!(e.to_string().contains("retry budget"));
+        assert!(!DegradeError::LastSurvivor("GPU chiplet")
+            .to_string()
+            .is_empty());
+    }
+
+    #[test]
     fn errors_are_std_errors_and_send_sync() {
         fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
         assert_err::<ConfigError>();
         assert_err::<ProfileError>();
+        assert_err::<DegradeError>();
     }
 }

@@ -9,6 +9,7 @@
 
 use crate::energy::{EnergyModel, EnergyTally};
 use crate::topology::{NodeId, RouteTable, Topology};
+use ena_model::error::DegradeError;
 
 /// Router pipeline delay per traversed link, in cycles.
 const ROUTER_PIPELINE_CYCLES: u64 = 1;
@@ -31,6 +32,8 @@ pub struct Packet {
 pub struct NocStats {
     /// Packets delivered.
     pub delivered: u64,
+    /// Packets dropped because no route exists (severed by degradation).
+    pub dropped: u64,
     /// Packets whose source and destination share a chiplet site.
     pub local_packets: u64,
     /// Packets that crossed chiplet boundaries.
@@ -104,7 +107,10 @@ impl<'a> NocSim<'a> {
     /// Delivers a batch of packets, returning aggregate statistics.
     ///
     /// Packets are processed in injection order; equal injection cycles are
-    /// served in batch order (deterministic).
+    /// served in batch order (deterministic). Packets whose destination is
+    /// unreachable (a degraded topology severed the route) are counted in
+    /// [`NocStats::dropped`]; use [`NocSim::try_run`] to surface the first
+    /// such packet as an explicit error instead.
     pub fn run(&mut self, packets: &[Packet]) -> NocStats {
         let mut order: Vec<usize> = (0..packets.len()).collect();
         order.sort_by_key(|&i| (packets[i].inject_cycle, i));
@@ -117,7 +123,11 @@ impl<'a> NocSim<'a> {
 
         for &i in &order {
             let p = packets[i];
+            if p.src == p.dst {
+                continue;
+            }
             let Some(route) = self.table.get(p.src, p.dst) else {
+                stats.dropped += 1;
                 continue;
             };
             let mut now = p.inject_cycle;
@@ -147,6 +157,25 @@ impl<'a> NocSim<'a> {
             }
         }
         stats
+    }
+
+    /// Like [`NocSim::run`], but an unreachable destination is an explicit
+    /// error naming the severed pair instead of a silent drop.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DegradeError::Unreachable`] for the first packet with no
+    /// surviving route.
+    pub fn try_run(&mut self, packets: &[Packet]) -> Result<NocStats, DegradeError> {
+        for p in packets {
+            if p.src != p.dst && self.table.get(p.src, p.dst).is_none() {
+                return Err(DegradeError::Unreachable {
+                    src: p.src,
+                    dst: p.dst,
+                });
+            }
+        }
+        Ok(self.run(packets))
     }
 }
 
@@ -287,6 +316,45 @@ mod tests {
             .total();
         assert!(one.value() > 0.0);
         assert!((two.value() - 2.0 * one.value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degraded_topology_drops_severed_traffic_and_reroutes_the_rest() {
+        let mut topo = Topology::ehp_ring(8, 8);
+        let gpu3 = topo.find(NodeKind::GpuChiplet(3)).unwrap();
+        topo.fail_node(gpu3).unwrap();
+        let gpu0 = topo.find(NodeKind::GpuChiplet(0)).unwrap();
+        let hbm3 = topo.find(NodeKind::HbmStack(3)).unwrap();
+        let hbm6 = topo.find(NodeKind::HbmStack(6)).unwrap();
+        let packets = [
+            // Destination stack orphaned by the dead chiplet: dropped.
+            Packet {
+                src: gpu0,
+                dst: hbm3,
+                bytes: 64,
+                inject_cycle: 0,
+            },
+            // A surviving pair: rerouted and delivered.
+            Packet {
+                src: gpu0,
+                dst: hbm6,
+                bytes: 64,
+                inject_cycle: 0,
+            },
+        ];
+        let mut sim = NocSim::new(&topo);
+        let stats = sim.run(&packets);
+        assert_eq!(stats.delivered, 1);
+        assert_eq!(stats.dropped, 1);
+        // The strict variant names the severed pair.
+        let err = NocSim::new(&topo).try_run(&packets).unwrap_err();
+        assert_eq!(
+            err,
+            ena_model::error::DegradeError::Unreachable {
+                src: gpu0,
+                dst: hbm3
+            }
+        );
     }
 
     #[test]

@@ -14,6 +14,8 @@
 
 use std::collections::{HashMap, VecDeque};
 
+use ena_model::error::DegradeError;
+
 /// What a network endpoint or switch represents.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum NodeKind {
@@ -70,12 +72,23 @@ pub struct Link {
 }
 
 /// An interconnect graph.
+///
+/// Supports graceful degradation: nodes and links can be failed in place
+/// ([`Topology::fail_node`], [`Topology::fail_link_between`]); routing then
+/// works around the casualties, and severed destinations surface as
+/// [`DegradeError::Unreachable`] values rather than panics.
 #[derive(Clone, Debug, Default)]
 pub struct Topology {
     nodes: Vec<NodeKind>,
     links: Vec<Link>,
     /// Outgoing link indices per node.
     adjacency: Vec<Vec<usize>>,
+    /// Per-link liveness (indexed like `links`); failed links stay in the
+    /// vector so link-indexed statistics remain stable.
+    link_active: Vec<bool>,
+    /// Per-node liveness; failed nodes stay in the vector so ids remain
+    /// stable.
+    node_failed: Vec<bool>,
 }
 
 /// Link parameter bundle used while building topologies.
@@ -118,34 +131,133 @@ impl Topology {
     ///
     /// # Panics
     ///
-    /// Panics if `id` is out of range.
+    /// Panics if `id` is out of range. Use [`Topology::try_kind`] for
+    /// untrusted ids.
     pub fn kind(&self, id: NodeId) -> NodeKind {
         self.nodes[id]
     }
 
-    /// All links.
+    /// Kind of node `id`, as a value for untrusted ids.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DegradeError::UnknownNode`] if `id` is out of range.
+    pub fn try_kind(&self, id: NodeId) -> Result<NodeKind, DegradeError> {
+        self.nodes
+            .get(id)
+            .copied()
+            .ok_or(DegradeError::UnknownNode(id))
+    }
+
+    /// All links (failed links included, so link indices stay stable; see
+    /// [`Topology::link_is_active`]).
     pub fn links(&self) -> &[Link] {
         &self.links
     }
 
-    /// Finds the node of the given kind.
+    /// Finds the node of the given kind (failed nodes included — ids are
+    /// permanent).
     pub fn find(&self, kind: NodeKind) -> Option<NodeId> {
         self.nodes.iter().position(|&k| k == kind)
     }
 
-    /// Node ids of all endpoints of a given predicate.
+    /// Node ids of all *live* endpoints of a given predicate; failed
+    /// endpoints are excluded.
     pub fn endpoints(&self, pred: impl Fn(NodeKind) -> bool) -> Vec<NodeId> {
         self.nodes
             .iter()
             .enumerate()
-            .filter(|(_, &k)| k.is_endpoint() && pred(k))
+            .filter(|&(i, &k)| k.is_endpoint() && !self.node_failed[i] && pred(k))
             .map(|(i, _)| i)
             .collect()
+    }
+
+    /// True if node `id` has been failed.
+    pub fn is_failed(&self, id: NodeId) -> bool {
+        self.node_failed.get(id).copied().unwrap_or(false)
+    }
+
+    /// True if link `li` is still carrying traffic.
+    pub fn link_is_active(&self, li: usize) -> bool {
+        self.link_active.get(li).copied().unwrap_or(false)
+    }
+
+    /// Number of live (active) links.
+    pub fn active_link_count(&self) -> usize {
+        self.link_active.iter().filter(|&&a| a).count()
+    }
+
+    /// Fails node `id`: the node is marked dead and every incident link is
+    /// deactivated. Routing thereafter treats it as nonexistent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DegradeError::UnknownNode`] if `id` is out of range or the
+    /// node already failed.
+    pub fn fail_node(&mut self, id: NodeId) -> Result<(), DegradeError> {
+        if id >= self.nodes.len() || self.node_failed[id] {
+            return Err(DegradeError::UnknownNode(id));
+        }
+        self.node_failed[id] = true;
+        for (li, link) in self.links.iter().enumerate() {
+            if link.from == id || link.to == id {
+                self.link_active[li] = false;
+            }
+        }
+        Ok(())
+    }
+
+    /// Fails the node of the given kind.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DegradeError::UnknownComponent`] if no live node of that
+    /// kind exists.
+    pub fn fail_kind(&mut self, kind: NodeKind) -> Result<NodeId, DegradeError> {
+        let id = self.find(kind).filter(|&id| !self.node_failed[id]).ok_or(
+            DegradeError::UnknownComponent {
+                component: "topology node",
+                index: self.find(kind).map(|id| id as u64).unwrap_or(u64::MAX),
+            },
+        )?;
+        self.fail_node(id)?;
+        Ok(id)
+    }
+
+    /// Fails every link between nodes `a` and `b` (both directions).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DegradeError::UnknownNode`] for out-of-range ids, or
+    /// [`DegradeError::UnknownComponent`] if no active link joins the pair.
+    pub fn fail_link_between(&mut self, a: NodeId, b: NodeId) -> Result<usize, DegradeError> {
+        if a >= self.nodes.len() {
+            return Err(DegradeError::UnknownNode(a));
+        }
+        if b >= self.nodes.len() {
+            return Err(DegradeError::UnknownNode(b));
+        }
+        let mut cut = 0;
+        for (li, link) in self.links.iter().enumerate() {
+            let joins = (link.from == a && link.to == b) || (link.from == b && link.to == a);
+            if joins && self.link_active[li] {
+                self.link_active[li] = false;
+                cut += 1;
+            }
+        }
+        if cut == 0 {
+            return Err(DegradeError::UnknownComponent {
+                component: "interposer link",
+                index: a as u64,
+            });
+        }
+        Ok(cut)
     }
 
     fn add_node(&mut self, kind: NodeKind) -> NodeId {
         self.nodes.push(kind);
         self.adjacency.push(Vec::new());
+        self.node_failed.push(false);
         self.nodes.len() - 1
     }
 
@@ -161,6 +273,7 @@ impl Topology {
             };
             self.adjacency[from].push(self.links.len());
             self.links.push(link);
+            self.link_active.push(true);
         }
     }
 
@@ -286,7 +399,13 @@ impl Topology {
         let mut queue = VecDeque::from([src]);
         while let Some(n) = queue.pop_front() {
             for &li in &self.adjacency[n] {
+                if !self.link_active[li] {
+                    continue;
+                }
                 let link = self.links[li];
+                if self.node_failed[link.to] {
+                    continue;
+                }
                 let nd = dist[n] + u64::from(link.latency_cycles);
                 if nd < dist[link.to] {
                     dist[link.to] = nd;
@@ -298,23 +417,33 @@ impl Topology {
         pred
     }
 
-    /// Computes the link sequence of the route from `src` to `dst`.
+    /// Computes the link sequence of the route from `src` to `dst`,
+    /// working around failed links and nodes.
     ///
-    /// Returns `None` if `dst` is unreachable.
-    pub fn route(&self, src: NodeId, dst: NodeId) -> Option<Vec<usize>> {
+    /// # Errors
+    ///
+    /// Returns [`DegradeError::UnknownNode`] for out-of-range or failed
+    /// endpoints, and [`DegradeError::Unreachable`] when degradation has
+    /// severed every path — an error value, never a panic.
+    pub fn route(&self, src: NodeId, dst: NodeId) -> Result<Vec<usize>, DegradeError> {
+        for id in [src, dst] {
+            if id >= self.nodes.len() || self.node_failed[id] {
+                return Err(DegradeError::UnknownNode(id));
+            }
+        }
         if src == dst {
-            return Some(Vec::new());
+            return Ok(Vec::new());
         }
         let pred = self.shortest_from(src);
         let mut path = Vec::new();
         let mut cur = dst;
         while cur != src {
-            let li = pred[cur]?;
+            let li = pred[cur].ok_or(DegradeError::Unreachable { src, dst })?;
             path.push(li);
             cur = self.links[li].from;
         }
         path.reverse();
-        Some(path)
+        Ok(path)
     }
 
     /// Precomputes routes between all endpoint pairs.
@@ -511,5 +640,101 @@ mod tests {
     #[should_panic(expected = "pairs")]
     fn odd_gpu_chiplet_count_is_rejected() {
         let _ = Topology::ehp(7, 8);
+    }
+
+    #[test]
+    fn out_of_range_route_endpoints_are_errors_not_panics() {
+        let t = Topology::ehp(8, 8);
+        let gpu0 = t.find(NodeKind::GpuChiplet(0)).unwrap();
+        assert_eq!(
+            t.route(gpu0, 10_000),
+            Err(DegradeError::UnknownNode(10_000))
+        );
+        assert_eq!(t.try_kind(10_000), Err(DegradeError::UnknownNode(10_000)));
+    }
+
+    #[test]
+    fn failed_chiplet_disappears_from_endpoints_and_routes() {
+        let mut t = Topology::ehp(8, 8);
+        let gpu3 = t.find(NodeKind::GpuChiplet(3)).unwrap();
+        t.fail_node(gpu3).unwrap();
+        assert!(t.is_failed(gpu3));
+        assert!(!t
+            .endpoints(|k| matches!(k, NodeKind::GpuChiplet(_)))
+            .contains(&gpu3));
+        // Routing to the dead chiplet is an explicit error.
+        let cpu0 = t.find(NodeKind::CpuChiplet(0)).unwrap();
+        assert_eq!(t.route(cpu0, gpu3), Err(DegradeError::UnknownNode(gpu3)));
+        // Its stack hangs off the dead chiplet: live but unreachable.
+        let hbm3 = t.find(NodeKind::HbmStack(3)).unwrap();
+        assert_eq!(
+            t.route(cpu0, hbm3),
+            Err(DegradeError::Unreachable {
+                src: cpu0,
+                dst: hbm3
+            })
+        );
+        // Double-failing is rejected.
+        assert_eq!(t.fail_node(gpu3), Err(DegradeError::UnknownNode(gpu3)));
+        // Everything else stays mutually reachable.
+        let eps = t.endpoints(|k| !matches!(k, NodeKind::HbmStack(3)));
+        for &a in &eps {
+            for &b in &eps {
+                if a != b {
+                    assert!(t.route(a, b).is_ok(), "{:?} -> {:?}", t.kind(a), t.kind(b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ring_reroutes_around_a_cut_interposer_link() {
+        let mut t = Topology::ehp_ring(8, 8);
+        let r0 = t.find(NodeKind::InterposerRouter(0)).unwrap();
+        let r1 = t.find(NodeKind::InterposerRouter(1)).unwrap();
+        let gpu0 = t.find(NodeKind::GpuChiplet(0)).unwrap();
+        let hbm2 = t.find(NodeKind::HbmStack(2)).unwrap();
+        let before: u64 = t
+            .route(gpu0, hbm2)
+            .unwrap()
+            .iter()
+            .map(|&li| u64::from(t.links()[li].latency_cycles))
+            .sum();
+        let cut = t.fail_link_between(r0, r1).unwrap();
+        assert_eq!(cut, 2, "duplex link cuts both directions");
+        // Still reachable (the long way around the ring), at higher cost.
+        let after: u64 = t
+            .route(gpu0, hbm2)
+            .unwrap()
+            .iter()
+            .map(|&li| u64::from(t.links()[li].latency_cycles))
+            .sum();
+        assert!(after > before, "reroute {after} should exceed {before}");
+        // Cutting a non-existent link is an error value.
+        assert!(matches!(
+            t.fail_link_between(r0, r1),
+            Err(DegradeError::UnknownComponent { .. })
+        ));
+    }
+
+    #[test]
+    fn chain_partition_surfaces_as_unreachable() {
+        // The chain topology has no redundancy: one cut severs the package.
+        let mut t = Topology::ehp(8, 8);
+        let r0 = t.find(NodeKind::InterposerRouter(0)).unwrap();
+        let r1 = t.find(NodeKind::InterposerRouter(1)).unwrap();
+        t.fail_link_between(r0, r1).unwrap();
+        let gpu0 = t.find(NodeKind::GpuChiplet(0)).unwrap();
+        let gpu7 = t.find(NodeKind::GpuChiplet(7)).unwrap();
+        assert_eq!(
+            t.route(gpu0, gpu7),
+            Err(DegradeError::Unreachable {
+                src: gpu0,
+                dst: gpu7
+            })
+        );
+        // The route table simply omits the severed pairs.
+        let table = t.route_table();
+        assert!(table.get(gpu0, gpu7).is_none());
     }
 }

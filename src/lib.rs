@@ -18,6 +18,9 @@
 //!   and PPEP-style DVFS power prediction.
 //! - [`core`] — the node simulator, design-space exploration, dynamic
 //!   reconfiguration, RAS modeling, and system scaling.
+//! - [`faults`] — cross-layer fault injection and graceful degradation:
+//!   seeded failure campaigns, the `Degradable` contract, and degradation
+//!   reports cross-checked against the analytic availability models.
 //!
 //! # Quickstart
 //!
@@ -47,6 +50,7 @@
 
 pub use ena_core as core;
 pub use ena_cpu as cpu;
+pub use ena_faults as faults;
 pub use ena_gpu as gpu;
 pub use ena_hsa as hsa;
 pub use ena_memory as memory;

@@ -20,6 +20,17 @@ echo "==> example smoke runs"
 cargo run --release --example resilient_reconfiguration
 cargo run --release --example fault_campaign
 
+echo "==> sweep smoke: cold run, then warm run must hit the cache"
+rm -rf artifacts/sweep-cache
+cargo run --release -p ena-cli --bin ena -- sweep --jobs 2 --resume >/dev/null
+warm_line=$(cargo run --release -p ena-cli --bin ena -- sweep --jobs 2 --resume | grep '^cache:')
+echo "warm $warm_line"
+hit_rate=$(echo "$warm_line" | sed -n 's/.*(\([0-9.]*\)% hit rate).*/\1/p')
+if ! awk -v r="$hit_rate" 'BEGIN { exit !(r >= 90.0) }'; then
+  echo "ci.sh: warm sweep hit rate ${hit_rate}% is below 90%" >&2
+  exit 1
+fi
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

@@ -1,0 +1,56 @@
+//! Benchmarks the parallel sweep engine against the sequential oracle:
+//! points/sec on the coarse grid at `jobs = 1` versus `jobs = N`, with a
+//! fresh engine per iteration so memoization never shortcuts the work.
+//!
+//! Run with `cargo bench -p ena-bench --features timing`. The scaling
+//! summary lands in `artifacts/sweep_scaling.txt`.
+
+use ena_core::dse::{DesignSpace, Explorer};
+use ena_sweep::{SweepEngine, SweepSpec};
+use ena_testkit::golden::artifacts_dir;
+use ena_testkit::timing::Harness;
+use ena_workloads::paper_profiles;
+
+fn sweep_once(jobs: usize) -> usize {
+    let mut engine = SweepEngine::new(Explorer::default());
+    let spec = SweepSpec {
+        jobs,
+        ..SweepSpec::new(DesignSpace::coarse(), paper_profiles())
+    };
+    engine
+        .run(&spec)
+        .expect("coarse sweep completes")
+        .telemetry
+        .total_points
+}
+
+fn main() {
+    let points = DesignSpace::coarse().len() as f64;
+    let parallel_jobs = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .max(2);
+
+    let mut h = Harness::new("sweep");
+    h.sample_size(10);
+    let seq = h.bench("coarse_sweep_jobs_1", || {
+        std::hint::black_box(sweep_once(1))
+    });
+    let seq_pps = points / (seq.median_ns() * 1e-9);
+    let par = h.bench(&format!("coarse_sweep_jobs_{parallel_jobs}"), || {
+        std::hint::black_box(sweep_once(parallel_jobs))
+    });
+    let par_pps = points / (par.median_ns() * 1e-9);
+
+    let summary = format!(
+        "sweep scaling — coarse grid, {points:.0} points, fresh engine per run\n\
+         jobs=1: {seq_pps:.0} points/sec\n\
+         jobs={parallel_jobs}: {par_pps:.0} points/sec\n\
+         speedup: {:.2}x\n",
+        par_pps / seq_pps
+    );
+    print!("{summary}");
+    let path = artifacts_dir().join("sweep_scaling.txt");
+    std::fs::write(&path, summary).expect("write sweep_scaling.txt");
+    println!("wrote {}", path.display());
+}

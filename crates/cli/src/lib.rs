@@ -6,6 +6,7 @@
 //! ena evaluate --app LULESH --cus 320 --mhz 1000 --tbps 3 [--miss 0.15] [--optimized]
 //! ena suite    [--cus N --mhz F --tbps B]       # all eight workloads
 //! ena dse      [--budget 160] [--fine]          # design-space exploration
+//! ena sweep    [--jobs N] [--budget 160] [--fine] [--resume] [--frontier]
 //! ena chiplet  --app SNAP                       # chiplet-vs-monolithic study
 //! ena faults   [--seed N] [--app CoMD]          # fault-injection campaign
 //! ```
@@ -23,6 +24,7 @@ use ena_faults::{run_campaign, CampaignSpec};
 use ena_model::config::EhpConfig;
 use ena_model::units::{GigabytesPerSec, Megahertz, Watts};
 use ena_power::opts::PowerOptimization;
+use ena_sweep::{CacheMode, SweepEngine, SweepSpec};
 use ena_workloads::{paper_profiles, profile_for};
 
 /// A parsed command.
@@ -50,6 +52,19 @@ pub enum Command {
         budget: f64,
         /// Use the full >1000-point sweep instead of the coarse grid.
         fine: bool,
+    },
+    /// Run the parallel memoized sweep engine.
+    Sweep {
+        /// Package power budget in watts.
+        budget: f64,
+        /// Use the full >1000-point sweep instead of the coarse grid.
+        fine: bool,
+        /// Worker thread count.
+        jobs: usize,
+        /// Use the persistent cache under `artifacts/sweep-cache/`.
+        resume: bool,
+        /// Print the Pareto frontier.
+        frontier: bool,
     },
     /// Run the chiplet-vs-monolithic study for one app.
     Chiplet {
@@ -137,6 +152,25 @@ fn parse_point(args: &mut Vec<String>) -> Result<Point, String> {
     Ok(p)
 }
 
+/// Default sweep worker count: one per available hardware thread.
+fn default_jobs() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Locates the repository `artifacts/` directory by walking up from the
+/// working directory (creating `./artifacts` as a fallback target when
+/// none exists yet).
+fn artifacts_dir() -> std::path::PathBuf {
+    let cwd = std::env::current_dir().unwrap_or_else(|_| std::path::PathBuf::from("."));
+    for dir in cwd.ancestors() {
+        let candidate = dir.join("artifacts");
+        if candidate.is_dir() {
+            return candidate;
+        }
+    }
+    cwd.join("artifacts")
+}
+
 fn require_app(args: &mut Vec<String>) -> Result<String, String> {
     let app = take_value(args, "--app")?.ok_or("--app is required")?;
     if profile_for(&app).is_none() {
@@ -187,6 +221,26 @@ pub fn parse(mut args: Vec<String>) -> Result<Command, String> {
             let fine = take_flag(&mut args, "--fine");
             Command::Dse { budget, fine }
         }
+        "sweep" => {
+            let budget = take_value(&mut args, "--budget")?
+                .map(|v| v.parse::<f64>().map_err(|_| format!("bad --budget: {v}")))
+                .transpose()?
+                .unwrap_or(160.0);
+            let jobs = take_value(&mut args, "--jobs")?
+                .map(|v| v.parse::<usize>().map_err(|_| format!("bad --jobs: {v}")))
+                .transpose()?
+                .unwrap_or_else(default_jobs);
+            if jobs == 0 {
+                return Err("--jobs must be at least 1".into());
+            }
+            Command::Sweep {
+                budget,
+                fine: take_flag(&mut args, "--fine"),
+                jobs,
+                resume: take_flag(&mut args, "--resume"),
+                frontier: take_flag(&mut args, "--frontier"),
+            }
+        }
         "chiplet" => Command::Chiplet {
             app: require_app(&mut args)?,
         },
@@ -227,6 +281,7 @@ commands:
   evaluate --app NAME [--cus N] [--mhz F] [--tbps B] [--miss M] [--optimized]
   suite    [--cus N] [--mhz F] [--tbps B]
   dse      [--budget W] [--fine]
+  sweep    [--jobs N] [--budget W] [--fine] [--resume] [--frontier]
   chiplet  --app NAME
   faults   [--seed N] [--app NAME]
   help
@@ -326,6 +381,90 @@ pub fn execute(command: Command) -> Result<String, String> {
                     a.point.label(),
                     a.benefit_over_mean_pct
                 ));
+            }
+            Ok(out)
+        }
+        Command::Sweep {
+            budget,
+            fine,
+            jobs,
+            resume,
+            frontier,
+        } => {
+            let explorer = Explorer {
+                budget: Watts::new(budget),
+                ..Explorer::default()
+            };
+            let space = if fine {
+                DesignSpace::paper()
+            } else {
+                DesignSpace::coarse()
+            };
+            let cache = if resume {
+                CacheMode::Disk(artifacts_dir().join("sweep-cache"))
+            } else {
+                CacheMode::Memory
+            };
+            let spec = SweepSpec {
+                jobs,
+                cache,
+                ..SweepSpec::new(space, paper_profiles())
+            };
+            let outcome = SweepEngine::new(explorer)
+                .run(&spec)
+                .map_err(|e| e.to_string())?;
+            let t = &outcome.telemetry;
+            let result = &outcome.result;
+            let mut out = format!(
+                "swept {} configurations on {} jobs, {} feasible under {budget} W\n\
+                 best-mean: {}\n\
+                 cache: {} hits / {} points ({:.1}% hit rate)\n\
+                 throughput: {:.0} points/sec in {:.1} ms\n",
+                result.evaluated,
+                t.jobs,
+                result.feasible,
+                result.best_mean.label(),
+                t.cache_hits,
+                t.total_points,
+                100.0 * t.hit_rate(),
+                t.points_per_sec(),
+                t.elapsed.as_secs_f64() * 1e3,
+            );
+            let utilization: Vec<String> = t
+                .workers
+                .iter()
+                .enumerate()
+                .map(|(i, w)| format!("w{i} {} pts/{} steals", w.points, w.steals))
+                .collect();
+            out.push_str(&format!("workers: {}\n", utilization.join(" | ")));
+            out.push_str("\nper-app oracle:\n");
+            for a in &result.per_app {
+                out.push_str(&format!(
+                    "  {:<10} {:<18} {:+.1}%\n",
+                    a.app,
+                    a.point.label(),
+                    a.benefit_over_mean_pct
+                ));
+            }
+            if frontier {
+                out.push_str(&format!(
+                    "\nPareto frontier ({} of {} feasible points):\n{:<20} {:>10} {:>8} {:>8}\n",
+                    outcome.frontier.len(),
+                    result.feasible,
+                    "config",
+                    "geomean",
+                    "peak W",
+                    "peak C"
+                ));
+                for f in &outcome.frontier {
+                    out.push_str(&format!(
+                        "{:<20} {:>9.1}% {:>8.1} {:>8.1}\n",
+                        f.point.label(),
+                        100.0 * f.score.exp(),
+                        f.peak_power_w,
+                        f.peak_dram_c
+                    ));
+                }
             }
             Ok(out)
         }
@@ -433,6 +572,47 @@ mod tests {
         let out = execute(parse_str("dse --budget 150").unwrap()).unwrap();
         assert!(out.contains("best-mean"));
         assert!(out.contains("per-app oracle"));
+    }
+
+    #[test]
+    fn sweep_parses_all_knobs() {
+        assert_eq!(
+            parse_str("sweep --jobs 4 --budget 150 --fine --resume --frontier").unwrap(),
+            Command::Sweep {
+                budget: 150.0,
+                fine: true,
+                jobs: 4,
+                resume: true,
+                frontier: true,
+            }
+        );
+        assert!(parse_str("sweep --jobs 0").unwrap_err().contains("--jobs"));
+        assert!(parse_str("sweep --jobs two")
+            .unwrap_err()
+            .contains("--jobs"));
+    }
+
+    #[test]
+    fn sweep_reports_telemetry_and_matches_dse() {
+        let out = execute(parse_str("sweep --jobs 2 --frontier").unwrap()).unwrap();
+        assert!(out.contains("best-mean"), "{out}");
+        assert!(out.contains("hit rate"), "{out}");
+        assert!(out.contains("points/sec"), "{out}");
+        assert!(out.contains("per-app oracle"), "{out}");
+        assert!(out.contains("Pareto frontier"), "{out}");
+        // The engine and the sequential dse agree on the headline line.
+        let dse = execute(parse_str("dse").unwrap()).unwrap();
+        let best = |report: &str| {
+            report
+                .lines()
+                .find(|l| l.starts_with("best-mean"))
+                .expect("best-mean line")
+                .to_string()
+        };
+        assert_eq!(
+            best(&out).replace("best-mean:", ""),
+            best(&dse).replace("best-mean:", "")
+        );
     }
 
     #[test]

@@ -9,8 +9,9 @@
 use ena_model::config::{EhpConfig, MAX_CUS, NODE_POWER_BUDGET};
 use ena_model::kernel::KernelProfile;
 use ena_model::units::{GigabytesPerSec, Megahertz, Watts};
+use ena_thermal::DramTempEstimator;
 
-use crate::node::{EvalOptions, NodeEvaluation, NodeSimulator};
+use crate::node::{EvalOptions, NodeSimulator};
 
 /// One point in the hardware design space.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -111,8 +112,58 @@ impl DesignSpace {
     }
 }
 
+/// The observables one node evaluation contributes to the sweep
+/// reductions, in plain `f64` form so records are cheap to store, hash,
+/// and round-trip through a cache bit-exactly.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PointEval {
+    /// Achieved throughput (GFLOP/s).
+    pub throughput: f64,
+    /// Package power (W), the feasibility axis.
+    pub package_power: f64,
+    /// Estimated peak DRAM temperature (°C) via
+    /// [`DramTempEstimator`](ena_thermal::DramTempEstimator).
+    pub peak_dram_c: f64,
+}
+
+/// One design point with its per-profile evaluations, in profile order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PointRecord {
+    /// The evaluated design point.
+    pub point: ConfigPoint,
+    /// One [`PointEval`] per profile, in the profiles' order.
+    pub evals: Vec<PointEval>,
+}
+
+/// Per-app throughput maxima across the given records — the
+/// normalization base of the geometric-mean score.
+pub fn app_maxima<'a>(
+    records: impl IntoIterator<Item = &'a PointRecord>,
+    n_apps: usize,
+) -> Vec<f64> {
+    let mut app_max = vec![0.0f64; n_apps];
+    for record in records {
+        for (i, e) in record.evals.iter().enumerate() {
+            app_max[i] = app_max[i].max(e.throughput);
+        }
+    }
+    app_max
+}
+
+/// Geometric-mean score of one record's evals against per-app maxima:
+/// mean of `ln(throughput / max)` with the throughput ratio floored at
+/// `1e-12` so a zero-throughput app cannot produce `-inf`.
+pub fn geomean_score(evals: &[PointEval], app_max: &[f64]) -> f64 {
+    evals
+        .iter()
+        .enumerate()
+        .map(|(i, e)| (e.throughput / app_max[i]).max(1e-12).ln())
+        .sum::<f64>()
+        / evals.len() as f64
+}
+
 /// The best configuration found for one application.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct AppBest {
     /// Application name.
     pub app: String,
@@ -125,7 +176,7 @@ pub struct AppBest {
 }
 
 /// Full exploration result.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct DseResult {
     /// The best-mean configuration.
     pub best_mean: ConfigPoint,
@@ -161,80 +212,80 @@ impl Default for Explorer {
 }
 
 impl Explorer {
-    /// Evaluates every profile at `point`, or `None` if any application
-    /// busts the package budget there.
-    fn evaluate_point(
-        &self,
-        point: ConfigPoint,
-        profiles: &[KernelProfile],
-    ) -> Option<Vec<NodeEvaluation>> {
+    /// Evaluates every profile at `point`.
+    ///
+    /// This is the pure per-point kernel of the exploration: no shared
+    /// state, no ordering dependence. The sequential [`Explorer::explore`]
+    /// and the parallel `ena-sweep` engine both call it, which is what
+    /// makes their results byte-identical by construction.
+    pub fn evaluate_point(&self, point: ConfigPoint, profiles: &[KernelProfile]) -> PointRecord {
         let config = point.to_config();
-        let evals: Vec<NodeEvaluation> = profiles
+        let evals = profiles
             .iter()
-            .map(|p| self.sim.evaluate(&config, p, &self.options))
+            .map(|p| {
+                let eval = self.sim.evaluate(&config, p, &self.options);
+                PointEval {
+                    throughput: eval.perf.throughput.value(),
+                    package_power: eval.package_power().value(),
+                    peak_dram_c: DramTempEstimator::peak_dram(
+                        &self.sim.chiplet_power(&config, &eval),
+                    )
+                    .value(),
+                }
+            })
             .collect();
-        if evals
-            .iter()
-            .all(|e| e.package_power().value() <= self.budget.value())
-        {
-            Some(evals)
-        } else {
-            None
-        }
+        PointRecord { point, evals }
     }
 
-    /// Sweeps the space and returns the best-mean and per-app results.
+    /// True if every application fits the package budget at this record.
+    pub fn is_feasible(&self, record: &PointRecord) -> bool {
+        record
+            .evals
+            .iter()
+            .all(|e| e.package_power <= self.budget.value())
+    }
+
+    /// Reduces per-point records (in design-space point order) to the
+    /// best-mean and per-app oracle results.
+    ///
+    /// Pure function of its inputs: feeding it records produced by
+    /// [`Explorer::evaluate_point`] in point order reproduces
+    /// [`Explorer::explore`] exactly, whatever produced the records.
     ///
     /// # Panics
     ///
-    /// Panics if `space` or `profiles` is empty, or no point is feasible.
-    pub fn explore(&self, space: &DesignSpace, profiles: &[KernelProfile]) -> DseResult {
-        assert!(!space.is_empty(), "empty design space");
+    /// Panics if `records` or `profiles` is empty, or no point is
+    /// feasible under the budget.
+    pub fn reduce(&self, records: &[PointRecord], profiles: &[KernelProfile]) -> DseResult {
+        assert!(!records.is_empty(), "empty design space");
         assert!(!profiles.is_empty(), "no profiles to evaluate");
 
-        let points = space.points();
-        // Feasible evaluations per point.
-        let mut feasible: Vec<(ConfigPoint, Vec<NodeEvaluation>)> = Vec::new();
-        for &point in &points {
-            if let Some(evals) = self.evaluate_point(point, profiles) {
-                feasible.push((point, evals));
-            }
-        }
+        let feasible: Vec<&PointRecord> = records.iter().filter(|r| self.is_feasible(r)).collect();
         assert!(
             !feasible.is_empty(),
             "no feasible configuration under the budget"
         );
 
         // Per-app maxima across feasible points, for normalization.
-        let mut app_max = vec![0.0f64; profiles.len()];
-        for (_, evals) in &feasible {
-            for (i, e) in evals.iter().enumerate() {
-                app_max[i] = app_max[i].max(e.perf.throughput.value());
-            }
-        }
+        let app_max = app_maxima(feasible.iter().copied(), profiles.len());
 
         // Best mean: geometric mean of normalized per-app throughput.
-        let mut best_mean = feasible[0].0;
+        let mut best_mean = feasible[0].point;
         let mut best_score = f64::MIN;
-        let mut best_evals: Option<&Vec<NodeEvaluation>> = None;
-        for (point, evals) in &feasible {
-            let score: f64 = evals
-                .iter()
-                .enumerate()
-                .map(|(i, e)| (e.perf.throughput.value() / app_max[i]).max(1e-12).ln())
-                .sum::<f64>()
-                / evals.len() as f64;
+        let mut best_evals: Option<&[PointEval]> = None;
+        for record in &feasible {
+            let score = geomean_score(&record.evals, &app_max);
             if score > best_score {
                 best_score = score;
-                best_mean = *point;
-                best_evals = Some(evals);
+                best_mean = record.point;
+                best_evals = Some(&record.evals);
             }
         }
         let best_evals = best_evals.expect("at least one feasible point");
         let mean_config_throughput: Vec<(String, f64)> = profiles
             .iter()
             .zip(best_evals)
-            .map(|(p, e)| (p.name.clone(), e.perf.throughput.value()))
+            .map(|(p, e)| (p.name.clone(), e.throughput))
             .collect();
 
         // Per-app oracle: each app may pick any point feasible *for it*
@@ -243,14 +294,11 @@ impl Explorer {
         for (i, profile) in profiles.iter().enumerate() {
             let mut best_point = best_mean;
             let mut best_tp = 0.0f64;
-            for &point in &points {
-                let config = point.to_config();
-                let eval = self.sim.evaluate(&config, profile, &self.options);
-                if eval.package_power().value() <= self.budget.value()
-                    && eval.perf.throughput.value() > best_tp
-                {
-                    best_tp = eval.perf.throughput.value();
-                    best_point = point;
+            for record in records {
+                let e = &record.evals[i];
+                if e.package_power <= self.budget.value() && e.throughput > best_tp {
+                    best_tp = e.throughput;
+                    best_point = record.point;
                 }
             }
             let mean_tp = mean_config_throughput[i].1;
@@ -266,9 +314,25 @@ impl Explorer {
             best_mean,
             mean_config_throughput,
             per_app,
-            evaluated: points.len(),
+            evaluated: records.len(),
             feasible: feasible.len(),
         }
+    }
+
+    /// Sweeps the space and returns the best-mean and per-app results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `space` or `profiles` is empty, or no point is feasible.
+    pub fn explore(&self, space: &DesignSpace, profiles: &[KernelProfile]) -> DseResult {
+        assert!(!space.is_empty(), "empty design space");
+        assert!(!profiles.is_empty(), "no profiles to evaluate");
+        let records: Vec<PointRecord> = space
+            .points()
+            .into_iter()
+            .map(|point| self.evaluate_point(point, profiles))
+            .collect();
+        self.reduce(&records, profiles)
     }
 }
 

@@ -40,6 +40,6 @@ pub mod reconfig;
 pub mod resilience;
 pub mod system;
 
-pub use dse::{DesignSpace, Explorer};
+pub use dse::{ConfigPoint, DesignSpace, DseResult, Explorer, PointEval, PointRecord};
 pub use node::{EvalOptions, NodeEvaluation, NodeSimulator};
 pub use perf::{PerfEstimate, PerfModel};

@@ -401,6 +401,32 @@ pub fn run_campaign(spec: &CampaignSpec) -> Result<DegradationReport, DegradeErr
     })
 }
 
+/// Re-runs one swept design point under a seeded single-chiplet-loss
+/// plan: the sweep x fault cross-product in one call.
+///
+/// The design-space explorer answers "which configuration is best when
+/// everything works"; this answers "and what does that configuration
+/// retain when a chiplet dies". Any swept point is a valid base — the
+/// builder always spreads CUs over the full 8-chiplet package, so the
+/// single-loss plan is survivable everywhere in the space.
+///
+/// # Errors
+///
+/// Returns a [`DegradeError`] if `workload` names no known profile (the
+/// seeded single-chiplet plan itself is always survivable).
+pub fn sweep_degraded(
+    point: ena_core::dse::ConfigPoint,
+    workload: &str,
+    seed: u64,
+) -> Result<DegradationReport, DegradeError> {
+    run_campaign(&CampaignSpec {
+        workload: workload.into(),
+        base: point.to_config(),
+        plan: FaultPlan::single_chiplet_loss(seed),
+        ..CampaignSpec::standard(seed)
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -463,6 +489,29 @@ mod tests {
         spec.plan = FaultPlan::new(1);
         spec.plan.push(1.0, FaultKind::GpuChiplet(99));
         assert!(run_campaign(&spec).is_err());
+    }
+
+    #[test]
+    fn sweep_degraded_runs_any_design_point() {
+        use ena_core::dse::ConfigPoint;
+        use ena_model::units::{GigabytesPerSec, Megahertz};
+
+        // A corner of the sweep grid, not the paper baseline.
+        let point = ConfigPoint {
+            cus: 192,
+            clock: Megahertz::new(600.0),
+            bandwidth: GigabytesPerSec::from_terabytes_per_sec(1.0),
+        };
+        let report = sweep_degraded(point, "CoMD", 0xC0FFEE).unwrap();
+        assert_eq!(report.steps.len(), 1);
+        let retained = report.throughput_retained();
+        assert!(retained > 0.0 && retained < 1.0, "retained = {retained}");
+        assert_eq!(report.final_snapshot().gpu_chiplets, 7);
+        // Seeded: byte-identical across runs.
+        assert_eq!(
+            report.render(),
+            sweep_degraded(point, "CoMD", 0xC0FFEE).unwrap().render()
+        );
     }
 
     #[test]

@@ -52,7 +52,8 @@ pub mod degrade;
 pub mod plan;
 
 pub use campaign::{
-    run_campaign, CampaignSpec, CampaignStep, DegradationReport, MemoryOutcome, Snapshot,
+    run_campaign, sweep_degraded, CampaignSpec, CampaignStep, DegradationReport, MemoryOutcome,
+    Snapshot,
 };
 pub use crosscheck::{crosscheck_availability, AvailabilityEstimate};
 pub use degrade::{Degradable, DegradedNode};

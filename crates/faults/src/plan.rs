@@ -184,6 +184,19 @@ impl FaultPlan {
         plan.push(advance(&mut rng), FaultKind::InterposerLink(seg_b));
         plan
     }
+
+    /// Samples the minimal cross-product campaign on the 8-GPU package:
+    /// exactly one GPU chiplet dies (taking its HBM stack as collateral),
+    /// with the victim and time fixed entirely by `seed`. This is the
+    /// fault leg of sweep x fault studies: small enough to run against
+    /// any design point, severe enough to exercise every cascade path.
+    pub fn single_chiplet_loss(seed: u64) -> Self {
+        let mut rng = SplitMix64(seed);
+        let mut plan = Self::new(seed);
+        let gpu = rng.below(8) as u32;
+        plan.push(60.0 + rng.below(120) as f64, FaultKind::GpuChiplet(gpu));
+        plan
+    }
 }
 
 impl fmt::Display for FaultPlan {
@@ -243,6 +256,21 @@ mod tests {
             assert_ne!(segments[0], segments[1]);
             assert!(segments.iter().all(|&s| s < 6));
         }
+    }
+
+    #[test]
+    fn single_chiplet_loss_is_seeded_and_minimal() {
+        for seed in [0u64, 9, 0xC0FFEE] {
+            let a = FaultPlan::single_chiplet_loss(seed);
+            assert_eq!(a, FaultPlan::single_chiplet_loss(seed));
+            assert_eq!(a.len(), 1);
+            assert!(matches!(a.events()[0].kind, FaultKind::GpuChiplet(i) if i < 8));
+            assert!(a.events()[0].at_us >= 60.0);
+        }
+        assert_ne!(
+            FaultPlan::single_chiplet_loss(1),
+            FaultPlan::single_chiplet_loss(2)
+        );
     }
 
     #[test]

@@ -13,6 +13,9 @@
 //!   workload crate and the performance/power models.
 //! - [`cost`] — die-yield and package-cost modeling (the Section II-A.2
 //!   chiplet rationale, quantified).
+//! - [`hash`] — stable structural hashing ([`StableHash`](hash::StableHash))
+//!   and the [`MODEL_VERSION`](hash::MODEL_VERSION) stamp, the foundation of
+//!   sweep memoization keys.
 //! - [`error`] — validation error types.
 //!
 //! # Example
@@ -43,8 +46,10 @@
 pub mod config;
 pub mod cost;
 pub mod error;
+pub mod hash;
 pub mod kernel;
 pub mod units;
 
 pub use config::EhpConfig;
+pub use hash::{StableHash, StableHasher, MODEL_VERSION};
 pub use kernel::{KernelCategory, KernelProfile};

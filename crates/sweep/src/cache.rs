@@ -1,0 +1,263 @@
+//! Persistent content-addressed sweep cache with checkpoint/resume.
+//!
+//! One campaign (a fixed budget, evaluation options, and profile set)
+//! maps to one append-only file under the cache directory, named by the
+//! campaign digest. Each line is one evaluated design point: its
+//! content-addressed key, the point coordinates, and every `f64`
+//! observable as an IEEE-754 bit pattern in hex — so a record
+//! round-trips through disk *bit-exactly*, which is what lets a resumed
+//! sweep reproduce an uninterrupted one byte-for-byte.
+//!
+//! The header line carries the model-version stamp. A file whose stamp
+//! does not match the running binary is evicted wholesale on open:
+//! numbers computed by an older model must never leak into fresh
+//! results. A truncated trailing line (a sweep killed mid-append) is
+//! ignored, so a crash costs at most one point.
+
+use std::fs;
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+use ena_core::dse::{ConfigPoint, PointEval, PointRecord};
+use ena_model::units::{GigabytesPerSec, Megahertz};
+
+/// Magic tag of the cache file format.
+const FORMAT: &str = "ena-sweep-cache/1";
+
+/// On-disk cache of one campaign's evaluated points.
+#[derive(Debug)]
+pub struct DiskCache {
+    path: PathBuf,
+    writer: BufWriter<fs::File>,
+}
+
+impl DiskCache {
+    /// File name of a campaign's cache inside `dir`.
+    pub fn file_name(campaign: u64) -> String {
+        format!("campaign-{campaign:016x}.sweep")
+    }
+
+    /// Opens (creating if needed) the cache for `campaign`, returning the
+    /// handle plus every intact record already on disk.
+    ///
+    /// A file with a foreign or damaged header — including a mismatched
+    /// model-version stamp — is deleted and recreated empty.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating the directory or file.
+    pub fn open(
+        dir: &Path,
+        campaign: u64,
+        version: &str,
+    ) -> io::Result<(Self, Vec<(u64, PointRecord)>)> {
+        fs::create_dir_all(dir)?;
+        let path = dir.join(Self::file_name(campaign));
+
+        let mut entries = Vec::new();
+        let mut valid = false;
+        if let Ok(text) = fs::read_to_string(&path) {
+            let mut lines = text.lines();
+            if lines.next() == Some(header_line(campaign, version).as_str()) {
+                valid = true;
+                for line in lines {
+                    match parse_entry(line) {
+                        Some(entry) => entries.push(entry),
+                        // Torn tail from an interrupted append: drop the
+                        // rest, the points will simply be re-evaluated.
+                        None => break,
+                    }
+                }
+            }
+        }
+
+        if !valid {
+            // Stale stamp or foreign bytes: evict, then start fresh.
+            let _ = fs::remove_file(&path);
+            let mut writer = BufWriter::new(
+                fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(&path)?,
+            );
+            writeln!(writer, "{}", header_line(campaign, version))?;
+            writer.flush()?;
+            return Ok((Self { path, writer }, Vec::new()));
+        }
+
+        // Re-append only the intact prefix if a torn tail was dropped.
+        let intact: String = std::iter::once(header_line(campaign, version))
+            .chain(entries.iter().map(|(k, r)| entry_line(*k, r)))
+            .map(|l| l + "\n")
+            .collect();
+        fs::write(&path, &intact)?;
+        let writer = BufWriter::new(fs::OpenOptions::new().append(true).open(&path)?);
+        Ok((Self { path, writer }, entries))
+    }
+
+    /// Appends one evaluated point and flushes it to disk (each record is
+    /// a checkpoint).
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from the append.
+    pub fn append(&mut self, key: u64, record: &PointRecord) -> io::Result<()> {
+        writeln!(self.writer, "{}", entry_line(key, record))?;
+        self.writer.flush()
+    }
+
+    /// Path of the backing file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+fn header_line(campaign: u64, version: &str) -> String {
+    format!("{FORMAT} model={version} campaign={campaign:016x}")
+}
+
+fn entry_line(key: u64, record: &PointRecord) -> String {
+    use std::fmt::Write as _;
+    let mut line = format!(
+        "{key:016x} {} {:016x} {:016x} {}",
+        record.point.cus,
+        record.point.clock.value().to_bits(),
+        record.point.bandwidth.value().to_bits(),
+        record.evals.len(),
+    );
+    for e in &record.evals {
+        write!(
+            line,
+            " {:016x} {:016x} {:016x}",
+            e.throughput.to_bits(),
+            e.package_power.to_bits(),
+            e.peak_dram_c.to_bits(),
+        )
+        .expect("writing to String cannot fail");
+    }
+    line
+}
+
+fn parse_entry(line: &str) -> Option<(u64, PointRecord)> {
+    let mut fields = line.split(' ');
+    let key = u64::from_str_radix(fields.next()?, 16).ok()?;
+    let cus: u32 = fields.next()?.parse().ok()?;
+    let clock = f64::from_bits(u64::from_str_radix(fields.next()?, 16).ok()?);
+    let bandwidth = f64::from_bits(u64::from_str_radix(fields.next()?, 16).ok()?);
+    let n: usize = fields.next()?.parse().ok()?;
+    let mut evals = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut f = || {
+            Some(f64::from_bits(
+                u64::from_str_radix(fields.next()?, 16).ok()?,
+            ))
+        };
+        evals.push(PointEval {
+            throughput: f()?,
+            package_power: f()?,
+            peak_dram_c: f()?,
+        });
+    }
+    if fields.next().is_some() {
+        return None;
+    }
+    Some((
+        key,
+        PointRecord {
+            point: ConfigPoint {
+                cus,
+                clock: Megahertz::new(clock),
+                bandwidth: GigabytesPerSec::new(bandwidth),
+            },
+            evals,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(seed: f64) -> PointRecord {
+        PointRecord {
+            point: ConfigPoint {
+                cus: 320,
+                clock: Megahertz::new(1000.0 + seed),
+                bandwidth: GigabytesPerSec::new(3000.0),
+            },
+            evals: vec![
+                PointEval {
+                    throughput: 1234.5678 + seed,
+                    package_power: 158.999,
+                    peak_dram_c: 71.25,
+                },
+                PointEval {
+                    throughput: 0.1 + seed,
+                    package_power: 140.0,
+                    peak_dram_c: 68.0,
+                },
+            ],
+        }
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ena-sweep-cache-test-{name}"));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn records_round_trip_bit_exactly() {
+        let dir = tmp("roundtrip");
+        let (mut cache, loaded) = DiskCache::open(&dir, 7, "v1").unwrap();
+        assert!(loaded.is_empty());
+        cache.append(11, &record(0.0)).unwrap();
+        cache.append(22, &record(0.125)).unwrap();
+        drop(cache);
+
+        let (_, loaded) = DiskCache::open(&dir, 7, "v1").unwrap();
+        assert_eq!(loaded, vec![(11, record(0.0)), (22, record(0.125))]);
+    }
+
+    #[test]
+    fn mismatched_version_stamp_evicts_the_file() {
+        let dir = tmp("stamp");
+        let (mut cache, _) = DiskCache::open(&dir, 7, "v1").unwrap();
+        cache.append(11, &record(0.0)).unwrap();
+        drop(cache);
+
+        let (_, loaded) = DiskCache::open(&dir, 7, "v2").unwrap();
+        assert!(loaded.is_empty(), "stale entries must be evicted");
+        // And the eviction is durable: reopening under the old stamp
+        // finds nothing either.
+        let (_, loaded) = DiskCache::open(&dir, 7, "v1").unwrap();
+        assert!(loaded.is_empty());
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_not_fatal() {
+        let dir = tmp("torn");
+        let (mut cache, _) = DiskCache::open(&dir, 7, "v1").unwrap();
+        cache.append(11, &record(0.0)).unwrap();
+        cache.append(22, &record(1.0)).unwrap();
+        let path = cache.path().to_path_buf();
+        drop(cache);
+
+        // Simulate a kill mid-append: truncate the last line in half.
+        let text = fs::read_to_string(&path).unwrap();
+        fs::write(&path, &text[..text.len() - 20]).unwrap();
+
+        let (mut cache, loaded) = DiskCache::open(&dir, 7, "v1").unwrap();
+        assert_eq!(loaded, vec![(11, record(0.0))]);
+        // The repaired file keeps accepting appends.
+        cache.append(22, &record(1.0)).unwrap();
+        drop(cache);
+        let (_, loaded) = DiskCache::open(&dir, 7, "v1").unwrap();
+        assert_eq!(loaded.len(), 2);
+    }
+
+    #[test]
+    fn different_campaigns_use_different_files() {
+        assert_ne!(DiskCache::file_name(1), DiskCache::file_name(2));
+    }
+}

@@ -1,0 +1,385 @@
+//! The sweep engine: memoized, parallel, resumable design-space
+//! exploration that is byte-identical to the sequential oracle.
+//!
+//! Determinism argument, in three parts:
+//!
+//! 1. **Same kernel.** Every point is evaluated by
+//!    [`Explorer::evaluate_point`] — the exact function the sequential
+//!    [`Explorer::explore`] calls — and the simulator underneath is
+//!    deterministic, so a point's record does not depend on *when*,
+//!    *where*, or *how often* it is computed.
+//! 2. **Order-independent merge.** Workers return chunks tagged with
+//!    their index; the engine reassembles records in design-space point
+//!    order before reducing. Scheduling order never reaches the
+//!    reduction.
+//! 3. **Bit-exact memoization.** Cached records store `f64`s by bit
+//!    pattern (in memory and on disk), so a cache hit replays the very
+//!    bits a fresh evaluation would produce.
+//!
+//! Hence `reduce(merge(...))` sees the same bytes whatever the thread
+//! count, cache temperature, or interruption history.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use ena_core::dse::{DesignSpace, DseResult, PointRecord};
+use ena_core::Explorer;
+use ena_model::hash::{StableHash, StableHasher, MODEL_VERSION};
+use ena_model::kernel::KernelProfile;
+
+use crate::cache::DiskCache;
+use crate::pareto::{pareto_frontier, FrontierPoint};
+use crate::pool::{map_chunks, WorkerStats};
+
+/// Where memoized evaluations live between runs.
+#[derive(Clone, Debug)]
+pub enum CacheMode {
+    /// In-process only: hits across runs of the same engine instance.
+    Memory,
+    /// Persistent under the given directory: hits across processes, and
+    /// checkpoint/resume of interrupted campaigns.
+    Disk(PathBuf),
+}
+
+/// One sweep request.
+#[derive(Clone, Debug)]
+pub struct SweepSpec {
+    /// The design space to sweep.
+    pub space: DesignSpace,
+    /// Application profiles to evaluate at every point.
+    pub profiles: Vec<KernelProfile>,
+    /// Worker thread count (clamped to at least 1).
+    pub jobs: usize,
+    /// Points per work-stealing chunk.
+    pub chunk_points: usize,
+    /// Memoization layer.
+    pub cache: CacheMode,
+    /// Evaluate at most this many *fresh* (uncached) points, then stop
+    /// with [`SweepError::Interrupted`] — everything evaluated so far is
+    /// already checkpointed. `None` runs to completion. Exists to make
+    /// interruption deterministic and testable.
+    pub fresh_limit: Option<usize>,
+}
+
+impl SweepSpec {
+    /// A sequential, memory-cached spec over `space` and `profiles`.
+    pub fn new(space: DesignSpace, profiles: Vec<KernelProfile>) -> Self {
+        Self {
+            space,
+            profiles,
+            jobs: 1,
+            chunk_points: 16,
+            cache: CacheMode::Memory,
+            fresh_limit: None,
+        }
+    }
+}
+
+/// Sweep progress/efficiency telemetry.
+#[derive(Clone, Debug)]
+pub struct Telemetry {
+    /// Points in the swept space.
+    pub total_points: usize,
+    /// Points answered from the memoization cache.
+    pub cache_hits: usize,
+    /// Points evaluated fresh this run.
+    pub fresh_evals: usize,
+    /// Chunks handed to the pool.
+    pub chunks: usize,
+    /// Worker threads used.
+    pub jobs: usize,
+    /// Wall-clock time of the run.
+    pub elapsed: Duration,
+    /// Per-worker execution counters (utilization).
+    pub workers: Vec<WorkerStats>,
+}
+
+impl Telemetry {
+    /// Fraction of points served by the cache.
+    pub fn hit_rate(&self) -> f64 {
+        if self.total_points == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.total_points as f64
+        }
+    }
+
+    /// Overall points per second (cached and fresh).
+    pub fn points_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.total_points as f64 / secs
+        }
+    }
+}
+
+/// Everything a completed sweep produced.
+#[derive(Clone, Debug)]
+pub struct SweepOutcome {
+    /// The oracle reductions (best-mean, Table II per-app bests).
+    pub result: DseResult,
+    /// Pareto frontier over (mean perf, peak power, peak temperature).
+    pub frontier: Vec<FrontierPoint>,
+    /// Every evaluated record, in design-space point order.
+    pub records: Vec<PointRecord>,
+    /// Run telemetry.
+    pub telemetry: Telemetry,
+}
+
+/// Sweep failure modes.
+#[derive(Debug)]
+pub enum SweepError {
+    /// The design space has no points.
+    EmptySpace,
+    /// No application profiles were supplied.
+    EmptyProfiles,
+    /// The run hit its `fresh_limit`; progress is checkpointed.
+    Interrupted {
+        /// Fresh points evaluated (and checkpointed) before stopping.
+        completed: usize,
+        /// Fresh points the full campaign still needs.
+        remaining: usize,
+    },
+    /// The persistent cache failed.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::EmptySpace => write!(f, "empty design space"),
+            Self::EmptyProfiles => write!(f, "no profiles to evaluate"),
+            Self::Interrupted {
+                completed,
+                remaining,
+            } => write!(
+                f,
+                "sweep interrupted after {completed} fresh evaluations ({remaining} remaining, checkpointed)"
+            ),
+            Self::Io(e) => write!(f, "sweep cache I/O: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+impl From<std::io::Error> for SweepError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// The memoizing sweep engine.
+#[derive(Debug)]
+pub struct SweepEngine {
+    explorer: Explorer,
+    version: String,
+    memo: HashMap<u64, PointRecord>,
+}
+
+impl SweepEngine {
+    /// An engine evaluating through `explorer`, stamped with the current
+    /// [`MODEL_VERSION`].
+    pub fn new(explorer: Explorer) -> Self {
+        Self {
+            explorer,
+            version: MODEL_VERSION.to_string(),
+            memo: HashMap::new(),
+        }
+    }
+
+    /// Overrides the model-version stamp (test hook for the eviction
+    /// path; production code keeps the default).
+    pub fn with_version(mut self, version: impl Into<String>) -> Self {
+        self.version = version.into();
+        self.memo.clear();
+        self
+    }
+
+    /// The explorer this engine evaluates through.
+    pub fn explorer(&self) -> &Explorer {
+        &self.explorer
+    }
+
+    /// Digest of everything besides the point coordinates that determines
+    /// an evaluation: budget, evaluation options, and the profile set.
+    /// The model version is deliberately *not* folded in — it lives in
+    /// the cache-file header so a bump is detected and evicted rather
+    /// than silently shunted to a fresh file next to the stale one.
+    fn campaign_digest(&self, profiles: &[KernelProfile]) -> u64 {
+        let mut h = StableHasher::new();
+        h.write_f64(self.explorer.budget.value());
+        // EvalOptions has no stable-hash impl of its own; its Debug form
+        // covers every field (miss fraction + optimization list).
+        h.write_str(&format!("{:?}", self.explorer.options));
+        profiles.stable_hash(&mut h);
+        h.finish()
+    }
+
+    fn point_key(campaign: u64, point: &ena_core::dse::ConfigPoint) -> u64 {
+        let mut h = StableHasher::new();
+        h.write_u64(campaign);
+        h.write_u32(point.cus);
+        h.write_f64(point.clock.value());
+        h.write_f64(point.bandwidth.value());
+        h.finish()
+    }
+
+    /// Runs one sweep: resolves cache hits, evaluates the remainder on
+    /// the work-stealing pool, merges in point order, and reduces.
+    ///
+    /// # Errors
+    ///
+    /// [`SweepError::Interrupted`] when `fresh_limit` stops the run early
+    /// (already-evaluated points are checkpointed), [`SweepError::Io`]
+    /// on persistent-cache failures, and the empty-input variants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no point is feasible under the budget, matching the
+    /// sequential oracle's contract.
+    pub fn run(&mut self, spec: &SweepSpec) -> Result<SweepOutcome, SweepError> {
+        let started = Instant::now();
+        if spec.space.is_empty() {
+            return Err(SweepError::EmptySpace);
+        }
+        if spec.profiles.is_empty() {
+            return Err(SweepError::EmptyProfiles);
+        }
+
+        let campaign = self.campaign_digest(&spec.profiles);
+        let mut disk = match &spec.cache {
+            CacheMode::Memory => None,
+            CacheMode::Disk(dir) => {
+                let (cache, entries) = DiskCache::open(dir, campaign, &self.version)?;
+                for (key, record) in entries {
+                    self.memo.insert(key, record);
+                }
+                Some(cache)
+            }
+        };
+
+        let points = spec.space.points();
+        let keys: Vec<u64> = points
+            .iter()
+            .map(|p| Self::point_key(campaign, p))
+            .collect();
+
+        let fresh: Vec<(u64, ena_core::dse::ConfigPoint)> = keys
+            .iter()
+            .zip(&points)
+            .filter(|(key, _)| !self.memo.contains_key(*key))
+            .map(|(key, point)| (*key, *point))
+            .collect();
+        let cache_hits = points.len() - fresh.len();
+        let fresh_total = fresh.len();
+        let scheduled = fresh_total.min(spec.fresh_limit.unwrap_or(fresh_total));
+        let interrupted = scheduled < fresh_total;
+
+        let chunk_points = spec.chunk_points.max(1);
+        let mut chunks: Vec<Vec<(u64, ena_core::dse::ConfigPoint)>> = Vec::new();
+        for slice in fresh[..scheduled].chunks(chunk_points) {
+            chunks.push(slice.to_vec());
+        }
+        let n_chunks = chunks.len();
+
+        let explorer = &self.explorer;
+        let profiles = &spec.profiles;
+        let mut io_error: Option<std::io::Error> = None;
+        let (chunk_results, workers) = map_chunks(
+            spec.jobs,
+            chunks,
+            |(key, point)| (*key, explorer.evaluate_point(*point, profiles)),
+            |_, results: &[(u64, PointRecord)]| {
+                // Checkpoint every fresh record as it lands; an error here
+                // aborts the run after the pool drains.
+                if let Some(cache) = disk.as_mut() {
+                    if io_error.is_none() {
+                        for (key, record) in results {
+                            if let Err(e) = cache.append(*key, record) {
+                                io_error = Some(e);
+                                break;
+                            }
+                        }
+                    }
+                }
+            },
+        );
+        if let Some(e) = io_error {
+            return Err(SweepError::Io(e));
+        }
+        for (key, record) in chunk_results.into_iter().flatten() {
+            self.memo.insert(key, record);
+        }
+
+        if interrupted {
+            return Err(SweepError::Interrupted {
+                completed: scheduled,
+                remaining: fresh_total - scheduled,
+            });
+        }
+
+        // Merge in design-space point order: the only order the
+        // reduction ever sees.
+        let records: Vec<PointRecord> = keys.iter().map(|key| self.memo[key].clone()).collect();
+
+        let result = self.explorer.reduce(&records, &spec.profiles);
+        let frontier = pareto_frontier(&self.explorer, &records, spec.profiles.len());
+        let telemetry = Telemetry {
+            total_points: points.len(),
+            cache_hits,
+            fresh_evals: scheduled,
+            chunks: n_chunks,
+            jobs: spec.jobs.max(1),
+            elapsed: started.elapsed(),
+            workers,
+        };
+        Ok(SweepOutcome {
+            result,
+            frontier,
+            records,
+            telemetry,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_inputs_are_rejected() {
+        let mut engine = SweepEngine::new(Explorer::default());
+        let empty_space = DesignSpace {
+            cu_counts: vec![],
+            clocks: vec![],
+            bandwidths: vec![],
+        };
+        assert!(matches!(
+            engine.run(&SweepSpec::new(empty_space, vec![])),
+            Err(SweepError::EmptySpace)
+        ));
+        assert!(matches!(
+            engine.run(&SweepSpec::new(DesignSpace::coarse(), vec![])),
+            Err(SweepError::EmptyProfiles)
+        ));
+    }
+
+    #[test]
+    fn telemetry_rates_are_sane() {
+        let t = Telemetry {
+            total_points: 100,
+            cache_hits: 90,
+            fresh_evals: 10,
+            chunks: 2,
+            jobs: 2,
+            elapsed: Duration::from_millis(500),
+            workers: vec![],
+        };
+        assert!((t.hit_rate() - 0.9).abs() < 1e-12);
+        assert!((t.points_per_sec() - 200.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,59 @@
+//! Deterministic parallel design-space exploration for the ENA toolkit.
+//!
+//! The paper's central artifact (Sections V-VI) is a sweep: over a
+//! thousand EHP configurations evaluated under a 160 W budget to find the
+//! best-mean design and the Table II per-app oracles. This crate turns
+//! that sweep from a loop into a subsystem:
+//!
+//! - [`pool`] — a std-only work-stealing thread pool with an
+//!   order-independent, index-keyed merge.
+//! - [`cache`] — content-addressed memoization with a persistent on-disk
+//!   layer (bit-exact round-trip, model-version eviction, torn-tail
+//!   tolerance) enabling checkpoint/resume.
+//! - [`pareto`] — frontier extraction over (mean perf, peak power, peak
+//!   DRAM temperature).
+//! - [`engine`] — the [`SweepEngine`] tying them together, with
+//!   [`Telemetry`] (cache hit rate, points/sec, per-worker utilization).
+//!
+//! The headline property: a [`SweepEngine`] run is **byte-identical** to
+//! the sequential [`Explorer`](ena_core::Explorer) oracle for any thread
+//! count, cache state, or interruption history — parallelism and
+//! memoization are pure go-faster knobs, never sources of drift.
+//!
+//! # Example
+//!
+//! ```
+//! use ena_core::dse::DesignSpace;
+//! use ena_core::Explorer;
+//! use ena_sweep::{SweepEngine, SweepSpec};
+//! use ena_workloads::paper_profiles;
+//!
+//! let mut engine = SweepEngine::new(Explorer::default());
+//! let spec = SweepSpec {
+//!     jobs: 2,
+//!     ..SweepSpec::new(DesignSpace::coarse(), paper_profiles())
+//! };
+//! let outcome = engine.run(&spec).expect("sweep completes");
+//! assert_eq!(
+//!     outcome.result,
+//!     Explorer::default().explore(&spec.space, &spec.profiles),
+//! );
+//! // The frontier contains the best-mean point.
+//! assert!(outcome
+//!     .frontier
+//!     .iter()
+//!     .any(|f| f.point == outcome.result.best_mean));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cache;
+pub mod engine;
+pub mod pareto;
+pub mod pool;
+
+pub use cache::DiskCache;
+pub use engine::{CacheMode, SweepEngine, SweepError, SweepOutcome, SweepSpec, Telemetry};
+pub use pareto::{pareto_frontier, FrontierPoint};
+pub use pool::WorkerStats;

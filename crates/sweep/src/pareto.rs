@@ -1,0 +1,113 @@
+//! Pareto-frontier extraction over (mean performance, peak power, peak
+//! temperature).
+//!
+//! The best-mean reduction answers "which single point wins"; the
+//! frontier answers the design question behind Figs. 4-9 — which points
+//! are *efficient*, i.e. cannot improve one axis without paying on
+//! another. Scores reuse the exact normalization of the sequential
+//! oracle ([`ena_core::dse::geomean_score`]) so the frontier provably
+//! contains the best-mean point.
+
+use ena_core::dse::{app_maxima, geomean_score, ConfigPoint, PointRecord};
+use ena_core::Explorer;
+
+/// One efficient design point with its three objective values.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FrontierPoint {
+    /// The design point.
+    pub point: ConfigPoint,
+    /// Geometric-mean log-score across applications (higher is better).
+    pub score: f64,
+    /// Worst-case package power across applications (W, lower is better).
+    pub peak_power_w: f64,
+    /// Worst-case estimated peak DRAM temperature across applications
+    /// (°C, lower is better).
+    pub peak_dram_c: f64,
+}
+
+impl FrontierPoint {
+    /// True if `self` Pareto-dominates `other`: no worse on every axis,
+    /// strictly better on at least one.
+    fn dominates(&self, other: &Self) -> bool {
+        let no_worse = self.score >= other.score
+            && self.peak_power_w <= other.peak_power_w
+            && self.peak_dram_c <= other.peak_dram_c;
+        let better = self.score > other.score
+            || self.peak_power_w < other.peak_power_w
+            || self.peak_dram_c < other.peak_dram_c;
+        no_worse && better
+    }
+}
+
+/// Extracts the Pareto frontier over the budget-feasible records, in the
+/// records' (design-space) order.
+pub fn pareto_frontier(
+    explorer: &Explorer,
+    records: &[PointRecord],
+    n_apps: usize,
+) -> Vec<FrontierPoint> {
+    let feasible: Vec<&PointRecord> = records.iter().filter(|r| explorer.is_feasible(r)).collect();
+    let app_max = app_maxima(feasible.iter().copied(), n_apps);
+
+    let candidates: Vec<FrontierPoint> = feasible
+        .iter()
+        .map(|r| FrontierPoint {
+            point: r.point,
+            score: geomean_score(&r.evals, &app_max),
+            peak_power_w: r.evals.iter().map(|e| e.package_power).fold(0.0, f64::max),
+            peak_dram_c: r.evals.iter().map(|e| e.peak_dram_c).fold(0.0, f64::max),
+        })
+        .collect();
+
+    candidates
+        .iter()
+        .filter(|c| !candidates.iter().any(|other| other.dominates(c)))
+        .copied()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ena_core::dse::PointEval;
+    use ena_model::units::{GigabytesPerSec, Megahertz};
+
+    fn rec(cus: u32, throughput: f64, power: f64, temp: f64) -> PointRecord {
+        PointRecord {
+            point: ConfigPoint {
+                cus,
+                clock: Megahertz::new(1000.0),
+                bandwidth: GigabytesPerSec::new(3000.0),
+            },
+            evals: vec![PointEval {
+                throughput,
+                package_power: power,
+                peak_dram_c: temp,
+            }],
+        }
+    }
+
+    #[test]
+    fn dominated_points_are_dropped_and_ties_survive() {
+        let records = vec![
+            rec(192, 100.0, 100.0, 70.0), // dominated by the 256 point
+            rec(256, 120.0, 90.0, 68.0),  // frontier
+            rec(320, 150.0, 120.0, 75.0), // frontier: best score
+            rec(384, 150.0, 120.0, 75.0), // tie with 320: both survive
+        ];
+        let frontier = pareto_frontier(&Explorer::default(), &records, 1);
+        let cus: Vec<u32> = frontier.iter().map(|f| f.point.cus).collect();
+        assert_eq!(cus, vec![256, 320, 384]);
+    }
+
+    #[test]
+    fn infeasible_points_never_reach_the_frontier() {
+        let records = vec![
+            rec(192, 100.0, 100.0, 70.0),
+            rec(384, 999.0, 500.0, 95.0), // busts the 160 W budget
+        ];
+        let frontier = pareto_frontier(&Explorer::default(), &records, 1);
+        assert_eq!(frontier.len(), 1);
+        assert_eq!(frontier[0].point.cus, 192);
+    }
+}

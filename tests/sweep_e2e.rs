@@ -1,0 +1,90 @@
+//! End-to-end acceptance for the `ena-sweep` engine (ISSUE 4).
+//!
+//! A parallel sweep (`jobs > 1`) of the full paper design space must
+//! reproduce the sequential `Explorer` oracle byte-for-byte — best-mean
+//! point, feasible count, and the Table II per-application oracle — and
+//! a cold/warm disk-cache pair must show a nonzero hit rate on the warm
+//! run while returning identical results.
+
+use std::path::PathBuf;
+
+use ena::core::dse::DesignSpace;
+use ena::core::Explorer;
+use ena::sweep::{CacheMode, SweepEngine, SweepSpec};
+use ena::workloads::paper_profiles;
+
+/// Byte-level view of a value: `{:?}` on `f64` prints the shortest
+/// decimal that round-trips, so distinct bit patterns render distinctly.
+fn render<T: std::fmt::Debug>(value: &T) -> String {
+    format!("{value:?}")
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(name);
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir).expect("clean scratch dir");
+    }
+    dir
+}
+
+#[test]
+fn parallel_paper_sweep_matches_the_sequential_oracle_byte_for_byte() {
+    let profiles = paper_profiles();
+    let explorer = Explorer::default();
+    let oracle = explorer.explore(&DesignSpace::paper(), &profiles);
+
+    let mut engine = SweepEngine::new(Explorer::default());
+    let spec = SweepSpec {
+        jobs: 3,
+        ..SweepSpec::new(DesignSpace::paper(), profiles)
+    };
+    let outcome = engine.run(&spec).expect("paper sweep completes");
+
+    assert_eq!(outcome.result.feasible, oracle.feasible);
+    assert_eq!(outcome.result.evaluated, oracle.evaluated);
+    assert_eq!(
+        render(&outcome.result.best_mean),
+        render(&oracle.best_mean),
+        "best-mean point must be byte-identical"
+    );
+    assert_eq!(
+        render(&outcome.result.per_app),
+        render(&oracle.per_app),
+        "Table II per-app oracle must be byte-identical"
+    );
+    assert_eq!(
+        render(&outcome.result),
+        render(&oracle),
+        "the whole result must be byte-identical"
+    );
+}
+
+#[test]
+fn cold_then_warm_disk_sweep_hits_the_cache_and_returns_identical_results() {
+    let dir = scratch("sweep-e2e-cache");
+    let spec = SweepSpec {
+        jobs: 2,
+        cache: CacheMode::Disk(dir),
+        ..SweepSpec::new(DesignSpace::paper(), paper_profiles())
+    };
+
+    let mut cold_engine = SweepEngine::new(Explorer::default());
+    let cold = cold_engine.run(&spec).expect("cold sweep completes");
+    assert_eq!(cold.telemetry.cache_hits, 0, "cold run starts empty");
+
+    // A fresh engine sees only the disk layer — no in-memory carryover.
+    let mut warm_engine = SweepEngine::new(Explorer::default());
+    let warm = warm_engine.run(&spec).expect("warm sweep completes");
+
+    assert!(
+        warm.telemetry.hit_rate() > 0.0,
+        "warm run must hit the disk cache (got {} hits)",
+        warm.telemetry.cache_hits
+    );
+    assert_eq!(
+        warm.telemetry.cache_hits, warm.telemetry.total_points,
+        "every point of the warm run should come from the cache"
+    );
+    assert_eq!(render(&warm.result), render(&cold.result));
+    assert_eq!(render(&warm.frontier), render(&cold.frontier));
+}

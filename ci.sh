@@ -34,4 +34,7 @@ fi
 echo "==> cargo fmt --check"
 cargo fmt --check
 
+echo "==> ena-lint (determinism & robustness static analysis)"
+cargo run -q -p ena-lint -- --deny-warnings
+
 echo "ci.sh: all checks passed"

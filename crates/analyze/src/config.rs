@@ -1,0 +1,233 @@
+//! `lint.toml` parsing: per-rule default levels and per-crate overrides.
+//!
+//! The format is a deliberately tiny TOML subset (line-oriented, string
+//! and bare-word values only) so the tool stays std-only:
+//!
+//! ```toml
+//! [defaults]
+//! no-panic-in-lib = "deny"
+//!
+//! [[override]]
+//! crate = "ena-testkit"
+//! rule = "no-panic-in-lib"
+//! level = "allow"
+//! reason = "assertion panics are the harness's reporting interface"
+//! ```
+//!
+//! Every `allow`-level override must carry a `reason`: suppressions are
+//! part of the reviewed record, not an escape hatch.
+
+use crate::rules;
+
+/// Effective level of a rule for some crate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Level {
+    /// Rule does not run (requires a documented reason in an override).
+    Allow,
+    /// Findings are warnings.
+    Warn,
+    /// Findings are denials.
+    Deny,
+}
+
+impl Level {
+    fn parse(s: &str) -> Option<Level> {
+        match s {
+            "allow" => Some(Level::Allow),
+            "warn" => Some(Level::Warn),
+            "deny" => Some(Level::Deny),
+            _ => None,
+        }
+    }
+}
+
+/// One `[[override]]` entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Override {
+    /// Crate (package) name the override applies to.
+    pub krate: String,
+    /// Rule identifier.
+    pub rule: String,
+    /// Level within that crate.
+    pub level: Level,
+    /// Mandatory justification when `level = "allow"`.
+    pub reason: String,
+}
+
+/// Parsed configuration.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LintConfig {
+    defaults: Vec<(String, Level)>,
+    overrides: Vec<Override>,
+}
+
+impl LintConfig {
+    /// Level of `rule` in `krate`: the most specific match wins
+    /// (override, then `[defaults]`, then built-in deny).
+    pub fn level_for(&self, krate: &str, rule: &str) -> Level {
+        if let Some(o) = self
+            .overrides
+            .iter()
+            .find(|o| o.krate == krate && o.rule == rule)
+        {
+            return o.level;
+        }
+        self.defaults
+            .iter()
+            .find(|(r, _)| r == rule)
+            .map_or(Level::Deny, |&(_, level)| level)
+    }
+
+    /// The documented overrides (for reporting).
+    pub fn overrides(&self) -> &[Override] {
+        &self.overrides
+    }
+
+    /// Parses the `lint.toml` subset. Errors carry a 1-based line number.
+    pub fn parse(text: &str) -> Result<LintConfig, String> {
+        enum Section {
+            None,
+            Defaults,
+            Override,
+        }
+        let mut config = LintConfig::default();
+        let mut section = Section::None;
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line == "[defaults]" {
+                section = Section::Defaults;
+                continue;
+            }
+            if line == "[[override]]" {
+                section = Section::Override;
+                config.overrides.push(Override {
+                    krate: String::new(),
+                    rule: String::new(),
+                    level: Level::Deny,
+                    reason: String::new(),
+                });
+                continue;
+            }
+            if line.starts_with('[') {
+                return Err(format!("lint.toml:{lineno}: unknown section {line}"));
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!("lint.toml:{lineno}: expected `key = value`"));
+            };
+            let key = key.trim();
+            let value = value.trim().trim_matches('"');
+            match section {
+                Section::None => {
+                    return Err(format!("lint.toml:{lineno}: `{key}` outside any section"));
+                }
+                Section::Defaults => {
+                    if !rules::is_known_rule(key) {
+                        return Err(format!("lint.toml:{lineno}: unknown rule `{key}`"));
+                    }
+                    let Some(level) = Level::parse(value) else {
+                        return Err(format!(
+                            "lint.toml:{lineno}: level must be allow|warn|deny, got `{value}`"
+                        ));
+                    };
+                    config.defaults.push((key.to_string(), level));
+                }
+                Section::Override => {
+                    let Some(entry) = config.overrides.last_mut() else {
+                        return Err(format!("lint.toml:{lineno}: override state lost"));
+                    };
+                    match key {
+                        "crate" => entry.krate = value.to_string(),
+                        "rule" => {
+                            if !rules::is_known_rule(value) {
+                                return Err(format!("lint.toml:{lineno}: unknown rule `{value}`"));
+                            }
+                            entry.rule = value.to_string();
+                        }
+                        "level" => {
+                            let Some(level) = Level::parse(value) else {
+                                return Err(format!(
+                                    "lint.toml:{lineno}: level must be allow|warn|deny, got `{value}`"
+                                ));
+                            };
+                            entry.level = level;
+                        }
+                        "reason" => entry.reason = value.to_string(),
+                        other => {
+                            return Err(format!(
+                                "lint.toml:{lineno}: unknown override key `{other}`"
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        for o in &config.overrides {
+            if o.krate.is_empty() || o.rule.is_empty() {
+                return Err("lint.toml: every [[override]] needs `crate` and `rule`".into());
+            }
+            if o.level == Level::Allow && o.reason.is_empty() {
+                return Err(format!(
+                    "lint.toml: allow-override of `{}` in `{}` needs a `reason`",
+                    o.rule, o.krate
+                ));
+            }
+        }
+        Ok(config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_defaults_and_overrides() {
+        let cfg = LintConfig::parse(
+            r#"
+# comment
+[defaults]
+no-wallclock = "warn"
+
+[[override]]
+crate = "ena-testkit"
+rule = "no-panic-in-lib"
+level = "allow"
+reason = "harness interface"
+"#,
+        )
+        .unwrap();
+        assert_eq!(cfg.level_for("ena-noc", "no-wallclock"), Level::Warn);
+        assert_eq!(cfg.level_for("ena-noc", "no-panic-in-lib"), Level::Deny);
+        assert_eq!(
+            cfg.level_for("ena-testkit", "no-panic-in-lib"),
+            Level::Allow
+        );
+    }
+
+    #[test]
+    fn allow_without_reason_is_rejected() {
+        let err = LintConfig::parse(
+            "[[override]]\ncrate = \"x\"\nrule = \"no-wallclock\"\nlevel = \"allow\"\n",
+        )
+        .unwrap_err();
+        assert!(err.contains("reason"), "{err}");
+    }
+
+    #[test]
+    fn unknown_rules_and_sections_are_rejected_with_line_numbers() {
+        let err = LintConfig::parse("[defaults]\nnot-a-rule = \"deny\"\n").unwrap_err();
+        assert!(err.contains("lint.toml:2"), "{err}");
+        let err = LintConfig::parse("[weird]\n").unwrap_err();
+        assert!(err.contains("unknown section"), "{err}");
+    }
+
+    #[test]
+    fn built_in_default_is_deny() {
+        let cfg = LintConfig::default();
+        assert_eq!(cfg.level_for("any", "no-unordered-iteration"), Level::Deny);
+    }
+}

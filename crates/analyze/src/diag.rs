@@ -1,0 +1,80 @@
+//! Structured diagnostics: what a rule found, where, and how to fix it.
+
+use core::fmt;
+
+/// How a diagnostic affects the exit status.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Reported; fails the run only under `--deny-warnings`.
+    Warn,
+    /// Always fails the run.
+    Deny,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warn => f.write_str("warn"),
+            Severity::Deny => f.write_str("deny"),
+        }
+    }
+}
+
+/// One finding, pinned to a file and line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule identifier (e.g. `no-unordered-iteration`).
+    pub rule: &'static str,
+    /// Effective severity after `lint.toml` is applied.
+    pub severity: Severity,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// What is wrong.
+    pub message: String,
+    /// How to fix it.
+    pub hint: String,
+}
+
+impl Diagnostic {
+    /// Stable sort key: file, then line, then rule.
+    pub fn sort_key(&self) -> (String, u32, &'static str) {
+        (self.file.clone(), self.line, self.rule)
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}[{}]: {}\n    fix: {}",
+            self.file, self.line, self.severity, self.rule, self.message, self.hint
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_location_rule_and_hint() {
+        let d = Diagnostic {
+            rule: "no-wallclock",
+            severity: Severity::Deny,
+            file: "crates/sweep/src/engine.rs".into(),
+            line: 245,
+            message: "`Instant` outside the `timing` feature".into(),
+            hint: "gate it behind `#[cfg(feature = \"timing\")]`".into(),
+        };
+        let text = d.to_string();
+        assert!(text.starts_with("crates/sweep/src/engine.rs:245: deny[no-wallclock]:"));
+        assert!(text.contains("fix:"));
+    }
+
+    #[test]
+    fn severity_orders_warn_below_deny() {
+        assert!(Severity::Warn < Severity::Deny);
+    }
+}

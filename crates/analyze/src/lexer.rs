@@ -1,0 +1,431 @@
+//! A minimal Rust lexer for static analysis.
+//!
+//! The scanner only needs token *shapes* — identifiers, punctuation,
+//! literals, comments — not a full grammar. Getting string and comment
+//! boundaries right is what matters: a mention of `unwrap` inside a doc
+//! comment or a string literal must never look like a call site. The
+//! lexer therefore handles the full literal surface (raw strings with
+//! hash fences, byte strings, char-vs-lifetime disambiguation, nested
+//! block comments) while treating everything else as single-character
+//! punctuation.
+
+/// Shape of one token.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including `as`, `struct`, ...).
+    Ident,
+    /// Integer literal, suffix included (`0`, `42u64`, `0xFF`).
+    Int,
+    /// Float literal (`1.0`, `3e-4`).
+    Float,
+    /// String literal of any flavor; `text` holds the unquoted body.
+    Str,
+    /// Character or byte literal.
+    Char,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Single punctuation character.
+    Punct,
+    /// Line or block comment, doc comments included; `text` is verbatim.
+    Comment,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    /// Token shape.
+    pub kind: TokKind,
+    /// Token text (see [`TokKind`] for per-kind conventions).
+    pub text: String,
+    /// 1-based line where the token starts.
+    pub line: u32,
+}
+
+impl Tok {
+    /// True when this is an identifier with exactly the given text.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == text
+    }
+
+    /// True when this is the given punctuation character.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+}
+
+/// Lexes `src` into a token stream. Comments are kept (rules that read
+/// suppression directives need them); whitespace is dropped. The lexer
+/// never fails: malformed input degrades to punctuation tokens.
+pub fn lex(src: &str) -> Vec<Tok> {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        toks: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    toks: Vec<Tok>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32) {
+        self.toks.push(Tok { kind, text, line });
+    }
+
+    fn run(mut self) -> Vec<Tok> {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            if c.is_whitespace() {
+                self.bump();
+            } else if c == '/' && self.peek(1) == Some('/') {
+                self.line_comment(line);
+            } else if c == '/' && self.peek(1) == Some('*') {
+                self.block_comment(line);
+            } else if self.try_raw_or_byte(line) {
+                // handled raw strings, byte strings, raw idents
+            } else if c == '"' {
+                self.bump();
+                self.string_body(line);
+            } else if c == '\'' {
+                self.char_or_lifetime(line);
+            } else if c.is_ascii_digit() {
+                self.number(line);
+            } else if is_ident_start(c) {
+                self.ident(line);
+            } else {
+                self.bump();
+                self.push(TokKind::Punct, c.to_string(), line);
+            }
+        }
+        self.toks
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(TokKind::Comment, text, line);
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        let mut depth = 0u32;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth = depth.saturating_sub(1);
+                text.push_str("*/");
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.push(TokKind::Comment, text, line);
+    }
+
+    /// Handles `r"..."`, `r#"..."#`, `br"..."`, `b"..."`, `b'x'`, and raw
+    /// identifiers `r#ident`. Returns true when it consumed something.
+    fn try_raw_or_byte(&mut self, line: u32) -> bool {
+        let c = self.peek(0);
+        if c == Some('r') || c == Some('b') {
+            let mut ahead = 1;
+            if c == Some('b') && self.peek(1) == Some('r') {
+                ahead = 2;
+            }
+            // Count raw-string hash fences.
+            let mut hashes = 0;
+            while self.peek(ahead + hashes) == Some('#') {
+                hashes += 1;
+            }
+            if self.peek(ahead + hashes) == Some('"')
+                && (ahead == 2 || c == Some('r') || hashes == 0)
+            {
+                if c == Some('b') && ahead == 1 && hashes == 0 {
+                    // b"..." plain byte string
+                    self.bump(); // b
+                    self.bump(); // "
+                    self.string_body(line);
+                    return true;
+                }
+                if c == Some('r') || ahead == 2 {
+                    for _ in 0..(ahead + hashes + 1) {
+                        self.bump();
+                    }
+                    self.raw_string_body(hashes, line);
+                    return true;
+                }
+            }
+            if c == Some('r') && hashes == 1 && self.peek(2).is_some_and(is_ident_start) {
+                // raw identifier r#ident
+                self.bump();
+                self.bump();
+                self.ident(line);
+                return true;
+            }
+            if c == Some('b') && self.peek(1) == Some('\'') {
+                self.bump();
+                self.char_or_lifetime(line);
+                return true;
+            }
+        }
+        false
+    }
+
+    fn string_body(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.bump() {
+            if c == '\\' {
+                if let Some(e) = self.bump() {
+                    text.push('\\');
+                    text.push(e);
+                }
+            } else if c == '"' {
+                break;
+            } else {
+                text.push(c);
+            }
+        }
+        self.push(TokKind::Str, text, line);
+    }
+
+    fn raw_string_body(&mut self, hashes: usize, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.bump() {
+            if c == '"' {
+                let mut matched = 0;
+                while matched < hashes && self.peek(matched) == Some('#') {
+                    matched += 1;
+                }
+                if matched == hashes {
+                    for _ in 0..hashes {
+                        self.bump();
+                    }
+                    break;
+                }
+            }
+            text.push(c);
+        }
+        self.push(TokKind::Str, text, line);
+    }
+
+    fn char_or_lifetime(&mut self, line: u32) {
+        self.bump(); // opening quote
+        match (self.peek(0), self.peek(1)) {
+            (Some('\\'), _) => {
+                // escaped char literal: '\n', '\'', '\u{..}'
+                let mut text = String::from("\\");
+                self.bump();
+                while let Some(c) = self.bump() {
+                    if c == '\'' {
+                        break;
+                    }
+                    text.push(c);
+                }
+                self.push(TokKind::Char, text, line);
+            }
+            (Some(c), Some('\'')) => {
+                self.bump();
+                self.bump();
+                self.push(TokKind::Char, c.to_string(), line);
+            }
+            (Some(c), _) if is_ident_start(c) => {
+                let mut text = String::from("'");
+                while let Some(c) = self.peek(0) {
+                    if !is_ident_continue(c) {
+                        break;
+                    }
+                    text.push(c);
+                    self.bump();
+                }
+                self.push(TokKind::Lifetime, text, line);
+            }
+            (Some(c), _) => {
+                // Unusual but tolerated: treat as a one-char literal.
+                self.bump();
+                if self.peek(0) == Some('\'') {
+                    self.bump();
+                }
+                self.push(TokKind::Char, c.to_string(), line);
+            }
+            (None, _) => self.push(TokKind::Punct, "'".to_string(), line),
+        }
+    }
+
+    fn number(&mut self, line: u32) {
+        let mut text = String::new();
+        let mut float = false;
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                if (c == 'e' || c == 'E')
+                    && text.starts_with(|d: char| d.is_ascii_digit())
+                    && !text.starts_with("0x")
+                    && matches!(self.peek(1), Some(d) if d.is_ascii_digit() || d == '+' || d == '-')
+                {
+                    float = true;
+                    text.push(c);
+                    self.bump();
+                    if matches!(self.peek(0), Some('+') | Some('-')) {
+                        if let Some(s) = self.bump() {
+                            text.push(s);
+                        }
+                    }
+                    continue;
+                }
+                text.push(c);
+                self.bump();
+            } else if c == '.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()) && !float {
+                float = true;
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let kind = if float { TokKind::Float } else { TokKind::Int };
+        self.push(kind, text, line);
+    }
+
+    fn ident(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if !is_ident_continue(c) {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(TokKind::Ident, text, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn strings_hide_their_contents_from_ident_rules() {
+        let toks = kinds(r#"let x = "call unwrap() here";"#);
+        assert!(toks
+            .iter()
+            .all(|(k, t)| !(matches!(k, TokKind::Ident) && t == "unwrap")));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| matches!(k, TokKind::Str) && t.contains("unwrap")));
+    }
+
+    #[test]
+    fn raw_strings_and_fences_round_trip() {
+        let toks = kinds(r###"let s = r#"quote " inside"#;"###);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| matches!(k, TokKind::Str) && t == "quote \" inside"));
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| matches!(k, TokKind::Lifetime))
+            .collect();
+        let chars: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| matches!(k, TokKind::Char))
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert_eq!(chars.len(), 2);
+    }
+
+    #[test]
+    fn comments_are_kept_but_separate() {
+        let toks = lex("// ena:allow(no-wallclock): reason\nlet x = 1; /* block */");
+        assert!(matches!(toks.first(), Some(t) if t.kind == TokKind::Comment));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Comment && t.text.contains("block")));
+        assert!(toks.iter().any(|t| t.is_ident("let") && t.line == 2));
+    }
+
+    #[test]
+    fn nested_block_comments_terminate_correctly() {
+        let toks = kinds("/* outer /* inner */ still */ after");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| matches!(k, TokKind::Ident) && t == "after"));
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| matches!(k, TokKind::Comment))
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn numbers_do_not_eat_method_calls_or_ranges() {
+        let toks = kinds("0.max(1) 0..10 1.5e-3 0xFFu32");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| matches!(k, TokKind::Int) && t == "0"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| matches!(k, TokKind::Ident) && t == "max"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| matches!(k, TokKind::Float) && t == "1.5e-3"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| matches!(k, TokKind::Int) && t == "0xFFu32"));
+    }
+
+    #[test]
+    fn line_numbers_are_one_based_and_track_newlines() {
+        let toks = lex("a\nb\n\nc");
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+}

@@ -1,0 +1,384 @@
+//! `ena-lint`: the workspace's determinism and robustness
+//! static-analysis pass.
+//!
+//! The reproduction's headline claims rest on bit-exact determinism:
+//! the golden harness (`ena-testkit`) and the content-addressed sweep
+//! cache (`ena-sweep`) both assume the same seed always produces the
+//! same bytes. This crate makes the invariants behind that assumption
+//! machine-checked. A small Rust lexer walks every crate and enforces:
+//!
+//! - `no-unordered-iteration` — no `HashMap`/`HashSet` anywhere
+//! - `no-panic-in-lib` — no `unwrap`/`expect`/`panic!`/`unreachable!`/
+//!   literal indexing in library code outside `#[cfg(test)]`
+//! - `no-wallclock` — no `Instant`/`SystemTime` outside the `timing`
+//!   feature
+//! - `stable-hash-coverage` — every field of a `StableHash` struct is
+//!   hashed
+//! - `forbid-unsafe` — every crate root carries
+//!   `#![forbid(unsafe_code)]`
+//! - `no-narrowing-cast` — no truncating `as` casts in library code
+//!
+//! Per-crate levels live in `lint.toml`; single findings can be
+//! suppressed in-source with a justified comment directive (see
+//! [`scan::AllowDirective`]). Each directive suppresses exactly one
+//! finding and must be used — stale directives are themselves
+//! diagnostics, so suppressions never outlive the code they excused.
+//!
+//! The tool lints itself: this crate's library code passes every rule
+//! it enforces.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod diag;
+pub mod lexer;
+pub mod rules;
+pub mod scan;
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use config::{Level, LintConfig};
+use diag::{Diagnostic, Severity};
+use rules::Finding;
+use scan::SourceFile;
+
+/// Fatal tool error (I/O or malformed configuration) — distinct from
+/// diagnostics, which are findings about the code under analysis.
+#[derive(Debug)]
+pub enum LintError {
+    /// Filesystem failure while scanning.
+    Io {
+        /// Path involved.
+        path: PathBuf,
+        /// Rendered OS error.
+        message: String,
+    },
+    /// `lint.toml` could not be parsed.
+    Config(String),
+}
+
+impl LintError {
+    pub(crate) fn io(path: &Path, e: std::io::Error) -> LintError {
+        LintError::Io {
+            path: path.to_path_buf(),
+            message: e.to_string(),
+        }
+    }
+}
+
+impl core::fmt::Display for LintError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            LintError::Io { path, message } => {
+                write!(f, "io error at {}: {message}", path.display())
+            }
+            LintError::Config(message) => write!(f, "config error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for LintError {}
+
+/// Run options.
+#[derive(Clone, Debug)]
+pub struct Options {
+    /// Workspace root to analyze.
+    pub root: PathBuf,
+    /// Explicit config path; defaults to `<root>/lint.toml`.
+    pub config_path: Option<PathBuf>,
+    /// Treat warnings as failures.
+    pub deny_warnings: bool,
+}
+
+/// Outcome of one analysis run.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Sorted diagnostics.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Files scanned.
+    pub files_scanned: usize,
+    /// Findings suppressed by in-source directives.
+    pub suppressed: usize,
+}
+
+impl Report {
+    /// True when the run should exit non-zero.
+    pub fn failed(&self, deny_warnings: bool) -> bool {
+        self.diagnostics.iter().any(|d| {
+            d.severity == Severity::Deny || (deny_warnings && d.severity == Severity::Warn)
+        })
+    }
+
+    /// Human-readable rendering (diagnostics, then a summary line).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.to_string());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "ena-lint: {} diagnostic(s) across {} file(s), {} suppressed by directives\n",
+            self.diagnostics.len(),
+            self.files_scanned,
+            self.suppressed,
+        ));
+        out
+    }
+}
+
+/// Walks up from `start` to the nearest directory whose `Cargo.toml`
+/// declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    start
+        .ancestors()
+        .find(|dir| {
+            fs::read_to_string(dir.join("Cargo.toml"))
+                .map(|text| text.lines().any(|l| l.trim() == "[workspace]"))
+                .unwrap_or(false)
+        })
+        .map(Path::to_path_buf)
+}
+
+/// Loads the configuration for `opts` (built-in all-deny defaults when
+/// no `lint.toml` exists).
+pub fn load_config(opts: &Options) -> Result<LintConfig, LintError> {
+    let path = opts
+        .config_path
+        .clone()
+        .unwrap_or_else(|| opts.root.join("lint.toml"));
+    if !path.is_file() {
+        return Ok(LintConfig::default());
+    }
+    let text = fs::read_to_string(&path).map_err(|e| LintError::io(&path, e))?;
+    LintConfig::parse(&text).map_err(LintError::Config)
+}
+
+/// Runs the full analysis over the workspace at `opts.root`.
+///
+/// # Errors
+///
+/// Returns [`LintError`] on I/O failure or malformed `lint.toml`;
+/// findings about the analyzed code are reported in the [`Report`],
+/// not as errors.
+pub fn run(opts: &Options) -> Result<Report, LintError> {
+    let cfg = load_config(opts)?;
+    let crates = scan::load_workspace(&opts.root)?;
+    let mut diagnostics = Vec::new();
+    let mut files_scanned = 0;
+    let mut suppressed = 0;
+    for krate in &crates {
+        files_scanned += krate.files.len();
+        // Raw findings per file, tagged with their rule.
+        let mut per_file: Vec<Vec<(&'static str, Finding)>> =
+            krate.files.iter().map(|_| Vec::new()).collect();
+        for rule in rules::PER_FILE {
+            if cfg.level_for(&krate.name, rule.id) == Level::Allow {
+                continue;
+            }
+            for (idx, file) in krate.files.iter().enumerate() {
+                if let Some(slot) = per_file.get_mut(idx) {
+                    slot.extend((rule.check)(file).into_iter().map(|f| (rule.id, f)));
+                }
+            }
+        }
+        if cfg.level_for(&krate.name, rules::STABLE_HASH_ID) != Level::Allow {
+            for (idx, finding) in rules::stable_hash::check_crate(&krate.files) {
+                if let Some(slot) = per_file.get_mut(idx) {
+                    slot.push((rules::STABLE_HASH_ID, finding));
+                }
+            }
+        }
+        for (file, findings) in krate.files.iter().zip(per_file.into_iter()) {
+            let (kept, n_suppressed, meta) = apply_allows(&cfg, file, findings);
+            suppressed += n_suppressed;
+            for (rule, finding) in kept {
+                let severity = match cfg.level_for(&krate.name, rule) {
+                    Level::Warn => Severity::Warn,
+                    _ => Severity::Deny,
+                };
+                diagnostics.push(Diagnostic {
+                    rule,
+                    severity,
+                    file: file.rel_path.clone(),
+                    line: finding.line,
+                    message: finding.message,
+                    hint: finding.hint,
+                });
+            }
+            diagnostics.extend(meta);
+        }
+    }
+    diagnostics.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
+    Ok(Report {
+        diagnostics,
+        files_scanned,
+        suppressed,
+    })
+}
+
+/// Applies in-source allow directives to one file's findings.
+///
+/// Each valid directive suppresses exactly one finding of its rule on
+/// the directive's own line or the line directly below. Invalid
+/// directives (unknown rule, missing justification) and unused ones
+/// become diagnostics themselves, so the suppression surface stays
+/// reviewable and minimal.
+fn apply_allows(
+    cfg: &LintConfig,
+    file: &SourceFile,
+    findings: Vec<(&'static str, Finding)>,
+) -> (Vec<(&'static str, Finding)>, usize, Vec<Diagnostic>) {
+    let mut live: Vec<Option<(&'static str, Finding)>> = findings.into_iter().map(Some).collect();
+    let mut meta = Vec::new();
+    let mut suppressed = 0;
+    for directive in &file.allows {
+        if !rules::is_known_rule(&directive.rule) {
+            meta.push(meta_diag(
+                rules::INVALID_ALLOW_ID,
+                file,
+                directive.line,
+                format!("allow directive names unknown rule `{}`", directive.rule),
+                "use one of the ids listed by `ena-lint --list-rules`".into(),
+            ));
+            continue;
+        }
+        if directive.justification.is_empty() {
+            meta.push(meta_diag(
+                rules::INVALID_ALLOW_ID,
+                file,
+                directive.line,
+                format!(
+                    "allow directive for `{}` has no justification",
+                    directive.rule
+                ),
+                "append `: <why this single site is exempt>`".into(),
+            ));
+            continue;
+        }
+        let slot = live.iter_mut().find(|slot| {
+            slot.as_ref().is_some_and(|(rule, f)| {
+                *rule == directive.rule
+                    && (f.line == directive.line || f.line == directive.line + 1)
+            })
+        });
+        match slot {
+            Some(s) => {
+                *s = None;
+                suppressed += 1;
+            }
+            None => {
+                // A directive for a rule the config already allows is
+                // merely redundant, not an error.
+                if cfg.level_for(&file.crate_name, &directive.rule) != Level::Allow {
+                    meta.push(meta_diag(
+                        rules::UNUSED_ALLOW_ID,
+                        file,
+                        directive.line,
+                        format!(
+                            "allow directive for `{}` suppresses nothing",
+                            directive.rule
+                        ),
+                        "delete the stale directive (it must sit on the offending line \
+                         or the line above)"
+                            .into(),
+                    ));
+                }
+            }
+        }
+    }
+    (live.into_iter().flatten().collect(), suppressed, meta)
+}
+
+fn meta_diag(
+    rule: &'static str,
+    file: &SourceFile,
+    line: u32,
+    message: String,
+    hint: String,
+) -> Diagnostic {
+    Diagnostic {
+        rule,
+        severity: Severity::Deny,
+        file: file.rel_path.clone(),
+        line,
+        message,
+        hint,
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_util {
+    use crate::scan::SourceFile;
+
+    /// Builds a [`SourceFile`] directly from source text for rule tests.
+    pub fn file_from_source(src: &str, in_crate: &str) -> SourceFile {
+        SourceFile::from_source("test-crate", in_crate, in_crate, src)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use test_util::file_from_source;
+
+    fn run_allows(
+        src: &str,
+        findings: Vec<(&'static str, Finding)>,
+    ) -> (Vec<(&'static str, Finding)>, usize, Vec<Diagnostic>) {
+        let file = file_from_source(src, "src/lib.rs");
+        apply_allows(&LintConfig::default(), &file, findings)
+    }
+
+    fn finding(line: u32) -> Finding {
+        Finding {
+            line,
+            message: "m".into(),
+            hint: "h".into(),
+        }
+    }
+
+    #[test]
+    fn directive_suppresses_exactly_one_finding() {
+        let src = "// ena:allow(no-wallclock): one-off telemetry probe\nlet a = 1;\n";
+        let findings = vec![("no-wallclock", finding(2)), ("no-wallclock", finding(2))];
+        let (kept, suppressed, meta) = run_allows(src, findings);
+        assert_eq!(suppressed, 1);
+        assert_eq!(kept.len(), 1, "second finding on the line survives");
+        assert!(meta.is_empty());
+    }
+
+    #[test]
+    fn unjustified_and_unknown_directives_are_diagnostics() {
+        let src = "// ena:allow(no-wallclock)\n// ena:allow(made-up-rule): because\n";
+        let (_, suppressed, meta) = run_allows(src, vec![("no-wallclock", finding(1))]);
+        assert_eq!(suppressed, 0);
+        assert_eq!(meta.len(), 2, "{meta:?}");
+        assert!(meta.iter().all(|d| d.rule == "invalid-allow"));
+    }
+
+    #[test]
+    fn unused_directive_is_a_diagnostic() {
+        let src = "// ena:allow(no-wallclock): stale excuse\nlet a = 1;\n";
+        let (_, suppressed, meta) = run_allows(src, Vec::new());
+        assert_eq!(suppressed, 0);
+        assert_eq!(meta.len(), 1);
+        assert_eq!(meta.first().map(|d| d.rule), Some("unused-allow"));
+    }
+
+    #[test]
+    fn directive_reaches_same_line_and_next_line_only() {
+        let src = "// ena:allow(no-wallclock): next-line probe\nlet a = 1;\n";
+        let (kept, suppressed, _) = run_allows(src, vec![("no-wallclock", finding(3))]);
+        assert_eq!(suppressed, 0, "line 3 is out of reach");
+        assert_eq!(kept.len(), 1);
+    }
+
+    #[test]
+    fn workspace_root_discovery_finds_a_workspace_manifest() {
+        let here = std::env::current_dir().unwrap();
+        let root = find_workspace_root(&here).expect("inside the ena workspace");
+        assert!(root.join("Cargo.toml").is_file());
+    }
+}

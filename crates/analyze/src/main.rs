@@ -1,0 +1,97 @@
+//! The `ena-lint` binary. See `ena-lint --help`.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+ena-lint — determinism & robustness static analysis for the ENA workspace
+
+usage: ena-lint [--root DIR] [--config FILE] [--deny-warnings] [--list-rules]
+
+  --root DIR        workspace root (default: nearest [workspace] above cwd)
+  --config FILE     lint.toml path (default: <root>/lint.toml)
+  --deny-warnings   exit non-zero on warnings too
+  --list-rules      print the rule ids and exit
+
+exit status: 0 clean, 1 diagnostics, 2 tool error";
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    if take_flag(&mut args, "--list-rules") {
+        for rule in ena_lint::rules::PER_FILE {
+            println!("{:<24} {}", rule.id, rule.summary);
+        }
+        println!(
+            "{:<24} every field of a StableHash struct must be hashed",
+            ena_lint::rules::STABLE_HASH_ID
+        );
+        return ExitCode::SUCCESS;
+    }
+    let deny_warnings = take_flag(&mut args, "--deny-warnings");
+    let root = take_value(&mut args, "--root").map(PathBuf::from);
+    let config_path = take_value(&mut args, "--config").map(PathBuf::from);
+    if let Some(stray) = args.first() {
+        eprintln!("error: unrecognized argument '{stray}'\n{USAGE}");
+        return ExitCode::from(2);
+    }
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+            match ena_lint::find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!("error: no [workspace] Cargo.toml above {}", cwd.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+    let opts = ena_lint::Options {
+        root,
+        config_path,
+        deny_warnings,
+    };
+    match ena_lint::run(&opts) {
+        Ok(report) => {
+            print!("{}", report.render());
+            if report.failed(deny_warnings) {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn take_flag(args: &mut Vec<String>, name: &str) -> bool {
+    match args.iter().position(|a| a == name) {
+        Some(i) => {
+            args.remove(i);
+            true
+        }
+        None => false,
+    }
+}
+
+fn take_value(args: &mut Vec<String>, name: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == name)?;
+    if i + 1 < args.len() {
+        let v = args.remove(i + 1);
+        args.remove(i);
+        Some(v)
+    } else {
+        args.remove(i);
+        None
+    }
+}

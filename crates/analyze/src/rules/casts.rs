@@ -1,0 +1,67 @@
+//! `no-narrowing-cast`: truncating `as` casts are banned in library
+//! code.
+//!
+//! A model observable squeezed through `as u8`/`as f32` silently drops
+//! precision or wraps, corrupting results without any diagnostic. The
+//! rule flags casts to the narrow types only — widening count casts
+//! (`as u64`, `as f64`) and the ubiquitous `as usize` stay legal.
+
+use crate::lexer::TokKind;
+use crate::rules::Finding;
+use crate::scan::{SourceFile, TargetKind};
+
+/// Rule id.
+pub const ID: &str = "no-narrowing-cast";
+
+const NARROW: &[&str] = &["u8", "u16", "i8", "i16", "f32"];
+
+/// Flags `as <narrow-type>` in library code outside `#[cfg(test)]`.
+pub fn check(file: &SourceFile) -> Vec<Finding> {
+    if file.target != TargetKind::Lib || file.exempt_test {
+        return Vec::new();
+    }
+    let mut findings = Vec::new();
+    for (i, t) in file.code.iter().enumerate() {
+        if !t.is_ident("as") || file.test_lines.contains(t.line) {
+            continue;
+        }
+        if let Some(ty) = file.code.get(i + 1) {
+            if ty.kind == TokKind::Ident && NARROW.contains(&ty.text.as_str()) {
+                findings.push(Finding {
+                    line: t.line,
+                    message: format!("`as {}` silently truncates or wraps", ty.text),
+                    hint: "widen the destination type, or use `try_from` and surface the \
+                           failure as a typed error"
+                        .into(),
+                });
+            }
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::file_from_source;
+
+    #[test]
+    fn flags_narrowing_but_not_widening() {
+        let f = file_from_source(
+            "fn f(x: u64) -> u8 { x as u8 }\nfn g(x: u32) -> u64 { x as u64 }\n\
+             fn h(x: f64) -> f32 { x as f32 }\nfn k(x: u32) -> usize { x as usize }\n",
+            "src/lib.rs",
+        );
+        let findings = check(&f);
+        assert_eq!(findings.len(), 2, "{findings:?}");
+    }
+
+    #[test]
+    fn test_regions_are_exempt() {
+        let f = file_from_source(
+            "#[cfg(test)]\nmod tests {\n fn t(x: u64) -> u8 { x as u8 }\n}\n",
+            "src/lib.rs",
+        );
+        assert!(check(&f).is_empty());
+    }
+}

@@ -1,0 +1,104 @@
+//! The rule registry.
+//!
+//! Two kinds of rule exist: per-file rules (a pure function of one
+//! [`SourceFile`](crate::scan::SourceFile)) and the crate-level
+//! [`stable_hash`] rule, which needs every file of a crate at once to
+//! pair `struct` definitions with their `StableHash` impls.
+
+pub mod casts;
+pub mod panic;
+pub mod stable_hash;
+pub mod unordered;
+pub mod unsafe_header;
+pub mod wallclock;
+
+use crate::scan::SourceFile;
+
+/// A raw finding before severity/suppression are applied.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// 1-based line.
+    pub line: u32,
+    /// What is wrong.
+    pub message: String,
+    /// How to fix it.
+    pub hint: String,
+}
+
+/// One per-file rule.
+pub struct RuleDef {
+    /// Stable identifier used in `lint.toml` and allow directives.
+    pub id: &'static str,
+    /// One-line description for `--list-rules`.
+    pub summary: &'static str,
+    /// The check itself.
+    pub check: fn(&SourceFile) -> Vec<Finding>,
+}
+
+/// Per-file rules in evaluation order.
+pub const PER_FILE: &[RuleDef] = &[
+    RuleDef {
+        id: unordered::ID,
+        summary: "HashMap/HashSet iterate in a process-random order; require BTree collections",
+        check: unordered::check,
+    },
+    RuleDef {
+        id: panic::ID,
+        summary: "no unwrap/expect/panic!/unreachable!/literal-indexing in library code",
+        check: panic::check,
+    },
+    RuleDef {
+        id: wallclock::ID,
+        summary: "no Instant/SystemTime outside the `timing` feature",
+        check: wallclock::check,
+    },
+    RuleDef {
+        id: unsafe_header::ID,
+        summary: "every crate root must carry #![forbid(unsafe_code)]",
+        check: unsafe_header::check,
+    },
+    RuleDef {
+        id: casts::ID,
+        summary: "no truncating `as` casts (u8/u16/i8/i16/f32) on model values",
+        check: casts::check,
+    },
+];
+
+/// Crate-level rule id (see [`stable_hash`]).
+pub const STABLE_HASH_ID: &str = stable_hash::ID;
+
+/// Engine-reserved diagnostics about the suppression machinery itself.
+pub const INVALID_ALLOW_ID: &str = "invalid-allow";
+/// Engine-reserved: a directive that suppressed nothing.
+pub const UNUSED_ALLOW_ID: &str = "unused-allow";
+
+/// Every id accepted in `lint.toml` and allow directives.
+pub fn all_rule_ids() -> Vec<&'static str> {
+    let mut ids: Vec<&'static str> = PER_FILE.iter().map(|r| r.id).collect();
+    ids.push(STABLE_HASH_ID);
+    ids
+}
+
+/// True when `id` names a configurable rule.
+pub fn is_known_rule(id: &str) -> bool {
+    all_rule_ids().iter().any(|r| *r == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_ids_are_unique_and_known() {
+        let ids = all_rule_ids();
+        for id in &ids {
+            assert!(is_known_rule(id));
+            assert_eq!(ids.iter().filter(|o| *o == id).count(), 1, "{id}");
+        }
+        assert!(!is_known_rule("not-a-rule"));
+        assert!(
+            !is_known_rule(INVALID_ALLOW_ID),
+            "meta ids are not configurable"
+        );
+    }
+}

@@ -1,0 +1,143 @@
+//! `no-panic-in-lib`: library code must not contain reachable panic
+//! sites.
+//!
+//! The graceful-degradation story (`ena-faults`) only holds if the
+//! layers below it return typed errors instead of tearing the process
+//! down. Policed shapes, in `Lib` targets outside `#[cfg(test)]`:
+//!
+//! - `.unwrap()` / `.expect(...)` calls (path form `::unwrap()` too)
+//! - `panic!`, `unreachable!`, `todo!`, `unimplemented!`
+//! - indexing by an integer literal (`xs[0]`), the silent cousin of
+//!   `unwrap` — `xs.first()` says what it means and is total
+//!
+//! `assert!`/`debug_assert!` are deliberately *not* flagged: they are
+//! the sanctioned way to state contract violations that indicate a bug
+//! in this codebase rather than degradable runtime conditions.
+
+use crate::lexer::TokKind;
+use crate::rules::Finding;
+use crate::scan::{SourceFile, TargetKind};
+
+/// Rule id.
+pub const ID: &str = "no-panic-in-lib";
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Flags panic sites in library code outside `#[cfg(test)]`.
+pub fn check(file: &SourceFile) -> Vec<Finding> {
+    if file.target != TargetKind::Lib || file.exempt_test {
+        return Vec::new();
+    }
+    let mut findings = Vec::new();
+    let code = &file.code;
+    for (i, t) in code.iter().enumerate() {
+        if file.test_lines.contains(t.line) {
+            continue;
+        }
+        if t.kind == TokKind::Ident && (t.text == "unwrap" || t.text == "expect") {
+            let called = code.get(i + 1).is_some_and(|n| n.is_punct('('));
+            let receiver = code
+                .get(i.wrapping_sub(1))
+                .is_some_and(|p| i > 0 && (p.is_punct('.') || p.is_punct(':')));
+            if called && receiver {
+                findings.push(Finding {
+                    line: t.line,
+                    message: format!("`.{}()` panics in library code", t.text),
+                    hint: "return a typed error, or restructure so the invariant lives in \
+                           the types (let-else, match, total accessors)"
+                        .into(),
+                });
+            }
+        }
+        if t.kind == TokKind::Ident && PANIC_MACROS.contains(&t.text.as_str()) {
+            let is_macro = code.get(i + 1).is_some_and(|n| n.is_punct('!'));
+            if is_macro {
+                findings.push(Finding {
+                    line: t.line,
+                    message: format!("`{}!` panics in library code", t.text),
+                    hint: "make the surrounding API return a typed error; if the state is \
+                           truly impossible, make it unrepresentable instead"
+                        .into(),
+                });
+            }
+        }
+        if t.is_punct('[') {
+            let indexable = i > 0
+                && code.get(i - 1).is_some_and(|p| {
+                    p.kind == TokKind::Ident || p.is_punct(')') || p.is_punct(']')
+                });
+            let literal = code.get(i + 1).is_some_and(|n| n.kind == TokKind::Int)
+                && code.get(i + 2).is_some_and(|n| n.is_punct(']'));
+            if indexable && literal {
+                findings.push(Finding {
+                    line: t.line,
+                    message: "indexing by an integer literal panics when the collection is \
+                              shorter than expected"
+                        .into(),
+                    hint: "use `.first()`/`.get(n)` or destructure with a slice pattern".into(),
+                });
+            }
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::file_from_source;
+
+    #[test]
+    fn flags_unwrap_expect_macros_and_literal_indexing() {
+        let f = file_from_source(
+            "fn f(v: Vec<u32>) -> u32 {\n\
+             let a = v.first().unwrap();\n\
+             let b = v.get(1).expect(\"second\");\n\
+             if v.is_empty() { panic!(\"empty\") }\n\
+             let c = v[0];\n\
+             *a + *b + c\n}\n",
+            "src/lib.rs",
+        );
+        let findings = check(&f);
+        assert_eq!(findings.len(), 4, "{findings:?}");
+    }
+
+    #[test]
+    fn asserts_total_methods_and_tests_are_exempt() {
+        let f = file_from_source(
+            "fn f(v: &[u32]) -> u32 {\n\
+             assert!(!v.is_empty());\n\
+             debug_assert!(v.len() > 1);\n\
+             v.first().copied().unwrap_or(0)\n}\n\
+             #[cfg(test)]\nmod tests {\n fn t() { Some(1).unwrap(); }\n}\n",
+            "src/lib.rs",
+        );
+        assert!(check(&f).is_empty(), "{:?}", check(&f));
+    }
+
+    #[test]
+    fn array_literals_and_attribute_brackets_are_not_indexing() {
+        let f = file_from_source(
+            "#[derive(Debug)]\nstruct X;\nfn f() -> [u32; 2] { let _s = &[0, 1]; [0, 1] }\n",
+            "src/lib.rs",
+        );
+        assert!(check(&f).is_empty(), "{:?}", check(&f));
+    }
+
+    #[test]
+    fn non_lib_targets_are_out_of_scope() {
+        let f = file_from_source("fn main() { Some(1).unwrap(); }", "tests/e2e.rs");
+        assert!(check(&f).is_empty());
+        let f = file_from_source("fn main() { Some(1).unwrap(); }", "src/bin/tool.rs");
+        assert!(check(&f).is_empty());
+    }
+
+    #[test]
+    fn mentions_in_strings_and_comments_pass() {
+        let f = file_from_source(
+            "// .unwrap() would panic! here\nconst HELP: &str = \"never unwrap()\";\n",
+            "src/lib.rs",
+        );
+        assert!(check(&f).is_empty());
+    }
+}

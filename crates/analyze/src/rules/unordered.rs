@@ -1,0 +1,61 @@
+//! `no-unordered-iteration`: hash-based collections are banned
+//! everywhere.
+//!
+//! `HashMap`/`HashSet` seed their hasher per process, so iteration
+//! order differs run to run. Any such collection sitting anywhere near
+//! a result-producing path (golden artifacts, the sweep cache, report
+//! rendering) is a latent nondeterminism bug, and experience says they
+//! migrate from tests into library code through copy-paste — so the
+//! rule flags the types themselves, in every target including tests.
+
+use crate::lexer::TokKind;
+use crate::rules::Finding;
+use crate::scan::SourceFile;
+
+/// Rule id.
+pub const ID: &str = "no-unordered-iteration";
+
+/// Flags every `HashMap`/`HashSet` identifier.
+pub fn check(file: &SourceFile) -> Vec<Finding> {
+    file.code
+        .iter()
+        .filter(|t| t.kind == TokKind::Ident && (t.text == "HashMap" || t.text == "HashSet"))
+        .map(|t| Finding {
+            line: t.line,
+            message: format!("`{}` iterates in a process-random order", t.text),
+            hint: format!(
+                "use `{}` (or a sorted drain) so every run visits entries identically",
+                if t.text == "HashMap" {
+                    "BTreeMap"
+                } else {
+                    "BTreeSet"
+                }
+            ),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::file_from_source;
+
+    #[test]
+    fn flags_hash_collections_even_in_tests() {
+        let f = file_from_source(
+            "use std::collections::HashMap;\n#[cfg(test)]\nmod t { use std::collections::HashSet; }\n",
+            "src/lib.rs",
+        );
+        let findings = check(&f);
+        assert_eq!(findings.len(), 2);
+    }
+
+    #[test]
+    fn btree_collections_and_strings_pass() {
+        let f = file_from_source(
+            "use std::collections::BTreeMap;\nconst DOC: &str = \"HashMap\";\n",
+            "src/lib.rs",
+        );
+        assert!(check(&f).is_empty());
+    }
+}

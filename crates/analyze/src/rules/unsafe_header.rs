@@ -1,0 +1,70 @@
+//! `forbid-unsafe`: every crate root must open with
+//! `#![forbid(unsafe_code)]`.
+//!
+//! The whole workspace is an analytical model — there is no FFI and no
+//! hand-tuned data structure that could justify `unsafe`. Forbidding it
+//! at every crate root (libraries *and* binaries) turns that design
+//! decision into a compile error rather than a review convention.
+
+use crate::rules::Finding;
+use crate::scan::SourceFile;
+
+/// Rule id.
+pub const ID: &str = "forbid-unsafe";
+
+/// True for files that are a crate root (lib or bin entry point).
+fn is_crate_root(in_crate: &str) -> bool {
+    if in_crate == "src/lib.rs" || in_crate == "src/main.rs" {
+        return true;
+    }
+    in_crate
+        .strip_prefix("src/bin/")
+        .is_some_and(|rest| !rest.contains('/') && rest.ends_with(".rs"))
+}
+
+/// Requires the `#![forbid(unsafe_code)]` inner attribute in crate roots.
+pub fn check(file: &SourceFile) -> Vec<Finding> {
+    if !is_crate_root(&file.in_crate) {
+        return Vec::new();
+    }
+    let code = &file.code;
+    let found = code.iter().enumerate().any(|(i, t)| {
+        t.is_punct('#')
+            && code.get(i + 1).is_some_and(|n| n.is_punct('!'))
+            && code.get(i + 2).is_some_and(|n| n.is_punct('['))
+            && code.get(i + 3).is_some_and(|n| n.is_ident("forbid"))
+            && code.get(i + 4).is_some_and(|n| n.is_punct('('))
+            && code.get(i + 5).is_some_and(|n| n.is_ident("unsafe_code"))
+    });
+    if found {
+        Vec::new()
+    } else {
+        vec![Finding {
+            line: 1,
+            message: "crate root lacks `#![forbid(unsafe_code)]`".into(),
+            hint: "add the inner attribute at the top of the file".into(),
+        }]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::file_from_source;
+
+    #[test]
+    fn present_header_passes_missing_header_fails() {
+        let ok = file_from_source("#![forbid(unsafe_code)]\nfn f() {}\n", "src/lib.rs");
+        assert!(check(&ok).is_empty());
+        let bad = file_from_source("fn f() {}\n", "src/lib.rs");
+        assert_eq!(check(&bad).len(), 1);
+    }
+
+    #[test]
+    fn only_crate_roots_are_checked() {
+        let f = file_from_source("fn f() {}\n", "src/module.rs");
+        assert!(check(&f).is_empty());
+        let b = file_from_source("fn main() {}\n", "src/bin/tool.rs");
+        assert_eq!(check(&b).len(), 1);
+    }
+}

@@ -1,0 +1,73 @@
+//! `no-wallclock`: reading the host clock is quarantined behind the
+//! `timing` cargo feature.
+//!
+//! Default builds must be wallclock-free: a golden artifact or cache
+//! entry whose bytes depend on elapsed time can never be reproduced.
+//! `Instant`/`SystemTime` may appear only inside
+//! `#[cfg(feature = "timing")]`-gated items (or test code). Bench
+//! targets are out of scope — measuring time is their whole job, and
+//! they already opt into the feature.
+
+use crate::lexer::TokKind;
+use crate::rules::Finding;
+use crate::scan::{SourceFile, TargetKind};
+
+/// Rule id.
+pub const ID: &str = "no-wallclock";
+
+/// Flags `Instant`/`SystemTime` outside timing-gated regions.
+pub fn check(file: &SourceFile) -> Vec<Finding> {
+    if file.target == TargetKind::Bench || file.exempt_timing || file.exempt_test {
+        return Vec::new();
+    }
+    file.code
+        .iter()
+        .filter(|t| {
+            t.kind == TokKind::Ident
+                && (t.text == "Instant" || t.text == "SystemTime")
+                && !file.timing_lines.contains(t.line)
+                && !file.test_lines.contains(t.line)
+        })
+        .map(|t| Finding {
+            line: t.line,
+            message: format!("`{}` read outside the `timing` feature", t.text),
+            hint: "gate the clock behind `#[cfg(feature = \"timing\")]` (or inject it) so \
+                   default builds stay wallclock-free"
+                .into(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::file_from_source;
+
+    #[test]
+    fn flags_bare_instant_and_systemtime() {
+        let f = file_from_source(
+            "use std::time::Instant;\nfn f() { let _t = std::time::SystemTime::now(); }\n",
+            "src/lib.rs",
+        );
+        assert_eq!(check(&f).len(), 2);
+    }
+
+    #[test]
+    fn timing_gated_items_pass() {
+        let f = file_from_source(
+            "#[cfg(feature = \"timing\")]\nfn measure() { let _t = std::time::Instant::now(); }\n\
+             use std::time::Duration;\n",
+            "src/lib.rs",
+        );
+        assert!(check(&f).is_empty(), "{:?}", check(&f));
+    }
+
+    #[test]
+    fn bench_targets_are_out_of_scope() {
+        let f = file_from_source(
+            "fn main() { let _ = std::time::Instant::now(); }",
+            "benches/b.rs",
+        );
+        assert!(check(&f).is_empty());
+    }
+}

@@ -1,0 +1,537 @@
+//! Workspace walking and per-file semantic pre-analysis.
+//!
+//! Each source file is lexed once; this module then derives everything
+//! the rules need: which lines sit inside `#[cfg(test)]` or
+//! `#[cfg(feature = "timing")]` items, which sibling module files those
+//! attributes gate wholesale (`#[cfg(test)] mod fixtures;`), and which
+//! suppression directives the file declares.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{lex, Tok, TokKind};
+use crate::LintError;
+
+/// Which cargo target tree a file belongs to; rules choose their scope
+/// from this (e.g. panics are only policed in library code).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TargetKind {
+    /// `src/**` excluding `src/bin/` and `src/main.rs`.
+    Lib,
+    /// `src/main.rs` and `src/bin/**`.
+    Bin,
+    /// `tests/**`.
+    Test,
+    /// `examples/**`.
+    Example,
+    /// `benches/**`.
+    Bench,
+}
+
+/// Inclusive 1-based line ranges.
+#[derive(Clone, Debug, Default)]
+pub struct LineSet(Vec<(u32, u32)>);
+
+impl LineSet {
+    /// Adds an inclusive range.
+    pub fn add(&mut self, start: u32, end: u32) {
+        self.0.push((start, end));
+    }
+
+    /// True when `line` falls inside any recorded range.
+    pub fn contains(&self, line: u32) -> bool {
+        self.0.iter().any(|&(a, b)| a <= line && line <= b)
+    }
+}
+
+/// One in-source suppression directive.
+///
+/// Accepted spellings, always inside a comment, justification mandatory:
+/// `// ena:allow(rule-id): why this one site is exempt`
+/// `// #[allow(ena::rule_id)]: why this one site is exempt`
+///
+/// A directive suppresses exactly one finding of that rule on its own
+/// line or the line below.
+#[derive(Clone, Debug)]
+pub struct AllowDirective {
+    /// Rule id, normalized to hyphens.
+    pub rule: String,
+    /// Line the directive sits on.
+    pub line: u32,
+    /// Free-text justification (may be empty; the engine rejects that).
+    pub justification: String,
+}
+
+/// A lexed and pre-analyzed source file.
+#[derive(Clone, Debug)]
+pub struct SourceFile {
+    /// Package name owning the file.
+    pub crate_name: String,
+    /// Workspace-root-relative path, for display.
+    pub rel_path: String,
+    /// Crate-root-relative path, for target classification.
+    pub in_crate: String,
+    /// Target tree the file belongs to.
+    pub target: TargetKind,
+    /// Code tokens (comments stripped).
+    pub code: Vec<Tok>,
+    /// Comment tokens only.
+    pub comments: Vec<Tok>,
+    /// Lines inside `#[cfg(test)]`-gated items.
+    pub test_lines: LineSet,
+    /// Lines inside `#[cfg(feature = "timing")]`-gated items.
+    pub timing_lines: LineSet,
+    /// Entire file gated behind `#[cfg(test)] mod x;` in its parent.
+    pub exempt_test: bool,
+    /// Entire file gated behind the `timing` feature in its parent.
+    pub exempt_timing: bool,
+    /// Suppression directives, in line order.
+    pub allows: Vec<AllowDirective>,
+    /// Names from `#[cfg(test)] mod x;` items in this file.
+    pub gated_test_modules: Vec<String>,
+    /// Names from `#[cfg(feature = "timing")] mod x;` items in this file.
+    pub gated_timing_modules: Vec<String>,
+}
+
+impl SourceFile {
+    /// Lexes and pre-analyzes one file from source text. `rel_path` is
+    /// the display path; `in_crate` drives target classification.
+    pub fn from_source(crate_name: &str, rel_path: &str, in_crate: &str, src: &str) -> SourceFile {
+        let toks = lex(src);
+        let (code, comments): (Vec<Tok>, Vec<Tok>) =
+            toks.into_iter().partition(|t| t.kind != TokKind::Comment);
+        let regions = analyze_regions(&code);
+        let allows = parse_allows(&comments);
+        SourceFile {
+            crate_name: crate_name.to_string(),
+            rel_path: rel_path.to_string(),
+            in_crate: in_crate.to_string(),
+            target: classify(in_crate),
+            code,
+            comments,
+            test_lines: regions.test,
+            timing_lines: regions.timing,
+            exempt_test: false,
+            exempt_timing: false,
+            allows,
+            gated_test_modules: regions.test_mods,
+            gated_timing_modules: regions.timing_mods,
+        }
+    }
+}
+
+/// All scanned files of one crate.
+#[derive(Clone, Debug)]
+pub struct CrateSrc {
+    /// Package name from `Cargo.toml`.
+    pub name: String,
+    /// Scanned files in deterministic (sorted-path) order.
+    pub files: Vec<SourceFile>,
+}
+
+/// Loads every crate of the workspace under `root`: each `crates/*`
+/// directory with a `Cargo.toml`, plus the root package when the root
+/// manifest declares one. Directories named `fixtures` or `target` are
+/// skipped so analysis fixtures never lint the real workspace red.
+pub fn load_workspace(root: &Path) -> Result<Vec<CrateSrc>, LintError> {
+    let mut crate_dirs: Vec<PathBuf> = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let entries = fs::read_dir(&crates_dir).map_err(|e| LintError::io(&crates_dir, e))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| LintError::io(&crates_dir, e))?;
+            let path = entry.path();
+            if path.is_dir() && path.join("Cargo.toml").is_file() {
+                crate_dirs.push(path);
+            }
+        }
+    }
+    crate_dirs.sort();
+    let root_manifest = root.join("Cargo.toml");
+    if root_manifest.is_file() {
+        let text =
+            fs::read_to_string(&root_manifest).map_err(|e| LintError::io(&root_manifest, e))?;
+        if text.lines().any(|l| l.trim() == "[package]") {
+            crate_dirs.push(root.to_path_buf());
+        }
+    }
+
+    let mut crates = Vec::new();
+    for dir in crate_dirs {
+        crates.push(load_crate(root, &dir)?);
+    }
+    Ok(crates)
+}
+
+fn load_crate(root: &Path, dir: &Path) -> Result<CrateSrc, LintError> {
+    let manifest_path = dir.join("Cargo.toml");
+    let manifest =
+        fs::read_to_string(&manifest_path).map_err(|e| LintError::io(&manifest_path, e))?;
+    let name = package_name(&manifest).unwrap_or_else(|| {
+        dir.file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "unknown".to_string())
+    });
+
+    let mut rs_files = Vec::new();
+    for tree in ["src", "tests", "examples", "benches"] {
+        collect_rs(&dir.join(tree), &mut rs_files)?;
+    }
+    rs_files.sort();
+
+    let mut files = Vec::new();
+    let mut gated_modules: Vec<(PathBuf, bool)> = Vec::new(); // (module path base, is_test)
+    for path in &rs_files {
+        let text = fs::read_to_string(path).map_err(|e| LintError::io(path, e))?;
+        let in_crate = rel_string(path, dir);
+        let rel_path = rel_string(path, root);
+        let file = SourceFile::from_source(&name, &rel_path, &in_crate, &text);
+        if let Some(parent) = path.parent() {
+            for m in &file.gated_test_modules {
+                gated_modules.push((parent.join(m), true));
+            }
+            for m in &file.gated_timing_modules {
+                gated_modules.push((parent.join(m), false));
+            }
+        }
+        files.push(file);
+    }
+
+    // Whole-file exemptions: `#[cfg(test)] mod x;` gates `x.rs` and `x/**`.
+    for (base, is_test) in &gated_modules {
+        let file_form = rel_string(&base.with_extension("rs"), dir);
+        let dir_form = rel_string(base, dir);
+        for f in &mut files {
+            let gated = f.in_crate == file_form || f.in_crate.starts_with(&format!("{dir_form}/"));
+            if gated {
+                if *is_test {
+                    f.exempt_test = true;
+                } else {
+                    f.exempt_timing = true;
+                }
+            }
+        }
+    }
+    Ok(CrateSrc { name, files })
+}
+
+fn package_name(manifest: &str) -> Option<String> {
+    let mut in_package = false;
+    for line in manifest.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            in_package = line == "[package]";
+            continue;
+        }
+        if in_package {
+            if let Some((key, value)) = line.split_once('=') {
+                if key.trim() == "name" {
+                    return Some(value.trim().trim_matches('"').to_string());
+                }
+            }
+        }
+    }
+    None
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), LintError> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let entries = fs::read_dir(dir).map_err(|e| LintError::io(dir, e))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| LintError::io(dir, e))?;
+        let path = entry.path();
+        let file_name = entry.file_name();
+        let file_name = file_name.to_string_lossy();
+        if path.is_dir() {
+            if file_name == "fixtures" || file_name == "target" {
+                continue;
+            }
+            collect_rs(&path, out)?;
+        } else if file_name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn rel_string(path: &Path, base: &Path) -> String {
+    let rel = path.strip_prefix(base).unwrap_or(path);
+    rel.to_string_lossy().replace('\\', "/")
+}
+
+fn classify(in_crate: &str) -> TargetKind {
+    if in_crate == "src/main.rs" || in_crate.starts_with("src/bin/") {
+        TargetKind::Bin
+    } else if in_crate.starts_with("src/") {
+        TargetKind::Lib
+    } else if in_crate.starts_with("tests/") {
+        TargetKind::Test
+    } else if in_crate.starts_with("benches/") {
+        TargetKind::Bench
+    } else {
+        TargetKind::Example
+    }
+}
+
+#[derive(Debug, Default)]
+struct Regions {
+    test: LineSet,
+    timing: LineSet,
+    test_mods: Vec<String>,
+    timing_mods: Vec<String>,
+}
+
+/// Walks the code tokens finding `#[cfg(...)]` attributes that gate
+/// items on `test` or `feature = "timing"`, and records the gated item's
+/// line extent (to its matching `}` or terminating `;`).
+fn analyze_regions(code: &[Tok]) -> Regions {
+    let mut regions = Regions::default();
+    let mut i = 0;
+    while i < code.len() {
+        let is_attr_start = code.get(i).is_some_and(|t| t.is_punct('#'))
+            && code.get(i + 1).is_some_and(|t| t.is_punct('['));
+        if !is_attr_start {
+            i += 1;
+            continue;
+        }
+        let Some(attr_end) = match_close(code, i + 1, '[', ']') else {
+            break;
+        };
+        let inner = code.get(i + 2..attr_end).unwrap_or(&[]);
+        let attr_line = code.get(i).map_or(1, |t| t.line);
+        let is_cfg = inner.first().is_some_and(|t| t.is_ident("cfg"));
+        let gates_test = is_cfg && inner.iter().any(|t| t.is_ident("test"));
+        let gates_timing = is_cfg
+            && inner.iter().any(|t| t.is_ident("feature"))
+            && inner
+                .iter()
+                .any(|t| t.kind == TokKind::Str && t.text == "timing");
+        if gates_test || gates_timing {
+            if let Some(extent) = item_extent(code, attr_end + 1) {
+                if gates_test {
+                    regions.test.add(attr_line, extent.end_line);
+                    if let Some(m) = extent.module {
+                        regions.test_mods.push(m);
+                    }
+                } else {
+                    regions.timing.add(attr_line, extent.end_line);
+                    if let Some(m) = extent.module {
+                        regions.timing_mods.push(m);
+                    }
+                }
+            }
+        }
+        i = attr_end + 1;
+    }
+    regions
+}
+
+struct ItemExtent {
+    end_line: u32,
+    /// `Some(name)` when the item is an out-of-line `mod name;`.
+    module: Option<String>,
+}
+
+/// Finds the extent of the item starting at `start` (first token after
+/// the gating attribute): skips further attributes, then scans to the
+/// first top-level `{` (returning its matching `}` line) or `;`.
+fn item_extent(code: &[Tok], start: usize) -> Option<ItemExtent> {
+    let mut j = start;
+    // Skip stacked attributes.
+    while code.get(j).is_some_and(|t| t.is_punct('#'))
+        && code.get(j + 1).is_some_and(|t| t.is_punct('['))
+    {
+        j = match_close(code, j + 1, '[', ']')? + 1;
+    }
+    let item_start = j;
+    let mut depth = 0i32;
+    while let Some(t) = code.get(j) {
+        if t.kind == TokKind::Punct {
+            match t.text.chars().next() {
+                Some('(') | Some('[') => depth += 1,
+                Some(')') | Some(']') => depth -= 1,
+                Some('{') if depth == 0 => {
+                    let close = match_close(code, j, '{', '}')?;
+                    return Some(ItemExtent {
+                        end_line: code.get(close).map_or(t.line, |c| c.line),
+                        module: None,
+                    });
+                }
+                Some(';') if depth == 0 => {
+                    let module = out_of_line_module(code.get(item_start..j).unwrap_or(&[]));
+                    return Some(ItemExtent {
+                        end_line: t.line,
+                        module,
+                    });
+                }
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Recognizes `[pub [(...)]] mod name` token shapes.
+fn out_of_line_module(item: &[Tok]) -> Option<String> {
+    let mut toks = item.iter();
+    let mut t = toks.next()?;
+    if t.is_ident("pub") {
+        t = toks.next()?;
+        if t.is_punct('(') {
+            for inner in toks.by_ref() {
+                if inner.is_punct(')') {
+                    break;
+                }
+            }
+            t = toks.next()?;
+        }
+    }
+    if !t.is_ident("mod") {
+        return None;
+    }
+    let name = toks.next()?;
+    if name.kind == TokKind::Ident && toks.next().is_none() {
+        Some(name.text.clone())
+    } else {
+        None
+    }
+}
+
+/// Index of the punct closing the bracket opened at `open_idx`.
+fn match_close(code: &[Tok], open_idx: usize, open: char, close: char) -> Option<usize> {
+    let mut depth = 0i32;
+    let mut j = open_idx;
+    while let Some(t) = code.get(j) {
+        if t.is_punct(open) {
+            depth += 1;
+        } else if t.is_punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Extracts suppression directives from comment tokens.
+///
+/// The directive must *start* the comment body (after the `//`/`/*`
+/// sigils), so prose that merely mentions the syntax — e.g. inside a
+/// doc-comment code span — is never mistaken for a live suppression.
+fn parse_allows(comments: &[Tok]) -> Vec<AllowDirective> {
+    let mut out = Vec::new();
+    for c in comments {
+        let body = c
+            .text
+            .trim_start_matches(|ch: char| ch == '/' || ch == '*' || ch == '!')
+            .trim_start();
+        let rest = body
+            .strip_prefix("ena:allow(")
+            .or_else(|| body.strip_prefix("#[allow(ena::"));
+        let Some(rest) = rest else { continue };
+        let Some(close) = rest.find(')') else {
+            continue;
+        };
+        let rule = rest.get(..close).unwrap_or("").trim().replace('_', "-");
+        let justification = rest
+            .get(close + 1..)
+            .unwrap_or("")
+            .trim_start_matches(|ch: char| ch == ']' || ch == ':' || ch == '-' || ch == '—')
+            .trim()
+            .to_string();
+        out.push(AllowDirective {
+            rule,
+            line: c.line,
+            justification,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn regions_of(src: &str) -> Regions {
+        let toks = lex(src);
+        let code: Vec<Tok> = toks
+            .into_iter()
+            .filter(|t| t.kind != TokKind::Comment)
+            .collect();
+        analyze_regions(&code)
+    }
+
+    #[test]
+    fn cfg_test_module_extent_covers_the_block() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn x() {}\n}\nfn after() {}\n";
+        let r = regions_of(src);
+        assert!(r.test.contains(2));
+        assert!(r.test.contains(4));
+        assert!(r.test.contains(5));
+        assert!(!r.test.contains(1));
+        assert!(!r.test.contains(6));
+    }
+
+    #[test]
+    fn gated_out_of_line_module_is_recorded() {
+        let r = regions_of("#[cfg(feature = \"timing\")]\npub mod timing;\nfn f() {}\n");
+        assert_eq!(r.timing_mods, vec!["timing".to_string()]);
+        assert!(r.timing.contains(2));
+        assert!(!r.timing.contains(3));
+    }
+
+    #[test]
+    fn cfg_attr_on_single_fn_covers_only_that_fn() {
+        let src = "#[cfg(test)]\nfn helper() {\n let x = 1;\n}\nfn live() {}\n";
+        let r = regions_of(src);
+        assert!(r.test.contains(3));
+        assert!(!r.test.contains(5));
+    }
+
+    #[test]
+    fn non_cfg_attributes_are_ignored() {
+        let r = regions_of("#[derive(Debug)]\nstruct X { a: u32 }\n");
+        assert!(!r.test.contains(1));
+        assert!(!r.test.contains(2));
+    }
+
+    #[test]
+    fn allow_directives_parse_both_spellings() {
+        let toks = lex("// ena:allow(no-wallclock): bench-only telemetry\n\
+             // #[allow(ena::no_panic_in_lib)]: guarded by the assert above\n\
+             // ena:allow(no-wallclock)\n");
+        let comments: Vec<Tok> = toks
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Comment)
+            .collect();
+        let allows = parse_allows(&comments);
+        assert_eq!(allows.len(), 3);
+        assert_eq!(allows[0].rule, "no-wallclock");
+        assert_eq!(allows[0].justification, "bench-only telemetry");
+        assert_eq!(allows[1].rule, "no-panic-in-lib");
+        assert!(allows[1].justification.contains("assert"));
+        assert!(allows[2].justification.is_empty());
+    }
+
+    #[test]
+    fn classify_maps_paths_to_targets() {
+        assert_eq!(classify("src/lib.rs"), TargetKind::Lib);
+        assert_eq!(classify("src/bin/ena.rs"), TargetKind::Bin);
+        assert_eq!(classify("src/main.rs"), TargetKind::Bin);
+        assert_eq!(classify("tests/props.rs"), TargetKind::Test);
+        assert_eq!(classify("benches/sweep.rs"), TargetKind::Bench);
+        assert_eq!(classify("examples/quickstart.rs"), TargetKind::Example);
+    }
+
+    #[test]
+    fn package_name_reads_the_package_section_only() {
+        let manifest = "[workspace]\nmembers = []\n[package]\nname = \"ena-lint\"\n";
+        assert_eq!(package_name(manifest), Some("ena-lint".to_string()));
+        assert_eq!(package_name("[workspace]\n"), None);
+    }
+}

@@ -1,0 +1,94 @@
+//! End-to-end tests: ena-lint over the fixture workspace in
+//! `tests/fixtures/ws` (one violation of every rule, plus one exercised
+//! suppression directive), and over the real workspace (which must be
+//! clean).
+//!
+//! Regenerate the golden rendering after an intentional diagnostic
+//! change with `ENA_UPDATE_GOLDEN=1 cargo test -p ena-lint`.
+
+use std::path::{Path, PathBuf};
+
+use ena_lint::{find_workspace_root, rules, Options, Report};
+
+fn fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/ws")
+}
+
+fn run_fixture() -> Report {
+    let opts = Options {
+        root: fixture_root(),
+        config_path: None,
+        deny_warnings: true,
+    };
+    ena_lint::run(&opts).expect("fixture workspace scans")
+}
+
+#[test]
+fn seeding_a_violation_of_every_rule_fails_the_run() {
+    let report = run_fixture();
+    for rule in rules::all_rule_ids() {
+        assert!(
+            report.diagnostics.iter().any(|d| d.rule == rule),
+            "rule `{rule}` produced no diagnostic on the fixture:\n{}",
+            report.render()
+        );
+    }
+    assert!(
+        report.failed(false),
+        "deny findings must make the run exit non-zero"
+    );
+}
+
+#[test]
+fn diagnostics_match_the_golden_rendering() {
+    let golden_path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/golden.txt");
+    let got = run_fixture().render();
+    if std::env::var_os("ENA_UPDATE_GOLDEN").is_some() {
+        std::fs::write(&golden_path, &got).expect("write golden");
+        return;
+    }
+    let want = std::fs::read_to_string(&golden_path).expect("golden.txt exists");
+    assert_eq!(
+        got, want,
+        "diagnostic rendering drifted from tests/fixtures/golden.txt \
+         (rerun with ENA_UPDATE_GOLDEN=1 if intentional)"
+    );
+}
+
+#[test]
+fn allow_directive_suppresses_exactly_one_finding() {
+    let report = run_fixture();
+    assert_eq!(report.suppressed, 1, "{}", report.render());
+    let survivors: Vec<_> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.rule == "no-wallclock" && d.file.ends_with("allowed.rs"))
+        .collect();
+    assert_eq!(
+        survivors.len(),
+        1,
+        "one of the two same-line findings must survive:\n{}",
+        report.render()
+    );
+    assert!(
+        survivors[0].message.contains("SystemTime"),
+        "the directive consumes the first finding (Instant), not the second"
+    );
+}
+
+#[test]
+fn the_real_workspace_is_clean() {
+    let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = find_workspace_root(here).expect("inside the ena workspace");
+    let opts = Options {
+        root,
+        config_path: None,
+        deny_warnings: true,
+    };
+    let report = ena_lint::run(&opts).expect("workspace scans");
+    assert!(
+        !report.failed(true),
+        "the workspace must lint clean:\n{}",
+        report.render()
+    );
+}

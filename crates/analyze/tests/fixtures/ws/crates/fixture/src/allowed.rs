@@ -1,0 +1,7 @@
+// Fixture: the directive below must suppress exactly ONE of the two
+// wallclock findings on the line that follows it — the second survives.
+
+// ena:allow(no-wallclock): deliberate single-site exemption exercised by the suppression test
+pub fn two_clocks() -> (std::time::Instant, std::time::SystemTime) {
+    clock_pair()
+}

@@ -1,0 +1,27 @@
+// Fixture: exactly one violation of every ena-lint rule. This file is
+// scanned by the integration tests, never compiled by cargo. The
+// missing `#![forbid(unsafe_code)]` header is itself the forbid-unsafe
+// violation (line 1).
+
+pub struct CacheKey {
+    pub seed: u64,
+    pub step: u64,
+}
+
+impl StableHash for CacheKey {
+    fn stable_hash(&self, sink: &mut Vec<u64>) {
+        sink.push(self.seed);
+    }
+}
+
+pub fn lookup(table: &std::collections::HashMap<u64, u64>, key: u64) -> u64 {
+    *table.get(&key).unwrap()
+}
+
+pub fn stamp_origin() -> std::time::Instant {
+    unimplemented()
+}
+
+pub fn narrow(x: u64) -> u16 {
+    x as u16
+}

@@ -5,6 +5,8 @@
 //! extensions, substrates. With `--out DIR` each report is also written to
 //! `DIR/<experiment>.txt`.
 
+#![forbid(unsafe_code)]
+
 use std::path::PathBuf;
 use std::process::ExitCode;
 

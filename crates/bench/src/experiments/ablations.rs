@@ -205,7 +205,7 @@ mod tests {
     fn page_granules_balance_best() {
         // Very fine granules alias with the kernel's structured strides and
         // very coarse granules under-interleave; page granularity balances.
-        let balance: std::collections::HashMap<u64, f64> =
+        let balance: std::collections::BTreeMap<u64, f64> =
             interleave_balance("XSBench").into_iter().collect();
         assert!(balance[&4096] < 1.3, "page granule = {}", balance[&4096]);
         assert!(balance[&4096] <= balance[&256] + 1e-9);
@@ -227,7 +227,7 @@ mod tests {
 
     #[test]
     fn ring_sits_between_chain_and_crossbar() {
-        let rows: std::collections::HashMap<&str, f64> =
+        let rows: std::collections::BTreeMap<&str, f64> =
             interposer_topologies().into_iter().collect();
         assert!(rows["ring"] <= rows["chain"] + 1e-9);
         assert!(rows["crossbar (monolithic)"] < rows["ring"]);
@@ -235,7 +235,7 @@ mod tests {
 
     #[test]
     fn software_management_beats_static_placement_on_reuse_heavy_traces() {
-        let rows: std::collections::HashMap<&str, f64> =
+        let rows: std::collections::BTreeMap<&str, f64> =
             policy_comparison("SNAP").into_iter().collect();
         assert!(rows["software-managed"] > rows["static"], "{rows:?}");
         for frac in rows.values() {
@@ -245,7 +245,7 @@ mod tests {
 
     #[test]
     fn streaming_kernels_hit_rows_harder_than_random_ones() {
-        let rates: std::collections::HashMap<String, f64> =
+        let rates: std::collections::BTreeMap<String, f64> =
             row_buffer_hit_rates().into_iter().collect();
         assert!(
             rates["MiniAMR"] > rates["XSBench"],

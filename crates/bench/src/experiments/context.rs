@@ -24,7 +24,9 @@ pub fn space() -> DesignSpace {
 
 /// Runs the baseline (no power optimizations) exploration.
 pub fn explore_baseline() -> DseResult {
-    Explorer::default().explore(&space(), &paper_profiles())
+    Explorer::default()
+        .explore(&space(), &paper_profiles())
+        .expect("baseline exploration succeeds")
 }
 
 /// Runs the exploration with all Section V-E power optimizations enabled.
@@ -35,7 +37,9 @@ pub fn explore_optimized() -> DseResult {
         options,
         ..Explorer::default()
     };
-    explorer.explore(&space(), &paper_profiles())
+    explorer
+        .explore(&space(), &paper_profiles())
+        .expect("optimized exploration succeeds")
 }
 
 /// The best-mean configuration of the baseline exploration.

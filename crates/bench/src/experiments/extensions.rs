@@ -43,16 +43,22 @@ pub fn reconfiguration() -> Vec<(String, f64, f64, u32)> {
     let profiles = paper_profiles();
     let phases = phased_workload();
     let penalty = Seconds::new(2e-3);
-    let mean = explorer.explore(&space, &profiles).best_mean;
+    let mean = explorer
+        .explore(&space, &profiles)
+        .expect("exploration succeeds")
+        .best_mean;
 
     let mut static_p = StaticPolicy(mean);
-    let mut reactive_p = ReactivePolicy::new(&explorer, &space, &profiles);
-    let mut oracle_p = OraclePolicy::new(&explorer, &space, &profiles);
+    let mut reactive_p =
+        ReactivePolicy::new(&explorer, &space, &profiles).expect("exploration succeeds");
+    let mut oracle_p =
+        OraclePolicy::new(&explorer, &space, &profiles).expect("exploration succeeds");
     let mut out = Vec::new();
     let policies: [&mut dyn ena_core::reconfig::ReconfigPolicy; 3] =
         [&mut static_p, &mut reactive_p, &mut oracle_p];
     for policy in policies {
-        let r = run_phases(&sim, policy, &phases, &explorer.options, penalty);
+        let r = run_phases(&sim, policy, &phases, &explorer.options, penalty)
+            .expect("phased run succeeds");
         out.push((
             r.policy.to_string(),
             r.time.value(),

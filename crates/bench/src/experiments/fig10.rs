@@ -26,7 +26,10 @@ pub struct ThermalRow {
 pub fn rows() -> Vec<ThermalRow> {
     let sim = simulator();
     let dse = explore_baseline();
-    let mean_config = dse.best_mean.to_config();
+    let mean_config = dse
+        .best_mean
+        .try_to_config()
+        .expect("swept point is buildable");
     let options = EvalOptions::with_miss_fraction(DSE_MISS_FRACTION);
 
     paper_profiles()
@@ -42,7 +45,10 @@ pub fn rows() -> Vec<ThermalRow> {
                 .iter()
                 .find(|a| a.app == p.name)
                 .expect("every app explored");
-            let app_config = app_best.point.to_config();
+            let app_config = app_best
+                .point
+                .try_to_config()
+                .expect("swept point is buildable");
             let app_eval = sim.evaluate(&app_config, p, &options);
             let app_t = sim
                 .thermal(&app_config, &app_eval)

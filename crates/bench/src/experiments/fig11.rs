@@ -22,7 +22,7 @@ pub fn heat_maps() -> HeatMaps {
     let options = EvalOptions::with_miss_fraction(DSE_MISS_FRACTION);
 
     let solve = |point: ena_core::dse::ConfigPoint| {
-        let config = point.to_config();
+        let config = point.try_to_config().expect("swept point is buildable");
         let eval = sim.evaluate(&config, &snap, &options);
         let t = sim
             .thermal(&config, &eval)

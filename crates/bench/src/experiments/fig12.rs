@@ -11,7 +11,9 @@ use crate::TextTable;
 /// Savings per app: `(app, [per-optimization %...], all-combined %)`.
 pub fn savings() -> Vec<(String, Vec<f64>, f64)> {
     let sim = NodeSimulator::new();
-    let config = best_mean().to_config();
+    let config = best_mean()
+        .try_to_config()
+        .expect("swept point is buildable");
     paper_profiles()
         .iter()
         .map(|p| {

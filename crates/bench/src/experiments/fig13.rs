@@ -28,8 +28,10 @@ pub fn gains() -> EfficiencyGains {
     let sim = simulator();
     let base_point = explore_baseline().best_mean;
     let opt_point = explore_optimized().best_mean;
-    let base_config = base_point.to_config();
-    let opt_config = opt_point.to_config();
+    let base_config = base_point
+        .try_to_config()
+        .expect("swept point is buildable");
+    let opt_config = opt_point.try_to_config().expect("swept point is buildable");
 
     let base_options = EvalOptions::with_miss_fraction(DSE_MISS_FRACTION);
     let mut opt_options = EvalOptions::with_miss_fraction(DSE_MISS_FRACTION);

@@ -81,7 +81,7 @@ pub fn run() -> String {
 mod tests {
     use super::*;
 
-    fn by_app(variant: ExternalVariant) -> std::collections::HashMap<String, PowerBreakdown> {
+    fn by_app(variant: ExternalVariant) -> std::collections::BTreeMap<String, PowerBreakdown> {
         breakdowns()
             .into_iter()
             .filter(|(_, v, _)| *v == variant)

@@ -1,5 +1,7 @@
 //! The `ena` command-line tool. See `ena help`.
 
+#![forbid(unsafe_code)]
+
 use std::process::ExitCode;
 
 fn main() -> ExitCode {

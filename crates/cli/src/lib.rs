@@ -9,6 +9,7 @@
 //! ena sweep    [--jobs N] [--budget 160] [--fine] [--resume] [--frontier]
 //! ena chiplet  --app SNAP                       # chiplet-vs-monolithic study
 //! ena faults   [--seed N] [--app CoMD]          # fault-injection campaign
+//! ena lint     [--deny-warnings]                # determinism static analysis
 //! ```
 //!
 //! Parsing and rendering live in this library so they are unit-testable;
@@ -77,6 +78,11 @@ pub enum Command {
         seed: u64,
         /// Application name driving the degraded-node models.
         app: String,
+    },
+    /// Run the `ena-lint` determinism/robustness pass over the workspace.
+    Lint {
+        /// Treat warnings as failures.
+        deny_warnings: bool,
     },
     /// Print usage.
     Help,
@@ -264,6 +270,9 @@ pub fn parse(mut args: Vec<String>) -> Result<Command, String> {
             };
             Command::Faults { seed, app }
         }
+        "lint" => Command::Lint {
+            deny_warnings: take_flag(&mut args, "--deny-warnings"),
+        },
         "help" | "--help" | "-h" => Command::Help,
         other => return Err(format!("unknown command '{other}'; try 'ena help'")),
     };
@@ -284,6 +293,7 @@ commands:
   sweep    [--jobs N] [--budget W] [--fine] [--resume] [--frontier]
   chiplet  --app NAME
   faults   [--seed N] [--app NAME]
+  lint     [--deny-warnings]
   help
 
 apps: MaxFlops, CoMD, CoMD-LJ, HPGMG, LULESH, MiniAMR, XSBench, SNAP
@@ -305,7 +315,7 @@ pub fn execute(command: Command) -> Result<String, String> {
             optimized,
         } => {
             let config = point.to_config()?;
-            let profile = profile_for(&app).expect("validated in parse");
+            let profile = profile_for(&app).ok_or_else(|| format!("unknown app: {app}"))?;
             let mut options = match miss {
                 Some(m) => EvalOptions::with_miss_fraction(m),
                 None => EvalOptions::default(),
@@ -366,7 +376,9 @@ pub fn execute(command: Command) -> Result<String, String> {
             } else {
                 DesignSpace::coarse()
             };
-            let result = explorer.explore(&space, &paper_profiles());
+            let result = explorer
+                .explore(&space, &paper_profiles())
+                .map_err(|e| e.to_string())?;
             let mut out = format!(
                 "swept {} configurations, {} feasible under {budget} W\n\
                  best-mean: {}\n\nper-app oracle:\n",
@@ -474,8 +486,24 @@ pub fn execute(command: Command) -> Result<String, String> {
             let report = run_campaign(&spec).map_err(|e| e.to_string())?;
             Ok(report.render())
         }
+        Command::Lint { deny_warnings } => {
+            let cwd = std::env::current_dir().map_err(|e| e.to_string())?;
+            let root = ena_lint::find_workspace_root(&cwd)
+                .ok_or_else(|| format!("no [workspace] Cargo.toml above {}", cwd.display()))?;
+            let opts = ena_lint::Options {
+                root,
+                config_path: None,
+                deny_warnings,
+            };
+            let report = ena_lint::run(&opts).map_err(|e| e.to_string())?;
+            if report.failed(deny_warnings) {
+                Err(report.render())
+            } else {
+                Ok(report.render())
+            }
+        }
         Command::Chiplet { app } => {
-            let profile = profile_for(&app).expect("validated in parse");
+            let profile = profile_for(&app).ok_or_else(|| format!("unknown app: {app}"))?;
             let study = chiplet_study(&EhpConfig::paper_baseline(), &profile, 3000, 7);
             Ok(format!(
                 "{app}: out-of-chiplet traffic {:.1}%, perf vs monolithic {:.1}%\n\
@@ -659,6 +687,19 @@ mod tests {
         assert!(parse_str("faults --app Nope")
             .unwrap_err()
             .contains("unknown app"));
+    }
+
+    #[test]
+    fn lint_parses_and_runs_clean_on_this_workspace() {
+        assert_eq!(
+            parse_str("lint --deny-warnings").unwrap(),
+            Command::Lint {
+                deny_warnings: true
+            }
+        );
+        let out = execute(parse_str("lint --deny-warnings").unwrap()).unwrap();
+        assert!(out.contains("ena-lint:"), "{out}");
+        assert!(out.contains("0 diagnostic(s)"), "{out}");
     }
 
     #[test]

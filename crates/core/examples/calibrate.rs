@@ -39,7 +39,9 @@ fn main() {
         println!("{c}/{f}/{b}: worst {} {:.1} W", worst.0, worst.1);
     }
     println!("=== DSE (coarse) ===");
-    let r = Explorer::default().explore(&DesignSpace::coarse(), &profiles);
+    let r = Explorer::default()
+        .explore(&DesignSpace::coarse(), &profiles)
+        .unwrap();
     println!("feasible {}/{}", r.feasible, r.evaluated);
     println!("best mean: {}", r.best_mean.label());
     for a in &r.per_app {

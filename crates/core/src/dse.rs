@@ -7,11 +7,38 @@
 //! configurations of Table II.
 
 use ena_model::config::{EhpConfig, MAX_CUS, NODE_POWER_BUDGET};
+use ena_model::error::ConfigError;
 use ena_model::kernel::KernelProfile;
 use ena_model::units::{GigabytesPerSec, Megahertz, Watts};
 use ena_thermal::DramTempEstimator;
 
 use crate::node::{EvalOptions, NodeSimulator};
+
+/// An exploration that cannot produce a result.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DseError {
+    /// The design space has no points.
+    EmptySpace,
+    /// There are no application profiles to evaluate.
+    EmptyProfiles,
+    /// No point satisfies the package power budget for every application.
+    NoFeasiblePoint,
+}
+
+impl core::fmt::Display for DseError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            DseError::EmptySpace => f.write_str("design space has no points"),
+            DseError::EmptyProfiles => f.write_str("no application profiles to evaluate"),
+            DseError::NoFeasiblePoint => {
+                f.write_str("no configuration is feasible under the package power budget")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DseError {}
 
 /// One point in the hardware design space.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -26,13 +53,19 @@ pub struct ConfigPoint {
 
 impl ConfigPoint {
     /// Materializes the point as a full configuration.
-    pub fn to_config(self) -> EhpConfig {
+    ///
+    /// # Errors
+    ///
+    /// Returns the builder's [`ConfigError`] when the point describes a
+    /// machine that cannot be built (e.g. a CU count no chiplet split
+    /// realizes). Sweep layers treat such points as infeasible rather
+    /// than fatal.
+    pub fn try_to_config(self) -> Result<EhpConfig, ConfigError> {
         EhpConfig::builder()
             .total_cus(self.cus)
             .gpu_clock(self.clock)
             .hbm_bandwidth(self.bandwidth)
             .build()
-            .expect("design-space points are valid")
     }
 
     /// `CUs / MHz / TB/s` display form used by Table II.
@@ -219,7 +252,20 @@ impl Explorer {
     /// and the parallel `ena-sweep` engine both call it, which is what
     /// makes their results byte-identical by construction.
     pub fn evaluate_point(&self, point: ConfigPoint, profiles: &[KernelProfile]) -> PointRecord {
-        let config = point.to_config();
+        let Ok(config) = point.try_to_config() else {
+            // An unbuildable point is infeasible by definition: infinite
+            // package power fails every budget check, so the reductions
+            // prune it without special cases.
+            let evals = profiles
+                .iter()
+                .map(|_| PointEval {
+                    throughput: 0.0,
+                    package_power: f64::INFINITY,
+                    peak_dram_c: 0.0,
+                })
+                .collect();
+            return PointRecord { point, evals };
+        };
         let evals = profiles
             .iter()
             .map(|p| {
@@ -252,36 +298,40 @@ impl Explorer {
     /// [`Explorer::evaluate_point`] in point order reproduces
     /// [`Explorer::explore`] exactly, whatever produced the records.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `records` or `profiles` is empty, or no point is
-    /// feasible under the budget.
-    pub fn reduce(&self, records: &[PointRecord], profiles: &[KernelProfile]) -> DseResult {
-        assert!(!records.is_empty(), "empty design space");
-        assert!(!profiles.is_empty(), "no profiles to evaluate");
+    /// Returns [`DseError::EmptySpace`] / [`DseError::EmptyProfiles`] on
+    /// empty inputs and [`DseError::NoFeasiblePoint`] when the budget
+    /// rejects every record.
+    pub fn reduce(
+        &self,
+        records: &[PointRecord],
+        profiles: &[KernelProfile],
+    ) -> Result<DseResult, DseError> {
+        if records.is_empty() {
+            return Err(DseError::EmptySpace);
+        }
+        if profiles.is_empty() {
+            return Err(DseError::EmptyProfiles);
+        }
 
         let feasible: Vec<&PointRecord> = records.iter().filter(|r| self.is_feasible(r)).collect();
-        assert!(
-            !feasible.is_empty(),
-            "no feasible configuration under the budget"
-        );
 
         // Per-app maxima across feasible points, for normalization.
         let app_max = app_maxima(feasible.iter().copied(), profiles.len());
 
         // Best mean: geometric mean of normalized per-app throughput.
-        let mut best_mean = feasible[0].point;
-        let mut best_score = f64::MIN;
-        let mut best_evals: Option<&[PointEval]> = None;
-        for record in &feasible {
-            let score = geomean_score(&record.evals, &app_max);
-            if score > best_score {
-                best_score = score;
-                best_mean = record.point;
-                best_evals = Some(&record.evals);
-            }
-        }
-        let best_evals = best_evals.expect("at least one feasible point");
+        // Strict `>` keeps the earliest point on ties, matching the
+        // sequential sweep order.
+        let Some((_, best_record)) = feasible
+            .iter()
+            .map(|&r| (geomean_score(&r.evals, &app_max), r))
+            .reduce(|best, cand| if cand.0 > best.0 { cand } else { best })
+        else {
+            return Err(DseError::NoFeasiblePoint);
+        };
+        let best_mean = best_record.point;
+        let best_evals: &[PointEval] = &best_record.evals;
         let mean_config_throughput: Vec<(String, f64)> = profiles
             .iter()
             .zip(best_evals)
@@ -310,23 +360,33 @@ impl Explorer {
             });
         }
 
-        DseResult {
+        Ok(DseResult {
             best_mean,
             mean_config_throughput,
             per_app,
             evaluated: records.len(),
             feasible: feasible.len(),
-        }
+        })
     }
 
     /// Sweeps the space and returns the best-mean and per-app results.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `space` or `profiles` is empty, or no point is feasible.
-    pub fn explore(&self, space: &DesignSpace, profiles: &[KernelProfile]) -> DseResult {
-        assert!(!space.is_empty(), "empty design space");
-        assert!(!profiles.is_empty(), "no profiles to evaluate");
+    /// Returns [`DseError::EmptySpace`] / [`DseError::EmptyProfiles`] on
+    /// empty inputs and [`DseError::NoFeasiblePoint`] when no point fits
+    /// the budget.
+    pub fn explore(
+        &self,
+        space: &DesignSpace,
+        profiles: &[KernelProfile],
+    ) -> Result<DseResult, DseError> {
+        if space.is_empty() {
+            return Err(DseError::EmptySpace);
+        }
+        if profiles.is_empty() {
+            return Err(DseError::EmptyProfiles);
+        }
         let records: Vec<PointRecord> = space
             .points()
             .into_iter()
@@ -349,7 +409,9 @@ mod tests {
 
     #[test]
     fn explorer_finds_the_papers_best_mean_region() {
-        let result = Explorer::default().explore(&DesignSpace::coarse(), &paper_profiles());
+        let result = Explorer::default()
+            .explore(&DesignSpace::coarse(), &paper_profiles())
+            .unwrap();
         // Paper: 320 CUs / 1000 MHz / 3 TB/s. Accept the immediate
         // neighborhood — the models are calibrated, not fitted.
         let p = result.best_mean;
@@ -365,7 +427,9 @@ mod tests {
 
     #[test]
     fn per_app_bests_follow_table_ii_structure() {
-        let result = Explorer::default().explore(&DesignSpace::coarse(), &paper_profiles());
+        let result = Explorer::default()
+            .explore(&DesignSpace::coarse(), &paper_profiles())
+            .unwrap();
         let best = |name: &str| {
             result
                 .per_app
@@ -405,7 +469,9 @@ mod tests {
 
     #[test]
     fn budget_prunes_the_space() {
-        let result = Explorer::default().explore(&DesignSpace::coarse(), &paper_profiles());
+        let result = Explorer::default()
+            .explore(&DesignSpace::coarse(), &paper_profiles())
+            .unwrap();
         assert!(result.feasible < result.evaluated);
         assert!(result.feasible > 0);
     }
@@ -414,12 +480,13 @@ mod tests {
     fn tighter_budgets_pick_smaller_configs() {
         let space = DesignSpace::coarse();
         let profiles = paper_profiles();
-        let normal = Explorer::default().explore(&space, &profiles);
+        let normal = Explorer::default().explore(&space, &profiles).unwrap();
         let tight = Explorer {
             budget: Watts::new(110.0),
             ..Explorer::default()
         }
-        .explore(&space, &profiles);
+        .explore(&space, &profiles)
+        .unwrap();
         let score = |p: &ConfigPoint| f64::from(p.cus) * p.clock.value();
         assert!(score(&tight.best_mean) < score(&normal.best_mean));
     }

@@ -8,10 +8,11 @@
 //! runtime would), or with oracle knowledge. Reconfiguration pays a
 //! switching penalty (DVFS relock, power-gate wake-up).
 
+use ena_model::error::ConfigError;
 use ena_model::kernel::KernelProfile;
 use ena_model::units::{Joules, Seconds};
 
-use crate::dse::{ConfigPoint, DesignSpace, Explorer};
+use crate::dse::{ConfigPoint, DesignSpace, DseError, Explorer};
 use crate::node::{EvalOptions, NodeSimulator};
 
 /// One phase of a phased workload.
@@ -61,16 +62,20 @@ struct BestTable {
 }
 
 impl BestTable {
-    fn build(explorer: &Explorer, space: &DesignSpace, profiles: &[KernelProfile]) -> Self {
-        let result = explorer.explore(space, profiles);
-        Self {
+    fn build(
+        explorer: &Explorer,
+        space: &DesignSpace,
+        profiles: &[KernelProfile],
+    ) -> Result<Self, DseError> {
+        let result = explorer.explore(space, profiles)?;
+        Ok(Self {
             by_app: result
                 .per_app
                 .iter()
                 .map(|a| (a.app.clone(), a.point))
                 .collect(),
             fallback: result.best_mean,
-        }
+        })
     }
 
     fn lookup(&self, profile: &KernelProfile) -> ConfigPoint {
@@ -90,10 +95,18 @@ pub struct OraclePolicy {
 
 impl OraclePolicy {
     /// Precomputes the per-kernel best configurations.
-    pub fn new(explorer: &Explorer, space: &DesignSpace, profiles: &[KernelProfile]) -> Self {
-        Self {
-            table: BestTable::build(explorer, space, profiles),
-        }
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DseError`] from the underlying exploration.
+    pub fn new(
+        explorer: &Explorer,
+        space: &DesignSpace,
+        profiles: &[KernelProfile],
+    ) -> Result<Self, DseError> {
+        Ok(Self {
+            table: BestTable::build(explorer, space, profiles)?,
+        })
     }
 }
 
@@ -116,10 +129,18 @@ pub struct ReactivePolicy {
 
 impl ReactivePolicy {
     /// Precomputes the per-kernel best configurations.
-    pub fn new(explorer: &Explorer, space: &DesignSpace, profiles: &[KernelProfile]) -> Self {
-        Self {
-            table: BestTable::build(explorer, space, profiles),
-        }
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DseError`] from the underlying exploration.
+    pub fn new(
+        explorer: &Explorer,
+        space: &DesignSpace,
+        profiles: &[KernelProfile],
+    ) -> Result<Self, DseError> {
+        Ok(Self {
+            table: BestTable::build(explorer, space, profiles)?,
+        })
     }
 }
 
@@ -164,13 +185,18 @@ impl ReconfigReport {
 
 /// Executes `phases` under `policy`, charging `switch_penalty` per
 /// configuration change.
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] when the policy selects a design point that
+/// cannot be materialized as a buildable configuration.
 pub fn run_phases(
     sim: &NodeSimulator,
     policy: &mut dyn ReconfigPolicy,
     phases: &[Phase],
     options: &EvalOptions,
     switch_penalty: Seconds,
-) -> ReconfigReport {
+) -> Result<ReconfigReport, ConfigError> {
     let mut time = Seconds::ZERO;
     let mut energy = Joules::new(0.0);
     let mut switches = 0;
@@ -186,7 +212,7 @@ pub fn run_phases(
         }
         current = Some(point);
 
-        let config = point.to_config();
+        let config = point.try_to_config()?;
         let eval = sim.evaluate(&config, &phase.profile, options);
         let seconds = phase.work_gflop / eval.perf.throughput.value().max(1e-9);
         time += Seconds::new(seconds);
@@ -195,13 +221,13 @@ pub fn run_phases(
         previous_profile = Some(phase.profile.clone());
     }
 
-    ReconfigReport {
+    Ok(ReconfigReport {
         policy: policy.name(),
         time,
         energy,
         switches,
         phases: per_phase,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -247,7 +273,7 @@ mod tests {
         let (sim, explorer, space, profiles) = setup();
         let phases = phased_workload();
         let options = explorer.options.clone();
-        let mean = explorer.explore(&space, &profiles).best_mean;
+        let mean = explorer.explore(&space, &profiles).unwrap().best_mean;
 
         let static_r = run_phases(
             &sim,
@@ -255,14 +281,16 @@ mod tests {
             &phases,
             &options,
             Seconds::new(1e-3),
-        );
+        )
+        .unwrap();
         let oracle_r = run_phases(
             &sim,
-            &mut OraclePolicy::new(&explorer, &space, &profiles),
+            &mut OraclePolicy::new(&explorer, &space, &profiles).unwrap(),
             &phases,
             &options,
             Seconds::new(1e-3),
-        );
+        )
+        .unwrap();
         assert!(
             oracle_r.time.value() < static_r.time.value(),
             "oracle {} vs static {}",
@@ -278,7 +306,7 @@ mod tests {
         let (sim, explorer, space, profiles) = setup();
         let phases = phased_workload();
         let options = explorer.options.clone();
-        let mean = explorer.explore(&space, &profiles).best_mean;
+        let mean = explorer.explore(&space, &profiles).unwrap().best_mean;
 
         let t = |r: &ReconfigReport| r.time.value();
         let static_r = run_phases(
@@ -287,21 +315,24 @@ mod tests {
             &phases,
             &options,
             Seconds::ZERO,
-        );
+        )
+        .unwrap();
         let reactive_r = run_phases(
             &sim,
-            &mut ReactivePolicy::new(&explorer, &space, &profiles),
+            &mut ReactivePolicy::new(&explorer, &space, &profiles).unwrap(),
             &phases,
             &options,
             Seconds::ZERO,
-        );
+        )
+        .unwrap();
         let oracle_r = run_phases(
             &sim,
-            &mut OraclePolicy::new(&explorer, &space, &profiles),
+            &mut OraclePolicy::new(&explorer, &space, &profiles).unwrap(),
             &phases,
             &options,
             Seconds::ZERO,
-        );
+        )
+        .unwrap();
         assert!(t(&oracle_r) <= t(&reactive_r) + 1e-12);
         assert!(
             t(&reactive_r) < t(&static_r) * 1.05,
@@ -316,18 +347,20 @@ mod tests {
         let options = explorer.options.clone();
         let cheap = run_phases(
             &sim,
-            &mut OraclePolicy::new(&explorer, &space, &profiles),
+            &mut OraclePolicy::new(&explorer, &space, &profiles).unwrap(),
             &phases,
             &options,
             Seconds::new(1e-6),
-        );
+        )
+        .unwrap();
         let expensive = run_phases(
             &sim,
-            &mut OraclePolicy::new(&explorer, &space, &profiles),
+            &mut OraclePolicy::new(&explorer, &space, &profiles).unwrap(),
             &phases,
             &options,
             Seconds::new(10.0),
-        );
+        )
+        .unwrap();
         assert!(expensive.time.value() > cheap.time.value());
         assert_eq!(expensive.switches, cheap.switches);
     }
@@ -338,11 +371,12 @@ mod tests {
         let phases = phased_workload();
         let r = run_phases(
             &sim,
-            &mut OraclePolicy::new(&explorer, &space, &profiles),
+            &mut OraclePolicy::new(&explorer, &space, &profiles).unwrap(),
             &phases,
             &explorer.options,
             Seconds::ZERO,
-        );
+        )
+        .unwrap();
         assert_eq!(r.phases.len(), phases.len());
         let phase_sum: f64 = r.phases.iter().map(|(_, t)| t).sum();
         assert!((phase_sum - r.time.value()).abs() < 1e-9);

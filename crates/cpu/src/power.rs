@@ -116,23 +116,18 @@ impl CpuPowerModel {
             .collect()
     }
 
-    /// The minimum-energy P-state for a measured program.
+    /// The minimum-energy P-state for a measured program, or `None` if
+    /// `states` is empty.
     pub fn energy_optimal(
         &self,
         core: &CoreModel,
         measured: &CpuEstimate,
         measured_at: Megahertz,
         states: &[PState],
-    ) -> PStatePrediction {
+    ) -> Option<PStatePrediction> {
         self.sweep(core, measured, measured_at, states)
             .into_iter()
-            .min_by(|a, b| {
-                a.energy
-                    .value()
-                    .partial_cmp(&b.energy.value())
-                    .expect("finite")
-            })
-            .expect("non-empty state table")
+            .min_by(|a, b| a.energy.value().total_cmp(&b.energy.value()))
     }
 }
 
@@ -165,7 +160,9 @@ mod tests {
         // lowest-voltage state wins for compute-bound code.
         let (core, e) = measure(0.0);
         let model = CpuPowerModel::default();
-        let best = model.energy_optimal(&core, &e, Megahertz::new(2500.0), &default_pstates());
+        let best = model
+            .energy_optimal(&core, &e, Megahertz::new(2500.0), &default_pstates())
+            .unwrap();
         assert_eq!(best.state.frequency, Megahertz::new(1200.0));
     }
 

@@ -12,7 +12,7 @@
 
 use ena_core::node::{EvalOptions, NodeSimulator};
 use ena_hsa::runtime::{RetryPolicy, Runtime, RuntimeConfig};
-use ena_hsa::task::{TaskCost, TaskGraph};
+use ena_hsa::task::{GraphError, TaskCost, TaskGraph};
 use ena_memory::policy::StaticPlacement;
 use ena_memory::system::MemorySystem;
 use ena_model::config::EhpConfig;
@@ -287,20 +287,15 @@ fn snapshot(
 
 /// Builds the campaign's bulk-synchronous task graph: CPU preprocessing, a
 /// fan of GPU kernels, CPU reduction.
-fn campaign_graph(width: usize, kernel_us: f64) -> TaskGraph {
+fn campaign_graph(width: usize, kernel_us: f64) -> Result<TaskGraph, GraphError> {
     let mut g = TaskGraph::new();
-    let pre = g
-        .add("pre", TaskCost::cpu(5.0), &[])
-        .expect("campaign graph is well formed");
-    let kernels: Vec<_> = (0..width)
-        .map(|i| {
-            g.add(format!("k{i}"), TaskCost::gpu(kernel_us), &[pre])
-                .expect("campaign graph is well formed")
-        })
-        .collect();
-    g.add("reduce", TaskCost::cpu(5.0), &kernels)
-        .expect("campaign graph is well formed");
-    g
+    let pre = g.add("pre", TaskCost::cpu(5.0), &[])?;
+    let mut kernels = Vec::with_capacity(width);
+    for i in 0..width {
+        kernels.push(g.add(format!("k{i}"), TaskCost::gpu(kernel_us), &[pre])?);
+    }
+    g.add("reduce", TaskCost::cpu(5.0), &kernels)?;
+    Ok(g)
 }
 
 /// Runs `spec` end to end and assembles the report.
@@ -371,7 +366,15 @@ pub fn run_campaign(spec: &CampaignSpec) -> Result<DegradationReport, DegradeErr
         gpu_queues: base.gpu.chiplets as usize,
         ..RuntimeConfig::hsa()
     });
-    let graph = campaign_graph(spec.task_width, spec.kernel_us);
+    // A structurally invalid graph cannot come from a CampaignSpec, but
+    // if the builder's invariants ever change, surface the inconsistency
+    // rather than aborting mid-campaign.
+    let graph = campaign_graph(spec.task_width, spec.kernel_us).map_err(|_| {
+        DegradeError::UnknownComponent {
+            component: "campaign task graph",
+            index: spec.task_width as u64,
+        }
+    })?;
     let healthy_schedule = rt.execute(&graph);
     let degraded_schedule = rt.execute_degraded(&graph, &node.agent_faults(), spec.retry)?;
 
@@ -412,16 +415,23 @@ pub fn run_campaign(spec: &CampaignSpec) -> Result<DegradationReport, DegradeErr
 ///
 /// # Errors
 ///
-/// Returns a [`DegradeError`] if `workload` names no known profile (the
+/// Returns a [`DegradeError`] if `workload` names no known profile or
+/// `point` cannot be materialized as a buildable configuration (the
 /// seeded single-chiplet plan itself is always survivable).
 pub fn sweep_degraded(
     point: ena_core::dse::ConfigPoint,
     workload: &str,
     seed: u64,
 ) -> Result<DegradationReport, DegradeError> {
+    let base = point
+        .try_to_config()
+        .map_err(|_| DegradeError::UnknownComponent {
+            component: "design point",
+            index: u64::from(point.cus),
+        })?;
     run_campaign(&CampaignSpec {
         workload: workload.into(),
-        base: point.to_config(),
+        base,
         plan: FaultPlan::single_chiplet_loss(seed),
         ..CampaignSpec::standard(seed)
     })

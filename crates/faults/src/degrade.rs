@@ -275,7 +275,15 @@ impl DegradedNode {
                     self.lost_ext.insert(i);
                     FaultKind::ExternalInterface(i)
                 }
-                other => unreachable!("switch {other:?} classified as endpoint"),
+                // `endpoints()` never yields switching elements; if the
+                // topology ever disagrees, report the inconsistency
+                // instead of aborting the campaign.
+                NodeKind::InterposerRouter(_) | NodeKind::Crossbar => {
+                    return Err(DegradeError::UnknownComponent {
+                        component: "severed endpoint",
+                        index: id as u64,
+                    });
+                }
             };
             self.topo.fail_node(id)?;
             self.casualties.push((at_us, kind));

@@ -46,6 +46,8 @@
 //! assert!(report.throughput_retained() < 1.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod campaign;
 pub mod crosscheck;
 pub mod degrade;

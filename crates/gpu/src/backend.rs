@@ -1,7 +1,7 @@
 //! Memory backends the timing model issues requests into.
 
 use ena_memory::hbm::{Direction, HbmStack};
-use ena_memory::interleave::{AddressMap, Tier};
+use ena_memory::interleave::AddressMap;
 
 /// Something that services line-granular memory requests with timing.
 pub trait MemoryBackend {
@@ -76,10 +76,7 @@ impl HbmBackend {
 
 impl MemoryBackend for HbmBackend {
     fn request(&mut self, addr: u64, is_write: bool, cycle: u64) -> u64 {
-        let folded = addr % self.map.in_package_bytes();
-        let Tier::InPackage { stack, offset } = self.map.locate(folded) else {
-            unreachable!("folded address is in-package by construction")
-        };
+        let (stack, offset) = self.map.fold_in_package(addr);
         let dir = if is_write {
             Direction::Write
         } else {

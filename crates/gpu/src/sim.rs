@@ -84,8 +84,9 @@ impl WavefrontState {
             }
             Op::Load { .. } | Op::Store { .. } => {
                 if self.outstanding.len() >= cfg.max_outstanding as usize {
-                    let min = *self.outstanding.iter().min().expect("non-empty");
-                    earliest = earliest.max(min);
+                    if let Some(&min) = self.outstanding.iter().min() {
+                        earliest = earliest.max(min);
+                    }
                 }
             }
             Op::Compute { .. } => {}

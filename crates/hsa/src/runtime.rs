@@ -192,13 +192,16 @@ impl Runtime {
                 let ready = task
                     .deps
                     .iter()
-                    .map(|&d| placement[d].expect("dep placed").end_us)
+                    .filter_map(|&d| placement[d])
+                    .map(|p| p.end_us)
                     .fold(0.0f64, f64::max);
                 if pick.is_none_or(|(r, i)| (ready, id) < (r, i)) {
                     pick = Some((ready, id));
                 }
             }
-            let (ready, id) = pick.expect("acyclic graph always has a ready task");
+            // Structurally unreachable (add() admits only acyclic graphs),
+            // but degrade to a partial schedule rather than aborting.
+            let Some((ready, id)) = pick else { break };
             let task = &graph.tasks()[id];
 
             // Candidate placements: earliest finish across compatible agents.
@@ -209,10 +212,8 @@ impl Runtime {
                  cost: Option<f64>,
                  best: &mut Option<(f64, f64, AgentKind, usize, f64)>| {
                     let Some(cost) = cost else { return };
-                    let Some((idx, &agent_free)) = free
-                        .iter()
-                        .enumerate()
-                        .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                    let Some((idx, &agent_free)) =
+                        free.iter().enumerate().min_by(|a, b| a.1.total_cmp(b.1))
                     else {
                         return;
                     };
@@ -221,10 +222,8 @@ impl Runtime {
                     let sync: f64 = task
                         .deps
                         .iter()
-                        .map(|&d| {
-                            let producer = placement[d].expect("dep placed");
-                            cfg.sync.edge_cost(producer.agent != kind)
-                        })
+                        .filter_map(|&d| placement[d])
+                        .map(|producer| cfg.sync.edge_cost(producer.agent != kind))
                         .sum();
                     let start = ready.max(agent_free) + cfg.dispatch_overhead_us + sync;
                     let end = start + cost;
@@ -234,21 +233,30 @@ impl Runtime {
                 };
             consider(AgentKind::CpuCore, &cpu_free, task.cost.cpu_us, &mut best);
             consider(AgentKind::GpuQueue, &gpu_free, task.cost.gpu_us, &mut best);
-            let (end, start, kind, idx, sync) = best.expect("validated tasks are runnable");
+            // add() rejects unrunnable tasks, so some candidate exists; if
+            // that invariant ever breaks, stop scheduling rather than abort.
+            let Some((end, start, kind, idx, sync)) = best else {
+                break;
+            };
 
             match kind {
                 AgentKind::CpuCore => cpu_free[idx] = end,
                 AgentKind::GpuQueue => {
                     gpu_free[idx] = end;
-                    // Exercise the dispatch substrate: packet in, packet out.
-                    queues[idx]
+                    // Exercise the dispatch substrate: packet in, packet
+                    // out. The queue is drained every dispatch, so submit
+                    // cannot reject and consume cannot come up empty.
+                    if queues[idx]
                         .submit(DispatchPacket {
                             task: id,
                             completion: completion[id],
                         })
-                        .expect("queue drained every dispatch");
-                    let pkt = queues[idx].consume().expect("just submitted");
-                    debug_assert_eq!(pkt.task, id);
+                        .is_ok()
+                    {
+                        if let Some(pkt) = queues[idx].consume() {
+                            debug_assert_eq!(pkt.task, id);
+                        }
+                    }
                 }
             }
             signals.decrement(completion[id], end);
@@ -361,14 +369,16 @@ impl Runtime {
                 let ready = task
                     .deps
                     .iter()
-                    .map(|&d| placement[d].expect("dep placed").end_us)
+                    .filter_map(|&d| placement[d])
+                    .map(|p| p.end_us)
                     .fold(requeue_ready[id], f64::max);
                 if pick.is_none_or(|(r, i)| (ready, id) < (r, i)) {
                     pick = Some((ready, id));
                 }
             }
-            let (ready, id) =
-                pick.expect("acyclic graph with unscheduled tasks always has a ready task");
+            // Structurally unreachable (add() admits only acyclic graphs),
+            // but degrade to a partial schedule rather than aborting.
+            let Some((ready, id)) = pick else { break };
             let task = &graph.tasks()[id];
 
             // Candidate placements over agents not yet known-dead at their
@@ -385,10 +395,8 @@ impl Runtime {
                     let sync: f64 = task
                         .deps
                         .iter()
-                        .map(|&d| {
-                            let producer = placement[d].expect("dep placed");
-                            cfg.sync.edge_cost(producer.agent != kind)
-                        })
+                        .filter_map(|&d| placement[d])
+                        .map(|producer| cfg.sync.edge_cost(producer.agent != kind))
                         .sum();
                     for (idx, &agent_free) in free.iter().enumerate() {
                         let start = ready.max(agent_free) + cfg.dispatch_overhead_us + sync;
@@ -448,14 +456,19 @@ impl Runtime {
                 AgentKind::CpuCore => cpu_free[idx] = end,
                 AgentKind::GpuQueue => {
                     gpu_free[idx] = end;
-                    queues[idx]
+                    // Drained every dispatch: submit cannot reject and
+                    // consume cannot come up empty.
+                    if queues[idx]
                         .submit(DispatchPacket {
                             task: id,
                             completion: completion[id],
                         })
-                        .expect("queue drained every dispatch");
-                    let pkt = queues[idx].consume().expect("just submitted");
-                    debug_assert_eq!(pkt.task, id);
+                        .is_ok()
+                    {
+                        if let Some(pkt) = queues[idx].consume() {
+                            debug_assert_eq!(pkt.task, id);
+                        }
+                    }
                 }
             }
             signals.decrement(completion[id], end);

@@ -5,7 +5,7 @@
 //! space is what makes fine-grained graphs like these practical: no data
 //! copies between producer and consumer, only signal dependencies.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Task identifier within a graph.
 pub type TaskId = usize;
@@ -173,7 +173,7 @@ impl TaskGraph {
 
     /// Tasks with no dependents (graph outputs).
     pub fn sinks(&self) -> Vec<TaskId> {
-        let mut has_dependent = HashSet::new();
+        let mut has_dependent = BTreeSet::new();
         for t in &self.tasks {
             for &d in &t.deps {
                 has_dependent.insert(d);

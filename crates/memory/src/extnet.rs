@@ -309,7 +309,7 @@ mod tests {
     #[test]
     fn addresses_interleave_across_interfaces() {
         let net = dram_net();
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for page in 0..8u64 {
             let (m, _) = net.locate(page * 4096).unwrap();
             seen.insert(m.interface);

@@ -88,6 +88,22 @@ impl AddressMap {
         }
     }
 
+    /// Folds an arbitrary logical address into the in-package region and
+    /// maps it: `(stack, offset)` for `addr % in_package_bytes()`.
+    ///
+    /// Total by construction — callers that already decided an access is
+    /// serviced in-package get a placement without re-matching [`Tier`].
+    pub fn fold_in_package(&self, addr: u64) -> (u32, u64) {
+        let folded = addr % self.in_package_bytes();
+        let granule = folded / self.granularity;
+        let stack = (granule % u64::from(self.stacks)) as u32;
+        let stack_granule = granule / u64::from(self.stacks);
+        (
+            stack,
+            stack_granule * self.granularity + folded % self.granularity,
+        )
+    }
+
     /// Inverse of [`Self::locate`] for in-package placements.
     pub fn in_package_address(&self, stack: u32, offset: u64) -> u64 {
         let stack_granule = offset / self.granularity;
@@ -108,7 +124,7 @@ mod tests {
     #[test]
     fn low_addresses_interleave_across_stacks() {
         let m = map();
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for g in 0..8u64 {
             match m.locate(g * 4096) {
                 Tier::InPackage { stack, .. } => {

@@ -11,7 +11,7 @@
 //! in-package?* — and their quality is summarized by the in-package service
 //! fraction, the knob Fig. 8 sweeps.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Page size used by the management policies.
 pub const PAGE_BYTES: u64 = 4096;
@@ -92,9 +92,9 @@ impl PlacementPolicy for StaticPlacement {
 pub struct SoftwareManaged {
     capacity_pages: usize,
     /// Pages currently resident in-package.
-    resident: std::collections::HashSet<u64>,
+    resident: BTreeSet<u64>,
     /// Access counts this epoch.
-    counts: HashMap<u64, u64>,
+    counts: BTreeMap<u64, u64>,
     /// True until the first epoch ends: pages are first-touch allocated
     /// in-package while space remains (cold start).
     cold_start: bool,
@@ -105,8 +105,8 @@ impl SoftwareManaged {
     pub fn new(capacity_bytes: u64) -> Self {
         Self {
             capacity_pages: (capacity_bytes / PAGE_BYTES) as usize,
-            resident: std::collections::HashSet::new(),
-            counts: HashMap::new(),
+            resident: BTreeSet::new(),
+            counts: BTreeMap::new(),
             cold_start: true,
         }
     }
@@ -136,9 +136,9 @@ impl PlacementPolicy for SoftwareManaged {
     fn end_epoch(&mut self) -> u64 {
         self.cold_start = false;
         // Rank pages by epoch count; keep the hottest `capacity_pages`.
-        let mut ranked: Vec<(u64, u64)> = self.counts.drain().collect();
+        let mut ranked: Vec<(u64, u64)> = std::mem::take(&mut self.counts).into_iter().collect();
         ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-        let new_resident: std::collections::HashSet<u64> = ranked
+        let new_resident: BTreeSet<u64> = ranked
             .iter()
             .take(self.capacity_pages)
             .map(|&(page, _)| page)

@@ -12,7 +12,7 @@ use ena_model::units::Picojoules;
 
 use crate::extnet::{ExternalError, ExternalNetwork, ExternalStats};
 use crate::hbm::{Direction, HbmStack, HbmStats};
-use crate::interleave::{AddressMap, Tier};
+use crate::interleave::AddressMap;
 use crate::policy::{Placement, PlacementPolicy, PAGE_BYTES};
 
 /// Aggregate results of replaying a trace through the memory system.
@@ -170,10 +170,7 @@ impl MemorySystem {
         let latency = match placement {
             Placement::InPackage => {
                 // Fold the logical address into the in-package region.
-                let folded = addr % self.map.in_package_bytes();
-                let Tier::InPackage { stack, offset } = self.map.locate(folded) else {
-                    unreachable!("folded address is in-package by construction")
-                };
+                let (stack, offset) = self.map.fold_in_package(addr);
                 let physical = self.live[stack as usize];
                 let result = self.stacks[physical as usize].service(offset, bytes, dir, self.clock);
                 self.stats.energy += result.energy;

@@ -315,24 +315,39 @@ impl EhpConfig {
     }
 
     /// The paper's best-mean configuration: 320 CUs, 1 GHz, 3 TB/s.
+    ///
+    /// Spelled as a literal (8 chiplets x 40 CUs, 8 stacks x 375 GB/s)
+    /// so construction is infallible; the builder round-trip is pinned by
+    /// a test.
     pub fn paper_baseline() -> Self {
-        Self::builder()
-            .total_cus(320)
-            .gpu_clock(Megahertz::new(1000.0))
-            .hbm_bandwidth(GigabytesPerSec::from_terabytes_per_sec(3.0))
-            .build()
-            .expect("paper baseline is valid")
+        Self {
+            gpu: GpuConfig {
+                chiplets: 8,
+                cus_per_chiplet: 40,
+                clock: Megahertz::new(1000.0),
+            },
+            cpu: CpuConfig::default(),
+            hbm: HbmConfig {
+                stacks: 8,
+                capacity_per_stack: Gigabytes::new(32.0),
+                bandwidth_per_stack: GigabytesPerSec::new(375.0),
+            },
+            external: ExternalMemoryConfig::default(),
+            organization: PackageOrganization::Chiplets,
+        }
     }
 
     /// The best-mean configuration after power optimizations (Section V-E):
     /// 288 CUs, 1.1 GHz, 3 TB/s.
     pub fn paper_optimized_baseline() -> Self {
-        Self::builder()
-            .total_cus(288)
-            .gpu_clock(Megahertz::new(1100.0))
-            .hbm_bandwidth(GigabytesPerSec::from_terabytes_per_sec(3.0))
-            .build()
-            .expect("paper optimized baseline is valid")
+        Self {
+            gpu: GpuConfig {
+                chiplets: 8,
+                cus_per_chiplet: 36,
+                clock: Megahertz::new(1100.0),
+            },
+            ..Self::paper_baseline()
+        }
     }
 
     /// Total node memory capacity (in-package plus external).
@@ -509,6 +524,24 @@ impl Default for EhpConfigBuilder {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn baseline_literals_match_the_builder() {
+        let built = EhpConfig::builder()
+            .total_cus(320)
+            .gpu_clock(Megahertz::new(1000.0))
+            .hbm_bandwidth(GigabytesPerSec::from_terabytes_per_sec(3.0))
+            .build()
+            .unwrap();
+        assert_eq!(EhpConfig::paper_baseline(), built);
+        let opt = EhpConfig::builder()
+            .total_cus(288)
+            .gpu_clock(Megahertz::new(1100.0))
+            .hbm_bandwidth(GigabytesPerSec::from_terabytes_per_sec(3.0))
+            .build()
+            .unwrap();
+        assert_eq!(EhpConfig::paper_optimized_baseline(), opt);
+    }
 
     #[test]
     fn paper_baseline_matches_section_v() {

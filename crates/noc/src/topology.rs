@@ -12,7 +12,7 @@
 //! clusters. [`Topology::monolithic`] builds the hypothetical single-die
 //! baseline used by Fig. 7, where all endpoints meet at one crossbar.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use ena_model::error::DegradeError;
 
@@ -303,8 +303,8 @@ impl Topology {
         for c in 0..total_routers {
             router_ids.push(t.add_node(NodeKind::InterposerRouter(c)));
         }
-        for w in router_ids.windows(2) {
-            t.add_duplex(w[0], w[1], INTERPOSER_HOP);
+        for (&a, &b) in router_ids.iter().zip(router_ids.iter().skip(1)) {
+            t.add_duplex(a, b, INTERPOSER_HOP);
         }
 
         // Order clusters: G.. C C G..
@@ -449,7 +449,7 @@ impl Topology {
     /// Precomputes routes between all endpoint pairs.
     pub fn route_table(&self) -> RouteTable {
         let endpoints = self.endpoints(|_| true);
-        let mut routes = HashMap::new();
+        let mut routes = BTreeMap::new();
         for &src in &endpoints {
             let pred = self.shortest_from(src);
             for &dst in &endpoints {
@@ -484,7 +484,7 @@ impl Topology {
 /// Precomputed endpoint-to-endpoint routes.
 #[derive(Clone, Debug)]
 pub struct RouteTable {
-    routes: HashMap<(NodeId, NodeId), Vec<usize>>,
+    routes: BTreeMap<(NodeId, NodeId), Vec<usize>>,
 }
 
 impl RouteTable {

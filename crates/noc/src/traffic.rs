@@ -9,6 +9,7 @@
 //!   addresses across the DRAM stacks the way the EHP's physical address
 //!   map does.
 
+use ena_model::error::DegradeError;
 use ena_model::kernel::KernelProfile;
 
 use crate::sim::Packet;
@@ -77,20 +78,27 @@ impl WorkloadTraffic {
     /// the other stacks, matching the paper's observation of "a fairly even
     /// distribution of accesses across chiplets".
     pub fn generate(&self, topo: &Topology, count_per_chiplet: u32) -> Vec<Packet> {
-        let gpus = topo.endpoints(|k| matches!(k, NodeKind::GpuChiplet(_)));
+        let gpus: Vec<(u32, NodeId)> = topo
+            .endpoints(|k| matches!(k, NodeKind::GpuChiplet(_)))
+            .into_iter()
+            .filter_map(|id| match topo.kind(id) {
+                NodeKind::GpuChiplet(g) => Some((g, id)),
+                _ => None,
+            })
+            .collect();
         let stacks: Vec<(u32, NodeId)> = topo
             .endpoints(|k| matches!(k, NodeKind::HbmStack(_)))
             .into_iter()
-            .map(|id| match topo.kind(id) {
-                NodeKind::HbmStack(i) => (i, id),
-                _ => unreachable!("filtered to stacks"),
+            .filter_map(|id| match topo.kind(id) {
+                NodeKind::HbmStack(i) => Some((i, id)),
+                _ => None,
             })
             .collect();
+        let Some(&(_, fallback_stack)) = stacks.first() else {
+            return Vec::new();
+        };
         let mut packets = Vec::new();
-        for &gpu in &gpus {
-            let NodeKind::GpuChiplet(g) = topo.kind(gpu) else {
-                unreachable!("filtered to GPU chiplets")
-            };
+        for &(g, gpu) in &gpus {
             let mut rng = SplitMix64(self.seed ^ (u64::from(g) << 32));
             let mut cycle = 0u64;
             for _ in 0..count_per_chiplet {
@@ -107,7 +115,7 @@ impl WorkloadTraffic {
                         .iter()
                         .find(|&&(i, _)| i == g)
                         .map(|&(_, id)| id)
-                        .unwrap_or(stacks[0].1)
+                        .unwrap_or(fallback_stack)
                 };
                 packets.push(Packet {
                     src: gpu,
@@ -138,28 +146,42 @@ pub fn stack_for_address(addr: u64, stacks: u32, granularity_bytes: u64) -> u32 
 /// Each traced line becomes a request/response pair to the stack selected
 /// by [`stack_for_address`]. `source_chiplet` is the GPU chiplet issuing
 /// the trace; `cycles_per_access` spaces the injections.
+///
+/// # Errors
+///
+/// Returns [`DegradeError::UnknownComponent`] if `source_chiplet` does not
+/// exist on `topo` or the topology has no DRAM stacks to target.
 pub fn trace_packets(
     topo: &Topology,
     source_chiplet: u32,
     addresses: impl IntoIterator<Item = u64>,
     cycles_per_access: u64,
     granularity_bytes: u64,
-) -> Vec<Packet> {
-    let src = topo
-        .find(NodeKind::GpuChiplet(source_chiplet))
-        .expect("source chiplet exists");
+) -> Result<Vec<Packet>, DegradeError> {
+    let src =
+        topo.find(NodeKind::GpuChiplet(source_chiplet))
+            .ok_or(DegradeError::UnknownComponent {
+                component: "GPU chiplet",
+                index: u64::from(source_chiplet),
+            })?;
     let stacks: Vec<NodeId> = {
         let mut s: Vec<(u32, NodeId)> = topo
             .endpoints(|k| matches!(k, NodeKind::HbmStack(_)))
             .into_iter()
-            .map(|id| match topo.kind(id) {
-                NodeKind::HbmStack(i) => (i, id),
-                _ => unreachable!("filtered to stacks"),
+            .filter_map(|id| match topo.kind(id) {
+                NodeKind::HbmStack(i) => Some((i, id)),
+                _ => None,
             })
             .collect();
         s.sort_by_key(|&(i, _)| i);
         s.into_iter().map(|(_, id)| id).collect()
     };
+    if stacks.is_empty() {
+        return Err(DegradeError::UnknownComponent {
+            component: "DRAM stack",
+            index: 0,
+        });
+    }
     let mut packets = Vec::new();
     let mut cycle = 0u64;
     for addr in addresses {
@@ -178,7 +200,7 @@ pub fn trace_packets(
             inject_cycle: cycle + 2,
         });
     }
-    packets
+    Ok(packets)
 }
 
 #[cfg(test)]
@@ -241,7 +263,7 @@ mod tests {
     fn trace_replay_reaches_all_stacks() {
         let topo = Topology::ehp(8, 8);
         let addrs: Vec<u64> = (0..64u64).map(|i| i * 4096).collect();
-        let packets = trace_packets(&topo, 0, addrs, 4, 4096);
+        let packets = trace_packets(&topo, 0, addrs, 4, 4096).unwrap();
         assert_eq!(packets.len(), 128);
         let mut sim = NocSim::new(&topo);
         let stats = sim.run(&packets);

@@ -71,3 +71,76 @@ proptest! {
         prop_assert!(avg >= one - 1e-9, "avg {avg} < uncontended {one}");
     }
 }
+
+/// Digest of every precomputed route on the three package topologies.
+/// Any iteration-order nondeterminism in topology construction or the
+/// route table lands in this value.
+fn route_table_digest() -> u64 {
+    let mut h = ena_model::hash::StableHasher::new();
+    for topo in [
+        Topology::ehp(8, 1),
+        Topology::ehp_ring(8, 1),
+        Topology::monolithic(8, 1),
+    ] {
+        let endpoints = topo.endpoints(|_| true);
+        let table = topo.route_table();
+        for &src in &endpoints {
+            for &dst in &endpoints {
+                let Some(path) = table.get(src, dst) else {
+                    continue;
+                };
+                h.write_usize(src);
+                h.write_usize(dst);
+                h.write_usize(path.len());
+                for &li in path {
+                    h.write_usize(li);
+                }
+            }
+        }
+    }
+    h.finish()
+}
+
+/// Satellite invariant: the route table is identical across two
+/// *separate process* runs (fresh hash seeds, fresh address space). The
+/// test re-executes its own binary twice in digest mode and compares
+/// the printed digests with each other and with the in-process value.
+#[test]
+fn route_table_is_identical_across_two_process_runs() {
+    const MODE: &str = "ENA_NOC_DIGEST_MODE";
+    if std::env::var_os(MODE).is_some() {
+        println!("digest={:016x}", route_table_digest());
+        return;
+    }
+    let exe = std::env::current_exe().expect("test binary path");
+    let child_digest = || {
+        let out = std::process::Command::new(&exe)
+            .args([
+                "route_table_is_identical_across_two_process_runs",
+                "--exact",
+                "--nocapture",
+            ])
+            .env(MODE, "1")
+            .output()
+            .expect("child test process");
+        assert!(out.status.success(), "child run failed: {out:?}");
+        let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+        // Under `--nocapture` libtest may print the digest on the same
+        // line as the test name, so search by substring.
+        let at = stdout
+            .find("digest=")
+            .unwrap_or_else(|| panic!("no digest in child output: {stdout}"));
+        stdout[at + "digest=".len()..]
+            .chars()
+            .take_while(char::is_ascii_hexdigit)
+            .collect::<String>()
+    };
+    let first = child_digest();
+    let second = child_digest();
+    assert_eq!(first, second, "route table differs between processes");
+    assert_eq!(
+        first,
+        format!("{:016x}", route_table_digest()),
+        "parent and child disagree"
+    );
+}

@@ -55,10 +55,20 @@ impl Component {
     ];
 
     fn index(self) -> usize {
-        Component::ALL
-            .iter()
-            .position(|&c| c == self)
-            .expect("component in ALL")
+        match self {
+            Component::CuDynamic => 0,
+            Component::CuStatic => 1,
+            Component::Cpu => 2,
+            Component::NocRouters => 3,
+            Component::NocLinks => 4,
+            Component::HbmDynamic => 5,
+            Component::HbmStatic => 6,
+            Component::ExtDynamic => 7,
+            Component::ExtStatic => 8,
+            Component::SerdesDynamic => 9,
+            Component::SerdesStatic => 10,
+            Component::Other => 11,
+        }
     }
 }
 
@@ -186,6 +196,13 @@ impl fmt::Display for PowerBreakdown {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn index_agrees_with_the_display_order() {
+        for (i, c) in Component::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i, "{c} out of order");
+        }
+    }
 
     #[test]
     fn totals_sum_components() {

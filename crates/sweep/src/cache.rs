@@ -24,6 +24,46 @@ use ena_model::units::{GigabytesPerSec, Megahertz};
 /// Magic tag of the cache file format.
 const FORMAT: &str = "ena-sweep-cache/1";
 
+/// A cache I/O failure, tagged with the file or directory involved.
+///
+/// Only genuine I/O faults reach this type: *corrupt content* (foreign
+/// bytes, stale model stamps, torn lines) is not an error — the damaged
+/// records are evicted and the affected points simply re-evaluate, so a
+/// mangled cache degrades to a miss instead of killing the sweep.
+#[derive(Debug)]
+pub struct CacheError {
+    /// The cache file or directory the operation touched.
+    pub path: PathBuf,
+    /// The underlying I/O error.
+    pub source: io::Error,
+}
+
+impl CacheError {
+    fn new(path: &Path, source: io::Error) -> Self {
+        Self {
+            path: path.to_path_buf(),
+            source,
+        }
+    }
+}
+
+impl std::fmt::Display for CacheError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "sweep cache I/O on {}: {}",
+            self.path.display(),
+            self.source
+        )
+    }
+}
+
+impl std::error::Error for CacheError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
 /// On-disk cache of one campaign's evaluated points.
 #[derive(Debug)]
 pub struct DiskCache {
@@ -45,13 +85,15 @@ impl DiskCache {
     ///
     /// # Errors
     ///
-    /// Returns any I/O error from creating the directory or file.
+    /// Returns a [`CacheError`] for any I/O fault creating the directory
+    /// or file. Corrupt *content* never errors: damaged records degrade
+    /// to cache misses.
     pub fn open(
         dir: &Path,
         campaign: u64,
         version: &str,
-    ) -> io::Result<(Self, Vec<(u64, PointRecord)>)> {
-        fs::create_dir_all(dir)?;
+    ) -> Result<(Self, Vec<(u64, PointRecord)>), CacheError> {
+        fs::create_dir_all(dir).map_err(|e| CacheError::new(dir, e))?;
         let path = dir.join(Self::file_name(campaign));
 
         let mut entries = Vec::new();
@@ -78,20 +120,27 @@ impl DiskCache {
                 fs::OpenOptions::new()
                     .create(true)
                     .append(true)
-                    .open(&path)?,
+                    .open(&path)
+                    .map_err(|e| CacheError::new(&path, e))?,
             );
-            writeln!(writer, "{}", header_line(campaign, version))?;
-            writer.flush()?;
+            writeln!(writer, "{}", header_line(campaign, version))
+                .map_err(|e| CacheError::new(&path, e))?;
+            writer.flush().map_err(|e| CacheError::new(&path, e))?;
             return Ok((Self { path, writer }, Vec::new()));
         }
 
-        // Re-append only the intact prefix if a torn tail was dropped.
+        // Re-append only the intact prefix if damaged lines were dropped.
         let intact: String = std::iter::once(header_line(campaign, version))
             .chain(entries.iter().map(|(k, r)| entry_line(*k, r)))
             .map(|l| l + "\n")
             .collect();
-        fs::write(&path, &intact)?;
-        let writer = BufWriter::new(fs::OpenOptions::new().append(true).open(&path)?);
+        fs::write(&path, &intact).map_err(|e| CacheError::new(&path, e))?;
+        let writer = BufWriter::new(
+            fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .map_err(|e| CacheError::new(&path, e))?,
+        );
         Ok((Self { path, writer }, entries))
     }
 
@@ -100,10 +149,13 @@ impl DiskCache {
     ///
     /// # Errors
     ///
-    /// Returns any I/O error from the append.
-    pub fn append(&mut self, key: u64, record: &PointRecord) -> io::Result<()> {
-        writeln!(self.writer, "{}", entry_line(key, record))?;
-        self.writer.flush()
+    /// Returns a [`CacheError`] for any I/O fault during the append.
+    pub fn append(&mut self, key: u64, record: &PointRecord) -> Result<(), CacheError> {
+        writeln!(self.writer, "{}", entry_line(key, record))
+            .map_err(|e| CacheError::new(&self.path, e))?;
+        self.writer
+            .flush()
+            .map_err(|e| CacheError::new(&self.path, e))
     }
 
     /// Path of the backing file.
@@ -126,14 +178,14 @@ fn entry_line(key: u64, record: &PointRecord) -> String {
         record.evals.len(),
     );
     for e in &record.evals {
-        write!(
+        // fmt::Write to a String is infallible; discard the Ok.
+        let _ = write!(
             line,
             " {:016x} {:016x} {:016x}",
             e.throughput.to_bits(),
             e.package_power.to_bits(),
             e.peak_dram_c.to_bits(),
-        )
-        .expect("writing to String cannot fail");
+        );
     }
     line
 }
@@ -254,6 +306,63 @@ mod tests {
         drop(cache);
         let (_, loaded) = DiskCache::open(&dir, 7, "v1").unwrap();
         assert_eq!(loaded.len(), 2);
+    }
+
+    #[test]
+    fn garbage_in_the_middle_degrades_to_a_shorter_prefix() {
+        let dir = tmp("midbytes");
+        let (mut cache, _) = DiskCache::open(&dir, 7, "v1").unwrap();
+        cache.append(11, &record(0.0)).unwrap();
+        cache.append(22, &record(1.0)).unwrap();
+        cache.append(33, &record(2.0)).unwrap();
+        let path = cache.path().to_path_buf();
+        drop(cache);
+
+        // Flip bytes in the middle record (line 3 of the file): the
+        // intact prefix must load, the damage must cost points, not the
+        // process.
+        let text = fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        let mangled: Vec<String> = lines
+            .iter()
+            .enumerate()
+            .map(|(i, l)| {
+                if i == 2 {
+                    "zz not-hex 1 &&& garbage".to_string()
+                } else {
+                    (*l).to_string()
+                }
+            })
+            .collect();
+        fs::write(&path, mangled.join("\n") + "\n").unwrap();
+
+        let (mut cache, loaded) = DiskCache::open(&dir, 7, "v1").unwrap();
+        assert_eq!(loaded, vec![(11, record(0.0))], "intact prefix survives");
+        // The repaired file keeps accepting appends.
+        cache.append(22, &record(1.0)).unwrap();
+        drop(cache);
+        let (_, loaded) = DiskCache::open(&dir, 7, "v1").unwrap();
+        assert_eq!(loaded.len(), 2);
+    }
+
+    #[test]
+    fn non_utf8_bytes_evict_the_file_not_the_process() {
+        let dir = tmp("nonutf8");
+        let (mut cache, _) = DiskCache::open(&dir, 7, "v1").unwrap();
+        cache.append(11, &record(0.0)).unwrap();
+        let path = cache.path().to_path_buf();
+        drop(cache);
+
+        let mut bytes = fs::read(&path).unwrap();
+        bytes.extend_from_slice(&[0xFF, 0xFE, 0x00, 0xC3]);
+        fs::write(&path, &bytes).unwrap();
+
+        let (mut cache, loaded) = DiskCache::open(&dir, 7, "v1").unwrap();
+        assert!(loaded.is_empty(), "undecodable file is evicted wholesale");
+        cache.append(11, &record(0.0)).unwrap();
+        drop(cache);
+        let (_, loaded) = DiskCache::open(&dir, 7, "v1").unwrap();
+        assert_eq!(loaded, vec![(11, record(0.0))]);
     }
 
     #[test]

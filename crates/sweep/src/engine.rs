@@ -19,18 +19,56 @@
 //! Hence `reduce(merge(...))` sees the same bytes whatever the thread
 //! count, cache temperature, or interruption history.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::path::PathBuf;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-use ena_core::dse::{DesignSpace, DseResult, PointRecord};
+use ena_core::dse::{DesignSpace, DseError, DseResult, PointRecord};
 use ena_core::Explorer;
 use ena_model::hash::{StableHash, StableHasher, MODEL_VERSION};
 use ena_model::kernel::KernelProfile;
 
-use crate::cache::DiskCache;
+use crate::cache::{CacheError, DiskCache};
 use crate::pareto::{pareto_frontier, FrontierPoint};
-use crate::pool::{map_chunks, WorkerStats};
+use crate::pool::{map_chunks, PoolError, WorkerStats};
+
+#[cfg(feature = "timing")]
+mod clock {
+    /// Wall-clock run timer, available only under the `timing` feature:
+    /// everything outside telemetry stays wall-clock-free so results are
+    /// a pure function of inputs.
+    #[derive(Clone, Copy, Debug)]
+    pub struct RunClock(std::time::Instant);
+
+    impl RunClock {
+        pub fn start() -> Self {
+            Self(std::time::Instant::now())
+        }
+
+        pub fn elapsed(&self) -> std::time::Duration {
+            self.0.elapsed()
+        }
+    }
+}
+
+#[cfg(not(feature = "timing"))]
+mod clock {
+    /// Deterministic stand-in: without the `timing` feature every run
+    /// reports zero elapsed time, keeping the default build free of
+    /// wall-clock reads.
+    #[derive(Clone, Copy, Debug)]
+    pub struct RunClock;
+
+    impl RunClock {
+        pub fn start() -> Self {
+            Self
+        }
+
+        pub fn elapsed(&self) -> std::time::Duration {
+            std::time::Duration::ZERO
+        }
+    }
+}
 
 /// Where memoized evaluations live between runs.
 #[derive(Clone, Debug)]
@@ -144,7 +182,17 @@ pub enum SweepError {
         remaining: usize,
     },
     /// The persistent cache failed.
-    Io(std::io::Error),
+    Cache(CacheError),
+    /// The worker pool lost chunks before completing the sweep.
+    Pool(PoolError),
+    /// The reduction over the merged records failed.
+    Dse(DseError),
+    /// A point's record vanished between evaluation and merge — an
+    /// engine-internal invariant violation, reported rather than assumed.
+    MissingRecord {
+        /// The memoization key with no record.
+        key: u64,
+    },
 }
 
 impl std::fmt::Display for SweepError {
@@ -159,16 +207,42 @@ impl std::fmt::Display for SweepError {
                 f,
                 "sweep interrupted after {completed} fresh evaluations ({remaining} remaining, checkpointed)"
             ),
-            Self::Io(e) => write!(f, "sweep cache I/O: {e}"),
+            Self::Cache(e) => write!(f, "sweep cache: {e}"),
+            Self::Pool(e) => write!(f, "sweep pool: {e}"),
+            Self::Dse(e) => write!(f, "sweep reduction: {e}"),
+            Self::MissingRecord { key } => {
+                write!(f, "no record for point key {key:#018x} at merge time")
+            }
         }
     }
 }
 
-impl std::error::Error for SweepError {}
+impl std::error::Error for SweepError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Cache(e) => Some(e),
+            Self::Pool(e) => Some(e),
+            Self::Dse(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
-impl From<std::io::Error> for SweepError {
-    fn from(e: std::io::Error) -> Self {
-        Self::Io(e)
+impl From<CacheError> for SweepError {
+    fn from(e: CacheError) -> Self {
+        Self::Cache(e)
+    }
+}
+
+impl From<PoolError> for SweepError {
+    fn from(e: PoolError) -> Self {
+        Self::Pool(e)
+    }
+}
+
+impl From<DseError> for SweepError {
+    fn from(e: DseError) -> Self {
+        Self::Dse(e)
     }
 }
 
@@ -177,7 +251,7 @@ impl From<std::io::Error> for SweepError {
 pub struct SweepEngine {
     explorer: Explorer,
     version: String,
-    memo: HashMap<u64, PointRecord>,
+    memo: BTreeMap<u64, PointRecord>,
 }
 
 impl SweepEngine {
@@ -187,7 +261,7 @@ impl SweepEngine {
         Self {
             explorer,
             version: MODEL_VERSION.to_string(),
-            memo: HashMap::new(),
+            memo: BTreeMap::new(),
         }
     }
 
@@ -234,15 +308,12 @@ impl SweepEngine {
     /// # Errors
     ///
     /// [`SweepError::Interrupted`] when `fresh_limit` stops the run early
-    /// (already-evaluated points are checkpointed), [`SweepError::Io`]
-    /// on persistent-cache failures, and the empty-input variants.
-    ///
-    /// # Panics
-    ///
-    /// Panics if no point is feasible under the budget, matching the
-    /// sequential oracle's contract.
+    /// (already-evaluated points are checkpointed),
+    /// [`SweepError::Cache`] / [`SweepError::Pool`] on infrastructure
+    /// failures, [`SweepError::Dse`] when the reduction fails (e.g. no
+    /// feasible point under the budget), and the empty-input variants.
     pub fn run(&mut self, spec: &SweepSpec) -> Result<SweepOutcome, SweepError> {
-        let started = Instant::now();
+        let started = clock::RunClock::start();
         if spec.space.is_empty() {
             return Err(SweepError::EmptySpace);
         }
@@ -288,7 +359,7 @@ impl SweepEngine {
 
         let explorer = &self.explorer;
         let profiles = &spec.profiles;
-        let mut io_error: Option<std::io::Error> = None;
+        let mut io_error: Option<CacheError> = None;
         let (chunk_results, workers) = map_chunks(
             spec.jobs,
             chunks,
@@ -307,9 +378,9 @@ impl SweepEngine {
                     }
                 }
             },
-        );
+        )?;
         if let Some(e) = io_error {
-            return Err(SweepError::Io(e));
+            return Err(SweepError::Cache(e));
         }
         for (key, record) in chunk_results.into_iter().flatten() {
             self.memo.insert(key, record);
@@ -324,9 +395,15 @@ impl SweepEngine {
 
         // Merge in design-space point order: the only order the
         // reduction ever sees.
-        let records: Vec<PointRecord> = keys.iter().map(|key| self.memo[key].clone()).collect();
+        let mut records = Vec::with_capacity(keys.len());
+        for key in &keys {
+            let Some(record) = self.memo.get(key) else {
+                return Err(SweepError::MissingRecord { key: *key });
+            };
+            records.push(record.clone());
+        }
 
-        let result = self.explorer.reduce(&records, &spec.profiles);
+        let result = self.explorer.reduce(&records, &spec.profiles)?;
         let frontier = pareto_frontier(&self.explorer, &records, spec.profiles.len());
         let telemetry = Telemetry {
             total_points: points.len(),

@@ -36,7 +36,7 @@
 //! let outcome = engine.run(&spec).expect("sweep completes");
 //! assert_eq!(
 //!     outcome.result,
-//!     Explorer::default().explore(&spec.space, &spec.profiles),
+//!     Explorer::default().explore(&spec.space, &spec.profiles).unwrap(),
 //! );
 //! // The frontier contains the best-mean point.
 //! assert!(outcome

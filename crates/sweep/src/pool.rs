@@ -28,18 +28,55 @@ enum Message<R> {
     Done { worker: usize, stats: WorkerStats },
 }
 
+/// A pool run that could not deliver every chunk.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PoolError {
+    /// One or more workers disappeared before delivering their chunks;
+    /// `missing` chunks never completed.
+    WorkerLost {
+        /// Number of chunks that never completed.
+        missing: usize,
+    },
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            PoolError::WorkerLost { missing } => {
+                write!(f, "worker pool lost {missing} chunk(s) before completion")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+/// Locks a queue, recovering the guard from a poisoned sibling: the data
+/// is a plain deque of pending chunks, valid regardless of where another
+/// worker died.
+fn lock_queue<T>(q: &Mutex<VecDeque<T>>) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+    q.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
 /// Maps `f` over every item of every chunk on `jobs` worker threads.
 ///
 /// `on_chunk` runs on the calling thread, once per completed chunk in
 /// completion order (suitable for streaming checkpoints and progress).
 /// The returned chunk results are ordered by chunk index regardless of
 /// which worker computed them or when.
+///
+/// # Errors
+///
+/// Returns [`PoolError::WorkerLost`] if a worker hung up before its
+/// chunks completed (the remaining results are discarded rather than
+/// silently returned incomplete).
 pub fn map_chunks<T, R, F, C>(
     jobs: usize,
     chunks: Vec<Vec<T>>,
     f: F,
     mut on_chunk: C,
-) -> (Vec<Vec<R>>, Vec<WorkerStats>)
+) -> Result<(Vec<Vec<R>>, Vec<WorkerStats>), PoolError>
 where
     T: Send,
     R: Send,
@@ -53,10 +90,7 @@ where
     let queues: Vec<Mutex<VecDeque<(usize, Vec<T>)>>> =
         (0..jobs).map(|_| Mutex::new(VecDeque::new())).collect();
     for (index, chunk) in chunks.into_iter().enumerate() {
-        queues[index % jobs]
-            .lock()
-            .expect("queue poisoned")
-            .push_back((index, chunk));
+        lock_queue(&queues[index % jobs]).push_back((index, chunk));
     }
 
     let (tx, rx) = mpsc::channel::<Message<R>>();
@@ -73,12 +107,12 @@ where
                 loop {
                     // Own queue first (front), then steal (back) so a
                     // victim's locality-ordered head stays with it.
-                    let mut job = queues[w].lock().expect("queue poisoned").pop_front();
+                    let mut job = lock_queue(&queues[w]).pop_front();
                     let mut stolen = false;
                     if job.is_none() {
                         for offset in 1..jobs {
                             let victim = (w + offset) % jobs;
-                            job = queues[victim].lock().expect("queue poisoned").pop_back();
+                            job = lock_queue(&queues[victim]).pop_back();
                             if job.is_some() {
                                 stolen = true;
                                 break;
@@ -105,27 +139,37 @@ where
         // so `on_chunk` needs no synchronization.
         let mut done = 0;
         while done < jobs {
-            match rx.recv().expect("workers hung up without Done") {
-                Message::Chunk {
+            match rx.recv() {
+                Ok(Message::Chunk {
                     index,
                     results: chunk_results,
-                } => {
+                }) => {
                     on_chunk(index, &chunk_results);
                     results[index] = Some(chunk_results);
                 }
-                Message::Done { worker, stats } => {
+                Ok(Message::Done { worker, stats }) => {
                     worker_stats[worker] = stats;
                     done += 1;
                 }
+                // Every sender dropped without its Done: workers are gone;
+                // whatever chunks are missing stay None and surface below.
+                Err(_) => break,
             }
         }
     });
 
-    let merged = results
-        .into_iter()
-        .map(|slot| slot.expect("every chunk completed"))
-        .collect();
-    (merged, worker_stats)
+    let mut merged = Vec::with_capacity(n_chunks);
+    let mut missing = 0usize;
+    for slot in results {
+        match slot {
+            Some(chunk) => merged.push(chunk),
+            None => missing += 1,
+        }
+    }
+    if missing > 0 {
+        return Err(PoolError::WorkerLost { missing });
+    }
+    Ok((merged, worker_stats))
 }
 
 #[cfg(test)]
@@ -146,7 +190,7 @@ mod tests {
             .map(|c| c.iter().map(|x| x * 3).collect())
             .collect();
         for jobs in [1, 2, 7, 32] {
-            let (got, stats) = map_chunks(jobs, input.clone(), |x| x * 3, |_, _| {});
+            let (got, stats) = map_chunks(jobs, input.clone(), |x| x * 3, |_, _| {}).unwrap();
             assert_eq!(got, expect, "jobs = {jobs}");
             assert_eq!(stats.len(), jobs);
             assert_eq!(stats.iter().map(|s| s.points).sum::<u64>(), 65);
@@ -157,7 +201,7 @@ mod tests {
     #[test]
     fn on_chunk_streams_every_chunk_exactly_once() {
         let mut seen = vec![0u32; 13];
-        let (_, _) = map_chunks(
+        map_chunks(
             3,
             chunks(),
             |x| *x,
@@ -165,13 +209,14 @@ mod tests {
                 assert_eq!(results.len(), 5);
                 seen[index] += 1;
             },
-        );
+        )
+        .unwrap();
         assert!(seen.iter().all(|&n| n == 1));
     }
 
     #[test]
     fn zero_jobs_clamps_to_one_and_empty_input_is_fine() {
-        let (got, stats) = map_chunks(0, Vec::<Vec<u64>>::new(), |x| *x, |_, _| {});
+        let (got, stats) = map_chunks(0, Vec::<Vec<u64>>::new(), |x| *x, |_, _| {}).unwrap();
         assert!(got.is_empty());
         assert_eq!(stats.len(), 1);
     }

@@ -31,7 +31,11 @@ fn render<T: std::fmt::Debug>(value: &T) -> String {
 #[test]
 fn parallel_equals_sequential_for_every_job_count() {
     let spec = coarse_spec();
-    let oracle = render(&Explorer::default().explore(&spec.space, &spec.profiles));
+    let oracle = render(
+        &Explorer::default()
+            .explore(&spec.space, &spec.profiles)
+            .unwrap(),
+    );
     for jobs in [1, 2, 7] {
         let outcome = SweepEngine::new(Explorer::default())
             .run(&SweepSpec {
@@ -54,7 +58,7 @@ proptest! {
         jobs in 1u32..8,
     ) {
         let spec = coarse_spec();
-        let oracle = render(&Explorer::default().explore(&spec.space, &spec.profiles));
+        let oracle = render(&Explorer::default().explore(&spec.space, &spec.profiles).unwrap());
         let outcome = SweepEngine::new(Explorer::default())
             .run(&SweepSpec {
                 jobs: jobs as usize,
@@ -96,7 +100,7 @@ proptest! {
         prop_assert!(resumed.telemetry.cache_hits == k as usize);
         prop_assert!(resumed.telemetry.fresh_evals == total - k as usize);
 
-        let oracle = Explorer::default().explore(&spec.space, &spec.profiles);
+        let oracle = Explorer::default().explore(&spec.space, &spec.profiles).unwrap();
         prop_assert!(render(&resumed.result) == render(&oracle));
     }
 
@@ -109,7 +113,7 @@ proptest! {
             ..Explorer::default()
         };
         let spec = SweepSpec { jobs: 7, ..coarse_spec() };
-        let oracle = render(&explorer.explore(&spec.space, &spec.profiles));
+        let oracle = render(&explorer.explore(&spec.space, &spec.profiles).unwrap());
         let outcome = SweepEngine::new(explorer)
             .run(&spec)
             .expect("sweep completes");

@@ -223,10 +223,11 @@ impl ThermalGrid {
         let area = dx * dy;
         let gz: Vec<f64> = self
             .layers
-            .windows(2)
-            .map(|pair| {
-                let r = (pair[0].thickness_mm * 1e-3 / 2.0) / (pair[0].conductivity * area)
-                    + (pair[1].thickness_mm * 1e-3 / 2.0) / (pair[1].conductivity * area);
+            .iter()
+            .zip(self.layers.iter().skip(1))
+            .map(|(lo, hi)| {
+                let r = (lo.thickness_mm * 1e-3 / 2.0) / (lo.conductivity * area)
+                    + (hi.thickness_mm * 1e-3 / 2.0) / (hi.conductivity * area);
                 1.0 / r
             })
             .collect();

@@ -89,8 +89,8 @@ fn force_pass(
                     if extra_bytes_per_atom > 0 {
                         tracer.read(EMBED_BASE + (i * 8) as u64, extra_bytes_per_atom);
                     }
-                    let pi = lat.positions[i];
-                    let mut f = [0.0f64; 3];
+                    let [pix, piy, piz] = lat.positions[i];
+                    let (mut fx, mut fy, mut fz) = (0.0f64, 0.0f64, 0.0f64);
                     for nz in lat.neighbors(cz) {
                         for ny in lat.neighbors(cy) {
                             for nx in lat.neighbors(cx) {
@@ -99,10 +99,10 @@ fn force_pass(
                                         continue;
                                     }
                                     tracer.read(POS_BASE + (j * 24) as u64, 24);
-                                    let pj = lat.positions[j];
-                                    let dx = pi[0] - pj[0];
-                                    let dy = pi[1] - pj[1];
-                                    let dz = pi[2] - pj[2];
+                                    let [pjx, pjy, pjz] = lat.positions[j];
+                                    let dx = pix - pjx;
+                                    let dy = piy - pjy;
+                                    let dz = piz - pjz;
                                     let r2 = dx * dx + dy * dy + dz * dz;
                                     tracer.flops(8);
                                     if r2 < CUTOFF * CUTOFF && r2 > 1e-12 {
@@ -111,9 +111,9 @@ fn force_pass(
                                         let inv_r2 = 1.0 / r2;
                                         let inv_r6 = inv_r2 * inv_r2 * inv_r2;
                                         let scalar = inv_r6 * (inv_r6 - 0.5) * inv_r2;
-                                        f[0] += scalar * dx;
-                                        f[1] += scalar * dy;
-                                        f[2] += scalar * dz;
+                                        fx += scalar * dx;
+                                        fy += scalar * dy;
+                                        fz += scalar * dz;
                                         energy += inv_r6 * (inv_r6 - 1.0);
                                         tracer.flops(flops_per_pair);
                                     }
@@ -122,7 +122,7 @@ fn force_pass(
                         }
                     }
                     tracer.write(FORCE_BASE + (i * 24) as u64, 24);
-                    std::hint::black_box(f);
+                    std::hint::black_box([fx, fy, fz]);
                 }
             }
         }
@@ -143,7 +143,8 @@ fn run_comd(cfg: &RunConfig, eam: bool) -> KernelRun {
         let natoms = lat.positions.len();
         for i in 0..natoms {
             tracer.read(EMBED_BASE + (i * 8) as u64, 8);
-            let rho = lat.positions[i][0].abs() + 0.1;
+            let [x, _, _] = lat.positions[i];
+            let rho = x.abs() + 0.1;
             let idx = ((rho * 37.0) as usize % 4096) * 16;
             tracer.read(TABLE_BASE + idx as u64, 16);
             checksum += rho.sqrt() * 0.01;

@@ -89,11 +89,10 @@ impl HexMesh {
 /// (simplified to the parallelepiped spanned by three edge vectors).
 fn hex_volume(c: &[[f64; 3]; 8]) -> f64 {
     let e = |a: usize, b: usize, k: usize| c[b][k] - c[a][k];
-    let ux = [e(0, 1, 0), e(0, 1, 1), e(0, 1, 2)];
-    let vy = [e(0, 3, 0), e(0, 3, 1), e(0, 3, 2)];
-    let wz = [e(0, 4, 0), e(0, 4, 1), e(0, 4, 2)];
-    ux[0] * (vy[1] * wz[2] - vy[2] * wz[1]) - ux[1] * (vy[0] * wz[2] - vy[2] * wz[0])
-        + ux[2] * (vy[0] * wz[1] - vy[1] * wz[0])
+    let [ux0, ux1, ux2] = [e(0, 1, 0), e(0, 1, 1), e(0, 1, 2)];
+    let [vy0, vy1, vy2] = [e(0, 3, 0), e(0, 3, 1), e(0, 3, 2)];
+    let [wz0, wz1, wz2] = [e(0, 4, 0), e(0, 4, 1), e(0, 4, 2)];
+    ux0 * (vy1 * wz2 - vy2 * wz1) - ux1 * (vy0 * wz2 - vy2 * wz0) + ux2 * (vy0 * wz1 - vy1 * wz0)
 }
 
 /// The LULESH hydrodynamics proxy.

@@ -40,7 +40,7 @@ impl NuclideData {
         let mut energies: Vec<f64> = (0..gridpoints)
             .map(|_| rng.random_range(1e-11..20.0f64))
             .collect();
-        energies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        energies.sort_by(|a, b| a.total_cmp(b));
         let xs = (0..gridpoints * nuclides * CHANNELS)
             .map(|_| rng.random_range(0.0..10.0))
             .collect();

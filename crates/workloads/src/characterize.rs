@@ -83,7 +83,7 @@ mod tests {
     fn measured_ordering_matches_paper_table_i() {
         // Intensity ordering: MaxFlops >> balanced (CoMD*) > memory-bound.
         let cfg = RunConfig::small();
-        let by_name: std::collections::HashMap<String, Characterization> = all_apps()
+        let by_name: std::collections::BTreeMap<String, Characterization> = all_apps()
             .iter()
             .map(|a| {
                 let c = Characterization::measure(a.as_ref(), &cfg);

@@ -10,7 +10,7 @@
 //! suppression, approximating the request stream a last-level cache would
 //! emit toward DRAM.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Cache-line size used for trace coalescing (bytes).
 pub const LINE_BYTES: u64 = 64;
@@ -53,7 +53,7 @@ pub struct MemoryTrace {
     writes: u64,
     sequential: u64,
     last_line: Option<u64>,
-    touched_lines: HashSet<u64>,
+    touched_lines: BTreeSet<u64>,
 }
 
 impl MemoryTrace {

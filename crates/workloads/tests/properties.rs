@@ -76,3 +76,69 @@ proptest! {
         prop_assert!(b.accesses().len() <= cap);
     }
 }
+
+/// Digest of the full characterization of every proxy app at the small
+/// reference configuration — every statistic the paper's Table I
+/// methodology extracts, hashed bit-exactly.
+fn characterization_digest() -> u64 {
+    use ena_workloads::app::RunConfig;
+    use ena_workloads::apps::all_apps;
+    use ena_workloads::characterize::Characterization;
+    let mut h = ena_model::hash::StableHasher::new();
+    for app in all_apps() {
+        let c = Characterization::measure(app.as_ref(), &RunConfig::small());
+        h.write_str(&c.name);
+        h.write_f64(c.ops_per_byte);
+        h.write_f64(c.write_fraction);
+        h.write_f64(c.sequential_fraction);
+        h.write_u64(c.footprint_bytes);
+        h.write_f64(c.reuse_factor);
+        h.write_u64(c.dp_flops);
+        h.write_u64(c.total_bytes);
+    }
+    h.finish()
+}
+
+/// Satellite invariant: workload characterization is identical across
+/// two *separate process* runs. The test re-executes its own binary
+/// twice in digest mode and compares the printed digests with each
+/// other and with the in-process value.
+#[test]
+fn characterization_is_identical_across_two_process_runs() {
+    const MODE: &str = "ENA_WORKLOADS_DIGEST_MODE";
+    if std::env::var_os(MODE).is_some() {
+        println!("digest={:016x}", characterization_digest());
+        return;
+    }
+    let exe = std::env::current_exe().expect("test binary path");
+    let child_digest = || {
+        let out = std::process::Command::new(&exe)
+            .args([
+                "characterization_is_identical_across_two_process_runs",
+                "--exact",
+                "--nocapture",
+            ])
+            .env(MODE, "1")
+            .output()
+            .expect("child test process");
+        assert!(out.status.success(), "child run failed: {out:?}");
+        let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+        // Under `--nocapture` libtest may print the digest on the same
+        // line as the test name, so search by substring.
+        let at = stdout
+            .find("digest=")
+            .unwrap_or_else(|| panic!("no digest in child output: {stdout}"));
+        stdout[at + "digest=".len()..]
+            .chars()
+            .take_while(char::is_ascii_hexdigit)
+            .collect::<String>()
+    };
+    let first = child_digest();
+    let second = child_digest();
+    assert_eq!(first, second, "characterization differs between processes");
+    assert_eq!(
+        first,
+        format!("{:016x}", characterization_digest()),
+        "parent and child disagree"
+    );
+}

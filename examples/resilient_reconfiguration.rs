@@ -14,7 +14,7 @@ use ena::model::config::{EhpConfig, SYSTEM_NODE_COUNT};
 use ena::model::units::Seconds;
 use ena::workloads::{paper_profiles, profile_for};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sim = NodeSimulator::new();
     let explorer = Explorer::default();
     let space = DesignSpace::coarse();
@@ -38,14 +38,14 @@ fn main() {
     }
 
     println!("reconfiguration policies over {} phases:\n", phases.len());
-    let mean = explorer.explore(&space, &profiles).best_mean;
+    let mean = explorer.explore(&space, &profiles)?.best_mean;
     let mut static_p = StaticPolicy(mean);
-    let mut reactive_p = ReactivePolicy::new(&explorer, &space, &profiles);
-    let mut oracle_p = OraclePolicy::new(&explorer, &space, &profiles);
+    let mut reactive_p = ReactivePolicy::new(&explorer, &space, &profiles)?;
+    let mut oracle_p = OraclePolicy::new(&explorer, &space, &profiles)?;
     let policies: [&mut dyn ena::core::reconfig::ReconfigPolicy; 3] =
         [&mut static_p, &mut reactive_p, &mut oracle_p];
     for policy in policies {
-        let r = run_phases(&sim, policy, &phases, &explorer.options, Seconds::new(2e-3));
+        let r = run_phases(&sim, policy, &phases, &explorer.options, Seconds::new(2e-3))?;
         println!(
             "  {:<9} {:>8.2} s  {:>8.1} kJ  {:>3} switches  avg {:>5.1} W",
             r.policy,
@@ -105,4 +105,5 @@ fn main() {
         }
         Err(e) => println!("  campaign failed: {e}"),
     }
+    Ok(())
 }

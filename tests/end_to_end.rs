@@ -25,7 +25,7 @@ fn trace_replay_through_the_noc() {
         .take(5000)
         .map(|a| a.addr)
         .collect();
-    let packets = trace_packets(&topo, 0, addresses, 4, 4096);
+    let packets = trace_packets(&topo, 0, addresses, 4, 4096).expect("healthy topology routes");
     let stats = NocSim::new(&topo).run(&packets);
     assert_eq!(stats.delivered, 10_000); // request + response per access
                                          // Uniform page interleave from one chiplet: ~7/8 remote.
@@ -116,7 +116,8 @@ fn same_seed_runs_are_byte_identical() {
             .take(2000)
             .map(|a| a.addr)
             .collect();
-        let noc_stats = NocSim::new(&topo).run(&trace_packets(&topo, 0, addresses, 4, 4096));
+        let noc_stats = NocSim::new(&topo)
+            .run(&trace_packets(&topo, 0, addresses, 4, 4096).expect("healthy topology routes"));
 
         let accesses: Vec<(u64, bool)> = run
             .trace

@@ -31,7 +31,9 @@ fn scratch(name: &str) -> PathBuf {
 fn parallel_paper_sweep_matches_the_sequential_oracle_byte_for_byte() {
     let profiles = paper_profiles();
     let explorer = Explorer::default();
-    let oracle = explorer.explore(&DesignSpace::paper(), &profiles);
+    let oracle = explorer
+        .explore(&DesignSpace::paper(), &profiles)
+        .expect("paper space explores");
 
     let mut engine = SweepEngine::new(Explorer::default());
     let spec = SweepSpec {

@@ -31,6 +31,18 @@ if ! awk -v r="$hit_rate" 'BEGIN { exit !(r >= 90.0) }'; then
   exit 1
 fi
 
+echo "==> multinode smoke: cold sweep, then warm run must hit the cache"
+rm -rf artifacts/multinode-cache
+cargo run --release -p ena-cli --bin ena -- multinode --nodes 8 --seed 0xC0FFEE >/dev/null
+cargo run --release -p ena-cli --bin ena -- multinode --sweep --jobs 2 --resume >/dev/null
+mn_warm_line=$(cargo run --release -p ena-cli --bin ena -- multinode --sweep --jobs 2 --resume | grep '^cache:')
+echo "warm $mn_warm_line"
+mn_hit_rate=$(echo "$mn_warm_line" | sed -n 's/.*(\([0-9.]*\)% hit rate).*/\1/p')
+if ! awk -v r="$mn_hit_rate" 'BEGIN { exit !(r >= 90.0) }'; then
+  echo "ci.sh: warm multinode sweep hit rate ${mn_hit_rate}% is below 90%" >&2
+  exit 1
+fi
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

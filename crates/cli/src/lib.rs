@@ -9,6 +9,8 @@
 //! ena sweep    [--jobs N] [--budget 160] [--fine] [--resume] [--frontier]
 //! ena chiplet  --app SNAP                       # chiplet-vs-monolithic study
 //! ena faults   [--seed N] [--app CoMD]          # fault-injection campaign
+//! ena multinode [--nodes N] [--fabric-topology T] [--seed N] [--app CoMD]
+//! ena multinode --sweep [--jobs N] [--resume] [--frontier]
 //! ena lint     [--deny-warnings]                # determinism static analysis
 //! ```
 //!
@@ -21,7 +23,11 @@
 use ena_core::chiplet::chiplet_study;
 use ena_core::dse::{DesignSpace, Explorer};
 use ena_core::node::{EvalOptions, NodeSimulator};
-use ena_faults::{run_campaign, CampaignSpec};
+use ena_fabric::{
+    run_multinode_campaign, FabricKind, MultiNodeCampaignSpec, MultiNodeSpace, MultiNodeSweep,
+    MultiNodeSweepSpec, ScaleOutSpec,
+};
+use ena_faults::{run_campaign, CampaignSpec, NodeFaultPlan};
 use ena_model::config::EhpConfig;
 use ena_model::units::{GigabytesPerSec, Megahertz, Watts};
 use ena_power::opts::PowerOptimization;
@@ -78,6 +84,26 @@ pub enum Command {
         seed: u64,
         /// Application name driving the degraded-node models.
         app: String,
+    },
+    /// Run a multi-node fabric campaign, or sweep the (nodes x topology)
+    /// grid.
+    Multinode {
+        /// Fleet size (campaign mode).
+        nodes: u32,
+        /// Cabinet topology (campaign mode).
+        topology: FabricKind,
+        /// Campaign seed.
+        seed: u64,
+        /// Application name driving the scale-out model.
+        app: String,
+        /// Sweep the grid instead of running one campaign.
+        sweep: bool,
+        /// Worker thread count (sweep mode).
+        jobs: usize,
+        /// Use the persistent cache under `artifacts/multinode-cache/`.
+        resume: bool,
+        /// Print the Pareto frontier (sweep mode).
+        frontier: bool,
     },
     /// Run the `ena-lint` determinism/robustness pass over the workspace.
     Lint {
@@ -177,6 +203,19 @@ fn artifacts_dir() -> std::path::PathBuf {
     cwd.join("artifacts")
 }
 
+/// Extracts `--seed` (hex with `0x` prefix or decimal), defaulting to
+/// the acceptance seed.
+fn take_seed(args: &mut Vec<String>) -> Result<u64, String> {
+    take_value(args, "--seed")?
+        .map(|v| {
+            let digits = v.strip_prefix("0x").unwrap_or(&v);
+            let radix = if digits.len() < v.len() { 16 } else { 10 };
+            u64::from_str_radix(digits, radix).map_err(|_| format!("bad --seed: {v}"))
+        })
+        .transpose()
+        .map(|seed| seed.unwrap_or(0xC0FFEE))
+}
+
 fn require_app(args: &mut Vec<String>) -> Result<String, String> {
     let app = take_value(args, "--app")?.ok_or("--app is required")?;
     if profile_for(&app).is_none() {
@@ -251,14 +290,7 @@ pub fn parse(mut args: Vec<String>) -> Result<Command, String> {
             app: require_app(&mut args)?,
         },
         "faults" => {
-            let seed = take_value(&mut args, "--seed")?
-                .map(|v| {
-                    let digits = v.strip_prefix("0x").unwrap_or(&v);
-                    let radix = if digits.len() < v.len() { 16 } else { 10 };
-                    u64::from_str_radix(digits, radix).map_err(|_| format!("bad --seed: {v}"))
-                })
-                .transpose()?
-                .unwrap_or(0xC0FFEE);
+            let seed = take_seed(&mut args)?;
             let app = match take_value(&mut args, "--app")? {
                 Some(a) => {
                     if profile_for(&a).is_none() {
@@ -269,6 +301,46 @@ pub fn parse(mut args: Vec<String>) -> Result<Command, String> {
                 None => "CoMD".to_string(),
             };
             Command::Faults { seed, app }
+        }
+        "multinode" => {
+            let nodes = take_value(&mut args, "--nodes")?
+                .map(|v| v.parse::<u32>().map_err(|_| format!("bad --nodes: {v}")))
+                .transpose()?
+                .unwrap_or(64);
+            if nodes < 2 {
+                return Err("--nodes must be at least 2".into());
+            }
+            let topology = match take_value(&mut args, "--fabric-topology")? {
+                Some(t) => FabricKind::parse(&t).map_err(|e| e.to_string())?,
+                None => FabricKind::DragonflyLite,
+            };
+            let seed = take_seed(&mut args)?;
+            let app = match take_value(&mut args, "--app")? {
+                Some(a) => {
+                    if profile_for(&a).is_none() {
+                        return Err(format!("unknown app '{a}'"));
+                    }
+                    a
+                }
+                None => "CoMD".to_string(),
+            };
+            let jobs = take_value(&mut args, "--jobs")?
+                .map(|v| v.parse::<usize>().map_err(|_| format!("bad --jobs: {v}")))
+                .transpose()?
+                .unwrap_or_else(default_jobs);
+            if jobs == 0 {
+                return Err("--jobs must be at least 1".into());
+            }
+            Command::Multinode {
+                nodes,
+                topology,
+                seed,
+                app,
+                sweep: take_flag(&mut args, "--sweep"),
+                jobs,
+                resume: take_flag(&mut args, "--resume"),
+                frontier: take_flag(&mut args, "--frontier"),
+            }
         }
         "lint" => Command::Lint {
             deny_warnings: take_flag(&mut args, "--deny-warnings"),
@@ -293,11 +365,14 @@ commands:
   sweep    [--jobs N] [--budget W] [--fine] [--resume] [--frontier]
   chiplet  --app NAME
   faults   [--seed N] [--app NAME]
+  multinode [--nodes N] [--fabric-topology T] [--seed N] [--app NAME]
+  multinode --sweep [--jobs N] [--app NAME] [--resume] [--frontier]
   lint     [--deny-warnings]
   help
 
 apps: MaxFlops, CoMD, CoMD-LJ, HPGMG, LULESH, MiniAMR, XSBench, SNAP
-defaults: 320 CUs / 1000 MHz / 3 TB/s (the paper baseline)";
+fabric topologies: fat-tree, torus, dragonfly
+defaults: 320 CUs / 1000 MHz / 3 TB/s (the paper baseline); 64-node dragonfly cabinet";
 
 /// Executes a parsed command, returning the report text.
 ///
@@ -485,6 +560,86 @@ pub fn execute(command: Command) -> Result<String, String> {
             spec.workload = app;
             let report = run_campaign(&spec).map_err(|e| e.to_string())?;
             Ok(report.render())
+        }
+        Command::Multinode {
+            nodes,
+            topology,
+            seed,
+            app,
+            sweep,
+            jobs,
+            resume,
+            frontier,
+        } => {
+            if sweep {
+                let cache = if resume {
+                    CacheMode::Disk(artifacts_dir().join("multinode-cache"))
+                } else {
+                    CacheMode::Memory
+                };
+                let spec = MultiNodeSweepSpec {
+                    jobs,
+                    cache,
+                    ..MultiNodeSweepSpec::new(
+                        MultiNodeSpace::cabinet(),
+                        ScaleOutSpec::standard(app.clone()),
+                    )
+                };
+                let outcome = MultiNodeSweep::new()
+                    .run(&spec)
+                    .map_err(|e| e.to_string())?;
+                let best = outcome
+                    .records
+                    .iter()
+                    .max_by(|a, b| a.exaflops.total_cmp(&b.exaflops))
+                    .ok_or("empty multi-node sweep")?;
+                let mut out = format!(
+                    "multi-node sweep: {} points (nodes x topology) for {app} on {jobs} jobs\n\
+                     best throughput: {} at {:.3} EF ({:.1}% efficient, {:.2} MW)\n\
+                     cache: {} hits / {} points ({:.1}% hit rate)\n",
+                    outcome.total_points,
+                    best.point.label(),
+                    best.exaflops,
+                    100.0 * best.efficiency,
+                    best.power_mw,
+                    outcome.cache_hits,
+                    outcome.total_points,
+                    100.0 * outcome.hit_rate(),
+                );
+                if frontier {
+                    out.push_str(&format!(
+                        "\nPareto frontier ({} of {} points):\n{:<16} {:>9} {:>8} {:>10} {:>10}\n",
+                        outcome.frontier.len(),
+                        outcome.total_points,
+                        "point",
+                        "EF",
+                        "MW",
+                        "eff %",
+                        "comm us"
+                    ));
+                    for &i in &outcome.frontier {
+                        let r = &outcome.records[i];
+                        out.push_str(&format!(
+                            "{:<16} {:>9.3} {:>8.2} {:>10.2} {:>10.1}\n",
+                            r.point.label(),
+                            r.exaflops,
+                            r.power_mw,
+                            100.0 * r.efficiency,
+                            r.comm_us
+                        ));
+                    }
+                }
+                Ok(out)
+            } else {
+                let spec = MultiNodeCampaignSpec {
+                    nodes,
+                    kind: topology,
+                    plan: NodeFaultPlan::scaleout_campaign(seed, nodes),
+                    scaleout: ScaleOutSpec::standard(app),
+                };
+                let report = run_multinode_campaign(&spec).map_err(|e| e.to_string())?;
+                Ok(report.render())
+            }
         }
         Command::Lint { deny_warnings } => {
             let cwd = std::env::current_dir().map_err(|e| e.to_string())?;
@@ -687,6 +842,78 @@ mod tests {
         assert!(parse_str("faults --app Nope")
             .unwrap_err()
             .contains("unknown app"));
+    }
+
+    #[test]
+    fn multinode_parses_all_knobs() {
+        assert_eq!(
+            parse_str(
+                "multinode --nodes 16 --fabric-topology torus --seed 0xBEEF --app SNAP \
+                 --sweep --jobs 3 --resume --frontier"
+            )
+            .unwrap(),
+            Command::Multinode {
+                nodes: 16,
+                topology: FabricKind::Torus,
+                seed: 0xBEEF,
+                app: "SNAP".into(),
+                sweep: true,
+                jobs: 3,
+                resume: true,
+                frontier: true,
+            }
+        );
+        assert!(parse_str("multinode --nodes 1")
+            .unwrap_err()
+            .contains("--nodes"));
+        assert!(parse_str("multinode --fabric-topology hypercube")
+            .unwrap_err()
+            .contains("unknown fabric topology"));
+        assert!(parse_str("multinode --app Nope")
+            .unwrap_err()
+            .contains("unknown app"));
+        assert!(parse_str("multinode --jobs 0")
+            .unwrap_err()
+            .contains("--jobs"));
+    }
+
+    #[test]
+    fn multinode_defaults_are_the_acceptance_cabinet() {
+        let c = parse_str("multinode").unwrap();
+        assert_eq!(
+            c,
+            Command::Multinode {
+                nodes: 64,
+                topology: FabricKind::DragonflyLite,
+                seed: 0xC0FFEE,
+                app: "CoMD".into(),
+                sweep: false,
+                jobs: default_jobs(),
+                resume: false,
+                frontier: false,
+            }
+        );
+    }
+
+    #[test]
+    fn multinode_campaign_renders_a_report() {
+        let out =
+            execute(parse_str("multinode --nodes 8 --fabric-topology fat-tree --seed 7").unwrap())
+                .unwrap();
+        assert!(out.contains("ENA multi-node fabric campaign"), "{out}");
+        assert!(out.contains("fabric fat-tree x8"), "{out}");
+        assert!(out.contains("analytic cross-check"), "{out}");
+        // The straggler's intra-node campaign is embedded.
+        assert!(out.contains("ENA fault-injection campaign"), "{out}");
+    }
+
+    #[test]
+    fn multinode_sweep_reports_cache_and_frontier() {
+        let out = execute(parse_str("multinode --sweep --jobs 2 --frontier").unwrap()).unwrap();
+        assert!(out.contains("multi-node sweep: 18 points"), "{out}");
+        assert!(out.contains("hit rate"), "{out}");
+        assert!(out.contains("Pareto frontier"), "{out}");
+        assert!(out.contains("best throughput"), "{out}");
     }
 
     #[test]

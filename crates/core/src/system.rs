@@ -49,6 +49,24 @@ impl SystemProjection {
     pub fn meets(&self, targets: &ExascaleTargets) -> bool {
         self.exaflops >= targets.exaflops && self.power_mw <= targets.power_mw
     }
+
+    /// Applies a communication-derating factor to the linear projection.
+    ///
+    /// The paper's analytic scale-out multiplies node throughput by the
+    /// node count, which silently assumes inter-node communication is
+    /// free. `efficiency` (clamped to `[0, 1]`) is the fraction of each
+    /// bulk-synchronous iteration spent computing rather than waiting on
+    /// collectives; achieved exaflops scale by it, while power does not
+    /// (nodes blocked on the fabric still burn power). The simulated
+    /// inter-node fabric (`ena-fabric`) produces exactly this factor, so
+    /// `project_system(..).derated(e)` is the analytic side of the
+    /// analytic-vs-simulated cross-check.
+    pub fn derated(&self, efficiency: f64) -> SystemProjection {
+        SystemProjection {
+            exaflops: self.exaflops * efficiency.clamp(0.0, 1.0),
+            ..*self
+        }
+    }
 }
 
 /// Projects one kernel on one node configuration to the full machine.
@@ -140,6 +158,18 @@ mod tests {
         let hi = maxflops_projection(320);
         let ratio = hi.power_mw / lo.power_mw;
         assert!(ratio > 1.1 && ratio < 320.0 / 192.0, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn derating_scales_throughput_but_not_power() {
+        let p = maxflops_projection(320);
+        let d = p.derated(0.9);
+        assert!((d.exaflops - p.exaflops * 0.9).abs() < 1e-12);
+        assert_eq!(d.power_mw, p.power_mw);
+        assert_eq!(d.nodes, p.nodes);
+        // Out-of-range factors clamp instead of inventing throughput.
+        assert_eq!(p.derated(1.5).exaflops, p.exaflops);
+        assert_eq!(p.derated(-0.5).exaflops, 0.0);
     }
 
     #[test]

@@ -1,0 +1,384 @@
+//! Collective-communication schedules with per-link contention.
+//!
+//! A collective is compiled against a concrete (possibly degraded)
+//! [`FabricGraph`] into [`Round`]s of concurrent [`Transfer`]s. Each
+//! round's duration is the *serialization* time of its most-loaded
+//! channel — every transfer whose route crosses a channel queues behind
+//! the others, so bytes accumulate per channel and the bottleneck sets
+//! the pace — plus the longest route's end-to-end *latency*. Rounds that
+//! repeat (the all-reduce ring's `2(n-1)` steps) carry a repeat count
+//! instead of being materialized, keeping schedules small at any scale.
+//!
+//! Routes come from [`FabricGraph::route`], which is deterministic, so a
+//! schedule (and its [`CollectiveSchedule::digest`]) is a pure function
+//! of the graph state — the second half of the cross-process determinism
+//! guarantee.
+
+use std::collections::BTreeMap;
+
+use core::fmt;
+
+use ena_model::hash::{StableHash, StableHasher};
+use ena_model::units::Microseconds;
+
+use crate::topology::{FabricError, FabricGraph};
+
+/// The shipped collective patterns.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CollectiveKind {
+    /// Ring all-reduce: `2(n-1)` steps of neighbor chunk exchange.
+    AllReduceRing,
+    /// Nearest-neighbor halo exchange (right then left around the ring).
+    HaloExchange,
+    /// Dense all-to-all: everyone sends a slice to everyone else.
+    AllToAll,
+}
+
+impl CollectiveKind {
+    /// Every shipped collective, in a fixed order.
+    pub const ALL: [CollectiveKind; 3] = [
+        CollectiveKind::AllReduceRing,
+        CollectiveKind::HaloExchange,
+        CollectiveKind::AllToAll,
+    ];
+
+    /// The report label.
+    pub fn label(self) -> &'static str {
+        match self {
+            CollectiveKind::AllReduceRing => "all-reduce-ring",
+            CollectiveKind::HaloExchange => "halo-exchange",
+            CollectiveKind::AllToAll => "all-to-all",
+        }
+    }
+}
+
+impl fmt::Display for CollectiveKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl StableHash for CollectiveKind {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_u32(match self {
+            CollectiveKind::AllReduceRing => 0,
+            CollectiveKind::HaloExchange => 1,
+            CollectiveKind::AllToAll => 2,
+        });
+    }
+}
+
+/// One point-to-point message inside a round.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Transfer {
+    /// Source EHP vertex.
+    pub src: usize,
+    /// Destination EHP vertex.
+    pub dst: usize,
+    /// Message size in bytes.
+    pub bytes: f64,
+    /// Directed channel indices the message traverses.
+    pub route: Vec<usize>,
+}
+
+/// A set of transfers that start together.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Round {
+    /// The concurrent transfers.
+    pub transfers: Vec<Transfer>,
+    /// Time the most-loaded channel spends draining its queued bytes.
+    pub serialization_us: f64,
+    /// End-to-end latency of the longest route in the round.
+    pub latency_us: f64,
+    /// How many times this round executes back to back.
+    pub repeat: u64,
+}
+
+impl Round {
+    /// Duration of one execution of this round.
+    pub fn step_us(&self) -> f64 {
+        self.serialization_us + self.latency_us
+    }
+}
+
+/// A compiled collective.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CollectiveSchedule {
+    /// The pattern this schedule implements.
+    pub kind: CollectiveKind,
+    /// The rounds, in execution order.
+    pub rounds: Vec<Round>,
+    /// Total time including repeats.
+    pub total: Microseconds,
+    /// Most bytes any single channel carries within one round — the
+    /// contention hot spot.
+    pub peak_link_bytes: f64,
+}
+
+impl CollectiveSchedule {
+    /// Stable digest of the full schedule (routes, loads, timings): what
+    /// the cross-process determinism suite compares.
+    pub fn digest(&self) -> u64 {
+        let mut h = StableHasher::new();
+        self.kind.stable_hash(&mut h);
+        h.write_usize(self.rounds.len());
+        for round in &self.rounds {
+            h.write_u64(round.repeat);
+            h.write_f64(round.serialization_us);
+            h.write_f64(round.latency_us);
+            h.write_usize(round.transfers.len());
+            for t in &round.transfers {
+                h.write_usize(t.src);
+                h.write_usize(t.dst);
+                h.write_f64(t.bytes);
+                h.write_usize(t.route.len());
+                for &li in &t.route {
+                    h.write_usize(li);
+                }
+            }
+        }
+        h.write_f64(self.total.value());
+        h.write_f64(self.peak_link_bytes);
+        h.finish()
+    }
+}
+
+/// Routes one message and prices it into the per-channel load map.
+fn transfer(
+    graph: &FabricGraph,
+    loads: &mut BTreeMap<usize, f64>,
+    src: usize,
+    dst: usize,
+    bytes: f64,
+) -> Result<Transfer, FabricError> {
+    let route = graph.route(src, dst)?;
+    for &li in &route {
+        *loads.entry(li).or_insert(0.0) += bytes;
+    }
+    Ok(Transfer {
+        src,
+        dst,
+        bytes,
+        route,
+    })
+}
+
+/// Seals a round: serialization from the loaded channels' *effective*
+/// (degradation-scaled) bandwidth, latency from the longest route.
+fn seal_round(
+    graph: &FabricGraph,
+    transfers: Vec<Transfer>,
+    loads: &BTreeMap<usize, f64>,
+    repeat: u64,
+) -> Round {
+    let mut serialization_us: f64 = 0.0;
+    for (&li, &bytes) in loads {
+        let gbps = graph.channel_gbps(li);
+        if gbps > 0.0 {
+            // GB/s is bytes/ns, so bytes / (gbps * 1e3) is microseconds.
+            serialization_us = serialization_us.max(bytes / (gbps * 1e3));
+        }
+    }
+    let mut latency_us: f64 = 0.0;
+    for t in &transfers {
+        let route_latency: f64 = t
+            .route
+            .iter()
+            .filter_map(|&li| graph.links().get(li))
+            .map(|l| l.latency.value())
+            .sum();
+        latency_us = latency_us.max(route_latency);
+    }
+    Round {
+        transfers,
+        serialization_us,
+        latency_us,
+        repeat,
+    }
+}
+
+/// Compiles `kind` moving `bytes_per_node` bytes of application data per
+/// node over the surviving endpoints of `graph`.
+///
+/// # Errors
+///
+/// Propagates routing errors — in particular
+/// [`FabricError::Unreachable`] when degradation has partitioned the
+/// survivors.
+pub fn schedule(
+    graph: &FabricGraph,
+    kind: CollectiveKind,
+    bytes_per_node: f64,
+) -> Result<CollectiveSchedule, FabricError> {
+    let alive = graph.alive_ehp();
+    let n = alive.len();
+    let mut rounds = Vec::new();
+    if n >= 2 {
+        match kind {
+            CollectiveKind::AllReduceRing => {
+                // Ring all-reduce over the alive-node ring: each of the
+                // 2(n-1) steps exchanges one 1/n chunk with the ring
+                // successor. All steps are load-isomorphic, so compile
+                // one representative round with a repeat count.
+                let chunk = bytes_per_node / n as f64;
+                let mut loads = BTreeMap::new();
+                let mut transfers = Vec::with_capacity(n);
+                for (i, &src) in alive.iter().enumerate() {
+                    let dst = alive[(i + 1) % n];
+                    transfers.push(transfer(graph, &mut loads, src, dst, chunk)?);
+                }
+                rounds.push(seal_round(graph, transfers, &loads, 2 * (n as u64 - 1)));
+            }
+            CollectiveKind::HaloExchange => {
+                // Right-neighbor shift, then left-neighbor shift: the two
+                // directions use different channels (asymmetric links),
+                // so they are separate rounds.
+                for step in 0..2usize {
+                    let mut loads = BTreeMap::new();
+                    let mut transfers = Vec::with_capacity(n);
+                    for (i, &src) in alive.iter().enumerate() {
+                        let dst = if step == 0 {
+                            alive[(i + 1) % n]
+                        } else {
+                            alive[(i + n - 1) % n]
+                        };
+                        transfers.push(transfer(graph, &mut loads, src, dst, bytes_per_node)?);
+                    }
+                    rounds.push(seal_round(graph, transfers, &loads, 1));
+                }
+            }
+            CollectiveKind::AllToAll => {
+                // One dense round: every survivor slices its payload over
+                // the other n-1.
+                let slice = bytes_per_node / (n as f64 - 1.0);
+                let mut loads = BTreeMap::new();
+                let mut transfers = Vec::with_capacity(n * (n - 1));
+                for &src in &alive {
+                    for &dst in &alive {
+                        if src != dst {
+                            transfers.push(transfer(graph, &mut loads, src, dst, slice)?);
+                        }
+                    }
+                }
+                rounds.push(seal_round(graph, transfers, &loads, 1));
+            }
+        }
+    }
+    let total: f64 = rounds.iter().map(|r| r.step_us() * r.repeat as f64).sum();
+    let peak_link_bytes = rounds
+        .iter()
+        .flat_map(|r| {
+            // Recompute per-round channel loads from the transfers: the
+            // sealed rounds dropped the maps.
+            let mut loads = BTreeMap::new();
+            for t in &r.transfers {
+                for &li in &t.route {
+                    *loads.entry(li).or_insert(0.0) += t.bytes;
+                }
+            }
+            loads.into_values()
+        })
+        .fold(0.0f64, f64::max);
+    Ok(CollectiveSchedule {
+        kind,
+        rounds,
+        total: Microseconds::new(total),
+        peak_link_bytes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::FabricKind;
+
+    fn fabric(kind: FabricKind, n: u32) -> FabricGraph {
+        FabricGraph::build(kind, n).unwrap()
+    }
+
+    #[test]
+    fn all_reduce_repeats_two_n_minus_one_times() {
+        let g = fabric(FabricKind::Torus, 8);
+        let s = schedule(&g, CollectiveKind::AllReduceRing, 1e6).unwrap();
+        assert_eq!(s.rounds.len(), 1);
+        assert_eq!(s.rounds.first().unwrap().repeat, 14);
+        assert_eq!(s.rounds.first().unwrap().transfers.len(), 8);
+        assert!(s.total.value() > 0.0);
+    }
+
+    #[test]
+    fn halo_shifts_right_then_left_in_separate_rounds() {
+        let g = fabric(FabricKind::Torus, 8);
+        let s = schedule(&g, CollectiveKind::HaloExchange, 4e6).unwrap();
+        assert_eq!(s.rounds.len(), 2);
+        for round in &s.rounds {
+            assert_eq!(round.transfers.len(), 8);
+            assert_eq!(round.repeat, 1);
+            assert!(round.step_us() > 0.0);
+        }
+        // The reverse channels (48 GB/s) bottleneck each shift: the
+        // wrap-around transfer crosses one in both directions.
+        let first = s.rounds.first().unwrap();
+        assert!((first.serialization_us - 4e6 / 48e3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_to_all_is_the_contention_heavy_pattern() {
+        let g = fabric(FabricKind::FatTree, 16);
+        let a2a = schedule(&g, CollectiveKind::AllToAll, 1e6).unwrap();
+        let halo = schedule(&g, CollectiveKind::HaloExchange, 1e6).unwrap();
+        assert_eq!(a2a.rounds.first().unwrap().transfers.len(), 16 * 15);
+        assert!(
+            a2a.peak_link_bytes > halo.peak_link_bytes,
+            "a2a {} vs halo {}",
+            a2a.peak_link_bytes,
+            halo.peak_link_bytes
+        );
+    }
+
+    #[test]
+    fn degraded_links_stretch_serialization() {
+        let healthy = fabric(FabricKind::DragonflyLite, 16);
+        let before = schedule(&healthy, CollectiveKind::AllToAll, 1e6).unwrap();
+        let mut degraded = fabric(FabricKind::DragonflyLite, 16);
+        degraded.degrade_route(0, 12, 80).unwrap();
+        let after = schedule(&degraded, CollectiveKind::AllToAll, 1e6).unwrap();
+        assert!(after.total > before.total);
+    }
+
+    #[test]
+    fn dead_nodes_drop_out_of_the_pattern() {
+        let mut g = fabric(FabricKind::DragonflyLite, 16);
+        g.fail_ehp(3).unwrap();
+        g.fail_ehp(9).unwrap();
+        let s = schedule(&g, CollectiveKind::AllReduceRing, 1e6).unwrap();
+        let round = s.rounds.first().unwrap();
+        assert_eq!(round.transfers.len(), 14);
+        assert_eq!(round.repeat, 26);
+        assert!(round
+            .transfers
+            .iter()
+            .all(|t| t.src != 3 && t.dst != 3 && t.src != 9 && t.dst != 9));
+    }
+
+    #[test]
+    fn single_survivor_schedules_are_empty() {
+        let mut g = fabric(FabricKind::Torus, 2);
+        g.fail_ehp(1).unwrap();
+        for kind in CollectiveKind::ALL {
+            let s = schedule(&g, kind, 1e6).unwrap();
+            assert!(s.rounds.is_empty());
+            assert_eq!(s.total, Microseconds::ZERO);
+        }
+    }
+
+    #[test]
+    fn digests_are_stable_and_kind_sensitive() {
+        let g = fabric(FabricKind::FatTree, 8);
+        let a = schedule(&g, CollectiveKind::AllReduceRing, 1e6).unwrap();
+        let b = schedule(&g, CollectiveKind::AllReduceRing, 1e6).unwrap();
+        assert_eq!(a.digest(), b.digest());
+        let halo = schedule(&g, CollectiveKind::HaloExchange, 1e6).unwrap();
+        assert_ne!(a.digest(), halo.digest());
+    }
+}

@@ -1,0 +1,557 @@
+//! (node count x topology) as a sweep axis through the `ena-sweep`
+//! machinery.
+//!
+//! A [`MultiNodeSweep`] evaluates every [`MultiNodePoint`] of a
+//! [`MultiNodeSpace`] — a healthy-fleet scale-out estimate per point —
+//! on the same work-stealing pool, with the same memoization (in-memory
+//! plus the generic [`DiskCache`]) and the same determinism contract as
+//! the node-level engine: the outcome is byte-identical to the
+//! sequential oracle for any job count, cache temperature, or
+//! interruption history. The Pareto frontier (maximize exaflops and
+//! efficiency, minimize power) comes from the shared
+//! [`frontier_indices`] kernel.
+
+use std::collections::BTreeMap;
+
+use ena_model::hash::{StableHash, StableHasher, MODEL_VERSION};
+use ena_sweep::cache::CacheError;
+use ena_sweep::pool::{map_chunks, PoolError};
+use ena_sweep::{frontier_indices, CacheMode, CacheRecord, DiskCache};
+
+use crate::scaleout::{estimate, ScaleOutEstimate, ScaleOutSpec};
+use crate::topology::{FabricError, FabricGraph, FabricKind};
+
+/// One multi-node design point.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MultiNodePoint {
+    /// Fleet size.
+    pub nodes: u32,
+    /// Cabinet topology.
+    pub kind: FabricKind,
+}
+
+impl MultiNodePoint {
+    /// Compact display label, e.g. `64@dragonfly`.
+    pub fn label(&self) -> String {
+        format!("{}@{}", self.nodes, self.kind)
+    }
+}
+
+impl StableHash for MultiNodePoint {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_u32(self.nodes);
+        self.kind.stable_hash(h);
+    }
+}
+
+/// The swept grid: every node count crossed with every topology.
+#[derive(Clone, Debug)]
+pub struct MultiNodeSpace {
+    /// Fleet sizes to sweep.
+    pub node_counts: Vec<u32>,
+    /// Topologies to sweep.
+    pub kinds: Vec<FabricKind>,
+}
+
+impl MultiNodeSpace {
+    /// The standard cabinet sweep: powers of two up to 64 nodes across
+    /// every shipped topology (18 points).
+    pub fn cabinet() -> Self {
+        Self {
+            node_counts: vec![2, 4, 8, 16, 32, 64],
+            kinds: FabricKind::ALL.to_vec(),
+        }
+    }
+
+    /// Every point, node-count-major then topology order.
+    pub fn points(&self) -> Vec<MultiNodePoint> {
+        let mut out = Vec::with_capacity(self.node_counts.len() * self.kinds.len());
+        for &nodes in &self.node_counts {
+            for &kind in &self.kinds {
+                out.push(MultiNodePoint { nodes, kind });
+            }
+        }
+        out
+    }
+
+    /// True when the grid has no points.
+    pub fn is_empty(&self) -> bool {
+        self.node_counts.is_empty() || self.kinds.is_empty()
+    }
+}
+
+/// One evaluated multi-node point, as memoized and persisted.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MultiNodeRecord {
+    /// The evaluated point.
+    pub point: MultiNodePoint,
+    /// Achieved fleet throughput (exaflops).
+    pub exaflops: f64,
+    /// Fleet power (MW).
+    pub power_mw: f64,
+    /// Communication efficiency.
+    pub efficiency: f64,
+    /// Halo + all-reduce time (us).
+    pub comm_us: f64,
+}
+
+impl MultiNodeRecord {
+    fn from_estimate(point: MultiNodePoint, est: &ScaleOutEstimate) -> Self {
+        Self {
+            point,
+            exaflops: est.exaflops,
+            power_mw: est.power_mw,
+            efficiency: est.efficiency,
+            comm_us: est.comm_us,
+        }
+    }
+
+    /// True when `self` Pareto-dominates `other`: no worse on every
+    /// objective (exaflops up, efficiency up, power down) and strictly
+    /// better on at least one.
+    pub fn dominates(&self, other: &MultiNodeRecord) -> bool {
+        let no_worse = self.exaflops >= other.exaflops
+            && self.efficiency >= other.efficiency
+            && self.power_mw <= other.power_mw;
+        let better = self.exaflops > other.exaflops
+            || self.efficiency > other.efficiency
+            || self.power_mw < other.power_mw;
+        no_worse && better
+    }
+}
+
+impl CacheRecord for MultiNodeRecord {
+    const TAG: &'static str = "multinode/1";
+
+    fn encode(&self) -> String {
+        format!(
+            "{} {} {:016x} {:016x} {:016x} {:016x}",
+            self.point.nodes,
+            self.point.kind.label(),
+            self.exaflops.to_bits(),
+            self.power_mw.to_bits(),
+            self.efficiency.to_bits(),
+            self.comm_us.to_bits(),
+        )
+    }
+
+    fn decode(fields: &mut std::str::Split<'_, char>) -> Option<Self> {
+        let nodes: u32 = fields.next()?.parse().ok()?;
+        let kind = FabricKind::parse(fields.next()?).ok()?;
+        let mut f = || {
+            Some(f64::from_bits(
+                u64::from_str_radix(fields.next()?, 16).ok()?,
+            ))
+        };
+        Some(Self {
+            point: MultiNodePoint { nodes, kind },
+            exaflops: f()?,
+            power_mw: f()?,
+            efficiency: f()?,
+            comm_us: f()?,
+        })
+    }
+}
+
+/// One multi-node sweep request.
+#[derive(Clone, Debug)]
+pub struct MultiNodeSweepSpec {
+    /// The grid to sweep.
+    pub space: MultiNodeSpace,
+    /// Per-node model and payloads (also names the workload).
+    pub scaleout: ScaleOutSpec,
+    /// Worker thread count (clamped to at least 1).
+    pub jobs: usize,
+    /// Points per work-stealing chunk.
+    pub chunk_points: usize,
+    /// Memoization layer.
+    pub cache: CacheMode,
+}
+
+impl MultiNodeSweepSpec {
+    /// A sequential, memory-cached spec over `space`.
+    pub fn new(space: MultiNodeSpace, scaleout: ScaleOutSpec) -> Self {
+        Self {
+            space,
+            scaleout,
+            jobs: 1,
+            chunk_points: 4,
+            cache: CacheMode::Memory,
+        }
+    }
+}
+
+/// Everything a completed multi-node sweep produced.
+#[derive(Clone, Debug)]
+pub struct MultiNodeOutcome {
+    /// Every record, in grid point order.
+    pub records: Vec<MultiNodeRecord>,
+    /// Indices into `records` on the Pareto frontier (exaflops up,
+    /// efficiency up, power down), in grid order.
+    pub frontier: Vec<usize>,
+    /// Points answered from the memoization cache.
+    pub cache_hits: usize,
+    /// Points evaluated fresh this run.
+    pub fresh_evals: usize,
+    /// Points in the grid.
+    pub total_points: usize,
+}
+
+impl MultiNodeOutcome {
+    /// Fraction of points served by the cache.
+    pub fn hit_rate(&self) -> f64 {
+        if self.total_points == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.total_points as f64
+        }
+    }
+}
+
+/// Multi-node sweep failure modes.
+#[derive(Debug)]
+pub enum MultiNodeSweepError {
+    /// The grid has no points.
+    EmptySpace,
+    /// A point failed to evaluate.
+    Fabric(FabricError),
+    /// The persistent cache failed.
+    Cache(CacheError),
+    /// The worker pool lost chunks before completing the sweep.
+    Pool(PoolError),
+    /// A point's record vanished between evaluation and merge.
+    MissingRecord {
+        /// The memoization key with no record.
+        key: u64,
+    },
+}
+
+impl std::fmt::Display for MultiNodeSweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::EmptySpace => write!(f, "empty multi-node grid"),
+            Self::Fabric(e) => write!(f, "multi-node sweep point: {e}"),
+            Self::Cache(e) => write!(f, "multi-node sweep cache: {e}"),
+            Self::Pool(e) => write!(f, "multi-node sweep pool: {e}"),
+            Self::MissingRecord { key } => {
+                write!(f, "no record for multi-node key {key:#018x} at merge time")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MultiNodeSweepError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Fabric(e) => Some(e),
+            Self::Cache(e) => Some(e),
+            Self::Pool(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FabricError> for MultiNodeSweepError {
+    fn from(e: FabricError) -> Self {
+        Self::Fabric(e)
+    }
+}
+
+impl From<CacheError> for MultiNodeSweepError {
+    fn from(e: CacheError) -> Self {
+        Self::Cache(e)
+    }
+}
+
+impl From<PoolError> for MultiNodeSweepError {
+    fn from(e: PoolError) -> Self {
+        Self::Pool(e)
+    }
+}
+
+/// The memoizing multi-node sweep engine.
+#[derive(Debug, Default)]
+pub struct MultiNodeSweep {
+    version: String,
+    memo: BTreeMap<u64, MultiNodeRecord>,
+}
+
+impl MultiNodeSweep {
+    /// An engine stamped with the current
+    /// [`MODEL_VERSION`](ena_model::hash::MODEL_VERSION).
+    pub fn new() -> Self {
+        Self {
+            version: MODEL_VERSION.to_string(),
+            memo: BTreeMap::new(),
+        }
+    }
+
+    /// Overrides the model-version stamp (test hook for the eviction
+    /// path; production code keeps the default).
+    pub fn with_version(mut self, version: impl Into<String>) -> Self {
+        self.version = version.into();
+        self.memo.clear();
+        self
+    }
+
+    /// Digest of everything besides the grid coordinates that determines
+    /// an evaluation: the workload, the node hardware, and the payloads.
+    fn campaign_digest(scaleout: &ScaleOutSpec) -> u64 {
+        let mut h = StableHasher::new();
+        h.write_str(&scaleout.workload);
+        scaleout.base.stable_hash(&mut h);
+        h.write_f64(scaleout.payload_bytes);
+        h.write_f64(scaleout.reduce_bytes);
+        h.finish()
+    }
+
+    fn point_key(campaign: u64, point: &MultiNodePoint) -> u64 {
+        let mut h = StableHasher::new();
+        h.write_u64(campaign);
+        point.stable_hash(&mut h);
+        h.finish()
+    }
+
+    /// Evaluates one grid point: build the fabric, estimate the healthy
+    /// fleet.
+    fn evaluate_point(
+        point: MultiNodePoint,
+        scaleout: &ScaleOutSpec,
+    ) -> Result<MultiNodeRecord, FabricError> {
+        let graph = FabricGraph::build(point.kind, point.nodes)?;
+        let est = estimate(&graph, scaleout, &BTreeMap::new())?;
+        Ok(MultiNodeRecord::from_estimate(point, &est))
+    }
+
+    /// Runs one sweep: resolves cache hits, evaluates the remainder on
+    /// the work-stealing pool, merges in grid order, and extracts the
+    /// frontier.
+    ///
+    /// # Errors
+    ///
+    /// [`MultiNodeSweepError::EmptySpace`] for a pointless grid,
+    /// [`MultiNodeSweepError::Fabric`] when a point fails to evaluate,
+    /// and the cache / pool infrastructure variants.
+    pub fn run(
+        &mut self,
+        spec: &MultiNodeSweepSpec,
+    ) -> Result<MultiNodeOutcome, MultiNodeSweepError> {
+        if spec.space.is_empty() {
+            return Err(MultiNodeSweepError::EmptySpace);
+        }
+        let campaign = Self::campaign_digest(&spec.scaleout);
+        let mut disk = match &spec.cache {
+            CacheMode::Memory => None,
+            CacheMode::Disk(dir) => {
+                let (cache, entries) =
+                    DiskCache::<MultiNodeRecord>::open(dir, campaign, &self.version)?;
+                for (key, record) in entries {
+                    self.memo.insert(key, record);
+                }
+                Some(cache)
+            }
+        };
+
+        let points = spec.space.points();
+        let keys: Vec<u64> = points
+            .iter()
+            .map(|p| Self::point_key(campaign, p))
+            .collect();
+        let fresh: Vec<(u64, MultiNodePoint)> = keys
+            .iter()
+            .zip(&points)
+            .filter(|(key, _)| !self.memo.contains_key(*key))
+            .map(|(key, point)| (*key, *point))
+            .collect();
+        let cache_hits = points.len() - fresh.len();
+        let fresh_evals = fresh.len();
+
+        let chunk_points = spec.chunk_points.max(1);
+        let chunks: Vec<Vec<(u64, MultiNodePoint)>> = fresh
+            .chunks(chunk_points)
+            .map(<[(u64, MultiNodePoint)]>::to_vec)
+            .collect();
+
+        let scaleout = &spec.scaleout;
+        let mut io_error: Option<CacheError> = None;
+        let (chunk_results, _) = map_chunks(
+            spec.jobs,
+            chunks,
+            |(key, point)| (*key, Self::evaluate_point(*point, scaleout)),
+            |_, results: &[(u64, Result<MultiNodeRecord, FabricError>)]| {
+                if let Some(cache) = disk.as_mut() {
+                    if io_error.is_none() {
+                        for (key, result) in results {
+                            if let Ok(record) = result {
+                                if let Err(e) = cache.append(*key, record) {
+                                    io_error = Some(e);
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                }
+            },
+        )?;
+        if let Some(e) = io_error {
+            return Err(MultiNodeSweepError::Cache(e));
+        }
+        for (key, result) in chunk_results.into_iter().flatten() {
+            self.memo.insert(key, result?);
+        }
+
+        // Merge in grid order: the only order the frontier ever sees.
+        let mut records = Vec::with_capacity(keys.len());
+        for key in &keys {
+            let Some(record) = self.memo.get(key) else {
+                return Err(MultiNodeSweepError::MissingRecord { key: *key });
+            };
+            records.push(record.clone());
+        }
+        let frontier = frontier_indices(&records, MultiNodeRecord::dominates);
+
+        Ok(MultiNodeOutcome {
+            records,
+            frontier,
+            cache_hits,
+            fresh_evals,
+            total_points: points.len(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> MultiNodeSweepSpec {
+        MultiNodeSweepSpec::new(MultiNodeSpace::cabinet(), ScaleOutSpec::standard("CoMD"))
+    }
+
+    #[test]
+    fn the_cabinet_grid_has_every_cross_product_point() {
+        let points = MultiNodeSpace::cabinet().points();
+        assert_eq!(points.len(), 18);
+        assert_eq!(
+            points.first().unwrap(),
+            &MultiNodePoint {
+                nodes: 2,
+                kind: FabricKind::FatTree
+            }
+        );
+        assert_eq!(points.last().unwrap().label(), "64@dragonfly");
+    }
+
+    #[test]
+    fn records_round_trip_through_the_cache_encoding() {
+        let record = MultiNodeRecord {
+            point: MultiNodePoint {
+                nodes: 64,
+                kind: FabricKind::DragonflyLite,
+            },
+            exaflops: 1.2345678901234567,
+            power_mw: 15.5,
+            efficiency: 0.9375,
+            comm_us: 312.0625,
+        };
+        let line = record.encode();
+        let mut fields = line.split(' ');
+        let back = MultiNodeRecord::decode(&mut fields).unwrap();
+        assert_eq!(back, record);
+        assert!(fields.next().is_none());
+    }
+
+    #[test]
+    fn parallel_equals_sequential_for_any_job_count() {
+        let mut oracle = MultiNodeSweep::new();
+        let sequential = oracle.run(&spec()).unwrap();
+        for jobs in [2usize, 4, 8] {
+            let mut engine = MultiNodeSweep::new();
+            let parallel = engine.run(&MultiNodeSweepSpec { jobs, ..spec() }).unwrap();
+            assert_eq!(parallel.records, sequential.records, "jobs = {jobs}");
+            assert_eq!(parallel.frontier, sequential.frontier, "jobs = {jobs}");
+        }
+    }
+
+    #[test]
+    fn the_memo_turns_reruns_into_pure_hits() {
+        let mut engine = MultiNodeSweep::new();
+        let cold = engine.run(&spec()).unwrap();
+        assert_eq!(cold.cache_hits, 0);
+        assert_eq!(cold.fresh_evals, 18);
+        let warm = engine.run(&spec()).unwrap();
+        assert_eq!(warm.cache_hits, 18);
+        assert_eq!(warm.fresh_evals, 0);
+        assert!((warm.hit_rate() - 1.0).abs() < 1e-12);
+        assert_eq!(warm.records, cold.records);
+    }
+
+    #[test]
+    fn the_frontier_is_nonempty_and_undominated() {
+        let mut engine = MultiNodeSweep::new();
+        let outcome = engine.run(&spec()).unwrap();
+        assert!(!outcome.frontier.is_empty());
+        for &i in &outcome.frontier {
+            let f = &outcome.records[i];
+            assert!(outcome.records.iter().all(|r| !r.dominates(f)));
+        }
+        // Every point not on the frontier is dominated by someone.
+        for (i, r) in outcome.records.iter().enumerate() {
+            if !outcome.frontier.contains(&i) {
+                assert!(outcome.records.iter().any(|other| other.dominates(r)));
+            }
+        }
+    }
+
+    #[test]
+    fn disk_caches_resume_across_engine_instances() {
+        let dir = std::env::temp_dir().join("ena-fabric-sweep-test-resume");
+        let _ = std::fs::remove_dir_all(&dir);
+        let disk_spec = MultiNodeSweepSpec {
+            cache: CacheMode::Disk(dir.clone()),
+            ..spec()
+        };
+        let mut cold_engine = MultiNodeSweep::new();
+        let cold = cold_engine.run(&disk_spec).unwrap();
+        assert_eq!(cold.fresh_evals, 18);
+        // A brand-new engine (fresh process, conceptually) hits disk.
+        let mut warm_engine = MultiNodeSweep::new();
+        let warm = warm_engine.run(&disk_spec).unwrap();
+        assert_eq!(warm.cache_hits, 18);
+        assert_eq!(warm.records, cold.records);
+        // A model-version bump evicts rather than replays stale numbers.
+        let mut bumped = MultiNodeSweep::new().with_version("ena-model/next");
+        let evicted = bumped.run(&disk_spec).unwrap();
+        assert_eq!(evicted.cache_hits, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_grids_are_rejected() {
+        let mut engine = MultiNodeSweep::new();
+        let empty = MultiNodeSweepSpec::new(
+            MultiNodeSpace {
+                node_counts: vec![],
+                kinds: vec![],
+            },
+            ScaleOutSpec::standard("CoMD"),
+        );
+        assert!(matches!(
+            engine.run(&empty),
+            Err(MultiNodeSweepError::EmptySpace)
+        ));
+    }
+
+    #[test]
+    fn bad_workloads_surface_as_fabric_errors() {
+        let mut engine = MultiNodeSweep::new();
+        let bad = MultiNodeSweepSpec::new(
+            MultiNodeSpace::cabinet(),
+            ScaleOutSpec::standard("NoSuchKernel"),
+        );
+        assert!(matches!(
+            engine.run(&bad),
+            Err(MultiNodeSweepError::Fabric(_))
+        ));
+    }
+}

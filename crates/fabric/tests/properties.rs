@@ -1,0 +1,284 @@
+//! Property and cross-process determinism tests for the inter-node
+//! fabric.
+//!
+//! The headline properties:
+//!
+//! 1. **Single-failure survivability** — after any one node loss or any
+//!    one physical link cut, every surviving EHP can still reach every
+//!    other, on every shipped topology (the dual-homing / dual-rail /
+//!    global-link wiring exists exactly for this).
+//! 2. **Cross-process determinism** — the route table and collective
+//!    schedules digest to the same value in two separate child
+//!    processes, and the 64-node acceptance campaign (node loss +
+//!    straggler with its embedded intra-node `DegradationReport` + link
+//!    degradation) renders byte-identically across runs *and* processes.
+//! 3. **Parallel == sequential** — the multi-node sweep's records and
+//!    Pareto frontier are bit-identical to the sequential oracle for any
+//!    job count and cache temperature.
+
+use std::collections::BTreeMap;
+
+use ena_fabric::{
+    estimate, run_multinode_campaign, schedule, CollectiveKind, FabricGraph, FabricKind,
+    MultiNodeCampaignSpec, MultiNodeSpace, MultiNodeSweep, MultiNodeSweepSpec, ScaleOutSpec,
+};
+use ena_model::hash::StableHasher;
+use ena_sweep::CacheMode;
+use ena_testkit::prelude::*;
+
+fn any_kind() -> impl Strategy<Value = FabricKind> {
+    prop_oneof![
+        Just(FabricKind::FatTree),
+        Just(FabricKind::Torus),
+        Just(FabricKind::DragonflyLite),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Tentpole property: no single node failure partitions the
+    /// survivors, on any topology at any size.
+    #[test]
+    fn any_single_node_loss_keeps_survivors_connected(
+        kind in any_kind(),
+        nodes in 2u32..65,
+        victim_pick in 0u32..64,
+    ) {
+        let mut g = FabricGraph::build(kind, nodes).unwrap();
+        let victim = victim_pick % nodes;
+        if nodes > 1 {
+            g.fail_ehp(victim).unwrap();
+        }
+        prop_assert!(
+            g.all_ehp_mutually_reachable(),
+            "{kind} x{nodes}: losing node {victim} partitioned the fleet"
+        );
+        prop_assert!(g.route_table().is_ok());
+    }
+
+    /// And no single *physical link* failure does either: every pair of
+    /// vertices is joined by at least two link-disjoint paths.
+    #[test]
+    fn any_single_link_cut_keeps_survivors_connected(
+        kind in any_kind(),
+        nodes in 2u32..65,
+        link_pick in 0usize..4096,
+    ) {
+        let healthy = FabricGraph::build(kind, nodes).unwrap();
+        let links = healthy.physical_links();
+        let (a, b) = links[link_pick % links.len()];
+        let mut g = FabricGraph::build(kind, nodes).unwrap();
+        let cut = g.fail_link_between(a, b).unwrap();
+        prop_assert!(cut >= 2, "a physical link is at least one channel pair");
+        prop_assert!(
+            g.all_ehp_mutually_reachable(),
+            "{kind} x{nodes}: cutting link {a}-{b} partitioned the fleet"
+        );
+    }
+
+    /// Degrading a route slows collectives down monotonically but never
+    /// disconnects anything.
+    #[test]
+    fn degradation_slows_but_never_partitions(
+        kind in any_kind(),
+        nodes in 4u32..33,
+        a_pick in 0u32..64,
+        b_pick in 0u32..64,
+        percent in 1u32..100,
+    ) {
+        let a = a_pick % nodes;
+        let b = b_pick % nodes;
+        let b = if a == b { (b + 1) % nodes } else { b };
+        let healthy = FabricGraph::build(kind, nodes).unwrap();
+        let before = schedule(&healthy, CollectiveKind::AllToAll, 1e6).unwrap();
+        let mut g = FabricGraph::build(kind, nodes).unwrap();
+        g.degrade_route(a, b, percent).unwrap();
+        let after = schedule(&g, CollectiveKind::AllToAll, 1e6).unwrap();
+        prop_assert!(g.all_ehp_mutually_reachable());
+        prop_assert!(after.total >= before.total);
+    }
+
+    /// The multi-node sweep is byte-identical to the sequential oracle
+    /// for any job count (the satellite's parallel==sequential property).
+    #[test]
+    fn multinode_sweep_matches_sequential_oracle(jobs in 1usize..9) {
+        let spec = MultiNodeSweepSpec::new(
+            MultiNodeSpace {
+                node_counts: vec![2, 4, 8],
+                kinds: FabricKind::ALL.to_vec(),
+            },
+            ScaleOutSpec::standard("CoMD"),
+        );
+        let sequential = MultiNodeSweep::new().run(&spec).unwrap();
+        let parallel = MultiNodeSweep::new()
+            .run(&MultiNodeSweepSpec { jobs, ..spec })
+            .unwrap();
+        prop_assert_eq!(&parallel.records, &sequential.records);
+        prop_assert_eq!(&parallel.frontier, &sequential.frontier);
+    }
+}
+
+/// Digest of the route tables and collective schedules of every shipped
+/// topology at a fixed size: any iteration-order nondeterminism in
+/// wiring, routing, or scheduling lands in this value.
+fn fabric_digest() -> u64 {
+    let mut h = StableHasher::new();
+    for kind in FabricKind::ALL {
+        let g = FabricGraph::build(kind, 24).unwrap();
+        h.write_u64(g.route_table_digest().unwrap());
+        for collective in CollectiveKind::ALL {
+            h.write_u64(schedule(&g, collective, 4e6).unwrap().digest());
+        }
+    }
+    h.finish()
+}
+
+/// Satellite invariant: route tables and collective schedules are
+/// identical across two *separate process* runs (fresh address space).
+/// The test re-executes its own binary twice in digest mode and compares
+/// the printed digests with each other and with the in-process value.
+#[test]
+fn route_table_and_schedule_are_identical_across_processes() {
+    const MODE: &str = "ENA_FABRIC_DIGEST_MODE";
+    if std::env::var_os(MODE).is_some() {
+        println!("digest={:016x}", fabric_digest());
+        return;
+    }
+    let exe = std::env::current_exe().expect("test binary path");
+    let child_digest = || {
+        let out = std::process::Command::new(&exe)
+            .args([
+                "route_table_and_schedule_are_identical_across_processes",
+                "--exact",
+                "--nocapture",
+            ])
+            .env(MODE, "1")
+            .output()
+            .expect("child test process");
+        assert!(out.status.success(), "child run failed: {out:?}");
+        let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+        let at = stdout
+            .find("digest=")
+            .unwrap_or_else(|| panic!("no digest in child output: {stdout}"));
+        stdout[at + "digest=".len()..]
+            .chars()
+            .take_while(char::is_ascii_hexdigit)
+            .collect::<String>()
+    };
+    let first = child_digest();
+    let second = child_digest();
+    assert_eq!(first, second, "fabric digest differs between processes");
+    assert_eq!(
+        first,
+        format!("{:016x}", fabric_digest()),
+        "parent and child disagree"
+    );
+}
+
+/// Acceptance criterion: the seeded 64-node campaign (node loss +
+/// straggler + link degradation) renders byte-identically across two
+/// runs in this process *and* two child processes. The render embeds the
+/// straggler's full intra-node `DegradationReport`, so its byte identity
+/// is covered by the same comparison.
+#[test]
+fn acceptance_campaign_is_byte_identical_across_processes() {
+    const MODE: &str = "ENA_FABRIC_CAMPAIGN_MODE";
+    let render = || {
+        run_multinode_campaign(&MultiNodeCampaignSpec::standard(0xC0FFEE))
+            .unwrap()
+            .render()
+    };
+    if std::env::var_os(MODE).is_some() {
+        let mut h = StableHasher::new();
+        h.write_str(&render());
+        println!("digest={:016x}", h.finish());
+        return;
+    }
+
+    // Two in-process runs: byte identity of the full report.
+    let first = render();
+    assert_eq!(first, render(), "same seed must render identical bytes");
+    assert!(first.contains("ENA fault-injection campaign"));
+
+    // Two child processes: digest identity.
+    let exe = std::env::current_exe().expect("test binary path");
+    let child_digest = || {
+        let out = std::process::Command::new(&exe)
+            .args([
+                "acceptance_campaign_is_byte_identical_across_processes",
+                "--exact",
+                "--nocapture",
+            ])
+            .env(MODE, "1")
+            .output()
+            .expect("child test process");
+        assert!(out.status.success(), "child run failed: {out:?}");
+        let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+        let at = stdout
+            .find("digest=")
+            .unwrap_or_else(|| panic!("no digest in child output: {stdout}"));
+        stdout[at + "digest=".len()..]
+            .chars()
+            .take_while(char::is_ascii_hexdigit)
+            .collect::<String>()
+    };
+    let a = child_digest();
+    let b = child_digest();
+    assert_eq!(a, b, "campaign render differs between processes");
+    let mut h = StableHasher::new();
+    h.write_str(&first);
+    assert_eq!(
+        a,
+        format!("{:016x}", h.finish()),
+        "parent and child disagree"
+    );
+}
+
+/// A warm disk cache replays the cold run's bytes exactly, across engine
+/// instances (checkpoint/resume for the multi-node axis).
+#[test]
+fn multinode_disk_cache_round_trips_bit_exactly() {
+    let dir = std::env::temp_dir().join("ena-fabric-props-disk-cache");
+    let _ = std::fs::remove_dir_all(&dir);
+    let spec = MultiNodeSweepSpec {
+        jobs: 2,
+        cache: CacheMode::Disk(dir.clone()),
+        ..MultiNodeSweepSpec::new(MultiNodeSpace::cabinet(), ScaleOutSpec::standard("CoMD"))
+    };
+    let cold = MultiNodeSweep::new().run(&spec).unwrap();
+    assert_eq!(cold.cache_hits, 0);
+    let warm = MultiNodeSweep::new().run(&spec).unwrap();
+    assert_eq!(warm.cache_hits, warm.total_points);
+    assert_eq!(warm.records, cold.records);
+    assert_eq!(warm.frontier, cold.frontier);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The campaign's straggler estimates agree with a direct scale-out
+/// estimate given the same slowdown map: the campaign adds no hidden
+/// state.
+#[test]
+fn campaign_steps_are_reproducible_from_first_principles() {
+    let report = run_multinode_campaign(&MultiNodeCampaignSpec::standard(7)).unwrap();
+    let spec = MultiNodeCampaignSpec::standard(7);
+    // Rebuild the final fabric state by hand.
+    let mut g = FabricGraph::build(spec.kind, spec.nodes).unwrap();
+    let mut stragglers = BTreeMap::new();
+    for step in &report.steps {
+        use ena_faults::NodeFaultKind;
+        match step.event.kind {
+            NodeFaultKind::NodeLoss(n) => {
+                g.fail_ehp(n).unwrap();
+            }
+            NodeFaultKind::Straggler(n) => {
+                stragglers.insert(n, step.slowdown.unwrap());
+            }
+            NodeFaultKind::LinkDegradation { a, b, percent } => {
+                g.degrade_route(a, b, percent).unwrap();
+            }
+        }
+    }
+    let direct = estimate(&g, &spec.scaleout, &stragglers).unwrap();
+    assert_eq!(&direct, report.final_estimate());
+}

@@ -29,6 +29,14 @@
 //! NoC topology, the memory system, and the [`DegradedNode`] wrapper all
 //! implement it, so one [`FaultPlan`] can be broadcast across the stack.
 //!
+//! ## Node-level plans
+//!
+//! [`NodeFaultPlan`](multinode::NodeFaultPlan) lifts the same machinery
+//! one level up, to whole EHP nodes: node loss, stragglers, and degraded
+//! inter-node routes. The `ena-fabric` crate consumes these plans and
+//! derives each straggler's slowdown from an intra-node chiplet-loss
+//! campaign, coupling the two fault levels through one cause.
+//!
 //! ## Campaigns
 //!
 //! [`run_campaign`] replays a plan end to end and produces a
@@ -51,6 +59,7 @@
 pub mod campaign;
 pub mod crosscheck;
 pub mod degrade;
+pub mod multinode;
 pub mod plan;
 
 pub use campaign::{
@@ -59,4 +68,5 @@ pub use campaign::{
 };
 pub use crosscheck::{crosscheck_availability, AvailabilityEstimate};
 pub use degrade::{Degradable, DegradedNode};
+pub use multinode::{NodeFaultEvent, NodeFaultKind, NodeFaultPlan};
 pub use plan::{FaultEvent, FaultKind, FaultPlan};

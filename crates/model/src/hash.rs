@@ -19,7 +19,7 @@ use crate::config::{
     PackageOrganization,
 };
 use crate::kernel::{KernelCategory, KernelProfile};
-use crate::units::{Gigabytes, GigabytesPerSec, Megahertz, Watts};
+use crate::units::{Gigabytes, GigabytesPerSec, Megahertz, Microseconds, Watts};
 
 /// Version stamp of the analytic model stack.
 ///
@@ -184,7 +184,7 @@ macro_rules! stable_hash_unit {
     )*};
 }
 
-stable_hash_unit!(Megahertz, GigabytesPerSec, Gigabytes, Watts);
+stable_hash_unit!(Megahertz, GigabytesPerSec, Gigabytes, Watts, Microseconds);
 
 impl StableHash for ExternalModuleKind {
     fn stable_hash(&self, h: &mut StableHasher) {

@@ -202,11 +202,31 @@ unit!(
     SquareMillimeters,
     "mm^2"
 );
+unit!(
+    /// Time in microseconds (inter-node link latencies, collective
+    /// rounds, fault-injection timestamps).
+    Microseconds,
+    "us"
+);
 
 impl Joules {
     /// Converts to picojoules.
     pub fn to_picojoules(self) -> Picojoules {
         Picojoules::new(self.value() * 1e12)
+    }
+}
+
+impl Microseconds {
+    /// Converts to seconds.
+    pub fn to_seconds(self) -> Seconds {
+        Seconds::new(self.value() * 1e-6)
+    }
+}
+
+impl Seconds {
+    /// Converts to microseconds.
+    pub fn to_microseconds(self) -> Microseconds {
+        Microseconds::new(self.value() * 1e6)
     }
 }
 

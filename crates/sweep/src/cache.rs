@@ -8,14 +8,19 @@
 //! round-trips through disk *bit-exactly*, which is what lets a resumed
 //! sweep reproduce an uninterrupted one byte-for-byte.
 //!
-//! The header line carries the model-version stamp. A file whose stamp
-//! does not match the running binary is evicted wholesale on open:
-//! numbers computed by an older model must never leak into fresh
-//! results. A truncated trailing line (a sweep killed mid-append) is
-//! ignored, so a crash costs at most one point.
+//! The cache is generic over its record type through [`CacheRecord`]:
+//! the node-level sweep persists [`PointRecord`]s, the multi-node fabric
+//! sweep persists its own records, and both share the same header,
+//! eviction, and torn-tail machinery. The header line carries the record
+//! tag and the model-version stamp. A file whose stamp does not match
+//! the running binary is evicted wholesale on open: numbers computed by
+//! an older model must never leak into fresh results. A truncated
+//! trailing line (a sweep killed mid-append) is ignored, so a crash
+//! costs at most one point.
 
 use std::fs;
 use std::io::{self, BufWriter, Write};
+use std::marker::PhantomData;
 use std::path::{Path, PathBuf};
 
 use ena_core::dse::{ConfigPoint, PointEval, PointRecord};
@@ -23,6 +28,23 @@ use ena_model::units::{GigabytesPerSec, Megahertz};
 
 /// Magic tag of the cache file format.
 const FORMAT: &str = "ena-sweep-cache/1";
+
+/// A record type the cache can persist: one line of space-separated
+/// fields per record, with every `f64` encoded by bit pattern so the
+/// round trip is bit-exact.
+pub trait CacheRecord: Sized + Clone {
+    /// Record-format tag folded into the file header, so caches holding
+    /// different record types never deserialize into each other.
+    const TAG: &'static str;
+
+    /// Encodes the record as space-separated fields (no newline, no key).
+    fn encode(&self) -> String;
+
+    /// Decodes a record from the field iterator positioned just past the
+    /// key. Returns `None` for damaged input; the caller treats the line
+    /// (and everything after it) as a torn tail.
+    fn decode(fields: &mut std::str::Split<'_, char>) -> Option<Self>;
+}
 
 /// A cache I/O failure, tagged with the file or directory involved.
 ///
@@ -64,14 +86,15 @@ impl std::error::Error for CacheError {
     }
 }
 
-/// On-disk cache of one campaign's evaluated points.
+/// On-disk cache of one campaign's evaluated records.
 #[derive(Debug)]
-pub struct DiskCache {
+pub struct DiskCache<R: CacheRecord = PointRecord> {
     path: PathBuf,
     writer: BufWriter<fs::File>,
+    _record: PhantomData<fn() -> R>,
 }
 
-impl DiskCache {
+impl<R: CacheRecord> DiskCache<R> {
     /// File name of a campaign's cache inside `dir`.
     pub fn file_name(campaign: u64) -> String {
         format!("campaign-{campaign:016x}.sweep")
@@ -81,7 +104,8 @@ impl DiskCache {
     /// handle plus every intact record already on disk.
     ///
     /// A file with a foreign or damaged header — including a mismatched
-    /// model-version stamp — is deleted and recreated empty.
+    /// record tag or model-version stamp — is deleted and recreated
+    /// empty.
     ///
     /// # Errors
     ///
@@ -92,18 +116,18 @@ impl DiskCache {
         dir: &Path,
         campaign: u64,
         version: &str,
-    ) -> Result<(Self, Vec<(u64, PointRecord)>), CacheError> {
+    ) -> Result<(Self, Vec<(u64, R)>), CacheError> {
         fs::create_dir_all(dir).map_err(|e| CacheError::new(dir, e))?;
         let path = dir.join(Self::file_name(campaign));
 
-        let mut entries = Vec::new();
+        let mut entries: Vec<(u64, R)> = Vec::new();
         let mut valid = false;
         if let Ok(text) = fs::read_to_string(&path) {
             let mut lines = text.lines();
-            if lines.next() == Some(header_line(campaign, version).as_str()) {
+            if lines.next() == Some(header_line::<R>(campaign, version).as_str()) {
                 valid = true;
                 for line in lines {
-                    match parse_entry(line) {
+                    match parse_entry::<R>(line) {
                         Some(entry) => entries.push(entry),
                         // Torn tail from an interrupted append: drop the
                         // rest, the points will simply be re-evaluated.
@@ -123,14 +147,21 @@ impl DiskCache {
                     .open(&path)
                     .map_err(|e| CacheError::new(&path, e))?,
             );
-            writeln!(writer, "{}", header_line(campaign, version))
+            writeln!(writer, "{}", header_line::<R>(campaign, version))
                 .map_err(|e| CacheError::new(&path, e))?;
             writer.flush().map_err(|e| CacheError::new(&path, e))?;
-            return Ok((Self { path, writer }, Vec::new()));
+            return Ok((
+                Self {
+                    path,
+                    writer,
+                    _record: PhantomData,
+                },
+                Vec::new(),
+            ));
         }
 
         // Re-append only the intact prefix if damaged lines were dropped.
-        let intact: String = std::iter::once(header_line(campaign, version))
+        let intact: String = std::iter::once(header_line::<R>(campaign, version))
             .chain(entries.iter().map(|(k, r)| entry_line(*k, r)))
             .map(|l| l + "\n")
             .collect();
@@ -141,16 +172,23 @@ impl DiskCache {
                 .open(&path)
                 .map_err(|e| CacheError::new(&path, e))?,
         );
-        Ok((Self { path, writer }, entries))
+        Ok((
+            Self {
+                path,
+                writer,
+                _record: PhantomData,
+            },
+            entries,
+        ))
     }
 
-    /// Appends one evaluated point and flushes it to disk (each record is
-    /// a checkpoint).
+    /// Appends one evaluated record and flushes it to disk (each record
+    /// is a checkpoint).
     ///
     /// # Errors
     ///
     /// Returns a [`CacheError`] for any I/O fault during the append.
-    pub fn append(&mut self, key: u64, record: &PointRecord) -> Result<(), CacheError> {
+    pub fn append(&mut self, key: u64, record: &R) -> Result<(), CacheError> {
         writeln!(self.writer, "{}", entry_line(key, record))
             .map_err(|e| CacheError::new(&self.path, e))?;
         self.writer
@@ -164,66 +202,79 @@ impl DiskCache {
     }
 }
 
-fn header_line(campaign: u64, version: &str) -> String {
-    format!("{FORMAT} model={version} campaign={campaign:016x}")
+fn header_line<R: CacheRecord>(campaign: u64, version: &str) -> String {
+    format!(
+        "{FORMAT} record={} model={version} campaign={campaign:016x}",
+        R::TAG
+    )
 }
 
-fn entry_line(key: u64, record: &PointRecord) -> String {
-    use std::fmt::Write as _;
-    let mut line = format!(
-        "{key:016x} {} {:016x} {:016x} {}",
-        record.point.cus,
-        record.point.clock.value().to_bits(),
-        record.point.bandwidth.value().to_bits(),
-        record.evals.len(),
-    );
-    for e in &record.evals {
-        // fmt::Write to a String is infallible; discard the Ok.
-        let _ = write!(
-            line,
-            " {:016x} {:016x} {:016x}",
-            e.throughput.to_bits(),
-            e.package_power.to_bits(),
-            e.peak_dram_c.to_bits(),
-        );
-    }
-    line
+fn entry_line<R: CacheRecord>(key: u64, record: &R) -> String {
+    format!("{key:016x} {}", record.encode())
 }
 
-fn parse_entry(line: &str) -> Option<(u64, PointRecord)> {
+fn parse_entry<R: CacheRecord>(line: &str) -> Option<(u64, R)> {
     let mut fields = line.split(' ');
     let key = u64::from_str_radix(fields.next()?, 16).ok()?;
-    let cus: u32 = fields.next()?.parse().ok()?;
-    let clock = f64::from_bits(u64::from_str_radix(fields.next()?, 16).ok()?);
-    let bandwidth = f64::from_bits(u64::from_str_radix(fields.next()?, 16).ok()?);
-    let n: usize = fields.next()?.parse().ok()?;
-    let mut evals = Vec::with_capacity(n);
-    for _ in 0..n {
-        let mut f = || {
-            Some(f64::from_bits(
-                u64::from_str_radix(fields.next()?, 16).ok()?,
-            ))
-        };
-        evals.push(PointEval {
-            throughput: f()?,
-            package_power: f()?,
-            peak_dram_c: f()?,
-        });
-    }
+    let record = R::decode(&mut fields)?;
     if fields.next().is_some() {
         return None;
     }
-    Some((
-        key,
-        PointRecord {
+    Some((key, record))
+}
+
+impl CacheRecord for PointRecord {
+    const TAG: &'static str = "dse-point/1";
+
+    fn encode(&self) -> String {
+        use std::fmt::Write as _;
+        let mut line = format!(
+            "{} {:016x} {:016x} {}",
+            self.point.cus,
+            self.point.clock.value().to_bits(),
+            self.point.bandwidth.value().to_bits(),
+            self.evals.len(),
+        );
+        for e in &self.evals {
+            // fmt::Write to a String is infallible; discard the Ok.
+            let _ = write!(
+                line,
+                " {:016x} {:016x} {:016x}",
+                e.throughput.to_bits(),
+                e.package_power.to_bits(),
+                e.peak_dram_c.to_bits(),
+            );
+        }
+        line
+    }
+
+    fn decode(fields: &mut std::str::Split<'_, char>) -> Option<Self> {
+        let cus: u32 = fields.next()?.parse().ok()?;
+        let clock = f64::from_bits(u64::from_str_radix(fields.next()?, 16).ok()?);
+        let bandwidth = f64::from_bits(u64::from_str_radix(fields.next()?, 16).ok()?);
+        let n: usize = fields.next()?.parse().ok()?;
+        let mut evals = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mut f = || {
+                Some(f64::from_bits(
+                    u64::from_str_radix(fields.next()?, 16).ok()?,
+                ))
+            };
+            evals.push(PointEval {
+                throughput: f()?,
+                package_power: f()?,
+                peak_dram_c: f()?,
+            });
+        }
+        Some(PointRecord {
             point: ConfigPoint {
                 cus,
                 clock: Megahertz::new(clock),
                 bandwidth: GigabytesPerSec::new(bandwidth),
             },
             evals,
-        },
-    ))
+        })
+    }
 }
 
 #[cfg(test)]
@@ -278,12 +329,42 @@ mod tests {
         cache.append(11, &record(0.0)).unwrap();
         drop(cache);
 
-        let (_, loaded) = DiskCache::open(&dir, 7, "v2").unwrap();
+        let (_, loaded) = DiskCache::<PointRecord>::open(&dir, 7, "v2").unwrap();
         assert!(loaded.is_empty(), "stale entries must be evicted");
         // And the eviction is durable: reopening under the old stamp
         // finds nothing either.
-        let (_, loaded) = DiskCache::open(&dir, 7, "v1").unwrap();
+        let (_, loaded) = DiskCache::<PointRecord>::open(&dir, 7, "v1").unwrap();
         assert!(loaded.is_empty());
+    }
+
+    #[test]
+    fn mismatched_record_tag_evicts_the_file() {
+        #[derive(Clone, Debug, PartialEq)]
+        struct Other(u64);
+        impl CacheRecord for Other {
+            const TAG: &'static str = "other/1";
+            fn encode(&self) -> String {
+                format!("{:016x}", self.0)
+            }
+            fn decode(fields: &mut std::str::Split<'_, char>) -> Option<Self> {
+                Some(Other(u64::from_str_radix(fields.next()?, 16).ok()?))
+            }
+        }
+
+        let dir = tmp("tag");
+        let (mut cache, _) = DiskCache::open(&dir, 7, "v1").unwrap();
+        cache.append(11, &record(0.0)).unwrap();
+        drop(cache);
+
+        // Same campaign digest and version, different record type: the
+        // header tag differs, so the foreign file is evicted wholesale.
+        let (_, loaded) = DiskCache::<Other>::open(&dir, 7, "v1").unwrap();
+        assert!(loaded.is_empty(), "foreign record tag must evict");
+        let (mut cache, _) = DiskCache::<Other>::open(&dir, 7, "v1").unwrap();
+        cache.append(5, &Other(42)).unwrap();
+        drop(cache);
+        let (_, loaded) = DiskCache::<Other>::open(&dir, 7, "v1").unwrap();
+        assert_eq!(loaded, vec![(5, Other(42))]);
     }
 
     #[test]
@@ -304,7 +385,7 @@ mod tests {
         // The repaired file keeps accepting appends.
         cache.append(22, &record(1.0)).unwrap();
         drop(cache);
-        let (_, loaded) = DiskCache::open(&dir, 7, "v1").unwrap();
+        let (_, loaded) = DiskCache::<PointRecord>::open(&dir, 7, "v1").unwrap();
         assert_eq!(loaded.len(), 2);
     }
 
@@ -341,7 +422,7 @@ mod tests {
         // The repaired file keeps accepting appends.
         cache.append(22, &record(1.0)).unwrap();
         drop(cache);
-        let (_, loaded) = DiskCache::open(&dir, 7, "v1").unwrap();
+        let (_, loaded) = DiskCache::<PointRecord>::open(&dir, 7, "v1").unwrap();
         assert_eq!(loaded.len(), 2);
     }
 
@@ -361,12 +442,15 @@ mod tests {
         assert!(loaded.is_empty(), "undecodable file is evicted wholesale");
         cache.append(11, &record(0.0)).unwrap();
         drop(cache);
-        let (_, loaded) = DiskCache::open(&dir, 7, "v1").unwrap();
+        let (_, loaded) = DiskCache::<PointRecord>::open(&dir, 7, "v1").unwrap();
         assert_eq!(loaded, vec![(11, record(0.0))]);
     }
 
     #[test]
     fn different_campaigns_use_different_files() {
-        assert_ne!(DiskCache::file_name(1), DiskCache::file_name(2));
+        assert_ne!(
+            DiskCache::<PointRecord>::file_name(1),
+            DiskCache::<PointRecord>::file_name(2)
+        );
     }
 }

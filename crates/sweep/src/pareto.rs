@@ -39,6 +39,18 @@ impl FrontierPoint {
     }
 }
 
+/// Generic dominance filter: the indices of `items` not dominated by any
+/// other item, in input order. `dominates(a, b)` must mean "`a` is no
+/// worse than `b` on every axis and strictly better on at least one" —
+/// an irreflexive relation, so ties survive. This is the shared kernel
+/// behind both the node-level frontier here and the multi-node fabric
+/// frontier in `ena-fabric`.
+pub fn frontier_indices<T>(items: &[T], dominates: impl Fn(&T, &T) -> bool) -> Vec<usize> {
+    (0..items.len())
+        .filter(|&i| !items.iter().any(|other| dominates(other, &items[i])))
+        .collect()
+}
+
 /// Extracts the Pareto frontier over the budget-feasible records, in the
 /// records' (design-space) order.
 pub fn pareto_frontier(
@@ -59,10 +71,9 @@ pub fn pareto_frontier(
         })
         .collect();
 
-    candidates
-        .iter()
-        .filter(|c| !candidates.iter().any(|other| other.dominates(c)))
-        .copied()
+    frontier_indices(&candidates, FrontierPoint::dominates)
+        .into_iter()
+        .map(|i| candidates[i])
         .collect()
 }
 

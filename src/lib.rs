@@ -25,6 +25,11 @@
 //!   engine: work-stealing sweep, content-addressed memoization with
 //!   checkpoint/resume, and Pareto-frontier extraction, byte-identical
 //!   to the sequential explorer.
+//! - [`fabric`] — the inter-node layer: Infinity-Fabric-style links with
+//!   asymmetric per-direction latency/bandwidth, cabinet topologies
+//!   (fat-tree, torus, dragonfly-lite), collective schedules with
+//!   per-link contention, multi-node fault campaigns, and the
+//!   (nodes x topology) sweep axis.
 //!
 //! # Quickstart
 //!
@@ -54,6 +59,7 @@
 
 pub use ena_core as core;
 pub use ena_cpu as cpu;
+pub use ena_fabric as fabric;
 pub use ena_faults as faults;
 pub use ena_gpu as gpu;
 pub use ena_hsa as hsa;

@@ -241,3 +241,78 @@ fn fault_campaign_matches_golden() {
         Tolerance::relative(0.05),
     );
 }
+
+/// The standard 64-node multi-node campaign's report matches the golden
+/// artifact written by `examples/multinode_campaign.rs`. Same slack
+/// rationale as the intra-node golden: the numbers flow through the node
+/// models and are recalibration targets, the structure is not.
+#[test]
+fn multinode_campaign_matches_golden() {
+    use ena::fabric::{run_multinode_campaign, MultiNodeCampaignSpec};
+    use ena_testkit::golden::{assert_matches, Tolerance};
+
+    let report = run_multinode_campaign(&MultiNodeCampaignSpec::standard(0xC0FFEE))
+        .expect("survivable fleet");
+    assert_matches(
+        "multinode_campaign",
+        &report.render(),
+        Tolerance::relative(0.05),
+    );
+}
+
+/// Same seed, same fleet: two independent multi-node campaign runs
+/// render byte-identical reports (including the straggler's embedded
+/// intra-node degradation report).
+#[test]
+fn multinode_campaign_reports_are_byte_identical() {
+    use ena::fabric::{run_multinode_campaign, MultiNodeCampaignSpec};
+
+    let render = || {
+        run_multinode_campaign(&MultiNodeCampaignSpec::standard(0xC0FFEE))
+            .expect("survivable fleet")
+            .render()
+    };
+    assert_eq!(render(), render());
+}
+
+/// Consistency between the analytic and simulated scale-out views: at
+/// small node counts the simulated fabric estimate is exactly the
+/// analytic projection derated by the measured communication efficiency
+/// (bitwise — both sides compute the same floating-point expression),
+/// and the raw gap to the undereated linear projection stays within the
+/// documented small-N tolerance on every shipped topology.
+#[test]
+fn analytic_and_simulated_scale_out_agree_at_small_n() {
+    use ena::core::node::{EvalOptions, NodeSimulator};
+    use ena::core::system::project_system;
+    use ena::fabric::{estimate, FabricGraph, FabricKind, ScaleOutSpec, SMALL_N_TOLERANCE};
+    use ena::workloads::profile_for;
+    use std::collections::BTreeMap;
+
+    let spec = ScaleOutSpec::standard("CoMD");
+    let profile = profile_for("CoMD").expect("CoMD is in the suite");
+    let sim = NodeSimulator::new();
+    for kind in FabricKind::ALL {
+        for nodes in [2u32, 4, 8] {
+            let graph = FabricGraph::build(kind, nodes).expect("buildable fabric");
+            let est = estimate(&graph, &spec, &BTreeMap::new()).expect("healthy estimate");
+            let projection = project_system(
+                &sim,
+                &spec.base,
+                &profile,
+                &EvalOptions::default(),
+                u64::from(nodes),
+            );
+            assert_eq!(
+                est.exaflops,
+                projection.derated(est.efficiency).exaflops,
+                "{kind} x{nodes}: derated projection must match bitwise"
+            );
+            let gap = est.analytic_gap(&projection);
+            assert!(
+                gap < SMALL_N_TOLERANCE,
+                "{kind} x{nodes}: analytic gap {gap} exceeds {SMALL_N_TOLERANCE}"
+            );
+        }
+    }
+}

@@ -43,6 +43,24 @@ if ! awk -v r="$mn_hit_rate" 'BEGIN { exit !(r >= 90.0) }'; then
   exit 1
 fi
 
+echo "==> transient smoke: seeded campaign must match the golden report"
+transient_out=$(cargo run --release -p ena-cli --bin ena -- faults --seed 0xC0FFEE --transient)
+if ! diff <(echo "$transient_out") artifacts/transient_campaign.txt; then
+  echo "ci.sh: transient campaign diverged from artifacts/transient_campaign.txt" >&2
+  exit 1
+fi
+
+echo "==> recovery smoke: cold interval sweep, then warm run must hit the cache"
+rm -rf artifacts/recovery-cache
+cargo run --release -p ena-cli --bin ena -- multinode --sweep --jobs 2 --resume --mtbf 96 --checkpoint-cost 3 >/dev/null
+rc_warm_line=$(cargo run --release -p ena-cli --bin ena -- multinode --sweep --jobs 2 --resume --mtbf 96 --checkpoint-cost 3 | grep '^cache:')
+echo "warm $rc_warm_line"
+rc_hit_rate=$(echo "$rc_warm_line" | sed -n 's/.*(\([0-9.]*\)% hit rate).*/\1/p')
+if ! awk -v r="$rc_hit_rate" 'BEGIN { exit !(r >= 90.0) }'; then
+  echo "ci.sh: warm recovery sweep hit rate ${rc_hit_rate}% is below 90%" >&2
+  exit 1
+fi
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

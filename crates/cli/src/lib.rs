@@ -8,9 +8,10 @@
 //! ena dse      [--budget 160] [--fine]          # design-space exploration
 //! ena sweep    [--jobs N] [--budget 160] [--fine] [--resume] [--frontier]
 //! ena chiplet  --app SNAP                       # chiplet-vs-monolithic study
-//! ena faults   [--seed N] [--app CoMD]          # fault-injection campaign
+//! ena faults   [--seed N] [--app CoMD] [--transient]
 //! ena multinode [--nodes N] [--fabric-topology T] [--seed N] [--app CoMD]
-//! ena multinode --sweep [--jobs N] [--resume] [--frontier]
+//!               [--mtbf HOURS] [--checkpoint-cost MIN]
+//! ena multinode --sweep [--jobs N] [--resume] [--frontier] [--mtbf H] [--checkpoint-cost MIN]
 //! ena lint     [--deny-warnings]                # determinism static analysis
 //! ```
 //!
@@ -25,9 +26,12 @@ use ena_core::dse::{DesignSpace, Explorer};
 use ena_core::node::{EvalOptions, NodeSimulator};
 use ena_fabric::{
     run_multinode_campaign, FabricKind, MultiNodeCampaignSpec, MultiNodeSpace, MultiNodeSweep,
-    MultiNodeSweepSpec, ScaleOutSpec,
+    MultiNodeSweepSpec, RecoveryModel, RecoverySpace, RecoverySweep, RecoverySweepSpec,
+    ScaleOutSpec,
 };
-use ena_faults::{run_campaign, CampaignSpec, NodeFaultPlan};
+use ena_faults::{
+    run_campaign, run_transient_campaign, CampaignSpec, NodeFaultPlan, TransientCampaignSpec,
+};
 use ena_model::config::EhpConfig;
 use ena_model::units::{GigabytesPerSec, Megahertz, Watts};
 use ena_power::opts::PowerOptimization;
@@ -84,6 +88,9 @@ pub enum Command {
         seed: u64,
         /// Application name driving the degraded-node models.
         app: String,
+        /// Run the transient-fault (ECC/retry/rollback) campaign instead
+        /// of the permanent-fault one.
+        transient: bool,
     },
     /// Run a multi-node fabric campaign, or sweep the (nodes x topology)
     /// grid.
@@ -104,6 +111,13 @@ pub enum Command {
         resume: bool,
         /// Print the Pareto frontier (sweep mode).
         frontier: bool,
+        /// Node MTBF in hours; enables checkpoint/restart recovery
+        /// reporting (None = derive from the resilience model when
+        /// `--checkpoint-cost` is given).
+        mtbf: Option<f64>,
+        /// Checkpoint cost in minutes (default 3.0 when `--mtbf` is
+        /// given alone).
+        checkpoint_cost: Option<f64>,
     },
     /// Run the `ena-lint` determinism/robustness pass over the workspace.
     Lint {
@@ -300,7 +314,11 @@ pub fn parse(mut args: Vec<String>) -> Result<Command, String> {
                 }
                 None => "CoMD".to_string(),
             };
-            Command::Faults { seed, app }
+            Command::Faults {
+                seed,
+                app,
+                transient: take_flag(&mut args, "--transient"),
+            }
         }
         "multinode" => {
             let nodes = take_value(&mut args, "--nodes")?
@@ -331,6 +349,25 @@ pub fn parse(mut args: Vec<String>) -> Result<Command, String> {
             if jobs == 0 {
                 return Err("--jobs must be at least 1".into());
             }
+            let mtbf = take_value(&mut args, "--mtbf")?
+                .map(|v| v.parse::<f64>().map_err(|_| format!("bad --mtbf: {v}")))
+                .transpose()?;
+            if let Some(m) = mtbf {
+                if !(m > 0.0) {
+                    return Err(format!("--mtbf must be positive, got {m}"));
+                }
+            }
+            let checkpoint_cost = take_value(&mut args, "--checkpoint-cost")?
+                .map(|v| {
+                    v.parse::<f64>()
+                        .map_err(|_| format!("bad --checkpoint-cost: {v}"))
+                })
+                .transpose()?;
+            if let Some(c) = checkpoint_cost {
+                if !(c > 0.0) {
+                    return Err(format!("--checkpoint-cost must be positive, got {c}"));
+                }
+            }
             Command::Multinode {
                 nodes,
                 topology,
@@ -340,6 +377,8 @@ pub fn parse(mut args: Vec<String>) -> Result<Command, String> {
                 jobs,
                 resume: take_flag(&mut args, "--resume"),
                 frontier: take_flag(&mut args, "--frontier"),
+                mtbf,
+                checkpoint_cost,
             }
         }
         "lint" => Command::Lint {
@@ -364,15 +403,19 @@ commands:
   dse      [--budget W] [--fine]
   sweep    [--jobs N] [--budget W] [--fine] [--resume] [--frontier]
   chiplet  --app NAME
-  faults   [--seed N] [--app NAME]
+  faults   [--seed N] [--app NAME] [--transient]
   multinode [--nodes N] [--fabric-topology T] [--seed N] [--app NAME]
+           [--mtbf HOURS] [--checkpoint-cost MIN]
   multinode --sweep [--jobs N] [--app NAME] [--resume] [--frontier]
+           [--mtbf HOURS] [--checkpoint-cost MIN]
   lint     [--deny-warnings]
   help
 
 apps: MaxFlops, CoMD, CoMD-LJ, HPGMG, LULESH, MiniAMR, XSBench, SNAP
 fabric topologies: fat-tree, torus, dragonfly
-defaults: 320 CUs / 1000 MHz / 3 TB/s (the paper baseline); 64-node dragonfly cabinet";
+defaults: 320 CUs / 1000 MHz / 3 TB/s (the paper baseline); 64-node dragonfly cabinet
+--transient runs the ECC/retry/rollback campaign; --mtbf/--checkpoint-cost add a
+Young/Daly checkpoint/restart section (sweep mode: checkpoint-interval x nodes grid)";
 
 /// Executes a parsed command, returning the report text.
 ///
@@ -555,11 +598,19 @@ pub fn execute(command: Command) -> Result<String, String> {
             }
             Ok(out)
         }
-        Command::Faults { seed, app } => {
-            let mut spec = CampaignSpec::standard(seed);
-            spec.workload = app;
-            let report = run_campaign(&spec).map_err(|e| e.to_string())?;
-            Ok(report.render())
+        Command::Faults {
+            seed,
+            app,
+            transient,
+        } => {
+            if transient {
+                Ok(run_transient_campaign(&TransientCampaignSpec::standard(seed)).render())
+            } else {
+                let mut spec = CampaignSpec::standard(seed);
+                spec.workload = app;
+                let report = run_campaign(&spec).map_err(|e| e.to_string())?;
+                Ok(report.render())
+            }
         }
         Command::Multinode {
             nodes,
@@ -570,8 +621,81 @@ pub fn execute(command: Command) -> Result<String, String> {
             jobs,
             resume,
             frontier,
+            mtbf,
+            checkpoint_cost,
         } => {
+            let recovery = match (mtbf, checkpoint_cost) {
+                (None, None) => None,
+                (Some(m), cost) => Some(RecoveryModel::new(m, cost.unwrap_or(3.0))),
+                (None, Some(cost)) => Some(
+                    RecoveryModel::from_node_assessment(&EhpConfig::paper_baseline(), &app, cost)
+                        .ok_or_else(|| format!("unknown app: {app}"))?,
+                ),
+            };
             if sweep {
+                if let Some(model) = recovery {
+                    let cache = if resume {
+                        CacheMode::Disk(artifacts_dir().join("recovery-cache"))
+                    } else {
+                        CacheMode::Memory
+                    };
+                    let spec = RecoverySweepSpec {
+                        jobs,
+                        cache,
+                        seed,
+                        ..RecoverySweepSpec::new(
+                            RecoverySpace::standard(),
+                            ScaleOutSpec::standard(app.clone()),
+                            model,
+                        )
+                    };
+                    let outcome = RecoverySweep::new().run(&spec).map_err(|e| e.to_string())?;
+                    let best = outcome
+                        .records
+                        .iter()
+                        .max_by(|a, b| a.recovered_exaflops.total_cmp(&b.recovered_exaflops))
+                        .ok_or("empty recovery sweep")?;
+                    let mut out = format!(
+                        "recovery sweep: {} points (checkpoint-interval x nodes) for {app} \
+                         on {jobs} jobs ({model})\n\
+                         best recovered throughput: {} at {:.3} EF \
+                         (interval {:.3} h, {:.1}% efficient)\n\
+                         cache: {} hits / {} points ({:.1}% hit rate)\n",
+                        outcome.total_points,
+                        best.point.label(),
+                        best.recovered_exaflops,
+                        best.interval_hours,
+                        100.0 * best.simulated,
+                        outcome.cache_hits,
+                        outcome.total_points,
+                        100.0 * outcome.hit_rate(),
+                    );
+                    if frontier {
+                        out.push_str(&format!(
+                            "\nPareto frontier ({} of {} points):\n\
+                             {:<12} {:>10} {:>12} {:>10} {:>10}\n",
+                            outcome.frontier.len(),
+                            outcome.total_points,
+                            "point",
+                            "interval h",
+                            "recovered EF",
+                            "analytic",
+                            "simulated"
+                        ));
+                        for &i in &outcome.frontier {
+                            let r = &outcome.records[i];
+                            out.push_str(&format!(
+                                "{:<12} {:>10.3} {:>12.3} {:>10.4} {:>10.4}\n",
+                                r.point.label(),
+                                r.interval_hours,
+                                r.recovered_exaflops,
+                                r.analytic,
+                                r.simulated
+                            ));
+                        }
+                    }
+                    return Ok(out);
+                }
                 let cache = if resume {
                     CacheMode::Disk(artifacts_dir().join("multinode-cache"))
                 } else {
@@ -636,6 +760,7 @@ pub fn execute(command: Command) -> Result<String, String> {
                     kind: topology,
                     plan: NodeFaultPlan::scaleout_campaign(seed, nodes),
                     scaleout: ScaleOutSpec::standard(app),
+                    recovery,
                 };
                 let report = run_multinode_campaign(&spec).map_err(|e| e.to_string())?;
                 Ok(report.render())
@@ -826,14 +951,16 @@ mod tests {
             parse_str("faults --seed 0xBEEF --app SNAP").unwrap(),
             Command::Faults {
                 seed: 0xBEEF,
-                app: "SNAP".into()
+                app: "SNAP".into(),
+                transient: false,
             }
         );
         assert_eq!(
-            parse_str("faults --seed 42").unwrap(),
+            parse_str("faults --seed 42 --transient").unwrap(),
             Command::Faults {
                 seed: 42,
-                app: "CoMD".into()
+                app: "CoMD".into(),
+                transient: true,
             }
         );
         assert!(parse_str("faults --seed nope")
@@ -861,6 +988,8 @@ mod tests {
                 jobs: 3,
                 resume: true,
                 frontier: true,
+                mtbf: None,
+                checkpoint_cost: None,
             }
         );
         assert!(parse_str("multinode --nodes 1")
@@ -878,6 +1007,28 @@ mod tests {
     }
 
     #[test]
+    fn multinode_parses_recovery_knobs() {
+        let c = parse_str("multinode --mtbf 96 --checkpoint-cost 3").unwrap();
+        match c {
+            Command::Multinode {
+                mtbf,
+                checkpoint_cost,
+                ..
+            } => {
+                assert_eq!(mtbf, Some(96.0));
+                assert_eq!(checkpoint_cost, Some(3.0));
+            }
+            other => panic!("unexpected parse: {other:?}"),
+        }
+        assert!(parse_str("multinode --mtbf -5")
+            .unwrap_err()
+            .contains("--mtbf"));
+        assert!(parse_str("multinode --checkpoint-cost 0")
+            .unwrap_err()
+            .contains("--checkpoint-cost"));
+    }
+
+    #[test]
     fn multinode_defaults_are_the_acceptance_cabinet() {
         let c = parse_str("multinode").unwrap();
         assert_eq!(
@@ -891,6 +1042,8 @@ mod tests {
                 jobs: default_jobs(),
                 resume: false,
                 frontier: false,
+                mtbf: None,
+                checkpoint_cost: None,
             }
         );
     }
@@ -935,6 +1088,48 @@ mod tests {
         assert!(out.contains("fault-injection campaign"), "{out}");
         assert!(out.contains("healthy baseline"));
         assert!(out.contains("availability"));
+    }
+
+    #[test]
+    fn transient_faults_render_the_ecc_retry_campaign() {
+        let out = execute(parse_str("faults --seed 7 --transient").unwrap()).unwrap();
+        assert!(out.contains("transient-fault campaign"), "{out}");
+        assert!(out.contains("efficiency"), "{out}");
+        // Deterministic: same seed, byte-identical report.
+        let again = execute(parse_str("faults --seed 7 --transient").unwrap()).unwrap();
+        assert_eq!(out, again);
+    }
+
+    #[test]
+    fn multinode_recovery_flags_append_the_daly_section() {
+        let plain = execute(parse_str("multinode --nodes 8 --seed 7").unwrap()).unwrap();
+        let recovered = execute(
+            parse_str("multinode --nodes 8 --seed 7 --mtbf 96 --checkpoint-cost 3").unwrap(),
+        )
+        .unwrap();
+        assert!(!plain.contains("checkpoint/restart recovery"), "{plain}");
+        assert!(
+            recovered.contains("checkpoint/restart recovery"),
+            "{recovered}"
+        );
+        assert!(recovered.contains("node MTBF 96.0 h"), "{recovered}");
+        // --checkpoint-cost alone derives the MTBF from the resilience model.
+        let derived =
+            execute(parse_str("multinode --nodes 8 --seed 7 --checkpoint-cost 3").unwrap())
+                .unwrap();
+        assert!(derived.contains("checkpoint/restart recovery"), "{derived}");
+    }
+
+    #[test]
+    fn multinode_recovery_sweep_crosses_intervals_with_nodes() {
+        let out = execute(
+            parse_str("multinode --sweep --jobs 2 --mtbf 96 --checkpoint-cost 3 --frontier")
+                .unwrap(),
+        )
+        .unwrap();
+        assert!(out.contains("recovery sweep: 30 points"), "{out}");
+        assert!(out.contains("best recovered throughput"), "{out}");
+        assert!(out.contains("Pareto frontier"), "{out}");
     }
 
     #[test]

@@ -173,6 +173,27 @@ pub fn checkpoint_efficiency(system_mttf_hours: f64, checkpoint_minutes: f64) ->
     efficiency.clamp(0.0, 1.0)
 }
 
+/// Young/Daly efficiency at an *arbitrary* checkpoint interval `tau`
+/// (hours): `1 - delta/tau - tau/(2M)`, clamped to `[0, 1]`.
+///
+/// [`checkpoint_efficiency`] is this function evaluated at Daly's optimal
+/// `tau = sqrt(2 * delta * M)`; sweeping `tau` away from the optimum
+/// (the checkpoint-interval sweep axis) uses this form directly.
+pub fn checkpoint_efficiency_at(
+    system_mttf_hours: f64,
+    checkpoint_minutes: f64,
+    interval_hours: f64,
+) -> f64 {
+    let m = system_mttf_hours.max(1e-9);
+    let delta = checkpoint_minutes / 60.0;
+    if delta <= 0.0 {
+        return 1.0;
+    }
+    let tau = interval_hours.max(1e-9);
+    let efficiency = 1.0 - delta / tau - tau / (2.0 * m);
+    efficiency.clamp(0.0, 1.0)
+}
+
 /// A Monte Carlo checkpoint/restart campaign: simulates exponential
 /// failure arrivals against periodic checkpoints and measures the achieved
 /// useful-work fraction — the mechanistic check on
@@ -309,6 +330,22 @@ mod tests {
         assert!(a > c);
         assert!((0.0..=1.0).contains(&a));
         assert!(checkpoint_efficiency(1000.0, 0.0) == 1.0);
+    }
+
+    #[test]
+    fn the_general_form_peaks_at_the_daly_optimum() {
+        let mttf = 12.0_f64;
+        let ckpt_minutes = 3.0_f64;
+        let optimal_tau = (2.0 * (ckpt_minutes / 60.0) * mttf).sqrt();
+        let at_optimum = checkpoint_efficiency_at(mttf, ckpt_minutes, optimal_tau);
+        // The specialised form is the general form at the optimum.
+        assert_eq!(at_optimum, checkpoint_efficiency(mttf, ckpt_minutes));
+        // Any other interval does worse.
+        for scale in [0.1, 0.5, 2.0, 10.0] {
+            let off = checkpoint_efficiency_at(mttf, ckpt_minutes, optimal_tau * scale);
+            assert!(off < at_optimum, "scale {scale}: {off} vs {at_optimum}");
+        }
+        assert_eq!(checkpoint_efficiency_at(1000.0, 0.0, 1.0), 1.0);
     }
 
     #[test]

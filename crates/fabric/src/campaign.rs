@@ -29,6 +29,7 @@ use ena_faults::{
 use ena_workloads::profile_for;
 
 use crate::collective::{schedule, CollectiveKind};
+use crate::recovery::{RecoveryEstimate, RecoveryModel};
 use crate::scaleout::{estimate, ScaleOutEstimate, ScaleOutSpec};
 use crate::topology::{FabricError, FabricGraph, FabricKind};
 
@@ -43,6 +44,12 @@ pub struct MultiNodeCampaignSpec {
     pub plan: NodeFaultPlan,
     /// Per-node model and payload sizes (also names the workload).
     pub scaleout: ScaleOutSpec,
+    /// Optional checkpoint/restart recovery model (`--mtbf` /
+    /// `--checkpoint-cost`): when set, the report closes with a
+    /// Young/Daly analytic-vs-simulated recovery section at the final
+    /// surviving fleet size. `None` leaves the report byte-identical to
+    /// a pre-recovery campaign.
+    pub recovery: Option<RecoveryModel>,
 }
 
 impl MultiNodeCampaignSpec {
@@ -55,6 +62,7 @@ impl MultiNodeCampaignSpec {
             kind: FabricKind::DragonflyLite,
             plan: NodeFaultPlan::scaleout_campaign(seed, 64),
             scaleout: ScaleOutSpec::standard("CoMD"),
+            recovery: None,
         }
     }
 }
@@ -100,6 +108,22 @@ pub struct MultiNodeReport {
     /// Intra-node degradation campaigns behind each straggler, in
     /// injection order.
     pub straggler_reports: Vec<(u32, DegradationReport)>,
+    /// Checkpoint/restart recovery at the final fleet size, when the
+    /// spec carried a [`RecoveryModel`].
+    pub recovery: Option<RecoveryOutcome>,
+}
+
+/// The recovery section of a multi-node report: achieved efficiency as a
+/// function of node MTBF, checkpoint cost, and the surviving fleet size.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RecoveryOutcome {
+    /// The model the campaign ran with.
+    pub model: RecoveryModel,
+    /// Analytic-vs-simulated assessment at the final fleet size.
+    pub estimate: RecoveryEstimate,
+    /// Final fleet throughput with the *simulated* recovery efficiency
+    /// applied (EF).
+    pub recovered_exaflops: f64,
 }
 
 impl MultiNodeReport {
@@ -193,6 +217,28 @@ impl MultiNodeReport {
                     let _ = writeln!(out, "  {line}");
                 }
             }
+        }
+        if let Some(recovery) = &self.recovery {
+            let est = &recovery.estimate;
+            let _ = writeln!(out);
+            let _ = writeln!(out, "checkpoint/restart recovery ({})", recovery.model);
+            let _ = writeln!(
+                out,
+                "  N={} -> system MTTF {:.2} h | Daly interval {:.3} h",
+                est.nodes, est.system_mttf_hours, est.interval_hours
+            );
+            let _ = writeln!(
+                out,
+                "  efficiency: analytic {:.4} | simulated {:.4} | gap {:.4}",
+                est.analytic,
+                est.simulated,
+                est.gap()
+            );
+            let _ = writeln!(
+                out,
+                "  recovered throughput {:.3} EF",
+                recovery.recovered_exaflops
+            );
         }
         out
     }
@@ -296,6 +342,20 @@ pub fn run_multinode_campaign(
         u64::from(spec.nodes),
     );
 
+    // Recovery closes the report at the *surviving* fleet size: the
+    // machine that still has to make progress is the one paying the
+    // checkpoint/restart tax.
+    let recovery = spec.recovery.map(|model| {
+        let final_est = steps.last().map_or(&healthy, |s| &s.estimate);
+        let alive = final_est.nodes_alive.min(u32::MAX as usize) as u32;
+        let estimate = model.assess(alive, spec.plan.seed);
+        RecoveryOutcome {
+            model,
+            estimate,
+            recovered_exaflops: final_est.exaflops * estimate.simulated,
+        }
+    });
+
     Ok(MultiNodeReport {
         workload: spec.scaleout.workload.clone(),
         kind: spec.kind,
@@ -308,6 +368,7 @@ pub fn run_multinode_campaign(
         steps,
         projection,
         straggler_reports,
+        recovery,
     })
 }
 
@@ -350,6 +411,34 @@ mod tests {
         assert_ne!(a, c);
         // The embedded intra-node campaign is part of the rendered bytes.
         assert!(a.contains("ENA fault-injection campaign"));
+    }
+
+    #[test]
+    fn a_recovery_model_appends_a_cross_checked_section() {
+        let without = run_multinode_campaign(&MultiNodeCampaignSpec::standard(0xC0FFEE)).unwrap();
+        assert!(without.recovery.is_none());
+        let plain = without.render();
+
+        let spec = MultiNodeCampaignSpec {
+            recovery: Some(RecoveryModel::new(96.0, 3.0)),
+            ..MultiNodeCampaignSpec::standard(0xC0FFEE)
+        };
+        let with = run_multinode_campaign(&spec).unwrap();
+        let recovery = with.recovery.as_ref().unwrap();
+        // Assessed at the surviving fleet, not the built one.
+        assert_eq!(
+            recovery.estimate.nodes as usize,
+            with.final_estimate().nodes_alive
+        );
+        assert!(recovery.estimate.gap() < crate::recovery::DALY_TOLERANCE);
+        assert!(recovery.recovered_exaflops < with.final_estimate().exaflops);
+        assert!(recovery.recovered_exaflops > 0.0);
+        // The section is purely additive: everything before it is
+        // byte-identical to the recovery-free report.
+        let rendered = with.render();
+        assert!(rendered.starts_with(&plain));
+        assert!(rendered.contains("checkpoint/restart recovery"));
+        assert!(!plain.contains("checkpoint/restart recovery"));
     }
 
     #[test]

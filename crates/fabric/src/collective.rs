@@ -18,6 +18,7 @@ use std::collections::BTreeMap;
 
 use core::fmt;
 
+use ena_faults::RetryPolicy;
 use ena_model::hash::{StableHash, StableHasher};
 use ena_model::units::Microseconds;
 
@@ -287,6 +288,111 @@ pub fn schedule(
     })
 }
 
+/// Per-link CRC retransmit pricing for collective schedules.
+///
+/// Inter-node links protect flits with CRC; a failed check retransmits
+/// after a bounded exponential backoff governed by the hardened
+/// [`RetryPolicy`]. Pricing is *expected-value* and therefore
+/// deterministic: the same model applied to the same schedule always
+/// yields the same stretched schedule.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RetransmitModel {
+    /// Mean CRC failures per gigabyte crossing one link. Zero disables
+    /// the model (the schedule is returned byte-identical).
+    pub errors_per_gb: f64,
+    /// Retry policy bounding attempts, backoff, and total timeout.
+    pub retry: RetryPolicy,
+}
+
+impl RetransmitModel {
+    /// The acceptance model: one CRC failure per ~20 GB per link under
+    /// the default bounded-backoff policy.
+    pub fn standard() -> Self {
+        Self {
+            errors_per_gb: 0.05,
+            retry: RetryPolicy::default(),
+        }
+    }
+
+    /// Probability that a channel carrying `bytes` suffers at least one
+    /// CRC failure (Poisson arrival of errors along the payload).
+    pub fn failure_probability(&self, bytes: f64) -> f64 {
+        1.0 - (-(bytes / 1e9) * self.errors_per_gb).exp()
+    }
+
+    /// Expected transmissions per delivery when each attempt fails with
+    /// probability `p`, truncated at the retry budget: `sum p^i`.
+    pub fn expected_transmissions(&self, p: f64) -> f64 {
+        let attempts = self.retry.max_retries.min(64);
+        let mut sum = 0.0;
+        let mut term = 1.0;
+        for _ in 0..=attempts {
+            sum += term;
+            term *= p;
+        }
+        sum
+    }
+
+    /// Expected backoff stall per delivery: each retry `i` happens with
+    /// probability `p^i` and waits the policy's doubling (capped)
+    /// backoff. Bounded by the policy's worst-case timeout, so a lossy
+    /// link can stall a round but never hang it.
+    pub fn expected_backoff_us(&self, p: f64) -> f64 {
+        let attempts = self.retry.max_retries.min(64);
+        let mut total = 0.0;
+        let mut prob = 1.0;
+        for attempt in 1..=attempts {
+            prob *= p;
+            total += prob * self.retry.backoff_for(attempt);
+        }
+        total.min(self.retry.timeout_us())
+    }
+}
+
+/// Compiles `kind` like [`schedule`], then stretches every round by the
+/// expected CRC retransmit cost on its most-loaded channel: the
+/// serialization time scales by the expected transmission count and the
+/// round latency absorbs the expected (bounded) backoff stall.
+///
+/// A zero-error model returns the plain schedule byte-identically, so
+/// healthy-path digests and goldens are unaffected.
+///
+/// # Errors
+///
+/// Propagates routing errors exactly as [`schedule`] does.
+pub fn schedule_with_retransmits(
+    graph: &FabricGraph,
+    kind: CollectiveKind,
+    bytes_per_node: f64,
+    model: &RetransmitModel,
+) -> Result<CollectiveSchedule, FabricError> {
+    let base = schedule(graph, kind, bytes_per_node)?;
+    if model.errors_per_gb <= 0.0 {
+        return Ok(base);
+    }
+    let peak_link_bytes = base.peak_link_bytes;
+    let mut rounds = base.rounds;
+    for round in &mut rounds {
+        let mut loads = BTreeMap::new();
+        for t in &round.transfers {
+            for &li in &t.route {
+                *loads.entry(li).or_insert(0.0) += t.bytes;
+            }
+        }
+        let peak = loads.into_values().fold(0.0f64, f64::max);
+        let p = model.failure_probability(peak);
+        round.serialization_us *= model.expected_transmissions(p);
+        round.latency_us += model.expected_backoff_us(p);
+    }
+    let total: f64 = rounds.iter().map(|r| r.step_us() * r.repeat as f64).sum();
+    Ok(CollectiveSchedule {
+        kind,
+        rounds,
+        total: Microseconds::new(total),
+        peak_link_bytes,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -369,6 +475,61 @@ mod tests {
             let s = schedule(&g, kind, 1e6).unwrap();
             assert!(s.rounds.is_empty());
             assert_eq!(s.total, Microseconds::ZERO);
+        }
+    }
+
+    #[test]
+    fn zero_error_retransmit_model_is_byte_identical() {
+        let g = fabric(FabricKind::Torus, 8);
+        let model = RetransmitModel {
+            errors_per_gb: 0.0,
+            ..RetransmitModel::standard()
+        };
+        for kind in CollectiveKind::ALL {
+            let plain = schedule(&g, kind, 2e6).unwrap();
+            let priced = schedule_with_retransmits(&g, kind, 2e6, &model).unwrap();
+            assert_eq!(plain, priced);
+            assert_eq!(plain.digest(), priced.digest());
+        }
+    }
+
+    #[test]
+    fn retransmits_stretch_rounds_but_stay_bounded() {
+        let g = fabric(FabricKind::FatTree, 16);
+        let model = RetransmitModel::standard();
+        for kind in CollectiveKind::ALL {
+            let plain = schedule(&g, kind, 4e6).unwrap();
+            let priced = schedule_with_retransmits(&g, kind, 4e6, &model).unwrap();
+            assert!(priced.total > plain.total, "{kind}");
+            for (before, after) in plain.rounds.iter().zip(&priced.rounds) {
+                assert!(after.serialization_us >= before.serialization_us);
+                // The added stall is the expected backoff, which the
+                // policy bounds by its worst-case timeout.
+                let added = after.latency_us - before.latency_us;
+                assert!(added >= 0.0);
+                assert!(added <= model.retry.timeout_us() + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn lossier_links_cost_strictly_more() {
+        let g = fabric(FabricKind::DragonflyLite, 16);
+        let mut last = schedule(&g, CollectiveKind::AllToAll, 4e6)
+            .unwrap()
+            .total
+            .value();
+        for errors_per_gb in [0.02, 0.1, 0.5] {
+            let model = RetransmitModel {
+                errors_per_gb,
+                ..RetransmitModel::standard()
+            };
+            let total = schedule_with_retransmits(&g, CollectiveKind::AllToAll, 4e6, &model)
+                .unwrap()
+                .total
+                .value();
+            assert!(total > last, "rate {errors_per_gb}: {total} vs {last}");
+            last = total;
         }
     }
 

@@ -21,8 +21,14 @@
 //! - [`campaign`] — seeded multi-node fault campaigns (node loss,
 //!   stragglers backed by intra-node `ena-faults` campaigns, link
 //!   degradation) rendered as deterministic text.
-//! - [`sweep`] — (node count x topology) as a sweep axis through the
-//!   memoized, parallel `ena-sweep` machinery.
+//! - [`recovery`] — Young/Daly checkpoint/restart: achieved efficiency
+//!   = f(node MTBF, checkpoint cost, N), analytic and Monte Carlo legs
+//!   cross-checked within [`DALY_TOLERANCE`]; collective schedules can
+//!   additionally be priced for per-link CRC retransmits
+//!   ([`schedule_with_retransmits`]).
+//! - [`sweep`] — (node count x topology) and (checkpoint-interval x
+//!   nodes) as sweep axes through the memoized, parallel `ena-sweep`
+//!   machinery.
 //!
 //! Everything is a pure function of its inputs: same spec, byte-identical
 //! reports, in this process or any other.
@@ -44,15 +50,23 @@
 
 pub mod campaign;
 pub mod collective;
+pub mod recovery;
 pub mod scaleout;
 pub mod sweep;
 pub mod topology;
 
-pub use campaign::{run_multinode_campaign, MultiNodeCampaignSpec, MultiNodeReport, MultiNodeStep};
-pub use collective::{schedule, CollectiveKind, CollectiveSchedule, Round, Transfer};
+pub use campaign::{
+    run_multinode_campaign, MultiNodeCampaignSpec, MultiNodeReport, MultiNodeStep, RecoveryOutcome,
+};
+pub use collective::{
+    schedule, schedule_with_retransmits, CollectiveKind, CollectiveSchedule, RetransmitModel,
+    Round, Transfer,
+};
+pub use recovery::{RecoveryEstimate, RecoveryModel, DALY_TOLERANCE, RECOVERY_CAMPAIGN_HOURS};
 pub use scaleout::{estimate, ScaleOutEstimate, ScaleOutSpec, SMALL_N_TOLERANCE};
 pub use sweep::{
     MultiNodeOutcome, MultiNodePoint, MultiNodeRecord, MultiNodeSpace, MultiNodeSweep,
-    MultiNodeSweepError, MultiNodeSweepSpec,
+    MultiNodeSweepError, MultiNodeSweepSpec, RecoveryPoint, RecoveryRecord, RecoverySpace,
+    RecoverySweep, RecoverySweepOutcome, RecoverySweepSpec,
 };
 pub use topology::{FabricError, FabricGraph, FabricKind, FabricLink, FabricNodeKind};

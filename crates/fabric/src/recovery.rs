@@ -1,0 +1,261 @@
+//! Young/Daly checkpoint/restart recovery for multi-node fleets.
+//!
+//! A fleet of `N` nodes fails `N` times as often as one node, and every
+//! failure rolls the whole bulk-synchronous application back to its last
+//! checkpoint. The [`RecoveryModel`] turns a node MTBF and a checkpoint
+//! cost into the achieved efficiency at any fleet size, two independent
+//! ways:
+//!
+//! - **analytically** — the Young/Daly closed form
+//!   ([`checkpoint_efficiency`]) at the optimal interval
+//!   `tau = sqrt(2 * delta * M_sys)`;
+//! - **mechanistically** — a seeded Monte Carlo checkpoint/restart
+//!   campaign ([`FaultCampaign::simulate`]) on bitwise-identical
+//!   parameters (the optimal interval is read off the very
+//!   [`FaultCampaign`] the simulation runs, so the two paths cannot
+//!   drift apart).
+//!
+//! The two must agree within [`DALY_TOLERANCE`] — the same
+//! analytic-vs-simulated cross-check discipline
+//! [`SystemProjection::derated`](ena_core::system::SystemProjection::derated)
+//! gets from the scale-out estimator.
+
+use core::fmt;
+
+use ena_core::resilience::{
+    checkpoint_efficiency, checkpoint_efficiency_at, FaultCampaign, Protection, ResilienceModel,
+};
+use ena_model::config::EhpConfig;
+use ena_model::hash::{StableHash, StableHasher};
+use ena_workloads::profile_for;
+
+/// Maximum tolerated gap between the analytic Young/Daly efficiency and
+/// the simulated campaign at any fleet size the acceptance tests run
+/// (N in {2, 4, 8} and the standard campaign sizes).
+pub const DALY_TOLERANCE: f64 = 0.06;
+
+/// Simulated machine-hours behind every Monte Carlo efficiency figure —
+/// matches the intra-node availability cross-check horizon.
+pub const RECOVERY_CAMPAIGN_HOURS: f64 = 20_000.0;
+
+/// Node MTBF + checkpoint cost, the two inputs Young/Daly needs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RecoveryModel {
+    /// Mean time between failures of one node, hours.
+    pub node_mttf_hours: f64,
+    /// Cost of writing one global checkpoint, minutes.
+    pub checkpoint_minutes: f64,
+}
+
+impl RecoveryModel {
+    /// A model from explicit parameters (the `--mtbf` /
+    /// `--checkpoint-cost` CLI path).
+    pub fn new(node_mttf_hours: f64, checkpoint_minutes: f64) -> Self {
+        Self {
+            node_mttf_hours,
+            checkpoint_minutes,
+        }
+    }
+
+    /// Derives the node MTBF from the resilience model's silent-fault
+    /// assessment of `config` running `workload` (nominal voltage,
+    /// ECC + RMT — the protected configuration the paper assumes), or
+    /// `None` for an unknown workload.
+    pub fn from_node_assessment(
+        config: &EhpConfig,
+        workload: &str,
+        checkpoint_minutes: f64,
+    ) -> Option<Self> {
+        let profile = profile_for(workload)?;
+        let reliability =
+            ResilienceModel::default().assess(config, &profile, 1.0, Protection::ecc_and_rmt());
+        Some(Self {
+            node_mttf_hours: reliability.node_mttf_hours(),
+            checkpoint_minutes,
+        })
+    }
+
+    /// System MTTF of an `nodes`-node fleet, hours.
+    pub fn system_mttf_hours(&self, nodes: u32) -> f64 {
+        self.node_mttf_hours / f64::from(nodes.max(1))
+    }
+
+    /// The campaign the Monte Carlo leg runs at `nodes`: Young/Daly
+    /// optimal interval, restart cost equal to the checkpoint cost. The
+    /// analytic leg reads its interval off this same struct, so the two
+    /// paths share bitwise-identical parameters.
+    pub fn campaign(&self, nodes: u32) -> FaultCampaign {
+        FaultCampaign::with_optimal_interval(
+            self.system_mttf_hours(nodes),
+            self.checkpoint_minutes / 60.0,
+        )
+    }
+
+    /// Daly's optimal checkpoint interval at `nodes`, hours.
+    pub fn optimal_interval_hours(&self, nodes: u32) -> f64 {
+        self.campaign(nodes).interval_hours
+    }
+
+    /// Closed-form Young/Daly efficiency at `nodes` (optimal interval).
+    pub fn analytic_efficiency(&self, nodes: u32) -> f64 {
+        checkpoint_efficiency(self.system_mttf_hours(nodes), self.checkpoint_minutes)
+    }
+
+    /// Closed-form efficiency at an explicit interval (the
+    /// checkpoint-interval sweep axis).
+    pub fn analytic_efficiency_at(&self, nodes: u32, interval_hours: f64) -> f64 {
+        checkpoint_efficiency_at(
+            self.system_mttf_hours(nodes),
+            self.checkpoint_minutes,
+            interval_hours,
+        )
+    }
+
+    /// Measured efficiency of the seeded Monte Carlo campaign at `nodes`
+    /// (optimal interval).
+    pub fn simulated_efficiency(&self, nodes: u32, seed: u64) -> f64 {
+        self.campaign(nodes).simulate(RECOVERY_CAMPAIGN_HOURS, seed)
+    }
+
+    /// Measured efficiency at an explicit interval.
+    pub fn simulated_efficiency_at(&self, nodes: u32, interval_hours: f64, seed: u64) -> f64 {
+        FaultCampaign {
+            interval_hours,
+            ..self.campaign(nodes)
+        }
+        .simulate(RECOVERY_CAMPAIGN_HOURS, seed)
+    }
+
+    /// Both legs at once: the cross-checked estimate campaigns report.
+    pub fn assess(&self, nodes: u32, seed: u64) -> RecoveryEstimate {
+        RecoveryEstimate {
+            nodes,
+            system_mttf_hours: self.system_mttf_hours(nodes),
+            interval_hours: self.optimal_interval_hours(nodes),
+            analytic: self.analytic_efficiency(nodes),
+            simulated: self.simulated_efficiency(nodes, seed),
+        }
+    }
+}
+
+impl StableHash for RecoveryModel {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_f64(self.node_mttf_hours);
+        h.write_f64(self.checkpoint_minutes);
+    }
+}
+
+impl fmt::Display for RecoveryModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "node MTBF {:.1} h, checkpoint {:.1} min",
+            self.node_mttf_hours, self.checkpoint_minutes
+        )
+    }
+}
+
+/// One fleet-size recovery assessment: the analytic prediction next to
+/// the simulated measurement it is checked against.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RecoveryEstimate {
+    /// Fleet size assessed.
+    pub nodes: u32,
+    /// System MTTF at that size, hours.
+    pub system_mttf_hours: f64,
+    /// Daly optimal checkpoint interval, hours.
+    pub interval_hours: f64,
+    /// Closed-form Young/Daly efficiency.
+    pub analytic: f64,
+    /// Monte Carlo campaign efficiency on the same parameters.
+    pub simulated: f64,
+}
+
+impl RecoveryEstimate {
+    /// Absolute disagreement between the two legs.
+    pub fn gap(&self) -> f64 {
+        (self.analytic - self.simulated).abs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> RecoveryModel {
+        RecoveryModel::new(96.0, 3.0)
+    }
+
+    #[test]
+    fn analytic_matches_simulation_at_small_fleets() {
+        // The acceptance criterion: N in {2, 4, 8}, stated tolerance.
+        for nodes in [2u32, 4, 8] {
+            let est = model().assess(nodes, 0xFA17);
+            assert!(
+                est.gap() < DALY_TOLERANCE,
+                "N={nodes}: analytic {:.4} vs simulated {:.4}",
+                est.analytic,
+                est.simulated
+            );
+            assert!(est.analytic > 0.0 && est.analytic < 1.0);
+        }
+    }
+
+    #[test]
+    fn the_two_legs_share_bitwise_identical_parameters() {
+        let m = model();
+        for nodes in [2u32, 8, 64] {
+            let campaign = m.campaign(nodes);
+            // The analytic interval IS the simulated campaign's interval.
+            assert_eq!(m.optimal_interval_hours(nodes), campaign.interval_hours);
+            assert_eq!(m.system_mttf_hours(nodes), campaign.mttf_hours);
+            // And the closed form evaluated at that interval is the
+            // closed form at the optimum.
+            assert_eq!(
+                m.analytic_efficiency_at(nodes, campaign.interval_hours),
+                m.analytic_efficiency(nodes)
+            );
+        }
+    }
+
+    #[test]
+    fn efficiency_is_monotone_in_fleet_size_and_fault_rate() {
+        let m = model();
+        // More nodes -> more faults -> strictly less efficiency.
+        let mut last = 1.0;
+        for nodes in [1u32, 2, 4, 8, 16, 64, 256] {
+            let eff = m.analytic_efficiency(nodes);
+            assert!(eff < last, "N={nodes}: {eff} vs {last}");
+            last = eff;
+        }
+        // Shorter node MTBF (higher fault rate) -> less efficiency.
+        let sturdy = RecoveryModel::new(200.0, 3.0).analytic_efficiency(64);
+        let fragile = RecoveryModel::new(20.0, 3.0).analytic_efficiency(64);
+        assert!(fragile < sturdy);
+    }
+
+    #[test]
+    fn off_optimal_intervals_simulate_worse() {
+        let m = model();
+        let nodes = 8;
+        let tau = m.optimal_interval_hours(nodes);
+        let at_opt = m.simulated_efficiency(nodes, 7);
+        let short = m.simulated_efficiency_at(nodes, tau / 8.0, 7);
+        let long = m.simulated_efficiency_at(nodes, tau * 8.0, 7);
+        assert!(at_opt > short, "opt {at_opt} vs short {short}");
+        assert!(at_opt > long, "opt {at_opt} vs long {long}");
+    }
+
+    #[test]
+    fn assessment_derives_from_the_resilience_model() {
+        let m =
+            RecoveryModel::from_node_assessment(&EhpConfig::paper_baseline(), "CoMD", 3.0).unwrap();
+        assert!(m.node_mttf_hours > 1.0, "MTBF {}", m.node_mttf_hours);
+        assert!(RecoveryModel::from_node_assessment(
+            &EhpConfig::paper_baseline(),
+            "NoSuchKernel",
+            3.0
+        )
+        .is_none());
+    }
+}

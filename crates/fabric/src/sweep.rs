@@ -10,6 +10,12 @@
 //! interruption history. The Pareto frontier (maximize exaflops and
 //! efficiency, minimize power) comes from the shared
 //! [`frontier_indices`] kernel.
+//!
+//! [`RecoverySweep`] runs the second fabric axis the same way:
+//! (checkpoint-interval x nodes), each point a Young/Daly
+//! analytic-vs-simulated recovery assessment at an interval scaled away
+//! from Daly's optimum, scoring recovered (efficiency-weighted) fleet
+//! throughput.
 
 use std::collections::BTreeMap;
 
@@ -18,6 +24,7 @@ use ena_sweep::cache::CacheError;
 use ena_sweep::pool::{map_chunks, PoolError};
 use ena_sweep::{frontier_indices, CacheMode, CacheRecord, DiskCache};
 
+use crate::recovery::RecoveryModel;
 use crate::scaleout::{estimate, ScaleOutEstimate, ScaleOutSpec};
 use crate::topology::{FabricError, FabricGraph, FabricKind};
 
@@ -138,11 +145,7 @@ impl CacheRecord for MultiNodeRecord {
     fn decode(fields: &mut std::str::Split<'_, char>) -> Option<Self> {
         let nodes: u32 = fields.next()?.parse().ok()?;
         let kind = FabricKind::parse(fields.next()?).ok()?;
-        let mut f = || {
-            Some(f64::from_bits(
-                u64::from_str_radix(fields.next()?, 16).ok()?,
-            ))
-        };
+        let mut f = || Some(f64::from_bits(ena_sweep::hex_field(fields.next()?)?));
         Some(Self {
             point: MultiNodePoint { nodes, kind },
             exaflops: f()?,
@@ -420,6 +423,369 @@ impl MultiNodeSweep {
     }
 }
 
+/// One (checkpoint-interval x nodes) design point. The interval is
+/// expressed as a percentage of Daly's optimum at that fleet size, so
+/// the axis stays meaningful as the optimum moves with `N`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct RecoveryPoint {
+    /// Fleet size.
+    pub nodes: u32,
+    /// Checkpoint interval as a percentage of the Daly optimum
+    /// (100 = optimal, 50 = checkpoint twice as often, 200 = half as
+    /// often).
+    pub interval_scale_pct: u32,
+}
+
+impl RecoveryPoint {
+    /// Compact display label, e.g. `64@100%`.
+    pub fn label(&self) -> String {
+        format!("{}@{}%", self.nodes, self.interval_scale_pct)
+    }
+}
+
+impl StableHash for RecoveryPoint {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_u32(self.nodes);
+        h.write_u32(self.interval_scale_pct);
+    }
+}
+
+/// The swept recovery grid: every node count crossed with every interval
+/// scale.
+#[derive(Clone, Debug)]
+pub struct RecoverySpace {
+    /// Fleet sizes to sweep.
+    pub node_counts: Vec<u32>,
+    /// Interval scales to sweep, percent of the Daly optimum.
+    pub interval_scales_pct: Vec<u32>,
+}
+
+impl RecoverySpace {
+    /// The standard axis: the cabinet node counts crossed with intervals
+    /// from 4x-too-frequent to 4x-too-rare (30 points).
+    pub fn standard() -> Self {
+        Self {
+            node_counts: vec![2, 4, 8, 16, 32, 64],
+            interval_scales_pct: vec![25, 50, 100, 200, 400],
+        }
+    }
+
+    /// Every point, node-count-major then scale order.
+    pub fn points(&self) -> Vec<RecoveryPoint> {
+        let mut out = Vec::with_capacity(self.node_counts.len() * self.interval_scales_pct.len());
+        for &nodes in &self.node_counts {
+            for &interval_scale_pct in &self.interval_scales_pct {
+                out.push(RecoveryPoint {
+                    nodes,
+                    interval_scale_pct,
+                });
+            }
+        }
+        out
+    }
+
+    /// True when the grid has no points.
+    pub fn is_empty(&self) -> bool {
+        self.node_counts.is_empty() || self.interval_scales_pct.is_empty()
+    }
+}
+
+/// One evaluated recovery point, as memoized and persisted.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RecoveryRecord {
+    /// The evaluated point.
+    pub point: RecoveryPoint,
+    /// The absolute checkpoint interval assessed (hours).
+    pub interval_hours: f64,
+    /// Closed-form Young/Daly efficiency at that interval.
+    pub analytic: f64,
+    /// Monte Carlo campaign efficiency on the same parameters.
+    pub simulated: f64,
+    /// Healthy fleet throughput weighted by the simulated efficiency
+    /// (EF) — the number the machine actually delivers.
+    pub recovered_exaflops: f64,
+}
+
+impl RecoveryRecord {
+    /// True when `self` Pareto-dominates `other`: no worse on recovered
+    /// throughput and simulated efficiency, strictly better on one.
+    /// (Bigger fleets deliver more exaflops but recover less efficiently,
+    /// so the frontier traces the genuine scale-vs-resilience tradeoff.)
+    pub fn dominates(&self, other: &RecoveryRecord) -> bool {
+        let no_worse = self.recovered_exaflops >= other.recovered_exaflops
+            && self.simulated >= other.simulated;
+        let better =
+            self.recovered_exaflops > other.recovered_exaflops || self.simulated > other.simulated;
+        no_worse && better
+    }
+}
+
+impl CacheRecord for RecoveryRecord {
+    const TAG: &'static str = "recovery/1";
+
+    fn encode(&self) -> String {
+        format!(
+            "{} {} {:016x} {:016x} {:016x} {:016x}",
+            self.point.nodes,
+            self.point.interval_scale_pct,
+            self.interval_hours.to_bits(),
+            self.analytic.to_bits(),
+            self.simulated.to_bits(),
+            self.recovered_exaflops.to_bits(),
+        )
+    }
+
+    fn decode(fields: &mut std::str::Split<'_, char>) -> Option<Self> {
+        let nodes: u32 = fields.next()?.parse().ok()?;
+        let interval_scale_pct: u32 = fields.next()?.parse().ok()?;
+        let mut f = || Some(f64::from_bits(ena_sweep::hex_field(fields.next()?)?));
+        Some(Self {
+            point: RecoveryPoint {
+                nodes,
+                interval_scale_pct,
+            },
+            interval_hours: f()?,
+            analytic: f()?,
+            simulated: f()?,
+            recovered_exaflops: f()?,
+        })
+    }
+}
+
+/// One recovery sweep request.
+#[derive(Clone, Debug)]
+pub struct RecoverySweepSpec {
+    /// The grid to sweep.
+    pub space: RecoverySpace,
+    /// Per-node model and payloads (also names the workload).
+    pub scaleout: ScaleOutSpec,
+    /// Cabinet topology every point is built on.
+    pub kind: FabricKind,
+    /// Node MTBF and checkpoint cost.
+    pub recovery: RecoveryModel,
+    /// Seed for the Monte Carlo leg.
+    pub seed: u64,
+    /// Worker thread count (clamped to at least 1).
+    pub jobs: usize,
+    /// Points per work-stealing chunk.
+    pub chunk_points: usize,
+    /// Memoization layer.
+    pub cache: CacheMode,
+}
+
+impl RecoverySweepSpec {
+    /// A sequential, memory-cached spec over `space`.
+    pub fn new(space: RecoverySpace, scaleout: ScaleOutSpec, recovery: RecoveryModel) -> Self {
+        Self {
+            space,
+            scaleout,
+            kind: FabricKind::DragonflyLite,
+            recovery,
+            seed: 0xC0FFEE,
+            jobs: 1,
+            chunk_points: 4,
+            cache: CacheMode::Memory,
+        }
+    }
+}
+
+/// Everything a completed recovery sweep produced.
+#[derive(Clone, Debug)]
+pub struct RecoverySweepOutcome {
+    /// Every record, in grid point order.
+    pub records: Vec<RecoveryRecord>,
+    /// Indices into `records` on the Pareto frontier (recovered
+    /// throughput up, simulated efficiency up), in grid order.
+    pub frontier: Vec<usize>,
+    /// Points answered from the memoization cache.
+    pub cache_hits: usize,
+    /// Points evaluated fresh this run.
+    pub fresh_evals: usize,
+    /// Points in the grid.
+    pub total_points: usize,
+}
+
+impl RecoverySweepOutcome {
+    /// Fraction of points served by the cache.
+    pub fn hit_rate(&self) -> f64 {
+        if self.total_points == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.total_points as f64
+        }
+    }
+}
+
+/// The memoizing (checkpoint-interval x nodes) sweep engine. Shares the
+/// determinism contract (and error type) of [`MultiNodeSweep`].
+#[derive(Debug, Default)]
+pub struct RecoverySweep {
+    version: String,
+    memo: BTreeMap<u64, RecoveryRecord>,
+}
+
+impl RecoverySweep {
+    /// An engine stamped with the current
+    /// [`MODEL_VERSION`](ena_model::hash::MODEL_VERSION).
+    pub fn new() -> Self {
+        Self {
+            version: MODEL_VERSION.to_string(),
+            memo: BTreeMap::new(),
+        }
+    }
+
+    /// Overrides the model-version stamp (test hook for the eviction
+    /// path; production code keeps the default).
+    pub fn with_version(mut self, version: impl Into<String>) -> Self {
+        self.version = version.into();
+        self.memo.clear();
+        self
+    }
+
+    /// Digest of everything besides the grid coordinates that determines
+    /// an evaluation: workload, hardware, payloads, topology, recovery
+    /// parameters, and the Monte Carlo seed.
+    fn campaign_digest(spec: &RecoverySweepSpec) -> u64 {
+        let mut h = StableHasher::new();
+        h.write_str(&spec.scaleout.workload);
+        spec.scaleout.base.stable_hash(&mut h);
+        h.write_f64(spec.scaleout.payload_bytes);
+        h.write_f64(spec.scaleout.reduce_bytes);
+        spec.kind.stable_hash(&mut h);
+        spec.recovery.stable_hash(&mut h);
+        h.write_u64(spec.seed);
+        h.finish()
+    }
+
+    fn point_key(campaign: u64, point: &RecoveryPoint) -> u64 {
+        let mut h = StableHasher::new();
+        h.write_u64(campaign);
+        point.stable_hash(&mut h);
+        h.finish()
+    }
+
+    /// Evaluates one grid point: healthy fleet estimate at `nodes`, both
+    /// recovery legs at the scaled interval.
+    fn evaluate_point(
+        point: RecoveryPoint,
+        spec: &RecoverySweepSpec,
+    ) -> Result<RecoveryRecord, FabricError> {
+        let graph = FabricGraph::build(spec.kind, point.nodes)?;
+        let est = estimate(&graph, &spec.scaleout, &BTreeMap::new())?;
+        let interval_hours = spec.recovery.optimal_interval_hours(point.nodes)
+            * f64::from(point.interval_scale_pct)
+            / 100.0;
+        let analytic = spec
+            .recovery
+            .analytic_efficiency_at(point.nodes, interval_hours);
+        let simulated =
+            spec.recovery
+                .simulated_efficiency_at(point.nodes, interval_hours, spec.seed);
+        Ok(RecoveryRecord {
+            point,
+            interval_hours,
+            analytic,
+            simulated,
+            recovered_exaflops: est.exaflops * simulated,
+        })
+    }
+
+    /// Runs one sweep: resolves cache hits, evaluates the remainder on
+    /// the work-stealing pool, merges in grid order, and extracts the
+    /// frontier.
+    ///
+    /// # Errors
+    ///
+    /// [`MultiNodeSweepError::EmptySpace`] for a pointless grid,
+    /// [`MultiNodeSweepError::Fabric`] when a point fails to evaluate,
+    /// and the cache / pool infrastructure variants.
+    pub fn run(
+        &mut self,
+        spec: &RecoverySweepSpec,
+    ) -> Result<RecoverySweepOutcome, MultiNodeSweepError> {
+        if spec.space.is_empty() {
+            return Err(MultiNodeSweepError::EmptySpace);
+        }
+        let campaign = Self::campaign_digest(spec);
+        let mut disk = match &spec.cache {
+            CacheMode::Memory => None,
+            CacheMode::Disk(dir) => {
+                let (cache, entries) =
+                    DiskCache::<RecoveryRecord>::open(dir, campaign, &self.version)?;
+                for (key, record) in entries {
+                    self.memo.insert(key, record);
+                }
+                Some(cache)
+            }
+        };
+
+        let points = spec.space.points();
+        let keys: Vec<u64> = points
+            .iter()
+            .map(|p| Self::point_key(campaign, p))
+            .collect();
+        let fresh: Vec<(u64, RecoveryPoint)> = keys
+            .iter()
+            .zip(&points)
+            .filter(|(key, _)| !self.memo.contains_key(*key))
+            .map(|(key, point)| (*key, *point))
+            .collect();
+        let cache_hits = points.len() - fresh.len();
+        let fresh_evals = fresh.len();
+
+        let chunk_points = spec.chunk_points.max(1);
+        let chunks: Vec<Vec<(u64, RecoveryPoint)>> = fresh
+            .chunks(chunk_points)
+            .map(<[(u64, RecoveryPoint)]>::to_vec)
+            .collect();
+
+        let mut io_error: Option<CacheError> = None;
+        let (chunk_results, _) = map_chunks(
+            spec.jobs,
+            chunks,
+            |(key, point)| (*key, Self::evaluate_point(*point, spec)),
+            |_, results: &[(u64, Result<RecoveryRecord, FabricError>)]| {
+                if let Some(cache) = disk.as_mut() {
+                    if io_error.is_none() {
+                        for (key, result) in results {
+                            if let Ok(record) = result {
+                                if let Err(e) = cache.append(*key, record) {
+                                    io_error = Some(e);
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                }
+            },
+        )?;
+        if let Some(e) = io_error {
+            return Err(MultiNodeSweepError::Cache(e));
+        }
+        for (key, result) in chunk_results.into_iter().flatten() {
+            self.memo.insert(key, result?);
+        }
+
+        // Merge in grid order: the only order the frontier ever sees.
+        let mut records = Vec::with_capacity(keys.len());
+        for key in &keys {
+            let Some(record) = self.memo.get(key) else {
+                return Err(MultiNodeSweepError::MissingRecord { key: *key });
+            };
+            records.push(record.clone());
+        }
+        let frontier = frontier_indices(&records, RecoveryRecord::dominates);
+
+        Ok(RecoverySweepOutcome {
+            records,
+            frontier,
+            cache_hits,
+            fresh_evals,
+            total_points: points.len(),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -552,6 +918,134 @@ mod tests {
         assert!(matches!(
             engine.run(&bad),
             Err(MultiNodeSweepError::Fabric(_))
+        ));
+    }
+
+    fn recovery_spec() -> RecoverySweepSpec {
+        RecoverySweepSpec::new(
+            RecoverySpace::standard(),
+            ScaleOutSpec::standard("CoMD"),
+            RecoveryModel::new(96.0, 3.0),
+        )
+    }
+
+    #[test]
+    fn the_recovery_grid_crosses_intervals_with_node_counts() {
+        let points = RecoverySpace::standard().points();
+        assert_eq!(points.len(), 30);
+        assert_eq!(points.first().unwrap().label(), "2@25%");
+        assert_eq!(points.last().unwrap().label(), "64@400%");
+    }
+
+    #[test]
+    fn recovery_records_round_trip_through_the_cache_encoding() {
+        let record = RecoveryRecord {
+            point: RecoveryPoint {
+                nodes: 64,
+                interval_scale_pct: 200,
+            },
+            interval_hours: 0.3125,
+            analytic: 0.8671875,
+            simulated: 0.871234567,
+            recovered_exaflops: 0.123456789,
+        };
+        let line = record.encode();
+        let mut fields = line.split(' ');
+        let back = RecoveryRecord::decode(&mut fields).unwrap();
+        assert_eq!(back, record);
+        assert!(fields.next().is_none());
+    }
+
+    #[test]
+    fn recovery_parallel_equals_sequential_and_memoizes() {
+        let mut oracle = RecoverySweep::new();
+        let sequential = oracle.run(&recovery_spec()).unwrap();
+        assert_eq!(sequential.fresh_evals, 30);
+        for jobs in [2usize, 8] {
+            let mut engine = RecoverySweep::new();
+            let parallel = engine
+                .run(&RecoverySweepSpec {
+                    jobs,
+                    ..recovery_spec()
+                })
+                .unwrap();
+            assert_eq!(parallel.records, sequential.records, "jobs = {jobs}");
+            assert_eq!(parallel.frontier, sequential.frontier, "jobs = {jobs}");
+        }
+        let warm = oracle.run(&recovery_spec()).unwrap();
+        assert_eq!(warm.cache_hits, 30);
+        assert!((warm.hit_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn the_recovery_frontier_traces_the_scale_vs_resilience_tradeoff() {
+        let mut engine = RecoverySweep::new();
+        let outcome = engine.run(&recovery_spec()).unwrap();
+        assert!(!outcome.frontier.is_empty());
+        for &i in &outcome.frontier {
+            let f = &outcome.records[i];
+            assert!(outcome.records.iter().all(|r| !r.dominates(f)));
+        }
+        // Daly-optimal points agree with their analytic prediction.
+        for r in &outcome.records {
+            if r.point.interval_scale_pct == 100 {
+                assert!(
+                    (r.analytic - r.simulated).abs() < crate::recovery::DALY_TOLERANCE,
+                    "{}: analytic {:.4} vs simulated {:.4}",
+                    r.point.label(),
+                    r.analytic,
+                    r.simulated
+                );
+            }
+        }
+        // At fixed N the optimal interval's analytic efficiency beats
+        // every off-optimal scale.
+        for &nodes in &[2u32, 64] {
+            let at = |pct: u32| {
+                outcome
+                    .records
+                    .iter()
+                    .find(|r| r.point.nodes == nodes && r.point.interval_scale_pct == pct)
+                    .map(|r| r.analytic)
+                    .unwrap_or(0.0)
+            };
+            for pct in [25u32, 50, 200, 400] {
+                assert!(at(100) > at(pct), "N={nodes} pct={pct}");
+            }
+        }
+    }
+
+    #[test]
+    fn recovery_disk_caches_resume_across_engine_instances() {
+        let dir = std::env::temp_dir().join("ena-fabric-recovery-sweep-test-resume");
+        let _ = std::fs::remove_dir_all(&dir);
+        let disk_spec = RecoverySweepSpec {
+            cache: CacheMode::Disk(dir.clone()),
+            ..recovery_spec()
+        };
+        let mut cold_engine = RecoverySweep::new();
+        let cold = cold_engine.run(&disk_spec).unwrap();
+        assert_eq!(cold.fresh_evals, 30);
+        let mut warm_engine = RecoverySweep::new();
+        let warm = warm_engine.run(&disk_spec).unwrap();
+        assert_eq!(warm.cache_hits, 30);
+        assert_eq!(warm.records, cold.records);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_recovery_grids_are_rejected() {
+        let mut engine = RecoverySweep::new();
+        let empty = RecoverySweepSpec {
+            space: RecoverySpace {
+                node_counts: vec![],
+                interval_scales_pct: vec![],
+            },
+            ..recovery_spec()
+        };
+        assert!(matches!(
+            engine.run(&empty),
+            Err(MultiNodeSweepError::EmptySpace)
         ));
     }
 }

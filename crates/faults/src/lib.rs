@@ -37,6 +37,18 @@
 //! derives each straggler's slowdown from an intra-node chiplet-loss
 //! campaign, coupling the two fault levels through one cause.
 //!
+//! ## Transient faults
+//!
+//! Permanent plans model hardware that *dies*;
+//! [`TransientSchedule`](transient::TransientSchedule) models hardware
+//! that *glitches*: MTBF-driven streams of correctable / uncorrectable /
+//! silent HBM errors (classified through `ena-memory`'s seeded ECC
+//! model), link CRC retransmits, and agent soft-hangs, composable with a
+//! permanent plan via
+//! [`merged_timeline`](transient::TransientSchedule::merged_timeline).
+//! [`run_transient_campaign`] replays a schedule against an iterative
+//! checkpointing application and proves no durable work is ever lost.
+//!
 //! ## Campaigns
 //!
 //! [`run_campaign`] replays a plan end to end and produces a
@@ -61,6 +73,7 @@ pub mod crosscheck;
 pub mod degrade;
 pub mod multinode;
 pub mod plan;
+pub mod transient;
 
 pub use campaign::{
     run_campaign, sweep_degraded, CampaignSpec, CampaignStep, DegradationReport, MemoryOutcome,
@@ -70,3 +83,12 @@ pub use crosscheck::{crosscheck_availability, AvailabilityEstimate};
 pub use degrade::{Degradable, DegradedNode};
 pub use multinode::{NodeFaultEvent, NodeFaultKind, NodeFaultPlan};
 pub use plan::{FaultEvent, FaultKind, FaultPlan};
+pub use transient::{
+    run_transient_campaign, TimelineEvent, TransientCampaignSpec, TransientEvent,
+    TransientFaultKind, TransientRates, TransientReport, TransientSchedule,
+};
+
+// Re-exported so downstream crates (ena-fabric prices retransmits into
+// collective schedules) can share the hardened policy without depending on
+// the runtime crate directly.
+pub use ena_hsa::runtime::RetryPolicy;

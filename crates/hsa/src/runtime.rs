@@ -108,7 +108,9 @@ pub struct AgentFault {
 pub struct RetryPolicy {
     /// Re-dispatch attempts allowed per task after its first failure.
     pub max_retries: u32,
-    /// Backoff before re-dispatch, multiplied by the attempt number (us).
+    /// Base backoff before the first re-dispatch (us); doubles on every
+    /// further attempt, with the exponent capped (see
+    /// [`RetryPolicy::backoff_for`]).
     pub backoff_us: f64,
 }
 
@@ -118,6 +120,32 @@ impl Default for RetryPolicy {
             max_retries: 3,
             backoff_us: 10.0,
         }
+    }
+}
+
+impl RetryPolicy {
+    /// Largest doubling exponent ever applied to the base backoff. A
+    /// pathological retry budget (up to `u32::MAX` attempts) therefore
+    /// saturates at `backoff_us * 2^32` instead of wrapping the shift.
+    pub const MAX_BACKOFF_EXPONENT: u32 = 32;
+
+    /// Backoff before re-dispatch `attempt` (1-based): the base backoff
+    /// doubled once per prior attempt, exponent capped at
+    /// [`Self::MAX_BACKOFF_EXPONENT`].
+    pub fn backoff_for(&self, attempt: u32) -> f64 {
+        let exponent = attempt.saturating_sub(1).min(Self::MAX_BACKOFF_EXPONENT);
+        self.backoff_us * (1u64 << exponent) as f64
+    }
+
+    /// Worst-case total backoff a task can accumulate before the policy
+    /// gives up — the bounded timeout that retransmit pricing charges.
+    /// Finite for any retry budget: doubling attempts sum geometrically,
+    /// saturated attempts contribute the capped backoff each.
+    pub fn timeout_us(&self) -> f64 {
+        let doubling = self.max_retries.min(Self::MAX_BACKOFF_EXPONENT + 1);
+        let geometric = ((1u128 << doubling) - 1) as f64 * self.backoff_us;
+        let flat_attempts = f64::from(self.max_retries) - f64::from(doubling);
+        geometric + flat_attempts * self.backoff_for(self.max_retries)
     }
 }
 
@@ -444,7 +472,7 @@ impl Runtime {
                 }
                 retries += 1;
                 lost_work += (fail_at - start).max(0.0);
-                requeue_ready[id] = fail_at + retry.backoff_us * f64::from(attempts[id]);
+                requeue_ready[id] = fail_at + retry.backoff_for(attempts[id]);
                 match kind {
                     AgentKind::CpuCore => cpu_free[idx] = f64::INFINITY,
                     AgentKind::GpuQueue => gpu_free[idx] = f64::INFINITY,
@@ -519,6 +547,43 @@ mod tests {
             .collect();
         g.add("reduce", TaskCost::cpu(5.0), &kernels).unwrap();
         g
+    }
+
+    #[test]
+    fn backoff_doubles_and_a_pathological_budget_cannot_wrap() {
+        let p = RetryPolicy {
+            max_retries: u32::MAX,
+            backoff_us: 10.0,
+        };
+        assert_eq!(p.backoff_for(1), 10.0);
+        assert_eq!(p.backoff_for(2), 20.0);
+        assert_eq!(p.backoff_for(3), 40.0);
+        // The exponent caps: every attempt past the cap pays the same
+        // saturated backoff instead of wrapping the shift.
+        let capped = p.backoff_for(RetryPolicy::MAX_BACKOFF_EXPONENT + 1);
+        assert_eq!(capped, 10.0 * 4_294_967_296.0);
+        assert_eq!(p.backoff_for(u32::MAX), capped);
+        assert!(capped.is_finite());
+        // Monotone non-decreasing across the cap boundary.
+        let mut last = 0.0;
+        for attempt in 1..=(RetryPolicy::MAX_BACKOFF_EXPONENT + 8) {
+            let b = p.backoff_for(attempt);
+            assert!(b >= last, "attempt {attempt} went backwards");
+            last = b;
+        }
+        // The bounded timeout stays finite even for the absurd budget.
+        assert!(p.timeout_us().is_finite());
+        // And matches the plain geometric sum for a sane budget.
+        let sane = RetryPolicy::default();
+        assert_eq!(sane.timeout_us(), 10.0 + 20.0 + 40.0);
+        assert_eq!(
+            RetryPolicy {
+                max_retries: 0,
+                ..sane
+            }
+            .timeout_us(),
+            0.0
+        );
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! memory modules (paper Section II-B). This crate models every level:
 //!
 //! - [`hbm`] — in-package stack timing/energy (channels, banks, open rows).
+//! - [`ecc`] — SECDED/chipkill transient-error classification on the arrays.
 //! - [`extnet`] — the external memory network: chains of DRAM/NVM modules
 //!   over SerDes links, with failure injection and redundant routing.
 //! - [`interleave`] — the physical address map across stacks and tiers.
@@ -32,12 +33,14 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod ecc;
 pub mod extnet;
 pub mod hbm;
 pub mod interleave;
 pub mod policy;
 pub mod system;
 
+pub use ecc::{EccModel, EccOutcome, EccScheme};
 pub use extnet::ExternalNetwork;
 pub use hbm::HbmStack;
 pub use interleave::{AddressMap, Tier};

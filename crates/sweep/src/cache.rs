@@ -202,6 +202,20 @@ impl<R: CacheRecord> DiskCache<R> {
     }
 }
 
+/// Parses one fixed-width hex `u64` field (16 digits exactly).
+///
+/// Every `u64` and `f64`-bit-pattern field in the cache format is
+/// written `{:016x}`, so a shorter field can only be a truncated line —
+/// a plain `from_str_radix` would happily decode it to a *different*
+/// number, turning a torn tail into silent corruption. Record `decode`
+/// implementations should parse hex fields through this.
+pub fn hex_field(field: &str) -> Option<u64> {
+    if field.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(field, 16).ok()
+}
+
 fn header_line<R: CacheRecord>(campaign: u64, version: &str) -> String {
     format!(
         "{FORMAT} record={} model={version} campaign={campaign:016x}",
@@ -215,7 +229,7 @@ fn entry_line<R: CacheRecord>(key: u64, record: &R) -> String {
 
 fn parse_entry<R: CacheRecord>(line: &str) -> Option<(u64, R)> {
     let mut fields = line.split(' ');
-    let key = u64::from_str_radix(fields.next()?, 16).ok()?;
+    let key = hex_field(fields.next()?)?;
     let record = R::decode(&mut fields)?;
     if fields.next().is_some() {
         return None;
@@ -250,16 +264,12 @@ impl CacheRecord for PointRecord {
 
     fn decode(fields: &mut std::str::Split<'_, char>) -> Option<Self> {
         let cus: u32 = fields.next()?.parse().ok()?;
-        let clock = f64::from_bits(u64::from_str_radix(fields.next()?, 16).ok()?);
-        let bandwidth = f64::from_bits(u64::from_str_radix(fields.next()?, 16).ok()?);
+        let clock = f64::from_bits(hex_field(fields.next()?)?);
+        let bandwidth = f64::from_bits(hex_field(fields.next()?)?);
         let n: usize = fields.next()?.parse().ok()?;
         let mut evals = Vec::with_capacity(n);
         for _ in 0..n {
-            let mut f = || {
-                Some(f64::from_bits(
-                    u64::from_str_radix(fields.next()?, 16).ok()?,
-                ))
-            };
+            let mut f = || Some(f64::from_bits(hex_field(fields.next()?)?));
             evals.push(PointEval {
                 throughput: f()?,
                 package_power: f()?,

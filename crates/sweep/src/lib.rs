@@ -53,7 +53,7 @@ pub mod engine;
 pub mod pareto;
 pub mod pool;
 
-pub use cache::{CacheRecord, DiskCache};
+pub use cache::{hex_field, CacheRecord, DiskCache};
 pub use engine::{CacheMode, SweepEngine, SweepError, SweepOutcome, SweepSpec, Telemetry};
 pub use pareto::{frontier_indices, pareto_frontier, FrontierPoint};
 pub use pool::WorkerStats;

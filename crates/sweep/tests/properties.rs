@@ -7,7 +7,7 @@ use std::path::PathBuf;
 use ena_core::dse::DesignSpace;
 use ena_core::Explorer;
 use ena_model::units::Watts;
-use ena_sweep::{CacheMode, SweepEngine, SweepError, SweepSpec};
+use ena_sweep::{hex_field, CacheMode, CacheRecord, DiskCache, SweepEngine, SweepError, SweepSpec};
 use ena_testkit::prelude::*;
 use ena_workloads::paper_profiles;
 
@@ -118,6 +118,85 @@ proptest! {
             .run(&spec)
             .expect("sweep completes");
         prop_assert!(render(&outcome.result) == oracle);
+    }
+}
+
+/// A minimal record type for corrupting caches without paying for real
+/// design-point evaluations.
+#[derive(Clone, Debug, PartialEq)]
+struct TestRecord {
+    value: f64,
+}
+
+impl CacheRecord for TestRecord {
+    const TAG: &'static str = "proptest/1";
+
+    fn encode(&self) -> String {
+        format!("{:016x}", self.value.to_bits())
+    }
+
+    fn decode(fields: &mut std::str::Split<'_, char>) -> Option<Self> {
+        Some(TestRecord {
+            value: f64::from_bits(hex_field(fields.next()?)?),
+        })
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any corruption of a cache file — truncation at an arbitrary byte,
+    /// or an arbitrary flipped byte — degrades to cache misses, never a
+    /// `CacheError`: `open` still succeeds, returns a (possibly empty)
+    /// prefix of the original records, and the rewritten file serves
+    /// clean hits on the next open.
+    #[test]
+    fn corrupt_cache_entries_degrade_to_misses(
+        records in 1u32..8,
+        damage_at in 0.0f64..1.0,
+        mode in 0u32..2,
+    ) {
+        let flip = mode == 1;
+        let dir = scratch(&format!("corrupt-{records}-{flip}"));
+        let originals: Vec<(u64, TestRecord)> = (0..u64::from(records))
+            .map(|i| (i + 1, TestRecord { value: 0.25 + i as f64 }))
+            .collect();
+        let (mut cache, _) = DiskCache::<TestRecord>::open(&dir, 7, "v1").unwrap();
+        for (key, rec) in &originals {
+            cache.append(*key, rec).unwrap();
+        }
+        let path = cache.path().to_path_buf();
+        drop(cache);
+
+        // Damage an arbitrary offset: overwrite one byte with a
+        // character outside the format's alphabet, or cut the tail.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let offset = ((bytes.len() - 1) as f64 * damage_at) as usize;
+        if flip {
+            bytes[offset] = b'z';
+            std::fs::write(&path, &bytes).unwrap();
+        } else {
+            std::fs::write(&path, &bytes[..offset]).unwrap();
+        }
+
+        // Corrupt content is not an I/O error; the survivors are an
+        // exact prefix of what was written.
+        let (mut cache, loaded) = DiskCache::<TestRecord>::open(&dir, 7, "v1")
+            .expect("corruption must degrade to misses, not CacheError");
+        prop_assert!(loaded.len() <= originals.len());
+        prop_assert!(
+            loaded == originals[..loaded.len()],
+            "flip={flip} offset={offset} loaded={loaded:?}"
+        );
+
+        // The repaired file accepts the missing records again and then
+        // serves the full campaign cleanly.
+        for (key, rec) in &originals[loaded.len()..] {
+            cache.append(*key, rec).unwrap();
+        }
+        drop(cache);
+        let (_, reloaded) = DiskCache::<TestRecord>::open(&dir, 7, "v1").unwrap();
+        prop_assert!(reloaded == originals);
     }
 }
 

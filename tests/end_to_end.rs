@@ -260,6 +260,61 @@ fn multinode_campaign_matches_golden() {
     );
 }
 
+/// The standard transient-fault campaign matches the golden artifact
+/// written by `examples/transient_campaign.rs`. Same slack rationale as
+/// the other campaign goldens: counts and labels exact, latencies and
+/// efficiency within recalibration tolerance.
+#[test]
+fn transient_campaign_matches_golden() {
+    use ena::faults::{run_transient_campaign, TransientCampaignSpec};
+    use ena_testkit::golden::{assert_matches, Tolerance};
+
+    let report = run_transient_campaign(&TransientCampaignSpec::standard(0xC0FFEE));
+    assert_matches(
+        "transient_campaign",
+        &report.render(),
+        Tolerance::relative(0.05),
+    );
+}
+
+/// Same seed, same schedule: two independent transient campaigns render
+/// byte-identical reports, and the schedule digest embedded in the
+/// report pins the sampled event stream itself.
+#[test]
+fn transient_campaign_reports_are_byte_identical() {
+    use ena::faults::{run_transient_campaign, TransientCampaignSpec};
+
+    let render = || run_transient_campaign(&TransientCampaignSpec::standard(0xC0FFEE)).render();
+    let first = render();
+    assert_eq!(first, render());
+    assert!(first.contains("schedule digest"), "{first}");
+}
+
+/// Acceptance criterion: the analytic Young/Daly prediction agrees with
+/// the simulated checkpoint/restart campaign within the stated tolerance
+/// at N in {2, 4, 8} — both on explicit CLI-style parameters and on a
+/// node MTBF derived from the resilience model.
+#[test]
+fn daly_prediction_matches_simulation_at_small_fleets() {
+    use ena::fabric::{RecoveryModel, DALY_TOLERANCE};
+    use ena::model::config::EhpConfig;
+
+    let explicit = RecoveryModel::new(96.0, 3.0);
+    let derived = RecoveryModel::from_node_assessment(&EhpConfig::paper_baseline(), "CoMD", 3.0)
+        .expect("CoMD is in the suite");
+    for model in [explicit, derived] {
+        for nodes in [2u32, 4, 8] {
+            let est = model.assess(nodes, 0xC0FFEE);
+            assert!(
+                est.gap() < DALY_TOLERANCE,
+                "{model}, N={nodes}: analytic {:.4} vs simulated {:.4}",
+                est.analytic,
+                est.simulated
+            );
+        }
+    }
+}
+
 /// Same seed, same fleet: two independent multi-node campaign runs
 /// render byte-identical reports (including the straggler's embedded
 /// intra-node degradation report).

@@ -43,6 +43,15 @@ if ! awk -v r="$mn_hit_rate" 'BEGIN { exit !(r >= 90.0) }'; then
   exit 1
 fi
 
+echo "==> chaos smoke: seeded fault campaign must hold every invariant"
+rm -rf artifacts/chaos-cache
+chaos_out=$(cargo run --release -p ena-cli --bin ena -- chaos --seed 0xC0FFEE --runs 2 --jobs 2)
+echo "$chaos_out" | tail -n 2
+if ! echo "$chaos_out" | grep -q 'invariants: all hold'; then
+  echo "ci.sh: chaos campaign did not report held invariants" >&2
+  exit 1
+fi
+
 echo "==> transient smoke: seeded campaign must match the golden report"
 transient_out=$(cargo run --release -p ena-cli --bin ena -- faults --seed 0xC0FFEE --transient)
 if ! diff <(echo "$transient_out") artifacts/transient_campaign.txt; then

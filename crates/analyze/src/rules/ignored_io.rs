@@ -1,0 +1,152 @@
+//! `no-ignored-io-result`: discarding a filesystem `Result` with
+//! `let _ =` is banned in library code.
+//!
+//! An ignored I/O error is exactly how acknowledged data gets lost: the
+//! write "succeeded" as far as the caller can tell, but nothing reached
+//! the disk. Library code must propagate filesystem failures as typed
+//! errors (or match on the error kind when a failure is genuinely
+//! tolerable, e.g. `NotFound` on cleanup). The rule flags
+//! `let _ = <expr>;` statements whose expression calls into `fs::...`
+//! or one of the durability-critical I/O methods. Infallible sinks —
+//! `fmt::Write` macros like `write!`/`writeln!` into a `String` — are
+//! not I/O and stay legal.
+
+use crate::lexer::TokKind;
+use crate::rules::Finding;
+use crate::scan::{SourceFile, TargetKind};
+
+/// Rule id.
+pub const ID: &str = "no-ignored-io-result";
+
+/// Method/function names whose `Result` must not be discarded: losing
+/// one of these errors can lose user data or hide a failed cleanup.
+const IO_CALLS: &[&str] = &[
+    "remove_file",
+    "remove_dir",
+    "remove_dir_all",
+    "create_dir",
+    "create_dir_all",
+    "rename",
+    "copy",
+    "hard_link",
+    "set_permissions",
+    "write_all",
+    "flush",
+    "sync_all",
+    "sync_data",
+];
+
+/// Flags `let _ = <fs call>;` in library code outside `#[cfg(test)]`.
+pub fn check(file: &SourceFile) -> Vec<Finding> {
+    if file.target != TargetKind::Lib || file.exempt_test {
+        return Vec::new();
+    }
+    let code = &file.code;
+    let mut findings = Vec::new();
+    let mut i = 0;
+    while i < code.len() {
+        // Match the statement head: `let _ =` (and not `let _x` or `==`).
+        let head = i;
+        let is_discard = code[head].is_ident("let")
+            && code.get(head + 1).is_some_and(|t| t.is_ident("_"))
+            && code.get(head + 2).is_some_and(|t| t.is_punct('='))
+            && !code.get(head + 3).is_some_and(|t| t.is_punct('='));
+        if !is_discard || file.test_lines.contains(code[head].line) {
+            i += 1;
+            continue;
+        }
+        // Scan the discarded expression up to its terminating `;`.
+        let mut j = head + 3;
+        let mut culprit: Option<String> = None;
+        while j < code.len() && !code[j].is_punct(';') {
+            let t = &code[j];
+            if t.kind == TokKind::Ident {
+                // A macro invocation (`writeln!`) is fmt, not fs.
+                let is_macro = code.get(j + 1).is_some_and(|n| n.is_punct('!'));
+                let qualified_fs = t.is_ident("fs")
+                    && code.get(j + 1).is_some_and(|n| n.is_punct(':'))
+                    && code.get(j + 2).is_some_and(|n| n.is_punct(':'));
+                let io_method = IO_CALLS.contains(&t.text.as_str())
+                    && code.get(j + 1).is_some_and(|n| n.is_punct('('))
+                    && j > 0
+                    && (code[j - 1].is_punct('.') || code[j - 1].is_punct(':'));
+                if !is_macro && qualified_fs {
+                    // Name the called function (`fs::remove_file`), not
+                    // just the module path.
+                    let callee = code
+                        .get(j + 3)
+                        .filter(|n| n.kind == TokKind::Ident)
+                        .map_or_else(String::new, |n| n.text.clone());
+                    culprit = Some(format!("fs::{callee}"));
+                    break;
+                }
+                if !is_macro && io_method {
+                    culprit = Some(t.text.clone());
+                    break;
+                }
+            }
+            j += 1;
+        }
+        if let Some(name) = culprit {
+            findings.push(Finding {
+                line: code[head].line,
+                message: format!("`let _ =` discards the `Result` of I/O call `{name}`"),
+                hint: "propagate the error as a typed failure, or match on the \
+                       `ErrorKind` if this specific failure is tolerable"
+                    .into(),
+            });
+        }
+        i = j.max(head + 1);
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::file_from_source;
+
+    #[test]
+    fn flags_discarded_fs_and_io_method_results() {
+        let f = file_from_source(
+            "fn f(p: &std::path::Path) {\n\
+             \x20   let _ = std::fs::remove_file(p);\n\
+             \x20   let _ = writer.sync_all();\n\
+             }\n",
+            "src/lib.rs",
+        );
+        let findings = check(&f);
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        assert!(findings[0].message.contains("fs"), "{findings:?}");
+        assert!(findings[1].message.contains("sync_all"), "{findings:?}");
+    }
+
+    #[test]
+    fn fmt_writes_and_bindings_are_legal() {
+        let f = file_from_source(
+            "use std::fmt::Write as _;\n\
+             fn f(out: &mut String) {\n\
+             \x20   let _ = writeln!(out, \"x\");\n\
+             \x20   let _unused = std::fs::remove_file(\"p\");\n\
+             \x20   let r = file.sync_all();\n\
+             \x20   drop(r);\n\
+             }\n",
+            "src/lib.rs",
+        );
+        assert!(check(&f).is_empty(), "{:?}", check(&f));
+    }
+
+    #[test]
+    fn test_regions_and_non_lib_targets_are_exempt() {
+        let f = file_from_source(
+            "#[cfg(test)]\nmod tests {\n fn t() { let _ = std::fs::remove_file(\"p\"); }\n}\n",
+            "src/lib.rs",
+        );
+        assert!(check(&f).is_empty());
+        let t = file_from_source(
+            "fn t() { let _ = std::fs::remove_file(\"p\"); }\n",
+            "tests/x.rs",
+        );
+        assert!(check(&t).is_empty());
+    }
+}

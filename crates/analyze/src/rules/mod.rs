@@ -6,6 +6,7 @@
 //! pair `struct` definitions with their `StableHash` impls.
 
 pub mod casts;
+pub mod ignored_io;
 pub mod panic;
 pub mod stable_hash;
 pub mod unordered;
@@ -61,6 +62,11 @@ pub const PER_FILE: &[RuleDef] = &[
         id: casts::ID,
         summary: "no truncating `as` casts (u8/u16/i8/i16/f32) on model values",
         check: casts::check,
+    },
+    RuleDef {
+        id: ignored_io::ID,
+        summary: "no `let _ =` discarding a filesystem/durability `Result` in library code",
+        check: ignored_io::check,
     },
 ];
 

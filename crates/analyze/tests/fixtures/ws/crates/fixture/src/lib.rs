@@ -25,3 +25,7 @@ pub fn stamp_origin() -> std::time::Instant {
 pub fn narrow(x: u64) -> u16 {
     x as u16
 }
+
+pub fn cleanup(path: &std::path::Path) {
+    let _ = std::fs::remove_file(path);
+}

@@ -1,15 +1,114 @@
-//! Benchmarks the parallel sweep engine against the sequential oracle:
-//! points/sec on the coarse grid at `jobs = 1` versus `jobs = N`, with a
-//! fresh engine per iteration so memoization never shortcuts the work.
+//! Benchmarks the parallel sweep engine against the sequential oracle
+//! (points/sec on the coarse grid at `jobs = 1` versus `jobs = N`, with
+//! a fresh engine per iteration so memoization never shortcuts the
+//! work) plus the disk-cache hot paths: appends under both sync
+//! policies and a warm open that parses and CRC-checks every line.
 //!
 //! Run with `cargo bench -p ena-bench --features timing`. The scaling
-//! summary lands in `artifacts/sweep_scaling.txt`.
+//! summary lands in `artifacts/sweep_scaling.txt`; cache measurements
+//! land machine-readably in `artifacts/BENCH_sweep.json` and, when a
+//! previous file exists, each median is regression-guarded against it
+//! (a > [`GUARD_FACTOR`]x slowdown fails the run; set
+//! `ENA_BENCH_NO_GUARD=1` to bypass, e.g. when changing machines).
+
+use std::path::PathBuf;
+use std::sync::Arc;
 
 use ena_core::dse::{DesignSpace, Explorer};
-use ena_sweep::{SweepEngine, SweepSpec};
+use ena_sweep::{hex_field, CacheRecord, DiskCache, RealFs, SweepEngine, SweepSpec, SyncPolicy};
 use ena_testkit::golden::artifacts_dir;
-use ena_testkit::timing::Harness;
+use ena_testkit::timing::{Harness, Measurement};
 use ena_workloads::paper_profiles;
+
+/// Tolerated median slowdown versus the previous recorded run.
+const GUARD_FACTOR: f64 = 4.0;
+
+/// Records appended per iteration of the cache benches.
+const APPENDS: usize = 64;
+
+/// A cheap record so the benches time the cache, not the model.
+#[derive(Clone, Debug)]
+struct BenchRecord {
+    value: f64,
+}
+
+impl CacheRecord for BenchRecord {
+    const TAG: &'static str = "bench/1";
+
+    fn encode(&self) -> String {
+        format!("{:016x}", self.value.to_bits())
+    }
+
+    fn decode(fields: &mut std::str::Split<'_, char>) -> Option<Self> {
+        Some(BenchRecord {
+            value: f64::from_bits(hex_field(fields.next()?)?),
+        })
+    }
+}
+
+fn bench_dir(name: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(name);
+    let _removed = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Opens a fresh cache and appends [`APPENDS`] records under `sync`.
+fn append_run(dir: &PathBuf, sync: SyncPolicy) -> u64 {
+    let _removed = std::fs::remove_dir_all(dir);
+    let (mut cache, _) =
+        DiskCache::<BenchRecord>::open_with(Arc::new(RealFs), sync, dir, 0xBE9C, "bench-v1")
+            .expect("open cache");
+    for i in 0..APPENDS as u64 {
+        let rec = BenchRecord {
+            value: 0.25 + i as f64,
+        };
+        cache.append(i + 1, &rec).expect("append");
+    }
+    cache.generation()
+}
+
+fn write_json(path: &std::path::Path, samples: usize, results: &[&Measurement]) {
+    use std::fmt::Write as _;
+    let mut out = String::from("{\n  \"group\": \"sweep\",\n");
+    let _ = writeln!(out, "  \"samples\": {samples},");
+    out.push_str("  \"benches\": [\n");
+    for (i, m) in results.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"label\": \"{}\", \"median_ns\": {:.1}, \"min_ns\": {:.1}, \"mean_ns\": {:.1}}}",
+            m.label,
+            m.median_ns(),
+            m.min_ns(),
+            m.mean_ns()
+        );
+        out.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out).expect("write BENCH_sweep.json");
+}
+
+/// Pulls `"label": ..., "median_ns": <value>` pairs out of a previous
+/// run's JSON without a parser dependency.
+fn previous_medians(text: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for chunk in text.split("\"label\": \"").skip(1) {
+        let Some(label_end) = chunk.find('"') else {
+            continue;
+        };
+        let Some(at) = chunk.find("\"median_ns\": ") else {
+            continue;
+        };
+        let rest = &chunk[at + "\"median_ns\": ".len()..];
+        let value: String = rest
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '.')
+            .collect();
+        if let Ok(v) = value.parse::<f64>() {
+            out.push((chunk[..label_end].to_string(), v));
+        }
+    }
+    out
+}
 
 fn sweep_once(jobs: usize) -> usize {
     let mut engine = SweepEngine::new(Explorer::default());
@@ -53,4 +152,67 @@ fn main() {
     let path = artifacts_dir().join("sweep_scaling.txt");
     std::fs::write(&path, summary).expect("write sweep_scaling.txt");
     println!("wrote {}", path.display());
+
+    // Cache hot paths: appends under both durability policies, and a
+    // warm open that re-parses (and CRC-checks) every line.
+    let json_path = artifacts_dir().join("BENCH_sweep.json");
+    let previous = std::fs::read_to_string(&json_path)
+        .map(|t| previous_medians(&t))
+        .unwrap_or_default();
+
+    let per_record_dir = bench_dir("bench-cache-per-record");
+    let per_record = h
+        .bench("cache_append_64_per_record", || {
+            std::hint::black_box(append_run(&per_record_dir, SyncPolicy::PerRecord))
+        })
+        .clone();
+    let flush_dir = bench_dir("bench-cache-flush");
+    let flush = h
+        .bench("cache_append_64_flush", || {
+            std::hint::black_box(append_run(&flush_dir, SyncPolicy::Flush))
+        })
+        .clone();
+
+    let warm_dir = bench_dir("bench-cache-warm");
+    append_run(&warm_dir, SyncPolicy::Flush);
+    let warm = h
+        .bench("cache_open_warm_64", || {
+            let (_, loaded) = DiskCache::<BenchRecord>::open_with(
+                Arc::new(RealFs),
+                SyncPolicy::Flush,
+                &warm_dir,
+                0xBE9C,
+                "bench-v1",
+            )
+            .expect("warm open");
+            assert_eq!(loaded.len(), APPENDS, "warm open must hit every record");
+            std::hint::black_box(loaded.len())
+        })
+        .clone();
+
+    let results = [&per_record, &flush, &warm];
+    write_json(&json_path, 10, &results);
+    println!("wrote {}", json_path.display());
+
+    if std::env::var_os("ENA_BENCH_NO_GUARD").is_some() {
+        return;
+    }
+    let mut regressed = false;
+    for m in results {
+        if let Some((_, old)) = previous.iter().find(|(l, _)| *l == m.label) {
+            let ratio = m.median_ns() / old.max(1e-9);
+            if ratio > GUARD_FACTOR {
+                eprintln!(
+                    "REGRESSION: {} median {:.0} ns is {ratio:.1}x the recorded {:.0} ns",
+                    m.label,
+                    m.median_ns(),
+                    old
+                );
+                regressed = true;
+            }
+        }
+    }
+    if regressed {
+        std::process::exit(1);
+    }
 }

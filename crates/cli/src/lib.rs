@@ -12,6 +12,7 @@
 //! ena multinode [--nodes N] [--fabric-topology T] [--seed N] [--app CoMD]
 //!               [--mtbf HOURS] [--checkpoint-cost MIN]
 //! ena multinode --sweep [--jobs N] [--resume] [--frontier] [--mtbf H] [--checkpoint-cost MIN]
+//! ena chaos    [--seed N] [--runs N] [--jobs N] # chaos-test the sweep substrate
 //! ena lint     [--deny-warnings]                # determinism static analysis
 //! ```
 //!
@@ -35,7 +36,7 @@ use ena_faults::{
 use ena_model::config::EhpConfig;
 use ena_model::units::{GigabytesPerSec, Megahertz, Watts};
 use ena_power::opts::PowerOptimization;
-use ena_sweep::{CacheMode, SweepEngine, SweepSpec};
+use ena_sweep::{run_chaos_campaign, CacheMode, ChaosSpec, SweepEngine, SweepSpec};
 use ena_workloads::{paper_profiles, profile_for};
 
 /// A parsed command.
@@ -118,6 +119,17 @@ pub enum Command {
         /// Checkpoint cost in minutes (default 3.0 when `--mtbf` is
         /// given alone).
         checkpoint_cost: Option<f64>,
+    },
+    /// Run a seeded chaos campaign against the sweep substrate: injected
+    /// I/O faults + worker kills, with crash-consistency invariants
+    /// checked after every run.
+    Chaos {
+        /// Campaign seed.
+        seed: u64,
+        /// Faulted runs before the final clean run.
+        runs: u32,
+        /// Worker thread count.
+        jobs: usize,
     },
     /// Run the `ena-lint` determinism/robustness pass over the workspace.
     Lint {
@@ -381,6 +393,24 @@ pub fn parse(mut args: Vec<String>) -> Result<Command, String> {
                 checkpoint_cost,
             }
         }
+        "chaos" => {
+            let seed = take_seed(&mut args)?;
+            let runs = take_value(&mut args, "--runs")?
+                .map(|v| v.parse::<u32>().map_err(|_| format!("bad --runs: {v}")))
+                .transpose()?
+                .unwrap_or(3);
+            if runs == 0 {
+                return Err("--runs must be at least 1".into());
+            }
+            let jobs = take_value(&mut args, "--jobs")?
+                .map(|v| v.parse::<usize>().map_err(|_| format!("bad --jobs: {v}")))
+                .transpose()?
+                .unwrap_or(2);
+            if jobs == 0 {
+                return Err("--jobs must be at least 1".into());
+            }
+            Command::Chaos { seed, runs, jobs }
+        }
         "lint" => Command::Lint {
             deny_warnings: take_flag(&mut args, "--deny-warnings"),
         },
@@ -408,6 +438,7 @@ commands:
            [--mtbf HOURS] [--checkpoint-cost MIN]
   multinode --sweep [--jobs N] [--app NAME] [--resume] [--frontier]
            [--mtbf HOURS] [--checkpoint-cost MIN]
+  chaos    [--seed N] [--runs N] [--jobs N]
   lint     [--deny-warnings]
   help
 
@@ -415,7 +446,9 @@ apps: MaxFlops, CoMD, CoMD-LJ, HPGMG, LULESH, MiniAMR, XSBench, SNAP
 fabric topologies: fat-tree, torus, dragonfly
 defaults: 320 CUs / 1000 MHz / 3 TB/s (the paper baseline); 64-node dragonfly cabinet
 --transient runs the ECC/retry/rollback campaign; --mtbf/--checkpoint-cost add a
-Young/Daly checkpoint/restart section (sweep mode: checkpoint-interval x nodes grid)";
+Young/Daly checkpoint/restart section (sweep mode: checkpoint-interval x nodes grid)
+chaos injects seeded I/O faults + worker kills into the sweep cache paths and
+verifies crash-consistency invariants (exits nonzero on any violation)";
 
 /// Executes a parsed command, returning the report text.
 ///
@@ -766,6 +799,35 @@ pub fn execute(command: Command) -> Result<String, String> {
                 Ok(report.render())
             }
         }
+        Command::Chaos { seed, runs, jobs } => {
+            let space = DesignSpace {
+                cu_counts: vec![192, 256, 320],
+                clocks: vec![
+                    Megahertz::new(900.0),
+                    Megahertz::new(1000.0),
+                    Megahertz::new(1100.0),
+                ],
+                bandwidths: vec![
+                    GigabytesPerSec::from_terabytes_per_sec(2.0),
+                    GigabytesPerSec::from_terabytes_per_sec(3.0),
+                ],
+            };
+            let spec = ChaosSpec {
+                seed,
+                runs,
+                jobs,
+                ..ChaosSpec::new(artifacts_dir().join("chaos-cache"), space, paper_profiles())
+            };
+            // Injected worker kills are caught by the supervised pool;
+            // silence the default per-panic stderr backtrace while the
+            // campaign runs so the report stays readable.
+            let hook = std::panic::take_hook();
+            std::panic::set_hook(Box::new(|_| {}));
+            let result = run_chaos_campaign(&Explorer::default(), &spec);
+            std::panic::set_hook(hook);
+            let report = result.map_err(|e| e.to_string())?;
+            Ok(report.render())
+        }
         Command::Lint { deny_warnings } => {
             let cwd = std::env::current_dir().map_err(|e| e.to_string())?;
             let root = ena_lint::find_workspace_root(&cwd)
@@ -1080,6 +1142,38 @@ mod tests {
         let out = execute(parse_str("lint --deny-warnings").unwrap()).unwrap();
         assert!(out.contains("ena-lint:"), "{out}");
         assert!(out.contains("0 diagnostic(s)"), "{out}");
+    }
+
+    #[test]
+    fn chaos_parses_defaults_and_knobs() {
+        assert_eq!(
+            parse_str("chaos").unwrap(),
+            Command::Chaos {
+                seed: 0xC0FFEE,
+                runs: 3,
+                jobs: 2
+            }
+        );
+        assert_eq!(
+            parse_str("chaos --seed 9 --runs 2 --jobs 4").unwrap(),
+            Command::Chaos {
+                seed: 9,
+                runs: 2,
+                jobs: 4
+            }
+        );
+        assert!(parse_str("chaos --runs 0").is_err());
+        assert!(parse_str("chaos --jobs 0").is_err());
+        assert!(parse_str("chaos --bogus").is_err());
+    }
+
+    #[test]
+    fn chaos_campaign_reports_held_invariants() {
+        let out = execute(parse_str("chaos --seed 11 --runs 2").unwrap()).unwrap();
+        assert!(out.contains("chaos campaign seed=0xb"), "{out}");
+        assert!(out.contains("invariants: all hold"), "{out}");
+        assert!(out.contains("run 0:"), "{out}");
+        assert!(out.contains("run 1:"), "{out}");
     }
 
     #[test]

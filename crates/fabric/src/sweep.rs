@@ -18,11 +18,12 @@
 //! throughput.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use ena_model::hash::{StableHash, StableHasher, MODEL_VERSION};
 use ena_sweep::cache::CacheError;
 use ena_sweep::pool::{map_chunks, PoolError};
-use ena_sweep::{frontier_indices, CacheMode, CacheRecord, DiskCache};
+use ena_sweep::{frontier_indices, CacheMode, CacheRecord, DiskCache, RealFs, SyncPolicy, Vfs};
 
 use crate::recovery::RecoveryModel;
 use crate::scaleout::{estimate, ScaleOutEstimate, ScaleOutSpec};
@@ -169,6 +170,11 @@ pub struct MultiNodeSweepSpec {
     pub chunk_points: usize,
     /// Memoization layer.
     pub cache: CacheMode,
+    /// Filesystem the disk cache goes through (swap in
+    /// [`ChaosFs`](ena_sweep::ChaosFs) to inject faults).
+    pub fs: Arc<dyn Vfs>,
+    /// Durability policy for cache appends.
+    pub sync: SyncPolicy,
 }
 
 impl MultiNodeSweepSpec {
@@ -180,6 +186,8 @@ impl MultiNodeSweepSpec {
             jobs: 1,
             chunk_points: 4,
             cache: CacheMode::Memory,
+            fs: Arc::new(RealFs),
+            sync: SyncPolicy::default(),
         }
     }
 }
@@ -346,8 +354,13 @@ impl MultiNodeSweep {
         let mut disk = match &spec.cache {
             CacheMode::Memory => None,
             CacheMode::Disk(dir) => {
-                let (cache, entries) =
-                    DiskCache::<MultiNodeRecord>::open(dir, campaign, &self.version)?;
+                let (cache, entries) = DiskCache::<MultiNodeRecord>::open_with(
+                    spec.fs.clone(),
+                    spec.sync,
+                    dir,
+                    campaign,
+                    &self.version,
+                )?;
                 for (key, record) in entries {
                     self.memo.insert(key, record);
                 }
@@ -571,6 +584,11 @@ pub struct RecoverySweepSpec {
     pub chunk_points: usize,
     /// Memoization layer.
     pub cache: CacheMode,
+    /// Filesystem the disk cache goes through (swap in
+    /// [`ChaosFs`](ena_sweep::ChaosFs) to inject faults).
+    pub fs: Arc<dyn Vfs>,
+    /// Durability policy for cache appends.
+    pub sync: SyncPolicy,
 }
 
 impl RecoverySweepSpec {
@@ -585,6 +603,8 @@ impl RecoverySweepSpec {
             jobs: 1,
             chunk_points: 4,
             cache: CacheMode::Memory,
+            fs: Arc::new(RealFs),
+            sync: SyncPolicy::default(),
         }
     }
 }
@@ -710,8 +730,13 @@ impl RecoverySweep {
         let mut disk = match &spec.cache {
             CacheMode::Memory => None,
             CacheMode::Disk(dir) => {
-                let (cache, entries) =
-                    DiskCache::<RecoveryRecord>::open(dir, campaign, &self.version)?;
+                let (cache, entries) = DiskCache::<RecoveryRecord>::open_with(
+                    spec.fs.clone(),
+                    spec.sync,
+                    dir,
+                    campaign,
+                    &self.version,
+                )?;
                 for (key, record) in entries {
                     self.memo.insert(key, record);
                 }

@@ -1,33 +1,55 @@
-//! Persistent content-addressed sweep cache with checkpoint/resume.
+//! Persistent content-addressed sweep cache with checkpoint/resume,
+//! hardened for crash consistency.
 //!
 //! One campaign (a fixed budget, evaluation options, and profile set)
 //! maps to one append-only file under the cache directory, named by the
 //! campaign digest. Each line is one evaluated design point: its
-//! content-addressed key, the point coordinates, and every `f64`
-//! observable as an IEEE-754 bit pattern in hex — so a record
-//! round-trips through disk *bit-exactly*, which is what lets a resumed
-//! sweep reproduce an uninterrupted one byte-for-byte.
+//! content-addressed key, the point coordinates, every `f64` observable
+//! as an IEEE-754 bit pattern in hex — so a record round-trips through
+//! disk *bit-exactly* — and a CRC32 trailer over the rest of the line.
 //!
 //! The cache is generic over its record type through [`CacheRecord`]:
 //! the node-level sweep persists [`PointRecord`]s, the multi-node fabric
-//! sweep persists its own records, and both share the same header,
-//! eviction, and torn-tail machinery. The header line carries the record
-//! tag and the model-version stamp. A file whose stamp does not match
-//! the running binary is evicted wholesale on open: numbers computed by
-//! an older model must never leak into fresh results. A truncated
-//! trailing line (a sweep killed mid-append) is ignored, so a crash
-//! costs at most one point.
+//! sweeps persist their own records, and all share the same header,
+//! CRC, eviction, and torn-tail machinery. Crash-consistency rests on
+//! three mechanisms:
+//!
+//! - **Per-line CRC32.** A damaged line — torn tail, flipped bytes, even
+//!   a flip that stays valid hex — fails its checksum and degrades the
+//!   file to its intact prefix instead of silently decoding to a wrong
+//!   number. Non-UTF-8 garbage is handled the same way: parsing is
+//!   byte-level, so foreign bytes at the tail only cost the tail.
+//! - **Explicit sync policy.** Every acknowledged append is flushed to
+//!   the OS; under [`SyncPolicy::PerRecord`] (the default) it is also
+//!   fsynced, so an `Ok` from [`DiskCache::append`] means the record
+//!   survives power loss. Only acknowledged records are promised.
+//! - **Atomic repair.** Evicting a stale file or truncating a torn tail
+//!   never overwrites the live file in place: the repaired image is
+//!   written to a temp file, fsynced, and atomically renamed over the
+//!   original. A crash mid-repair leaves either the old file or the new
+//!   one, never a half-written hybrid. Each rewrite bumps the
+//!   `generation` counter in the header, so readers can tell a repaired
+//!   lineage from the original.
+//!
+//! All filesystem access goes through [`Vfs`], so the whole layer can be
+//! driven by `ena-testkit`'s seeded [`ChaosFs`](ena_testkit::chaos::ChaosFs)
+//! fault injector in chaos campaigns.
 
-use std::fs;
-use std::io::{self, BufWriter, Write};
+use std::io::{self, Write};
 use std::marker::PhantomData;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use ena_core::dse::{ConfigPoint, PointEval, PointRecord};
 use ena_model::units::{GigabytesPerSec, Megahertz};
+use ena_testkit::chaos::{RealFs, Vfs, VfsFile};
 
 /// Magic tag of the cache file format.
-const FORMAT: &str = "ena-sweep-cache/1";
+///
+/// v2 added the per-line CRC32 trailer and the `generation` header
+/// field; v1 files fail the header match and are evicted wholesale,
+/// exactly like any other foreign file.
+const FORMAT: &str = "ena-sweep-cache/2";
 
 /// A record type the cache can persist: one line of space-separated
 /// fields per record, with every `f64` encoded by bit pattern so the
@@ -37,7 +59,8 @@ pub trait CacheRecord: Sized + Clone {
     /// different record types never deserialize into each other.
     const TAG: &'static str;
 
-    /// Encodes the record as space-separated fields (no newline, no key).
+    /// Encodes the record as space-separated fields (no newline, no key,
+    /// no checksum).
     fn encode(&self) -> String;
 
     /// Decodes a record from the field iterator positioned just past the
@@ -46,14 +69,33 @@ pub trait CacheRecord: Sized + Clone {
     fn decode(fields: &mut std::str::Split<'_, char>) -> Option<Self>;
 }
 
-/// A cache I/O failure, tagged with the file or directory involved.
+/// When appended records are pushed toward stable storage.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SyncPolicy {
+    /// Flush to the OS after every record: a process crash loses
+    /// nothing, but records the OS has not yet written back may be lost
+    /// to a power failure.
+    Flush,
+    /// Flush *and* fsync after every record: an acknowledged append is
+    /// durable across power loss. The default — sweeps checkpoint once
+    /// per evaluated point, and evaluation dominates the fsync cost
+    /// (see `BENCH_sweep.json` for the measured gap).
+    #[default]
+    PerRecord,
+}
+
+/// A cache I/O failure, tagged with the operation and the file or
+/// directory involved.
 ///
 /// Only genuine I/O faults reach this type: *corrupt content* (foreign
-/// bytes, stale model stamps, torn lines) is not an error — the damaged
-/// records are evicted and the affected points simply re-evaluate, so a
-/// mangled cache degrades to a miss instead of killing the sweep.
+/// bytes, stale model stamps, torn lines, checksum failures) is not an
+/// error — the damaged records are evicted and the affected points
+/// simply re-evaluate, so a mangled cache degrades to a miss instead of
+/// killing the sweep.
 #[derive(Debug)]
 pub struct CacheError {
+    /// What the cache was doing when the fault hit.
+    pub op: &'static str,
     /// The cache file or directory the operation touched.
     pub path: PathBuf,
     /// The underlying I/O error.
@@ -61,8 +103,9 @@ pub struct CacheError {
 }
 
 impl CacheError {
-    fn new(path: &Path, source: io::Error) -> Self {
+    fn new(op: &'static str, path: &Path, source: io::Error) -> Self {
         Self {
+            op,
             path: path.to_path_buf(),
             source,
         }
@@ -73,7 +116,8 @@ impl std::fmt::Display for CacheError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "sweep cache I/O on {}: {}",
+            "sweep cache {} on {}: {}",
+            self.op,
             self.path.display(),
             self.source
         )
@@ -87,11 +131,39 @@ impl std::error::Error for CacheError {
 }
 
 /// On-disk cache of one campaign's evaluated records.
-#[derive(Debug)]
 pub struct DiskCache<R: CacheRecord = PointRecord> {
+    fs: Arc<dyn Vfs>,
     path: PathBuf,
-    writer: BufWriter<fs::File>,
+    writer: Box<dyn VfsFile>,
+    sync: SyncPolicy,
+    generation: u64,
+    /// Set when an append fails: the file tail is then in an unknown
+    /// state, and blindly appending after it could strand acknowledged
+    /// records behind garbage (prefix degradation stops at the first
+    /// damaged line). A poisoned handle refuses further appends; the
+    /// next open repairs the tail.
+    poisoned: bool,
     _record: PhantomData<fn() -> R>,
+}
+
+impl<R: CacheRecord> std::fmt::Debug for DiskCache<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DiskCache")
+            .field("path", &self.path)
+            .field("sync", &self.sync)
+            .field("generation", &self.generation)
+            .finish_non_exhaustive()
+    }
+}
+
+/// What `load` found on disk.
+struct Loaded<R> {
+    entries: Vec<(u64, R)>,
+    generation: u64,
+    /// True when the on-disk image needs a repair rewrite: damaged
+    /// lines were dropped, the header was foreign, or the file did not
+    /// exist yet.
+    rewrite: bool,
 }
 
 impl<R: CacheRecord> DiskCache<R> {
@@ -100,106 +172,336 @@ impl<R: CacheRecord> DiskCache<R> {
         format!("campaign-{campaign:016x}.sweep")
     }
 
-    /// Opens (creating if needed) the cache for `campaign`, returning the
-    /// handle plus every intact record already on disk.
-    ///
-    /// A file with a foreign or damaged header — including a mismatched
-    /// record tag or model-version stamp — is deleted and recreated
-    /// empty.
+    /// Opens (creating if needed) the cache for `campaign` on the real
+    /// filesystem with the default [`SyncPolicy`], returning the handle
+    /// plus every intact record already on disk.
     ///
     /// # Errors
     ///
-    /// Returns a [`CacheError`] for any I/O fault creating the directory
-    /// or file. Corrupt *content* never errors: damaged records degrade
-    /// to cache misses.
+    /// Returns a [`CacheError`] for any I/O fault; corrupt *content*
+    /// never errors (damaged records degrade to cache misses).
     pub fn open(
         dir: &Path,
         campaign: u64,
         version: &str,
     ) -> Result<(Self, Vec<(u64, R)>), CacheError> {
-        fs::create_dir_all(dir).map_err(|e| CacheError::new(dir, e))?;
+        Self::open_with(
+            Arc::new(RealFs),
+            SyncPolicy::default(),
+            dir,
+            campaign,
+            version,
+        )
+    }
+
+    /// Opens (creating if needed) the cache for `campaign` through an
+    /// explicit filesystem and sync policy.
+    ///
+    /// A file with a foreign or damaged header — including a mismatched
+    /// record tag or model-version stamp — is replaced by a fresh one
+    /// with a bumped generation; a torn or corrupt tail is truncated to
+    /// the intact prefix. Both repairs go through write-temp → fsync →
+    /// atomic rename, never an in-place overwrite.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CacheError`] for any I/O fault creating the
+    /// directory, reading the file, rewriting it, or reopening it for
+    /// append. Corrupt *content* never errors: damaged records degrade
+    /// to cache misses.
+    pub fn open_with(
+        fs: Arc<dyn Vfs>,
+        sync: SyncPolicy,
+        dir: &Path,
+        campaign: u64,
+        version: &str,
+    ) -> Result<(Self, Vec<(u64, R)>), CacheError> {
+        fs.create_dir_all(dir)
+            .map_err(|e| CacheError::new("create directory", dir, e))?;
         let path = dir.join(Self::file_name(campaign));
 
-        let mut entries: Vec<(u64, R)> = Vec::new();
-        let mut valid = false;
-        if let Ok(text) = fs::read_to_string(&path) {
-            let mut lines = text.lines();
-            if lines.next() == Some(header_line::<R>(campaign, version).as_str()) {
-                valid = true;
-                for line in lines {
-                    match parse_entry::<R>(line) {
-                        Some(entry) => entries.push(entry),
-                        // Torn tail from an interrupted append: drop the
-                        // rest, the points will simply be re-evaluated.
-                        None => break,
-                    }
+        let loaded = Self::load(fs.as_ref(), &path, campaign, version)?;
+        if loaded.rewrite {
+            Self::rewrite(
+                fs.as_ref(),
+                &path,
+                campaign,
+                version,
+                loaded.generation,
+                &loaded.entries,
+            )?;
+        }
+        let writer = fs
+            .open_append(&path)
+            .map_err(|e| CacheError::new("open for append", &path, e))?;
+        Ok((
+            Self {
+                fs,
+                path,
+                writer,
+                sync,
+                generation: loaded.generation,
+                poisoned: false,
+                _record: PhantomData,
+            },
+            loaded.entries,
+        ))
+    }
+
+    /// Reads and validates the on-disk image, degrading damage to the
+    /// intact prefix (byte-level: non-UTF-8 garbage only costs the lines
+    /// it touches).
+    fn load(
+        fs: &dyn Vfs,
+        path: &Path,
+        campaign: u64,
+        version: &str,
+    ) -> Result<Loaded<R>, CacheError> {
+        let bytes = match fs.read_bytes(path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                // First open of this campaign: fresh file, generation 0.
+                return Ok(Loaded {
+                    entries: Vec::new(),
+                    generation: 0,
+                    rewrite: true,
+                });
+            }
+            Err(e) => return Err(CacheError::new("read", path, e)),
+        };
+
+        // Split into newline-terminated lines; a trailing fragment with
+        // no newline is a torn final line and is dropped up front.
+        let mut lines: Vec<&[u8]> = bytes.split(|&b| b == b'\n').collect();
+        let mut damaged = false;
+        match lines.pop() {
+            Some(last) if last.is_empty() => {}
+            Some(_torn_fragment) => damaged = true,
+            None => {}
+        }
+        let mut lines = lines.into_iter();
+
+        let header = lines
+            .next()
+            .and_then(|raw| std::str::from_utf8(raw).ok())
+            .and_then(|line| parse_header::<R>(line, campaign, version));
+        let Some(generation) = header else {
+            // Foreign bytes, stale stamp, or wrong record tag: evict
+            // wholesale under a bumped generation. The old generation is
+            // unreadable, so restart the lineage at 1 to distinguish the
+            // replacement from a fresh generation-0 file.
+            return Ok(Loaded {
+                entries: Vec::new(),
+                generation: 1,
+                rewrite: true,
+            });
+        };
+
+        let mut entries = Vec::new();
+        for raw in lines {
+            let parsed = std::str::from_utf8(raw).ok().and_then(parse_entry::<R>);
+            match parsed {
+                Some(entry) => entries.push(entry),
+                // Torn or corrupt line: drop it and everything after —
+                // with an append-only writer nothing valid follows
+                // damage, and the CRC keeps a half-line from decoding.
+                None => {
+                    damaged = true;
+                    break;
                 }
             }
         }
 
-        if !valid {
-            // Stale stamp or foreign bytes: evict, then start fresh.
-            let _ = fs::remove_file(&path);
-            let mut writer = BufWriter::new(
-                fs::OpenOptions::new()
-                    .create(true)
-                    .append(true)
-                    .open(&path)
-                    .map_err(|e| CacheError::new(&path, e))?,
-            );
-            writeln!(writer, "{}", header_line::<R>(campaign, version))
-                .map_err(|e| CacheError::new(&path, e))?;
-            writer.flush().map_err(|e| CacheError::new(&path, e))?;
-            return Ok((
-                Self {
-                    path,
-                    writer,
-                    _record: PhantomData,
-                },
-                Vec::new(),
-            ));
-        }
+        Ok(Loaded {
+            entries,
+            generation: if damaged { generation + 1 } else { generation },
+            rewrite: damaged,
+        })
+    }
 
-        // Re-append only the intact prefix if damaged lines were dropped.
-        let intact: String = std::iter::once(header_line::<R>(campaign, version))
+    /// Writes a repaired image (header + intact entries) to a temp file,
+    /// fsyncs it, and atomically renames it over the live file.
+    fn rewrite(
+        fs: &dyn Vfs,
+        path: &Path,
+        campaign: u64,
+        version: &str,
+        generation: u64,
+        entries: &[(u64, R)],
+    ) -> Result<(), CacheError> {
+        let tmp = path.with_extension("sweep.tmp");
+        let mut file = fs
+            .create(&tmp)
+            .map_err(|e| CacheError::new("create repair temp", &tmp, e))?;
+        let image: String = std::iter::once(header_line::<R>(campaign, version, generation))
             .chain(entries.iter().map(|(k, r)| entry_line(*k, r)))
             .map(|l| l + "\n")
             .collect();
-        fs::write(&path, &intact).map_err(|e| CacheError::new(&path, e))?;
-        let writer = BufWriter::new(
-            fs::OpenOptions::new()
-                .append(true)
-                .open(&path)
-                .map_err(|e| CacheError::new(&path, e))?,
-        );
-        Ok((
-            Self {
-                path,
-                writer,
-                _record: PhantomData,
-            },
-            entries,
-        ))
+        file.write_all(image.as_bytes())
+            .map_err(|e| CacheError::new("write repair temp", &tmp, e))?;
+        file.flush()
+            .map_err(|e| CacheError::new("flush repair temp", &tmp, e))?;
+        file.sync_all()
+            .map_err(|e| CacheError::new("sync repair temp", &tmp, e))?;
+        drop(file);
+        fs.rename(&tmp, path)
+            .map_err(|e| CacheError::new("rename repair temp", path, e))?;
+        // Repair is complete and durable; clean up nothing: the rename
+        // consumed the temp file.
+        Ok(())
     }
 
-    /// Appends one evaluated record and flushes it to disk (each record
-    /// is a checkpoint).
+    /// Appends one evaluated record and pushes it toward stable storage
+    /// per the [`SyncPolicy`] (each record is a checkpoint).
     ///
     /// # Errors
     ///
-    /// Returns a [`CacheError`] for any I/O fault during the append.
+    /// Returns a [`CacheError`] for any I/O fault during the append; the
+    /// record is only *acknowledged* — promised to survive — when this
+    /// returns `Ok`. After a failed append the handle is poisoned (the
+    /// file tail may hold a partial line) and every further append
+    /// fails; reopening the cache repairs the tail.
     pub fn append(&mut self, key: u64, record: &R) -> Result<(), CacheError> {
-        writeln!(self.writer, "{}", entry_line(key, record))
-            .map_err(|e| CacheError::new(&self.path, e))?;
+        if self.poisoned {
+            return Err(CacheError::new(
+                "append after failed append",
+                &self.path,
+                io::Error::other("cache handle poisoned; reopen to repair the tail"),
+            ));
+        }
+        let result = self.append_inner(key, record);
+        if result.is_err() {
+            self.poisoned = true;
+        }
+        result
+    }
+
+    fn append_inner(&mut self, key: u64, record: &R) -> Result<(), CacheError> {
+        let line = entry_line(key, record) + "\n";
+        self.writer
+            .write_all(line.as_bytes())
+            .map_err(|e| CacheError::new("append", &self.path, e))?;
         self.writer
             .flush()
-            .map_err(|e| CacheError::new(&self.path, e))
+            .map_err(|e| CacheError::new("flush append", &self.path, e))?;
+        if self.sync == SyncPolicy::PerRecord {
+            self.writer
+                .sync_all()
+                .map_err(|e| CacheError::new("sync append", &self.path, e))?;
+        }
+        Ok(())
     }
 
     /// Path of the backing file.
     pub fn path(&self) -> &Path {
         &self.path
     }
+
+    /// Generation counter from the header: 0 for a fresh file, bumped by
+    /// every eviction or torn-tail repair since.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Removes the campaign's cache file through the cache's filesystem.
+    ///
+    /// A missing file is not an error (nothing to remove); any other
+    /// fault is surfaced — deletion is part of the durability contract,
+    /// not a best-effort cleanup.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CacheError`] for any I/O fault other than the file
+    /// already being gone.
+    pub fn remove(self) -> Result<(), CacheError> {
+        match self.fs.remove_file(&self.path) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(CacheError::new("remove", &self.path, e)),
+        }
+    }
+}
+
+/// Verification report over one cache file (see [`verify_file`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VerifyReport {
+    /// Keys of every intact record, in file order.
+    pub keys: Vec<u64>,
+    /// Generation counter from the header.
+    pub generation: u64,
+    /// True when a torn or corrupt tail was dropped (legal after a
+    /// crash: the tail was never acknowledged).
+    pub torn_tail: bool,
+}
+
+/// Why [`verify_file`] rejected a cache file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VerifyError {
+    /// The file could not be read at all.
+    Unreadable(String),
+    /// The header line is missing or does not parse for this record
+    /// type, campaign, and version.
+    BadHeader,
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Unreadable(e) => write!(f, "cache file unreadable: {e}"),
+            Self::BadHeader => write!(f, "cache file header is missing or foreign"),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Strictly verifies a cache file on the real filesystem: the header
+/// must parse for this record type and every line up to an optional torn
+/// tail must pass its CRC. Used by chaos campaigns to assert that a
+/// faulted run can never leave an unparseable file behind.
+///
+/// # Errors
+///
+/// [`VerifyError::Unreadable`] when the file cannot be read,
+/// [`VerifyError::BadHeader`] when the header is missing or foreign.
+/// Damage *after* the header is not an error — it is reported as
+/// `torn_tail`, the legal crash residue.
+pub fn verify_file<R: CacheRecord>(
+    path: &Path,
+    campaign: u64,
+    version: &str,
+) -> Result<VerifyReport, VerifyError> {
+    let bytes = RealFs
+        .read_bytes(path)
+        .map_err(|e| VerifyError::Unreadable(e.to_string()))?;
+    let mut lines: Vec<&[u8]> = bytes.split(|&b| b == b'\n').collect();
+    let mut torn_tail = false;
+    match lines.pop() {
+        Some(last) if last.is_empty() => {}
+        Some(_torn_fragment) => torn_tail = true,
+        None => {}
+    }
+    let mut lines = lines.into_iter();
+    let generation = lines
+        .next()
+        .and_then(|raw| std::str::from_utf8(raw).ok())
+        .and_then(|line| parse_header::<R>(line, campaign, version))
+        .ok_or(VerifyError::BadHeader)?;
+    let mut keys = Vec::new();
+    for raw in lines {
+        match std::str::from_utf8(raw).ok().and_then(parse_entry::<R>) {
+            Some((key, _)) => keys.push(key),
+            None => {
+                torn_tail = true;
+                break;
+            }
+        }
+    }
+    Ok(VerifyReport {
+        keys,
+        generation,
+        torn_tail,
+    })
 }
 
 /// Parses one fixed-width hex `u64` field (16 digits exactly).
@@ -216,19 +518,76 @@ pub fn hex_field(field: &str) -> Option<u64> {
     u64::from_str_radix(field, 16).ok()
 }
 
-fn header_line<R: CacheRecord>(campaign: u64, version: &str) -> String {
+/// Parses one fixed-width hex `u32` field (8 digits exactly), the shape
+/// of the CRC32 trailer.
+fn hex_field_u32(field: &str) -> Option<u32> {
+    if field.len() != 8 {
+        return None;
+    }
+    u32::from_str_radix(field, 16).ok()
+}
+
+/// CRC32 (IEEE 802.3, reflected 0xEDB88320 polynomial) lookup table,
+/// built at compile time.
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i: u32 = 0;
+    while i < 256 {
+        let mut c = i;
+        let mut bit = 0;
+        while bit < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            bit += 1;
+        }
+        table[i as usize] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc32_table();
+
+/// CRC32 (IEEE) of `bytes` — the per-line checksum of the cache format.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = u32::MAX;
+    for &b in bytes {
+        let index = (c ^ u32::from(b)) & 0xFF;
+        c = CRC_TABLE[index as usize] ^ (c >> 8);
+    }
+    c ^ u32::MAX
+}
+
+fn header_line<R: CacheRecord>(campaign: u64, version: &str, generation: u64) -> String {
     format!(
-        "{FORMAT} record={} model={version} campaign={campaign:016x}",
+        "{FORMAT} record={} model={version} campaign={campaign:016x} generation={generation:016x}",
         R::TAG
     )
 }
 
+fn parse_header<R: CacheRecord>(line: &str, campaign: u64, version: &str) -> Option<u64> {
+    let prefix = format!(
+        "{FORMAT} record={} model={version} campaign={campaign:016x} generation=",
+        R::TAG
+    );
+    hex_field(line.strip_prefix(&prefix)?)
+}
+
 fn entry_line<R: CacheRecord>(key: u64, record: &R) -> String {
-    format!("{key:016x} {}", record.encode())
+    let body = format!("{key:016x} {}", record.encode());
+    let crc = crc32(body.as_bytes());
+    format!("{body} {crc:08x}")
 }
 
 fn parse_entry<R: CacheRecord>(line: &str) -> Option<(u64, R)> {
-    let mut fields = line.split(' ');
+    let (body, crc_field) = line.rsplit_once(' ')?;
+    if hex_field_u32(crc_field)? != crc32(body.as_bytes()) {
+        return None;
+    }
+    let mut fields = body.split(' ');
     let key = hex_field(fields.next()?)?;
     let record = R::decode(&mut fields)?;
     if fields.next().is_some() {
@@ -290,6 +649,7 @@ impl CacheRecord for PointRecord {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::fs;
 
     fn record(seed: f64) -> PointRecord {
         PointRecord {
@@ -315,7 +675,11 @@ mod tests {
 
     fn tmp(name: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("ena-sweep-cache-test-{name}"));
-        let _ = fs::remove_dir_all(&dir);
+        match fs::remove_dir_all(&dir) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => panic!("cannot clear scratch dir {}: {e}", dir.display()),
+        }
         dir
     }
 
@@ -333,14 +697,23 @@ mod tests {
     }
 
     #[test]
+    fn crc32_matches_the_ieee_check_value() {
+        // The canonical CRC32 check: crc32(b"123456789") == 0xCBF43926.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
     fn mismatched_version_stamp_evicts_the_file() {
         let dir = tmp("stamp");
         let (mut cache, _) = DiskCache::open(&dir, 7, "v1").unwrap();
         cache.append(11, &record(0.0)).unwrap();
         drop(cache);
 
-        let (_, loaded) = DiskCache::<PointRecord>::open(&dir, 7, "v2").unwrap();
+        let (cache, loaded) = DiskCache::<PointRecord>::open(&dir, 7, "v2").unwrap();
         assert!(loaded.is_empty(), "stale entries must be evicted");
+        assert_eq!(cache.generation(), 1, "eviction must bump the generation");
+        drop(cache);
         // And the eviction is durable: reopening under the old stamp
         // finds nothing either.
         let (_, loaded) = DiskCache::<PointRecord>::open(&dir, 7, "v1").unwrap();
@@ -378,12 +751,13 @@ mod tests {
     }
 
     #[test]
-    fn torn_tail_is_dropped_not_fatal() {
+    fn torn_tail_is_dropped_not_fatal_and_bumps_the_generation() {
         let dir = tmp("torn");
         let (mut cache, _) = DiskCache::open(&dir, 7, "v1").unwrap();
         cache.append(11, &record(0.0)).unwrap();
         cache.append(22, &record(1.0)).unwrap();
         let path = cache.path().to_path_buf();
+        assert_eq!(cache.generation(), 0);
         drop(cache);
 
         // Simulate a kill mid-append: truncate the last line in half.
@@ -392,11 +766,40 @@ mod tests {
 
         let (mut cache, loaded) = DiskCache::open(&dir, 7, "v1").unwrap();
         assert_eq!(loaded, vec![(11, record(0.0))]);
+        assert_eq!(cache.generation(), 1, "repair must bump the generation");
         // The repaired file keeps accepting appends.
         cache.append(22, &record(1.0)).unwrap();
         drop(cache);
-        let (_, loaded) = DiskCache::<PointRecord>::open(&dir, 7, "v1").unwrap();
+        let (cache, loaded) = DiskCache::<PointRecord>::open(&dir, 7, "v1").unwrap();
         assert_eq!(loaded.len(), 2);
+        assert_eq!(cache.generation(), 1, "clean reopen keeps the generation");
+    }
+
+    #[test]
+    fn valid_hex_bit_flip_is_caught_by_the_crc() {
+        let dir = tmp("bitflip");
+        let (mut cache, _) = DiskCache::open(&dir, 7, "v1").unwrap();
+        cache.append(11, &record(0.0)).unwrap();
+        cache.append(22, &record(1.0)).unwrap();
+        let path = cache.path().to_path_buf();
+        drop(cache);
+
+        // Flip one hex digit inside the *last* record's payload. The
+        // line still lexes as valid fixed-width hex fields — before the
+        // CRC trailer this decoded to a silently wrong number.
+        let mut text = fs::read_to_string(&path).unwrap();
+        let flip_at = text.len() - 15; // inside the final f64 field, before the CRC
+        let original = text.as_bytes()[flip_at];
+        let replacement = if original == b'3' { '4' } else { '3' };
+        text.replace_range(flip_at..flip_at + 1, &replacement.to_string());
+        fs::write(&path, &text).unwrap();
+
+        let (_, loaded) = DiskCache::<PointRecord>::open(&dir, 7, "v1").unwrap();
+        assert_eq!(
+            loaded,
+            vec![(11, record(0.0))],
+            "the flipped record must fail its CRC and degrade to a miss"
+        );
     }
 
     #[test]
@@ -437,23 +840,152 @@ mod tests {
     }
 
     #[test]
-    fn non_utf8_bytes_evict_the_file_not_the_process() {
+    fn non_utf8_tail_costs_only_the_tail() {
         let dir = tmp("nonutf8");
         let (mut cache, _) = DiskCache::open(&dir, 7, "v1").unwrap();
         cache.append(11, &record(0.0)).unwrap();
         let path = cache.path().to_path_buf();
         drop(cache);
 
+        // A torn write can leave raw garbage — including invalid UTF-8 —
+        // after the acknowledged records. Parsing is byte-level, so the
+        // acknowledged prefix must survive (v1 evicted the whole file
+        // here, losing acknowledged records).
         let mut bytes = fs::read(&path).unwrap();
         bytes.extend_from_slice(&[0xFF, 0xFE, 0x00, 0xC3]);
         fs::write(&path, &bytes).unwrap();
 
         let (mut cache, loaded) = DiskCache::open(&dir, 7, "v1").unwrap();
-        assert!(loaded.is_empty(), "undecodable file is evicted wholesale");
-        cache.append(11, &record(0.0)).unwrap();
+        assert_eq!(
+            loaded,
+            vec![(11, record(0.0))],
+            "acknowledged records must survive trailing garbage"
+        );
+        cache.append(22, &record(1.0)).unwrap();
         drop(cache);
         let (_, loaded) = DiskCache::<PointRecord>::open(&dir, 7, "v1").unwrap();
+        assert_eq!(loaded, vec![(11, record(0.0)), (22, record(1.0))]);
+    }
+
+    #[test]
+    fn repair_is_atomic_under_injected_rename_failure() {
+        use ena_testkit::chaos::{ChaosConfig, ChaosFs};
+
+        let dir = tmp("atomic");
+        let (mut cache, _) = DiskCache::open(&dir, 7, "v1").unwrap();
+        cache.append(11, &record(0.0)).unwrap();
+        cache.append(22, &record(1.0)).unwrap();
+        let path = cache.path().to_path_buf();
+        drop(cache);
+        // Tear the tail so reopening needs a repair.
+        let text = fs::read_to_string(&path).unwrap();
+        fs::write(&path, &text[..text.len() - 20]).unwrap();
+
+        // Fail *every* operation: the repair cannot even start, and the
+        // live file must be untouched (no in-place overwrite).
+        let before = fs::read(&path).unwrap();
+        let chaos = Arc::new(ChaosFs::new(
+            3,
+            ChaosConfig {
+                fail_permille: 1000,
+                short_permille: 0,
+                torn_permille: 0,
+            },
+        ));
+        let err = DiskCache::<PointRecord>::open_with(chaos, SyncPolicy::PerRecord, &dir, 7, "v1")
+            .unwrap_err();
+        assert!(err.to_string().contains("chaos"), "{err}");
+        assert_eq!(
+            fs::read(&path).unwrap(),
+            before,
+            "a failed repair must leave the live file byte-identical"
+        );
+
+        // And a clean retry on the real filesystem recovers the prefix.
+        let (_, loaded) = DiskCache::<PointRecord>::open(&dir, 7, "v1").unwrap();
         assert_eq!(loaded, vec![(11, record(0.0))]);
+    }
+
+    #[test]
+    fn acknowledged_appends_survive_chaos() {
+        use ena_testkit::chaos::{ChaosConfig, ChaosFs};
+
+        let dir = tmp("chaos-ack");
+        // Drive many appends through a moderately hostile filesystem.
+        // Every append that returns Ok is acknowledged; after the dust
+        // settles, a clean reopen must see every acknowledged record.
+        let mut acknowledged: Vec<u64> = Vec::new();
+        for round in 0..8u64 {
+            let chaos = Arc::new(ChaosFs::new(round, ChaosConfig::default_rates()));
+            let opened =
+                DiskCache::<PointRecord>::open_with(chaos, SyncPolicy::PerRecord, &dir, 7, "v1");
+            let Ok((mut cache, loaded)) = opened else {
+                continue; // injected open failure: nothing acknowledged
+            };
+            let loaded_keys: Vec<u64> = loaded.iter().map(|(k, _)| *k).collect();
+            for key in &acknowledged {
+                assert!(
+                    loaded_keys.contains(key),
+                    "round {round}: acknowledged record {key} lost"
+                );
+            }
+            for i in 0..32u64 {
+                let key = round * 100 + i;
+                if cache.append(key, &record(i as f64)).is_ok() {
+                    acknowledged.push(key);
+                }
+            }
+        }
+        let (_, loaded) = DiskCache::<PointRecord>::open(&dir, 7, "v1").unwrap();
+        let keys: Vec<u64> = loaded.iter().map(|(k, _)| *k).collect();
+        for key in &acknowledged {
+            assert!(keys.contains(key), "acknowledged record {key} lost");
+        }
+        assert!(
+            !acknowledged.is_empty(),
+            "chaos must let some appends through"
+        );
+    }
+
+    #[test]
+    fn verify_file_accepts_clean_and_torn_rejects_foreign() {
+        let dir = tmp("verify");
+        let (mut cache, _) = DiskCache::open(&dir, 7, "v1").unwrap();
+        cache.append(11, &record(0.0)).unwrap();
+        cache.append(22, &record(1.0)).unwrap();
+        let path = cache.path().to_path_buf();
+        drop(cache);
+
+        let report = verify_file::<PointRecord>(&path, 7, "v1").unwrap();
+        assert_eq!(report.keys, vec![11, 22]);
+        assert!(!report.torn_tail);
+
+        // Torn tail: still verifies, flagged as torn.
+        let text = fs::read_to_string(&path).unwrap();
+        fs::write(&path, &text[..text.len() - 20]).unwrap();
+        let report = verify_file::<PointRecord>(&path, 7, "v1").unwrap();
+        assert_eq!(report.keys, vec![11]);
+        assert!(report.torn_tail);
+
+        // Foreign header: rejected.
+        fs::write(&path, "not a cache file\n").unwrap();
+        assert_eq!(
+            verify_file::<PointRecord>(&path, 7, "v1").unwrap_err(),
+            VerifyError::BadHeader
+        );
+    }
+
+    #[test]
+    fn remove_is_idempotent_and_checked() {
+        let dir = tmp("remove");
+        let (cache, _) = DiskCache::<PointRecord>::open(&dir, 7, "v1").unwrap();
+        let path = cache.path().to_path_buf();
+        cache.remove().unwrap();
+        assert!(!path.exists());
+        // Removing an already-gone file is fine.
+        let (cache, _) = DiskCache::<PointRecord>::open(&dir, 7, "v1").unwrap();
+        fs::remove_file(&path).unwrap();
+        cache.remove().unwrap();
     }
 
     #[test]

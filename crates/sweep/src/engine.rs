@@ -19,18 +19,20 @@
 //! Hence `reduce(merge(...))` sees the same bytes whatever the thread
 //! count, cache temperature, or interruption history.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Duration;
 
 use ena_core::dse::{DesignSpace, DseError, DseResult, PointRecord};
 use ena_core::Explorer;
 use ena_model::hash::{StableHash, StableHasher, MODEL_VERSION};
 use ena_model::kernel::KernelProfile;
+use ena_testkit::chaos::{RealFs, Vfs};
 
-use crate::cache::{CacheError, DiskCache};
+use crate::cache::{CacheError, DiskCache, SyncPolicy};
 use crate::pareto::{pareto_frontier, FrontierPoint};
-use crate::pool::{map_chunks, PoolError, WorkerStats};
+use crate::pool::{map_chunks_supervised, PoolError, RetryPolicy, WorkerStats};
 
 #[cfg(feature = "timing")]
 mod clock {
@@ -98,10 +100,18 @@ pub struct SweepSpec {
     /// already checkpointed. `None` runs to completion. Exists to make
     /// interruption deterministic and testable.
     pub fresh_limit: Option<usize>,
+    /// Filesystem the disk cache talks through: [`RealFs`] in
+    /// production, a seeded `ChaosFs` in chaos campaigns.
+    pub fs: Arc<dyn Vfs>,
+    /// Durability policy for cache appends (checkpoints).
+    pub sync: SyncPolicy,
+    /// Retry budget for panicking chunks before they are quarantined.
+    pub retry: RetryPolicy,
 }
 
 impl SweepSpec {
-    /// A sequential, memory-cached spec over `space` and `profiles`.
+    /// A sequential, memory-cached spec over `space` and `profiles`,
+    /// on the real filesystem with default durability and retry policy.
     pub fn new(space: DesignSpace, profiles: Vec<KernelProfile>) -> Self {
         Self {
             space,
@@ -110,6 +120,9 @@ impl SweepSpec {
             chunk_points: 16,
             cache: CacheMode::Memory,
             fresh_limit: None,
+            fs: Arc::new(RealFs),
+            sync: SyncPolicy::default(),
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -154,6 +167,68 @@ impl Telemetry {
     }
 }
 
+/// One chunk the supervisor pulled out of the sweep, with the point
+/// keys it was carrying.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QuarantineEntry {
+    /// Index of the chunk in submission order.
+    pub chunk_index: usize,
+    /// Memoization keys of the points in the chunk.
+    pub keys: Vec<u64>,
+    /// Attempts made before quarantine (1 + retries).
+    pub attempts: u32,
+    /// Panic message of the final attempt.
+    pub message: String,
+    /// Modeled retry backoff consumed (µs).
+    pub backoff_us: f64,
+}
+
+/// Deterministic account of everything quarantined during a sweep,
+/// ordered by chunk index.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct QuarantineReport {
+    /// Quarantined chunks in chunk-index order.
+    pub entries: Vec<QuarantineEntry>,
+}
+
+impl QuarantineReport {
+    /// True when nothing was quarantined (the run is byte-identical to
+    /// the sequential oracle).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total points pulled out of the sweep.
+    pub fn points(&self) -> usize {
+        self.entries.iter().map(|e| e.keys.len()).sum()
+    }
+
+    /// Renders the report as stable text (no wall-clock, no addresses).
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        // fmt::Write to a String is infallible; discard the Ok values.
+        let _ = writeln!(
+            out,
+            "quarantine: {} chunk(s), {} point(s)",
+            self.entries.len(),
+            self.points()
+        );
+        for e in &self.entries {
+            let _ = writeln!(
+                out,
+                "  chunk {} ({} points, {} attempts, backoff {:.1} us): {}",
+                e.chunk_index,
+                e.keys.len(),
+                e.attempts,
+                e.backoff_us,
+                e.message
+            );
+        }
+        out
+    }
+}
+
 /// Everything a completed sweep produced.
 #[derive(Clone, Debug)]
 pub struct SweepOutcome {
@@ -161,8 +236,13 @@ pub struct SweepOutcome {
     pub result: DseResult,
     /// Pareto frontier over (mean perf, peak power, peak temperature).
     pub frontier: Vec<FrontierPoint>,
-    /// Every evaluated record, in design-space point order.
+    /// Every evaluated record, in design-space point order. Quarantined
+    /// points are absent (and listed in `quarantine`).
     pub records: Vec<PointRecord>,
+    /// Chunks the supervisor quarantined after exhausting retries.
+    /// Empty on a healthy run — and an empty report guarantees the
+    /// outcome is byte-identical to the sequential oracle.
+    pub quarantine: QuarantineReport,
     /// Run telemetry.
     pub telemetry: Telemetry,
 }
@@ -246,12 +326,29 @@ impl From<DseError> for SweepError {
     }
 }
 
+/// A hook invoked with each point's memoization key just before the
+/// point is evaluated. May panic — that is its purpose: chaos campaigns
+/// inject deterministic worker kills through it, and the supervised pool
+/// catches them. Production sweeps leave it unset.
+pub type Failpoint = Arc<dyn Fn(u64) + Send + Sync>;
+
 /// The memoizing sweep engine.
-#[derive(Debug)]
 pub struct SweepEngine {
     explorer: Explorer,
     version: String,
     memo: BTreeMap<u64, PointRecord>,
+    failpoint: Option<Failpoint>,
+}
+
+impl std::fmt::Debug for SweepEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SweepEngine")
+            .field("explorer", &self.explorer)
+            .field("version", &self.version)
+            .field("memo_entries", &self.memo.len())
+            .field("failpoint", &self.failpoint.is_some())
+            .finish()
+    }
 }
 
 impl SweepEngine {
@@ -262,7 +359,15 @@ impl SweepEngine {
             explorer,
             version: MODEL_VERSION.to_string(),
             memo: BTreeMap::new(),
+            failpoint: None,
         }
+    }
+
+    /// Installs a [`Failpoint`] invoked before every fresh evaluation
+    /// (chaos/test hook; production engines leave it unset).
+    pub fn with_failpoint(mut self, failpoint: Failpoint) -> Self {
+        self.failpoint = Some(failpoint);
+        self
     }
 
     /// Overrides the model-version stamp (test hook for the eviction
@@ -283,7 +388,7 @@ impl SweepEngine {
     /// The model version is deliberately *not* folded in — it lives in
     /// the cache-file header so a bump is detected and evicted rather
     /// than silently shunted to a fresh file next to the stale one.
-    fn campaign_digest(&self, profiles: &[KernelProfile]) -> u64 {
+    pub(crate) fn campaign_digest(&self, profiles: &[KernelProfile]) -> u64 {
         let mut h = StableHasher::new();
         h.write_f64(self.explorer.budget.value());
         // EvalOptions has no stable-hash impl of its own; its Debug form
@@ -325,7 +430,8 @@ impl SweepEngine {
         let mut disk = match &spec.cache {
             CacheMode::Memory => None,
             CacheMode::Disk(dir) => {
-                let (cache, entries) = DiskCache::open(dir, campaign, &self.version)?;
+                let (cache, entries) =
+                    DiskCache::open_with(spec.fs.clone(), spec.sync, dir, campaign, &self.version)?;
                 for (key, record) in entries {
                     self.memo.insert(key, record);
                 }
@@ -357,13 +463,27 @@ impl SweepEngine {
         }
         let n_chunks = chunks.len();
 
+        // Keys per chunk, kept for quarantine reporting (the chunks
+        // themselves move into the pool).
+        let chunk_keys: Vec<Vec<u64>> = chunks
+            .iter()
+            .map(|c| c.iter().map(|(k, _)| *k).collect())
+            .collect();
+
         let explorer = &self.explorer;
         let profiles = &spec.profiles;
+        let failpoint = self.failpoint.clone();
         let mut io_error: Option<CacheError> = None;
-        let (chunk_results, workers) = map_chunks(
+        let (chunk_results, workers) = map_chunks_supervised(
             spec.jobs,
             chunks,
-            |(key, point)| (*key, explorer.evaluate_point(*point, profiles)),
+            &spec.retry,
+            |(key, point)| {
+                if let Some(fp) = &failpoint {
+                    fp(*key);
+                }
+                (*key, explorer.evaluate_point(*point, profiles))
+            },
             |_, results: &[(u64, PointRecord)]| {
                 // Checkpoint every fresh record as it lands; an error here
                 // aborts the run after the pool drains.
@@ -382,9 +502,30 @@ impl SweepEngine {
         if let Some(e) = io_error {
             return Err(SweepError::Cache(e));
         }
-        for (key, record) in chunk_results.into_iter().flatten() {
-            self.memo.insert(key, record);
+
+        let mut quarantine = QuarantineReport::default();
+        for verdict in chunk_results {
+            match verdict {
+                Ok(results) => {
+                    for (key, record) in results {
+                        self.memo.insert(key, record);
+                    }
+                }
+                Err(q) => quarantine.entries.push(QuarantineEntry {
+                    chunk_index: q.index,
+                    keys: chunk_keys[q.index].clone(),
+                    attempts: q.attempts,
+                    message: q.message,
+                    backoff_us: q.backoff_us,
+                }),
+            }
         }
+        quarantine.entries.sort_by_key(|e| e.chunk_index);
+        let quarantined_keys: BTreeSet<u64> = quarantine
+            .entries
+            .iter()
+            .flat_map(|e| e.keys.iter().copied())
+            .collect();
 
         if interrupted {
             return Err(SweepError::Interrupted {
@@ -394,13 +535,16 @@ impl SweepEngine {
         }
 
         // Merge in design-space point order: the only order the
-        // reduction ever sees.
+        // reduction ever sees. Quarantined points are excluded (and
+        // accounted for in the report); any *other* missing record is an
+        // engine-internal invariant violation.
         let mut records = Vec::with_capacity(keys.len());
         for key in &keys {
-            let Some(record) = self.memo.get(key) else {
-                return Err(SweepError::MissingRecord { key: *key });
-            };
-            records.push(record.clone());
+            match self.memo.get(key) {
+                Some(record) => records.push(record.clone()),
+                None if quarantined_keys.contains(key) => {}
+                None => return Err(SweepError::MissingRecord { key: *key }),
+            }
         }
 
         let result = self.explorer.reduce(&records, &spec.profiles)?;
@@ -408,7 +552,7 @@ impl SweepEngine {
         let telemetry = Telemetry {
             total_points: points.len(),
             cache_hits,
-            fresh_evals: scheduled,
+            fresh_evals: scheduled - quarantine.points(),
             chunks: n_chunks,
             jobs: spec.jobs.max(1),
             elapsed: started.elapsed(),
@@ -418,6 +562,7 @@ impl SweepEngine {
             result,
             frontier,
             records,
+            quarantine,
             telemetry,
         })
     }

@@ -6,14 +6,21 @@
 //! that sweep from a loop into a subsystem:
 //!
 //! - [`pool`] — a std-only work-stealing thread pool with an
-//!   order-independent, index-keyed merge.
-//! - [`cache`] — content-addressed memoization with a persistent on-disk
-//!   layer (bit-exact round-trip, model-version eviction, torn-tail
-//!   tolerance) enabling checkpoint/resume.
+//!   order-independent, index-keyed merge and per-chunk supervision
+//!   (caught panics, bounded retries, deterministic quarantine).
+//! - [`cache`] — content-addressed memoization with a crash-consistent
+//!   on-disk layer (bit-exact round-trip, per-line CRC32, explicit
+//!   flush+fsync policy, atomic temp-and-rename repair, generation
+//!   header) enabling checkpoint/resume, all behind the injectable
+//!   [`Vfs`](ena_testkit::chaos::Vfs) filesystem trait.
 //! - [`pareto`] — frontier extraction over (mean perf, peak power, peak
 //!   DRAM temperature).
 //! - [`engine`] — the [`SweepEngine`] tying them together, with
 //!   [`Telemetry`] (cache hit rate, points/sec, per-worker utilization).
+//! - [`chaos`] — seeded chaos campaigns that drive the whole stack
+//!   through injected I/O faults and worker kills and assert the
+//!   serving invariants (parseable caches, no lost acknowledged
+//!   records, fault-free frontier).
 //!
 //! The headline property: a [`SweepEngine`] run is **byte-identical** to
 //! the sequential [`Explorer`](ena_core::Explorer) oracle for any thread
@@ -49,11 +56,20 @@
 #![forbid(unsafe_code)]
 
 pub mod cache;
+pub mod chaos;
 pub mod engine;
 pub mod pareto;
 pub mod pool;
 
-pub use cache::{hex_field, CacheRecord, DiskCache};
-pub use engine::{CacheMode, SweepEngine, SweepError, SweepOutcome, SweepSpec, Telemetry};
+pub use cache::{
+    crc32, hex_field, verify_file, CacheRecord, DiskCache, SyncPolicy, VerifyError, VerifyReport,
+};
+pub use chaos::{run_chaos_campaign, ChaosError, ChaosReport, ChaosSpec};
+pub use engine::{
+    CacheMode, Failpoint, QuarantineEntry, QuarantineReport, SweepEngine, SweepError, SweepOutcome,
+    SweepSpec, Telemetry,
+};
 pub use pareto::{frontier_indices, pareto_frontier, FrontierPoint};
-pub use pool::WorkerStats;
+pub use pool::{map_chunks, map_chunks_supervised, QuarantinedChunk, RetryPolicy, WorkerStats};
+
+pub use ena_testkit::chaos::{ChaosConfig, ChaosFs, RealFs, Vfs};

@@ -1,4 +1,5 @@
-//! A std-only work-stealing thread pool for chunked sweeps.
+//! A std-only work-stealing thread pool for chunked sweeps, with worker
+//! supervision.
 //!
 //! The pool is deliberately small: each worker owns a deque of chunks,
 //! pops its own work from the front, and steals from a sibling's back
@@ -6,10 +7,24 @@
 //! (for checkpointing) tagged with their chunk index, and the final
 //! result vector is assembled *by index* — so the merged output is
 //! independent of scheduling order and worker count by construction.
+//!
+//! Supervision ([`map_chunks_supervised`]) catches panics *per chunk*
+//! rather than letting them kill the worker thread: a panicking chunk is
+//! retried under the caller's [`RetryPolicy`] (the evaluation kernel is
+//! deterministic, but the failure may be environmental — an injected
+//! chaos kill, a transient resource fault), and a chunk that fails every
+//! attempt is *quarantined* — reported, with its panic message and the
+//! modeled backoff it consumed, instead of aborting the sweep. A
+//! quarantine-free supervised run executes exactly the same evaluations
+//! as the unsupervised pool, so its output is byte-identical to the
+//! sequential oracle.
 
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
 use std::sync::Mutex;
+
+pub use ena_hsa::runtime::RetryPolicy;
 
 /// Per-worker execution counters, the raw material of the utilization
 /// telemetry.
@@ -21,10 +36,29 @@ pub struct WorkerStats {
     pub points: u64,
     /// Chunks this worker stole from a sibling's queue.
     pub steals: u64,
+    /// Chunk attempts re-run after a caught panic.
+    pub retries: u64,
+}
+
+/// A chunk that failed every attempt its [`RetryPolicy`] allowed and was
+/// pulled out of the sweep instead of aborting it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QuarantinedChunk {
+    /// Index of the chunk in submission order.
+    pub index: usize,
+    /// Attempts made (1 + retries).
+    pub attempts: u32,
+    /// Panic message of the final attempt.
+    pub message: String,
+    /// Modeled backoff consumed across retries (µs). Modeled, not
+    /// slept: the pool stays wall-clock-free so supervised runs remain
+    /// deterministic.
+    pub backoff_us: f64,
 }
 
 enum Message<R> {
     Chunk { index: usize, results: Vec<R> },
+    Quarantined(QuarantinedChunk),
     Done { worker: usize, stats: WorkerStats },
 }
 
@@ -59,6 +93,18 @@ fn lock_queue<T>(q: &Mutex<VecDeque<T>>) -> std::sync::MutexGuard<'_, VecDeque<T
     q.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
+/// Renders a caught panic payload (the `&str`/`String` payloads `panic!`
+/// and `panic_any` produce) into a stable message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
 /// Maps `f` over every item of every chunk on `jobs` worker threads.
 ///
 /// `on_chunk` runs on the calling thread, once per completed chunk in
@@ -66,17 +112,68 @@ fn lock_queue<T>(q: &Mutex<VecDeque<T>>) -> std::sync::MutexGuard<'_, VecDeque<T
 /// The returned chunk results are ordered by chunk index regardless of
 /// which worker computed them or when.
 ///
+/// A panicking `f` does not kill the worker thread: the chunk is
+/// reported lost (no retries at this layer — use
+/// [`map_chunks_supervised`] for retry/quarantine semantics).
+///
 /// # Errors
 ///
-/// Returns [`PoolError::WorkerLost`] if a worker hung up before its
-/// chunks completed (the remaining results are discarded rather than
-/// silently returned incomplete).
+/// Returns [`PoolError::WorkerLost`] if any chunk failed to complete
+/// (the remaining results are discarded rather than silently returned
+/// incomplete).
 pub fn map_chunks<T, R, F, C>(
     jobs: usize,
     chunks: Vec<Vec<T>>,
     f: F,
-    mut on_chunk: C,
+    on_chunk: C,
 ) -> Result<(Vec<Vec<R>>, Vec<WorkerStats>), PoolError>
+where
+    T: Send,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+    C: FnMut(usize, &[R]),
+{
+    let no_retries = RetryPolicy {
+        max_retries: 0,
+        backoff_us: 0.0,
+    };
+    let (results, stats) = map_chunks_supervised(jobs, chunks, &no_retries, f, on_chunk)?;
+    let mut merged = Vec::with_capacity(results.len());
+    let mut missing = 0usize;
+    for slot in results {
+        match slot {
+            Ok(chunk) => merged.push(chunk),
+            Err(_) => missing += 1,
+        }
+    }
+    if missing > 0 {
+        return Err(PoolError::WorkerLost { missing });
+    }
+    Ok((merged, stats))
+}
+
+/// Maps `f` over every item of every chunk on `jobs` worker threads,
+/// supervising each chunk: a panic is caught, the chunk is retried up to
+/// `retry.max_retries` times (charging `retry`'s modeled backoff), and a
+/// chunk that fails every attempt comes back as
+/// `Err(`[`QuarantinedChunk`]`)` in its result slot while the rest of
+/// the sweep completes normally.
+///
+/// `on_chunk` runs on the calling thread for *completed* chunks only —
+/// quarantined chunks are never checkpointed.
+///
+/// # Errors
+///
+/// Returns [`PoolError::WorkerLost`] only if a worker vanished without
+/// delivering a verdict for its chunks (a bug, not a caught panic —
+/// caught panics become quarantines, not errors).
+pub fn map_chunks_supervised<T, R, F, C>(
+    jobs: usize,
+    chunks: Vec<Vec<T>>,
+    retry: &RetryPolicy,
+    f: F,
+    mut on_chunk: C,
+) -> Result<(Vec<Result<Vec<R>, QuarantinedChunk>>, Vec<WorkerStats>), PoolError>
 where
     T: Send,
     R: Send,
@@ -94,7 +191,8 @@ where
     }
 
     let (tx, rx) = mpsc::channel::<Message<R>>();
-    let mut results: Vec<Option<Vec<R>>> = (0..n_chunks).map(|_| None).collect();
+    let mut results: Vec<Option<Result<Vec<R>, QuarantinedChunk>>> =
+        (0..n_chunks).map(|_| None).collect();
     let mut worker_stats = vec![WorkerStats::default(); jobs];
 
     std::thread::scope(|scope| {
@@ -125,8 +223,50 @@ where
                     }
                     stats.chunks += 1;
                     stats.points += chunk.len() as u64;
-                    let results: Vec<R> = chunk.iter().map(f).collect();
-                    if tx.send(Message::Chunk { index, results }).is_err() {
+
+                    // Supervised execution: 1 + max_retries attempts,
+                    // each over the whole chunk (the kernel is
+                    // deterministic, so a partial result has no value).
+                    let attempts = retry.max_retries.saturating_add(1);
+                    let mut backoff_us = 0.0;
+                    let mut verdict = None;
+                    for attempt in 1..=attempts {
+                        match catch_unwind(AssertUnwindSafe(|| {
+                            chunk.iter().map(f).collect::<Vec<R>>()
+                        })) {
+                            Ok(chunk_results) => {
+                                verdict = Some(Ok(chunk_results));
+                                break;
+                            }
+                            Err(payload) => {
+                                let message = panic_message(payload.as_ref());
+                                if attempt < attempts {
+                                    stats.retries += 1;
+                                    backoff_us += retry.backoff_for(attempt);
+                                } else {
+                                    verdict = Some(Err(QuarantinedChunk {
+                                        index,
+                                        attempts,
+                                        message,
+                                        backoff_us,
+                                    }));
+                                }
+                            }
+                        }
+                    }
+                    let message = match verdict {
+                        Some(Ok(results)) => Message::Chunk { index, results },
+                        Some(Err(q)) => Message::Quarantined(q),
+                        // attempts >= 1, so a verdict always exists; keep
+                        // the worker alive regardless.
+                        None => Message::Quarantined(QuarantinedChunk {
+                            index,
+                            attempts,
+                            message: "<no attempt executed>".to_string(),
+                            backoff_us,
+                        }),
+                    };
+                    if tx.send(message).is_err() {
                         break;
                     }
                 }
@@ -145,7 +285,11 @@ where
                     results: chunk_results,
                 }) => {
                     on_chunk(index, &chunk_results);
-                    results[index] = Some(chunk_results);
+                    results[index] = Some(Ok(chunk_results));
+                }
+                Ok(Message::Quarantined(q)) => {
+                    let index = q.index;
+                    results[index] = Some(Err(q));
                 }
                 Ok(Message::Done { worker, stats }) => {
                     worker_stats[worker] = stats;
@@ -162,7 +306,7 @@ where
     let mut missing = 0usize;
     for slot in results {
         match slot {
-            Some(chunk) => merged.push(chunk),
+            Some(verdict) => merged.push(verdict),
             None => missing += 1,
         }
     }
@@ -219,5 +363,59 @@ mod tests {
         let (got, stats) = map_chunks(0, Vec::<Vec<u64>>::new(), |x| *x, |_, _| {}).unwrap();
         assert!(got.is_empty());
         assert_eq!(stats.len(), 1);
+    }
+
+    #[test]
+    fn a_persistent_panic_is_quarantined_not_fatal() {
+        let (results, stats) = map_chunks_supervised(
+            2,
+            chunks(),
+            &RetryPolicy::default(),
+            |x| {
+                assert!(*x != 62, "injected failure on item 62");
+                *x * 3
+            },
+            |index, _| assert_ne!(index, 6, "quarantined chunk must not checkpoint"),
+        )
+        .unwrap();
+        assert_eq!(results.len(), 13);
+        for (i, slot) in results.iter().enumerate() {
+            if i == 6 {
+                let q = slot.as_ref().unwrap_err();
+                assert_eq!(q.index, 6);
+                assert_eq!(q.attempts, 4, "1 + default max_retries");
+                assert!(q.message.contains("62"), "{}", q.message);
+                assert!(q.backoff_us > 0.0);
+            } else {
+                let ok = slot.as_ref().unwrap();
+                assert_eq!(ok.len(), 5);
+            }
+        }
+        assert_eq!(stats.iter().map(|s| s.retries).sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn unsupervised_map_chunks_reports_a_panicking_chunk_as_lost() {
+        let err = map_chunks(
+            2,
+            chunks(),
+            |x| {
+                assert!(*x != 62, "injected failure");
+                *x
+            },
+            |_, _| {},
+        )
+        .unwrap_err();
+        assert_eq!(err, PoolError::WorkerLost { missing: 1 });
+    }
+
+    #[test]
+    fn quarantine_free_supervised_run_matches_the_unsupervised_pool() {
+        let input = chunks();
+        let (plain, _) = map_chunks(3, input.clone(), |x| x * 7, |_, _| {}).unwrap();
+        let (supervised, _) =
+            map_chunks_supervised(3, input, &RetryPolicy::default(), |x| x * 7, |_, _| {}).unwrap();
+        let supervised: Vec<Vec<u64>> = supervised.into_iter().map(|r| r.unwrap()).collect();
+        assert_eq!(plain, supervised);
     }
 }

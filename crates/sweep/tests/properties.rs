@@ -7,7 +7,10 @@ use std::path::PathBuf;
 use ena_core::dse::DesignSpace;
 use ena_core::Explorer;
 use ena_model::units::Watts;
-use ena_sweep::{hex_field, CacheMode, CacheRecord, DiskCache, SweepEngine, SweepError, SweepSpec};
+use ena_sweep::{
+    hex_field, map_chunks_supervised, CacheMode, CacheRecord, DiskCache, RetryPolicy, SweepEngine,
+    SweepError, SweepSpec,
+};
 use ena_testkit::prelude::*;
 use ena_workloads::paper_profiles;
 
@@ -154,10 +157,10 @@ proptest! {
     fn corrupt_cache_entries_degrade_to_misses(
         records in 1u32..8,
         damage_at in 0.0f64..1.0,
-        mode in 0u32..2,
+        mode in 0u32..3,
     ) {
-        let flip = mode == 1;
-        let dir = scratch(&format!("corrupt-{records}-{flip}"));
+        let flip = mode >= 1;
+        let dir = scratch(&format!("corrupt-{records}-{mode}"));
         let originals: Vec<(u64, TestRecord)> = (0..u64::from(records))
             .map(|i| (i + 1, TestRecord { value: 0.25 + i as f64 }))
             .collect();
@@ -168,12 +171,20 @@ proptest! {
         let path = cache.path().to_path_buf();
         drop(cache);
 
-        // Damage an arbitrary offset: overwrite one byte with a
-        // character outside the format's alphabet, or cut the tail.
+        // Damage an arbitrary offset: cut the tail (mode 0), overwrite
+        // one byte with a character outside the format's alphabet
+        // (mode 1), or — the case only the CRC trailer can catch —
+        // overwrite it with a *valid* hex digit (mode 2).
         let mut bytes = std::fs::read(&path).unwrap();
         let offset = ((bytes.len() - 1) as f64 * damage_at) as usize;
         if flip {
-            bytes[offset] = b'z';
+            bytes[offset] = if mode == 1 {
+                b'z'
+            } else if bytes[offset] == b'a' {
+                b'b'
+            } else {
+                b'a'
+            };
             std::fs::write(&path, &bytes).unwrap();
         } else {
             std::fs::write(&path, &bytes[..offset]).unwrap();
@@ -197,6 +208,64 @@ proptest! {
         drop(cache);
         let (_, reloaded) = DiskCache::<TestRecord>::open(&dir, 7, "v1").unwrap();
         prop_assert!(reloaded == originals);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// A panicking closure in one chunk neither deadlocks the pool nor
+    /// corrupts any other chunk: at every worker count the poisoned
+    /// chunk is quarantined after its full retry allowance and every
+    /// other chunk's results are byte-identical to the panic-free run.
+    #[test]
+    fn a_panicking_chunk_is_contained(
+        n_chunks in 2usize..12,
+        victim in 0usize..12,
+        jobs_pick in 0usize..4,
+        retries in 0u32..3,
+    ) {
+        let jobs = [1, 2, 4, 8][jobs_pick];
+        let victim = victim % n_chunks;
+        let chunks: Vec<Vec<u64>> = (0..n_chunks as u64)
+            .map(|c| (0..4).map(|i| c * 100 + i).collect())
+            .collect();
+        let retry = RetryPolicy { max_retries: retries, backoff_us: 5.0 };
+        let victim_marker = victim as u64 * 100;
+
+        let (verdicts, _) = map_chunks_supervised(
+            jobs,
+            chunks.clone(),
+            &retry,
+            |x| {
+                assert!(*x != victim_marker, "poisoned item {x}");
+                x * 3
+            },
+            |index, _| assert!(index != victim, "quarantined chunk reached on_chunk"),
+        ).expect("supervised pool never dies from a caught panic");
+
+        let (oracle, _) = map_chunks_supervised(
+            jobs,
+            chunks,
+            &retry,
+            |x| x * 3,
+            |_, _| {},
+        ).expect("panic-free run completes");
+
+        prop_assert!(verdicts.len() == n_chunks);
+        for (i, (got, want)) in verdicts.iter().zip(&oracle).enumerate() {
+            if i == victim {
+                let q = got.as_ref().expect_err("victim chunk must be quarantined");
+                prop_assert!(q.index == victim);
+                prop_assert!(q.attempts == retries + 1, "attempts={}", q.attempts);
+                prop_assert!(q.message.contains("poisoned item"), "{}", q.message);
+            } else {
+                prop_assert!(
+                    got.as_ref().ok() == want.as_ref().ok(),
+                    "chunk {i} corrupted by a panic in chunk {victim}"
+                );
+            }
+        }
     }
 }
 

@@ -70,6 +70,63 @@ if ! awk -v r="$rc_hit_rate" 'BEGIN { exit !(r >= 90.0) }'; then
   exit 1
 fi
 
+echo "==> serve smoke: cold mix, kill -9, warm restart must serve from the store"
+rm -rf artifacts/serve-cache artifacts/serve-port
+cargo build --release -p ena-cli
+ENA=target/release/ena
+serve_wait_port() {
+  for _ in $(seq 1 100); do
+    [ -s artifacts/serve-port ] && return 0
+    sleep 0.1
+  done
+  echo "ci.sh: server never wrote artifacts/serve-port" >&2
+  return 1
+}
+# Server A: cold. The client mix computes the coarse sweep, snapshots,
+# then appends one more record past the snapshot.
+$ENA serve --port 0 --port-file artifacts/serve-port --cache artifacts/serve-cache >/dev/null &
+SERVE_PID=$!
+serve_wait_port
+$ENA client --port-file artifacts/serve-port \
+  --script "SWEEP coarse; SNAPSHOT; EVAL 384 1500 4" >/dev/null
+# Unclean death: every acknowledged record must already be durable.
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+verify_out=$($ENA cache verify artifacts/serve-cache/campaign-*.sweep)
+echo "$verify_out"
+if ! echo "$verify_out" | grep -q 'torn_tail: false'; then
+  echo "ci.sh: serve cache failed verify" >&2
+  exit 1
+fi
+# Server B: warm restart on the survivor. The same mix must be ~all hits.
+rm -f artifacts/serve-port
+$ENA serve --port 0 --port-file artifacts/serve-port --cache artifacts/serve-cache >/dev/null &
+SERVE_PID=$!
+serve_wait_port
+serve_out=$($ENA client --port-file artifacts/serve-port \
+  --script "SWEEP coarse; EVAL 384 1500 4; STATS; SHUTDOWN")
+wait "$SERVE_PID"
+serve_line=$(echo "$serve_out" | grep '^cache: lookups=')
+echo "warm $serve_line"
+echo "$serve_line" | awk '{
+  for (i = 1; i <= NF; i++) {
+    split($i, kv, "=")
+    if (kv[1] == "lookups") lookups = kv[2] + 0
+    if (kv[1] == "hits") hits = kv[2] + 0
+    if (kv[1] == "evals") evals = kv[2] + 0
+    if (kv[1] == "waits") waits = kv[2] + 0
+    if (kv[1] == "hit_rate") { sub(/%/, "", kv[2]); rate = kv[2] + 0 }
+  }
+  if (lookups != hits + evals + waits) {
+    printf "ci.sh: serve accounting broken: %d != %d+%d+%d\n", lookups, hits, evals, waits > "/dev/stderr"
+    exit 1
+  }
+  if (rate < 90.0) {
+    printf "ci.sh: warm serve hit rate %s%% is below 90%%\n", rate > "/dev/stderr"
+    exit 1
+  }
+}'
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

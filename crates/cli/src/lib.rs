@@ -13,6 +13,10 @@
 //!               [--mtbf HOURS] [--checkpoint-cost MIN]
 //! ena multinode --sweep [--jobs N] [--resume] [--frontier] [--mtbf H] [--checkpoint-cost MIN]
 //! ena chaos    [--seed N] [--runs N] [--jobs N] # chaos-test the sweep substrate
+//! ena serve    [--addr HOST] [--port N] [--workers N] [--queue N] [--batch N]
+//!              [--cache DIR] [--port-file PATH] [--budget W]
+//! ena client   (--port N | --port-file PATH) --script "CMD; CMD; ..."
+//! ena cache verify PATH                         # inspect a sweep cache file
 //! ena lint     [--deny-warnings]                # determinism static analysis
 //! ```
 //!
@@ -30,13 +34,18 @@ use ena_fabric::{
     MultiNodeSweepSpec, RecoveryModel, RecoverySpace, RecoverySweep, RecoverySweepSpec,
     ScaleOutSpec,
 };
+use ena_fabric::{MultiNodeRecord, RecoveryRecord};
 use ena_faults::{
     run_campaign, run_transient_campaign, CampaignSpec, NodeFaultPlan, TransientCampaignSpec,
 };
 use ena_model::config::EhpConfig;
 use ena_model::units::{GigabytesPerSec, Megahertz, Watts};
 use ena_power::opts::PowerOptimization;
-use ena_sweep::{run_chaos_campaign, CacheMode, ChaosSpec, SweepEngine, SweepSpec};
+use ena_serve::{Client as ServeClient, ServeConfig, Server};
+use ena_sweep::{
+    read_file_info, run_chaos_campaign, verify_file, CacheMode, CacheRecord, ChaosSpec,
+    SweepEngine, SweepSpec,
+};
 use ena_workloads::{paper_profiles, profile_for};
 
 /// A parsed command.
@@ -130,6 +139,43 @@ pub enum Command {
         runs: u32,
         /// Worker thread count.
         jobs: usize,
+    },
+    /// Run the persistent evaluation service until a `SHUTDOWN` request.
+    Serve {
+        /// Interface to bind.
+        addr: String,
+        /// TCP port (0 = ephemeral).
+        port: u16,
+        /// Worker threads serving connections.
+        workers: usize,
+        /// Pending-connection queue capacity (overflow is answered BUSY).
+        queue: usize,
+        /// Largest EVAL run folded into one engine dispatch.
+        batch: usize,
+        /// Package power budget in watts.
+        budget: f64,
+        /// Persistent cache directory (None = memory only).
+        cache: Option<std::path::PathBuf>,
+        /// File to write the bound port number to (for scripts binding
+        /// port 0).
+        port_file: Option<std::path::PathBuf>,
+    },
+    /// Run a scripted client session against a running server.
+    Client {
+        /// Server host.
+        addr: String,
+        /// Server port.
+        port: Option<u16>,
+        /// File to read the server port from (written by `serve
+        /// --port-file`).
+        port_file: Option<std::path::PathBuf>,
+        /// Semicolon-separated request lines, pipelined in order.
+        script: String,
+    },
+    /// Verify a sweep cache file against its own header stamps.
+    CacheVerify {
+        /// The cache file to inspect.
+        path: std::path::PathBuf,
     },
     /// Run the `ena-lint` determinism/robustness pass over the workspace.
     Lint {
@@ -411,6 +457,80 @@ pub fn parse(mut args: Vec<String>) -> Result<Command, String> {
             }
             Command::Chaos { seed, runs, jobs }
         }
+        "serve" => {
+            let addr = take_value(&mut args, "--addr")?.unwrap_or_else(|| "127.0.0.1".into());
+            let port = take_value(&mut args, "--port")?
+                .map(|v| v.parse::<u16>().map_err(|_| format!("bad --port: {v}")))
+                .transpose()?
+                .unwrap_or(0);
+            let workers = take_value(&mut args, "--workers")?
+                .map(|v| {
+                    v.parse::<usize>()
+                        .map_err(|_| format!("bad --workers: {v}"))
+                })
+                .transpose()?
+                .unwrap_or(4);
+            if workers == 0 {
+                return Err("--workers must be at least 1".into());
+            }
+            let queue = take_value(&mut args, "--queue")?
+                .map(|v| v.parse::<usize>().map_err(|_| format!("bad --queue: {v}")))
+                .transpose()?
+                .unwrap_or(16);
+            if queue == 0 {
+                return Err("--queue must be at least 1".into());
+            }
+            let batch = take_value(&mut args, "--batch")?
+                .map(|v| v.parse::<usize>().map_err(|_| format!("bad --batch: {v}")))
+                .transpose()?
+                .unwrap_or(64);
+            if batch == 0 {
+                return Err("--batch must be at least 1".into());
+            }
+            let budget = take_value(&mut args, "--budget")?
+                .map(|v| v.parse::<f64>().map_err(|_| format!("bad --budget: {v}")))
+                .transpose()?
+                .unwrap_or(160.0);
+            Command::Serve {
+                addr,
+                port,
+                workers,
+                queue,
+                batch,
+                budget,
+                cache: take_value(&mut args, "--cache")?.map(std::path::PathBuf::from),
+                port_file: take_value(&mut args, "--port-file")?.map(std::path::PathBuf::from),
+            }
+        }
+        "client" => {
+            let addr = take_value(&mut args, "--addr")?.unwrap_or_else(|| "127.0.0.1".into());
+            let port = take_value(&mut args, "--port")?
+                .map(|v| v.parse::<u16>().map_err(|_| format!("bad --port: {v}")))
+                .transpose()?;
+            let port_file = take_value(&mut args, "--port-file")?.map(std::path::PathBuf::from);
+            if port.is_none() && port_file.is_none() {
+                return Err("client needs --port or --port-file".into());
+            }
+            let script = take_value(&mut args, "--script")?.ok_or("--script is required")?;
+            Command::Client {
+                addr,
+                port,
+                port_file,
+                script,
+            }
+        }
+        "cache" => match args.first().map(String::as_str) {
+            Some("verify") => {
+                args.remove(0);
+                if args.is_empty() {
+                    return Err("cache verify needs a file path".into());
+                }
+                Command::CacheVerify {
+                    path: std::path::PathBuf::from(args.remove(0)),
+                }
+            }
+            _ => return Err("cache supports one subcommand: verify PATH".into()),
+        },
         "lint" => Command::Lint {
             deny_warnings: take_flag(&mut args, "--deny-warnings"),
         },
@@ -439,6 +559,10 @@ commands:
   multinode --sweep [--jobs N] [--app NAME] [--resume] [--frontier]
            [--mtbf HOURS] [--checkpoint-cost MIN]
   chaos    [--seed N] [--runs N] [--jobs N]
+  serve    [--addr HOST] [--port N] [--workers N] [--queue N] [--batch N]
+           [--cache DIR] [--port-file PATH] [--budget W]
+  client   (--port N | --port-file PATH) [--addr HOST] --script \"CMD; CMD\"
+  cache verify PATH
   lint     [--deny-warnings]
   help
 
@@ -448,7 +572,10 @@ defaults: 320 CUs / 1000 MHz / 3 TB/s (the paper baseline); 64-node dragonfly ca
 --transient runs the ECC/retry/rollback campaign; --mtbf/--checkpoint-cost add a
 Young/Daly checkpoint/restart section (sweep mode: checkpoint-interval x nodes grid)
 chaos injects seeded I/O faults + worker kills into the sweep cache paths and
-verifies crash-consistency invariants (exits nonzero on any violation)";
+verifies crash-consistency invariants (exits nonzero on any violation)
+serve runs a persistent evaluation service (EVAL / SWEEP coarse|fine / FRONTIER /
+STATS / SNAPSHOT / SHUTDOWN) with single-flight memoization; client pipelines a
+';'-separated script against it; cache verify audits any sweep cache file";
 
 /// Executes a parsed command, returning the report text.
 ///
@@ -827,6 +954,105 @@ pub fn execute(command: Command) -> Result<String, String> {
             std::panic::set_hook(hook);
             let report = result.map_err(|e| e.to_string())?;
             Ok(report.render())
+        }
+        Command::Serve {
+            addr,
+            port,
+            workers,
+            queue,
+            batch,
+            budget,
+            cache,
+            port_file,
+        } => {
+            let explorer = Explorer {
+                budget: Watts::new(budget),
+                ..Explorer::default()
+            };
+            let mut config = ServeConfig::new(explorer, paper_profiles());
+            config.workers = workers;
+            config.queue_cap = queue;
+            config.max_batch = batch;
+            config.cache_dir = cache;
+            let (server, restored) = Server::new(config).map_err(|e| e.to_string())?;
+            let listener =
+                std::net::TcpListener::bind(format!("{addr}:{port}")).map_err(|e| e.to_string())?;
+            let local = listener.local_addr().map_err(|e| e.to_string())?;
+            if let Some(path) = &port_file {
+                std::fs::write(path, local.port().to_string()).map_err(|e| e.to_string())?;
+            }
+            // Announce readiness before blocking in the accept loop, so
+            // scripts (and CI) know when to connect.
+            println!("listening on {local} ({restored} records restored)");
+            use std::io::Write as _;
+            std::io::stdout().flush().map_err(|e| e.to_string())?;
+            let stats = server.serve(listener).map_err(|e| e.to_string())?;
+            Ok(format!("serve: drained after shutdown\n{stats}"))
+        }
+        Command::Client {
+            addr,
+            port,
+            port_file,
+            script,
+        } => {
+            let port = match (port, port_file) {
+                (Some(port), _) => port,
+                (None, Some(path)) => std::fs::read_to_string(&path)
+                    .map_err(|e| e.to_string())?
+                    .trim()
+                    .parse::<u16>()
+                    .map_err(|_| format!("bad port number in {}", path.display()))?,
+                (None, None) => return Err("client needs --port or --port-file".into()),
+            };
+            let mut client =
+                ServeClient::connect(&format!("{addr}:{port}")).map_err(|e| e.to_string())?;
+            let lines: Vec<&str> = script
+                .split(';')
+                .map(str::trim)
+                .filter(|line| !line.is_empty())
+                .collect();
+            if lines.is_empty() {
+                return Err("--script has no requests".into());
+            }
+            let responses = client.pipeline(&lines).map_err(|e| e.to_string())?;
+            let mut out = String::new();
+            for (line, response) in lines.iter().zip(&responses) {
+                out.push_str(&format!(">> {line}\n{response}\n"));
+            }
+            Ok(out)
+        }
+        Command::CacheVerify { path } => {
+            let info = read_file_info(&path).map_err(|e| e.to_string())?;
+            let report = match &info.record_tag {
+                t if t == <ena_core::dse::PointRecord as CacheRecord>::TAG => {
+                    verify_file::<ena_core::dse::PointRecord>(&path, info.campaign, &info.model)
+                }
+                t if t == <MultiNodeRecord as CacheRecord>::TAG => {
+                    verify_file::<MultiNodeRecord>(&path, info.campaign, &info.model)
+                }
+                t if t == <RecoveryRecord as CacheRecord>::TAG => {
+                    verify_file::<RecoveryRecord>(&path, info.campaign, &info.model)
+                }
+                other => {
+                    return Err(format!(
+                        "unknown record tag '{other}' in {}",
+                        path.display()
+                    ))
+                }
+            }
+            .map_err(|e| e.to_string())?;
+            Ok(format!(
+                "cache file {}\n\
+                 record: {} model: {} campaign: {:016x}\n\
+                 records: {} generation: {} torn_tail: {}",
+                path.display(),
+                info.record_tag,
+                info.model,
+                info.campaign,
+                report.keys.len(),
+                report.generation,
+                report.torn_tail,
+            ))
         }
         Command::Lint { deny_warnings } => {
             let cwd = std::env::current_dir().map_err(|e| e.to_string())?;
@@ -1230,5 +1456,122 @@ mod tests {
     fn invalid_config_surfaces_cleanly() {
         let err = execute(parse_str("evaluate --app CoMD --cus 416").unwrap()).unwrap_err();
         assert!(err.contains("area budget"), "{err}");
+    }
+
+    #[test]
+    fn serve_parses_all_knobs_and_rejects_zeros() {
+        let c = parse_str(
+            "serve --addr 0.0.0.0 --port 7878 --workers 2 --queue 8 --batch 32 \
+             --budget 150 --cache /tmp/c --port-file /tmp/p",
+        )
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Serve {
+                addr: "0.0.0.0".into(),
+                port: 7878,
+                workers: 2,
+                queue: 8,
+                batch: 32,
+                budget: 150.0,
+                cache: Some("/tmp/c".into()),
+                port_file: Some("/tmp/p".into()),
+            }
+        );
+        // Defaults: ephemeral port, memory-only store.
+        let c = parse_str("serve").unwrap();
+        assert_eq!(
+            c,
+            Command::Serve {
+                addr: "127.0.0.1".into(),
+                port: 0,
+                workers: 4,
+                queue: 16,
+                batch: 64,
+                budget: 160.0,
+                cache: None,
+                port_file: None,
+            }
+        );
+        assert!(parse_str("serve --workers 0").is_err());
+        assert!(parse_str("serve --queue 0").is_err());
+        assert!(parse_str("serve --batch 0").is_err());
+        assert!(parse_str("serve --port 99999").is_err());
+    }
+
+    #[test]
+    fn client_requires_a_port_source_and_a_script() {
+        let c = parse_str("client --port 7878 --script STATS").unwrap();
+        assert_eq!(
+            c,
+            Command::Client {
+                addr: "127.0.0.1".into(),
+                port: Some(7878),
+                port_file: None,
+                script: "STATS".into(),
+            }
+        );
+        assert!(parse_str("client --script STATS").is_err(), "no port");
+        assert!(parse_str("client --port 7878").is_err(), "no script");
+        let c = parse_str("client --port-file /tmp/p --script SHUTDOWN").unwrap();
+        assert_eq!(
+            c,
+            Command::Client {
+                addr: "127.0.0.1".into(),
+                port: None,
+                port_file: Some("/tmp/p".into()),
+                script: "SHUTDOWN".into(),
+            }
+        );
+    }
+
+    #[test]
+    fn cache_verify_parses_and_reports() {
+        assert_eq!(
+            parse_str("cache verify /tmp/x.cache").unwrap(),
+            Command::CacheVerify {
+                path: "/tmp/x.cache".into()
+            }
+        );
+        assert!(parse_str("cache").is_err());
+        assert!(parse_str("cache verify").is_err());
+        assert!(parse_str("cache drop /tmp/x").is_err());
+
+        // End-to-end over a real cache file written by the sweep engine.
+        let dir = std::env::temp_dir().join("ena-cli-cache-verify");
+        let _removed = std::fs::remove_dir_all(&dir);
+        let spec = SweepSpec {
+            jobs: 1,
+            cache: CacheMode::Disk(dir.clone()),
+            ..SweepSpec::new(
+                DesignSpace {
+                    cu_counts: vec![320],
+                    clocks: vec![Megahertz::new(1000.0)],
+                    bandwidths: vec![GigabytesPerSec::from_terabytes_per_sec(3.0)],
+                },
+                paper_profiles(),
+            )
+        };
+        SweepEngine::new(Explorer::default()).run(&spec).unwrap();
+        let file = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .find(|p| p.extension().is_some_and(|x| x == "sweep"))
+            .expect("sweep wrote a cache file");
+        let out = execute(Command::CacheVerify { path: file }).unwrap();
+        assert!(out.contains("record: dse-point/1"), "{out}");
+        assert!(out.contains("records: 1"), "{out}");
+        assert!(out.contains("torn_tail: false"), "{out}");
+
+        // A foreign file is a typed error naming the path.
+        let stray = dir.join("not-a-cache.txt");
+        std::fs::write(&stray, "hello\n").unwrap();
+        let err = execute(Command::CacheVerify {
+            path: stray.clone(),
+        })
+        .unwrap_err();
+        assert!(err.contains("header is missing or foreign"), "{err}");
+        assert!(err.contains(stray.display().to_string().as_str()), "{err}");
     }
 }

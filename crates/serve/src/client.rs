@@ -1,0 +1,76 @@
+//! A minimal blocking client for the evaluation service: one framed
+//! request, one framed response — plus pipelining, which is what lets
+//! the server batch a run of `EVAL`s into a single engine dispatch.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+use crate::protocol::{write_frame, FrameReader};
+
+/// A connected client over any `Read + Write` stream (a `TcpStream`,
+/// or an in-process pipe end in tests).
+#[derive(Debug)]
+pub struct Client<S> {
+    reader: FrameReader<S>,
+}
+
+impl Client<TcpStream> {
+    /// Connects over TCP to `addr` (e.g. `127.0.0.1:7878`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connection error.
+    pub fn connect(addr: &str) -> io::Result<Self> {
+        Ok(Self::new(TcpStream::connect(addr)?))
+    }
+}
+
+impl<S: Read + Write> Client<S> {
+    /// Wraps an already-connected stream.
+    pub fn new(stream: S) -> Self {
+        Self {
+            reader: FrameReader::new(stream),
+        }
+    }
+
+    /// Sends one request line and blocks for its response body.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O or framing error, or `UnexpectedEof` if the server
+    /// closes before responding (e.g. a `BUSY` rejection already read).
+    pub fn request(&mut self, line: &str) -> io::Result<String> {
+        write_frame(self.reader.get_mut(), line.as_bytes())?;
+        self.read_response()
+    }
+
+    /// Sends every request line back-to-back, then reads the responses
+    /// in order. Pipelining lands all frames before the server's
+    /// handler drains its buffer, so a run of `EVAL`s is grouped into
+    /// one engine batch.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`]; on error, responses already read are
+    /// lost.
+    pub fn pipeline(&mut self, lines: &[&str]) -> io::Result<Vec<String>> {
+        for line in lines {
+            write_frame(self.reader.get_mut(), line.as_bytes())?;
+        }
+        let mut responses = Vec::with_capacity(lines.len());
+        for _ in lines {
+            responses.push(self.read_response()?);
+        }
+        Ok(responses)
+    }
+
+    fn read_response(&mut self) -> io::Result<String> {
+        let frame = self.reader.read_frame()?.ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection before responding",
+            )
+        })?;
+        Ok(String::from_utf8_lossy(&frame).into_owned())
+    }
+}

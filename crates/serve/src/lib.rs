@@ -1,0 +1,43 @@
+//! ena-serve: a persistent concurrent evaluation service over the
+//! deterministic sweep engine.
+//!
+//! The batch CLI answers one sweep per process; interactive
+//! exploration of the paper's design space (HPCA'17 exascale APU) wants
+//! the opposite shape — a long-lived process that keeps every evaluated
+//! point hot and answers single-point probes in microseconds. This
+//! crate provides that as four layers, std-only:
+//!
+//! | Module | Layer |
+//! |---|---|
+//! | [`protocol`] | Length-prefixed frames, `EVAL`/`SWEEP`/`FRONTIER`/`STATS`/`SNAPSHOT`/`SHUTDOWN` grammar |
+//! | [`store`] | Sharded in-memory record store with single-flight dedup over the crash-consistent disk cache |
+//! | [`server`] | Worker pool, bounded admission (`BUSY`), request batching |
+//! | [`client`] | Blocking client with pipelining |
+//!
+//! # Guarantees
+//!
+//! - **Single flight**: K concurrent requests for one uncomputed point
+//!   cost exactly one engine evaluation; all K responses are
+//!   byte-identical.
+//! - **Ack implies durable**: with a cache directory configured, a
+//!   record is appended (and under `SyncPolicy::PerRecord`, fsynced)
+//!   before any `OK` carrying it is written to a client.
+//! - **Warm restart**: a restarted server reloads every intact record
+//!   of the campaign's cache file; `SNAPSHOT` compacts the file
+//!   atomically (write-temp → fsync → rename) while serving.
+//! - **Key compatibility**: memoization keys are the sweep engine's
+//!   `point_key` under the same campaign digest, so the server and
+//!   `ena sweep` share cache files in both directions.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+pub mod store;
+
+pub use client::Client;
+pub use protocol::{write_frame, EvalPoint, FrameReader, Request, BUSY, MAX_FRAME};
+pub use server::{Connection, Counters, ServeConfig, Server};
+pub use store::{Claim, FollowerTicket, LeaderToken, ShardStore, SHARD_COUNT};

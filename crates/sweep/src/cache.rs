@@ -136,6 +136,8 @@ pub struct DiskCache<R: CacheRecord = PointRecord> {
     path: PathBuf,
     writer: Box<dyn VfsFile>,
     sync: SyncPolicy,
+    campaign: u64,
+    version: String,
     generation: u64,
     /// Set when an append fails: the file tail is then in an unknown
     /// state, and blindly appending after it could strand acknowledged
@@ -240,12 +242,56 @@ impl<R: CacheRecord> DiskCache<R> {
                 path,
                 writer,
                 sync,
+                campaign,
+                version: version.to_string(),
                 generation: loaded.generation,
                 poisoned: false,
                 _record: PhantomData,
             },
             loaded.entries,
         ))
+    }
+
+    /// Replaces the on-disk image with a live snapshot of `entries`,
+    /// through the same write-temp → fsync → atomic-rename machinery as
+    /// crash repair: a kill at any instant leaves either the old image
+    /// or the new one, never a hybrid. The generation is bumped so the
+    /// snapshot lineage is visible to readers, and a handle poisoned by
+    /// a failed append is healed (the snapshot rewrote the whole file
+    /// from in-memory truth, so the damaged tail is gone).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CacheError`] for any I/O fault writing, syncing, or
+    /// renaming the snapshot, or reopening the file for append. On
+    /// error the live file is untouched and the handle is poisoned.
+    pub fn snapshot(&mut self, entries: &[(u64, R)]) -> Result<(), CacheError> {
+        let generation = self.generation + 1;
+        let result = Self::rewrite(
+            self.fs.as_ref(),
+            &self.path,
+            self.campaign,
+            &self.version,
+            generation,
+            entries,
+        )
+        .and_then(|()| {
+            self.fs
+                .open_append(&self.path)
+                .map_err(|e| CacheError::new("open for append", &self.path, e))
+        });
+        match result {
+            Ok(writer) => {
+                self.writer = writer;
+                self.generation = generation;
+                self.poisoned = false;
+                Ok(())
+            }
+            Err(e) => {
+                self.poisoned = true;
+                Err(e)
+            }
+        }
     }
 
     /// Reads and validates the on-disk image, degrading damage to the
@@ -434,21 +480,38 @@ pub struct VerifyReport {
     pub torn_tail: bool,
 }
 
-/// Why [`verify_file`] rejected a cache file.
+/// Why [`verify_file`] rejected a cache file. Every variant names the
+/// offending path: verification failures are operator-facing, and a
+/// message that cannot say *which* file failed is useless in a cache
+/// directory holding one file per campaign.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum VerifyError {
     /// The file could not be read at all.
-    Unreadable(String),
+    Unreadable {
+        /// The file that could not be read.
+        path: PathBuf,
+        /// The underlying I/O error, rendered.
+        error: String,
+    },
     /// The header line is missing or does not parse for this record
     /// type, campaign, and version.
-    BadHeader,
+    BadHeader {
+        /// The file whose header was rejected.
+        path: PathBuf,
+    },
 }
 
 impl std::fmt::Display for VerifyError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            Self::Unreadable(e) => write!(f, "cache file unreadable: {e}"),
-            Self::BadHeader => write!(f, "cache file header is missing or foreign"),
+            Self::Unreadable { path, error } => {
+                write!(f, "cache file {} unreadable: {error}", path.display())
+            }
+            Self::BadHeader { path } => write!(
+                f,
+                "cache file {} header is missing or foreign",
+                path.display()
+            ),
         }
     }
 }
@@ -473,7 +536,10 @@ pub fn verify_file<R: CacheRecord>(
 ) -> Result<VerifyReport, VerifyError> {
     let bytes = RealFs
         .read_bytes(path)
-        .map_err(|e| VerifyError::Unreadable(e.to_string()))?;
+        .map_err(|e| VerifyError::Unreadable {
+            path: path.to_path_buf(),
+            error: e.to_string(),
+        })?;
     let mut lines: Vec<&[u8]> = bytes.split(|&b| b == b'\n').collect();
     let mut torn_tail = false;
     match lines.pop() {
@@ -486,7 +552,9 @@ pub fn verify_file<R: CacheRecord>(
         .next()
         .and_then(|raw| std::str::from_utf8(raw).ok())
         .and_then(|line| parse_header::<R>(line, campaign, version))
-        .ok_or(VerifyError::BadHeader)?;
+        .ok_or_else(|| VerifyError::BadHeader {
+            path: path.to_path_buf(),
+        })?;
     let mut keys = Vec::new();
     for raw in lines {
         match std::str::from_utf8(raw).ok().and_then(parse_entry::<R>) {
@@ -501,6 +569,78 @@ pub fn verify_file<R: CacheRecord>(
         keys,
         generation,
         torn_tail,
+    })
+}
+
+/// What the header of a cache file declares, extracted without knowing
+/// the record type, campaign, or version in advance (see
+/// [`read_file_info`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CacheFileInfo {
+    /// Record-format tag (e.g. `dse-point/1`).
+    pub record_tag: String,
+    /// Model-version stamp the file was written under.
+    pub model: String,
+    /// Campaign digest.
+    pub campaign: u64,
+    /// Generation counter.
+    pub generation: u64,
+}
+
+/// Reads just the header of a cache file and returns what it declares,
+/// so tooling (e.g. `ena cache verify`) can dispatch to the right
+/// [`CacheRecord`] type and then verify the file against its *own*
+/// stamps rather than externally supplied ones.
+///
+/// # Errors
+///
+/// [`VerifyError::Unreadable`] when the file cannot be read,
+/// [`VerifyError::BadHeader`] when the first line is not a well-formed
+/// v2 cache header.
+pub fn read_file_info(path: &Path) -> Result<CacheFileInfo, VerifyError> {
+    let bytes = RealFs
+        .read_bytes(path)
+        .map_err(|e| VerifyError::Unreadable {
+            path: path.to_path_buf(),
+            error: e.to_string(),
+        })?;
+    let bad_header = || VerifyError::BadHeader {
+        path: path.to_path_buf(),
+    };
+    let header = bytes
+        .split(|&b| b == b'\n')
+        .next()
+        .and_then(|raw| std::str::from_utf8(raw).ok())
+        .ok_or_else(bad_header)?;
+    let mut fields = header.split(' ');
+    if fields.next() != Some(FORMAT) {
+        return Err(bad_header());
+    }
+    let mut tagged = |tag: &str| -> Option<String> {
+        fields
+            .next()?
+            .strip_prefix(tag)
+            .filter(|v| !v.is_empty())
+            .map(str::to_string)
+    };
+    let record_tag = tagged("record=").ok_or_else(bad_header)?;
+    let model = tagged("model=").ok_or_else(bad_header)?;
+    let campaign = tagged("campaign=")
+        .as_deref()
+        .and_then(hex_field)
+        .ok_or_else(bad_header)?;
+    let generation = tagged("generation=")
+        .as_deref()
+        .and_then(hex_field)
+        .ok_or_else(bad_header)?;
+    if fields.next().is_some() {
+        return Err(bad_header());
+    }
+    Ok(CacheFileInfo {
+        record_tag,
+        model,
+        campaign,
+        generation,
     })
 }
 
@@ -967,11 +1107,167 @@ mod tests {
         assert_eq!(report.keys, vec![11]);
         assert!(report.torn_tail);
 
-        // Foreign header: rejected.
+        // Foreign header: rejected, naming the file.
         fs::write(&path, "not a cache file\n").unwrap();
         assert_eq!(
             verify_file::<PointRecord>(&path, 7, "v1").unwrap_err(),
-            VerifyError::BadHeader
+            VerifyError::BadHeader { path: path.clone() }
+        );
+    }
+
+    #[test]
+    fn verify_errors_name_the_offending_path() {
+        let dir = tmp("verify-path");
+        let missing = dir.join("campaign-0000000000000000.sweep");
+        let err = verify_file::<PointRecord>(&missing, 0, "v1").unwrap_err();
+        assert!(
+            err.to_string().contains(&missing.display().to_string()),
+            "{err}"
+        );
+        fs::create_dir_all(&dir).unwrap();
+        let foreign = dir.join("foreign.sweep");
+        fs::write(&foreign, "junk\n").unwrap();
+        let err = verify_file::<PointRecord>(&foreign, 0, "v1").unwrap_err();
+        assert!(
+            err.to_string().contains(&foreign.display().to_string()),
+            "{err}"
+        );
+        let err = read_file_info(&foreign).unwrap_err();
+        assert!(
+            err.to_string().contains(&foreign.display().to_string()),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn read_file_info_reports_the_header_stamps() {
+        let dir = tmp("info");
+        let (mut cache, _) = DiskCache::open(&dir, 0xABCD, "v7").unwrap();
+        cache.append(11, &record(0.0)).unwrap();
+        let path = cache.path().to_path_buf();
+        drop(cache);
+
+        let info = read_file_info(&path).unwrap();
+        assert_eq!(
+            info,
+            CacheFileInfo {
+                record_tag: "dse-point/1".into(),
+                model: "v7".into(),
+                campaign: 0xABCD,
+                generation: 0,
+            }
+        );
+    }
+
+    #[test]
+    fn snapshot_rewrites_atomically_and_heals_poison() {
+        let dir = tmp("snapshot");
+        let (mut cache, _) = DiskCache::open(&dir, 7, "v1").unwrap();
+        cache.append(11, &record(0.0)).unwrap();
+        cache.append(22, &record(1.0)).unwrap();
+        let path = cache.path().to_path_buf();
+
+        // Snapshot a *different* entry set (e.g. the in-memory shard
+        // store truth): the image is replaced wholesale, bit-exactly,
+        // under a bumped generation.
+        let entries = vec![(33, record(2.0)), (44, record(3.0))];
+        cache.snapshot(&entries).unwrap();
+        assert_eq!(cache.generation(), 1);
+        // The handle keeps accepting appends after the snapshot.
+        cache.append(55, &record(4.0)).unwrap();
+        drop(cache);
+
+        let (cache, loaded) = DiskCache::<PointRecord>::open(&dir, 7, "v1").unwrap();
+        assert_eq!(
+            loaded,
+            vec![(33, record(2.0)), (44, record(3.0)), (55, record(4.0))]
+        );
+        assert_eq!(cache.generation(), 1);
+        drop(cache);
+
+        let report = verify_file::<PointRecord>(&path, 7, "v1").unwrap();
+        assert_eq!(report.keys, vec![33, 44, 55]);
+        assert!(!report.torn_tail);
+    }
+
+    #[test]
+    fn failed_snapshot_leaves_the_live_file_untouched() {
+        let dir = tmp("snapshot-fail");
+        let (mut cache, _) = DiskCache::open(&dir, 7, "v1").unwrap();
+        cache.append(11, &record(0.0)).unwrap();
+        let path = cache.path().to_path_buf();
+        drop(cache);
+        let before = fs::read(&path).unwrap();
+
+        // Reopen through a filesystem that fails temp-file creation: the
+        // snapshot must error without corrupting the live image, and
+        // poison the handle.
+        #[derive(Debug)]
+        struct NoCreate;
+        impl Vfs for NoCreate {
+            fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+                RealFs.create_dir_all(dir)
+            }
+            fn read_bytes(&self, path: &Path) -> io::Result<Vec<u8>> {
+                RealFs.read_bytes(path)
+            }
+            fn open_append(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+                RealFs.open_append(path)
+            }
+            fn create(&self, _path: &Path) -> io::Result<Box<dyn VfsFile>> {
+                Err(io::Error::other("injected create failure"))
+            }
+            fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+                RealFs.rename(from, to)
+            }
+            fn remove_file(&self, path: &Path) -> io::Result<()> {
+                RealFs.remove_file(path)
+            }
+        }
+        let (mut cache, _) = DiskCache::<PointRecord>::open_with(
+            Arc::new(NoCreate),
+            SyncPolicy::PerRecord,
+            &dir,
+            7,
+            "v1",
+        )
+        .unwrap();
+        let err = cache.snapshot(&[(99, record(9.0))]).unwrap_err();
+        assert!(err.to_string().contains("injected create failure"), "{err}");
+        assert_eq!(fs::read(&path).unwrap(), before);
+        // Poisoned until the next open.
+        assert!(cache.append(22, &record(1.0)).is_err());
+    }
+
+    #[test]
+    fn error_sources_chain_to_the_underlying_io_error() {
+        use std::error::Error as _;
+
+        let cache_err = CacheError {
+            op: "append",
+            path: PathBuf::from("/tmp/x.sweep"),
+            source: io::Error::other("disk on fire"),
+        };
+        assert!(cache_err.source().is_some());
+        assert!(
+            cache_err.to_string().contains("/tmp/x.sweep"),
+            "{cache_err}"
+        );
+
+        let sweep_err = crate::engine::SweepError::Cache(cache_err);
+        let chained = sweep_err.source().expect("cache source");
+        assert!(chained.to_string().contains("/tmp/x.sweep"), "{chained}");
+        assert!(crate::engine::SweepError::EmptySpace.source().is_none());
+
+        let verify_err = VerifyError::Unreadable {
+            path: PathBuf::from("/tmp/y.sweep"),
+            error: "gone".into(),
+        };
+        // VerifyError carries a rendered message, not a live source.
+        assert!(verify_err.source().is_none());
+        assert!(
+            verify_err.to_string().contains("/tmp/y.sweep"),
+            "{verify_err}"
         );
     }
 

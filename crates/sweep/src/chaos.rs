@@ -160,7 +160,12 @@ impl ChaosReport {
 #[derive(Debug)]
 pub enum ChaosError {
     /// Clearing or probing the cache directory failed.
-    Setup(io::Error),
+    Setup {
+        /// The file or directory the setup step touched.
+        path: std::path::PathBuf,
+        /// The underlying I/O error.
+        source: io::Error,
+    },
     /// The fault-free oracle run failed — the campaign has no baseline.
     Oracle(SweepError),
     /// The final clean run failed outright.
@@ -217,7 +222,9 @@ pub enum ChaosError {
 impl std::fmt::Display for ChaosError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            Self::Setup(e) => write!(f, "chaos campaign setup: {e}"),
+            Self::Setup { path, source } => {
+                write!(f, "chaos campaign setup on {}: {source}", path.display())
+            }
             Self::Oracle(e) => write!(f, "chaos oracle run failed: {e}"),
             Self::FinalRun(e) => write!(f, "chaos final clean run failed: {e}"),
             Self::UnparseableCache { run, error } => {
@@ -259,7 +266,7 @@ impl std::fmt::Display for ChaosError {
 impl std::error::Error for ChaosError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            Self::Setup(e) => Some(e),
+            Self::Setup { source, .. } => Some(source),
             Self::Oracle(e) | Self::FinalRun(e) => Some(e),
             _ => None,
         }
@@ -337,7 +344,12 @@ pub fn run_chaos_campaign(
     match std::fs::remove_dir_all(&spec.dir) {
         Ok(()) => {}
         Err(e) if e.kind() == io::ErrorKind::NotFound => {}
-        Err(e) => return Err(ChaosError::Setup(e)),
+        Err(e) => {
+            return Err(ChaosError::Setup {
+                path: spec.dir.clone(),
+                source: e,
+            })
+        }
     }
 
     let mut runs = Vec::new();
@@ -364,7 +376,12 @@ pub fn run_chaos_campaign(
         // Invariant 1: whatever survived must parse cleanly.
         let (on_disk, torn_tail) = match std::fs::metadata(&cache_path) {
             Err(e) if e.kind() == io::ErrorKind::NotFound => (Vec::new(), false),
-            Err(e) => return Err(ChaosError::Setup(e)),
+            Err(e) => {
+                return Err(ChaosError::Setup {
+                    path: cache_path.clone(),
+                    source: e,
+                })
+            }
             Ok(_) => match verify_file::<PointRecord>(&cache_path, campaign, version) {
                 Ok(report) => (report.keys, report.torn_tail),
                 Err(e) => {

@@ -332,6 +332,51 @@ impl From<DseError> for SweepError {
 /// catches them. Production sweeps leave it unset.
 pub type Failpoint = Arc<dyn Fn(u64) + Send + Sync>;
 
+/// Digest of everything besides the point coordinates that determines an
+/// evaluation: budget, evaluation options, and the profile set. The
+/// model version is deliberately *not* folded in — it lives in the
+/// cache-file header so a bump is detected and evicted rather than
+/// silently shunted to a fresh file next to the stale one.
+///
+/// Public so other memoization layers (e.g. `ena-serve`'s shard store)
+/// address the *same* cache files the sweep engine writes.
+pub fn campaign_digest(explorer: &Explorer, profiles: &[KernelProfile]) -> u64 {
+    let mut h = StableHasher::new();
+    h.write_f64(explorer.budget.value());
+    // EvalOptions has no stable-hash impl of its own; its Debug form
+    // covers every field (miss fraction + optimization list).
+    h.write_str(&format!("{:?}", explorer.options));
+    profiles.stable_hash(&mut h);
+    h.finish()
+}
+
+/// Content address of one design point within a campaign — the
+/// memoization key used in memory and on disk. Shared with `ena-serve`
+/// so a serving cache and a sweep cache are interchangeable.
+pub fn point_key(campaign: u64, point: &ena_core::dse::ConfigPoint) -> u64 {
+    let mut h = StableHasher::new();
+    h.write_u64(campaign);
+    h.write_u32(point.cus);
+    h.write_f64(point.clock.value());
+    h.write_f64(point.bandwidth.value());
+    h.finish()
+}
+
+/// Evaluates one batch of keyed points as a single engine chunk:
+/// sequentially, in the order given, through the same pure
+/// [`Explorer::evaluate_point`] kernel the sweep pool uses. Results are
+/// therefore byte-identical to any other evaluation of the same points.
+pub fn evaluate_batch(
+    explorer: &Explorer,
+    batch: &[(u64, ena_core::dse::ConfigPoint)],
+    profiles: &[KernelProfile],
+) -> Vec<(u64, PointRecord)> {
+    batch
+        .iter()
+        .map(|(key, point)| (*key, explorer.evaluate_point(*point, profiles)))
+        .collect()
+}
+
 /// The memoizing sweep engine.
 pub struct SweepEngine {
     explorer: Explorer,
@@ -383,28 +428,10 @@ impl SweepEngine {
         &self.explorer
     }
 
-    /// Digest of everything besides the point coordinates that determines
-    /// an evaluation: budget, evaluation options, and the profile set.
-    /// The model version is deliberately *not* folded in — it lives in
-    /// the cache-file header so a bump is detected and evicted rather
-    /// than silently shunted to a fresh file next to the stale one.
-    pub(crate) fn campaign_digest(&self, profiles: &[KernelProfile]) -> u64 {
-        let mut h = StableHasher::new();
-        h.write_f64(self.explorer.budget.value());
-        // EvalOptions has no stable-hash impl of its own; its Debug form
-        // covers every field (miss fraction + optimization list).
-        h.write_str(&format!("{:?}", self.explorer.options));
-        profiles.stable_hash(&mut h);
-        h.finish()
-    }
-
-    fn point_key(campaign: u64, point: &ena_core::dse::ConfigPoint) -> u64 {
-        let mut h = StableHasher::new();
-        h.write_u64(campaign);
-        h.write_u32(point.cus);
-        h.write_f64(point.clock.value());
-        h.write_f64(point.bandwidth.value());
-        h.finish()
+    /// This engine's campaign digest over `profiles`; see the free
+    /// function [`campaign_digest`].
+    pub fn campaign_digest(&self, profiles: &[KernelProfile]) -> u64 {
+        campaign_digest(&self.explorer, profiles)
     }
 
     /// Runs one sweep: resolves cache hits, evaluates the remainder on
@@ -440,10 +467,7 @@ impl SweepEngine {
         };
 
         let points = spec.space.points();
-        let keys: Vec<u64> = points
-            .iter()
-            .map(|p| Self::point_key(campaign, p))
-            .collect();
+        let keys: Vec<u64> = points.iter().map(|p| point_key(campaign, p)).collect();
 
         let fresh: Vec<(u64, ena_core::dse::ConfigPoint)> = keys
             .iter()

@@ -62,12 +62,13 @@ pub mod pareto;
 pub mod pool;
 
 pub use cache::{
-    crc32, hex_field, verify_file, CacheRecord, DiskCache, SyncPolicy, VerifyError, VerifyReport,
+    crc32, hex_field, read_file_info, verify_file, CacheError, CacheFileInfo, CacheRecord,
+    DiskCache, SyncPolicy, VerifyError, VerifyReport,
 };
 pub use chaos::{run_chaos_campaign, ChaosError, ChaosReport, ChaosSpec};
 pub use engine::{
-    CacheMode, Failpoint, QuarantineEntry, QuarantineReport, SweepEngine, SweepError, SweepOutcome,
-    SweepSpec, Telemetry,
+    campaign_digest, evaluate_batch, point_key, CacheMode, Failpoint, QuarantineEntry,
+    QuarantineReport, SweepEngine, SweepError, SweepOutcome, SweepSpec, Telemetry,
 };
 pub use pareto::{frontier_indices, pareto_frontier, FrontierPoint};
 pub use pool::{map_chunks, map_chunks_supervised, QuarantinedChunk, RetryPolicy, WorkerStats};

@@ -34,3 +34,4 @@ pub mod rng;
 pub mod sample;
 #[cfg(feature = "timing")]
 pub mod timing;
+pub mod transport;

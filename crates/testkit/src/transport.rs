@@ -1,0 +1,176 @@
+//! Deterministic in-process byte transport: a connected pair of duplex
+//! pipe ends implementing `Read + Write`, mirroring a TCP stream's
+//! blocking semantics without sockets, ports, or the OS network stack.
+//!
+//! `ena-serve`'s connection handlers are generic over `Read + Write`,
+//! so driving them through a [`pair`] makes protocol, batching, and
+//! single-flight behavior testable hermetically and deterministically:
+//! the only nondeterminism left is thread interleaving, which the
+//! server's invariants must tolerate anyway.
+//!
+//! Close semantics match a dropped socket: when one end is dropped, the
+//! peer's reads drain the remaining buffered bytes and then see EOF
+//! (`Ok(0)`), and the peer's writes fail with `BrokenPipe`.
+
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// One direction of the duplex pipe: a bounded-by-usage byte queue plus
+/// a closed flag.
+#[derive(Debug, Default)]
+struct ChannelState {
+    buf: VecDeque<u8>,
+    closed: bool,
+}
+
+#[derive(Debug, Default)]
+struct Channel {
+    state: Mutex<ChannelState>,
+    readable: Condvar,
+}
+
+impl Channel {
+    fn lock(&self) -> MutexGuard<'_, ChannelState> {
+        self.state
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    fn close(&self) {
+        self.lock().closed = true;
+        self.readable.notify_all();
+    }
+}
+
+/// One end of a connected in-process duplex pipe (see [`pair`]).
+///
+/// Blocking `Read`/`Write` with socket-like EOF and `BrokenPipe`
+/// behavior; `Send`, so one end can move into a server thread while the
+/// test drives the other.
+#[derive(Debug)]
+pub struct PipeEnd {
+    /// Bytes the peer wrote, for us to read.
+    rx: Arc<Channel>,
+    /// Bytes we write, for the peer to read.
+    tx: Arc<Channel>,
+}
+
+/// Creates a connected pair of pipe ends: bytes written to one end are
+/// read from the other, in order, both directions.
+pub fn pair() -> (PipeEnd, PipeEnd) {
+    let a_to_b = Arc::new(Channel::default());
+    let b_to_a = Arc::new(Channel::default());
+    (
+        PipeEnd {
+            rx: b_to_a.clone(),
+            tx: a_to_b.clone(),
+        },
+        PipeEnd {
+            rx: a_to_b,
+            tx: b_to_a,
+        },
+    )
+}
+
+impl Read for PipeEnd {
+    fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+        if out.is_empty() {
+            return Ok(0);
+        }
+        let mut state = self.rx.lock();
+        while state.buf.is_empty() && !state.closed {
+            state = self
+                .rx
+                .readable
+                .wait(state)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+        if state.buf.is_empty() {
+            return Ok(0); // peer dropped and the queue is drained: EOF
+        }
+        let n = out.len().min(state.buf.len());
+        for slot in out.iter_mut().take(n) {
+            // The loop bound is the queue length, so the queue cannot be
+            // empty here; an empty queue would be an internal bug worth
+            // surfacing over silently short-reading.
+            let Some(byte) = state.buf.pop_front() else {
+                break;
+            };
+            *slot = byte;
+        }
+        Ok(n)
+    }
+}
+
+impl Write for PipeEnd {
+    fn write(&mut self, bytes: &[u8]) -> io::Result<usize> {
+        let mut state = self.tx.lock();
+        if state.closed {
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "peer end of the in-process pipe was dropped",
+            ));
+        }
+        state.buf.extend(bytes.iter().copied());
+        self.tx.readable.notify_all();
+        Ok(bytes.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(()) // writes land in the shared queue immediately
+    }
+}
+
+impl Drop for PipeEnd {
+    fn drop(&mut self) {
+        // Half-close both directions, like a socket teardown: the peer
+        // reads out the buffered tail then EOF, and its writes fail.
+        self.tx.close();
+        self.rx.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_round_trip_in_order() {
+        let (mut a, mut b) = pair();
+        a.write_all(b"hello").unwrap();
+        a.write_all(b" world").unwrap();
+        let mut buf = [0u8; 11];
+        b.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"hello world");
+
+        b.write_all(b"pong").unwrap();
+        let mut buf = [0u8; 4];
+        a.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"pong");
+    }
+
+    #[test]
+    fn drop_drains_then_eofs_and_breaks_writes() {
+        let (mut a, mut b) = pair();
+        a.write_all(b"tail").unwrap();
+        drop(a);
+        let mut buf = Vec::new();
+        b.read_to_end(&mut buf).unwrap();
+        assert_eq!(buf, b"tail");
+        let err = b.write_all(b"x").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::BrokenPipe);
+    }
+
+    #[test]
+    fn blocking_read_wakes_on_cross_thread_write() {
+        let (mut a, mut b) = pair();
+        let t = std::thread::spawn(move || {
+            let mut buf = [0u8; 3];
+            b.read_exact(&mut buf).unwrap();
+            buf
+        });
+        a.write_all(b"abc").unwrap();
+        assert_eq!(t.join().unwrap(), *b"abc");
+    }
+}

@@ -67,6 +67,7 @@ pub use ena_memory as memory;
 pub use ena_model as model;
 pub use ena_noc as noc;
 pub use ena_power as power;
+pub use ena_serve as serve;
 pub use ena_sweep as sweep;
 pub use ena_thermal as thermal;
 pub use ena_workloads as workloads;

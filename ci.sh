@@ -130,7 +130,9 @@ echo "$serve_line" | awk '{
 echo "==> cargo fmt --check"
 cargo fmt --check
 
-echo "==> ena-lint (determinism & robustness static analysis)"
-cargo run -q -p ena-lint -- --deny-warnings
+echo "==> ena-lint (determinism, robustness & concurrency static analysis)"
+cargo run -q -p ena-lint -- --deny-warnings --emit-lock-graph artifacts/lock_graph.txt
+cargo run -q -p ena-lint -- --deny-warnings --json > artifacts/lint.json
+echo "wrote artifacts/lock_graph.txt and artifacts/lint.json"
 
 echo "ci.sh: all checks passed"

@@ -253,9 +253,14 @@ impl Lexer {
         self.bump(); // opening quote
         match (self.peek(0), self.peek(1)) {
             (Some('\\'), _) => {
-                // escaped char literal: '\n', '\'', '\u{..}'
+                // escaped char literal: '\n', '\'', '\u{..}'. The char
+                // right after the backslash is part of the escape even
+                // when it is a quote, so consume it unconditionally.
                 let mut text = String::from("\\");
                 self.bump();
+                if let Some(e) = self.bump() {
+                    text.push(e);
+                }
                 while let Some(c) = self.bump() {
                     if c == '\'' {
                         break;
@@ -427,5 +432,104 @@ mod tests {
         let toks = lex("a\nb\n\nc");
         let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
         assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn multi_hash_raw_strings_keep_embedded_fences_and_line_counts() {
+        let toks = lex("let s = r##\"a \"# b\nc\"##; after");
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Str && t.text == "a \"# b\nc"));
+        let after = toks
+            .iter()
+            .find(|t| t.is_ident("after"))
+            .expect("token after the raw string");
+        assert_eq!(after.line, 2, "newline inside the raw string counts");
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings_lex_as_strings() {
+        let toks = kinds("let a = b\"abc\"; let b = br#\"x\"y\"#; let c = b'z';");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| matches!(k, TokKind::Str) && t == "abc"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| matches!(k, TokKind::Str) && t == "x\"y"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| matches!(k, TokKind::Char) && t == "z"));
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_plain_idents() {
+        let toks = kinds("let r#type = r#match + 1;");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| matches!(k, TokKind::Ident) && t == "type"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| matches!(k, TokKind::Ident) && t == "match"));
+        assert!(
+            !toks.iter().any(|(k, _)| matches!(k, TokKind::Str)),
+            "r# before an ident is not a raw-string opener"
+        );
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_desync_the_stream() {
+        let toks = kinds("let a = '\\''; let b = \"\\\\\"; let c = 'x'; done");
+        let chars: Vec<&String> = toks
+            .iter()
+            .filter(|(k, _)| matches!(k, TokKind::Char))
+            .map(|(_, t)| t)
+            .collect();
+        assert_eq!(chars, [&"\\'".to_string(), &"x".to_string()]);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| matches!(k, TokKind::Str) && t == "\\\\"));
+        assert!(
+            toks.iter()
+                .any(|(k, t)| matches!(k, TokKind::Ident) && t == "done"),
+            "the trailing ident survives: {toks:?}"
+        );
+    }
+
+    #[test]
+    fn nested_block_comments_track_lines_across_depth() {
+        let toks = lex("/* l1\n/* l2 */\nl3 */ x");
+        let x = toks.iter().find(|t| t.is_ident("x")).expect("x survives");
+        assert_eq!(x.line, 3);
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokKind::Comment).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn lifetime_labels_and_underscore_char_disambiguate() {
+        let toks = kinds(
+            "fn g() { 'outer: loop { break 'outer; } let s: &'static str = \"\"; let u = '_'; }",
+        );
+        let lifetimes: Vec<&String> = toks
+            .iter()
+            .filter(|(k, _)| matches!(k, TokKind::Lifetime))
+            .map(|(_, t)| t)
+            .collect();
+        assert_eq!(lifetimes.len(), 3, "{lifetimes:?}");
+        assert!(lifetimes.iter().all(|t| *t == "'outer" || *t == "'static"));
+        assert!(
+            toks.iter()
+                .any(|(k, t)| matches!(k, TokKind::Char) && t == "_"),
+            "'_' in expression position is a char, not a lifetime"
+        );
+    }
+
+    #[test]
+    fn unterminated_constructs_terminate_the_lexer_gracefully() {
+        for src in ["\"abc", "r#\"abc", "/* abc", "'", "b\"abc", "r##\"abc\"#"] {
+            let toks = lex(src);
+            assert!(!toks.is_empty() || src.is_empty(), "{src:?} lexes");
+        }
     }
 }

@@ -1,5 +1,5 @@
-//! `ena-lint`: the workspace's determinism and robustness
-//! static-analysis pass.
+//! `ena-lint`: the workspace's determinism, robustness, and
+//! concurrency static-analysis pass.
 //!
 //! The reproduction's headline claims rest on bit-exact determinism:
 //! the golden harness (`ena-testkit`) and the content-addressed sweep
@@ -17,12 +17,30 @@
 //! - `forbid-unsafe` — every crate root carries
 //!   `#![forbid(unsafe_code)]`
 //! - `no-narrowing-cast` — no truncating `as` casts in library code
+//! - `no-ignored-io-result` — no `let _ =` discarding an I/O `Result`
+//!
+//! A second, workspace-wide semantic phase ([`parser`], [`sema`],
+//! [`rules::concurrency`]) recovers function bodies, tracks live lock
+//! guards statement-by-statement, and propagates acquisitions and
+//! blocking reach over an approximate call graph to enforce the
+//! concurrency invariants:
+//!
+//! - `lock-order-cycle` — the workspace lock-acquisition graph is
+//!   acyclic (violations carry the full witness chain)
+//! - `double-lock` — no path re-acquires a lock it already holds
+//! - `condvar-wait-not-in-loop` — waits re-check their predicate
+//! - `blocking-under-lock` — no I/O/fsync/sleep/`evaluate_*` under a
+//!   lock, outside justified `// ena:durability(lock): why` sections
+//! - `guard-across-wait` — no unrelated guard held across a wait
 //!
 //! Per-crate levels live in `lint.toml`; single findings can be
 //! suppressed in-source with a justified comment directive (see
 //! [`scan::AllowDirective`]). Each directive suppresses exactly one
 //! finding and must be used — stale directives are themselves
 //! diagnostics, so suppressions never outlive the code they excused.
+//! The inferred lock graph renders deterministically
+//! ([`Report::lock_graph`]) and diagnostics are available as JSON
+//! ([`Report::to_json`]) for archival.
 //!
 //! The tool lints itself: this crate's library code passes every rule
 //! it enforces.
@@ -33,8 +51,10 @@
 pub mod config;
 pub mod diag;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
 pub mod scan;
+pub mod sema;
 
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -101,6 +121,10 @@ pub struct Report {
     pub files_scanned: usize,
     /// Findings suppressed by in-source directives.
     pub suppressed: usize,
+    /// The suppressed findings themselves (for `--json` transparency).
+    pub suppressed_diagnostics: Vec<Diagnostic>,
+    /// Deterministic rendering of the workspace lock-acquisition graph.
+    pub lock_graph: String,
 }
 
 impl Report {
@@ -125,6 +149,53 @@ impl Report {
             self.suppressed,
         ));
         out
+    }
+
+    /// Machine-readable rendering: one stable JSON document with every
+    /// diagnostic (active first, then suppressed, each in `sort_key`
+    /// order) plus the run summary. Hand-rolled — the analyzer takes
+    /// no dependencies.
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            let mut out = String::with_capacity(s.len() + 2);
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out
+        }
+        fn entry(d: &Diagnostic, suppressed: bool) -> String {
+            format!(
+                "    {{\"rule\": \"{}\", \"severity\": \"{}\", \"file\": \"{}\", \
+                 \"line\": {}, \"message\": \"{}\", \"hint\": \"{}\", \
+                 \"suppressed\": {}}}",
+                esc(d.rule),
+                d.severity,
+                esc(&d.file),
+                d.line,
+                esc(&d.message),
+                esc(&d.hint),
+                suppressed
+            )
+        }
+        let mut rows: Vec<String> = self.diagnostics.iter().map(|d| entry(d, false)).collect();
+        rows.extend(self.suppressed_diagnostics.iter().map(|d| entry(d, true)));
+        let body = if rows.is_empty() {
+            "[]".to_string()
+        } else {
+            format!("[\n{}\n  ]", rows.join(",\n"))
+        };
+        format!(
+            "{{\n  \"version\": 1,\n  \"files_scanned\": {},\n  \"suppressed\": {},\n  \
+             \"diagnostics\": {body}\n}}\n",
+            self.files_scanned, self.suppressed
+        )
     }
 }
 
@@ -165,56 +236,99 @@ pub fn load_config(opts: &Options) -> Result<LintConfig, LintError> {
 pub fn run(opts: &Options) -> Result<Report, LintError> {
     let cfg = load_config(opts)?;
     let crates = scan::load_workspace(&opts.root)?;
-    let mut diagnostics = Vec::new();
-    let mut files_scanned = 0;
-    let mut suppressed = 0;
-    for krate in &crates {
-        files_scanned += krate.files.len();
-        // Raw findings per file, tagged with their rule.
-        let mut per_file: Vec<Vec<(&'static str, Finding)>> =
-            krate.files.iter().map(|_| Vec::new()).collect();
+    let files_scanned = crates.iter().map(|k| k.files.len()).sum();
+
+    // Phase 1: per-file and per-crate rules, collected per (crate,
+    // file) so the workspace phase can append before suppression runs.
+    let mut per_file: Vec<Vec<Vec<(&'static str, Finding)>>> = crates
+        .iter()
+        .map(|k| k.files.iter().map(|_| Vec::new()).collect())
+        .collect();
+    for (ci, krate) in crates.iter().enumerate() {
         for rule in rules::PER_FILE {
             if cfg.level_for(&krate.name, rule.id) == Level::Allow {
                 continue;
             }
-            for (idx, file) in krate.files.iter().enumerate() {
-                if let Some(slot) = per_file.get_mut(idx) {
+            for (fi, file) in krate.files.iter().enumerate() {
+                if let Some(slot) = per_file.get_mut(ci).and_then(|c| c.get_mut(fi)) {
                     slot.extend((rule.check)(file).into_iter().map(|f| (rule.id, f)));
                 }
             }
         }
         if cfg.level_for(&krate.name, rules::STABLE_HASH_ID) != Level::Allow {
-            for (idx, finding) in rules::stable_hash::check_crate(&krate.files) {
-                if let Some(slot) = per_file.get_mut(idx) {
+            for (fi, finding) in rules::stable_hash::check_crate(&krate.files) {
+                if let Some(slot) = per_file.get_mut(ci).and_then(|c| c.get_mut(fi)) {
                     slot.push((rules::STABLE_HASH_ID, finding));
                 }
             }
         }
-        for (file, findings) in krate.files.iter().zip(per_file.into_iter()) {
-            let (kept, n_suppressed, meta) = apply_allows(&cfg, file, findings);
-            suppressed += n_suppressed;
-            for (rule, finding) in kept {
+    }
+
+    // Phase 2: the workspace-level concurrency rules. Their findings
+    // route back into the owning file's list so `// ena:allow`
+    // directives and per-crate levels apply uniformly.
+    let ws = rules::concurrency::check_workspace(&crates);
+    let mut diagnostics = Vec::new();
+    for wf in ws.findings {
+        let (ci, fi) = wf.file_idx;
+        let crate_name = crates.get(ci).map(|k| k.name.as_str()).unwrap_or("");
+        if cfg.level_for(crate_name, wf.rule) == Level::Allow {
+            continue;
+        }
+        if let Some(slot) = per_file.get_mut(ci).and_then(|c| c.get_mut(fi)) {
+            slot.push((wf.rule, wf.finding));
+        }
+    }
+    for wf in ws.meta {
+        let (ci, fi) = wf.file_idx;
+        if let Some(file) = crates.get(ci).and_then(|k| k.files.get(fi)) {
+            diagnostics.push(meta_diag(
+                wf.rule,
+                file,
+                wf.finding.line,
+                wf.finding.message,
+                wf.finding.hint,
+            ));
+        }
+    }
+
+    // Phase 3: suppression directives and severity mapping.
+    let mut suppressed_diagnostics = Vec::new();
+    for (ci, krate) in crates.iter().enumerate() {
+        for (fi, file) in krate.files.iter().enumerate() {
+            let findings = per_file
+                .get_mut(ci)
+                .and_then(|c| c.get_mut(fi))
+                .map(std::mem::take)
+                .unwrap_or_default();
+            let (kept, dropped, meta) = apply_allows(&cfg, file, findings);
+            let to_diag = |(rule, finding): (&'static str, Finding)| {
                 let severity = match cfg.level_for(&krate.name, rule) {
                     Level::Warn => Severity::Warn,
                     _ => Severity::Deny,
                 };
-                diagnostics.push(Diagnostic {
+                Diagnostic {
                     rule,
                     severity,
                     file: file.rel_path.clone(),
                     line: finding.line,
                     message: finding.message,
                     hint: finding.hint,
-                });
-            }
+                }
+            };
+            diagnostics.extend(kept.into_iter().map(to_diag));
+            suppressed_diagnostics.extend(dropped.into_iter().map(to_diag));
             diagnostics.extend(meta);
         }
     }
     diagnostics.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
+    suppressed_diagnostics.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
     Ok(Report {
         diagnostics,
         files_scanned,
-        suppressed,
+        suppressed: suppressed_diagnostics.len(),
+        suppressed_diagnostics,
+        lock_graph: ws.lock_graph,
     })
 }
 
@@ -225,14 +339,19 @@ pub fn run(opts: &Options) -> Result<Report, LintError> {
 /// directives (unknown rule, missing justification) and unused ones
 /// become diagnostics themselves, so the suppression surface stays
 /// reviewable and minimal.
+#[allow(clippy::type_complexity)]
 fn apply_allows(
     cfg: &LintConfig,
     file: &SourceFile,
     findings: Vec<(&'static str, Finding)>,
-) -> (Vec<(&'static str, Finding)>, usize, Vec<Diagnostic>) {
+) -> (
+    Vec<(&'static str, Finding)>,
+    Vec<(&'static str, Finding)>,
+    Vec<Diagnostic>,
+) {
     let mut live: Vec<Option<(&'static str, Finding)>> = findings.into_iter().map(Some).collect();
     let mut meta = Vec::new();
-    let mut suppressed = 0;
+    let mut suppressed = Vec::new();
     for directive in &file.allows {
         if !rules::is_known_rule(&directive.rule) {
             meta.push(meta_diag(
@@ -265,8 +384,9 @@ fn apply_allows(
         });
         match slot {
             Some(s) => {
-                *s = None;
-                suppressed += 1;
+                if let Some(taken) = s.take() {
+                    suppressed.push(taken);
+                }
             }
             None => {
                 // A directive for a rule the config already allows is
@@ -323,10 +443,15 @@ mod tests {
     use super::*;
     use test_util::file_from_source;
 
+    #[allow(clippy::type_complexity)]
     fn run_allows(
         src: &str,
         findings: Vec<(&'static str, Finding)>,
-    ) -> (Vec<(&'static str, Finding)>, usize, Vec<Diagnostic>) {
+    ) -> (
+        Vec<(&'static str, Finding)>,
+        Vec<(&'static str, Finding)>,
+        Vec<Diagnostic>,
+    ) {
         let file = file_from_source(src, "src/lib.rs");
         apply_allows(&LintConfig::default(), &file, findings)
     }
@@ -344,7 +469,7 @@ mod tests {
         let src = "// ena:allow(no-wallclock): one-off telemetry probe\nlet a = 1;\n";
         let findings = vec![("no-wallclock", finding(2)), ("no-wallclock", finding(2))];
         let (kept, suppressed, meta) = run_allows(src, findings);
-        assert_eq!(suppressed, 1);
+        assert_eq!(suppressed.len(), 1);
         assert_eq!(kept.len(), 1, "second finding on the line survives");
         assert!(meta.is_empty());
     }
@@ -353,7 +478,7 @@ mod tests {
     fn unjustified_and_unknown_directives_are_diagnostics() {
         let src = "// ena:allow(no-wallclock)\n// ena:allow(made-up-rule): because\n";
         let (_, suppressed, meta) = run_allows(src, vec![("no-wallclock", finding(1))]);
-        assert_eq!(suppressed, 0);
+        assert!(suppressed.is_empty());
         assert_eq!(meta.len(), 2, "{meta:?}");
         assert!(meta.iter().all(|d| d.rule == "invalid-allow"));
     }
@@ -362,7 +487,7 @@ mod tests {
     fn unused_directive_is_a_diagnostic() {
         let src = "// ena:allow(no-wallclock): stale excuse\nlet a = 1;\n";
         let (_, suppressed, meta) = run_allows(src, Vec::new());
-        assert_eq!(suppressed, 0);
+        assert!(suppressed.is_empty());
         assert_eq!(meta.len(), 1);
         assert_eq!(meta.first().map(|d| d.rule), Some("unused-allow"));
     }
@@ -371,7 +496,7 @@ mod tests {
     fn directive_reaches_same_line_and_next_line_only() {
         let src = "// ena:allow(no-wallclock): next-line probe\nlet a = 1;\n";
         let (kept, suppressed, _) = run_allows(src, vec![("no-wallclock", finding(3))]);
-        assert_eq!(suppressed, 0, "line 3 is out of reach");
+        assert!(suppressed.is_empty(), "line 3 is out of reach");
         assert_eq!(kept.len(), 1);
     }
 

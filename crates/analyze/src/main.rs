@@ -6,14 +6,17 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 const USAGE: &str = "\
-ena-lint — determinism & robustness static analysis for the ENA workspace
+ena-lint — determinism, robustness & concurrency static analysis for the ENA workspace
 
-usage: ena-lint [--root DIR] [--config FILE] [--deny-warnings] [--list-rules]
+usage: ena-lint [--root DIR] [--config FILE] [--deny-warnings] [--json]
+                [--emit-lock-graph FILE] [--list-rules]
 
-  --root DIR        workspace root (default: nearest [workspace] above cwd)
-  --config FILE     lint.toml path (default: <root>/lint.toml)
-  --deny-warnings   exit non-zero on warnings too
-  --list-rules      print the rule ids and exit
+  --root DIR             workspace root (default: nearest [workspace] above cwd)
+  --config FILE          lint.toml path (default: <root>/lint.toml)
+  --deny-warnings        exit non-zero on warnings too
+  --json                 print machine-readable diagnostics instead of text
+  --emit-lock-graph FILE write the inferred lock-acquisition graph to FILE
+  --list-rules           print the rule ids and exit
 
 exit status: 0 clean, 1 diagnostics, 2 tool error";
 
@@ -31,11 +34,16 @@ fn main() -> ExitCode {
             "{:<24} every field of a StableHash struct must be hashed",
             ena_lint::rules::STABLE_HASH_ID
         );
+        for (id, summary) in ena_lint::rules::WORKSPACE {
+            println!("{id:<24} {summary}");
+        }
         return ExitCode::SUCCESS;
     }
     let deny_warnings = take_flag(&mut args, "--deny-warnings");
+    let json = take_flag(&mut args, "--json");
     let root = take_value(&mut args, "--root").map(PathBuf::from);
     let config_path = take_value(&mut args, "--config").map(PathBuf::from);
+    let lock_graph_path = take_value(&mut args, "--emit-lock-graph").map(PathBuf::from);
     if let Some(stray) = args.first() {
         eprintln!("error: unrecognized argument '{stray}'\n{USAGE}");
         return ExitCode::from(2);
@@ -60,7 +68,25 @@ fn main() -> ExitCode {
     };
     match ena_lint::run(&opts) {
         Ok(report) => {
-            print!("{}", report.render());
+            if let Some(path) = lock_graph_path {
+                if let Some(parent) = path.parent() {
+                    if !parent.as_os_str().is_empty() {
+                        if let Err(e) = std::fs::create_dir_all(parent) {
+                            eprintln!("error: creating {}: {e}", parent.display());
+                            return ExitCode::from(2);
+                        }
+                    }
+                }
+                if let Err(e) = std::fs::write(&path, &report.lock_graph) {
+                    eprintln!("error: writing {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            }
+            if json {
+                print!("{}", report.to_json());
+            } else {
+                print!("{}", report.render());
+            }
             if report.failed(deny_warnings) {
                 ExitCode::FAILURE
             } else {

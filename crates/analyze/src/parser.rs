@@ -1,0 +1,346 @@
+//! Brace-matched recovery of function items from the lexed token
+//! stream.
+//!
+//! The per-file rules only need token shapes; the concurrency rules
+//! need *structure*: which tokens form a function body, which `impl`
+//! block a method belongs to, whether a signature returns a lock guard.
+//! This module recovers exactly that — no types, no expressions, just
+//! item boundaries found by brace matching — which is all the semantic
+//! phase in [`crate::sema`] requires.
+
+use crate::lexer::{Tok, TokKind};
+use crate::scan::match_close;
+
+/// One parameter of a recovered function.
+#[derive(Clone, Debug)]
+pub struct Param {
+    /// Binding name (`self` for receiver params).
+    pub name: String,
+    /// The declared type mentions `Mutex`/`RwLock` (not a guard type) —
+    /// the function operates on a lock passed in by the caller.
+    pub is_lock: bool,
+}
+
+/// One recovered `fn` item.
+#[derive(Clone, Debug)]
+pub struct FnItem {
+    /// Function name.
+    pub name: String,
+    /// Enclosing `impl`/`trait` type name, when inside one.
+    pub impl_type: Option<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Parameters in order.
+    pub params: Vec<Param>,
+    /// Return type mentions a `*Guard` type: the function hands a held
+    /// lock back to its caller (a lock-helper).
+    pub returns_guard: bool,
+    /// Token indices of the body braces `(open, close)`; `None` for
+    /// bodyless declarations (trait methods, `extern` items).
+    pub body: Option<(usize, usize)>,
+    /// 1-based line of the body's closing brace (the `fn` line when
+    /// bodyless) — the item's lexical extent for directive scoping.
+    pub end_line: u32,
+}
+
+/// Recovers every `fn` item in `code` (a file's comment-stripped token
+/// stream), nested functions included. Malformed input degrades to
+/// fewer recovered items, never a failure.
+pub fn parse_fns(code: &[Tok]) -> Vec<FnItem> {
+    let containers = container_ranges(code);
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < code.len() {
+        if !code.get(i).is_some_and(|t| t.is_ident("fn")) {
+            i += 1;
+            continue;
+        }
+        let Some(name_tok) = code.get(i + 1).filter(|t| t.kind == TokKind::Ident) else {
+            i += 1; // `fn(`-style function-pointer type
+            continue;
+        };
+        let line = code.get(i).map_or(1, |t| t.line);
+        let mut j = i + 2;
+        if code.get(j).is_some_and(|t| t.is_punct('<')) {
+            j = skip_angles(code, j);
+        }
+        if !code.get(j).is_some_and(|t| t.is_punct('(')) {
+            i += 1;
+            continue;
+        }
+        let Some(params_close) = match_close(code, j, '(', ')') else {
+            break;
+        };
+        let params = parse_params(code.get(j + 1..params_close).unwrap_or(&[]));
+        // Scan past the return type / where clause to the body or `;`.
+        let mut k = params_close + 1;
+        let mut depth = 0i32;
+        let mut body = None;
+        let mut ret_tokens: Vec<&Tok> = Vec::new();
+        while let Some(t) = code.get(k) {
+            if t.kind == TokKind::Punct {
+                match t.text.chars().next() {
+                    Some('(') | Some('[') => depth += 1,
+                    Some(')') | Some(']') => depth -= 1,
+                    Some('{') if depth == 0 => {
+                        body = match_close(code, k, '{', '}').map(|close| (k, close));
+                        break;
+                    }
+                    Some(';') if depth == 0 => break,
+                    _ => {}
+                }
+            }
+            ret_tokens.push(t);
+            k += 1;
+        }
+        let returns_guard = ret_tokens
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && t.text.contains("Guard"));
+        let end_line = body
+            .and_then(|(_, close)| code.get(close).map(|t| t.line))
+            .unwrap_or(line);
+        out.push(FnItem {
+            name: name_tok.text.clone(),
+            impl_type: containers
+                .iter()
+                .filter(|c| c.open < i && i < c.close)
+                .min_by_key(|c| c.close - c.open)
+                .map(|c| c.type_name.clone()),
+            line,
+            params,
+            returns_guard,
+            body,
+            end_line,
+        });
+        i += 2; // continue after the name: nested fns are recovered too
+    }
+    out
+}
+
+struct Container {
+    type_name: String,
+    open: usize,
+    close: usize,
+}
+
+/// Finds `impl`/`trait` block extents and the type name each one
+/// attaches methods to (`impl X`, `impl Tr for X` → `X`; `trait Tr` →
+/// `Tr`).
+fn container_ranges(code: &[Tok]) -> Vec<Container> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < code.len() {
+        let is_impl = code.get(i).is_some_and(|t| t.is_ident("impl"));
+        let is_trait = code.get(i).is_some_and(|t| t.is_ident("trait"))
+            && code.get(i + 1).is_some_and(|t| t.kind == TokKind::Ident);
+        if !is_impl && !is_trait {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        if code.get(j).is_some_and(|t| t.is_punct('<')) {
+            j = skip_angles(code, j);
+        }
+        // Walk the header to the block, skipping generic arguments, and
+        // remember the last path ident seen after `for` (or overall).
+        let mut name: Option<String> = None;
+        let mut after_for: Option<String> = None;
+        let mut saw_for = false;
+        let mut open = None;
+        while let Some(t) = code.get(j) {
+            if t.is_punct('<') {
+                j = skip_angles(code, j);
+                continue;
+            }
+            if t.is_punct('{') {
+                open = Some(j);
+                break;
+            }
+            if t.is_punct(';') {
+                break;
+            }
+            if t.is_ident("where") {
+                // Bounds may mention unrelated types; stop naming.
+                j += 1;
+                continue;
+            }
+            if t.is_ident("for") {
+                saw_for = true;
+            } else if t.kind == TokKind::Ident && !matches!(t.text.as_str(), "dyn" | "mut") {
+                if saw_for {
+                    after_for.get_or_insert_with(|| t.text.clone());
+                } else {
+                    name = Some(t.text.clone());
+                }
+            }
+            j += 1;
+        }
+        if let Some(open) = open {
+            if let (Some(close), Some(type_name)) =
+                (match_close(code, open, '{', '}'), after_for.or(name))
+            {
+                out.push(Container {
+                    type_name,
+                    open,
+                    close,
+                });
+            }
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Index just past the `>` matching the `<` at `open_idx`. `->` arrows
+/// inside the group (e.g. `Box<dyn Fn() -> T>`) do not close it.
+fn skip_angles(code: &[Tok], open_idx: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = open_idx;
+    while let Some(t) = code.get(j) {
+        if t.is_punct('<') {
+            depth += 1;
+        } else if t.is_punct('>') && !code.get(j.wrapping_sub(1)).is_some_and(|p| p.is_punct('-')) {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    code.len()
+}
+
+/// Splits the parameter tokens on top-level commas and extracts each
+/// binding name plus whether its type mentions a lock.
+fn parse_params(toks: &[Tok]) -> Vec<Param> {
+    let mut out = Vec::new();
+    let mut start = 0;
+    let mut paren = 0i32;
+    let mut angle = 0i32;
+    let mut k = 0;
+    while k <= toks.len() {
+        let at_end = k == toks.len();
+        let splits =
+            at_end || (paren == 0 && angle == 0 && toks.get(k).is_some_and(|t| t.is_punct(',')));
+        if splits {
+            if let Some(p) = parse_one_param(toks.get(start..k).unwrap_or(&[])) {
+                out.push(p);
+            }
+            start = k + 1;
+        } else if let Some(t) = toks.get(k) {
+            if t.is_punct('(') || t.is_punct('[') {
+                paren += 1;
+            } else if t.is_punct(')') || t.is_punct(']') {
+                paren -= 1;
+            } else if t.is_punct('<') {
+                angle += 1;
+            } else if t.is_punct('>')
+                && !toks.get(k.wrapping_sub(1)).is_some_and(|p| p.is_punct('-'))
+            {
+                angle -= 1;
+            }
+        }
+        k += 1;
+    }
+    out
+}
+
+fn parse_one_param(toks: &[Tok]) -> Option<Param> {
+    let colon = toks.iter().position(|t| t.is_punct(':'));
+    let pattern = toks.get(..colon.unwrap_or(toks.len())).unwrap_or(toks);
+    let name = pattern
+        .iter()
+        .find(|t| t.kind == TokKind::Ident && t.text != "mut")?
+        .text
+        .clone();
+    let ty = colon.and_then(|c| toks.get(c + 1..)).unwrap_or(&[]);
+    let is_lock = ty
+        .iter()
+        .any(|t| t.kind == TokKind::Ident && (t.text == "Mutex" || t.text == "RwLock"));
+    Some(Param { name, is_lock })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn fns_of(src: &str) -> Vec<FnItem> {
+        let code: Vec<Tok> = lex(src)
+            .into_iter()
+            .filter(|t| t.kind != TokKind::Comment)
+            .collect();
+        parse_fns(&code)
+    }
+
+    #[test]
+    fn free_fn_and_method_are_recovered_with_impl_type() {
+        let src = "fn free() { let x = 1; }\n\
+                   impl Store { fn claim(&self, key: u64) -> bool { true } }\n\
+                   impl Drop for Token<'_> { fn drop(&mut self) {} }\n";
+        let fns = fns_of(src);
+        let names: Vec<(&str, Option<&str>)> = fns
+            .iter()
+            .map(|f| (f.name.as_str(), f.impl_type.as_deref()))
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                ("free", None),
+                ("claim", Some("Store")),
+                ("drop", Some("Token")),
+            ]
+        );
+        assert!(fns.iter().all(|f| f.body.is_some()));
+    }
+
+    #[test]
+    fn guard_returning_signatures_and_lock_params_are_flagged() {
+        let src = "fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> { m.lock().unwrap() }\n\
+                   fn plain(q: &Mutex<u32>, n: usize) {}\n";
+        let fns = fns_of(src);
+        let lock = fns.iter().find(|f| f.name == "lock").unwrap();
+        assert!(lock.returns_guard);
+        assert_eq!(lock.params.len(), 1);
+        assert!(lock.params[0].is_lock);
+        assert_eq!(lock.params[0].name, "m");
+        let plain = fns.iter().find(|f| f.name == "plain").unwrap();
+        assert!(!plain.returns_guard);
+        assert!(plain.params[0].is_lock);
+        assert!(!plain.params[1].is_lock);
+    }
+
+    #[test]
+    fn nested_fns_where_clauses_and_trait_decls_parse() {
+        let src = "fn outer<F>(f: F) -> u32 where F: Fn(u32) -> u32 {\n\
+                       fn inner(x: u32) -> u32 { x }\n\
+                       f(inner(1))\n\
+                   }\n\
+                   trait Vfs { fn open(&self) -> bool; fn probe(&self) -> bool { true } }\n";
+        let fns = fns_of(src);
+        let names: Vec<&str> = fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["outer", "inner", "open", "probe"]);
+        let open = fns.iter().find(|f| f.name == "open").unwrap();
+        assert!(open.body.is_none(), "trait decl has no body");
+        assert_eq!(open.impl_type.as_deref(), Some("Vfs"));
+        let outer = fns.iter().find(|f| f.name == "outer").unwrap();
+        assert!(outer.body.is_some());
+        assert_eq!(outer.end_line, 4);
+    }
+
+    #[test]
+    fn params_with_generic_commas_split_correctly() {
+        let src = "fn f(map: &BTreeMap<u64, Vec<u8>>, cv: &Condvar) {}\n";
+        let fns = fns_of(src);
+        let f = fns.first().unwrap();
+        let names: Vec<&str> = f.params.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(names, vec!["map", "cv"]);
+    }
+
+    #[test]
+    fn fn_pointer_types_are_not_items() {
+        let fns = fns_of("struct R { check: fn(&u32) -> bool }\nfn real() {}\n");
+        let names: Vec<&str> = fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["real"]);
+    }
+}

@@ -1,0 +1,413 @@
+//! The five workspace-level concurrency rules.
+//!
+//! All of them read the semantic model built by [`crate::sema`]: the
+//! per-function lock/call/wait/blocking event streams and the resolved
+//! transitive facts. Unlike the per-file rules these are properties of
+//! the *workspace* — a lock-order cycle needs two functions, possibly
+//! in two crates — so findings carry their `(crate, file)` index and
+//! are routed back through the normal per-file suppression machinery
+//! by the engine.
+//!
+//! - `lock-order-cycle` — a cycle in the lock-acquisition graph; the
+//!   diagnostic carries the full witness chain (every edge with its
+//!   acquiring function and location).
+//! - `double-lock` — re-acquiring a lock already held, directly or via
+//!   a call path (`std::sync::Mutex` self-deadlocks on this).
+//! - `condvar-wait-not-in-loop` — a condvar wait whose predicate is
+//!   not re-checked in a `while`/`loop`; spurious wakeups are legal.
+//! - `blocking-under-lock` — I/O, fsync, sleep, or an `evaluate_*`
+//!   engine entry reached while a guard is live, outside functions
+//!   annotated `// ena:durability(lock): why`.
+//! - `guard-across-wait` — holding guard A while waiting on a condvar
+//!   paired with lock B: the wait releases only B, so A stays pinned
+//!   for an unbounded sleep.
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+use crate::rules::{Finding, INVALID_ALLOW_ID, UNUSED_ALLOW_ID};
+use crate::scan::{CrateSrc, TargetKind};
+use crate::sema::{find_cycles, Model, Resolved};
+
+/// Cycle in the workspace lock-acquisition graph.
+pub const LOCK_ORDER_ID: &str = "lock-order-cycle";
+/// Re-acquiring a lock already held on some path.
+pub const DOUBLE_LOCK_ID: &str = "double-lock";
+/// Condvar wait not re-checked in a loop.
+pub const CONDVAR_LOOP_ID: &str = "condvar-wait-not-in-loop";
+/// Blocking operation reached while a guard is live.
+pub const BLOCKING_ID: &str = "blocking-under-lock";
+/// Holding one guard while waiting on a condvar paired with another.
+pub const GUARD_WAIT_ID: &str = "guard-across-wait";
+
+/// All five ids, for the registry.
+pub const IDS: &[&str] = &[
+    LOCK_ORDER_ID,
+    DOUBLE_LOCK_ID,
+    CONDVAR_LOOP_ID,
+    BLOCKING_ID,
+    GUARD_WAIT_ID,
+];
+
+/// A workspace finding, tagged with the `(crate, file)` it anchors to.
+#[derive(Clone, Debug)]
+pub struct WsFinding {
+    /// Rule id.
+    pub rule: &'static str,
+    /// `(crate index, file index)` into the scanned workspace.
+    pub file_idx: (usize, usize),
+    /// The finding itself.
+    pub finding: Finding,
+}
+
+/// Everything the engine needs from the workspace phase.
+#[derive(Debug)]
+pub struct WorkspaceAnalysis {
+    /// Suppressible rule findings.
+    pub findings: Vec<WsFinding>,
+    /// Non-suppressible meta diagnostics about durability annotations
+    /// (reserved ids, like the allow machinery's own).
+    pub meta: Vec<WsFinding>,
+    /// Deterministic `artifacts/lock_graph.txt` contents.
+    pub lock_graph: String,
+}
+
+/// Builds the semantic model over `crates` and runs all five rules.
+pub fn check_workspace(crates: &[CrateSrc]) -> WorkspaceAnalysis {
+    let model = Model::build(crates);
+    let resolved = model.analyze();
+    let mut findings = Vec::new();
+    let mut used_durability: BTreeSet<(String, u32)> = BTreeSet::new();
+
+    check_double_lock(&model, &resolved, &mut findings);
+    check_lock_order(&model, &resolved, crates, &mut findings);
+    check_condvar_loop(&model, &mut findings);
+    check_blocking(&model, &resolved, &mut findings, &mut used_durability);
+    check_guard_across_wait(&model, &mut findings);
+
+    let meta = durability_meta(crates, &used_durability);
+    WorkspaceAnalysis {
+        findings,
+        meta,
+        lock_graph: model.render_lock_graph(&resolved),
+    }
+}
+
+/// Short lock name (`crate/lock` → `lock`).
+fn short(lock: &str) -> &str {
+    lock.rsplit('/').next().unwrap_or(lock)
+}
+
+fn check_double_lock(model: &Model, resolved: &Resolved, out: &mut Vec<WsFinding>) {
+    for (id, f) in model.fns.iter().enumerate() {
+        for a in &f.acquires {
+            if let Some(h) = a.held.iter().find(|h| h.lock == a.lock) {
+                out.push(WsFinding {
+                    rule: DOUBLE_LOCK_ID,
+                    file_idx: f.file_idx,
+                    finding: Finding {
+                        line: a.line,
+                        message: format!(
+                            "lock `{}` is re-acquired while already held (guard taken at line {})",
+                            a.lock, h.line
+                        ),
+                        hint: "merge the two critical sections, or drop the first guard \
+                               before re-locking (std mutexes self-deadlock here)"
+                            .into(),
+                    },
+                });
+            }
+        }
+        let mut seen: BTreeSet<(u32, String)> = BTreeSet::new();
+        for (ci, c) in f.calls.iter().enumerate() {
+            if c.held.is_empty() {
+                continue;
+            }
+            let callees = resolved
+                .edges
+                .get(id)
+                .and_then(|e| e.get(ci))
+                .cloned()
+                .unwrap_or_default();
+            for callee in callees {
+                let Some(acqs) = resolved.acquires.get(callee) else {
+                    continue;
+                };
+                for h in &c.held {
+                    let Some(w) = acqs.get(&h.lock) else { continue };
+                    if !seen.insert((c.line, h.lock.clone())) {
+                        continue;
+                    }
+                    let mut path = vec![f.display()];
+                    path.extend(w.path.iter().cloned());
+                    out.push(WsFinding {
+                        rule: DOUBLE_LOCK_ID,
+                        file_idx: f.file_idx,
+                        finding: Finding {
+                            line: c.line,
+                            message: format!(
+                                "call to `{}` re-acquires lock `{}` already held since line {}",
+                                c.target.name(),
+                                h.lock,
+                                h.line
+                            ),
+                            hint: format!(
+                                "path: {} (acquired at {}:{}); release the guard before \
+                                 this call",
+                                path.join(" -> "),
+                                w.file,
+                                w.line
+                            ),
+                        },
+                    });
+                }
+            }
+        }
+    }
+}
+
+fn check_lock_order(
+    model: &Model,
+    resolved: &Resolved,
+    crates: &[CrateSrc],
+    out: &mut Vec<WsFinding>,
+) {
+    let graph = model.lock_graph(resolved);
+    let file_index = file_index_map(crates);
+    for cycle in find_cycles(&graph) {
+        let Some(anchor) = cycle
+            .edges
+            .iter()
+            .min_by(|a, b| (a.1.file.as_str(), a.1.line).cmp(&(b.1.file.as_str(), b.1.line)))
+        else {
+            continue;
+        };
+        let Some(&file_idx) = file_index.get(anchor.1.file.as_str()) else {
+            continue;
+        };
+        let witness = cycle
+            .edges
+            .iter()
+            .map(|((from, to), info)| {
+                format!(
+                    "{from} -> {to} at {}:{} via {}",
+                    info.file, info.line, info.via
+                )
+            })
+            .collect::<Vec<_>>()
+            .join("; ");
+        out.push(WsFinding {
+            rule: LOCK_ORDER_ID,
+            file_idx,
+            finding: Finding {
+                line: anchor.1.line,
+                message: format!("lock-order cycle: {}", cycle.nodes.join(" -> ")),
+                hint: format!(
+                    "witness: {witness}; pick one global acquisition order and document \
+                     it where the locks are declared"
+                ),
+            },
+        });
+    }
+}
+
+fn check_condvar_loop(model: &Model, out: &mut Vec<WsFinding>) {
+    for f in &model.fns {
+        for w in &f.waits {
+            if w.in_loop {
+                continue;
+            }
+            out.push(WsFinding {
+                rule: CONDVAR_LOOP_ID,
+                file_idx: f.file_idx,
+                finding: Finding {
+                    line: w.line,
+                    message: "condvar wait is not re-checked in a `while`/`loop`".into(),
+                    hint: "spurious wakeups are legal: loop on the predicate — \
+                           `while !ready { guard = cv.wait(guard)...; }`"
+                        .into(),
+                },
+            });
+        }
+    }
+}
+
+fn check_blocking(
+    model: &Model,
+    resolved: &Resolved,
+    out: &mut Vec<WsFinding>,
+    used_durability: &mut BTreeSet<(String, u32)>,
+) {
+    for (id, f) in model.fns.iter().enumerate() {
+        // A justified durability annotation on this function exempts
+        // blocking performed under the named lock.
+        let mut exempt = |held: &[crate::sema::Held]| -> bool {
+            let mut hit = false;
+            for d in &f.durability {
+                if d.justification.is_empty() {
+                    continue; // reported as meta elsewhere
+                }
+                if held.iter().any(|h| short(&h.lock) == d.lock) {
+                    used_durability.insert((f.rel_path.clone(), d.line));
+                    hit = true;
+                }
+            }
+            hit
+        };
+        for b in &f.blocking {
+            let Some(h) = b.held.first() else { continue };
+            if exempt(&b.held) {
+                continue;
+            }
+            out.push(WsFinding {
+                rule: BLOCKING_ID,
+                file_idx: f.file_idx,
+                finding: Finding {
+                    line: b.line,
+                    message: format!(
+                        "blocking `{}` while lock `{}` is held (guard taken at line {})",
+                        b.what, h.lock, h.line
+                    ),
+                    hint: format!(
+                        "move the operation outside the critical section, or mark the \
+                         function `// ena:durability({}): <why>` if holding through it \
+                         is the durability contract",
+                        short(&h.lock)
+                    ),
+                },
+            });
+        }
+        let mut seen: BTreeSet<u32> = BTreeSet::new();
+        for (ci, c) in f.calls.iter().enumerate() {
+            let Some(h) = c.held.first() else { continue };
+            let callees = resolved
+                .edges
+                .get(id)
+                .and_then(|e| e.get(ci))
+                .cloned()
+                .unwrap_or_default();
+            let Some(w) = callees
+                .iter()
+                .find_map(|callee| resolved.blocking.get(*callee).cloned().flatten())
+            else {
+                continue;
+            };
+            if exempt(&c.held) || !seen.insert(c.line) {
+                continue;
+            }
+            let mut path = vec![f.display()];
+            path.extend(w.path.iter().cloned());
+            out.push(WsFinding {
+                rule: BLOCKING_ID,
+                file_idx: f.file_idx,
+                finding: Finding {
+                    line: c.line,
+                    message: format!(
+                        "call to `{}` reaches blocking `{}` while lock `{}` is held",
+                        c.target.name(),
+                        w.what,
+                        h.lock
+                    ),
+                    hint: format!(
+                        "path: {} (blocks at {}:{}); release the guard first, or \
+                         annotate `// ena:durability({}): <why>`",
+                        path.join(" -> "),
+                        w.file,
+                        w.line,
+                        short(&h.lock)
+                    ),
+                },
+            });
+        }
+    }
+}
+
+fn check_guard_across_wait(model: &Model, out: &mut Vec<WsFinding>) {
+    for f in &model.fns {
+        for w in &f.waits {
+            let Some(other) = w.others_held.first() else {
+                continue;
+            };
+            let paired = w.guard_lock.as_deref().unwrap_or("<unknown>");
+            out.push(WsFinding {
+                rule: GUARD_WAIT_ID,
+                file_idx: f.file_idx,
+                finding: Finding {
+                    line: w.line,
+                    message: format!(
+                        "guard on `{}` held across a condvar wait (the wait releases \
+                         only `{paired}`)",
+                        other.lock
+                    ),
+                    hint: "drop the unrelated guard before waiting — anything needing \
+                           it blocks for the full (unbounded) sleep"
+                        .into(),
+                },
+            });
+        }
+    }
+}
+
+/// Meta diagnostics for durability annotations: missing justification,
+/// or exempting nothing (stale).
+fn durability_meta(
+    crates: &[CrateSrc],
+    used_durability: &BTreeSet<(String, u32)>,
+) -> Vec<WsFinding> {
+    let mut out = Vec::new();
+    for (ci, krate) in crates.iter().enumerate() {
+        for (fi, file) in krate.files.iter().enumerate() {
+            let analyzed = matches!(file.target, TargetKind::Lib | TargetKind::Bin)
+                && !file.exempt_test
+                && !file.exempt_timing;
+            if !analyzed {
+                continue;
+            }
+            for d in &file.durability {
+                if d.justification.is_empty() {
+                    out.push(WsFinding {
+                        rule: INVALID_ALLOW_ID,
+                        file_idx: (ci, fi),
+                        finding: Finding {
+                            line: d.line,
+                            message: format!(
+                                "durability annotation for `{}` has no justification",
+                                d.lock
+                            ),
+                            hint: "append `: <why blocking under this lock is the \
+                                   design>`"
+                                .into(),
+                        },
+                    });
+                } else if !used_durability.contains(&(file.rel_path.clone(), d.line)) {
+                    out.push(WsFinding {
+                        rule: UNUSED_ALLOW_ID,
+                        file_idx: (ci, fi),
+                        finding: Finding {
+                            line: d.line,
+                            message: format!(
+                                "durability annotation for `{}` exempts nothing",
+                                d.lock
+                            ),
+                            hint: "delete the stale annotation, or move it into the \
+                                   function that blocks under the lock"
+                                .into(),
+                        },
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Maps workspace-relative paths back to `(crate, file)` indexes.
+fn file_index_map(crates: &[CrateSrc]) -> BTreeMap<&str, (usize, usize)> {
+    let mut map = BTreeMap::new();
+    for (ci, krate) in crates.iter().enumerate() {
+        for (fi, file) in krate.files.iter().enumerate() {
+            map.insert(file.rel_path.as_str(), (ci, fi));
+        }
+    }
+    map
+}

@@ -6,6 +6,7 @@
 //! pair `struct` definitions with their `StableHash` impls.
 
 pub mod casts;
+pub mod concurrency;
 pub mod ignored_io;
 pub mod panic;
 pub mod stable_hash;
@@ -78,10 +79,35 @@ pub const INVALID_ALLOW_ID: &str = "invalid-allow";
 /// Engine-reserved: a directive that suppressed nothing.
 pub const UNUSED_ALLOW_ID: &str = "unused-allow";
 
+/// Workspace-level (semantic) rules with their `--list-rules` text.
+pub const WORKSPACE: &[(&str, &str)] = &[
+    (
+        concurrency::LOCK_ORDER_ID,
+        "no cycles in the workspace lock-acquisition graph (deadlock by inversion)",
+    ),
+    (
+        concurrency::DOUBLE_LOCK_ID,
+        "no re-acquiring a lock already held on some call path (std self-deadlock)",
+    ),
+    (
+        concurrency::CONDVAR_LOOP_ID,
+        "condvar waits must re-check their predicate in a while/loop",
+    ),
+    (
+        concurrency::BLOCKING_ID,
+        "no I/O/fsync/sleep/evaluate_* under a lock outside ena:durability sections",
+    ),
+    (
+        concurrency::GUARD_WAIT_ID,
+        "no holding one guard while waiting on a condvar paired with another",
+    ),
+];
+
 /// Every id accepted in `lint.toml` and allow directives.
 pub fn all_rule_ids() -> Vec<&'static str> {
     let mut ids: Vec<&'static str> = PER_FILE.iter().map(|r| r.id).collect();
     ids.push(STABLE_HASH_ID);
+    ids.extend(WORKSPACE.iter().map(|(id, _)| *id));
     ids
 }
 

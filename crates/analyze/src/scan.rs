@@ -62,6 +62,26 @@ pub struct AllowDirective {
     pub justification: String,
 }
 
+/// One in-source durability annotation:
+/// `// ena:durability(lock-name): why blocking under this lock is the point`
+///
+/// Unlike an [`AllowDirective`] — which excuses one finding — a
+/// durability annotation declares that the *function it sits in* is a
+/// sanctioned durability section for the named lock: blocking I/O
+/// performed while that lock is held is the design (e.g. append-before-
+/// acknowledge under `ShardStore`'s disk lock), not an accident. The
+/// `blocking-under-lock` rule skips such sections; an annotation that
+/// exempts nothing is itself a diagnostic, like a stale allow.
+#[derive(Clone, Debug)]
+pub struct DurabilityDirective {
+    /// Crate-local lock name the section holds (e.g. `disk`).
+    pub lock: String,
+    /// Line the annotation sits on.
+    pub line: u32,
+    /// Free-text justification (may be empty; the engine rejects that).
+    pub justification: String,
+}
+
 /// A lexed and pre-analyzed source file.
 #[derive(Clone, Debug)]
 pub struct SourceFile {
@@ -87,6 +107,8 @@ pub struct SourceFile {
     pub exempt_timing: bool,
     /// Suppression directives, in line order.
     pub allows: Vec<AllowDirective>,
+    /// Durability annotations, in line order.
+    pub durability: Vec<DurabilityDirective>,
     /// Names from `#[cfg(test)] mod x;` items in this file.
     pub gated_test_modules: Vec<String>,
     /// Names from `#[cfg(feature = "timing")] mod x;` items in this file.
@@ -102,6 +124,7 @@ impl SourceFile {
             toks.into_iter().partition(|t| t.kind != TokKind::Comment);
         let regions = analyze_regions(&code);
         let allows = parse_allows(&comments);
+        let durability = parse_durability(&comments);
         SourceFile {
             crate_name: crate_name.to_string(),
             rel_path: rel_path.to_string(),
@@ -114,6 +137,7 @@ impl SourceFile {
             exempt_test: false,
             exempt_timing: false,
             allows,
+            durability,
             gated_test_modules: regions.test_mods,
             gated_timing_modules: regions.timing_mods,
         }
@@ -401,7 +425,7 @@ fn out_of_line_module(item: &[Tok]) -> Option<String> {
 }
 
 /// Index of the punct closing the bracket opened at `open_idx`.
-fn match_close(code: &[Tok], open_idx: usize, open: char, close: char) -> Option<usize> {
+pub(crate) fn match_close(code: &[Tok], open_idx: usize, open: char, close: char) -> Option<usize> {
     let mut depth = 0i32;
     let mut j = open_idx;
     while let Some(t) = code.get(j) {
@@ -446,6 +470,37 @@ fn parse_allows(comments: &[Tok]) -> Vec<AllowDirective> {
             .to_string();
         out.push(AllowDirective {
             rule,
+            line: c.line,
+            justification,
+        });
+    }
+    out
+}
+
+/// Extracts `ena:durability(lock): why` annotations from comment tokens.
+/// Same comment-start discipline as [`parse_allows`].
+fn parse_durability(comments: &[Tok]) -> Vec<DurabilityDirective> {
+    let mut out = Vec::new();
+    for c in comments {
+        let body = c
+            .text
+            .trim_start_matches(|ch: char| ch == '/' || ch == '*' || ch == '!')
+            .trim_start();
+        let Some(rest) = body.strip_prefix("ena:durability(") else {
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            continue;
+        };
+        let lock = rest.get(..close).unwrap_or("").trim().to_string();
+        let justification = rest
+            .get(close + 1..)
+            .unwrap_or("")
+            .trim_start_matches(|ch: char| ch == ':' || ch == '-' || ch == '—')
+            .trim()
+            .to_string();
+        out.push(DurabilityDirective {
+            lock,
             line: c.line,
             justification,
         });

@@ -1,0 +1,1903 @@
+//! Workspace-wide semantic model for the concurrency rules.
+//!
+//! Built on [`crate::parser`]'s recovered function items, this module
+//! derives, per function, an ordered event stream of lock
+//! *acquisitions*, *calls*, condvar *waits*, and *blocking operations*
+//! — each annotated with the set of lock guards live at that point —
+//! plus an approximate workspace call graph to propagate acquisitions
+//! and blocking reach across function boundaries. Everything is
+//! name-based and approximate by design: the walker only claims a lock
+//! is held when it saw a recognizable acquisition of a *declared* lock
+//! (a `Mutex`/`RwLock` struct field, a `Mutex::new` local, or a
+//! lock-typed parameter), so false "held" states are rare, and
+//! ambiguous method calls fall back to a deny-list-filtered
+//! resolve-by-name that errs toward finding hazards.
+//!
+//! Lock identity is `crate/name` (e.g. `ena-serve/disk`): field names
+//! are unique enough within one crate's concurrent core, and the
+//! qualified form keeps the workspace lock-order graph readable.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::{Tok, TokKind};
+use crate::parser::{parse_fns, FnItem};
+use crate::scan::{match_close, CrateSrc, DurabilityDirective, SourceFile, TargetKind};
+
+/// A lock guard live at some program point.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Held {
+    /// Qualified lock name (`crate/lock`).
+    pub lock: String,
+    /// Line the guard was acquired on.
+    pub line: u32,
+}
+
+/// One recognized lock acquisition.
+#[derive(Clone, Debug)]
+pub struct AcquireSite {
+    /// Qualified lock name being acquired.
+    pub lock: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Guards already held *before* this acquisition.
+    pub held: Vec<Held>,
+}
+
+/// How a call site names its target.
+#[derive(Clone, Debug)]
+pub enum CallTarget {
+    /// `self.name(..)`.
+    SelfRecv(String),
+    /// `Type::name(..)`.
+    Path {
+        /// Type preceding `::`.
+        ty: String,
+        /// Method name.
+        name: String,
+    },
+    /// `recv.name(..)`; `hint` is the receiver's struct type when a
+    /// field declaration revealed it.
+    Method {
+        /// Receiver type hint.
+        hint: Option<String>,
+        /// Method name.
+        name: String,
+    },
+    /// `name(..)`.
+    Free(String),
+}
+
+impl CallTarget {
+    /// The bare callee name, for display.
+    pub fn name(&self) -> &str {
+        match self {
+            CallTarget::SelfRecv(n) | CallTarget::Free(n) => n,
+            CallTarget::Path { name, .. } | CallTarget::Method { name, .. } => name,
+        }
+    }
+}
+
+/// One recorded call.
+#[derive(Clone, Debug)]
+pub struct CallSite {
+    /// Callee descriptor.
+    pub target: CallTarget,
+    /// 1-based line.
+    pub line: u32,
+    /// Guards held across the call.
+    pub held: Vec<Held>,
+}
+
+/// One `condvar.wait(guard)` / `wait_timeout` site.
+#[derive(Clone, Debug)]
+pub struct WaitSite {
+    /// 1-based line.
+    pub line: u32,
+    /// The wait is lexically inside a `loop`/`while` body.
+    pub in_loop: bool,
+    /// Qualified lock of the guard handed to the wait, when identified.
+    pub guard_lock: Option<String>,
+    /// Guards held *besides* the one being waited on.
+    pub others_held: Vec<Held>,
+}
+
+/// One direct blocking operation (I/O, fsync, sleep, `evaluate_*`).
+#[derive(Clone, Debug)]
+pub struct BlockSite {
+    /// Operation name as written.
+    pub what: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Guards held at the operation.
+    pub held: Vec<Held>,
+}
+
+/// One analyzed function with its event summary.
+#[derive(Clone, Debug)]
+pub struct FnNode {
+    /// Owning crate.
+    pub crate_name: String,
+    /// `(crate index, file index)` into the scanned workspace, so
+    /// workspace findings route back through per-file suppression.
+    pub file_idx: (usize, usize),
+    /// Workspace-relative path, for display.
+    pub rel_path: String,
+    /// Function name.
+    pub name: String,
+    /// Enclosing `impl`/`trait` type, when any.
+    pub impl_type: Option<String>,
+    /// Line of the `fn` keyword.
+    pub line: u32,
+    /// Line of the body's closing brace.
+    pub end_line: u32,
+    /// The function is a guard-returning lock helper (acquisitions are
+    /// attributed to its callers; its own body is not walked).
+    pub is_helper: bool,
+    /// Recognized acquisitions, in order.
+    pub acquires: Vec<AcquireSite>,
+    /// Recorded calls, in order.
+    pub calls: Vec<CallSite>,
+    /// Condvar waits.
+    pub waits: Vec<WaitSite>,
+    /// Direct blocking operations.
+    pub blocking: Vec<BlockSite>,
+    /// Durability annotations scoped to this function.
+    pub durability: Vec<DurabilityDirective>,
+}
+
+impl FnNode {
+    /// `Type::name` or `name`, for witness chains.
+    pub fn display(&self) -> String {
+        match &self.impl_type {
+            Some(t) => format!("{t}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// What a guard-returning helper acquires when called.
+#[derive(Clone, Debug)]
+enum HelperKind {
+    /// Acquires whichever lock the caller passes (first lock param).
+    Param,
+    /// Always acquires these qualified locks (field locks of its type).
+    Fixed(Vec<String>),
+}
+
+/// The workspace semantic model.
+#[derive(Debug, Default)]
+pub struct Model {
+    /// All analyzed functions.
+    pub fns: Vec<FnNode>,
+    method_index: BTreeMap<(String, String, String), Vec<usize>>,
+    free_index: BTreeMap<(String, String), Vec<usize>>,
+    name_index: BTreeMap<String, Vec<usize>>,
+    impl_name_index: BTreeMap<(String, String), Vec<usize>>,
+}
+
+/// Per-crate lock declarations discovered before body walking.
+#[derive(Debug, Default)]
+struct CrateDecls {
+    mutex_fields: BTreeSet<String>,
+    rwlock_fields: BTreeSet<String>,
+    condvar_fields: BTreeSet<String>,
+    /// field name -> idents appearing in its declared type.
+    field_types: BTreeMap<String, Vec<String>>,
+    helpers: BTreeMap<(Option<String>, String), HelperKind>,
+}
+
+/// Call names that are never resolved through the approximate
+/// by-name fallback: std collection/iterator/primitive vocabulary that
+/// would otherwise alias user methods (`len`, `insert`, `remove`, ...)
+/// and flood the call graph with false edges. `append` and `wait` are
+/// deliberately *not* here — resolving them is how blocking disk
+/// appends and nested condvar waits are traced across crates.
+const DENY_METHODS: &[&str] = &[
+    "new",
+    "default",
+    "clone",
+    "len",
+    "is_empty",
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "next",
+    "get",
+    "get_mut",
+    "insert",
+    "remove",
+    "push",
+    "pop",
+    "push_back",
+    "push_front",
+    "pop_back",
+    "pop_front",
+    "entry",
+    "or_insert",
+    "or_default",
+    "contains",
+    "contains_key",
+    "extend",
+    "drain",
+    "clear",
+    "map",
+    "filter",
+    "fold",
+    "collect",
+    "chain",
+    "zip",
+    "enumerate",
+    "rev",
+    "take",
+    "skip",
+    "find",
+    "position",
+    "any",
+    "all",
+    "count",
+    "sum",
+    "min",
+    "max",
+    "abs",
+    "load",
+    "store",
+    "swap",
+    "send",
+    "parse",
+    "fmt",
+    "eq",
+    "ne",
+    "cmp",
+    "partial_cmp",
+    "hash",
+    "first",
+    "last",
+    "values",
+    "keys",
+    "split",
+    "join",
+    "trim",
+    "starts_with",
+    "ends_with",
+    "ptr_eq",
+    "notify_one",
+    "notify_all",
+    "ok",
+    "err",
+    "expect",
+    "unwrap",
+    "then",
+    "and_then",
+    "or_else",
+    "ok_or",
+    "ok_or_else",
+    "take_while",
+    "flat_map",
+    "flatten",
+    "copied",
+    "cloned",
+    "retain",
+    "resize",
+    "truncate",
+    "reserve",
+    "floor",
+    "ceil",
+    "round",
+    "sqrt",
+    "powi",
+    "powf",
+    "exp",
+    "ln",
+    "log2",
+    "min_by",
+    "max_by",
+    "min_by_key",
+    "max_by_key",
+    "sort_by",
+    "sort",
+    "sort_by_key",
+    "binary_search",
+    "windows",
+    "chunks",
+    "replace",
+    "chars",
+    "bytes",
+    "lines",
+];
+
+/// Prefix families in the same spirit as [`DENY_METHODS`].
+const DENY_PREFIXES: &[&str] = &[
+    "is_",
+    "as_",
+    "to_",
+    "into_",
+    "from_",
+    "wrapping_",
+    "saturating_",
+    "checked_",
+    "overflowing_",
+    "rotate_",
+    "fetch_",
+    "unwrap_",
+    "write_fmt",
+];
+
+fn deny_method(name: &str) -> bool {
+    DENY_METHODS.iter().any(|d| *d == name) || DENY_PREFIXES.iter().any(|p| name.starts_with(p))
+}
+
+/// Operations that block the calling thread: durability/file I/O,
+/// socket setup, channel receives, and sleeps — plus anything named
+/// `evaluate*`, the engine's simulation entry points.
+const BLOCKING: &[&str] = &[
+    "sync_all",
+    "sync_data",
+    "flush",
+    "write_all",
+    "read_exact",
+    "read_to_end",
+    "read_to_string",
+    "remove_file",
+    "rename",
+    "create_dir_all",
+    "open",
+    "create",
+    "connect",
+    "accept",
+    "sleep",
+    "recv",
+    "recv_timeout",
+];
+
+fn is_blocking_name(name: &str) -> bool {
+    BLOCKING.iter().any(|b| *b == name) || name.starts_with("evaluate")
+}
+
+const KEYWORDS: &[&str] = &[
+    "if", "else", "while", "match", "for", "loop", "return", "move", "in", "as", "let", "fn",
+    "pub", "use", "mod", "impl", "struct", "enum", "trait", "where", "unsafe", "ref", "break",
+    "continue", "mut", "const", "static", "type", "dyn", "crate", "super", "Self", "self",
+];
+
+impl Model {
+    /// Builds the model over every scanned crate. Only `Lib`/`Bin`
+    /// files participate; test-gated regions are skipped.
+    pub fn build(crates: &[CrateSrc]) -> Model {
+        let mut decls: BTreeMap<String, CrateDecls> = BTreeMap::new();
+        let mut struct_names: BTreeSet<String> = BTreeSet::new();
+        let mut parsed: Vec<(usize, usize, Vec<FnItem>)> = Vec::new();
+        for (ci, krate) in crates.iter().enumerate() {
+            let entry = decls.entry(krate.name.clone()).or_default();
+            for (fi, file) in krate.files.iter().enumerate() {
+                if !analyzable(file) {
+                    continue;
+                }
+                discover_decls(&file.code, entry, &mut struct_names);
+                parsed.push((ci, fi, parse_fns(&file.code)));
+            }
+        }
+        // Helper registry: guard-returning fns, classified before the
+        // main walk so callers can attribute their acquisitions.
+        for (ci, fi, fns) in &parsed {
+            let Some(krate) = crates.get(*ci) else {
+                continue;
+            };
+            let Some(file) = krate.files.get(*fi) else {
+                continue;
+            };
+            let Some(entry) = decls.get_mut(&krate.name) else {
+                continue;
+            };
+            for f in fns {
+                if !f.returns_guard || file.test_lines.contains(f.line) {
+                    continue;
+                }
+                let kind = if f.params.iter().any(|p| p.is_lock) {
+                    HelperKind::Param
+                } else {
+                    let locks = helper_fixed_locks(&file.code, f, entry, &krate.name);
+                    HelperKind::Fixed(locks)
+                };
+                entry
+                    .helpers
+                    .insert((f.impl_type.clone(), f.name.clone()), kind);
+            }
+        }
+
+        let mut model = Model::default();
+        for (ci, fi, fns) in &parsed {
+            let Some(krate) = crates.get(*ci) else {
+                continue;
+            };
+            let Some(file) = krate.files.get(*fi) else {
+                continue;
+            };
+            let Some(crate_decls) = decls.get(&krate.name) else {
+                continue;
+            };
+            for f in fns {
+                if file.test_lines.contains(f.line) {
+                    continue;
+                }
+                let is_helper = crate_decls
+                    .helpers
+                    .contains_key(&(f.impl_type.clone(), f.name.clone()));
+                let mut node = FnNode {
+                    crate_name: krate.name.clone(),
+                    file_idx: (*ci, *fi),
+                    rel_path: file.rel_path.clone(),
+                    name: f.name.clone(),
+                    impl_type: f.impl_type.clone(),
+                    line: f.line,
+                    end_line: f.end_line,
+                    is_helper,
+                    acquires: Vec::new(),
+                    calls: Vec::new(),
+                    waits: Vec::new(),
+                    blocking: Vec::new(),
+                    durability: file
+                        .durability
+                        .iter()
+                        .filter(|d| d.line + 2 >= f.line && d.line <= f.end_line)
+                        .cloned()
+                        .collect(),
+                };
+                if !is_helper {
+                    if let Some((open, close)) = f.body {
+                        Walker::new(&file.code, f, crate_decls, &krate.name, &struct_names)
+                            .walk(open, close, &mut node);
+                    }
+                }
+                model.fns.push(node);
+            }
+        }
+        model.build_indexes();
+        model
+    }
+
+    fn build_indexes(&mut self) {
+        for (id, f) in self.fns.iter().enumerate() {
+            if let Some(t) = &f.impl_type {
+                self.method_index
+                    .entry((f.crate_name.clone(), t.clone(), f.name.clone()))
+                    .or_default()
+                    .push(id);
+                self.impl_name_index
+                    .entry((t.clone(), f.name.clone()))
+                    .or_default()
+                    .push(id);
+            } else {
+                self.free_index
+                    .entry((f.crate_name.clone(), f.name.clone()))
+                    .or_default()
+                    .push(id);
+            }
+            self.name_index.entry(f.name.clone()).or_default().push(id);
+        }
+    }
+
+    /// Resolves a call site to candidate callees (never the caller
+    /// itself — self-recursion cannot create a *new* lock hazard).
+    pub fn resolve(&self, caller: usize, target: &CallTarget) -> Vec<usize> {
+        let caller_fn = self.fns.get(caller);
+        let crate_name = caller_fn.map(|f| f.crate_name.as_str()).unwrap_or("");
+        let mut out = match target {
+            CallTarget::SelfRecv(name) => {
+                let ty = caller_fn
+                    .and_then(|f| f.impl_type.clone())
+                    .unwrap_or_default();
+                let same_impl = self
+                    .method_index
+                    .get(&(crate_name.to_string(), ty, name.clone()))
+                    .cloned()
+                    .unwrap_or_default();
+                if same_impl.is_empty() {
+                    self.by_name_in_crate(crate_name, name)
+                } else {
+                    same_impl
+                }
+            }
+            CallTarget::Path { ty, name } => self
+                .impl_name_index
+                .get(&(ty.clone(), name.clone()))
+                .cloned()
+                .unwrap_or_default(),
+            CallTarget::Method {
+                hint: Some(ty),
+                name,
+            } => {
+                let hinted = self
+                    .impl_name_index
+                    .get(&(ty.clone(), name.clone()))
+                    .cloned()
+                    .unwrap_or_default();
+                if hinted.is_empty() {
+                    self.name_index.get(name).cloned().unwrap_or_default()
+                } else {
+                    hinted
+                }
+            }
+            CallTarget::Method { hint: None, name } => {
+                self.name_index.get(name).cloned().unwrap_or_default()
+            }
+            CallTarget::Free(name) => {
+                let free = self
+                    .free_index
+                    .get(&(crate_name.to_string(), name.clone()))
+                    .cloned()
+                    .unwrap_or_default();
+                if free.is_empty() {
+                    self.name_index.get(name).cloned().unwrap_or_default()
+                } else {
+                    free
+                }
+            }
+        };
+        out.retain(|id| *id != caller);
+        out
+    }
+
+    fn by_name_in_crate(&self, crate_name: &str, name: &str) -> Vec<usize> {
+        self.name_index
+            .get(name)
+            .map(|ids| {
+                ids.iter()
+                    .copied()
+                    .filter(|id| {
+                        self.fns
+                            .get(*id)
+                            .is_some_and(|f| f.crate_name == crate_name)
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+}
+
+fn analyzable(file: &SourceFile) -> bool {
+    matches!(file.target, TargetKind::Lib | TargetKind::Bin)
+        && !file.exempt_test
+        && !file.exempt_timing
+}
+
+/// Scans struct bodies and statics for lock/condvar declarations and
+/// field type hints.
+fn discover_decls(code: &[Tok], decls: &mut CrateDecls, struct_names: &mut BTreeSet<String>) {
+    let mut i = 0;
+    while i < code.len() {
+        if code.get(i).is_some_and(|t| t.is_ident("struct")) {
+            if let Some(name) = code.get(i + 1).filter(|t| t.kind == TokKind::Ident) {
+                struct_names.insert(name.text.clone());
+                // Find the body `{` (tuple/unit structs have none).
+                let mut j = i + 2;
+                while let Some(t) = code.get(j) {
+                    if t.is_punct('{') {
+                        if let Some(close) = match_close(code, j, '{', '}') {
+                            discover_fields(code.get(j + 1..close).unwrap_or(&[]), decls);
+                            i = close;
+                        }
+                        break;
+                    }
+                    if t.is_punct(';') || t.is_punct('(') {
+                        break;
+                    }
+                    j += 1;
+                }
+            }
+        } else if code.get(i).is_some_and(|t| t.is_ident("static"))
+            || code.get(i).is_some_and(|t| t.is_ident("enum"))
+        {
+            if code.get(i).is_some_and(|t| t.is_ident("enum")) {
+                if let Some(name) = code.get(i + 1).filter(|t| t.kind == TokKind::Ident) {
+                    struct_names.insert(name.text.clone());
+                }
+            } else if let Some(name) = code.get(i + 1).filter(|t| t.kind == TokKind::Ident) {
+                // `static NAME: Mutex<..>` declares a crate-wide lock.
+                let mut ty = Vec::new();
+                let mut j = i + 3;
+                while let Some(t) = code.get(j) {
+                    if t.is_punct('=') || t.is_punct(';') {
+                        break;
+                    }
+                    ty.push(t.clone());
+                    j += 1;
+                }
+                classify_field(&name.text, &ty, decls);
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Parses `name: Type` fields at the top level of a struct body.
+fn discover_fields(body: &[Tok], decls: &mut CrateDecls) {
+    let mut i = 0;
+    while i < body.len() {
+        // Field name is the ident immediately before a top-level `:`.
+        let is_field = body.get(i).is_some_and(|t| t.kind == TokKind::Ident)
+            && body.get(i + 1).is_some_and(|t| t.is_punct(':'));
+        if !is_field {
+            i += 1;
+            continue;
+        }
+        let name = body.get(i).map(|t| t.text.clone()).unwrap_or_default();
+        // Type runs to the next comma at angle/paren depth 0.
+        let mut ty = Vec::new();
+        let mut j = i + 2;
+        let mut depth = 0i32;
+        while let Some(t) = body.get(j) {
+            if t.is_punct('<') || t.is_punct('(') || t.is_punct('[') {
+                depth += 1;
+            } else if t.is_punct('>') || t.is_punct(')') || t.is_punct(']') {
+                depth -= 1;
+            } else if t.is_punct(',') && depth <= 0 {
+                break;
+            }
+            ty.push(t.clone());
+            j += 1;
+        }
+        classify_field(&name, &ty, decls);
+        i = j + 1;
+    }
+}
+
+fn classify_field(name: &str, ty: &[Tok], decls: &mut CrateDecls) {
+    let has = |ident: &str| ty.iter().any(|t| t.is_ident(ident));
+    if has("Mutex") {
+        decls.mutex_fields.insert(name.to_string());
+    } else if has("RwLock") {
+        decls.rwlock_fields.insert(name.to_string());
+    } else if has("Condvar") {
+        decls.condvar_fields.insert(name.to_string());
+    }
+    // Lock fields keep their type idents too: a method called through a
+    // guard on `disk: Mutex<DiskCache<..>>` should hint `DiskCache`.
+    let idents = ty
+        .iter()
+        .filter(|t| t.kind == TokKind::Ident)
+        .map(|t| t.text.clone())
+        .collect();
+    decls.field_types.insert(name.to_string(), idents);
+}
+
+/// Which declared field locks a guard-returning method acquires
+/// directly (`self.FIELD.lock()` / `.read()` / `.write()` in its body).
+fn helper_fixed_locks(
+    code: &[Tok],
+    f: &FnItem,
+    decls: &CrateDecls,
+    crate_name: &str,
+) -> Vec<String> {
+    let Some((open, close)) = f.body else {
+        return Vec::new();
+    };
+    let body = code.get(open + 1..close).unwrap_or(&[]);
+    let mut out = Vec::new();
+    for w in 0..body.len() {
+        let is_acq = body.get(w).is_some_and(|t| t.is_punct('.'))
+            && body
+                .get(w + 1)
+                .is_some_and(|t| t.is_ident("lock") || t.is_ident("read") || t.is_ident("write"))
+            && body.get(w + 2).is_some_and(|t| t.is_punct('('));
+        if !is_acq {
+            continue;
+        }
+        if let Some(recv) = body.get(w.wrapping_sub(1)) {
+            let known =
+                decls.mutex_fields.contains(&recv.text) || decls.rwlock_fields.contains(&recv.text);
+            if recv.kind == TokKind::Ident && known {
+                let qualified = format!("{crate_name}/{}", recv.text);
+                if !out.contains(&qualified) {
+                    out.push(qualified);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// A live guard during the body walk.
+struct Guard {
+    lock: String,
+    var: Option<String>,
+    depth: usize,
+    temp: bool,
+    line: u32,
+}
+
+#[derive(PartialEq, Eq, Clone, Copy)]
+enum ScopeKind {
+    Loop,
+    Other,
+}
+
+/// The per-function body walker.
+struct Walker<'a> {
+    code: &'a [Tok],
+    decls: &'a CrateDecls,
+    crate_name: &'a str,
+    struct_names: &'a BTreeSet<String>,
+    impl_type: Option<String>,
+    local_locks: BTreeSet<String>,
+    local_condvars: BTreeSet<String>,
+    lock_params: BTreeSet<String>,
+    guards: Vec<Guard>,
+    scopes: Vec<ScopeKind>,
+    /// `(alias var, lock name, depth)` from `for`/closure bindings over
+    /// lock collections.
+    aliases: Vec<(String, String, usize)>,
+    depth: usize,
+    stmt_start: usize,
+}
+
+impl<'a> Walker<'a> {
+    fn new(
+        code: &'a [Tok],
+        f: &FnItem,
+        decls: &'a CrateDecls,
+        crate_name: &'a str,
+        struct_names: &'a BTreeSet<String>,
+    ) -> Walker<'a> {
+        let lock_params = f
+            .params
+            .iter()
+            .filter(|p| p.is_lock)
+            .map(|p| p.name.clone())
+            .collect();
+        Walker {
+            code,
+            decls,
+            crate_name,
+            struct_names,
+            impl_type: f.impl_type.clone(),
+            local_locks: BTreeSet::new(),
+            local_condvars: BTreeSet::new(),
+            lock_params,
+            guards: Vec::new(),
+            scopes: Vec::new(),
+            aliases: Vec::new(),
+            depth: 0,
+            stmt_start: 0,
+        }
+    }
+
+    fn held(&self) -> Vec<Held> {
+        self.guards
+            .iter()
+            .map(|g| Held {
+                lock: g.lock.clone(),
+                line: g.line,
+            })
+            .collect()
+    }
+
+    /// True when `name` is a lock the walker can attribute: a declared
+    /// field, a `Mutex::new` local, a lock param, or a loop alias.
+    fn known_lock(&self, name: &str) -> Option<String> {
+        if let Some((_, lock, _)) = self.aliases.iter().rev().find(|(v, _, _)| v == name) {
+            // Aliases store the already-qualified name.
+            return Some(lock.clone());
+        }
+        let declared = self.decls.mutex_fields.contains(name)
+            || self.decls.rwlock_fields.contains(name)
+            || self.local_locks.contains(name)
+            || self.lock_params.contains(name);
+        declared.then(|| format!("{}/{}", self.crate_name, name))
+    }
+
+    fn is_condvar(&self, name: &str) -> bool {
+        self.decls.condvar_fields.contains(name) || self.local_condvars.contains(name)
+    }
+
+    /// Locks acquired by the guard-helper method `name` on `impl_type`
+    /// (`self.lock()` / `field.lock()` where the field's type has a
+    /// fixed helper).
+    fn helper_locks(&self, impl_type: Option<String>, name: &str) -> Vec<String> {
+        match self.decls.helpers.get(&(impl_type, name.to_string())) {
+            Some(HelperKind::Fixed(locks)) => locks.clone(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Registers `Mutex::new`/`RwLock::new`/`Condvar::new` locals by
+    /// walking back to their `let` binding, before the event walk.
+    fn prepass(&mut self, open: usize, close: usize) {
+        let mut i = open + 1;
+        while i + 3 < close {
+            let is_ctor = self.code.get(i).is_some_and(|t| {
+                t.is_ident("Mutex") || t.is_ident("RwLock") || t.is_ident("Condvar")
+            }) && self.code.get(i + 1).is_some_and(|t| t.is_punct(':'))
+                && self.code.get(i + 2).is_some_and(|t| t.is_punct(':'))
+                && self.code.get(i + 3).is_some_and(|t| t.is_ident("new"));
+            if is_ctor {
+                if let Some(name) = let_binding_before(self.code, i, open) {
+                    if self.code.get(i).is_some_and(|t| t.is_ident("Condvar")) {
+                        self.local_condvars.insert(name);
+                    } else {
+                        self.local_locks.insert(name);
+                    }
+                }
+            }
+            i += 1;
+        }
+    }
+
+    /// Trailing ident of the receiver chain ending just before the `.`
+    /// at `dot`: `self.shards[k].` → `shards`, `self.` → `self`.
+    /// The bool is true when the receiver is exactly `self`.
+    fn trailing_ident(&self, dot: usize) -> Option<(String, bool)> {
+        let mut j = dot;
+        // Skip one trailing index/call group backwards.
+        while j > 0 {
+            let prev = self.code.get(j - 1)?;
+            if prev.is_punct(']') {
+                j = match_open(self.code, j - 1, '[', ']')?;
+            } else if prev.is_punct(')') {
+                j = match_open(self.code, j - 1, '(', ')')?;
+            } else {
+                break;
+            }
+        }
+        let prev = self.code.get(j.checked_sub(1)?)?;
+        if prev.kind != TokKind::Ident {
+            return None;
+        }
+        let direct_self = prev.text == "self"
+            && !self
+                .code
+                .get(j.wrapping_sub(2))
+                .is_some_and(|t| t.is_punct('.'));
+        Some((prev.text.clone(), direct_self))
+    }
+
+    /// First token of the postfix chain the `.` at `dot` belongs to.
+    fn chain_start(&self, dot: usize) -> usize {
+        let mut j = dot;
+        while j > 0 {
+            let Some(prev) = self.code.get(j - 1) else {
+                return j;
+            };
+            if prev.kind == TokKind::Ident || prev.is_punct('.') {
+                j -= 1;
+            } else if prev.is_punct(']') {
+                let Some(open) = match_open(self.code, j - 1, '[', ']') else {
+                    return j;
+                };
+                j = open;
+            } else if prev.is_punct(')') {
+                let Some(open) = match_open(self.code, j - 1, '(', ')') else {
+                    return j;
+                };
+                j = open;
+            } else {
+                return j;
+            }
+        }
+        j
+    }
+
+    /// Receiver type hint for a field access: the first ident of the
+    /// field's declared type that names a workspace struct.
+    fn field_hint(&self, field: &str) -> Option<String> {
+        self.decls
+            .field_types
+            .get(field)?
+            .iter()
+            .find(|id| self.struct_names.contains(*id))
+            .cloned()
+    }
+
+    /// Records the acquisition of `locks` whose call parens open at
+    /// `open_paren`; `expr_start` is the head of the acquiring
+    /// expression (for `let`-binding classification). Returns the index
+    /// to resume walking at (past the argument list — helper arguments
+    /// were already consumed to name the lock).
+    fn acquire(
+        &mut self,
+        locks: Vec<String>,
+        expr_start: usize,
+        open_paren: usize,
+        node: &mut FnNode,
+    ) -> usize {
+        let cp = match_close(self.code, open_paren, '(', ')').unwrap_or(open_paren);
+        let line = self.code.get(open_paren).map_or(1, |t| t.line);
+        let var = self.binding_of(expr_start, cp);
+        for lock in locks {
+            node.acquires.push(AcquireSite {
+                lock: lock.clone(),
+                line,
+                held: self.held(),
+            });
+            self.guards.push(Guard {
+                lock,
+                var: var.clone(),
+                depth: self.depth,
+                temp: var.is_none(),
+                line,
+            });
+        }
+        cp + 1
+    }
+
+    /// `Some(name)` when the statement is `let [mut] name = <acquire
+    /// expr>` followed only by `.unwrap()`/`.expect(..)`/
+    /// `.unwrap_or_else(..)` and `;` — the guard outlives the
+    /// statement. Anything else (including a leading `*` deref) makes
+    /// the guard a temporary.
+    fn binding_of(&self, expr_start: usize, close_paren: usize) -> Option<String> {
+        if self
+            .code
+            .get(expr_start.wrapping_sub(1))
+            .is_some_and(|t| t.is_punct('*'))
+        {
+            return None;
+        }
+        let mut k = self.stmt_start;
+        if !self.code.get(k).is_some_and(|t| t.is_ident("let")) {
+            return None;
+        }
+        k += 1;
+        if self.code.get(k).is_some_and(|t| t.is_ident("mut")) {
+            k += 1;
+        }
+        let name = self.code.get(k).filter(|t| t.kind == TokKind::Ident)?;
+        if !self.code.get(k + 1).is_some_and(|t| t.is_punct('=')) || k + 2 != expr_start {
+            return None;
+        }
+        // Post-call chain must only recover from poisoning.
+        let mut m = close_paren + 1;
+        loop {
+            let chained = self.code.get(m).is_some_and(|t| t.is_punct('.'))
+                && self.code.get(m + 1).is_some_and(|t| {
+                    t.is_ident("unwrap") || t.is_ident("expect") || t.is_ident("unwrap_or_else")
+                })
+                && self.code.get(m + 2).is_some_and(|t| t.is_punct('('));
+            if !chained {
+                break;
+            }
+            m = match_close(self.code, m + 2, '(', ')')? + 1;
+        }
+        if self.code.get(m).is_some_and(|t| t.is_punct(';')) {
+            Some(name.text.clone())
+        } else {
+            None
+        }
+    }
+
+    fn kill_scope(&mut self, new_depth: usize) {
+        self.guards
+            .retain(|g| g.depth <= new_depth && !(g.temp && g.depth == new_depth));
+        self.aliases.retain(|(_, _, d)| *d <= new_depth);
+    }
+
+    /// The main event walk over the body token range.
+    fn walk(mut self, open: usize, close: usize, node: &mut FnNode) {
+        self.prepass(open, close);
+        let mut i = open + 1;
+        self.stmt_start = i;
+        while i < close {
+            let Some(t) = self.code.get(i) else { break };
+            if t.is_punct('{') {
+                let header = self.code.get(self.stmt_start..i).unwrap_or(&[]);
+                let first = header.iter().find(|h| h.kind == TokKind::Ident);
+                let kind = match first.map(|h| h.text.as_str()) {
+                    Some("loop") | Some("while") => ScopeKind::Loop,
+                    _ => ScopeKind::Other,
+                };
+                if first.is_some_and(|h| h.text == "for") {
+                    self.alias_for_header(header);
+                }
+                self.scopes.push(kind);
+                self.depth += 1;
+                self.stmt_start = i + 1;
+                i += 1;
+                continue;
+            }
+            if t.is_punct('}') {
+                let new_depth = self.depth.saturating_sub(1);
+                self.kill_scope(new_depth);
+                self.depth = new_depth;
+                self.scopes.pop();
+                self.stmt_start = i + 1;
+                i += 1;
+                continue;
+            }
+            if t.is_punct(';') {
+                let d = self.depth;
+                self.guards.retain(|g| !(g.temp && g.depth == d));
+                self.stmt_start = i + 1;
+                i += 1;
+                continue;
+            }
+            if t.is_punct('|') {
+                self.alias_closure(i);
+                i += 1;
+                continue;
+            }
+            if t.is_ident("fn")
+                && self
+                    .code
+                    .get(i + 1)
+                    .is_some_and(|n| n.kind == TokKind::Ident)
+            {
+                i = skip_nested_fn(self.code, i, close);
+                self.stmt_start = i;
+                continue;
+            }
+            if t.is_ident("drop") && self.code.get(i + 1).is_some_and(|n| n.is_punct('(')) {
+                if let Some(name) = self.code.get(i + 2).filter(|n| n.kind == TokKind::Ident) {
+                    if self.code.get(i + 3).is_some_and(|n| n.is_punct(')')) {
+                        let name = name.text.clone();
+                        self.guards.retain(|g| g.var.as_deref() != Some(&name));
+                        i += 4;
+                        continue;
+                    }
+                }
+                i += 1;
+                continue;
+            }
+            if t.is_punct('.')
+                && self
+                    .code
+                    .get(i + 1)
+                    .is_some_and(|n| n.kind == TokKind::Ident)
+                && self.code.get(i + 2).is_some_and(|n| n.is_punct('('))
+            {
+                i = self.method_site(i, node);
+                continue;
+            }
+            if t.kind == TokKind::Ident && self.code.get(i + 1).is_some_and(|n| n.is_punct('(')) {
+                i = self.call_site(i, node);
+                continue;
+            }
+            i += 1;
+        }
+    }
+
+    /// `for NAME in <expr mentioning a known lock>` aliases NAME to
+    /// that lock for the loop body.
+    fn alias_for_header(&mut self, header: &[Tok]) {
+        let Some(name) = header.get(1).filter(|t| t.kind == TokKind::Ident) else {
+            return;
+        };
+        let lock = header
+            .iter()
+            .skip(2)
+            .filter(|t| t.kind == TokKind::Ident)
+            .find_map(|t| self.known_lock(&t.text));
+        if let Some(lock) = lock {
+            self.aliases.push((name.text.clone(), lock, self.depth + 1));
+        }
+    }
+
+    /// `|x|` closing over a statement that mentions a known lock
+    /// aliases the single closure param to that lock.
+    fn alias_closure(&mut self, bar: usize) {
+        let single = self
+            .code
+            .get(bar + 1)
+            .is_some_and(|t| t.kind == TokKind::Ident)
+            && self.code.get(bar + 2).is_some_and(|t| t.is_punct('|'));
+        if !single {
+            return;
+        }
+        let Some(name) = self.code.get(bar + 1) else {
+            return;
+        };
+        let stmt = self.code.get(self.stmt_start..bar).unwrap_or(&[]);
+        let lock = stmt
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .find_map(|t| self.known_lock(&t.text));
+        if let Some(lock) = lock {
+            self.aliases.push((name.text.clone(), lock, self.depth));
+        }
+    }
+
+    /// Handles `.name(` at dot index `i`; returns the next walk index.
+    fn method_site(&mut self, i: usize, node: &mut FnNode) -> usize {
+        let name = self
+            .code
+            .get(i + 1)
+            .map(|t| t.text.clone())
+            .unwrap_or_default();
+        let line = self.code.get(i + 1).map_or(1, |t| t.line);
+        let open_paren = i + 2;
+        let recv = self.trailing_ident(i);
+        if name == "lock" {
+            let locks = match &recv {
+                Some((_, true)) => self.helper_locks(self.impl_type.clone(), "lock"),
+                Some((r, false)) => match self.known_lock(r) {
+                    Some(l) => vec![l],
+                    None => self
+                        .field_hint(r)
+                        .map(|ty| self.helper_locks(Some(ty), "lock"))
+                        .unwrap_or_default(),
+                },
+                None => Vec::new(),
+            };
+            if !locks.is_empty() {
+                let start = self.chain_start(i);
+                return self.acquire(locks, start, open_paren, node);
+            }
+            return open_paren;
+        }
+        if name == "read" || name == "write" {
+            if let Some((r, false)) = &recv {
+                let is_rw = self.decls.rwlock_fields.contains(r) || self.local_locks.contains(r);
+                if is_rw {
+                    let lock = format!("{}/{r}", self.crate_name);
+                    let start = self.chain_start(i);
+                    return self.acquire(vec![lock], start, open_paren, node);
+                }
+            }
+            return open_paren;
+        }
+        if name == "wait" || name == "wait_timeout" || name == "wait_while" {
+            if let Some((r, false)) = &recv {
+                if self.is_condvar(r) {
+                    let cp = match_close(self.code, open_paren, '(', ')').unwrap_or(open_paren);
+                    let arg_guard = self
+                        .code
+                        .get(open_paren + 1..cp)
+                        .unwrap_or(&[])
+                        .iter()
+                        .filter(|t| t.kind == TokKind::Ident)
+                        .find_map(|t| {
+                            self.guards
+                                .iter()
+                                .find(|g| g.var.as_deref() == Some(&t.text))
+                                .map(|g| g.lock.clone())
+                        });
+                    let others = self
+                        .guards
+                        .iter()
+                        .filter(|g| Some(&g.lock) != arg_guard.as_ref())
+                        .map(|g| Held {
+                            lock: g.lock.clone(),
+                            line: g.line,
+                        })
+                        .collect();
+                    node.waits.push(WaitSite {
+                        line,
+                        in_loop: self.scopes.contains(&ScopeKind::Loop),
+                        guard_lock: arg_guard,
+                        others_held: others,
+                    });
+                    return cp + 1;
+                }
+            }
+        }
+        if is_blocking_name(&name) {
+            node.blocking.push(BlockSite {
+                what: name,
+                line,
+                held: self.held(),
+            });
+            return open_paren + 1;
+        }
+        if deny_method(&name) || name == "unwrap_or_else" {
+            return open_paren + 1;
+        }
+        let target = match recv {
+            Some((_, true)) => CallTarget::SelfRecv(name),
+            Some((r, false)) => {
+                // A method on a live guard variable is a method on the
+                // locked value: hint with the lock field's declared type
+                // so `cache.snapshot(..)` (guard on `disk`) resolves to
+                // `DiskCache::snapshot`, not every `snapshot` by name.
+                let hint = self.field_hint(&r).or_else(|| {
+                    self.guards
+                        .iter()
+                        .rev()
+                        .find(|g| g.var.as_deref() == Some(r.as_str()))
+                        .and_then(|g| g.lock.rsplit('/').next().map(str::to_string))
+                        .and_then(|field| self.field_hint(&field))
+                });
+                CallTarget::Method { hint, name }
+            }
+            None => CallTarget::Method { hint: None, name },
+        };
+        node.calls.push(CallSite {
+            target,
+            line,
+            held: self.held(),
+        });
+        open_paren + 1
+    }
+
+    /// Handles free and path calls `name(` at ident index `i`.
+    fn call_site(&mut self, i: usize, node: &mut FnNode) -> usize {
+        let Some(tok) = self.code.get(i) else {
+            return i + 1;
+        };
+        let name = tok.text.clone();
+        let line = tok.line;
+        let open_paren = i + 1;
+        let prev = self.code.get(i.wrapping_sub(1));
+        if i > 0 && prev.is_some_and(|p| p.is_punct('.') || p.kind == TokKind::Ident) {
+            return i + 1; // method call (handled at the dot) or decl
+        }
+        let is_path = prev.is_some_and(|p| p.is_punct(':'))
+            && self
+                .code
+                .get(i.wrapping_sub(2))
+                .is_some_and(|p| p.is_punct(':'));
+        if is_path {
+            let ty = self
+                .code
+                .get(i.wrapping_sub(3))
+                .filter(|t| t.kind == TokKind::Ident)
+                .map(|t| t.text.clone());
+            let ctor = name == "new"
+                && ty
+                    .as_deref()
+                    .is_some_and(|t| matches!(t, "Mutex" | "RwLock" | "Condvar"));
+            if ctor {
+                return open_paren + 1;
+            }
+            if is_blocking_name(&name) {
+                node.blocking.push(BlockSite {
+                    what: name,
+                    line,
+                    held: self.held(),
+                });
+                return open_paren + 1;
+            }
+            if deny_method(&name) {
+                return open_paren + 1;
+            }
+            if let Some(ty) = ty {
+                node.calls.push(CallSite {
+                    target: CallTarget::Path { ty, name },
+                    line,
+                    held: self.held(),
+                });
+            }
+            return open_paren + 1;
+        }
+        if KEYWORDS.iter().any(|k| *k == name)
+            || name.chars().next().is_some_and(|c| c.is_uppercase())
+        {
+            return i + 1;
+        }
+        if let Some(kind) = self.decls.helpers.get(&(None, name.clone())) {
+            let locks = match kind {
+                HelperKind::Fixed(locks) => locks.clone(),
+                HelperKind::Param => {
+                    let cp = match_close(self.code, open_paren, '(', ')').unwrap_or(open_paren);
+                    let args = self.code.get(open_paren + 1..cp).unwrap_or(&[]);
+                    let known = args
+                        .iter()
+                        .filter(|t| t.kind == TokKind::Ident)
+                        .filter_map(|t| self.known_lock(&t.text))
+                        .last();
+                    let fallback = args
+                        .iter()
+                        .filter(|t| t.kind == TokKind::Ident)
+                        .last()
+                        .map(|t| format!("{}/{}", self.crate_name, t.text));
+                    known.or(fallback).map(|l| vec![l]).unwrap_or_default()
+                }
+            };
+            if !locks.is_empty() {
+                return self.acquire(locks, i, open_paren, node);
+            }
+            return open_paren + 1;
+        }
+        if is_blocking_name(&name) {
+            node.blocking.push(BlockSite {
+                what: name,
+                line,
+                held: self.held(),
+            });
+            return open_paren + 1;
+        }
+        if deny_method(&name) {
+            return open_paren + 1;
+        }
+        node.calls.push(CallSite {
+            target: CallTarget::Free(name),
+            line,
+            held: self.held(),
+        });
+        open_paren + 1
+    }
+}
+
+/// Nearest `let [mut] NAME` binding looking backwards from `idx`
+/// within the same statement.
+fn let_binding_before(code: &[Tok], idx: usize, floor: usize) -> Option<String> {
+    let mut j = idx;
+    while j > floor {
+        let t = code.get(j - 1)?;
+        if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+            return None;
+        }
+        if t.is_ident("let") {
+            let mut k = j;
+            if code.get(k).is_some_and(|n| n.is_ident("mut")) {
+                k += 1;
+            }
+            return code
+                .get(k)
+                .filter(|n| n.kind == TokKind::Ident)
+                .map(|n| n.text.clone());
+        }
+        j -= 1;
+    }
+    None
+}
+
+/// Index of the punct opening the bracket closed at `close_idx`.
+fn match_open(code: &[Tok], close_idx: usize, open: char, close: char) -> Option<usize> {
+    let mut depth = 0i32;
+    let mut j = close_idx;
+    loop {
+        let t = code.get(j)?;
+        if t.is_punct(close) {
+            depth += 1;
+        } else if t.is_punct(open) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+        j = j.checked_sub(1)?;
+    }
+}
+
+/// Skips a nested `fn` item starting at `i`, returning the index past
+/// its body (or past the `fn` token when no body is found).
+fn skip_nested_fn(code: &[Tok], i: usize, limit: usize) -> usize {
+    let mut j = i;
+    let mut depth = 0i32;
+    while j < limit {
+        let Some(t) = code.get(j) else { break };
+        if t.kind == TokKind::Punct {
+            match t.text.chars().next() {
+                Some('(') | Some('[') => depth += 1,
+                Some(')') | Some(']') => depth -= 1,
+                Some('{') if depth == 0 => {
+                    return match_close(code, j, '{', '}').map_or(j + 1, |c| c + 1);
+                }
+                Some(';') if depth == 0 => return j + 1,
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    i + 1
+}
+
+/// A transitively-reached event with its call chain.
+#[derive(Clone, Debug)]
+pub struct Witness {
+    /// Operation or lock name reached.
+    pub what: String,
+    /// Call chain of function display names, caller first.
+    pub path: Vec<String>,
+    /// File of the final (deepest) site.
+    pub file: String,
+    /// Line of the final site.
+    pub line: u32,
+}
+
+/// Resolved call edges plus fixed-point transitive facts.
+#[derive(Debug, Default)]
+pub struct Resolved {
+    /// `edges[fn][call]` = candidate callee fn ids.
+    pub edges: Vec<Vec<Vec<usize>>>,
+    /// Per-fn: qualified locks acquired on some call path, with a
+    /// witness chain each.
+    pub acquires: Vec<BTreeMap<String, Witness>>,
+    /// Per-fn: a blocking operation (or condvar wait) reached on some
+    /// call path.
+    pub blocking: Vec<Option<Witness>>,
+}
+
+/// One lock-order edge `held -> acquired` with its earliest witness.
+#[derive(Clone, Debug)]
+pub struct EdgeInfo {
+    /// File of the witnessing acquisition/call.
+    pub file: String,
+    /// Line of the witnessing site.
+    pub line: u32,
+    /// Function chain that realizes the edge.
+    pub via: String,
+}
+
+impl Model {
+    /// Resolves every call site and computes transitive acquisition and
+    /// blocking reach to a fixed point.
+    pub fn analyze(&self) -> Resolved {
+        let mut r = Resolved {
+            edges: self
+                .fns
+                .iter()
+                .enumerate()
+                .map(|(id, f)| {
+                    f.calls
+                        .iter()
+                        .map(|c| self.resolve(id, &c.target))
+                        .collect()
+                })
+                .collect(),
+            acquires: self
+                .fns
+                .iter()
+                .map(|f| {
+                    let mut m = BTreeMap::new();
+                    for a in &f.acquires {
+                        m.entry(a.lock.clone()).or_insert_with(|| Witness {
+                            what: a.lock.clone(),
+                            path: vec![f.display()],
+                            file: f.rel_path.clone(),
+                            line: a.line,
+                        });
+                    }
+                    m
+                })
+                .collect(),
+            blocking: self
+                .fns
+                .iter()
+                .map(|f| {
+                    let direct = f.blocking.first().map(|b| Witness {
+                        what: b.what.clone(),
+                        path: vec![f.display()],
+                        file: f.rel_path.clone(),
+                        line: b.line,
+                    });
+                    direct.or_else(|| {
+                        f.waits.first().map(|w| Witness {
+                            what: "condvar wait".to_string(),
+                            path: vec![f.display()],
+                            file: f.rel_path.clone(),
+                            line: w.line,
+                        })
+                    })
+                })
+                .collect(),
+        };
+        // Fixed point: propagate callee facts to callers. Path lengths
+        // only grow via first-insertion, so this terminates.
+        loop {
+            let mut changed = false;
+            for id in 0..self.fns.len() {
+                let Some(f) = self.fns.get(id) else { continue };
+                let display = f.display();
+                let mut new_acq: Vec<(String, Witness)> = Vec::new();
+                let mut new_block: Option<Witness> = None;
+                for (ci, _call) in f.calls.iter().enumerate() {
+                    let callees = r
+                        .edges
+                        .get(id)
+                        .and_then(|e| e.get(ci))
+                        .cloned()
+                        .unwrap_or_default();
+                    for callee in callees {
+                        if let Some(cm) = r.acquires.get(callee) {
+                            for (lock, w) in cm {
+                                let have = r.acquires.get(id).is_some_and(|m| m.contains_key(lock))
+                                    || new_acq.iter().any(|(l, _)| l == lock);
+                                if !have {
+                                    let mut path = vec![display.clone()];
+                                    path.extend(w.path.iter().cloned());
+                                    new_acq.push((
+                                        lock.clone(),
+                                        Witness {
+                                            what: w.what.clone(),
+                                            path,
+                                            file: w.file.clone(),
+                                            line: w.line,
+                                        },
+                                    ));
+                                }
+                            }
+                        }
+                        let blocked = r.blocking.get(id).map(Option::is_some).unwrap_or(false);
+                        if !blocked && new_block.is_none() {
+                            if let Some(Some(w)) = r.blocking.get(callee) {
+                                let mut path = vec![display.clone()];
+                                path.extend(w.path.iter().cloned());
+                                new_block = Some(Witness {
+                                    what: w.what.clone(),
+                                    path,
+                                    file: w.file.clone(),
+                                    line: w.line,
+                                });
+                            }
+                        }
+                    }
+                }
+                if !new_acq.is_empty() {
+                    if let Some(m) = r.acquires.get_mut(id) {
+                        for (lock, w) in new_acq {
+                            m.insert(lock, w);
+                            changed = true;
+                        }
+                    }
+                }
+                if let Some(w) = new_block {
+                    if let Some(slot) = r.blocking.get_mut(id) {
+                        *slot = Some(w);
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        r
+    }
+
+    /// The workspace lock-order graph: an edge `h -> l` means lock `l`
+    /// is acquired (directly or via a call chain) while `h` is held.
+    /// Each edge keeps its earliest `(file, line)` witness.
+    pub fn lock_graph(&self, r: &Resolved) -> BTreeMap<(String, String), EdgeInfo> {
+        let mut edges: BTreeMap<(String, String), EdgeInfo> = BTreeMap::new();
+        let mut add = |from: &str, to: &str, info: EdgeInfo| {
+            if from == to {
+                return; // self-edges are double-lock's business
+            }
+            let key = (from.to_string(), to.to_string());
+            let replace = edges
+                .get(&key)
+                .is_none_or(|e| (info.file.as_str(), info.line) < (e.file.as_str(), e.line));
+            if replace {
+                edges.insert(key, info);
+            }
+        };
+        for (id, f) in self.fns.iter().enumerate() {
+            for a in &f.acquires {
+                for h in &a.held {
+                    add(
+                        &h.lock,
+                        &a.lock,
+                        EdgeInfo {
+                            file: f.rel_path.clone(),
+                            line: a.line,
+                            via: f.display(),
+                        },
+                    );
+                }
+            }
+            for (ci, c) in f.calls.iter().enumerate() {
+                if c.held.is_empty() {
+                    continue;
+                }
+                let callees = r
+                    .edges
+                    .get(id)
+                    .and_then(|e| e.get(ci))
+                    .cloned()
+                    .unwrap_or_default();
+                for callee in callees {
+                    let Some(cm) = r.acquires.get(callee) else {
+                        continue;
+                    };
+                    for (lock, w) in cm {
+                        for h in &c.held {
+                            add(
+                                &h.lock,
+                                lock,
+                                EdgeInfo {
+                                    file: f.rel_path.clone(),
+                                    line: c.line,
+                                    via: format!("{} -> {}", f.display(), w.path.join(" -> ")),
+                                },
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        edges
+    }
+
+    /// Deterministic rendering of the lock graph for
+    /// `artifacts/lock_graph.txt`.
+    pub fn render_lock_graph(&self, r: &Resolved) -> String {
+        let mut sites: BTreeMap<String, usize> = BTreeMap::new();
+        for f in &self.fns {
+            for a in &f.acquires {
+                *sites.entry(a.lock.clone()).or_insert(0) += 1;
+            }
+        }
+        let edges = self.lock_graph(r);
+        let mut out = String::from("# ena-lint workspace lock-acquisition graph\n");
+        out.push_str("# lock <crate>/<name> sites=<direct acquire sites>\n");
+        for (lock, n) in &sites {
+            out.push_str(&format!("lock {lock} sites={n}\n"));
+        }
+        out.push_str("# edge <held> -> <acquired> at <witness>\n");
+        if edges.is_empty() {
+            out.push_str("edges: none\n");
+        }
+        for ((from, to), info) in &edges {
+            out.push_str(&format!(
+                "edge {from} -> {to} at {}:{} via {}\n",
+                info.file, info.line, info.via
+            ));
+        }
+        out
+    }
+}
+
+/// A cycle in the lock-order graph: the node sequence (first node
+/// repeated at the end) and the witnessed edges along it.
+#[derive(Clone, Debug)]
+pub struct Cycle {
+    /// Nodes in cycle order, closed (last == first).
+    pub nodes: Vec<String>,
+    /// Edge witnesses for each consecutive node pair.
+    pub edges: Vec<((String, String), EdgeInfo)>,
+}
+
+/// Finds every elementary lock-order cycle reachable from each graph
+/// node via shortest-path search, deduplicated by node set. Reported
+/// deterministically (sorted by the cycle's smallest node).
+pub fn find_cycles(graph: &BTreeMap<(String, String), EdgeInfo>) -> Vec<Cycle> {
+    let mut succ: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for (from, to) in graph.keys() {
+        succ.entry(from.as_str()).or_default().push(to.as_str());
+    }
+    let mut seen_sets: BTreeSet<Vec<String>> = BTreeSet::new();
+    let mut out = Vec::new();
+    for start in succ.keys().copied().collect::<Vec<_>>() {
+        // BFS from each successor of `start` back to `start`.
+        let mut parent: BTreeMap<&str, &str> = BTreeMap::new();
+        let mut queue: Vec<&str> = Vec::new();
+        for s in succ.get(start).cloned().unwrap_or_default() {
+            if !parent.contains_key(s) {
+                parent.insert(s, start);
+                queue.push(s);
+            }
+        }
+        let mut qi = 0;
+        let mut found = None;
+        while let Some(&node) = queue.get(qi) {
+            qi += 1;
+            if node == start {
+                found = Some(node);
+                break;
+            }
+            for nxt in succ.get(node).cloned().unwrap_or_default() {
+                if !parent.contains_key(nxt) {
+                    parent.insert(nxt, node);
+                    queue.push(nxt);
+                }
+            }
+        }
+        if found.is_none() {
+            continue;
+        }
+        // Reconstruct start -> ... -> start.
+        let mut rev = vec![start.to_string()];
+        let mut cur = *parent.get(start).unwrap_or(&start);
+        while cur != start {
+            rev.push(cur.to_string());
+            cur = parent.get(cur).copied().unwrap_or(start);
+        }
+        rev.push(start.to_string());
+        rev.reverse();
+        let mut set: Vec<String> = rev.iter().skip(1).cloned().collect();
+        set.sort();
+        set.dedup();
+        if !seen_sets.insert(set) {
+            continue;
+        }
+        let mut edges = Vec::new();
+        for pair in rev.windows(2) {
+            if let (Some(a), Some(b)) = (pair.first(), pair.get(1)) {
+                let key = (a.clone(), b.clone());
+                if let Some(info) = graph.get(&key) {
+                    edges.push((key, info.clone()));
+                }
+            }
+        }
+        out.push(Cycle { nodes: rev, edges });
+    }
+    out.sort_by(|a, b| a.nodes.cmp(&b.nodes));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model_of(src: &str) -> Model {
+        let file = SourceFile::from_source("c", "src/lib.rs", "src/lib.rs", src);
+        Model::build(&[CrateSrc {
+            name: "c".to_string(),
+            files: vec![file],
+        }])
+    }
+
+    fn node<'m>(m: &'m Model, name: &str) -> &'m FnNode {
+        m.fns
+            .iter()
+            .find(|f| f.name == name)
+            .unwrap_or_else(|| panic!("no fn `{name}` in model"))
+    }
+
+    #[test]
+    fn statement_temp_guards_die_at_the_semicolon_bound_guards_persist() {
+        let m = model_of(
+            "struct S { a: Mutex<u32>, b: Mutex<u32> }\n\
+             impl S {\n\
+                 fn temp(&self) {\n\
+                     *self.a.lock().unwrap() += 1;\n\
+                     let g = self.b.lock().unwrap();\n\
+                 }\n\
+                 fn bound(&self) {\n\
+                     let g = self.a.lock().unwrap();\n\
+                     let h = self.b.lock().unwrap();\n\
+                 }\n\
+             }\n",
+        );
+        let temp = node(&m, "temp");
+        assert_eq!(temp.acquires.len(), 2);
+        assert!(
+            temp.acquires[1].held.is_empty(),
+            "temp guard must die at `;`: {:?}",
+            temp.acquires[1].held
+        );
+        let bound = node(&m, "bound");
+        assert_eq!(bound.acquires[0].lock, "c/a");
+        assert_eq!(
+            bound.acquires[1].held,
+            vec![Held {
+                lock: "c/a".to_string(),
+                line: bound.acquires[0].line
+            }]
+        );
+    }
+
+    #[test]
+    fn drop_releases_a_bound_guard() {
+        let m = model_of(
+            "struct S { a: Mutex<u32> }\n\
+             impl S {\n\
+                 fn re(&self) {\n\
+                     let g = self.a.lock().unwrap();\n\
+                     drop(g);\n\
+                     let h = self.a.lock().unwrap();\n\
+                 }\n\
+                 fn twice(&self) {\n\
+                     let g = self.a.lock().unwrap();\n\
+                     let h = self.a.lock().unwrap();\n\
+                 }\n\
+             }\n",
+        );
+        let re = node(&m, "re");
+        assert!(re.acquires[1].held.is_empty(), "{:?}", re.acquires[1].held);
+        let twice = node(&m, "twice");
+        assert_eq!(twice.acquires[1].held.len(), 1, "double-lock visible");
+        assert_eq!(twice.acquires[1].lock, "c/a");
+    }
+
+    #[test]
+    fn condvar_waits_record_loop_context_and_waited_guard() {
+        let m = model_of(
+            "struct S { m: Mutex<bool>, cv: Condvar }\n\
+             impl S {\n\
+                 fn good(&self) {\n\
+                     let mut st = self.m.lock().unwrap();\n\
+                     while !*st {\n\
+                         st = self.cv.wait(st).unwrap();\n\
+                     }\n\
+                 }\n\
+                 fn bad(&self) {\n\
+                     let st = self.m.lock().unwrap();\n\
+                     let st = self.cv.wait(st).unwrap();\n\
+                 }\n\
+             }\n",
+        );
+        let good = node(&m, "good");
+        assert_eq!(good.waits.len(), 1);
+        assert!(good.waits[0].in_loop);
+        assert_eq!(good.waits[0].guard_lock.as_deref(), Some("c/m"));
+        assert!(good.waits[0].others_held.is_empty());
+        let bad = node(&m, "bad");
+        assert!(!bad.waits[0].in_loop);
+    }
+
+    #[test]
+    fn guard_returning_helpers_charge_acquisitions_to_the_caller() {
+        let m = model_of(
+            "struct S { a: Mutex<u32>, b: Mutex<u32> }\n\
+             fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {\n\
+                 m.lock().unwrap_or_else(|p| p.into_inner())\n\
+             }\n\
+             impl S {\n\
+                 fn go(&self) {\n\
+                     let g = lock(&self.a);\n\
+                     let h = lock(&self.b);\n\
+                 }\n\
+             }\n",
+        );
+        assert!(node(&m, "lock").is_helper);
+        assert!(
+            node(&m, "lock").acquires.is_empty(),
+            "helper body not walked"
+        );
+        let go = node(&m, "go");
+        assert_eq!(go.acquires.len(), 2);
+        assert_eq!(go.acquires[0].lock, "c/a");
+        assert_eq!(go.acquires[1].lock, "c/b");
+        assert_eq!(go.acquires[1].held.len(), 1, "a held across b");
+        assert!(
+            go.calls.is_empty(),
+            "helper sites are acquisitions, not calls"
+        );
+    }
+
+    #[test]
+    fn lock_graph_finds_the_two_function_inversion_cycle() {
+        let m = model_of(
+            "struct S { a: Mutex<u32>, b: Mutex<u32> }\n\
+             impl S {\n\
+                 fn ab(&self) {\n\
+                     let g = self.a.lock().unwrap();\n\
+                     self.take_b();\n\
+                 }\n\
+                 fn ba(&self) {\n\
+                     let g = self.b.lock().unwrap();\n\
+                     self.take_a();\n\
+                 }\n\
+                 fn take_a(&self) { let g = self.a.lock().unwrap(); g; }\n\
+                 fn take_b(&self) { let g = self.b.lock().unwrap(); g; }\n\
+             }\n",
+        );
+        let r = m.analyze();
+        let graph = m.lock_graph(&r);
+        assert!(graph.contains_key(&("c/a".to_string(), "c/b".to_string())));
+        assert!(graph.contains_key(&("c/b".to_string(), "c/a".to_string())));
+        let cycles = find_cycles(&graph);
+        assert_eq!(cycles.len(), 1, "{cycles:?}");
+        assert_eq!(cycles[0].nodes.first(), cycles[0].nodes.last());
+        assert!(cycles[0].nodes.contains(&"c/a".to_string()));
+        assert!(cycles[0].nodes.contains(&"c/b".to_string()));
+        let rendered = m.render_lock_graph(&r);
+        assert!(rendered.contains("edge c/a -> c/b"), "{rendered}");
+    }
+
+    #[test]
+    fn blocking_reach_propagates_through_the_call_graph() {
+        let m = model_of(
+            "struct S { a: Mutex<u32> }\n\
+             impl S {\n\
+                 fn outer(&self) {\n\
+                     let g = self.a.lock().unwrap();\n\
+                     self.inner();\n\
+                 }\n\
+                 fn inner(&self) {\n\
+                     self.file.sync_all();\n\
+                 }\n\
+             }\n",
+        );
+        let r = m.analyze();
+        let outer_idx = m
+            .fns
+            .iter()
+            .position(|f| f.name == "outer")
+            .unwrap_or(usize::MAX);
+        let inner_idx = m
+            .fns
+            .iter()
+            .position(|f| f.name == "inner")
+            .unwrap_or(usize::MAX);
+        let inner_block = r.blocking.get(inner_idx).and_then(|w| w.as_ref());
+        assert_eq!(inner_block.map(|w| w.what.as_str()), Some("sync_all"));
+        let outer_block = r.blocking.get(outer_idx).and_then(|w| w.as_ref());
+        assert_eq!(
+            outer_block.map(|w| w.what.as_str()),
+            Some("sync_all"),
+            "blocking reach crosses the self-call"
+        );
+        assert!(outer_block.is_some_and(|w| w.path.contains(&"S::inner".to_string())));
+    }
+}

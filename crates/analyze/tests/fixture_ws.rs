@@ -58,7 +58,27 @@ fn diagnostics_match_the_golden_rendering() {
 #[test]
 fn allow_directive_suppresses_exactly_one_finding() {
     let report = run_fixture();
-    assert_eq!(report.suppressed, 1, "{}", report.render());
+    // One wallclock directive plus one twin per workspace concurrency
+    // rule in fixture-conc.
+    assert_eq!(report.suppressed, 6, "{}", report.render());
+    for (rule, _) in rules::WORKSPACE {
+        let active = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.rule == *rule)
+            .count();
+        let muted = report
+            .suppressed_diagnostics
+            .iter()
+            .filter(|d| d.rule == *rule)
+            .count();
+        assert_eq!(
+            (active, muted),
+            (1, 1),
+            "rule `{rule}` must fire once on `Pair` and once (suppressed) on `Quiet`:\n{}",
+            report.render()
+        );
+    }
     let survivors: Vec<_> = report
         .diagnostics
         .iter()
@@ -73,6 +93,112 @@ fn allow_directive_suppresses_exactly_one_finding() {
     assert!(
         survivors[0].message.contains("SystemTime"),
         "the directive consumes the first finding (Instant), not the second"
+    );
+}
+
+#[test]
+fn seeded_cycle_reports_the_full_witness_chain() {
+    let report = run_fixture();
+    let cycle = report
+        .diagnostics
+        .iter()
+        .find(|d| d.rule == "lock-order-cycle")
+        .expect("seeded cycle is reported");
+    assert!(
+        cycle
+            .message
+            .contains("fixture-conc/a -> fixture-conc/b -> fixture-conc/a"),
+        "cycle names every lock in order: {}",
+        cycle.message
+    );
+    for witness in [
+        "fixture-conc/a -> fixture-conc/b at crates/conc/src/lib.rs:",
+        "fixture-conc/b -> fixture-conc/a at crates/conc/src/lib.rs:",
+        "via Pair::ab",
+        "via Pair::ba",
+    ] {
+        assert!(
+            cycle.hint.contains(witness),
+            "witness chain must carry `{witness}`: {}",
+            cycle.hint
+        );
+    }
+}
+
+#[test]
+fn json_output_is_machine_readable_and_complete() {
+    let report = run_fixture();
+    let json = report.to_json();
+    assert!(json.starts_with("{\n  \"version\": 1,"), "{json}");
+    assert!(json.contains(&format!("\"files_scanned\": {}", report.files_scanned)));
+    assert!(json.contains("\"suppressed\": 6"), "{json}");
+    let active = json.matches("\"suppressed\": false").count();
+    let muted = json.matches("\"suppressed\": true").count();
+    assert_eq!(
+        (active, muted),
+        (
+            report.diagnostics.len(),
+            report.suppressed_diagnostics.len()
+        ),
+        "{json}"
+    );
+    for (rule, _) in rules::WORKSPACE {
+        assert!(json.contains(&format!("\"rule\": \"{rule}\"")), "{json}");
+    }
+    // The golden's first diagnostic must round-trip with escaping intact.
+    assert!(
+        json.contains("\"message\": \"`SystemTime` read outside the `timing` feature\""),
+        "{json}"
+    );
+}
+
+/// Acceptance criterion: the emitted lock graph is byte-identical
+/// across two *separate process* runs (fresh address space), over both
+/// the fixture workspace (edges + cycles) and the real workspace
+/// (edge-free). Same re-exec pattern as the fabric determinism tests.
+#[test]
+fn lock_graph_is_byte_identical_across_processes() {
+    const MODE: &str = "ENA_LINT_GRAPH_MODE";
+    let graphs = || {
+        let fixture = run_fixture().lock_graph;
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_workspace_root(here).expect("inside the ena workspace");
+        let opts = Options {
+            root,
+            config_path: None,
+            deny_warnings: true,
+        };
+        let real = ena_lint::run(&opts).expect("workspace scans").lock_graph;
+        format!("{fixture}--8<--\n{real}")
+    };
+    if std::env::var_os(MODE).is_some() {
+        print!("GRAPH>>>{}<<<GRAPH", graphs());
+        return;
+    }
+    let exe = std::env::current_exe().expect("test binary path");
+    let child_graphs = || {
+        let out = std::process::Command::new(&exe)
+            .args([
+                "lock_graph_is_byte_identical_across_processes",
+                "--exact",
+                "--nocapture",
+            ])
+            .env(MODE, "1")
+            .output()
+            .expect("child test process");
+        assert!(out.status.success(), "child run failed: {out:?}");
+        let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+        let start = stdout.find("GRAPH>>>").expect("marker") + "GRAPH>>>".len();
+        let end = stdout.find("<<<GRAPH").expect("end marker");
+        stdout[start..end].to_string()
+    };
+    let first = child_graphs();
+    let second = child_graphs();
+    assert_eq!(first, second, "lock graph differs between processes");
+    assert_eq!(first, graphs(), "parent and child disagree");
+    assert!(
+        first.contains("edge fixture-conc/a -> fixture-conc/b"),
+        "fixture graph carries the seeded edge:\n{first}"
     );
 }
 

@@ -1,0 +1,118 @@
+// Fixture: exactly one violation of every workspace concurrency rule
+// (on `Pair`), plus one suppressed twin of each (on `Quiet`) so the
+// suppression tests can assert the directives consume exactly one
+// finding apiece. Scanned by the integration tests, never compiled.
+#![forbid(unsafe_code)]
+
+use std::sync::{Condvar, Mutex};
+
+pub struct Pair {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+    cv: Condvar,
+    state: Mutex<bool>,
+}
+
+impl Pair {
+    // One half of the seeded two-function lock-order cycle: a -> b here,
+    // b -> a in `ba` below.
+    pub fn ab(&self) -> u32 {
+        let g = self.a.lock().unwrap_or_else(|p| p.into_inner());
+        let h = self.b.lock().unwrap_or_else(|p| p.into_inner());
+        *g + *h
+    }
+
+    pub fn ba(&self) -> u32 {
+        let g = self.b.lock().unwrap_or_else(|p| p.into_inner());
+        let h = self.a.lock().unwrap_or_else(|p| p.into_inner());
+        *g + *h
+    }
+
+    // Re-acquiring `a` while its guard is live: std mutexes are not
+    // reentrant, so this deadlocks (or worse) at runtime.
+    pub fn twice(&self) -> u32 {
+        let g = self.a.lock().unwrap_or_else(|p| p.into_inner());
+        let h = self.a.lock().unwrap_or_else(|p| p.into_inner());
+        *g + *h
+    }
+
+    // Wait without a predicate loop: spurious wakeups return early.
+    pub fn nap(&self) -> bool {
+        let st = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        let st = self.cv.wait(st).unwrap_or_else(|p| p.into_inner());
+        *st
+    }
+
+    // Sleeping while `a` is held stalls every contender.
+    pub fn slow(&self) -> u32 {
+        let g = self.a.lock().unwrap_or_else(|p| p.into_inner());
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        *g
+    }
+
+    // The wait releases only `state`; `a` stays held for the whole
+    // sleep, starving everyone who needs it.
+    pub fn deadlockish(&self) -> u32 {
+        let g = self.a.lock().unwrap_or_else(|p| p.into_inner());
+        let mut st = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        while !*st {
+            st = self.cv.wait(st).unwrap_or_else(|p| p.into_inner());
+        }
+        *g
+    }
+}
+
+pub struct Quiet {
+    c: Mutex<u32>,
+    d: Mutex<u32>,
+    cv2: Condvar,
+    flag: Mutex<bool>,
+}
+
+impl Quiet {
+    // Suppressed twin of the `ab`/`ba` cycle: the directive sits on the
+    // cycle's anchor line (the earliest edge witness, `d` under `c`).
+    pub fn cd(&self) -> u32 {
+        let g = self.c.lock().unwrap_or_else(|p| p.into_inner());
+        // ena:allow(lock-order-cycle): fixture twin proving the directive consumes exactly one cycle report
+        let h = self.d.lock().unwrap_or_else(|p| p.into_inner());
+        *g + *h
+    }
+
+    pub fn dc(&self) -> u32 {
+        let g = self.d.lock().unwrap_or_else(|p| p.into_inner());
+        let h = self.c.lock().unwrap_or_else(|p| p.into_inner());
+        *g + *h
+    }
+
+    pub fn twice2(&self) -> u32 {
+        let g = self.c.lock().unwrap_or_else(|p| p.into_inner());
+        // ena:allow(double-lock): fixture twin proving the directive consumes exactly one re-acquisition report
+        let h = self.c.lock().unwrap_or_else(|p| p.into_inner());
+        *g + *h
+    }
+
+    pub fn nap2(&self) -> bool {
+        let st = self.flag.lock().unwrap_or_else(|p| p.into_inner());
+        // ena:allow(condvar-wait-not-in-loop): fixture twin proving the directive consumes exactly one wait report
+        let st = self.cv2.wait(st).unwrap_or_else(|p| p.into_inner());
+        *st
+    }
+
+    pub fn slow2(&self) -> u32 {
+        let g = self.c.lock().unwrap_or_else(|p| p.into_inner());
+        // ena:allow(blocking-under-lock): fixture twin proving the directive consumes exactly one blocking report
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        *g
+    }
+
+    pub fn hold2(&self) -> u32 {
+        let g = self.c.lock().unwrap_or_else(|p| p.into_inner());
+        let mut st = self.flag.lock().unwrap_or_else(|p| p.into_inner());
+        while !*st {
+            // ena:allow(guard-across-wait): fixture twin proving the directive consumes exactly one guard report
+            st = self.cv2.wait(st).unwrap_or_else(|p| p.into_inner());
+        }
+        *g
+    }
+}

@@ -17,7 +17,7 @@
 //!              [--cache DIR] [--port-file PATH] [--budget W]
 //! ena client   (--port N | --port-file PATH) --script "CMD; CMD; ..."
 //! ena cache verify PATH                         # inspect a sweep cache file
-//! ena lint     [--deny-warnings]                # determinism static analysis
+//! ena lint     [--deny-warnings] [--json]       # determinism & concurrency static analysis
 //! ```
 //!
 //! Parsing and rendering live in this library so they are unit-testable;
@@ -181,6 +181,8 @@ pub enum Command {
     Lint {
         /// Treat warnings as failures.
         deny_warnings: bool,
+        /// Emit machine-readable JSON instead of the text rendering.
+        json: bool,
     },
     /// Print usage.
     Help,
@@ -533,6 +535,7 @@ pub fn parse(mut args: Vec<String>) -> Result<Command, String> {
         },
         "lint" => Command::Lint {
             deny_warnings: take_flag(&mut args, "--deny-warnings"),
+            json: take_flag(&mut args, "--json"),
         },
         "help" | "--help" | "-h" => Command::Help,
         other => return Err(format!("unknown command '{other}'; try 'ena help'")),
@@ -563,7 +566,7 @@ commands:
            [--cache DIR] [--port-file PATH] [--budget W]
   client   (--port N | --port-file PATH) [--addr HOST] --script \"CMD; CMD\"
   cache verify PATH
-  lint     [--deny-warnings]
+  lint     [--deny-warnings] [--json]
   help
 
 apps: MaxFlops, CoMD, CoMD-LJ, HPGMG, LULESH, MiniAMR, XSBench, SNAP
@@ -1054,7 +1057,10 @@ pub fn execute(command: Command) -> Result<String, String> {
                 report.torn_tail,
             ))
         }
-        Command::Lint { deny_warnings } => {
+        Command::Lint {
+            deny_warnings,
+            json,
+        } => {
             let cwd = std::env::current_dir().map_err(|e| e.to_string())?;
             let root = ena_lint::find_workspace_root(&cwd)
                 .ok_or_else(|| format!("no [workspace] Cargo.toml above {}", cwd.display()))?;
@@ -1064,10 +1070,15 @@ pub fn execute(command: Command) -> Result<String, String> {
                 deny_warnings,
             };
             let report = ena_lint::run(&opts).map_err(|e| e.to_string())?;
-            if report.failed(deny_warnings) {
-                Err(report.render())
+            let rendered = if json {
+                report.to_json()
             } else {
-                Ok(report.render())
+                report.render()
+            };
+            if report.failed(deny_warnings) {
+                Err(rendered)
+            } else {
+                Ok(rendered)
             }
         }
         Command::Chiplet { app } => {
@@ -1362,12 +1373,27 @@ mod tests {
         assert_eq!(
             parse_str("lint --deny-warnings").unwrap(),
             Command::Lint {
-                deny_warnings: true
+                deny_warnings: true,
+                json: false
             }
         );
         let out = execute(parse_str("lint --deny-warnings").unwrap()).unwrap();
         assert!(out.contains("ena-lint:"), "{out}");
         assert!(out.contains("0 diagnostic(s)"), "{out}");
+    }
+
+    #[test]
+    fn lint_json_emits_machine_readable_output() {
+        assert_eq!(
+            parse_str("lint --json").unwrap(),
+            Command::Lint {
+                deny_warnings: false,
+                json: true
+            }
+        );
+        let out = execute(parse_str("lint --deny-warnings --json").unwrap()).unwrap();
+        assert!(out.starts_with("{\n  \"version\": 1,"), "{out}");
+        assert!(out.contains("\"diagnostics\": []"), "{out}");
     }
 
     #[test]

@@ -103,6 +103,19 @@ pub struct FollowerTicket {
 }
 
 /// The sharded single-flight store (see the module docs).
+///
+/// # Lock order
+///
+/// The store owns two tiers of locks: the per-shard mutexes and the
+/// single `disk` mutex. No method ever holds two of them at once —
+/// `publish` appends to disk *before* touching a shard, `snapshot`
+/// copies the shards out (via [`ShardStore::records`]) *before* taking
+/// `disk` — so the store contributes no shard↔disk edge to the
+/// workspace lock-acquisition graph (see `artifacts/lock_graph.txt`;
+/// the only outgoing edge is `disk` → the injected VFS's internal
+/// bookkeeping lock, which never locks back). Keep it that way: acquire
+/// at most one `ShardStore` lock per scope, and if that ever has to
+/// change, the documented order is shard → disk, never the reverse.
 #[derive(Debug)]
 pub struct ShardStore {
     shards: Vec<Mutex<BTreeMap<u64, Slot>>>,
@@ -220,6 +233,9 @@ impl ShardStore {
         record: PointRecord,
     ) -> Result<Arc<PointRecord>, CacheError> {
         if let Some(disk) = &self.disk {
+            // ena:durability(disk): append-before-acknowledge — the fsynced
+            // append must complete under the cache lock so a concurrent
+            // snapshot/append never interleaves with a half-written record.
             lock(disk).append(token.key, &record)?;
             // On Err: token drops unpublished → abandon wakes followers.
         }
@@ -315,6 +331,10 @@ impl ShardStore {
             .into_iter()
             .map(|(key, record)| (key, (*record).clone()))
             .collect();
+        // ena:durability(disk): the write-temp → fsync → rename rewrite must
+        // run under the cache lock so no append lands between the image
+        // write and the generation bump (the entries themselves were copied
+        // out above without holding `disk`).
         let mut cache = lock(disk);
         cache.snapshot(&entries)?;
         Ok((entries.len(), cache.generation()))
